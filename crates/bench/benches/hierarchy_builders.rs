@@ -1,0 +1,40 @@
+//! Criterion: hierarchy substrate costs — shape builders, XML round-trip,
+//! adjacency conversion — at figure-6 scale (200 nodes).
+
+use adept_hierarchy::adjacency::AdjacencyMatrix;
+use adept_hierarchy::builder::{balanced_two_level, csd_tree, star};
+use adept_hierarchy::xml::{parse_xml, write_xml};
+use adept_platform::NodeId;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_builders(c: &mut Criterion) {
+    let ids: Vec<NodeId> = (0..200).map(NodeId).collect();
+    let mut group = c.benchmark_group("hierarchy");
+
+    group.bench_function("star_200", |b| b.iter(|| black_box(star(&ids)).len()));
+    group.bench_function("csd_200_deg8", |b| {
+        b.iter(|| black_box(csd_tree(&ids, 8)).len())
+    });
+    group.bench_function("balanced_200_14", |b| {
+        b.iter(|| black_box(balanced_two_level(&ids, 14)).len())
+    });
+
+    let plan = csd_tree(&ids, 8);
+    group.bench_function("xml_write_200", |b| {
+        b.iter(|| black_box(write_xml(&plan, None)).len())
+    });
+    let xml = write_xml(&plan, None);
+    group.bench_function("xml_parse_200", |b| {
+        b.iter(|| black_box(parse_xml(&xml).expect("own descriptor parses")).len())
+    });
+    group.bench_function("adjacency_roundtrip_200", |b| {
+        b.iter(|| {
+            let m = AdjacencyMatrix::from_plan(&plan);
+            black_box(m.to_plan().expect("tree")).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_builders);
+criterion_main!(benches);

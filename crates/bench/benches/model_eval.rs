@@ -1,0 +1,27 @@
+//! Criterion: cost of one full model evaluation (Eq. 16) as the
+//! deployment grows — the inner loop of every planner.
+
+use adept_core::model::ModelParams;
+use adept_hierarchy::builder::csd_tree;
+use adept_platform::generator::lyon_cluster;
+use adept_platform::NodeId;
+use adept_workload::Dgemm;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_model_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_eval");
+    let service = Dgemm::new(310).service();
+    for &n in &[10usize, 50, 200, 1000] {
+        let platform = lyon_cluster(n);
+        let ids: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        let plan = csd_tree(&ids, 8);
+        let params = ModelParams::from_platform(&platform);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(params.evaluate(&platform, &plan, &service)).rho)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_eval);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion: planner runtime scaling with platform size — the heuristic
+//! (Algorithm 1), the sweep reference, and the CSD degree search.
+
+use adept_core::planner::{HeuristicPlanner, HomogeneousCsdPlanner, Planner, SweepPlanner};
+use adept_platform::generator::uniform_random_cluster;
+use adept_platform::MflopRate;
+use adept_workload::{ClientDemand, Dgemm};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_planners(c: &mut Criterion) {
+    let service = Dgemm::new(310).service();
+    for (name, planner) in [
+        ("heuristic", Box::new(HeuristicPlanner::paper()) as Box<dyn Planner>),
+        ("sweep", Box::new(SweepPlanner::default())),
+        ("csd", Box::new(HomogeneousCsdPlanner::default())),
+    ] {
+        let mut group = c.benchmark_group(format!("planner_{name}"));
+        group.sample_size(10);
+        for &n in &[25usize, 50, 100, 200] {
+            let platform =
+                uniform_random_cluster("p", n, MflopRate(100.0), MflopRate(400.0), 7);
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        planner
+                            .plan(&platform, &service, ClientDemand::Unbounded)
+                            .expect("fits"),
+                    )
+                    .len()
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_planners);
+criterion_main!(benches);

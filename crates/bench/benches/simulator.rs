@@ -1,0 +1,37 @@
+//! Criterion: simulator event-processing rate — one short closed-loop run
+//! per iteration (dominated by the event queue and timeline reservations).
+
+use adept_hierarchy::builder::{csd_tree, star};
+use adept_nes_sim::{measure_throughput, SimConfig};
+use adept_platform::generator::lyon_cluster;
+use adept_platform::{NodeId, Seconds};
+use adept_workload::Dgemm;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    let cfg = SimConfig::paper().with_windows(Seconds(0.5), Seconds(2.0));
+
+    let platform = lyon_cluster(6);
+    let ids: Vec<NodeId> = (0..6).map(NodeId).collect();
+    let small_star = star(&ids);
+    let svc_small = Dgemm::new(100).service();
+    group.bench_function("star6_dgemm100_8clients", |b| {
+        b.iter(|| {
+            black_box(measure_throughput(&platform, &small_star, &svc_small, 8, &cfg)).completed
+        })
+    });
+
+    let platform45 = lyon_cluster(45);
+    let ids45: Vec<NodeId> = (0..45).map(NodeId).collect();
+    let tree = csd_tree(&ids45, 7);
+    let svc = Dgemm::new(310).service();
+    group.bench_function("csd45_dgemm310_32clients", |b| {
+        b.iter(|| black_box(measure_throughput(&platform45, &tree, &svc, 32, &cfg)).completed)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

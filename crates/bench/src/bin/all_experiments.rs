@@ -1,0 +1,36 @@
+//! Runs every paper experiment (Tables 3–4, Figures 2–7) plus the two
+//! ablations, in sequence, by invoking the sibling experiment binaries.
+//! CSVs land in `results/`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin all_experiments
+//! BENCH_FAST=1 cargo run --release -p bench --bin all_experiments   # quick pass
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table3", "table4", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+        "ablation_shift", "ablation_selection", "hetero_comm", "mix_deployment",
+    ];
+    let self_exe = std::env::current_exe().expect("own path");
+    let bin_dir = self_exe.parent().expect("target dir");
+    let mut failures = Vec::new();
+    for bin in bins {
+        println!("\n================ {bin} ================\n");
+        let status = Command::new(bin_dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failures.push(bin);
+        }
+    }
+    println!("\n================ summary ================\n");
+    if failures.is_empty() {
+        println!("all {} experiments completed; CSVs in results/", bins.len());
+    } else {
+        println!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,45 @@
+//! **Figure 2** — "Star hierarchies with one or two servers for DGEMM
+//! 10×10 requests. Measured throughput for different load levels."
+//!
+//! Paper finding: both deployments are *agent-limited*; adding the second
+//! server **hurts** (the agent pays an extra child's worth of messages and
+//! selection work per request).
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig2
+//! ```
+
+use bench::{client_schedule, load_curve, results_dir, scenarios, Table};
+use adept_workload::Dgemm;
+
+fn main() {
+    let fast = bench::fast_mode();
+    let service = Dgemm::new(10).service();
+    let (platform1, plan1) = scenarios::lyon_star(1);
+    let (platform2, plan2) = scenarios::lyon_star(2);
+    let config = scenarios::sim_config(fast);
+    let clients = client_schedule(if fast { 48 } else { 200 }, if fast { 5 } else { 9 });
+
+    println!("# Figure 2: star 1 vs 2 SeDs, DGEMM 10x10 — throughput vs clients\n");
+    let one = load_curve(&platform1, &plan1, &service, &clients, &config);
+    let two = load_curve(&platform2, &plan2, &service, &clients, &config);
+
+    let mut table = Table::new(vec!["clients", "1 SeD (req/s)", "2 SeDs (req/s)"]);
+    for (a, b) in one.iter().zip(&two) {
+        table.row(vec![
+            a.clients.to_string(),
+            format!("{:.1}", a.throughput),
+            format!("{:.1}", b.throughput),
+        ]);
+    }
+    print!("{}", table.render());
+    table.to_csv(&results_dir().join("fig2.csv"));
+
+    let max1 = one.iter().map(|p| p.throughput).fold(0.0f64, f64::max);
+    let max2 = two.iter().map(|p| p.throughput).fold(0.0f64, f64::max);
+    println!("\nmax sustained: 1 SeD {max1:.1} req/s, 2 SeDs {max2:.1} req/s");
+    println!(
+        "paper shape: agent-limited, second server hurts -> {}",
+        if max2 < max1 { "REPRODUCED" } else { "NOT reproduced" }
+    );
+}

@@ -1,0 +1,61 @@
+//! **Figure 6** — "Comparison of automatically-generated hierarchy for
+//! DGEMM 310×310 with intuitive alternative hierarchies."
+//!
+//! Section 5.3 setup: 200 heterogenized Orsay nodes; three deployments:
+//! the heuristic's automatic hierarchy (the paper's used 156 nodes in a
+//! three-level tree), a star over all nodes, and a balanced 1+14×14
+//! hierarchy. Paper finding: **automatic > balanced > star**, with the
+//! star saturating very early (agent-limited at degree 199).
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig6
+//! ```
+
+use adept_hierarchy::HierarchyStats;
+use adept_workload::Dgemm;
+use bench::{client_schedule, load_curve, results_dir, scenarios, Table};
+
+fn main() {
+    let fast = bench::fast_mode();
+    let service = Dgemm::new(310).service();
+    let platform = scenarios::orsay200(42);
+    let config = scenarios::sim_config(fast);
+    let clients = client_schedule(if fast { 120 } else { 700 }, if fast { 4 } else { 8 });
+
+    println!("# Figure 6: automatic vs star vs balanced, DGEMM 310x310, 200 heterogeneous nodes\n");
+    let contenders = scenarios::contenders(&platform, &service);
+    for (name, plan) in &contenders {
+        println!(
+            "{name:<10} {}  (predicted {:.1} req/s)",
+            HierarchyStats::of(plan),
+            scenarios::predict(&platform, plan, &service)
+        );
+    }
+    println!();
+
+    let mut table = Table::new(vec!["clients", "automatic", "star", "balanced"]);
+    let curves: Vec<Vec<bench::CurvePoint>> = contenders
+        .iter()
+        .map(|(_, plan)| load_curve(&platform, plan, &service, &clients, &config))
+        .collect();
+    for i in 0..clients.len() {
+        table.row(vec![
+            clients[i].to_string(),
+            format!("{:.1}", curves[0][i].throughput),
+            format!("{:.1}", curves[1][i].throughput),
+            format!("{:.1}", curves[2][i].throughput),
+        ]);
+    }
+    print!("{}", table.render());
+    table.to_csv(&results_dir().join("fig6.csv"));
+
+    let best = |c: &Vec<bench::CurvePoint>| c.iter().map(|p| p.throughput).fold(0.0f64, f64::max);
+    let (auto, star, balanced) = (best(&curves[0]), best(&curves[1]), best(&curves[2]));
+    println!(
+        "\nmax sustained: automatic {auto:.1}, star {star:.1}, balanced {balanced:.1} req/s"
+    );
+    println!(
+        "paper shape: automatic > balanced > star -> {}",
+        if auto > balanced && balanced > star { "REPRODUCED" } else { "NOT reproduced" }
+    );
+}

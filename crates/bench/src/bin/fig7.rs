@@ -1,0 +1,63 @@
+//! **Figure 7** — "Comparison of automatically-generated hierarchy for
+//! DGEMM 1000×1000 with intuitive alternative hierarchy."
+//!
+//! Paper finding: for this large problem size the heuristic itself emits a
+//! **star** (the deployment is server-limited, so every node should
+//! serve), and the star beats the balanced hierarchy — the balanced
+//! shape wastes 14 nodes on agents that a server-limited workload cannot
+//! use.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig7
+//! ```
+
+use adept_hierarchy::HierarchyStats;
+use adept_workload::Dgemm;
+use bench::{client_schedule, load_curve, results_dir, scenarios, Table};
+
+fn main() {
+    let fast = bench::fast_mode();
+    let service = Dgemm::new(1000).service();
+    let platform = scenarios::orsay200(42);
+    let config = scenarios::sim_config(fast);
+    // DGEMM 1000 needs a large client population to saturate ~200 servers
+    // whose individual service times reach 20 s on the weakest nodes.
+    let clients = client_schedule(if fast { 300 } else { 600 }, if fast { 4 } else { 8 });
+
+    println!("# Figure 7: automatic(=star) vs balanced, DGEMM 1000x1000, 200 heterogeneous nodes\n");
+    let contenders = scenarios::contenders(&platform, &service);
+    for (name, plan) in &contenders {
+        println!(
+            "{name:<10} {}  (predicted {:.1} req/s)",
+            HierarchyStats::of(plan),
+            scenarios::predict(&platform, plan, &service)
+        );
+    }
+    let auto_is_star = contenders[0].1.agent_count() == 1;
+    println!(
+        "\nheuristic emitted a star -> {}",
+        if auto_is_star { "REPRODUCED (as in the paper)" } else { "NOT reproduced" }
+    );
+    println!();
+
+    let mut table = Table::new(vec!["clients", "automatic/star", "balanced"]);
+    let auto_curve = load_curve(&platform, &contenders[0].1, &service, &clients, &config);
+    let balanced_curve = load_curve(&platform, &contenders[2].1, &service, &clients, &config);
+    for i in 0..clients.len() {
+        table.row(vec![
+            clients[i].to_string(),
+            format!("{:.1}", auto_curve[i].throughput),
+            format!("{:.1}", balanced_curve[i].throughput),
+        ]);
+    }
+    print!("{}", table.render());
+    table.to_csv(&results_dir().join("fig7.csv"));
+
+    let best = |c: &[bench::CurvePoint]| c.iter().map(|p| p.throughput).fold(0.0f64, f64::max);
+    let (auto, balanced) = (best(&auto_curve), best(&balanced_curve));
+    println!("\nmax sustained: automatic/star {auto:.1}, balanced {balanced:.1} req/s");
+    println!(
+        "paper shape: star >= balanced -> {}",
+        if auto >= balanced * 0.98 { "REPRODUCED" } else { "NOT reproduced" }
+    );
+}

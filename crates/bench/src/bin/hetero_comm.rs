@@ -1,0 +1,115 @@
+//! **Extension experiment: heterogeneous communication** (the paper's
+//! future work, DESIGN.md §7).
+//!
+//! Two-site platform (fast links inside each site, a slow link between
+//! them). Three deployments of the same 12 middleware nodes:
+//!
+//! * `intra` — the whole hierarchy inside site A;
+//! * `cross-servers` — agent on site A, all servers on site B (every
+//!   scheduling message crosses the slow link);
+//! * `split` — one mid-agent per site, servers attached locally (only the
+//!   two agent↔root edges cross).
+//!
+//! For each, the homogeneous model (with the conservative min-bandwidth
+//! scalarization), the hetero-aware model, and the simulator are compared.
+//! The hetero model should rank the deployments like the simulator; the
+//! scalarized model cannot separate them.
+//!
+//! ```text
+//! cargo run --release -p bench --bin hetero_comm
+//! ```
+
+use adept_core::model::{hetero, ModelParams};
+use adept_hierarchy::DeploymentPlan;
+use adept_nes_sim::{measure_throughput, SimConfig};
+use adept_platform::{MbitRate, MflopRate, Network, NodeId, Platform, Seconds};
+use adept_workload::Dgemm;
+use bench::{results_dir, Table};
+
+fn two_site_platform() -> Platform {
+    let mut b = Platform::builder(Network::PerSitePair {
+        intra: vec![MbitRate(100.0), MbitRate(100.0)],
+        inter: MbitRate(5.0),
+        latency: Seconds::ZERO,
+    });
+    let a = b.add_site("site-a");
+    let bb = b.add_site("site-b");
+    for i in 0..6 {
+        b.add_node(format!("a{i}"), MflopRate(400.0), a).unwrap();
+    }
+    for i in 0..6 {
+        b.add_node(format!("b{i}"), MflopRate(400.0), bb).unwrap();
+    }
+    b.build().expect("non-empty")
+}
+
+fn deployments() -> Vec<(&'static str, DeploymentPlan)> {
+    // Site A nodes: n0..n5; site B: n6..n11.
+    let mut intra = DeploymentPlan::with_root(NodeId(0));
+    for i in 1..6 {
+        intra.add_server(intra.root(), NodeId(i)).unwrap();
+    }
+    let mut cross = DeploymentPlan::with_root(NodeId(0));
+    for i in 6..11 {
+        cross.add_server(cross.root(), NodeId(i)).unwrap();
+    }
+    let mut split = DeploymentPlan::with_root(NodeId(0));
+    let a_agent = split.add_agent(split.root(), NodeId(1)).unwrap();
+    let b_agent = split.add_agent(split.root(), NodeId(6)).unwrap();
+    for i in 2..6 {
+        split.add_server(a_agent, NodeId(i)).unwrap();
+    }
+    for i in 7..11 {
+        split.add_server(b_agent, NodeId(i)).unwrap();
+    }
+    vec![("intra", intra), ("cross-servers", cross), ("split", split)]
+}
+
+fn main() {
+    let fast = bench::fast_mode();
+    let platform = two_site_platform();
+    let service = Dgemm::new(100).service();
+    let params = ModelParams::new(MbitRate(100.0)); // per-link model input
+    let params_scalar = ModelParams::from_platform(&platform); // min-B scalarization
+    let config = if fast {
+        SimConfig::paper().with_windows(Seconds(2.0), Seconds(8.0))
+    } else {
+        SimConfig::paper().with_windows(Seconds(5.0), Seconds(20.0))
+    };
+
+    println!("# Extension: heterogeneous communication (2 sites, 100 Mb/s intra, 5 Mb/s inter)\n");
+    let mut table = Table::new(vec![
+        "deployment", "scalar model", "hetero model", "simulated",
+    ]);
+    let mut hetero_preds = Vec::new();
+    let mut measured = Vec::new();
+    for (name, plan) in deployments() {
+        let scalar = params_scalar.evaluate(&platform, &plan, &service).rho;
+        let het = hetero::evaluate_hetero(&params, &platform, &plan, &service).rho;
+        let sim = measure_throughput(&platform, &plan, &service, 32, &config).throughput;
+        hetero_preds.push((name, het));
+        measured.push((name, sim));
+        table.row(vec![
+            name.to_string(),
+            format!("{scalar:.1}"),
+            format!("{het:.1}"),
+            format!("{sim:.1}"),
+        ]);
+    }
+    print!("{}", table.render());
+    table.to_csv(&results_dir().join("hetero_comm.csv"));
+
+    fn rank(v: &[(&'static str, f64)]) -> Vec<&'static str> {
+        let mut pairs: Vec<(&'static str, f64)> = v.to_vec();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        pairs.into_iter().map(|(n, _)| n).collect()
+    }
+    let model_rank = rank(&hetero_preds);
+    let sim_rank = rank(&measured);
+    println!("\nhetero-model ranking: {model_rank:?}");
+    println!("simulated ranking:    {sim_rank:?}");
+    println!(
+        "extension check: hetero model ranks deployments like the simulator -> {}",
+        if model_rank == sim_rank { "CONFIRMED" } else { "NOT confirmed" }
+    );
+}

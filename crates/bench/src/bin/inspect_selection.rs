@@ -1,0 +1,72 @@
+//! Diagnostic: per-server load distribution of a simulated deployment —
+//! how close prediction-based selection comes to the model's optimal
+//! division (Eq. 6–10), and where capacity is lost.
+//!
+//! ```text
+//! cargo run --release -p bench --bin inspect_selection [clients]
+//! ```
+
+use adept_core::planner::{HeuristicPlanner, Planner};
+use adept_hierarchy::Role;
+use adept_nes_sim::{SimConfig, Simulation};
+use adept_platform::Seconds;
+use adept_workload::{ClientDemand, ClientRamp, Dgemm};
+use bench::scenarios;
+
+fn main() {
+    let clients: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let platform = scenarios::orsay200(42);
+    let service = Dgemm::new(310).service();
+    let plan = HeuristicPlanner::paper()
+        .plan(&platform, &service, ClientDemand::Unbounded)
+        .expect("fits");
+    let config = SimConfig::paper().with_windows(Seconds(5.0), Seconds(20.0));
+
+    let mut sim = Simulation::new(&platform, &plan, &service, config);
+    let ramp = ClientRamp {
+        max_clients: clients,
+        launch_interval: Seconds(0.05),
+        think_time: Seconds::ZERO,
+        hold_time: Seconds(config.warmup.value() + config.measure.value()),
+    };
+    let out = sim.run_ramp(&ramp, &config);
+    let now = sim.now();
+
+    println!("clients {clients}: throughput {:.1} req/s, mean response {:.3}s", out.throughput, out.mean_response_time);
+    println!("predicted: {:.1} req/s\n", scenarios::predict(&platform, &plan, &service));
+
+    // Service-lane utilization histogram across servers.
+    let mut utils: Vec<(f64, f64, u64)> = plan
+        .slots()
+        .filter(|&s| plan.role(s) == Role::Server)
+        .map(|s| {
+            let node = plan.node(s);
+            (
+                platform.power(node).value(),
+                sim.world().service_utilization(node.index(), now),
+                out.per_server_completions[node.index()],
+            )
+        })
+        .collect();
+    utils.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    let mean_util: f64 = utils.iter().map(|u| u.1).sum::<f64>() / utils.len() as f64;
+    let idle = utils.iter().filter(|u| u.1 < 0.05).count();
+    println!("servers: {}, mean service utilization {:.2}, near-idle (<5%): {}", utils.len(), mean_util, idle);
+    println!("top 5 (power, util, completions): {:?}", &utils[..5.min(utils.len())]);
+    println!("bottom 5: {:?}", &utils[utils.len().saturating_sub(5)..]);
+
+    // Control-lane utilization of the agents (is scheduling the real cap?).
+    let mut agent_utils: Vec<(usize, f64)> = plan
+        .slots()
+        .filter(|&s| plan.role(s) == Role::Agent)
+        .map(|s| {
+            let node = plan.node(s);
+            (plan.degree(s), sim.world().utilization(node.index(), now))
+        })
+        .collect();
+    agent_utils.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    println!("\nagents (degree, control util), busiest first: {:?}", &agent_utils[..5.min(agent_utils.len())]);
+}

@@ -1,0 +1,112 @@
+//! **Extension experiment: multi-service deployment** (the paper's last
+//! future-work item, DESIGN.md §7).
+//!
+//! One 30-node cluster hosts two applications — a light DGEMM 100 and a
+//! heavy DGEMM 310 — with a 3:1 request mix. Compared:
+//!
+//! * **model-guided partition** (`model::mix::partition_servers`): servers
+//!   dealt to the service with the smallest share-normalized capacity;
+//! * **naive even split**: half the servers each, ignoring shares and
+//!   weights.
+//!
+//! The mix model predicts both; the simulator measures both; the guided
+//! partition must win in both views.
+//!
+//! ```text
+//! cargo run --release -p bench --bin mix_deployment
+//! ```
+
+use adept_core::model::mix::{evaluate_mix, partition_servers, ServerAssignment};
+use adept_core::model::ModelParams;
+use adept_core::planner::{HeuristicPlanner, Planner};
+use adept_nes_sim::{SimConfig, Simulation};
+use adept_platform::{NodeId, Seconds};
+use adept_workload::{ClientDemand, ClientRamp, Dgemm, ServiceMix};
+use bench::{results_dir, scenarios, Table};
+
+fn measure(
+    platform: &adept_platform::Platform,
+    plan: &adept_hierarchy::DeploymentPlan,
+    mix: &ServiceMix,
+    assignment: &ServerAssignment,
+    clients: usize,
+    cfg: &SimConfig,
+) -> f64 {
+    let pairs: Vec<(NodeId, usize)> = assignment
+        .service_of
+        .iter()
+        .map(|(&n, &s)| (n, s))
+        .collect();
+    let mut sim = Simulation::new_mix(platform, plan, mix, &pairs, *cfg);
+    let ramp = ClientRamp {
+        max_clients: clients,
+        launch_interval: Seconds(0.05),
+        think_time: Seconds::ZERO,
+        hold_time: Seconds(cfg.warmup.value() + cfg.measure.value()),
+    };
+    sim.run_ramp(&ramp, cfg).throughput
+}
+
+fn main() {
+    let fast = bench::fast_mode();
+    let platform = scenarios::lyon(30);
+    let params = ModelParams::from_platform(&platform);
+    let mix = ServiceMix::new(vec![
+        (Dgemm::new(100).service(), 3.0),
+        (Dgemm::new(310).service(), 1.0),
+    ]);
+    // Plan the shared hierarchy for the demand-weighted mean workload.
+    let mean = adept_workload::ServiceSpec::new(
+        "mix-mean",
+        adept_platform::Mflop(mix.mean_wapp()),
+    );
+    let plan = HeuristicPlanner::paper()
+        .plan(&platform, &mean, ClientDemand::Unbounded)
+        .expect("30 nodes suffice");
+
+    // Guided partition vs naive even split.
+    let guided = partition_servers(&params, &platform, &plan, &mix);
+    let mut naive = ServerAssignment::default();
+    for (i, slot) in plan.servers().enumerate() {
+        naive
+            .service_of
+            .insert(plan.node(slot), i % mix.len());
+    }
+
+    let cfg = if fast {
+        SimConfig::paper().with_windows(Seconds(2.0), Seconds(8.0))
+    } else {
+        SimConfig::paper().with_windows(Seconds(5.0), Seconds(20.0))
+    };
+    let clients = if fast { 48 } else { 128 };
+
+    println!("# Extension: two-application deployment (dgemm-100 x3 : dgemm-310 x1)\n");
+    println!(
+        "shared hierarchy: {} ({} servers)",
+        adept_hierarchy::HierarchyStats::of(&plan),
+        plan.server_count()
+    );
+    let mut table = Table::new(vec![
+        "partition", "servers (svc0/svc1)", "predicted mix req/s", "measured mix req/s",
+    ]);
+    let mut rows = Vec::new();
+    for (name, assignment) in [("guided", &guided), ("naive-even", &naive)] {
+        let predicted = evaluate_mix(&params, &platform, &plan, &mix, assignment).rho;
+        let measured = measure(&platform, &plan, &mix, assignment, clients, &cfg);
+        rows.push((name, predicted, measured));
+        table.row(vec![
+            name.to_string(),
+            format!("{}/{}", assignment.count_for(0), assignment.count_for(1)),
+            format!("{predicted:.1}"),
+            format!("{measured:.1}"),
+        ]);
+    }
+    print!("{}", table.render());
+    table.to_csv(&results_dir().join("mix_deployment.csv"));
+
+    let ok = rows[0].1 >= rows[1].1 && rows[0].2 >= rows[1].2 * 0.95;
+    println!(
+        "\nextension check: guided partition beats the naive split in model and simulation -> {}",
+        if ok { "CONFIRMED" } else { "NOT confirmed" }
+    );
+}

@@ -1,0 +1,82 @@
+//! **Table 4** — "A summary of the percentage of optimal achieved by the
+//! deployment selected by our heterogeneous heuristic, optimal homogeneous
+//! model, and optimal degree."
+//!
+//! For each paper row `(DGEMM size, node count)` this reports, under the
+//! Section 3 model:
+//!
+//! * **opt** — the sweep reference (best agent/server split + balanced
+//!   degrees; ties the CSD optimum on homogeneous clusters);
+//! * **homo** — the best complete-spanning-d-ary-tree degree (\[10\],
+//!   the paper's "Homo. Deg." column);
+//! * **heur** — Algorithm 1 (conversion enabled);
+//! * **greedy-star** — the conversion-free ablation, which reproduces the
+//!   paper's literal "Heur. Deg." numbers (its degree-33 for DGEMM 310
+//!   comes from growing a star to the sched/service crossing).
+//!
+//! ```text
+//! cargo run --release -p bench --bin table4
+//! ```
+
+use adept_core::model::ModelParams;
+use adept_core::planner::{
+    HeuristicPlanner, HomogeneousCsdPlanner, Planner, SweepPlanner,
+};
+use adept_hierarchy::{DeploymentPlan, HierarchyStats};
+use adept_platform::Platform;
+use adept_workload::{ClientDemand, ServiceSpec};
+use bench::{results_dir, scenarios, Table};
+
+fn max_degree(plan: &DeploymentPlan) -> usize {
+    HierarchyStats::of(plan).max_degree
+}
+
+fn rho(platform: &Platform, plan: &DeploymentPlan, svc: &ServiceSpec) -> f64 {
+    ModelParams::from_platform(platform).evaluate(platform, plan, svc).rho
+}
+
+fn main() {
+    println!("# Table 4: % of optimal achieved by each planner (model evaluation)\n");
+    let mut table = Table::new(vec![
+        "DGEMM", "nodes", "opt deg", "homo deg", "heur deg", "heur %", "greedy-star deg",
+        "greedy-star %", "paper(opt/homo/heur deg, heur %)",
+    ]);
+    for (dgemm, nodes, p_opt, p_homo, p_heur, p_pct) in scenarios::table4_rows() {
+        let platform = scenarios::lyon(nodes);
+        let svc = dgemm.service();
+
+        let (opt_plan, opt_rho) = SweepPlanner::default()
+            .best_plan(&platform, &svc)
+            .expect("platforms are large enough");
+        let homo_plan = HomogeneousCsdPlanner::default()
+            .plan(&platform, &svc, ClientDemand::Unbounded)
+            .expect("fits");
+        let heur_plan = HeuristicPlanner::paper()
+            .plan(&platform, &svc, ClientDemand::Unbounded)
+            .expect("fits");
+        let greedy_plan = HeuristicPlanner::without_conversion()
+            .plan(&platform, &svc, ClientDemand::Unbounded)
+            .expect("fits");
+
+        let heur_pct = 100.0 * rho(&platform, &heur_plan, &svc) / opt_rho;
+        let greedy_pct = 100.0 * rho(&platform, &greedy_plan, &svc) / opt_rho;
+        table.row(vec![
+            dgemm.n.to_string(),
+            nodes.to_string(),
+            max_degree(&opt_plan).to_string(),
+            max_degree(&homo_plan).to_string(),
+            max_degree(&heur_plan).to_string(),
+            format!("{heur_pct:.1}"),
+            max_degree(&greedy_plan).to_string(),
+            format!("{greedy_pct:.1}"),
+            format!("{p_opt}/{p_homo}/{p_heur}, {p_pct:.0}%"),
+        ]);
+    }
+    print!("{}", table.render());
+    table.to_csv(&results_dir().join("table4.csv"));
+
+    println!("\npaper shape checks:");
+    println!("  - extremes trivial (degree 1 for DGEMM 10, star for DGEMM 1000), middle regime hardest");
+    println!("  - greedy-star reproduces the paper's literal heuristic degrees (33 for DGEMM 310)");
+    println!("  - full heuristic stays at or above the paper's ~89-100% of optimal");
+}

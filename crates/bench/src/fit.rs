@@ -1,0 +1,95 @@
+//! Least-squares linear fitting — the paper's Table 3 methodology.
+//!
+//! "We measured the time required to process responses for a variety of
+//! star deployments including an agent and different numbers of servers. A
+//! linear data fit provided a very accurate model for the time required to
+//! process responses versus the degree of the agent with a correlation
+//! coefficient of 0.97."
+
+/// Result of a simple linear regression `y ≈ intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Pearson correlation coefficient of the data.
+    pub r: f64,
+}
+
+/// Ordinary least squares over `(x, y)` pairs.
+///
+/// # Panics
+/// Panics with fewer than two points or zero variance in `x`.
+pub fn fit_linear(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "x and y must pair up");
+    assert!(xs.len() >= 2, "need at least two points to fit a line");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+        sxy += (x - mx) * (y - my);
+    }
+    assert!(sxx > 0.0, "x values must vary");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r = if syy == 0.0 {
+        1.0 // a perfectly flat line is perfectly fit
+    } else {
+        sxy / (sxx.sqrt() * syy.sqrt())
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovers_parameters() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let fit = fit_linear(&xs, &ys);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!((fit.r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_high_but_imperfect_r() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        // Deterministic "noise".
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 1.0 + 0.5 * x + if (x as u32).is_multiple_of(2) { 0.3 } else { -0.3 })
+            .collect();
+        let fit = fit_linear(&xs, &ys);
+        assert!((fit.slope - 0.5).abs() < 0.02);
+        assert!(fit.r > 0.99 && fit.r < 1.0);
+    }
+
+    #[test]
+    fn flat_data_is_fit_with_zero_slope() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 5.0];
+        let fit = fit_linear(&xs, &ys);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "x values must vary")]
+    fn degenerate_x_rejected() {
+        let _ = fit_linear(&[1.0, 1.0], &[1.0, 2.0]);
+    }
+}

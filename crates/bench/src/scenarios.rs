@@ -1,0 +1,125 @@
+//! The paper's experimental setups as named scenarios.
+
+use adept_core::model::ModelParams;
+use adept_core::planner::{BalancedPlanner, HeuristicPlanner, Planner, StarPlanner};
+use adept_hierarchy::builder::star;
+use adept_hierarchy::DeploymentPlan;
+use adept_nes_sim::SimConfig;
+use adept_platform::generator::{heterogenized_cluster, lyon_cluster};
+use adept_platform::{
+    BackgroundLoad, CapacityProbe, MflopRate, NodeId, Platform, Seconds,
+};
+use adept_workload::{ClientDemand, Dgemm, ServiceSpec};
+
+/// The Lyon calibration/validation cluster (Sections 5.1–5.2): small,
+/// homogeneous.
+pub fn lyon(n: usize) -> Platform {
+    lyon_cluster(n)
+}
+
+/// The Orsay deployment cluster of Section 5.3: 200 nodes, heterogenized
+/// with background load (deterministic in `seed`).
+pub fn orsay200(seed: u64) -> Platform {
+    heterogenized_cluster(
+        "orsay",
+        200,
+        MflopRate(400.0),
+        BackgroundLoad::default(),
+        CapacityProbe::with_noise(0.02, seed ^ 0x5a5a),
+        seed,
+    )
+}
+
+/// Star with one agent and `servers` SeDs on a Lyon cluster (the
+/// Figure 2–5 deployments).
+pub fn lyon_star(servers: u32) -> (Platform, DeploymentPlan) {
+    let platform = lyon_cluster(servers as usize + 1);
+    let ids: Vec<NodeId> = (0..=servers).map(NodeId).collect();
+    (platform, star(&ids))
+}
+
+/// The three Figure 6/7 contenders on a platform: automatic (heuristic),
+/// star, balanced(14). Returns `(name, plan)` pairs; planners that do not
+/// fit are skipped.
+pub fn contenders(platform: &Platform, service: &ServiceSpec) -> Vec<(String, DeploymentPlan)> {
+    let planners: Vec<Box<dyn Planner>> = vec![
+        Box::new(HeuristicPlanner::paper()),
+        Box::new(StarPlanner),
+        Box::new(BalancedPlanner::paper()),
+    ];
+    planners
+        .iter()
+        .filter_map(|p| {
+            p.plan(platform, service, ClientDemand::Unbounded)
+                .ok()
+                .map(|plan| (p.name().to_string(), plan))
+        })
+        .collect()
+}
+
+/// Model prediction of a plan's throughput under the platform's own
+/// parameters.
+pub fn predict(platform: &Platform, plan: &DeploymentPlan, service: &ServiceSpec) -> f64 {
+    ModelParams::from_platform(platform)
+        .evaluate(platform, plan, service)
+        .rho
+}
+
+/// Measurement windows for figure generation: full by default, shrunk in
+/// fast mode.
+pub fn sim_config(fast: bool) -> SimConfig {
+    if fast {
+        SimConfig::paper().with_windows(Seconds(2.0), Seconds(6.0))
+    } else {
+        SimConfig::paper().with_windows(Seconds(5.0), Seconds(20.0))
+    }
+}
+
+/// The paper's four Table 4 rows: `(dgemm, total nodes, paper's optimal
+/// degree, paper's homogeneous-model degree, paper's heuristic degree,
+/// paper's heuristic %)`.
+pub fn table4_rows() -> [(Dgemm, usize, usize, usize, usize, f64); 4] {
+    [
+        (Dgemm::new(10), 21, 1, 1, 1, 100.0),
+        (Dgemm::new(100), 25, 2, 2, 2, 100.0),
+        (Dgemm::new(310), 45, 15, 22, 33, 89.0),
+        (Dgemm::new(1000), 21, 20, 20, 20, 100.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orsay_is_deterministic_and_heterogeneous() {
+        let a = orsay200(42);
+        let b = orsay200(42);
+        assert_eq!(a, b);
+        assert!(!a.is_homogeneous_compute());
+        assert_eq!(a.node_count(), 200);
+    }
+
+    #[test]
+    fn lyon_star_shapes() {
+        let (platform, plan) = lyon_star(2);
+        assert_eq!(platform.node_count(), 3);
+        assert_eq!(plan.server_count(), 2);
+    }
+
+    #[test]
+    fn contenders_cover_three_shapes_on_200_nodes() {
+        let platform = orsay200(1);
+        let svc = Dgemm::new(310).service();
+        let c = contenders(&platform, &svc);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[1].0, "star");
+    }
+
+    #[test]
+    fn table4_matches_paper_citations() {
+        let rows = table4_rows();
+        assert_eq!(rows[2].4, 33, "paper's heuristic degree for dgemm-310");
+        assert_eq!(rows[2].5, 89.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Console tables and CSV output.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple aligned table: header row plus string rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header arity.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>width$}", width = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Writes the table as CSV to `path`.
+    ///
+    /// # Panics
+    /// Panics if the file cannot be written (experiment harness context).
+    pub fn to_csv(&self, path: &Path) {
+        let mut out = String::new();
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        out.push_str(&self.headers.iter().map(esc).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        std::fs::write(path, out).expect("CSV file is writable");
+    }
+}
+
+/// Convenience: write headers+rows straight to a CSV file.
+pub fn write_csv<S: Into<String> + Clone>(path: &Path, headers: Vec<S>, rows: Vec<Vec<String>>) {
+    let mut t = Table::new(headers);
+    for r in rows {
+        t.row(r);
+    }
+    t.to_csv(path);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(vec!["clients", "rho"]);
+        t.row(vec!["1", "100.5"]);
+        t.row(vec!["200", "9.1"]);
+        let r = t.render();
+        assert!(r.contains("clients"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let dir = std::env::temp_dir().join("adept-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a,b".to_string(), "1".to_string()]);
+        t.to_csv(&path);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"a,b\",1"));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(vec!["x"]);
+        assert!(t.is_empty());
+        t.row(vec!["1"]);
+        assert_eq!(t.len(), 1);
+    }
+}

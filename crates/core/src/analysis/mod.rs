@@ -1,0 +1,122 @@
+//! Throughput reports and bottleneck identification.
+//!
+//! The paper's Eq. 16 takes a three-way minimum; knowing *which* term binds
+//! is what drives both the heuristic (grow servers vs. stop) and the
+//! iterative improvement of the authors' earlier work \[7\] ("identify the
+//! primary bottleneck, and remove the bottleneck by adding resources in the
+//! appropriate area of the system").
+
+use adept_hierarchy::Slot;
+use adept_platform::NodeId;
+use std::fmt;
+
+pub mod sensitivity;
+
+pub use sensitivity::{sensitivities, Sensitivity, SensitivityReport};
+
+/// The element limiting a deployment's throughput.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bottleneck {
+    /// An agent's scheduling cycle binds (second term of Eq. 14): the
+    /// deployment is **agent-limited**, as in the paper's DGEMM 10
+    /// experiments (Figures 2–3).
+    AgentSched {
+        /// Plan slot of the limiting agent.
+        slot: Slot,
+        /// Platform node of the limiting agent.
+        node: NodeId,
+    },
+    /// A server's prediction cycle binds (first term of Eq. 14). With the
+    /// paper's calibration this never happens (predictions are cheap), but
+    /// the model supports it.
+    ServerPrediction {
+        /// Plan slot of the limiting server.
+        slot: Slot,
+        /// Platform node of the limiting server.
+        node: NodeId,
+    },
+    /// The collective service capacity binds (Eq. 15): the deployment is
+    /// **server-limited**, as in the paper's DGEMM 200/1000 experiments
+    /// (Figures 4–5, 7).
+    ServiceCapacity,
+}
+
+impl fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bottleneck::AgentSched { slot, node } => {
+                write!(f, "agent-limited (agent {slot} on {node})")
+            }
+            Bottleneck::ServerPrediction { slot, node } => {
+                write!(f, "prediction-limited (server {slot} on {node})")
+            }
+            Bottleneck::ServiceCapacity => write!(f, "server-limited (service capacity)"),
+        }
+    }
+}
+
+/// Model evaluation of one deployment (Eq. 13–16).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputReport {
+    /// Completed-request throughput `ρ = min(ρ_sched, ρ_service)` (Eq. 16).
+    pub rho: f64,
+    /// Scheduling throughput `ρ_sched` (Eq. 14).
+    pub rho_sched: f64,
+    /// Service throughput `ρ_service` (Eq. 15).
+    pub rho_service: f64,
+    /// The binding element.
+    pub bottleneck: Bottleneck,
+}
+
+impl ThroughputReport {
+    /// True when the deployment is limited by scheduling (agent or
+    /// prediction), i.e. adding servers will not help.
+    pub fn is_sched_limited(&self) -> bool {
+        !matches!(self.bottleneck, Bottleneck::ServiceCapacity)
+    }
+}
+
+impl fmt::Display for ThroughputReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ρ = {:.2} req/s (sched {:.2}, service {:.2}; {})",
+            self.rho, self.rho_sched, self.rho_service, self.bottleneck
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let r = ThroughputReport {
+            rho: 100.0,
+            rho_sched: 100.0,
+            rho_service: 250.0,
+            bottleneck: Bottleneck::AgentSched {
+                slot: Slot(0),
+                node: NodeId(3),
+            },
+        };
+        let s = r.to_string();
+        assert!(s.contains("100.00"));
+        assert!(s.contains("agent-limited"));
+        assert!(s.contains("n3"));
+        assert!(r.is_sched_limited());
+    }
+
+    #[test]
+    fn service_capacity_is_not_sched_limited() {
+        let r = ThroughputReport {
+            rho: 10.0,
+            rho_sched: 50.0,
+            rho_service: 10.0,
+            bottleneck: Bottleneck::ServiceCapacity,
+        };
+        assert!(!r.is_sched_limited());
+        assert!(r.to_string().contains("server-limited"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Sensitivity analysis: how much does the modelled throughput move when
+//! one calibration parameter moves?
+//!
+//! Deployment planning is only as good as its calibration (the paper
+//! spent a whole section measuring Table 3). This module quantifies the
+//! exposure: for each scalar input it computes the **elasticity**
+//! `(dρ/ρ)/(dp/p)` by central finite differences, telling the operator
+//! which parameters are worth re-measuring carefully and which barely
+//! matter for a given deployment.
+
+use crate::model::ModelParams;
+use adept_hierarchy::DeploymentPlan;
+use adept_platform::{Mbit, MbitRate, Mflop, Platform};
+use adept_workload::ServiceSpec;
+use std::fmt;
+
+/// One parameter's sensitivity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sensitivity {
+    /// Parameter name (as in the paper's Table 3).
+    pub parameter: &'static str,
+    /// Elasticity of ρ with respect to the parameter: +1 means "1 %
+    /// more of this gives 1 % more throughput"; 0 means insensitive.
+    pub elasticity: f64,
+}
+
+/// Sensitivity report over all calibration scalars plus bandwidth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityReport {
+    /// One entry per parameter, sorted by descending |elasticity|.
+    pub entries: Vec<Sensitivity>,
+}
+
+impl SensitivityReport {
+    /// The most influential parameter.
+    pub fn dominant(&self) -> &Sensitivity {
+        &self.entries[0]
+    }
+}
+
+impl fmt::Display for SensitivityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            writeln!(f, "{:>6}: elasticity {:+.3}", e.parameter, e.elasticity)?;
+        }
+        Ok(())
+    }
+}
+
+/// Relative step for the central differences.
+const STEP: f64 = 1e-3;
+
+fn elasticity<F>(base_rho: f64, base_value: f64, mut eval_with: F) -> f64
+where
+    F: FnMut(f64) -> f64,
+{
+    if base_value == 0.0 || base_rho == 0.0 {
+        return 0.0;
+    }
+    let up = eval_with(base_value * (1.0 + STEP));
+    let down = eval_with(base_value * (1.0 - STEP));
+    ((up - down) / base_rho) / (2.0 * STEP)
+}
+
+/// Computes the sensitivity of a deployment's modelled ρ (Eq. 16) to each
+/// calibration parameter and to the bandwidth `B`.
+pub fn sensitivities(
+    params: &ModelParams,
+    platform: &Platform,
+    plan: &DeploymentPlan,
+    service: &ServiceSpec,
+) -> SensitivityReport {
+    let base = params.evaluate(platform, plan, service).rho;
+    let rho_with = |p: ModelParams| p.evaluate(platform, plan, service).rho;
+
+    let mut entries = vec![
+        Sensitivity {
+            parameter: "Wreq",
+            elasticity: elasticity(base, params.calibration.agent.wreq.value(), |v| {
+                let mut p = *params;
+                p.calibration.agent.wreq = Mflop(v);
+                rho_with(p)
+            }),
+        },
+        Sensitivity {
+            parameter: "Wfix",
+            elasticity: elasticity(base, params.calibration.agent.wfix.value(), |v| {
+                let mut p = *params;
+                p.calibration.agent.wfix = Mflop(v);
+                rho_with(p)
+            }),
+        },
+        Sensitivity {
+            parameter: "Wsel",
+            elasticity: elasticity(base, params.calibration.agent.wsel.value(), |v| {
+                let mut p = *params;
+                p.calibration.agent.wsel = Mflop(v);
+                rho_with(p)
+            }),
+        },
+        Sensitivity {
+            parameter: "Wpre",
+            elasticity: elasticity(base, params.calibration.server.wpre.value(), |v| {
+                let mut p = *params;
+                p.calibration.server.wpre = Mflop(v);
+                rho_with(p)
+            }),
+        },
+        Sensitivity {
+            parameter: "Sreq_a",
+            elasticity: elasticity(base, params.calibration.agent.sreq.value(), |v| {
+                let mut p = *params;
+                p.calibration.agent.sreq = Mbit(v);
+                rho_with(p)
+            }),
+        },
+        Sensitivity {
+            parameter: "Srep_a",
+            elasticity: elasticity(base, params.calibration.agent.srep.value(), |v| {
+                let mut p = *params;
+                p.calibration.agent.srep = Mbit(v);
+                rho_with(p)
+            }),
+        },
+        Sensitivity {
+            parameter: "B",
+            elasticity: elasticity(base, params.bandwidth.value(), |v| {
+                let mut p = *params;
+                p.bandwidth = MbitRate(v);
+                rho_with(p)
+            }),
+        },
+        Sensitivity {
+            parameter: "Wapp",
+            elasticity: elasticity(base, service.wapp.value(), |v| {
+                let svc = ServiceSpec::new(service.name.clone(), Mflop(v));
+                params.evaluate(platform, plan, &svc).rho
+            }),
+        },
+    ];
+    entries.sort_by(|a, b| {
+        b.elasticity
+            .abs()
+            .partial_cmp(&a.elasticity.abs())
+            .expect("finite elasticities")
+    });
+    SensitivityReport { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adept_hierarchy::builder::star;
+    use adept_platform::generator::lyon_cluster;
+    use adept_platform::NodeId;
+    use adept_workload::Dgemm;
+
+    fn ids(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    fn report(n: u32, dgemm: u32) -> SensitivityReport {
+        let platform = lyon_cluster(n as usize);
+        let plan = star(&ids(n));
+        let svc = Dgemm::new(dgemm).service();
+        sensitivities(
+            &ModelParams::from_platform(&platform),
+            &platform,
+            &plan,
+            &svc,
+        )
+    }
+
+    fn entry<'r>(r: &'r SensitivityReport, name: &str) -> &'r Sensitivity {
+        r.entries
+            .iter()
+            .find(|e| e.parameter == name)
+            .expect("parameter present")
+    }
+
+    #[test]
+    fn agent_limited_deployment_is_wreq_sensitive() {
+        // DGEMM 10 star: agent-bound; Wreq dominates the agent cycle.
+        let r = report(3, 10);
+        assert!(entry(&r, "Wreq").elasticity < -0.5, "{r}");
+        // Wapp is irrelevant when service capacity is not binding.
+        assert_eq!(entry(&r, "Wapp").elasticity, 0.0, "{r}");
+        assert_eq!(r.dominant().parameter, "Wreq");
+    }
+
+    #[test]
+    fn server_limited_deployment_is_wapp_sensitive() {
+        // DGEMM 1000 star: service-bound; Wapp is everything.
+        let r = report(3, 1000);
+        assert!(entry(&r, "Wapp").elasticity < -0.9, "{r}");
+        assert_eq!(entry(&r, "Wreq").elasticity, 0.0, "{r}");
+    }
+
+    #[test]
+    fn elasticity_signs_are_physical() {
+        let r = report(5, 310);
+        // Cost parameters can only reduce throughput; bandwidth can only
+        // raise it.
+        for name in ["Wreq", "Wfix", "Wsel", "Wpre", "Sreq_a", "Srep_a", "Wapp"] {
+            assert!(
+                entry(&r, name).elasticity <= 1e-9,
+                "{name} must not have positive elasticity\n{r}"
+            );
+        }
+        assert!(entry(&r, "B").elasticity >= 0.0, "{r}");
+    }
+
+    #[test]
+    fn report_sorted_by_magnitude_and_displays() {
+        let r = report(4, 310);
+        for w in r.entries.windows(2) {
+            assert!(w[0].elasticity.abs() >= w[1].elasticity.abs());
+        }
+        let text = r.to_string();
+        assert!(text.contains("elasticity"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Communication model — paper Equations 1–4.
+//!
+//! Links are homogeneous with bandwidth `B`; under the single-port
+//! `M(r,s,w)` model, messages are sent and received serially, so the
+//! per-request communication time of a resource is the sum over the
+//! messages it handles. Message sizes are per-tier (paper Table 3 gives
+//! distinct `Sreq`/`Srep` for the agent and server tiers).
+//!
+//! An optional fixed per-message latency is added uniformly (zero in the
+//! paper's model).
+
+use super::ModelParams;
+use adept_platform::Seconds;
+
+/// Eq. 1 — time for an agent with `d` children to **receive** all messages
+/// of one request: the request from its parent plus one reply from each
+/// child:
+///
+/// ```text
+/// agent_receive_time = (Sreq + d · Srep) / B
+/// ```
+pub fn agent_receive_time(params: &ModelParams, children: usize) -> Seconds {
+    let a = &params.calibration.agent;
+    let d = children as f64;
+    (a.sreq + a.srep * d) / params.bandwidth + params.latency * (1.0 + d)
+}
+
+/// Eq. 2 — time for an agent with `d` children to **send** all messages of
+/// one request: the request to each child plus one reply to its parent:
+///
+/// ```text
+/// agent_send_time = (d · Sreq + Srep) / B
+/// ```
+pub fn agent_send_time(params: &ModelParams, children: usize) -> Seconds {
+    let a = &params.calibration.agent;
+    let d = children as f64;
+    (a.sreq * d + a.srep) / params.bandwidth + params.latency * (1.0 + d)
+}
+
+/// Eq. 3 — time for a server to receive one scheduling request:
+/// `Sreq / B`.
+pub fn server_receive_time(params: &ModelParams) -> Seconds {
+    params.calibration.server.sreq / params.bandwidth + params.latency
+}
+
+/// Eq. 4 — time for a server to send one scheduling reply: `Srep / B`.
+pub fn server_send_time(params: &ModelParams) -> Seconds {
+    params.calibration.server.srep / params.bandwidth + params.latency
+}
+
+/// Combined service-phase transfer time per request, `(Sreq + Srep)/B` with
+/// the server-tier sizes — the communication term of Eq. 15.
+pub fn service_transfer_time(params: &ModelParams) -> Seconds {
+    server_receive_time(params) + server_send_time(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adept_platform::{MbitRate, Seconds};
+
+    fn params() -> ModelParams {
+        ModelParams::new(MbitRate(100.0))
+    }
+
+    #[test]
+    fn eq1_agent_receive_grows_linearly_with_children() {
+        let p = params();
+        // (5.3e-3 + d*5.4e-3)/100
+        let t0 = agent_receive_time(&p, 0).value();
+        let t1 = agent_receive_time(&p, 1).value();
+        let t10 = agent_receive_time(&p, 10).value();
+        assert!((t0 - 5.3e-5).abs() < 1e-12);
+        assert!((t1 - (5.3e-3 + 5.4e-3) / 100.0).abs() < 1e-12);
+        assert!(((t10 - t0) - 10.0 * (t1 - t0)).abs() < 1e-12, "linear in d");
+    }
+
+    #[test]
+    fn eq2_agent_send_mirrors_receive() {
+        let p = params();
+        // Send: (d*Sreq + Srep)/B, receive: (Sreq + d*Srep)/B — equal when
+        // d == 1 regardless of sizes.
+        assert!(
+            (agent_send_time(&p, 1).value() - agent_receive_time(&p, 1).value()).abs() < 1e-15
+        );
+        // At d=0 they differ by (Srep - Sreq)/B.
+        let diff = agent_send_time(&p, 0).value() - agent_receive_time(&p, 0).value();
+        assert!((diff - (5.4e-3 - 5.3e-3) / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq3_eq4_server_transfer_times() {
+        let p = params();
+        assert!((server_receive_time(&p).value() - 5.3e-5 / 100.0).abs() < 1e-15);
+        assert!((server_send_time(&p).value() - 6.4e-5 / 100.0).abs() < 1e-15);
+        assert!(
+            (service_transfer_time(&p).value()
+                - (server_receive_time(&p) + server_send_time(&p)).value())
+            .abs()
+                < 1e-18
+        );
+    }
+
+    #[test]
+    fn latency_adds_per_message() {
+        let p = params().with_latency(Seconds(1e-3));
+        let base = params();
+        // Agent with 3 children receives 4 messages per request.
+        let delta =
+            agent_receive_time(&p, 3).value() - agent_receive_time(&base, 3).value();
+        assert!((delta - 4e-3).abs() < 1e-12);
+        // Server receives one message.
+        let delta_s = server_receive_time(&p).value() - server_receive_time(&base).value();
+        assert!((delta_s - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_scales_inversely() {
+        let slow = ModelParams::new(MbitRate(10.0));
+        let fast = ModelParams::new(MbitRate(1000.0));
+        let ratio =
+            agent_receive_time(&slow, 5).value() / agent_receive_time(&fast, 5).value();
+        assert!((ratio - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,152 @@
+//! Computation model — paper Equations 5 and 10.
+
+use super::ModelParams;
+use adept_platform::{MflopRate, Seconds};
+use adept_workload::ServiceSpec;
+
+/// Eq. 5 — per-request computation time of an agent with `d` children on a
+/// node of power `w`:
+///
+/// ```text
+/// agent_comp_time = (Wreq + Wrep(d)) / w,   Wrep(d) = Wfix + Wsel · d
+/// ```
+pub fn agent_comp_time(params: &ModelParams, power: MflopRate, children: usize) -> Seconds {
+    params.calibration.agent.total_compute(children) / power
+}
+
+/// Per-request prediction time of a server on a node of power `w`:
+/// `Wpre / w` (the computation part of the server term of Eq. 14).
+pub fn server_prediction_time(params: &ModelParams, power: MflopRate) -> Seconds {
+    params.calibration.server.wpre / power
+}
+
+/// Eq. 10 — steady-state time for the server set to complete **one**
+/// service request when load is divided optimally:
+///
+/// ```text
+///                    1 + Σ_i Wpre_i / Wapp_i
+/// server_comp_time = ----------------------
+///                      Σ_i w_i / Wapp_i
+/// ```
+///
+/// Every server predicts every request (numerator's Σ Wpre/Wapp term) but
+/// only executes its share `N_i` (Eq. 6–9). With a single service, `Wapp`
+/// is uniform, but the implementation keeps the per-server form so that
+/// mixed-capability deployments evaluate correctly.
+///
+/// Returns `None` when the iterator yields no server (an empty deployment
+/// has no service capacity, not infinite capacity).
+pub fn server_comp_time<I>(params: &ModelParams, service: &ServiceSpec, powers: I) -> Option<Seconds>
+where
+    I: IntoIterator<Item = MflopRate>,
+{
+    let wpre = params.calibration.server.wpre;
+    let wapp = service.wapp;
+    let mut numerator = 1.0;
+    let mut denominator = 0.0;
+    let mut any = false;
+    for w in powers {
+        any = true;
+        numerator += wpre / wapp;
+        denominator += w.value() / wapp.value();
+    }
+    if !any {
+        return None;
+    }
+    Some(Seconds(numerator / denominator))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adept_platform::{MbitRate, Mflop};
+    use adept_workload::Dgemm;
+
+    fn params() -> ModelParams {
+        ModelParams::new(MbitRate(100.0))
+    }
+
+    #[test]
+    fn eq5_agent_compute() {
+        let p = params();
+        // (0.17 + 0.004 + 5*0.0054) / 400
+        let t = agent_comp_time(&p, MflopRate(400.0), 5);
+        assert!((t.value() - (0.17 + 0.004 + 0.027) / 400.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn agent_compute_scales_with_power() {
+        let p = params();
+        let slow = agent_comp_time(&p, MflopRate(100.0), 2);
+        let fast = agent_comp_time(&p, MflopRate(400.0), 2);
+        assert!((slow.value() / fast.value() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_time() {
+        let p = params();
+        let t = server_prediction_time(&p, MflopRate(400.0));
+        assert!((t.value() - 0.0064 / 400.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn eq10_single_homogeneous_server() {
+        let p = params();
+        let svc = Dgemm::new(100).service(); // Wapp = 2 MFlop
+        let t = server_comp_time(&p, &svc, [MflopRate(400.0)]).unwrap();
+        // (1 + 0.0064/2) / (400/2) = 1.0032/200
+        assert!((t.value() - 1.0032 / 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq10_k_homogeneous_servers_scale_service() {
+        let p = params();
+        let svc = Dgemm::new(1000).service(); // Wapp = 2000 MFlop
+        let one = server_comp_time(&p, &svc, vec![MflopRate(400.0)]).unwrap();
+        let four =
+            server_comp_time(&p, &svc, vec![MflopRate(400.0); 4]).unwrap();
+        // Four equal servers are (almost exactly) 4x faster; the Wpre
+        // correction is relatively tiny.
+        let speedup = one.value() / four.value();
+        assert!((speedup - 4.0).abs() < 0.01, "speedup {speedup}");
+    }
+
+    #[test]
+    fn eq10_heterogeneous_servers_weight_by_power() {
+        let p = params();
+        let svc = ServiceSpec::new("app", Mflop(10.0));
+        let t = server_comp_time(
+            &p,
+            &svc,
+            [MflopRate(100.0), MflopRate(300.0)],
+        )
+        .unwrap();
+        // numerator = 1 + 2*(0.0064/10); denominator = (100+300)/10 = 40.
+        let expected = (1.0 + 2.0 * 0.00064) / 40.0;
+        assert!((t.value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq10_no_servers_is_none() {
+        let p = params();
+        let svc = Dgemm::new(10).service();
+        assert!(server_comp_time(&p, &svc, std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn adding_a_server_never_slows_service() {
+        let p = params();
+        let svc = Dgemm::new(310).service();
+        let mut powers = vec![MflopRate(400.0)];
+        let mut prev = server_comp_time(&p, &svc, powers.clone()).unwrap();
+        for _ in 0..20 {
+            powers.push(MflopRate(150.0));
+            let next = server_comp_time(&p, &svc, powers.clone()).unwrap();
+            assert!(
+                next.value() <= prev.value() + 1e-15,
+                "service time must be non-increasing in servers"
+            );
+            prev = next;
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Multi-service deployments — the paper's last future-work item
+//! ("deploy several middlewares and/or applications on grid").
+//!
+//! The hierarchy is shared: every request, whatever its service, crosses
+//! every agent, so `ρ_sched` (Eq. 14) is unchanged. The servers are
+//! **partitioned**: a server hosts exactly one service of the mix and
+//! only contributes to that service's Eq. 15 capacity. With request
+//! shares `f_j`, the deployment sustains a completed-mix rate
+//!
+//! ```text
+//! ρ = min( ρ_sched , min_j ρ_service_j / f_j )
+//! ```
+//!
+//! — the service whose capacity is smallest *relative to its share* caps
+//! the whole mix (requests are not reorderable across services).
+//!
+//! [`partition_servers`] chooses the partition: servers are dealt out
+//! strongest-first, each to the service with the currently smallest
+//! share-normalized capacity — the same waterfill idea the planners use
+//! for degrees, and exchange-optimal for the max-min objective for the
+//! same reason.
+
+use super::{throughput, ModelParams};
+use adept_hierarchy::{DeploymentPlan, Slot};
+use adept_platform::{NodeId, Platform};
+use adept_workload::ServiceMix;
+use std::collections::BTreeMap;
+
+/// Which service each server node hosts (index into the mix).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServerAssignment {
+    /// Service index per server node.
+    pub service_of: BTreeMap<NodeId, usize>,
+}
+
+impl ServerAssignment {
+    /// The service hosted by `node`, if it is an assigned server.
+    pub fn service(&self, node: NodeId) -> Option<usize> {
+        self.service_of.get(&node).copied()
+    }
+
+    /// Number of servers assigned to service `j`.
+    pub fn count_for(&self, j: usize) -> usize {
+        self.service_of.values().filter(|&&s| s == j).count()
+    }
+}
+
+/// Evaluation of a multi-service deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixReport {
+    /// Completed-mix throughput (requests/second, all services combined).
+    pub rho: f64,
+    /// Shared scheduling throughput (Eq. 14).
+    pub rho_sched: f64,
+    /// Per-service service throughput (Eq. 15 over the service's
+    /// partition).
+    pub rho_service: Vec<f64>,
+    /// Index of the binding service (`None` when scheduling binds).
+    pub binding_service: Option<usize>,
+}
+
+/// Evaluates a deployment + assignment under a mix.
+///
+/// # Panics
+/// Panics if the assignment references a service outside the mix.
+pub fn evaluate_mix(
+    params: &ModelParams,
+    platform: &Platform,
+    plan: &DeploymentPlan,
+    mix: &ServiceMix,
+    assignment: &ServerAssignment,
+) -> MixReport {
+    let (rho_sched, _) = throughput::sched_throughput(params, platform, plan);
+    let mut rho_service = Vec::with_capacity(mix.len());
+    for j in 0..mix.len() {
+        let powers = plan.servers().filter_map(|s: Slot| {
+            let node = plan.node(s);
+            (assignment.service(node) == Some(j)).then(|| platform.power(node))
+        });
+        rho_service.push(throughput::hier_ser_pow(params, mix.service(j), powers));
+    }
+    let mut rho = rho_sched;
+    let mut binding = None;
+    for (j, &rs) in rho_service.iter().enumerate() {
+        let capped = rs / mix.share(j);
+        if capped < rho {
+            rho = capped;
+            binding = Some(j);
+        }
+    }
+    MixReport {
+        rho,
+        rho_sched,
+        rho_service,
+        binding_service: binding,
+    }
+}
+
+/// Partitions a plan's servers among the mix's services: strongest-first
+/// waterfill onto the service with the smallest share-normalized capacity.
+///
+/// # Panics
+/// Panics if the plan has fewer servers than the mix has services (every
+/// service needs at least one server).
+pub fn partition_servers(
+    params: &ModelParams,
+    platform: &Platform,
+    plan: &DeploymentPlan,
+    mix: &ServiceMix,
+) -> ServerAssignment {
+    let mut servers: Vec<NodeId> = plan.servers().map(|s| plan.node(s)).collect();
+    assert!(
+        servers.len() >= mix.len(),
+        "need at least one server per service: {} servers for {} services",
+        servers.len(),
+        mix.len()
+    );
+    servers.sort_by(|&a, &b| {
+        platform
+            .power(b)
+            .value()
+            .partial_cmp(&platform.power(a).value())
+            .expect("powers are finite")
+            .then(a.cmp(&b))
+    });
+    let mut assignment = ServerAssignment::default();
+    let mut powers_for: Vec<Vec<adept_platform::MflopRate>> = vec![Vec::new(); mix.len()];
+    for node in servers {
+        // Current share-normalized capacity per service; assign to the
+        // most starved one.
+        let starved = (0..mix.len())
+            .map(|j| {
+                let rho = throughput::hier_ser_pow(
+                    params,
+                    mix.service(j),
+                    powers_for[j].iter().copied(),
+                );
+                (j, rho / mix.share(j))
+            })
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("rates are finite"))
+            .map(|(j, _)| j)
+            .expect("mix is non-empty");
+        powers_for[starved].push(platform.power(node));
+        assignment.service_of.insert(node, starved);
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adept_hierarchy::builder::star;
+    use adept_platform::generator::lyon_cluster;
+    use adept_platform::NodeId;
+    use adept_workload::Dgemm;
+
+    fn ids(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    fn setup(n: u32) -> (Platform, DeploymentPlan, ModelParams) {
+        let platform = lyon_cluster(n as usize);
+        let plan = star(&ids(n));
+        let params = ModelParams::from_platform(&platform);
+        (platform, plan, params)
+    }
+
+    #[test]
+    fn single_service_mix_matches_plain_evaluation() {
+        let (platform, plan, params) = setup(9);
+        let svc = Dgemm::new(310).service();
+        let mix = ServiceMix::single(svc.clone());
+        let assignment = partition_servers(&params, &platform, &plan, &mix);
+        assert_eq!(assignment.count_for(0), 8);
+        let report = evaluate_mix(&params, &platform, &plan, &mix, &assignment);
+        let plain = params.evaluate(&platform, &plan, &svc);
+        assert!((report.rho - plain.rho).abs() < 1e-9 * plain.rho);
+        assert!((report.rho_sched - plain.rho_sched).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partition_respects_shares() {
+        // Equal services, 3:1 shares → ~3:1 servers.
+        let (platform, plan, params) = setup(13);
+        let mix = ServiceMix::new(vec![
+            (Dgemm::new(310).service(), 3.0),
+            (Dgemm::new(310).service(), 1.0),
+        ]);
+        let assignment = partition_servers(&params, &platform, &plan, &mix);
+        assert_eq!(assignment.count_for(0) + assignment.count_for(1), 12);
+        assert_eq!(assignment.count_for(0), 9);
+        assert_eq!(assignment.count_for(1), 3);
+    }
+
+    #[test]
+    fn partition_gives_heavy_services_more_capacity() {
+        // Same shares, 10x heavier service → far more servers.
+        let (platform, plan, params) = setup(23);
+        let mix = ServiceMix::new(vec![
+            (Dgemm::new(310).service(), 1.0), // ~60 MFlop
+            (Dgemm::new(144).service(), 1.0), // ~6 MFlop
+        ]);
+        let assignment = partition_servers(&params, &platform, &plan, &mix);
+        assert!(
+            assignment.count_for(0) > assignment.count_for(1) * 3,
+            "heavy service got {} vs light {}",
+            assignment.count_for(0),
+            assignment.count_for(1)
+        );
+    }
+
+    #[test]
+    fn binding_service_is_reported() {
+        let (platform, plan, params) = setup(5);
+        // Give the heavy service a tiny share so it still binds.
+        let mix = ServiceMix::new(vec![
+            (Dgemm::new(1000).service(), 1.0),
+            (Dgemm::new(10).service(), 1.0),
+        ]);
+        let assignment = partition_servers(&params, &platform, &plan, &mix);
+        let report = evaluate_mix(&params, &platform, &plan, &mix, &assignment);
+        assert_eq!(report.binding_service, Some(0), "{report:?}");
+        assert!(report.rho <= report.rho_sched);
+        assert_eq!(report.rho_service.len(), 2);
+    }
+
+    #[test]
+    fn mix_rho_never_exceeds_single_best_service_deployment() {
+        // Sharing a platform across services cannot beat dedicating it to
+        // the lightest service alone.
+        let (platform, plan, params) = setup(11);
+        let light = Dgemm::new(100).service();
+        let mix = ServiceMix::new(vec![
+            (light.clone(), 1.0),
+            (Dgemm::new(1000).service(), 1.0),
+        ]);
+        let assignment = partition_servers(&params, &platform, &plan, &mix);
+        let mixed = evaluate_mix(&params, &platform, &plan, &mix, &assignment);
+        let dedicated = params.evaluate(&platform, &plan, &light);
+        assert!(mixed.rho <= dedicated.rho + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server per service")]
+    fn too_few_servers_rejected() {
+        let (platform, plan, params) = setup(2); // one server
+        let mix = ServiceMix::new(vec![
+            (Dgemm::new(10).service(), 1.0),
+            (Dgemm::new(100).service(), 1.0),
+        ]);
+        let _ = partition_servers(&params, &platform, &plan, &mix);
+    }
+}

@@ -1,0 +1,110 @@
+//! The steady-state throughput model of paper Section 3.
+//!
+//! The model assumes the `M(r,s,w)` machine capability (Chouhan's thesis
+//! \[9\]): a resource has **no internal parallelism** — it can send one
+//! message, receive one message, or compute, one at a time, over a single
+//! port. Under steady state, each resource therefore acts as a pipeline
+//! stage whose cycle time is the *sum* of the times of the operations it
+//! performs per request; the stage's throughput is the inverse of its cycle,
+//! and the deployment's throughput is the minimum over stages.
+//!
+//! Submodules map one-to-one onto the paper:
+//!
+//! * [`comm`] — Equations 1–4 (per-request communication times);
+//! * [`compute`] — Equations 5 and 10 (per-request computation times);
+//! * [`throughput`] — Equations 13–16 (phase and platform throughputs).
+//!
+//! [`ModelParams`] bundles the calibration, bandwidth and latency; its
+//! [`evaluate`](ModelParams::evaluate) method produces a full
+//! `ThroughputReport` for a plan.
+
+pub mod comm;
+pub mod compute;
+pub mod hetero;
+pub mod mix;
+pub mod throughput;
+
+use crate::analysis::ThroughputReport;
+use adept_hierarchy::DeploymentPlan;
+use adept_platform::{MbitRate, MiddlewareCalibration, Platform, Seconds};
+use adept_workload::ServiceSpec;
+
+/// All scalar inputs of the model other than node powers and the tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    /// Middleware calibration (paper Table 3).
+    pub calibration: MiddlewareCalibration,
+    /// Homogeneous link bandwidth `B`.
+    pub bandwidth: MbitRate,
+    /// Fixed per-message latency. The paper's model has none (zero); the
+    /// simulator exposes one, and setting it here keeps predictions
+    /// comparable when it is non-zero.
+    pub latency: Seconds,
+}
+
+impl ModelParams {
+    /// Parameters with the default (Lyon 2008) calibration and an explicit
+    /// bandwidth, zero latency.
+    pub fn new(bandwidth: MbitRate) -> Self {
+        Self {
+            calibration: MiddlewareCalibration::lyon_2008(),
+            bandwidth,
+            latency: Seconds::ZERO,
+        }
+    }
+
+    /// Parameters taken from a platform's network model (the paper's
+    /// planner sees a single uniform bandwidth) and the default calibration.
+    pub fn from_platform(platform: &Platform) -> Self {
+        Self {
+            calibration: MiddlewareCalibration::lyon_2008(),
+            bandwidth: platform.bandwidth(),
+            latency: platform.network().latency(),
+        }
+    }
+
+    /// Replaces the calibration.
+    pub fn with_calibration(mut self, calibration: MiddlewareCalibration) -> Self {
+        self.calibration = calibration;
+        self
+    }
+
+    /// Replaces the per-message latency.
+    pub fn with_latency(mut self, latency: Seconds) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Full model evaluation of a plan: `ρ`, both phase throughputs, and
+    /// the bottleneck element (paper Eq. 16).
+    pub fn evaluate(
+        &self,
+        platform: &Platform,
+        plan: &DeploymentPlan,
+        service: &ServiceSpec,
+    ) -> ThroughputReport {
+        throughput::evaluate(self, platform, plan, service)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adept_platform::generator::lyon_cluster;
+
+    #[test]
+    fn from_platform_picks_up_bandwidth() {
+        let p = lyon_cluster(4);
+        let m = ModelParams::from_platform(&p);
+        assert_eq!(m.bandwidth, p.bandwidth());
+        assert_eq!(m.latency, Seconds::ZERO);
+        assert_eq!(m.calibration, MiddlewareCalibration::lyon_2008());
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let m = ModelParams::new(MbitRate(42.0)).with_latency(Seconds(0.5));
+        assert_eq!(m.bandwidth, MbitRate(42.0));
+        assert_eq!(m.latency, Seconds(0.5));
+    }
+}

@@ -1,0 +1,272 @@
+//! Phase and platform throughputs — paper Equations 13–16.
+
+use super::comm;
+use super::compute;
+use super::ModelParams;
+use crate::analysis::{Bottleneck, ThroughputReport};
+use adept_hierarchy::{DeploymentPlan, Role};
+#[cfg(test)]
+use adept_hierarchy::Slot;
+use adept_platform::{MflopRate, Platform, Seconds};
+use adept_workload::ServiceSpec;
+
+/// Full per-request **cycle time** of an agent with `d` children on a node
+/// of power `w`: receive everything (Eq. 1), send everything (Eq. 2) and
+/// compute (Eq. 5). Under the single-port `M(r,s,w)` model these serialize,
+/// so the agent sustains one request per cycle — the inverse of the second
+/// term of Eq. 14.
+pub fn agent_cycle(params: &ModelParams, power: MflopRate, children: usize) -> Seconds {
+    comm::agent_receive_time(params, children)
+        + comm::agent_send_time(params, children)
+        + compute::agent_comp_time(params, power, children)
+}
+
+/// Scheduling-phase cycle of a server on power `w`: receive the request
+/// (Eq. 3), predict (`Wpre/w`), send the reply (Eq. 4) — the inverse of the
+/// first term of Eq. 14.
+pub fn server_prediction_cycle(params: &ModelParams, power: MflopRate) -> Seconds {
+    comm::server_receive_time(params)
+        + compute::server_prediction_time(params, power)
+        + comm::server_send_time(params)
+}
+
+/// Scheduling power of a node acting as an agent with `d` children — the
+/// heuristic's `calc_sch_pow` procedure (paper Table 1). In requests per
+/// second.
+pub fn sch_pow(params: &ModelParams, power: MflopRate, children: usize) -> f64 {
+    agent_cycle(params, power, children).throughput()
+}
+
+/// Service power of a server set — the heuristic's `calc_hier_ser_pow`
+/// procedure ("servicing power provided by the hierarchy when load is
+/// equally divided among the servers", paper Table 1): Eq. 15 as a rate.
+/// `0.0` for an empty set.
+pub fn hier_ser_pow<I>(params: &ModelParams, service: &ServiceSpec, server_powers: I) -> f64
+where
+    I: IntoIterator<Item = MflopRate>,
+{
+    match compute::server_comp_time(params, service, server_powers) {
+        None => 0.0,
+        Some(t) => (comm::service_transfer_time(params) + t).throughput(),
+    }
+}
+
+/// Eq. 14 — scheduling throughput of a deployment: the minimum over all
+/// agents' cycles and all servers' prediction cycles. Returns the rate and
+/// the arg-min element.
+pub fn sched_throughput(
+    params: &ModelParams,
+    platform: &Platform,
+    plan: &DeploymentPlan,
+) -> (f64, Bottleneck) {
+    let mut worst = Seconds::ZERO;
+    let mut who = Bottleneck::ServiceCapacity; // replaced below; a plan always has a root agent
+    for slot in plan.slots() {
+        let node = plan.node(slot);
+        let power = platform.power(node);
+        let cycle = match plan.role(slot) {
+            Role::Agent => agent_cycle(params, power, plan.degree(slot)),
+            Role::Server => server_prediction_cycle(params, power),
+        };
+        if cycle > worst {
+            worst = cycle;
+            who = match plan.role(slot) {
+                Role::Agent => Bottleneck::AgentSched { slot, node },
+                Role::Server => Bottleneck::ServerPrediction { slot, node },
+            };
+        }
+    }
+    (worst.throughput(), who)
+}
+
+/// Eq. 15 — service throughput of a deployment: collective capacity of its
+/// servers plus the service-phase transfer. `0.0` when the plan has no
+/// servers.
+pub fn service_throughput(
+    params: &ModelParams,
+    platform: &Platform,
+    plan: &DeploymentPlan,
+    service: &ServiceSpec,
+) -> f64 {
+    hier_ser_pow(
+        params,
+        service,
+        plan.servers().map(|s| platform.power(plan.node(s))),
+    )
+}
+
+/// Eq. 16 — completed-request throughput and bottleneck of a deployment.
+pub fn evaluate(
+    params: &ModelParams,
+    platform: &Platform,
+    plan: &DeploymentPlan,
+    service: &ServiceSpec,
+) -> ThroughputReport {
+    let (rho_sched, sched_bottleneck) = sched_throughput(params, platform, plan);
+    let rho_service = service_throughput(params, platform, plan, service);
+    if rho_sched <= rho_service {
+        ThroughputReport {
+            rho: rho_sched,
+            rho_sched,
+            rho_service,
+            bottleneck: sched_bottleneck,
+        }
+    } else {
+        ThroughputReport {
+            rho: rho_service,
+            rho_sched,
+            rho_service,
+            bottleneck: Bottleneck::ServiceCapacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adept_hierarchy::builder::{csd_tree, star};
+    use adept_platform::generator::lyon_cluster;
+    use adept_platform::{MbitRate, NodeId};
+    use adept_workload::Dgemm;
+
+    fn params() -> ModelParams {
+        ModelParams::new(MbitRate(100.0))
+    }
+
+    fn ids(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn agent_cycle_matches_hand_computation() {
+        // w=400, d=2: compute (0.17+0.004+0.0108)/400, recv (5.3e-3+2*5.4e-3)/100,
+        // send (2*5.3e-3+5.4e-3)/100.
+        let c = agent_cycle(&params(), MflopRate(400.0), 2);
+        let expected = (0.17 + 0.004 + 0.0108) / 400.0
+            + (5.3e-3 + 10.8e-3) / 100.0
+            + (10.6e-3 + 5.4e-3) / 100.0;
+        assert!((c.value() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn agent_cycle_increases_with_degree() {
+        let p = params();
+        let mut prev = agent_cycle(&p, MflopRate(400.0), 1);
+        for d in 2..50 {
+            let next = agent_cycle(&p, MflopRate(400.0), d);
+            assert!(next > prev, "cycle must grow with degree");
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn sched_throughput_of_star_binds_at_root() {
+        let platform = lyon_cluster(10);
+        let plan = star(&ids(10));
+        let (rho, who) = sched_throughput(&params(), &platform, &plan);
+        assert!(rho > 0.0);
+        match who {
+            Bottleneck::AgentSched { slot, .. } => assert_eq!(slot, Slot(0)),
+            other => panic!("star should be agent-bound, got {other:?}"),
+        }
+        // And it matches the closed form for the root's degree.
+        let direct = sch_pow(&params(), MflopRate(400.0), 9);
+        assert!((rho - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dgemm10_is_agent_limited_and_second_server_hurts() {
+        // The paper's Figure 2–3 scenario.
+        let platform = lyon_cluster(3);
+        let svc = Dgemm::new(10).service();
+        let p = params();
+        let one = evaluate(&p, &platform, &star(&ids(2)), &svc);
+        let two = evaluate(&p, &platform, &star(&ids(3)), &svc);
+        assert!(one.is_sched_limited());
+        assert!(two.is_sched_limited());
+        assert!(
+            two.rho < one.rho,
+            "adding a second server must hurt an agent-limited deployment: {} vs {}",
+            two.rho,
+            one.rho
+        );
+    }
+
+    #[test]
+    fn dgemm1000_is_server_limited_and_second_server_doubles() {
+        // The paper's Figure 4–5 regime (large requests).
+        let platform = lyon_cluster(3);
+        let svc = Dgemm::new(1000).service();
+        let p = params();
+        let one = evaluate(&p, &platform, &star(&ids(2)), &svc);
+        let two = evaluate(&p, &platform, &star(&ids(3)), &svc);
+        assert_eq!(one.bottleneck, Bottleneck::ServiceCapacity);
+        assert_eq!(two.bottleneck, Bottleneck::ServiceCapacity);
+        let ratio = two.rho / one.rho;
+        assert!(
+            (ratio - 2.0).abs() < 0.02,
+            "second server should ~double throughput, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn rho_is_min_of_phases() {
+        let platform = lyon_cluster(5);
+        let svc = Dgemm::new(310).service();
+        let r = evaluate(&params(), &platform, &star(&ids(5)), &svc);
+        assert!((r.rho - r.rho_sched.min(r.rho_service)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csd_deep_tree_sched_binds_at_max_degree_agent() {
+        let platform = lyon_cluster(25);
+        let plan = csd_tree(&ids(25), 2);
+        let (rho, _) = sched_throughput(&params(), &platform, &plan);
+        // Homogeneous nodes: every agent of max degree (2) is equivalent;
+        // the rate must equal the closed form at d = 2.
+        let expected = sch_pow(&params(), MflopRate(400.0), 2);
+        assert!((rho - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn service_throughput_zero_without_servers() {
+        let platform = lyon_cluster(2);
+        let plan = DeploymentPlan::with_root(NodeId(0));
+        let svc = Dgemm::new(100).service();
+        assert_eq!(service_throughput(&params(), &platform, &plan, &svc), 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_agent_power_shifts_bottleneck() {
+        use adept_platform::{Network, Platform};
+        let mut b = Platform::builder(Network::homogeneous(MbitRate(100.0)));
+        let s = b.add_site("x");
+        b.add_node("strong", MflopRate(800.0), s).unwrap();
+        b.add_node("weak-agent", MflopRate(50.0), s).unwrap();
+        b.add_node("s1", MflopRate(400.0), s).unwrap();
+        b.add_node("s2", MflopRate(400.0), s).unwrap();
+        let platform = b.build().unwrap();
+        // weak node as mid-agent: root(strong) -> agent(weak) -> 2 servers.
+        let mut plan = DeploymentPlan::with_root(NodeId(0));
+        let mid = plan.add_agent(plan.root(), NodeId(1)).unwrap();
+        plan.add_server(mid, NodeId(2)).unwrap();
+        plan.add_server(mid, NodeId(3)).unwrap();
+        let (_, who) = sched_throughput(&params(), &platform, &plan);
+        match who {
+            Bottleneck::AgentSched { node, .. } => assert_eq!(node, NodeId(1)),
+            other => panic!("weak mid-agent should bind, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hier_ser_pow_matches_eq15_shape() {
+        let p = params();
+        let svc = Dgemm::new(310).service();
+        let one = hier_ser_pow(&p, &svc, [MflopRate(400.0)]);
+        // 1/( (Sreq+Srep)/B + (1 + Wpre/Wapp)/(w/Wapp) )
+        let expected = 1.0
+            / ((5.3e-5 + 6.4e-5) / 100.0
+                + (1.0 + 0.0064 / 59.582) / (400.0 / 59.582));
+        assert!((one - expected).abs() < 1e-9);
+    }
+}

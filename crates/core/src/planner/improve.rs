@@ -1,0 +1,295 @@
+//! Iterative bottleneck removal — the approach of the authors' earlier
+//! work \[6, 7\] (*Automatic Deployment for Hierarchical Network Enabled
+//! Servers*, HCW 2004), recast as a repair pass.
+//!
+//! > "In each iteration, mathematical models are used to analyze the
+//! > existing deployment, identify the primary bottleneck, and remove the
+//! > bottleneck by adding resources in the appropriate area of the
+//! > system." (Section 2)
+//!
+//! Each iteration proposes a change to the **agent set** and keeps the
+//! best strict improvement under the Eq. 16 model:
+//!
+//! * **promote** — the strongest non-agent node joins the agents
+//!   (relieves an agent-scheduling bottleneck by spreading degree);
+//! * **demote** — the weakest agent returns to the server pool (relieves
+//!   a service bottleneck by freeing an over-provisioned level);
+//! * **keep** — the agent set stays, but the server count is re-tuned.
+//!
+//! For every candidate agent set the pass re-tunes the **number of
+//! servers** drawn from the pool (plan servers plus unused platform
+//! nodes, strongest first) and re-realizes the tree with the balanced
+//! waterfill of `realize` — so each move is evaluated
+//! at its best achievable configuration, not just a one-node tweak.
+//!
+//! The pass never returns a worse plan than its input.
+
+use super::realize::realize_balanced;
+use crate::model::ModelParams;
+use adept_hierarchy::DeploymentPlan;
+use adept_platform::{NodeId, Platform};
+use adept_workload::{ClientDemand, ServiceSpec};
+use std::collections::HashSet;
+
+/// Relative tolerance for strict-improvement acceptance.
+const EPS: f64 = 1e-9;
+
+fn by_power_desc(platform: &Platform, ids: &mut [NodeId]) {
+    ids.sort_by(|&a, &b| {
+        platform
+            .power(b)
+            .value()
+            .partial_cmp(&platform.power(a).value())
+            .expect("powers are finite")
+            .then(a.cmp(&b))
+    });
+}
+
+/// Best plan for a fixed agent set, scanning the server count over `pool`
+/// (strongest first). Returns the best `(plan, rho)` if any configuration
+/// is feasible. The scan stops after the unimodal peak.
+fn best_for_agent_set(
+    params: &ModelParams,
+    platform: &Platform,
+    service: &ServiceSpec,
+    agents: &[NodeId],
+    pool: &[NodeId],
+) -> Option<(DeploymentPlan, f64)> {
+    let mut best: Option<(DeploymentPlan, f64)> = None;
+    let mut peak = f64::NEG_INFINITY;
+    for s in 1..=pool.len() {
+        let Some(plan) = realize_balanced(params, platform, agents, &pool[..s]) else {
+            continue;
+        };
+        let rho = params.evaluate(platform, &plan, service).rho;
+        if rho + EPS < peak {
+            break; // past the sched/service crossing
+        }
+        peak = peak.max(rho);
+        let better = best.as_ref().is_none_or(|(_, cur)| rho > cur * (1.0 + EPS));
+        if better {
+            best = Some((plan, rho));
+        }
+    }
+    best
+}
+
+/// Runs the bottleneck-removal pass until no move improves the modelled
+/// throughput (or the demand is met). Returns the improved plan; never
+/// worse than the input under the model.
+pub fn rebalance(
+    params: &ModelParams,
+    platform: &Platform,
+    plan: &DeploymentPlan,
+    service: &ServiceSpec,
+    demand: ClientDemand,
+) -> DeploymentPlan {
+    let mut best_plan = plan.clone();
+    let mut best_rho = params.evaluate(platform, &best_plan, service).rho;
+
+    // Each iteration changes the agent set by at most one node and must
+    // strictly improve, so 2n iterations is a generous bound.
+    for _ in 0..platform.node_count() * 2 {
+        if demand.satisfied_by(best_rho) {
+            break;
+        }
+        let mut agents: Vec<NodeId> = best_plan.agents().map(|s| best_plan.node(s)).collect();
+        by_power_desc(platform, &mut agents);
+        let agent_set: HashSet<NodeId> = agents.iter().copied().collect();
+        let mut pool: Vec<NodeId> = platform
+            .nodes()
+            .iter()
+            .map(|r| r.id)
+            .filter(|id| !agent_set.contains(id))
+            .collect();
+        by_power_desc(platform, &mut pool);
+
+        let mut candidate: Option<(DeploymentPlan, f64)> = None;
+        let mut consider = |cand: Option<(DeploymentPlan, f64)>| {
+            let Some((p, rho)) = cand else { return };
+            if rho > best_rho * (1.0 + EPS)
+                && candidate
+                    .as_ref()
+                    .is_none_or(|(_, cur)| rho > cur * (1.0 + EPS))
+            {
+                candidate = Some((p, rho));
+            }
+        };
+
+        // Keep: same agents, re-tuned server count.
+        consider(best_for_agent_set(params, platform, service, &agents, &pool));
+
+        // Promote: the strongest pool node becomes an agent.
+        if pool.len() >= 2 {
+            let mut a2 = agents.clone();
+            a2.push(pool[0]);
+            by_power_desc(platform, &mut a2);
+            consider(best_for_agent_set(
+                params, platform, service, &a2, &pool[1..],
+            ));
+        }
+
+        // Demote: the weakest agent returns to the pool.
+        if agents.len() >= 2 {
+            let a2: Vec<NodeId> = agents[..agents.len() - 1].to_vec();
+            let mut p2 = pool.clone();
+            p2.push(agents[agents.len() - 1]);
+            by_power_desc(platform, &mut p2);
+            consider(best_for_agent_set(params, platform, service, &a2, &p2));
+        }
+
+        match candidate {
+            Some((p, rho)) => {
+                best_plan = p;
+                best_rho = rho;
+            }
+            None => break,
+        }
+    }
+    best_plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::baselines::StarPlanner;
+    use crate::planner::sweep::SweepPlanner;
+    use crate::planner::Planner;
+    use adept_hierarchy::builder::star;
+    use adept_platform::generator::lyon_cluster;
+    use adept_workload::{ClientDemand, Dgemm};
+
+    fn rho_of(platform: &Platform, plan: &DeploymentPlan, svc: &ServiceSpec) -> f64 {
+        ModelParams::from_platform(platform)
+            .evaluate(platform, plan, svc)
+            .rho
+    }
+
+    #[test]
+    fn rebalance_fixes_agent_bound_star() {
+        // A 45-node star on DGEMM 310 is agent-bound; rebalance must find a
+        // deeper shape with strictly better throughput.
+        let platform = lyon_cluster(45);
+        let svc = Dgemm::new(310).service();
+        let star_plan = StarPlanner
+            .plan(&platform, &svc, ClientDemand::Unbounded)
+            .unwrap();
+        let improved = rebalance(
+            &ModelParams::from_platform(&platform),
+            &platform,
+            &star_plan,
+            &svc,
+            ClientDemand::Unbounded,
+        );
+        let before = rho_of(&platform, &star_plan, &svc);
+        let after = rho_of(&platform, &improved, &svc);
+        assert!(
+            after > before * 1.2,
+            "expected >20% gain over the star, got {before} -> {after}"
+        );
+        assert!(improved.agent_count() > 1, "should have added agent levels");
+    }
+
+    #[test]
+    fn rebalance_reaches_sweep_quality_from_a_bad_start() {
+        let platform = lyon_cluster(25);
+        for size in [100u32, 310] {
+            let svc = Dgemm::new(size).service();
+            let ids: Vec<NodeId> = platform.ids_by_power_desc();
+            let bad = star(&ids[0..4]);
+            let improved = rebalance(
+                &ModelParams::from_platform(&platform),
+                &platform,
+                &bad,
+                &svc,
+                ClientDemand::Unbounded,
+            );
+            let (_, sweep_rho) = SweepPlanner::default().best_plan(&platform, &svc).unwrap();
+            let got = rho_of(&platform, &improved, &svc);
+            // Hill climbing can plateau one agent-count short of the sweep
+            // optimum (moves must strictly improve), so 85% is the honest
+            // bar; in the paper's words the heuristic performs "up to 90%"
+            // of optimal in the hard middle regime.
+            assert!(
+                got >= sweep_rho * 0.85,
+                "dgemm-{size}: rebalance {got} should reach >=85% of sweep {sweep_rho}"
+            );
+        }
+    }
+
+    #[test]
+    fn rebalance_grows_server_bound_deployments() {
+        // A 2-node star on DGEMM 1000 with 28 unused nodes: growth is the
+        // right move and must be taken.
+        let platform = lyon_cluster(30);
+        let svc = Dgemm::new(1000).service();
+        let ids: Vec<NodeId> = platform.ids_by_power_desc();
+        let small = star(&ids[0..2]);
+        let improved = rebalance(
+            &ModelParams::from_platform(&platform),
+            &platform,
+            &small,
+            &svc,
+            ClientDemand::Unbounded,
+        );
+        assert!(improved.server_count() > 1);
+        assert!(rho_of(&platform, &improved, &svc) > rho_of(&platform, &small, &svc) * 5.0);
+    }
+
+    #[test]
+    fn rebalance_is_a_no_op_at_a_local_optimum() {
+        // DGEMM 10 on two nodes: 1 agent + 1 server is already optimal.
+        let platform = lyon_cluster(2);
+        let svc = Dgemm::new(10).service();
+        let ids = platform.ids_by_power_desc();
+        let p = star(&ids);
+        let improved = rebalance(
+            &ModelParams::from_platform(&platform),
+            &platform,
+            &p,
+            &svc,
+            ClientDemand::Unbounded,
+        );
+        assert!(improved.structurally_eq(&p));
+    }
+
+    #[test]
+    fn rebalance_respects_demand() {
+        let platform = lyon_cluster(30);
+        let svc = Dgemm::new(1000).service();
+        let ids: Vec<NodeId> = platform.ids_by_power_desc();
+        let small = star(&ids[0..3]);
+        let before = rho_of(&platform, &small, &svc);
+        // Demand already met by the small plan: no changes allowed.
+        let improved = rebalance(
+            &ModelParams::from_platform(&platform),
+            &platform,
+            &small,
+            &svc,
+            ClientDemand::target(before * 0.5),
+        );
+        assert!(improved.structurally_eq(&small));
+    }
+
+    #[test]
+    fn rebalance_never_decreases_rho() {
+        let platform = lyon_cluster(24);
+        for size in [10u32, 100, 310, 1000] {
+            let svc = Dgemm::new(size).service();
+            let p = StarPlanner
+                .plan(&platform, &svc, ClientDemand::Unbounded)
+                .unwrap();
+            let improved = rebalance(
+                &ModelParams::from_platform(&platform),
+                &platform,
+                &p,
+                &svc,
+                ClientDemand::Unbounded,
+            );
+            assert!(
+                rho_of(&platform, &improved, &svc) >= rho_of(&platform, &p, &svc) - 1e-9,
+                "dgemm-{size}"
+            );
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Deployment planners.
+//!
+//! * [`HeuristicPlanner`] — the paper's contribution (Section 4,
+//!   Algorithm 1): greedy construction from nodes sorted by scheduling
+//!   power, with server→agent conversion (`shift_nodes`).
+//! * [`HomogeneousCsdPlanner`] — the authors' prior work \[10\]: the
+//!   optimal **complete spanning d-ary tree** for homogeneous clusters,
+//!   degree chosen under the model (Table 4's "Homo. Deg." column).
+//! * [`SweepPlanner`] — a model-guided search over (agent count, server
+//!   count) with balanced degree distribution; the strongest reference we
+//!   can compute in polynomial time, used as Table 4's "optimal".
+//! * [`StarPlanner`] and [`BalancedPlanner`] — the intuitive comparators of
+//!   Section 5.3 (Figures 6–7).
+//! * [`improve`] — the iterative bottleneck-removal pass of the authors'
+//!   earlier work \[7\], usable as a repair step after any planner.
+
+pub mod baselines;
+pub mod heuristic;
+pub mod homogeneous;
+pub mod improve;
+pub mod online;
+pub(crate) mod realize;
+pub mod roundrobin;
+pub mod sweep;
+
+pub use baselines::{BalancedPlanner, StarPlanner};
+pub use heuristic::HeuristicPlanner;
+pub use homogeneous::HomogeneousCsdPlanner;
+pub use online::{OnlinePlanner, Replan};
+pub use roundrobin::RoundRobinPlanner;
+pub use sweep::SweepPlanner;
+
+use crate::model::ModelParams;
+use adept_hierarchy::DeploymentPlan;
+use adept_platform::Platform;
+use adept_workload::{ClientDemand, ServiceSpec};
+use std::fmt;
+
+/// Errors raised by planners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlannerError {
+    /// The platform does not hold enough nodes for this planner.
+    NotEnoughNodes {
+        /// Minimum nodes the planner needs.
+        needed: usize,
+        /// Nodes available on the platform.
+        available: usize,
+    },
+    /// A planner-specific configuration problem.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for PlannerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlannerError::NotEnoughNodes { needed, available } => write!(
+                f,
+                "not enough nodes: planner needs {needed}, platform has {available}"
+            ),
+            PlannerError::InvalidConfig(msg) => write!(f, "invalid planner config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlannerError {}
+
+/// A deployment planner: maps a platform, a service and a client demand to
+/// a hierarchy.
+pub trait Planner {
+    /// Short name for reports ("heuristic", "star", ...).
+    fn name(&self) -> &str;
+
+    /// Produces a deployment plan.
+    ///
+    /// # Errors
+    /// [`PlannerError`] when the platform is too small or the planner is
+    /// misconfigured.
+    fn plan(
+        &self,
+        platform: &Platform,
+        service: &ServiceSpec,
+        demand: ClientDemand,
+    ) -> Result<DeploymentPlan, PlannerError>;
+}
+
+/// Resolves the model parameters a planner should use: an explicit override
+/// or the platform's own network description with the default calibration.
+pub(crate) fn resolve_params(overridden: Option<ModelParams>, platform: &Platform) -> ModelParams {
+    overridden.unwrap_or_else(|| ModelParams::from_platform(platform))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = PlannerError::NotEnoughNodes {
+            needed: 2,
+            available: 1,
+        };
+        assert!(e.to_string().contains("needs 2"));
+        assert!(PlannerError::InvalidConfig("x".into())
+            .to_string()
+            .contains("invalid planner config"));
+    }
+}

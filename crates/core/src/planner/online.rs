@@ -1,0 +1,340 @@
+//! Online re-planning with bounded disruption.
+//!
+//! The authors' earlier tools \[6, 7\] worked on *running* deployments:
+//! analyze, find the bottleneck, adjust. In operation the constraint that
+//! matters is **disruption** — every changed node means killing or
+//! launching a middleware element while clients are connected. This
+//! module revises a running plan under a budget of changed nodes:
+//!
+//! * **grow** — attach an unused platform node as a server under the
+//!   least-loaded agent (1 change);
+//! * **shrink** — retire the weakest server (1 change; frees a machine
+//!   when demand dropped);
+//! * **convert-grow** — promote the strongest server to an agent and give
+//!   it a fresh server (2 changes; opens a level when agents saturate).
+//!
+//! Each step is an *incremental* tree edit (no global re-realization), so
+//! the [`PlanDiff`] against the running plan
+//! stays within the budget — unlike
+//! [`improve::rebalance`](super::improve), which optimizes throughput
+//! with no regard for how much of the tree it rewires.
+
+use crate::model::throughput::sch_pow;
+use crate::model::ModelParams;
+use adept_hierarchy::{DeploymentPlan, PlanDiff, Role, Slot};
+use adept_platform::{NodeId, Platform};
+use adept_workload::{ClientDemand, ServiceSpec};
+use std::collections::HashSet;
+
+/// Relative tolerance for strict-improvement acceptance.
+const EPS: f64 = 1e-9;
+
+/// Result of a re-planning round.
+#[derive(Debug, Clone)]
+pub struct Replan {
+    /// The revised plan.
+    pub plan: DeploymentPlan,
+    /// What changed relative to the running plan.
+    pub diff: PlanDiff,
+    /// Modelled throughput of the revised plan.
+    pub rho: f64,
+}
+
+/// Online re-planner with a disruption budget.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlinePlanner {
+    /// Maximum number of node-level changes (added/removed/re-roled
+    /// nodes) per re-planning round.
+    pub max_changes: usize,
+    /// Optional model-parameter override.
+    pub params: Option<ModelParams>,
+}
+
+impl Default for OnlinePlanner {
+    fn default() -> Self {
+        Self {
+            max_changes: 4,
+            params: None,
+        }
+    }
+}
+
+/// Rebuilds `plan` without the given **leaf server** slot.
+fn without_server(plan: &DeploymentPlan, victim: Slot) -> DeploymentPlan {
+    debug_assert_eq!(plan.role(victim), Role::Server);
+    let mut rebuilt = DeploymentPlan::with_root(plan.node(plan.root()));
+    let mut map = std::collections::HashMap::new();
+    map.insert(plan.root(), rebuilt.root());
+    for s in plan.bfs_order().into_iter().skip(1) {
+        if s == victim {
+            continue;
+        }
+        let parent = map[&plan.parent(s).expect("non-root has a parent")];
+        let slot = match plan.role(s) {
+            Role::Agent => rebuilt
+                .add_agent(parent, plan.node(s))
+                .expect("rebuild preserves uniqueness"),
+            Role::Server => rebuilt
+                .add_server(parent, plan.node(s))
+                .expect("rebuild preserves uniqueness"),
+        };
+        map.insert(s, slot);
+    }
+    rebuilt
+}
+
+/// The agent that keeps the highest scheduling power after receiving one
+/// more child.
+fn best_agent(params: &ModelParams, platform: &Platform, plan: &DeploymentPlan) -> Slot {
+    plan.agents()
+        .max_by(|&a, &b| {
+            let pa = sch_pow(params, platform.power(plan.node(a)), plan.degree(a) + 1);
+            let pb = sch_pow(params, platform.power(plan.node(b)), plan.degree(b) + 1);
+            pa.partial_cmp(&pb).expect("rates are finite").then(b.cmp(&a))
+        })
+        .expect("plans always contain the root agent")
+}
+
+impl OnlinePlanner {
+    /// Revises a running plan for the (possibly changed) demand, spending
+    /// at most [`max_changes`](OnlinePlanner::max_changes) node changes.
+    ///
+    /// Growth moves are taken while the plan misses the demand and
+    /// improves; with the demand already met, shrink moves retire servers
+    /// as long as the demand *stays* met (the paper's least-resources
+    /// preference, applied online).
+    pub fn replan(
+        &self,
+        platform: &Platform,
+        running: &DeploymentPlan,
+        service: &ServiceSpec,
+        demand: ClientDemand,
+    ) -> Replan {
+        let params = super::resolve_params(self.params, platform);
+        let evaluate = |p: &DeploymentPlan| params.evaluate(platform, p, service).rho;
+
+        let mut plan = running.clone();
+        let mut rho = evaluate(&plan);
+        let mut changes_left = self.max_changes;
+
+        let used: HashSet<NodeId> = plan.slots().map(|s| plan.node(s)).collect();
+        let mut unused: Vec<NodeId> = platform
+            .ids_by_power_desc()
+            .into_iter()
+            .filter(|id| !used.contains(id))
+            .collect();
+
+        while changes_left > 0 {
+            if !demand.satisfied_by(rho) {
+                // Under-provisioned: try to grow (1 change), else open a
+                // level (2 changes).
+                let grow = unused.first().map(|&fresh| {
+                    let mut p = plan.clone();
+                    p.add_server(best_agent(&params, platform, &p), fresh)
+                        .expect("unused node under an agent inserts");
+                    (p, fresh)
+                });
+                let grow_rho = grow.as_ref().map(|(p, _)| evaluate(p));
+                if let (Some((p, fresh)), Some(r)) = (grow, grow_rho) {
+                    if r > rho * (1.0 + EPS) {
+                        plan = p;
+                        rho = r;
+                        unused.retain(|&n| n != fresh);
+                        changes_left -= 1;
+                        continue;
+                    }
+                }
+                // Convert-grow: promote the strongest server, attach a
+                // fresh node under it.
+                if changes_left >= 2 && plan.server_count() >= 2 && !unused.is_empty() {
+                    let victim = plan
+                        .servers()
+                        .max_by(|&a, &b| {
+                            let pa = platform.power(plan.node(a)).value();
+                            let pb = platform.power(plan.node(b)).value();
+                            pa.partial_cmp(&pb).expect("finite").then(b.cmp(&a))
+                        })
+                        .expect("server_count >= 2");
+                    let fresh = unused[0];
+                    let mut p = plan.clone();
+                    p.convert_to_agent(victim).expect("victim is a server");
+                    p.add_server(victim, fresh)
+                        .expect("unused node under the new agent inserts");
+                    let r = evaluate(&p);
+                    if r > rho * (1.0 + EPS) {
+                        plan = p;
+                        rho = r;
+                        unused.remove(0);
+                        changes_left = changes_left.saturating_sub(2);
+                        continue;
+                    }
+                }
+                break; // no growth move helps
+            } else {
+                // Demand met: retire the weakest server if the demand
+                // stays met without it.
+                if plan.server_count() < 2 {
+                    break;
+                }
+                let victim = plan
+                    .servers()
+                    .min_by(|&a, &b| {
+                        let pa = platform.power(plan.node(a)).value();
+                        let pb = platform.power(plan.node(b)).value();
+                        pa.partial_cmp(&pb).expect("finite").then(a.cmp(&b))
+                    })
+                    .expect("server_count >= 2");
+                let p = without_server(&plan, victim);
+                let r = evaluate(&p);
+                if demand.satisfied_by(r) {
+                    unused.push(plan.node(victim));
+                    plan = p;
+                    rho = r;
+                    changes_left -= 1;
+                } else {
+                    break; // every remaining server is needed
+                }
+            }
+        }
+
+        let diff = PlanDiff::between(running, &plan);
+        Replan { plan, diff, rho }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{HeuristicPlanner, Planner};
+    use adept_platform::generator::lyon_cluster;
+    use adept_workload::Dgemm;
+
+    fn rho_of(platform: &Platform, plan: &DeploymentPlan, svc: &ServiceSpec) -> f64 {
+        ModelParams::from_platform(platform)
+            .evaluate(platform, plan, svc)
+            .rho
+    }
+
+    /// A running plan sized for a 2 req/s demand on DGEMM 1000.
+    fn running(platform: &Platform, svc: &ServiceSpec, target: f64) -> DeploymentPlan {
+        HeuristicPlanner::paper()
+            .plan(platform, svc, ClientDemand::target(target))
+            .expect("fits")
+    }
+
+    #[test]
+    fn no_changes_when_demand_already_met_exactly() {
+        let platform = lyon_cluster(40);
+        let svc = Dgemm::new(1000).service();
+        let plan = running(&platform, &svc, 2.0);
+        let replan = OnlinePlanner::default().replan(
+            &platform,
+            &plan,
+            &svc,
+            ClientDemand::target(rho_of(&platform, &plan, &svc) * 0.99),
+        );
+        assert!(replan.diff.is_empty(), "{}", replan.diff);
+        assert!(replan.plan.structurally_eq(&plan));
+    }
+
+    #[test]
+    fn grows_within_budget_when_demand_rises() {
+        let platform = lyon_cluster(40);
+        let svc = Dgemm::new(1000).service();
+        let plan = running(&platform, &svc, 2.0);
+        let before = rho_of(&platform, &plan, &svc);
+        let replanner = OnlinePlanner {
+            max_changes: 3,
+            params: None,
+        };
+        let replan = replanner.replan(&platform, &plan, &svc, ClientDemand::target(before * 2.0));
+        assert!(replan.rho > before, "must grow toward the new demand");
+        assert!(
+            replan.diff.len() <= 3,
+            "budget exceeded: {} changes\n{}",
+            replan.diff.len(),
+            replan.diff
+        );
+        // Growth only adds servers.
+        assert!(replan.plan.server_count() > plan.server_count());
+    }
+
+    #[test]
+    fn shrinks_when_demand_drops() {
+        let platform = lyon_cluster(40);
+        let svc = Dgemm::new(1000).service();
+        let plan = running(&platform, &svc, 4.0);
+        let replanner = OnlinePlanner {
+            max_changes: 8,
+            params: None,
+        };
+        let low_target = 1.0;
+        let replan =
+            replanner.replan(&platform, &plan, &svc, ClientDemand::target(low_target));
+        assert!(
+            replan.plan.server_count() < plan.server_count(),
+            "should retire servers"
+        );
+        assert!(
+            ClientDemand::target(low_target).satisfied_by(replan.rho),
+            "the reduced plan must still meet the demand ({} req/s)",
+            replan.rho
+        );
+        assert!(replan.diff.len() <= 8);
+    }
+
+    #[test]
+    fn diff_entries_are_adds_or_removes_only() {
+        // Incremental edits never silently rewire unrelated nodes.
+        let platform = lyon_cluster(30);
+        let svc = Dgemm::new(1000).service();
+        let plan = running(&platform, &svc, 1.0);
+        let before = rho_of(&platform, &plan, &svc);
+        let replan = OnlinePlanner::default().replan(
+            &platform,
+            &plan,
+            &svc,
+            ClientDemand::target(before * 1.8),
+        );
+        for (node, change) in &replan.diff.changes {
+            assert!(
+                matches!(
+                    change,
+                    adept_hierarchy::NodeChange::Added { .. }
+                        | adept_hierarchy::NodeChange::Removed { .. }
+                        | adept_hierarchy::NodeChange::Rerole { .. }
+                ),
+                "unexpected reparenting of {node}: {change:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unreachable_demand_stops_at_budget_or_stall() {
+        let platform = lyon_cluster(10);
+        let svc = Dgemm::new(1000).service();
+        let plan = running(&platform, &svc, 0.5);
+        let replanner = OnlinePlanner {
+            max_changes: 2,
+            params: None,
+        };
+        let replan =
+            replanner.replan(&platform, &plan, &svc, ClientDemand::target(1e9));
+        assert!(replan.diff.len() <= 2);
+        assert!(replan.rho >= rho_of(&platform, &plan, &svc) - 1e-9);
+    }
+
+    #[test]
+    fn without_server_preserves_everything_else() {
+        let platform = lyon_cluster(10);
+        let svc = Dgemm::new(310).service();
+        let plan = running(&platform, &svc, 1e9); // uses many nodes
+        let victim = plan.servers().last().expect("has servers");
+        let removed_node = plan.node(victim);
+        let smaller = without_server(&plan, victim);
+        assert_eq!(smaller.len(), plan.len() - 1);
+        assert!(!smaller.uses_node(removed_node));
+        let diff = PlanDiff::between(&plan, &smaller);
+        assert_eq!(diff.len(), 1);
+    }
+}

@@ -1,0 +1,242 @@
+//! Shared machinery: realizing a hierarchy from a chosen agent/server split.
+//!
+//! Under the model (Section 3), the scheduling throughput of a hierarchy
+//! depends only on each agent's **own degree** (every request traverses
+//! every agent exactly once), not on where agents sit in the tree. Once a
+//! planner has decided *which* nodes are agents and *which* are servers,
+//! the only remaining freedom that matters is the **degree distribution** —
+//! and the best distribution is the one maximizing the minimum per-agent
+//! scheduling power.
+//!
+//! [`waterfill_degrees`] computes that distribution greedily: child slots
+//! are handed out one at a time, always to the agent whose scheduling power
+//! *after* the assignment is highest. Because an agent's cycle time is
+//! strictly increasing in its degree, this greedy is exchange-optimal for
+//! the max-min objective.
+//!
+//! [`realize`] then builds a concrete tree: agents are attached
+//! breadth-first under earlier agents, servers fill the remaining slots.
+//! Feasibility: every agent has degree ≥ 1 (checked), so when agent `i`
+//! is attached the first `i` agents hold at least one free slot.
+
+use crate::model::throughput::sch_pow;
+use crate::model::ModelParams;
+use adept_hierarchy::{DeploymentPlan, Slot};
+use adept_platform::{NodeId, Platform};
+
+/// Balanced degree distribution for `agents` (any order) receiving
+/// `total_children` child slots. Returns one degree per agent.
+///
+/// # Panics
+/// Panics if `agents` is empty and `total_children > 0`.
+pub(crate) fn waterfill_degrees(
+    params: &ModelParams,
+    platform: &Platform,
+    agents: &[NodeId],
+    total_children: usize,
+) -> Vec<usize> {
+    assert!(
+        !agents.is_empty() || total_children == 0,
+        "cannot distribute children without agents"
+    );
+    let mut degrees = vec![0usize; agents.len()];
+    for _ in 0..total_children {
+        // Assign the next child to the agent with the highest scheduling
+        // power after the assignment.
+        let (best, _) = agents
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                (
+                    i,
+                    sch_pow(params, platform.power(a), degrees[i] + 1),
+                )
+            })
+            .max_by(|(_, x), (_, y)| x.partial_cmp(y).expect("rates are finite"))
+            .expect("agents is non-empty");
+        degrees[best] += 1;
+    }
+    degrees
+}
+
+/// Builds a tree over `agents` (agents[0] becomes the root) and `servers`
+/// with the given per-agent degrees. Degrees must sum to
+/// `agents.len() - 1 + servers.len()` and every agent must have degree ≥ 1.
+///
+/// Agents are attached in list order under the earliest agent with spare
+/// capacity (BFS flavor: strong agents stay near the root); servers then
+/// fill all remaining slots.
+///
+/// # Panics
+/// Panics if the degree sum does not match or an agent has degree 0 —
+/// callers filter such configurations out before realizing.
+pub(crate) fn realize(
+    agents: &[NodeId],
+    servers: &[NodeId],
+    degrees: &[usize],
+) -> DeploymentPlan {
+    assert_eq!(agents.len(), degrees.len(), "one degree per agent");
+    assert!(!agents.is_empty(), "need at least the root agent");
+    let total: usize = degrees.iter().sum();
+    assert_eq!(
+        total,
+        agents.len() - 1 + servers.len(),
+        "degrees must exactly cover all non-root entries"
+    );
+    assert!(
+        degrees.iter().all(|&d| d > 0),
+        "every agent must have at least one child"
+    );
+
+    let mut plan = DeploymentPlan::with_root(agents[0]);
+    let mut slots: Vec<Slot> = vec![plan.root()];
+    let mut capacity: Vec<usize> = vec![degrees[0]];
+    // `cursor` is the earliest agent that may still have spare capacity.
+    let mut cursor = 0usize;
+    fn next_parent(slots: &[Slot], capacity: &mut [usize], cursor: &mut usize) -> Slot {
+        while capacity[*cursor] == 0 {
+            *cursor += 1;
+        }
+        capacity[*cursor] -= 1;
+        slots[*cursor]
+    }
+    for (i, &a) in agents.iter().enumerate().skip(1) {
+        let parent = next_parent(&slots, &mut capacity, &mut cursor);
+        let slot = plan
+            .add_agent(parent, a)
+            .expect("fresh node under an agent always inserts");
+        slots.push(slot);
+        capacity.push(degrees[i]);
+    }
+    for &s in servers {
+        let parent = next_parent(&slots, &mut capacity, &mut cursor);
+        plan.add_server(parent, s)
+            .expect("fresh node under an agent always inserts");
+    }
+    plan
+}
+
+/// Convenience: waterfill + realize for an agent/server split, using all
+/// the given servers. Returns `None` when the waterfill leaves an agent
+/// without children (the split wastes an agent and is dominated by a
+/// smaller one).
+pub(crate) fn realize_balanced(
+    params: &ModelParams,
+    platform: &Platform,
+    agents: &[NodeId],
+    servers: &[NodeId],
+) -> Option<DeploymentPlan> {
+    let total = agents.len() - 1 + servers.len();
+    let degrees = waterfill_degrees(params, platform, agents, total);
+    if degrees.contains(&0) {
+        return None;
+    }
+    Some(realize(agents, servers, &degrees))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adept_hierarchy::validate::validate_relaxed;
+    use adept_platform::generator::{lyon_cluster, uniform_random_cluster};
+    use adept_platform::MflopRate;
+
+    fn ids(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn waterfill_homogeneous_is_even() {
+        let platform = lyon_cluster(10);
+        let params = crate::model::ModelParams::from_platform(&platform);
+        let agents = ids(3);
+        let degrees = waterfill_degrees(&params, &platform, &agents, 11);
+        assert_eq!(degrees.iter().sum::<usize>(), 11);
+        let (lo, hi) = (
+            *degrees.iter().min().unwrap(),
+            *degrees.iter().max().unwrap(),
+        );
+        assert!(hi - lo <= 1, "homogeneous agents balance evenly: {degrees:?}");
+    }
+
+    #[test]
+    fn waterfill_weak_agent_gets_fewer_children() {
+        // One strong and one weak agent.
+        use adept_platform::{Network, Platform};
+        let mut b = Platform::builder(Network::homogeneous(
+            adept_platform::MbitRate(100.0),
+        ));
+        let s = b.add_site("x");
+        b.add_node("strong", MflopRate(800.0), s).unwrap();
+        b.add_node("weak", MflopRate(100.0), s).unwrap();
+        let p = b.build().unwrap();
+        let params = crate::model::ModelParams::from_platform(&p);
+        let degrees = waterfill_degrees(&params, &p, &ids(2), 12);
+        assert!(degrees[0] > degrees[1], "strong agent takes more: {degrees:?}");
+        assert_eq!(degrees.iter().sum::<usize>(), 12);
+    }
+
+    #[test]
+    fn waterfill_on_random_platform_conserves_children() {
+        let platform = uniform_random_cluster("u", 8, MflopRate(50.0), MflopRate(500.0), 3);
+        let params = crate::model::ModelParams::from_platform(&platform);
+        let degrees = waterfill_degrees(&params, &platform, &ids(4), 20);
+        assert_eq!(degrees.iter().sum::<usize>(), 20);
+    }
+
+    #[test]
+    fn realize_star() {
+        let plan = realize(&ids(1), &ids(5)[1..], &[4]);
+        assert_eq!(plan.agent_count(), 1);
+        assert_eq!(plan.server_count(), 4);
+        assert_eq!(plan.depth(), 2);
+    }
+
+    #[test]
+    fn realize_two_level() {
+        // agents n0..n2, servers n3..n9; degrees 2,3,4 → root has 2 agent
+        // children... total children = 2 + 7 = 9 = 2+3+4.
+        let all = ids(10);
+        let plan = realize(&all[0..3], &all[3..], &[2, 3, 4]);
+        assert_eq!(plan.agent_count(), 3);
+        assert_eq!(plan.server_count(), 7);
+        assert!(validate_relaxed(&plan).is_empty());
+        // Agent degrees match the request (order-insensitive check).
+        let mut got: Vec<usize> = plan.agents().map(|a| plan.degree(a)).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn realize_balanced_none_when_agent_would_be_empty() {
+        let platform = lyon_cluster(4);
+        let params = crate::model::ModelParams::from_platform(&platform);
+        let all = ids(4);
+        // 3 agents + 1 server → total children 3, waterfill gives 1 each —
+        // fine. 4 agents + 0 servers → total 3 < 4 agents → someone gets 0.
+        assert!(realize_balanced(&params, &platform, &all[0..3], &all[3..]).is_some());
+        assert!(realize_balanced(&params, &platform, &all[0..4], &[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "degrees must exactly cover")]
+    fn realize_rejects_bad_degree_sum() {
+        let all = ids(5);
+        let _ = realize(&all[0..2], &all[2..], &[1, 1]);
+    }
+
+    #[test]
+    fn realize_many_shapes_are_valid() {
+        let platform = lyon_cluster(30);
+        let params = crate::model::ModelParams::from_platform(&platform);
+        let all = ids(30);
+        for k in 1..12 {
+            if let Some(plan) =
+                realize_balanced(&params, &platform, &all[0..k], &all[k..])
+            {
+                assert_eq!(plan.len(), 30, "k={k} uses all nodes");
+                assert!(validate_relaxed(&plan).is_empty(), "k={k}");
+            }
+        }
+    }
+}

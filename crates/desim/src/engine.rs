@@ -1,0 +1,361 @@
+//! The event loop.
+//!
+//! A simulation is a [`World`] — your state plus a typed event enum — and
+//! an [`Engine`] that owns the pending-event queue. Handlers receive a
+//! [`Scheduler`] through which they enqueue future events; the engine
+//! merges them after each dispatch, so there is never a simultaneous
+//! mutable borrow of the queue and the world.
+//!
+//! Event ordering is `(time, sequence)`: events at equal times dispatch in
+//! scheduling order, which makes runs deterministic.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation state driven by typed events.
+pub trait World {
+    /// The event type of this simulation.
+    type Event;
+
+    /// Handles one event at simulated time `now`, scheduling follow-ups
+    /// through `sched`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Collector for events scheduled from inside a handler.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    now: SimTime,
+    staged: Vec<(SimTime, E)>,
+}
+
+impl<E> Scheduler<E> {
+    /// Schedules an event at an absolute instant. Instants in the past are
+    /// clamped to `now` (the event still runs, after already-queued events
+    /// at `now`).
+    pub fn at(&mut self, time: SimTime, event: E) {
+        self.staged.push((time.max(self.now), event));
+    }
+
+    /// Schedules an event after a delay from the current instant.
+    pub fn after(&mut self, delay: SimDuration, event: E) {
+        self.staged.push((self.now + delay, event));
+    }
+
+    /// The current simulated instant.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+}
+
+struct Pending<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Pending<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Pending<E> {}
+impl<E> PartialOrd for Pending<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Pending<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The discrete-event engine.
+pub struct Engine<W: World> {
+    world: W,
+    queue: BinaryHeap<Pending<W::Event>>,
+    now: SimTime,
+    seq: u64,
+    dispatched: u64,
+}
+
+impl<W: World> Engine<W> {
+    /// An engine at time zero with an empty queue.
+    pub fn new(world: W) -> Self {
+        Self {
+            world,
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            dispatched: 0,
+        }
+    }
+
+    /// Current simulated time (time of the last dispatched event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    #[inline]
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Read access to the world.
+    #[inline]
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world (for setup between runs).
+    #[inline]
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the engine, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Schedules an initial event from outside a handler.
+    pub fn schedule(&mut self, time: SimTime, event: W::Event) {
+        let time = time.max(self.now);
+        self.queue.push(Pending {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Dispatches the next event, if any. Returns the time it ran at.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let Pending { time, event, .. } = self.queue.pop()?;
+        debug_assert!(time >= self.now, "event queue went backwards");
+        self.now = time;
+        self.dispatched += 1;
+        let mut sched = Scheduler {
+            now: time,
+            staged: Vec::new(),
+        };
+        self.world.handle(time, event, &mut sched);
+        for (t, e) in sched.staged {
+            self.queue.push(Pending {
+                time: t,
+                seq: self.seq,
+                event: e,
+            });
+            self.seq += 1;
+        }
+        Some(time)
+    }
+
+    /// Runs until the queue is exhausted or the given horizon is passed.
+    /// Events scheduled exactly at the horizon still run; later ones stay
+    /// queued. Returns the number of events dispatched by this call.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let mut count = 0;
+        while let Some(p) = self.queue.peek() {
+            if p.time > horizon {
+                break;
+            }
+            self.step();
+            count += 1;
+        }
+        count
+    }
+
+    /// Runs until the queue is empty. Returns the number of events
+    /// dispatched by this call.
+    pub fn run_to_completion(&mut self) -> u64 {
+        let mut count = 0;
+        while self.step().is_some() {
+            count += 1;
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy world recording (time, tag) pairs; event `Spawn(n)` schedules
+    /// `n` further events one second apart.
+    struct Recorder {
+        log: Vec<(SimTime, u32)>,
+    }
+
+    enum Ev {
+        Mark(u32),
+        Spawn(u32),
+    }
+
+    impl World for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<Ev>) {
+            match event {
+                Ev::Mark(tag) => self.log.push((now, tag)),
+                Ev::Spawn(n) => {
+                    for i in 0..n {
+                        sched.after(SimDuration::from_seconds((i + 1) as f64), Ev::Mark(i));
+                    }
+                }
+            }
+        }
+    }
+
+    fn engine() -> Engine<Recorder> {
+        Engine::new(Recorder { log: Vec::new() })
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut e = engine();
+        e.schedule(SimTime::from_seconds(2.0), Ev::Mark(2));
+        e.schedule(SimTime::from_seconds(1.0), Ev::Mark(1));
+        e.schedule(SimTime::from_seconds(3.0), Ev::Mark(3));
+        e.run_to_completion();
+        let tags: Vec<u32> = e.world().log.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_run_in_scheduling_order() {
+        let mut e = engine();
+        let t = SimTime::from_seconds(1.0);
+        for i in 0..10 {
+            e.schedule(t, Ev::Mark(i));
+        }
+        e.run_to_completion();
+        let tags: Vec<u32> = e.world().log.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut e = engine();
+        e.schedule(SimTime::ZERO, Ev::Spawn(3));
+        e.run_to_completion();
+        assert_eq!(e.world().log.len(), 3);
+        assert_eq!(e.world().log[0].0, SimTime::from_seconds(1.0));
+        assert_eq!(e.world().log[2].0, SimTime::from_seconds(3.0));
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut e = engine();
+        e.schedule(SimTime::ZERO, Ev::Spawn(5));
+        let n = e.run_until(SimTime::from_seconds(2.5));
+        // Spawn + marks at 1s and 2s.
+        assert_eq!(n, 3);
+        assert_eq!(e.world().log.len(), 2);
+        // The rest still runs later.
+        e.run_to_completion();
+        assert_eq!(e.world().log.len(), 5);
+    }
+
+    #[test]
+    fn now_tracks_last_event() {
+        let mut e = engine();
+        e.schedule(SimTime::from_seconds(4.0), Ev::Mark(0));
+        e.run_to_completion();
+        assert_eq!(e.now(), SimTime::from_seconds(4.0));
+    }
+
+    #[test]
+    fn past_scheduling_is_clamped() {
+        struct PastWorld {
+            seen: Vec<SimTime>,
+            fired: bool,
+        }
+        enum P {
+            Trigger,
+            Echo,
+        }
+        impl World for PastWorld {
+            type Event = P;
+            fn handle(&mut self, now: SimTime, ev: P, sched: &mut Scheduler<P>) {
+                match ev {
+                    P::Trigger => {
+                        if !self.fired {
+                            self.fired = true;
+                            // Deliberately "in the past".
+                            sched.at(SimTime::ZERO, P::Echo);
+                        }
+                    }
+                    P::Echo => self.seen.push(now),
+                }
+            }
+        }
+        let mut e = Engine::new(PastWorld {
+            seen: Vec::new(),
+            fired: false,
+        });
+        e.schedule(SimTime::from_seconds(5.0), P::Trigger);
+        e.run_to_completion();
+        assert_eq!(e.world().seen, vec![SimTime::from_seconds(5.0)]);
+    }
+
+    #[test]
+    fn dispatched_counter() {
+        let mut e = engine();
+        e.schedule(SimTime::ZERO, Ev::Spawn(4));
+        e.run_to_completion();
+        assert_eq!(e.dispatched(), 5);
+    }
+
+    #[test]
+    fn into_world_returns_state() {
+        let mut e = engine();
+        e.schedule(SimTime::ZERO, Ev::Mark(1));
+        e.run_to_completion();
+        let world = e.into_world();
+        assert_eq!(world.log.len(), 1);
+    }
+
+    #[test]
+    fn external_schedule_in_the_past_is_clamped_to_now() {
+        let mut e = engine();
+        e.schedule(SimTime::from_seconds(3.0), Ev::Mark(0));
+        e.run_to_completion();
+        assert_eq!(e.now(), SimTime::from_seconds(3.0));
+        // Scheduling "at 1s" after time has advanced to 3s must not move
+        // time backwards.
+        e.schedule(SimTime::from_seconds(1.0), Ev::Mark(1));
+        e.run_to_completion();
+        assert_eq!(e.world().log[1].0, SimTime::from_seconds(3.0));
+    }
+
+    #[test]
+    fn run_until_then_resume_preserves_order() {
+        let mut e = engine();
+        for i in 0..6 {
+            e.schedule(SimTime::from_seconds(i as f64), Ev::Mark(i));
+        }
+        e.run_until(SimTime::from_seconds(2.5));
+        assert_eq!(e.world().log.len(), 3);
+        e.run_until(SimTime::from_seconds(100.0));
+        let tags: Vec<u32> = e.world().log.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_engine_is_inert() {
+        let mut e = engine();
+        assert_eq!(e.step(), None);
+        assert_eq!(e.run_until(SimTime::from_seconds(10.0)), 0);
+        assert_eq!(e.run_to_completion(), 0);
+        assert_eq!(e.now(), SimTime::ZERO);
+    }
+}

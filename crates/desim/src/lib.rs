@@ -1,0 +1,33 @@
+//! # adept-desim
+//!
+//! A small, deterministic discrete-event simulation engine — the substrate
+//! under the middleware simulator (`adept-nes-sim`) that stands in for the
+//! paper's Grid'5000 testbed.
+//!
+//! Design points:
+//!
+//! * **Determinism.** Simulated time is integer nanoseconds ([`SimTime`]),
+//!   and simultaneous events are ordered by a monotonically increasing
+//!   sequence number, so runs are bit-for-bit reproducible for a given
+//!   seed. (Floating-point time plus hash-map iteration order is how DES
+//!   reproducibility usually dies.)
+//! * **Typed events.** The driving state implements [`World`] with its own
+//!   event enum; no `dyn FnOnce` closures, no borrow gymnastics.
+//! * **Measurement utilities.** [`stats`] has the throughput meter and
+//!   summary statistics the paper's measurement protocol needs (warmup
+//!   exclusion, windowed rates).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Engine, Scheduler, World};
+pub use rng::DetRng;
+pub use stats::{OnlineStats, ThroughputMeter};
+pub use trace::{TraceEntry, TraceRing};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,104 @@
+//! Deterministic randomness helpers for simulations.
+
+use crate::time::SimDuration;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG with duration-jitter helpers. Wraps `SmallRng` (fast,
+/// non-cryptographic — exactly right for simulation noise).
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    rng: SmallRng,
+}
+
+impl DetRng {
+    /// A deterministic RNG from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A uniform sample in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.rng.gen_range(0.0..1.0)
+    }
+
+    /// Applies multiplicative jitter to a duration: the result is uniform
+    /// in `[d·(1−rel), d·(1+rel)]`. `rel = 0` returns the input unchanged.
+    ///
+    /// # Panics
+    /// Panics unless `rel ∈ [0, 1)`.
+    pub fn jitter(&mut self, d: SimDuration, rel: f64) -> SimDuration {
+        assert!((0.0..1.0).contains(&rel), "jitter must be in [0,1), got {rel}");
+        if rel == 0.0 || d == SimDuration::ZERO {
+            return d;
+        }
+        let factor = 1.0 + rel * (self.unit() * 2.0 - 1.0);
+        SimDuration((d.0 as f64 * factor).round().max(0.0) as u64)
+    }
+
+    /// A uniform integer sample in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "range must be non-empty");
+        self.rng.gen_range(0..n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.unit(), b.unit());
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..20).filter(|_| a.unit() == b.unit()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn jitter_zero_is_identity() {
+        let mut r = DetRng::new(3);
+        let d = SimDuration::from_seconds(1.0);
+        assert_eq!(r.jitter(d, 0.0), d);
+    }
+
+    #[test]
+    fn jitter_is_bounded() {
+        let mut r = DetRng::new(3);
+        let d = SimDuration::from_seconds(1.0);
+        for _ in 0..1000 {
+            let j = r.jitter(d, 0.1);
+            assert!(j >= SimDuration::from_seconds(0.9));
+            assert!(j <= SimDuration::from_seconds(1.1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter must be in")]
+    fn jitter_range_enforced() {
+        let mut r = DetRng::new(0);
+        let _ = r.jitter(SimDuration::from_seconds(1.0), 1.5);
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = DetRng::new(9);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

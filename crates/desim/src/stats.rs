@@ -1,0 +1,233 @@
+//! Measurement utilities for the paper's protocol.
+//!
+//! Section 5.1: load is ramped one client per second until throughput
+//! stops improving, then held. Throughput is therefore a **windowed**
+//! completion rate with the ramp excluded — exactly what
+//! [`ThroughputMeter`] computes. [`OnlineStats`] provides streaming
+//! summary statistics for latency-style series without storing samples.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Records completion instants and reports windowed rates.
+#[derive(Debug, Clone, Default)]
+pub struct ThroughputMeter {
+    completions: Vec<SimTime>,
+}
+
+impl ThroughputMeter {
+    /// An empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completion. Instants must be non-decreasing (events
+    /// dispatch in time order).
+    pub fn record(&mut self, at: SimTime) {
+        debug_assert!(
+            self.completions.last().is_none_or(|&last| last <= at),
+            "completions must arrive in time order"
+        );
+        self.completions.push(at);
+    }
+
+    /// Total completions recorded.
+    pub fn count(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Completions inside `[from, to)`.
+    pub fn count_in(&self, from: SimTime, to: SimTime) -> usize {
+        let lo = self.completions.partition_point(|&t| t < from);
+        let hi = self.completions.partition_point(|&t| t < to);
+        hi - lo
+    }
+
+    /// Completion rate (per second) inside `[from, to)`. Zero-length
+    /// windows yield 0.
+    pub fn rate_in(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        self.count_in(from, to) as f64 / to.since(from).as_seconds()
+    }
+
+    /// Completion rate over the last `window` ending at `now`.
+    pub fn rate_over_last(&self, now: SimTime, window: SimDuration) -> f64 {
+        let from = SimTime(now.0.saturating_sub(window.0));
+        self.rate_in(from, now)
+    }
+}
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 below two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_counts_in_window() {
+        let mut m = ThroughputMeter::new();
+        for i in 0..10 {
+            m.record(SimTime::from_seconds(i as f64));
+        }
+        assert_eq!(m.count(), 10);
+        assert_eq!(
+            m.count_in(SimTime::from_seconds(2.0), SimTime::from_seconds(5.0)),
+            3 // t = 2, 3, 4
+        );
+    }
+
+    #[test]
+    fn meter_rate() {
+        let mut m = ThroughputMeter::new();
+        // 100 completions over 10 seconds → 10/s.
+        for i in 0..100 {
+            m.record(SimTime::from_seconds(i as f64 * 0.1));
+        }
+        let r = m.rate_in(SimTime::ZERO, SimTime::from_seconds(10.0));
+        assert!((r - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meter_rate_over_last_window() {
+        let mut m = ThroughputMeter::new();
+        for i in 0..100 {
+            m.record(SimTime::from_seconds(i as f64 * 0.1));
+        }
+        let r = m.rate_over_last(SimTime::from_seconds(10.0), SimDuration::from_seconds(2.0));
+        assert!((r - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_degenerate_windows() {
+        let m = ThroughputMeter::new();
+        assert_eq!(m.rate_in(SimTime::ZERO, SimTime::ZERO), 0.0);
+        assert_eq!(m.rate_in(SimTime::from_seconds(1.0), SimTime::ZERO), 0.0);
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn online_stats_known_values() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn rate_window_clamps_below_zero() {
+        let mut m = ThroughputMeter::new();
+        m.record(SimTime::from_seconds(0.5));
+        // Window larger than elapsed time: from-instant clamps to 0.
+        let r = m.rate_over_last(SimTime::from_seconds(1.0), SimDuration::from_seconds(100.0));
+        assert!((r - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn count_in_handles_boundaries_half_open() {
+        let mut m = ThroughputMeter::new();
+        for i in 0..5 {
+            m.record(SimTime::from_seconds(i as f64));
+        }
+        // [1, 3): includes t=1, 2; excludes t=3.
+        assert_eq!(
+            m.count_in(SimTime::from_seconds(1.0), SimTime::from_seconds(3.0)),
+            2
+        );
+        // [0, 0): empty.
+        assert_eq!(m.count_in(SimTime::ZERO, SimTime::ZERO), 0);
+    }
+
+    #[test]
+    fn single_sample_stats() {
+        let mut s = OnlineStats::new();
+        s.push(42.0);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), Some(42.0));
+        assert_eq!(s.max(), Some(42.0));
+    }
+}

@@ -1,0 +1,174 @@
+//! Integer simulated time.
+//!
+//! Nanosecond resolution covers the experiments comfortably: the paper's
+//! longest runs are tens of minutes (~10¹² ns), far below `u64::MAX`
+//! (~584 years), while the shortest modelled operations (tens of
+//! microseconds) retain 4+ significant digits.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// An absolute instant in simulated time (nanoseconds since simulation
+/// start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds an instant from seconds, rounding to the nearest nanosecond
+    /// and saturating at the representable maximum.
+    ///
+    /// # Panics
+    /// Panics on negative or NaN input — simulated instants precede nothing.
+    pub fn from_seconds(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "invalid simulated instant {s}");
+        SimTime((s * 1e9).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// The instant as floating-point seconds.
+    #[inline]
+    pub fn as_seconds(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since an earlier instant.
+    ///
+    /// # Panics
+    /// Panics (in debug) if `earlier` is later than `self`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(earlier <= self, "time went backwards");
+        SimDuration(self.0 - earlier.0)
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a span from seconds, rounding to the nearest nanosecond.
+    ///
+    /// # Panics
+    /// Panics on negative or NaN input.
+    pub fn from_seconds(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "invalid duration {s}");
+        SimDuration((s * 1e9).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// The span as floating-point seconds.
+    #[inline]
+    pub fn as_seconds(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_seconds())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_seconds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_seconds() {
+        let t = SimTime::from_seconds(1.5);
+        assert_eq!(t.0, 1_500_000_000);
+        assert!((t.as_seconds() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_duration() {
+        let t = SimTime::from_seconds(1.0) + SimDuration::from_seconds(0.25);
+        assert_eq!(t, SimTime::from_seconds(1.25));
+    }
+
+    #[test]
+    fn since_computes_span() {
+        let a = SimTime::from_seconds(2.0);
+        let b = SimTime::from_seconds(0.5);
+        assert_eq!(a.since(b), SimDuration::from_seconds(1.5));
+    }
+
+    #[test]
+    fn rounding_is_nearest() {
+        assert_eq!(SimDuration::from_seconds(1e-9 * 0.4).0, 0);
+        assert_eq!(SimDuration::from_seconds(1e-9 * 0.6).0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_duration_rejected() {
+        let _ = SimDuration::from_seconds(-1.0);
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        let t = SimTime(u64::MAX) + SimDuration(10);
+        assert_eq!(t.0, u64::MAX);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime::from_seconds(1.0) < SimTime::from_seconds(1.5));
+        assert!(SimDuration::from_seconds(0.1) < SimDuration::from_seconds(0.2));
+    }
+
+    #[test]
+    fn display_in_seconds() {
+        assert_eq!(SimTime::from_seconds(0.5).to_string(), "0.500000s");
+    }
+}

@@ -1,0 +1,135 @@
+//! Bounded event tracing for simulations.
+//!
+//! Debugging a discrete-event simulation usually means answering "what
+//! were the last N things that happened before it went wrong?".
+//! [`TraceRing`] is a fixed-capacity ring buffer of timestamped,
+//! formatted entries: cheap enough to leave enabled, bounded so long runs
+//! cannot exhaust memory.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// One trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened (already formatted).
+    pub what: String,
+}
+
+/// Fixed-capacity ring buffer of trace entries.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    capacity: usize,
+    entries: VecDeque<TraceEntry>,
+    recorded: u64,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring needs capacity");
+        Self {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+            recorded: 0,
+        }
+    }
+
+    /// A disabled ring (capacity 1, cheap no-op-ish); useful as a default.
+    pub fn tiny() -> Self {
+        Self::new(1)
+    }
+
+    /// Records an entry, evicting the oldest if full.
+    pub fn record(&mut self, at: SimTime, what: impl Into<String>) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(TraceEntry {
+            at,
+            what: what.into(),
+        });
+        self.recorded += 1;
+    }
+
+    /// Entries currently retained, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total entries ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Renders the retained entries, one per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!("[{}] {}\n", e.at, e.what));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_seconds(s)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut r = TraceRing::new(8);
+        r.record(t(1.0), "a");
+        r.record(t(2.0), "b");
+        let got: Vec<&str> = r.entries().map(|e| e.what.as_str()).collect();
+        assert_eq!(got, vec!["a", "b"]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut r = TraceRing::new(3);
+        for i in 0..10 {
+            r.record(t(i as f64), format!("e{i}"));
+        }
+        let got: Vec<&str> = r.entries().map(|e| e.what.as_str()).collect();
+        assert_eq!(got, vec!["e7", "e8", "e9"]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.recorded(), 10);
+    }
+
+    #[test]
+    fn render_includes_timestamps() {
+        let mut r = TraceRing::new(2);
+        r.record(t(0.5), "tick");
+        let text = r.render();
+        assert!(text.contains("0.500000s"));
+        assert!(text.contains("tick"));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn zero_capacity_rejected() {
+        let _ = TraceRing::new(0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Launch ordering.
+//!
+//! A child element can only register with its parent once the parent is
+//! running, so the launch order is a topological order of the tree. Like
+//! GoDIET, we launch in **breadth-first stages**: stage 0 is the root
+//! agent, stage `k` holds every element at depth `k`; elements within a
+//! stage start concurrently.
+
+use adept_hierarchy::{DeploymentPlan, Slot};
+
+/// Launch stages: `stages[k]` holds the slots at depth `k`, in slot order.
+pub fn launch_stages(plan: &DeploymentPlan) -> Vec<Vec<Slot>> {
+    let mut stages: Vec<Vec<Slot>> = Vec::new();
+    for slot in plan.bfs_order() {
+        let level = plan.level(slot);
+        if level >= stages.len() {
+            stages.resize(level + 1, Vec::new());
+        }
+        stages[level].push(slot);
+    }
+    stages
+}
+
+/// The stage (depth) a slot launches in.
+pub fn stage_of(plan: &DeploymentPlan, slot: Slot) -> usize {
+    plan.level(slot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adept_hierarchy::builder::{balanced_two_level, csd_tree, star};
+    use adept_platform::NodeId;
+
+    fn ids(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn star_has_two_stages() {
+        let stages = launch_stages(&star(&ids(6)));
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].len(), 1);
+        assert_eq!(stages[1].len(), 5);
+    }
+
+    #[test]
+    fn balanced_has_three_stages() {
+        let stages = launch_stages(&balanced_two_level(&ids(20), 4));
+        assert_eq!(stages.len(), 3);
+        assert_eq!(stages[1].len(), 4);
+        assert_eq!(stages[2].len(), 15);
+    }
+
+    #[test]
+    fn parents_always_precede_children() {
+        let plan = csd_tree(&ids(30), 3);
+        for slot in plan.slots() {
+            if let Some(parent) = plan.parent(slot) {
+                assert!(
+                    stage_of(&plan, parent) < stage_of(&plan, slot),
+                    "parent of {slot} must launch first"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stages_cover_every_slot_once() {
+        let plan = csd_tree(&ids(25), 2);
+        let stages = launch_stages(&plan);
+        let total: usize = stages.iter().map(Vec::len).sum();
+        assert_eq!(total, plan.len());
+    }
+}

@@ -1,0 +1,31 @@
+//! # adept-godiet
+//!
+//! A deployment-tool substrate modelled on **GoDIET** \[5\], the launcher
+//! the paper used on Grid'5000 ("GoDIET version 2.0.0 is used to perform
+//! the actual software deployment", Section 5.1).
+//!
+//! GoDIET consumes the XML descriptor produced by the planner
+//! (`write_xml`, paper Table 1), computes a launch order in which parents
+//! come up before their children (agents must be registered before a
+//! child can attach), starts every element, and reports the resulting
+//! running platform.
+//!
+//! This crate reproduces that pipeline against the simulator instead of
+//! `ssh`:
+//!
+//! * [`launch`] — breadth-first launch stages (parents strictly before
+//!   children), stage makespan accounting;
+//! * [`deploy`] — staged launch with per-element latency, deterministic
+//!   failure injection, bounded retries, and spare-node substitution
+//!   (re-planning a failed element onto an unused node of the platform);
+//! * [`deploy::GoDiet::deploy_xml`] — the full XML → running-deployment
+//!   path.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod deploy;
+pub mod launch;
+
+pub use deploy::{DeployError, DeploymentReport, GoDiet};
+pub use launch::{launch_stages, stage_of};

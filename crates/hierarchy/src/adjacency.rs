@@ -1,0 +1,267 @@
+//! Adjacency-matrix form of a hierarchy — the paper's `plot_hierarchy`
+//! procedure ("a function to fill the adjacency matrix. Adjacency matrix is
+//! filled according to the number of children that each agent can support",
+//! Table 1).
+//!
+//! The matrix is indexed by **platform node id**: `m[parent][child]` is set
+//! when `child` is attached under `parent`. The adjacency form is what the
+//! paper hands to the XML writer; we support the reverse direction too
+//! (matrix → plan), which gives a simple canonical interchange format and a
+//! proptest round-trip target.
+
+use crate::plan::{DeploymentPlan, PlanError, Role, Slot};
+use adept_platform::NodeId;
+use std::fmt;
+
+/// Dense boolean adjacency matrix over platform node ids `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdjacencyMatrix {
+    n: usize,
+    bits: Vec<bool>,
+}
+
+impl AdjacencyMatrix {
+    /// An empty matrix over `n` node ids.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            bits: vec![false; n * n],
+        }
+    }
+
+    /// Matrix dimension (number of node ids).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Sets `parent → child`.
+    ///
+    /// # Panics
+    /// Panics if either id is out of range.
+    #[inline]
+    pub fn set(&mut self, parent: NodeId, child: NodeId) {
+        let (p, c) = (parent.index(), child.index());
+        assert!(p < self.n && c < self.n, "node id out of range");
+        self.bits[p * self.n + c] = true;
+    }
+
+    /// True if `parent → child` is present.
+    ///
+    /// # Panics
+    /// Panics if either id is out of range.
+    #[inline]
+    pub fn get(&self, parent: NodeId, child: NodeId) -> bool {
+        let (p, c) = (parent.index(), child.index());
+        assert!(p < self.n && c < self.n, "node id out of range");
+        self.bits[p * self.n + c]
+    }
+
+    /// Children of a node, ascending by id.
+    pub fn children_of(&self, parent: NodeId) -> Vec<NodeId> {
+        let p = parent.index();
+        (0..self.n)
+            .filter(|&c| self.bits[p * self.n + c])
+            .map(|c| NodeId(c as u32))
+            .collect()
+    }
+
+    /// Out-degree of a node.
+    pub fn degree(&self, parent: NodeId) -> usize {
+        let p = parent.index();
+        (0..self.n).filter(|&c| self.bits[p * self.n + c]).count()
+    }
+
+    /// Builds the matrix of a plan (the paper's `plot_hierarchy`).
+    ///
+    /// The dimension is `max node id + 1` so the matrix can be overlaid on
+    /// the originating platform.
+    pub fn from_plan(plan: &DeploymentPlan) -> Self {
+        let n = plan
+            .slots()
+            .map(|s| plan.node(s).index())
+            .max()
+            .expect("plans always have a root")
+            + 1;
+        let mut m = Self::new(n);
+        for slot in plan.slots() {
+            for &child in plan.children(slot) {
+                m.set(plan.node(slot), plan.node(child));
+            }
+        }
+        m
+    }
+
+    /// Reconstructs a plan from the matrix.
+    ///
+    /// The root is the unique node with out-edges but no in-edge; interior
+    /// nodes become agents, leaves servers. Children are attached in
+    /// ascending id order.
+    ///
+    /// # Errors
+    /// Returns a descriptive error string if the matrix is not a tree
+    /// (no root, several roots, a node with two parents, or a cycle).
+    pub fn to_plan(&self) -> Result<DeploymentPlan, String> {
+        let mut in_deg = vec![0usize; self.n];
+        let mut touched = vec![false; self.n];
+        for p in 0..self.n {
+            for c in 0..self.n {
+                if self.bits[p * self.n + c] {
+                    in_deg[c] += 1;
+                    touched[p] = true;
+                    touched[c] = true;
+                }
+            }
+        }
+        let roots: Vec<usize> = (0..self.n)
+            .filter(|&i| touched[i] && in_deg[i] == 0)
+            .collect();
+        let root = match roots.as_slice() {
+            [] => return Err("adjacency matrix has no root (empty or cyclic)".into()),
+            [r] => *r,
+            many => {
+                return Err(format!(
+                    "adjacency matrix has {} roots; a hierarchy has exactly one",
+                    many.len()
+                ))
+            }
+        };
+        if let Some(bad) = (0..self.n).find(|&i| in_deg[i] > 1) {
+            return Err(format!("node n{bad} has {} parents", in_deg[bad]));
+        }
+        let mut plan = DeploymentPlan::with_root(NodeId(root as u32));
+        let mut stack: Vec<(usize, Slot)> = vec![(root, plan.root())];
+        let mut visited = 1usize;
+        while let Some((node, slot)) = stack.pop() {
+            for child in self.children_of(NodeId(node as u32)) {
+                if plan.role(slot) == Role::Server {
+                    plan.convert_to_agent(slot)
+                        .expect("slot exists and is a server");
+                }
+                let child_slot = match plan.add_server(slot, child) {
+                    Ok(s) => s,
+                    Err(PlanError::NodeAlreadyUsed(n)) => {
+                        return Err(format!("cycle detected through node {n}"))
+                    }
+                    Err(e) => return Err(format!("malformed matrix: {e}")),
+                };
+                visited += 1;
+                stack.push((child.index(), child_slot));
+            }
+        }
+        let touched_count = touched.iter().filter(|&&t| t).count();
+        if visited != touched_count {
+            return Err(format!(
+                "matrix is a forest: reached {visited} of {touched_count} touched nodes"
+            ));
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for AdjacencyMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in 0..self.n {
+            for c in 0..self.n {
+                write!(f, "{}", u8::from(self.bits[p * self.n + c]))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{balanced_two_level, csd_tree, star};
+
+    fn ids(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn star_matrix() {
+        let m = AdjacencyMatrix::from_plan(&star(&ids(4)));
+        assert_eq!(m.dim(), 4);
+        assert_eq!(m.degree(NodeId(0)), 3);
+        assert!(m.get(NodeId(0), NodeId(3)));
+        assert!(!m.get(NodeId(3), NodeId(0)));
+    }
+
+    #[test]
+    fn roundtrip_star() {
+        let p = star(&ids(6));
+        let m = AdjacencyMatrix::from_plan(&p);
+        let q = m.to_plan().unwrap();
+        assert_eq!(AdjacencyMatrix::from_plan(&q), m);
+        assert_eq!(q.server_count(), p.server_count());
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_for_csd() {
+        for d in 2..6 {
+            let p = csd_tree(&ids(20), d);
+            let m = AdjacencyMatrix::from_plan(&p);
+            let q = m.to_plan().unwrap();
+            assert_eq!(AdjacencyMatrix::from_plan(&q), m, "degree {d}");
+            assert_eq!(q.agent_count(), p.agent_count(), "degree {d}");
+            assert_eq!(q.depth(), p.depth(), "degree {d}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_balanced() {
+        let p = balanced_two_level(&ids(14), 3);
+        let q = AdjacencyMatrix::from_plan(&p).to_plan().unwrap();
+        assert_eq!(q.agent_count(), 4);
+        assert_eq!(q.server_count(), 10);
+    }
+
+    #[test]
+    fn empty_matrix_has_no_root() {
+        assert!(AdjacencyMatrix::new(4).to_plan().is_err());
+    }
+
+    #[test]
+    fn two_roots_rejected() {
+        let mut m = AdjacencyMatrix::new(4);
+        m.set(NodeId(0), NodeId(1));
+        m.set(NodeId(2), NodeId(3));
+        let err = m.to_plan().unwrap_err();
+        assert!(err.contains("2 roots"), "{err}");
+    }
+
+    #[test]
+    fn double_parent_rejected() {
+        let mut m = AdjacencyMatrix::new(3);
+        m.set(NodeId(0), NodeId(2));
+        m.set(NodeId(1), NodeId(2));
+        // Both 0 and 1 are roots AND 2 has two parents; either error is
+        // acceptable, but one must fire.
+        assert!(m.to_plan().is_err());
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut m = AdjacencyMatrix::new(3);
+        m.set(NodeId(0), NodeId(1));
+        m.set(NodeId(1), NodeId(2));
+        m.set(NodeId(2), NodeId(1));
+        assert!(m.to_plan().is_err());
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let mut m = AdjacencyMatrix::new(2);
+        m.set(NodeId(0), NodeId(1));
+        assert_eq!(m.to_string(), "01\n00\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let m = AdjacencyMatrix::new(2);
+        let _ = m.get(NodeId(5), NodeId(0));
+    }
+}

@@ -1,0 +1,216 @@
+//! Standard hierarchy shapes.
+//!
+//! Three families appear in the paper's evaluation:
+//!
+//! * **Star** (Section 5.3's first comparator): one agent, every other node
+//!   a server directly attached to it.
+//! * **Balanced two-level** (Section 5.3's second comparator): a root agent
+//!   over `m` middle agents, servers distributed as evenly as possible.
+//! * **Complete spanning d-ary tree (CSD)**: the shape the authors proved
+//!   optimal for homogeneous clusters in their prior work \[10\]; Table 4's
+//!   "degrees" refer to this family.
+//!
+//! All builders consume an explicit node list; callers decide the order
+//! (e.g. most-powerful-first so the strongest nodes become agents).
+
+use crate::plan::DeploymentPlan;
+#[cfg(test)]
+use crate::plan::Slot;
+use adept_platform::NodeId;
+
+/// Star: `nodes[0]` is the agent, all remaining nodes are its servers.
+///
+/// # Panics
+/// Panics if fewer than two nodes are supplied.
+pub fn star(nodes: &[NodeId]) -> DeploymentPlan {
+    assert!(nodes.len() >= 2, "a star needs an agent and at least one server");
+    let mut plan = DeploymentPlan::with_root(nodes[0]);
+    for &s in &nodes[1..] {
+        plan.add_server(plan.root(), s)
+            .expect("distinct nodes under an agent root always insert");
+    }
+    plan
+}
+
+/// Balanced two-level hierarchy: `nodes[0]` is the root, the next
+/// `mid_agents` nodes are middle agents, and the remaining nodes are servers
+/// distributed round-robin under the middle agents (so server counts differ
+/// by at most one — e.g. the paper's 1 + 14 agents + 14 servers each, one
+/// agent with only 3).
+///
+/// # Panics
+/// Panics if `mid_agents == 0` or there are not enough nodes to give every
+/// middle agent at least one server.
+pub fn balanced_two_level(nodes: &[NodeId], mid_agents: usize) -> DeploymentPlan {
+    assert!(mid_agents > 0, "need at least one middle agent");
+    assert!(
+        nodes.len() >= 1 + mid_agents + mid_agents,
+        "need a root, {mid_agents} agents and at least one server each, got {} nodes",
+        nodes.len()
+    );
+    let mut plan = DeploymentPlan::with_root(nodes[0]);
+    let mut agents = Vec::with_capacity(mid_agents);
+    for &a in &nodes[1..=mid_agents] {
+        agents.push(
+            plan.add_agent(plan.root(), a)
+                .expect("distinct nodes under the root always insert"),
+        );
+    }
+    for (i, &s) in nodes[1 + mid_agents..].iter().enumerate() {
+        let parent = agents[i % mid_agents];
+        plan.add_server(parent, s)
+            .expect("distinct nodes under an agent always insert");
+    }
+    plan
+}
+
+/// Complete spanning d-ary tree (the optimal family of \[10\]): nodes are
+/// placed in breadth-first order, each internal node receiving up to
+/// `degree` children; entries that end up with children are agents, leaves
+/// are servers.
+///
+/// `degree == 1` degenerates to the paper's one-agent-one-server deployment
+/// (a longer chain would contain single-child non-root agents, which the
+/// hierarchy rules forbid and which never help throughput).
+///
+/// # Panics
+/// Panics if fewer than two nodes are supplied or `degree == 0`.
+pub fn csd_tree(nodes: &[NodeId], degree: usize) -> DeploymentPlan {
+    assert!(degree > 0, "degree must be at least 1");
+    assert!(nodes.len() >= 2, "a hierarchy needs at least two nodes");
+    if degree == 1 {
+        return DeploymentPlan::agent_server(nodes[0], nodes[1]);
+    }
+    let mut plan = DeploymentPlan::with_root(nodes[0]);
+    // BFS fill: `frontier` holds slots that can still accept children.
+    // Entries are inserted as servers and promoted to agents the moment
+    // they receive their first child.
+    let mut frontier = std::collections::VecDeque::new();
+    frontier.push_back(plan.root());
+    let mut next = 1;
+    'outer: while let Some(parent) = frontier.pop_front() {
+        for _ in 0..degree {
+            if next >= nodes.len() {
+                break 'outer;
+            }
+            if plan.role(parent) == crate::plan::Role::Server {
+                plan.convert_to_agent(parent)
+                    .expect("slot from frontier exists and is a server");
+            }
+            let slot = plan
+                .add_server(parent, nodes[next])
+                .expect("fresh node under an agent always inserts");
+            next += 1;
+            frontier.push_back(slot);
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Role;
+
+    fn ids(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn star_shape() {
+        let p = star(&ids(5));
+        assert_eq!(p.agent_count(), 1);
+        assert_eq!(p.server_count(), 4);
+        assert_eq!(p.degree(Slot(0)), 4);
+        assert_eq!(p.depth(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn star_needs_two_nodes() {
+        let _ = star(&ids(1));
+    }
+
+    #[test]
+    fn balanced_two_level_distributes_evenly() {
+        // 1 root + 3 agents + 10 servers.
+        let p = balanced_two_level(&ids(14), 3);
+        assert_eq!(p.agent_count(), 4);
+        assert_eq!(p.server_count(), 10);
+        assert_eq!(p.depth(), 3);
+        let mut degrees: Vec<usize> = p
+            .children(Slot(0))
+            .iter()
+            .map(|&a| p.degree(a))
+            .collect();
+        degrees.sort_unstable();
+        assert_eq!(degrees, vec![3, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server each")]
+    fn balanced_needs_enough_servers() {
+        let _ = balanced_two_level(&ids(5), 3);
+    }
+
+    #[test]
+    fn csd_degree_one_is_agent_server() {
+        let p = csd_tree(&ids(10), 1);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.agent_count(), 1);
+        assert_eq!(p.server_count(), 1);
+    }
+
+    #[test]
+    fn csd_star_when_degree_covers_all() {
+        let p = csd_tree(&ids(10), 9);
+        assert_eq!(p.depth(), 2);
+        assert_eq!(p.server_count(), 9);
+    }
+
+    #[test]
+    fn csd_binary_on_seven_nodes_is_complete() {
+        let p = csd_tree(&ids(7), 2);
+        // 1 + 2 + 4: root and two mid agents, four leaf servers.
+        assert_eq!(p.agent_count(), 3);
+        assert_eq!(p.server_count(), 4);
+        assert_eq!(p.depth(), 3);
+        for a in p.agents() {
+            assert_eq!(p.degree(a), 2);
+        }
+    }
+
+    #[test]
+    fn csd_partial_last_level() {
+        // 25 nodes at degree 2: levels 1,2,4,8,10.
+        let p = csd_tree(&ids(25), 2);
+        assert_eq!(p.len(), 25);
+        assert_eq!(p.depth(), 5);
+        // 10 leaves at the last level plus 3 childless entries at level 3.
+        assert_eq!(p.server_count(), 13);
+        assert_eq!(p.agent_count(), 12);
+        // No agent exceeds the degree.
+        for a in p.agents() {
+            assert!(p.degree(a) <= 2);
+        }
+    }
+
+    #[test]
+    fn csd_uses_all_nodes_when_degree_ge_2() {
+        for d in 2..10 {
+            let p = csd_tree(&ids(45), d);
+            assert_eq!(p.len(), 45, "degree {d} must span all nodes");
+        }
+    }
+
+    #[test]
+    fn csd_roles_consistent() {
+        let p = csd_tree(&ids(45), 15);
+        for s in p.slots() {
+            match p.role(s) {
+                Role::Agent => assert!(p.degree(s) > 0, "agents have children"),
+                Role::Server => assert_eq!(p.degree(s), 0, "servers are leaves"),
+            }
+        }
+    }
+}

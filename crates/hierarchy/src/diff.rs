@@ -1,0 +1,222 @@
+//! Structural diffs between deployment plans.
+//!
+//! Re-planning happens in practice — the launcher substitutes failed
+//! nodes, the improver reshapes trees, demand changes. A [`PlanDiff`]
+//! explains *what changed* between two plans in node terms: which
+//! platform nodes joined, left, changed role, or changed parent.
+
+use crate::plan::{DeploymentPlan, Role};
+use adept_platform::NodeId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A per-node change between two plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeChange {
+    /// The node appears only in the new plan.
+    Added {
+        /// Role in the new plan.
+        role: Role,
+    },
+    /// The node appears only in the old plan.
+    Removed {
+        /// Role it had in the old plan.
+        role: Role,
+    },
+    /// The node's role changed (e.g. server promoted to agent).
+    Rerole {
+        /// Old role.
+        from: Role,
+        /// New role.
+        to: Role,
+    },
+    /// Same role, different parent node.
+    Reparented {
+        /// Old parent (`None` = was the root).
+        from: Option<NodeId>,
+        /// New parent (`None` = is now the root).
+        to: Option<NodeId>,
+    },
+}
+
+/// The full structural diff.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PlanDiff {
+    /// Changes keyed by platform node.
+    pub changes: BTreeMap<NodeId, NodeChange>,
+}
+
+impl PlanDiff {
+    /// Computes the diff from `old` to `new`.
+    pub fn between(old: &DeploymentPlan, new: &DeploymentPlan) -> Self {
+        let describe = |plan: &DeploymentPlan| {
+            let mut map = BTreeMap::new();
+            for s in plan.slots() {
+                map.insert(
+                    plan.node(s),
+                    (plan.role(s), plan.parent(s).map(|p| plan.node(p))),
+                );
+            }
+            map
+        };
+        let before = describe(old);
+        let after = describe(new);
+        let mut changes = BTreeMap::new();
+        for (&node, &(role, parent)) in &before {
+            match after.get(&node) {
+                None => {
+                    changes.insert(node, NodeChange::Removed { role });
+                }
+                Some(&(new_role, new_parent)) => {
+                    if new_role != role {
+                        changes.insert(
+                            node,
+                            NodeChange::Rerole {
+                                from: role,
+                                to: new_role,
+                            },
+                        );
+                    } else if new_parent != parent {
+                        changes.insert(
+                            node,
+                            NodeChange::Reparented {
+                                from: parent,
+                                to: new_parent,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        for (&node, &(role, _)) in &after {
+            if !before.contains_key(&node) {
+                changes.insert(node, NodeChange::Added { role });
+            }
+        }
+        Self { changes }
+    }
+
+    /// True when the plans are structurally identical.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Number of changed nodes.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+}
+
+impl fmt::Display for PlanDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "no changes");
+        }
+        for (node, change) in &self.changes {
+            match change {
+                NodeChange::Added { role } => writeln!(f, "+ {node} joins as {role}")?,
+                NodeChange::Removed { role } => writeln!(f, "- {node} leaves (was {role})")?,
+                NodeChange::Rerole { from, to } => {
+                    writeln!(f, "~ {node} changes role {from} -> {to}")?
+                }
+                NodeChange::Reparented { from, to } => {
+                    let p = |x: &Option<NodeId>| {
+                        x.map_or("root".to_string(), |n| n.to_string())
+                    };
+                    writeln!(f, "~ {node} moves {} -> {}", p(from), p(to))?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::star;
+    use crate::plan::Slot;
+
+    fn ids(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn identical_plans_have_empty_diff() {
+        let p = star(&ids(5));
+        let d = PlanDiff::between(&p, &p.clone());
+        assert!(d.is_empty());
+        assert_eq!(d.to_string(), "no changes");
+    }
+
+    #[test]
+    fn added_and_removed_nodes() {
+        let old = star(&ids(3));
+        let mut new = star(&ids(3));
+        new.add_server(new.root(), NodeId(9)).unwrap();
+        let d = PlanDiff::between(&old, &new);
+        assert_eq!(d.len(), 1);
+        assert_eq!(
+            d.changes[&NodeId(9)],
+            NodeChange::Added { role: Role::Server }
+        );
+        let back = PlanDiff::between(&new, &old);
+        assert_eq!(
+            back.changes[&NodeId(9)],
+            NodeChange::Removed { role: Role::Server }
+        );
+    }
+
+    #[test]
+    fn conversion_shows_as_rerole() {
+        let old = star(&ids(4));
+        let mut new = star(&ids(4));
+        new.convert_to_agent(Slot(1)).unwrap();
+        new.add_server(Slot(1), NodeId(7)).unwrap();
+        let d = PlanDiff::between(&old, &new);
+        assert_eq!(
+            d.changes[&NodeId(1)],
+            NodeChange::Rerole {
+                from: Role::Server,
+                to: Role::Agent
+            }
+        );
+        assert_eq!(d.changes[&NodeId(7)], NodeChange::Added { role: Role::Server });
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn reparenting_detected() {
+        // old: root(0) -> a(1) -> s(2); new: root(0) -> {a(1), s(2)}.
+        let mut old = DeploymentPlan::with_root(NodeId(0));
+        let a = old.add_agent(old.root(), NodeId(1)).unwrap();
+        old.add_server(a, NodeId(2)).unwrap();
+        let mut new = DeploymentPlan::with_root(NodeId(0));
+        let a2 = new.add_agent(new.root(), NodeId(1)).unwrap();
+        new.add_server(new.root(), NodeId(2)).unwrap();
+        new.add_server(a2, NodeId(3)).unwrap();
+        let d = PlanDiff::between(&old, &new);
+        assert_eq!(
+            d.changes[&NodeId(2)],
+            NodeChange::Reparented {
+                from: Some(NodeId(1)),
+                to: Some(NodeId(0))
+            }
+        );
+        assert!(d.to_string().contains("n2 moves n1 -> n0"));
+    }
+
+    #[test]
+    fn godiet_substitution_diff_shape() {
+        // Simulates what the deployment tool reports after substituting a
+        // failed node: one removal + one addition at the same position.
+        let old = star(&ids(4));
+        let mut new = DeploymentPlan::with_root(NodeId(0));
+        for i in [1u32, 2, 9] {
+            new.add_server(new.root(), NodeId(i)).unwrap();
+        }
+        let d = PlanDiff::between(&old, &new);
+        assert_eq!(d.changes[&NodeId(3)], NodeChange::Removed { role: Role::Server });
+        assert_eq!(d.changes[&NodeId(9)], NodeChange::Added { role: Role::Server });
+    }
+}

@@ -1,0 +1,41 @@
+//! # adept-hierarchy
+//!
+//! Deployment-hierarchy substrate: the tree of **agents** and **servers**
+//! that the planner produces and the simulator instantiates.
+//!
+//! The paper (Section 1) defines the arrangement precisely:
+//!
+//! > "A server s ∈ S has exactly one parent that is always an agent a ∈ A.
+//! > A root agent a ∈ A has one or more child agents and/or servers and no
+//! > parents. Non-root agents a ∈ A have exactly one parent and two or more
+//! > child agents and/or servers."
+//!
+//! Resources are **not** shared between agents and servers (each node plays
+//! one role).
+//!
+//! * [`plan`] — the [`DeploymentPlan`] tree (index-based, cheap to clone);
+//! * [`builder`] — the standard shapes: star, balanced two-level, and the
+//!   complete spanning d-ary tree of the authors' prior work \[10\];
+//! * [`adjacency`] — the paper's adjacency-matrix output (`plot_hierarchy`);
+//! * [`xml`] — GoDIET-style XML serialization (`write_xml`) and a parser;
+//! * [`validate`](mod@validate) — structural validation against the rules above;
+//! * [`stats`] — shape statistics (depth, degrees, counts) used in reports.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod adjacency;
+pub mod builder;
+pub mod diff;
+pub mod dot;
+pub mod plan;
+pub mod stats;
+pub mod validate;
+pub mod xml;
+
+pub use adjacency::AdjacencyMatrix;
+pub use diff::{NodeChange, PlanDiff};
+pub use dot::to_dot;
+pub use plan::{DeploymentPlan, PlanError, Role, Slot};
+pub use stats::HierarchyStats;
+pub use validate::{validate, validate_relaxed, ValidationError};

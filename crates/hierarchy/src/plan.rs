@@ -1,0 +1,569 @@
+//! The deployment plan: a rooted tree of agents and servers over platform
+//! nodes.
+//!
+//! The representation is index-based: plan entries live in a `Vec` and refer
+//! to each other through [`Slot`] indices, so clones are cheap and traversals
+//! allocation-free. Every entry maps to a distinct platform
+//! [`adept_platform::NodeId`] (the paper never shares a machine
+//! between two middleware elements).
+
+use adept_platform::NodeId;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Role of a node in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Scheduler element (the paper's `a ∈ A`): forwards requests down,
+    /// aggregates replies up.
+    Agent,
+    /// Service daemon (the paper's `s ∈ S`, a SeD): predicts and executes.
+    Server,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Agent => write!(f, "agent"),
+            Role::Server => write!(f, "server"),
+        }
+    }
+}
+
+/// Index of an entry inside a [`DeploymentPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Slot(pub usize);
+
+impl Slot {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Errors raised by plan mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The platform node is already used by another entry.
+    NodeAlreadyUsed(NodeId),
+    /// The slot does not exist.
+    InvalidSlot(Slot),
+    /// The referenced parent entry is a server; only agents have children.
+    ParentIsServer(Slot),
+    /// Attempted to convert an entry that is not a server.
+    NotAServer(Slot),
+    /// Attempted to remove the root.
+    CannotRemoveRoot,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NodeAlreadyUsed(n) => write!(f, "node {n} already used in the plan"),
+            PlanError::InvalidSlot(s) => write!(f, "invalid plan slot {s}"),
+            PlanError::ParentIsServer(s) => write!(f, "parent slot {s} is a server"),
+            PlanError::NotAServer(s) => write!(f, "slot {s} is not a server"),
+            PlanError::CannotRemoveRoot => write!(f, "cannot remove the root agent"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    node: NodeId,
+    role: Role,
+    parent: Option<Slot>,
+    children: Vec<Slot>,
+}
+
+/// A rooted hierarchy of agents and servers.
+///
+/// Invariants maintained by construction:
+/// * exactly one root (slot 0), an agent with no parent;
+/// * every non-root entry has exactly one parent, which is an agent;
+/// * every platform node appears at most once;
+/// * servers have no children.
+///
+/// The paper's additional rule (non-root agents have ≥ 2 children, root has
+/// ≥ 1) is checked by [`validate`](crate::validate::validate) rather than by
+/// construction, because the heuristic legitimately passes through
+/// intermediate states that violate it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentPlan {
+    entries: Vec<Entry>,
+    used: HashSet<NodeId>,
+}
+
+impl DeploymentPlan {
+    /// A plan with a lone root agent.
+    pub fn with_root(root: NodeId) -> Self {
+        let mut used = HashSet::new();
+        used.insert(root);
+        Self {
+            entries: vec![Entry {
+                node: root,
+                role: Role::Agent,
+                parent: None,
+                children: Vec::new(),
+            }],
+            used,
+        }
+    }
+
+    /// The paper's smallest deployment: one agent, one server (Algorithm 1,
+    /// step 7).
+    pub fn agent_server(agent: NodeId, server: NodeId) -> Self {
+        let mut plan = Self::with_root(agent);
+        plan.add_server(Slot(0), server)
+            .expect("fresh plan accepts a server");
+        plan
+    }
+
+    /// The root slot (always `Slot(0)`).
+    #[inline]
+    pub fn root(&self) -> Slot {
+        Slot(0)
+    }
+
+    /// Number of entries (agents + servers).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the plan holds only the root.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.len() <= 1
+    }
+
+    fn entry(&self, slot: Slot) -> Result<&Entry, PlanError> {
+        self.entries.get(slot.0).ok_or(PlanError::InvalidSlot(slot))
+    }
+
+    /// Adds a server under `parent`.
+    ///
+    /// # Errors
+    /// [`PlanError::InvalidSlot`], [`PlanError::ParentIsServer`], or
+    /// [`PlanError::NodeAlreadyUsed`].
+    pub fn add_server(&mut self, parent: Slot, node: NodeId) -> Result<Slot, PlanError> {
+        self.add(parent, node, Role::Server)
+    }
+
+    /// Adds an agent under `parent`.
+    ///
+    /// # Errors
+    /// Same conditions as [`DeploymentPlan::add_server`].
+    pub fn add_agent(&mut self, parent: Slot, node: NodeId) -> Result<Slot, PlanError> {
+        self.add(parent, node, Role::Agent)
+    }
+
+    fn add(&mut self, parent: Slot, node: NodeId, role: Role) -> Result<Slot, PlanError> {
+        let p = self.entry(parent)?;
+        if p.role != Role::Agent {
+            return Err(PlanError::ParentIsServer(parent));
+        }
+        if self.used.contains(&node) {
+            return Err(PlanError::NodeAlreadyUsed(node));
+        }
+        let slot = Slot(self.entries.len());
+        self.entries.push(Entry {
+            node,
+            role,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.entries[parent.0].children.push(slot);
+        self.used.insert(node);
+        Ok(slot)
+    }
+
+    /// Converts a server into an agent — the paper's `shift_nodes`
+    /// procedure ("if any server is converted as an agent", Table 1). The
+    /// entry keeps its node and parent; it can now receive children.
+    ///
+    /// # Errors
+    /// [`PlanError::InvalidSlot`] or [`PlanError::NotAServer`].
+    pub fn convert_to_agent(&mut self, slot: Slot) -> Result<(), PlanError> {
+        let e = self
+            .entries
+            .get_mut(slot.0)
+            .ok_or(PlanError::InvalidSlot(slot))?;
+        if e.role != Role::Server {
+            return Err(PlanError::NotAServer(slot));
+        }
+        e.role = Role::Agent;
+        Ok(())
+    }
+
+    /// Removes the most recently added entry (Algorithm 1, step 30 removes
+    /// a child from the last agent when throughput degraded). The vacated
+    /// platform node can be reused afterwards.
+    ///
+    /// Removal is restricted to the **last added** entry, which is exactly
+    /// how the heuristic uses it (it retracts its most recent addition);
+    /// this keeps the index-based representation hole-free. Children always
+    /// carry larger indices than their parent, so the last entry never has
+    /// children.
+    ///
+    /// # Errors
+    /// [`PlanError::InvalidSlot`] if `slot` is not the last entry,
+    /// [`PlanError::CannotRemoveRoot`] for the root.
+    pub fn remove_last(&mut self, slot: Slot) -> Result<NodeId, PlanError> {
+        if slot.0 == 0 {
+            return Err(PlanError::CannotRemoveRoot);
+        }
+        if slot.0 != self.entries.len() - 1 {
+            return Err(PlanError::InvalidSlot(slot));
+        }
+        debug_assert!(
+            self.entries[slot.0].children.is_empty(),
+            "children always have larger indices than their parent"
+        );
+        let e = self.entries.pop().expect("len >= 2 checked above");
+        if let Some(p) = e.parent {
+            self.entries[p.0].children.retain(|&c| c != slot);
+        }
+        self.used.remove(&e.node);
+        Ok(e.node)
+    }
+
+    /// Platform node of an entry.
+    ///
+    /// # Panics
+    /// Panics on an invalid slot.
+    #[inline]
+    pub fn node(&self, slot: Slot) -> NodeId {
+        self.entries[slot.0].node
+    }
+
+    /// Role of an entry.
+    ///
+    /// # Panics
+    /// Panics on an invalid slot.
+    #[inline]
+    pub fn role(&self, slot: Slot) -> Role {
+        self.entries[slot.0].role
+    }
+
+    /// Parent of an entry (`None` for the root).
+    ///
+    /// # Panics
+    /// Panics on an invalid slot.
+    #[inline]
+    pub fn parent(&self, slot: Slot) -> Option<Slot> {
+        self.entries[slot.0].parent
+    }
+
+    /// Children of an entry, in insertion order.
+    ///
+    /// # Panics
+    /// Panics on an invalid slot.
+    #[inline]
+    pub fn children(&self, slot: Slot) -> &[Slot] {
+        &self.entries[slot.0].children
+    }
+
+    /// Number of children (the paper's `d_i`).
+    ///
+    /// # Panics
+    /// Panics on an invalid slot.
+    #[inline]
+    pub fn degree(&self, slot: Slot) -> usize {
+        self.entries[slot.0].children.len()
+    }
+
+    /// All slots, in insertion order.
+    pub fn slots(&self) -> impl Iterator<Item = Slot> + '_ {
+        (0..self.entries.len()).map(Slot)
+    }
+
+    /// Slots of all agents.
+    pub fn agents(&self) -> impl Iterator<Item = Slot> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.role == Role::Agent)
+            .map(|(i, _)| Slot(i))
+    }
+
+    /// Slots of all servers.
+    pub fn servers(&self) -> impl Iterator<Item = Slot> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.role == Role::Server)
+            .map(|(i, _)| Slot(i))
+    }
+
+    /// Number of agents.
+    pub fn agent_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.role == Role::Agent).count()
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.role == Role::Server).count()
+    }
+
+    /// Platform nodes of all servers, in insertion order.
+    pub fn server_nodes(&self) -> Vec<NodeId> {
+        self.entries
+            .iter()
+            .filter(|e| e.role == Role::Server)
+            .map(|e| e.node)
+            .collect()
+    }
+
+    /// True if the platform node is used anywhere in the plan.
+    #[inline]
+    pub fn uses_node(&self, node: NodeId) -> bool {
+        self.used.contains(&node)
+    }
+
+    /// Depth of the tree: 1 for a lone root, 2 for a star, etc.
+    pub fn depth(&self) -> usize {
+        fn rec(plan: &DeploymentPlan, s: Slot) -> usize {
+            1 + plan
+                .children(s)
+                .iter()
+                .map(|&c| rec(plan, c))
+                .max()
+                .unwrap_or(0)
+        }
+        rec(self, self.root())
+    }
+
+    /// Depth of a slot below the root (root = 0).
+    pub fn level(&self, slot: Slot) -> usize {
+        let mut lvl = 0;
+        let mut cur = slot;
+        while let Some(p) = self.parent(cur) {
+            lvl += 1;
+            cur = p;
+        }
+        lvl
+    }
+
+    /// Slots in breadth-first order from the root.
+    pub fn bfs_order(&self) -> Vec<Slot> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(self.root());
+        while let Some(s) = queue.pop_front() {
+            out.push(s);
+            queue.extend(self.children(s).iter().copied());
+        }
+        out
+    }
+
+    /// True if two plans describe the same hierarchy over the same platform
+    /// nodes: identical parent and role for every node, regardless of slot
+    /// numbering or child insertion order. This is the right equality for
+    /// round-trip tests (XML and adjacency serialization do not preserve
+    /// slot order).
+    pub fn structurally_eq(&self, other: &DeploymentPlan) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        let describe = |plan: &DeploymentPlan| {
+            let mut map = std::collections::BTreeMap::new();
+            for s in plan.slots() {
+                map.insert(
+                    plan.node(s),
+                    (plan.parent(s).map(|p| plan.node(p)), plan.role(s)),
+                );
+            }
+            map
+        };
+        describe(self) == describe(other)
+    }
+
+    /// An ASCII rendering of the tree, for logs and examples.
+    pub fn render(&self) -> String {
+        fn rec(plan: &DeploymentPlan, s: Slot, prefix: &str, last: bool, out: &mut String) {
+            let branch = if s.0 == 0 {
+                ""
+            } else if last {
+                "└── "
+            } else {
+                "├── "
+            };
+            out.push_str(prefix);
+            out.push_str(branch);
+            out.push_str(&format!("{} {}\n", plan.role(s), plan.node(s)));
+            let child_prefix = if s.0 == 0 {
+                String::new()
+            } else {
+                format!("{prefix}{}", if last { "    " } else { "│   " })
+            };
+            let kids = plan.children(s);
+            for (i, &c) in kids.iter().enumerate() {
+                rec(plan, c, &child_prefix, i + 1 == kids.len(), out);
+            }
+        }
+        let mut out = String::new();
+        rec(self, self.root(), "", true, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for DeploymentPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "plan: {} agents, {} servers, depth {}",
+            self.agent_count(),
+            self.server_count(),
+            self.depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn root_only_plan() {
+        let p = DeploymentPlan::with_root(n(0));
+        assert_eq!(p.len(), 1);
+        assert!(p.is_empty());
+        assert_eq!(p.role(p.root()), Role::Agent);
+        assert_eq!(p.parent(p.root()), None);
+        assert_eq!(p.depth(), 1);
+    }
+
+    #[test]
+    fn agent_server_pair() {
+        let p = DeploymentPlan::agent_server(n(0), n(1));
+        assert_eq!(p.agent_count(), 1);
+        assert_eq!(p.server_count(), 1);
+        assert_eq!(p.depth(), 2);
+        assert_eq!(p.degree(p.root()), 1);
+        assert_eq!(p.server_nodes(), vec![n(1)]);
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let mut p = DeploymentPlan::with_root(n(0));
+        assert_eq!(
+            p.add_server(Slot(0), n(0)),
+            Err(PlanError::NodeAlreadyUsed(n(0)))
+        );
+    }
+
+    #[test]
+    fn server_cannot_parent() {
+        let mut p = DeploymentPlan::agent_server(n(0), n(1));
+        assert_eq!(
+            p.add_server(Slot(1), n(2)),
+            Err(PlanError::ParentIsServer(Slot(1)))
+        );
+    }
+
+    #[test]
+    fn invalid_slot_rejected() {
+        let mut p = DeploymentPlan::with_root(n(0));
+        assert_eq!(
+            p.add_server(Slot(9), n(1)),
+            Err(PlanError::InvalidSlot(Slot(9)))
+        );
+    }
+
+    #[test]
+    fn convert_server_to_agent_allows_children() {
+        let mut p = DeploymentPlan::agent_server(n(0), n(1));
+        p.convert_to_agent(Slot(1)).unwrap();
+        assert_eq!(p.role(Slot(1)), Role::Agent);
+        let s = p.add_server(Slot(1), n(2)).unwrap();
+        assert_eq!(p.parent(s), Some(Slot(1)));
+        assert_eq!(p.depth(), 3);
+    }
+
+    #[test]
+    fn convert_agent_fails() {
+        let mut p = DeploymentPlan::with_root(n(0));
+        assert_eq!(p.convert_to_agent(Slot(0)), Err(PlanError::NotAServer(Slot(0))));
+    }
+
+    #[test]
+    fn remove_last_frees_node() {
+        let mut p = DeploymentPlan::agent_server(n(0), n(1));
+        let s = p.add_server(Slot(0), n(2)).unwrap();
+        assert_eq!(p.remove_last(s).unwrap(), n(2));
+        assert_eq!(p.server_count(), 1);
+        assert!(!p.uses_node(n(2)));
+        // The node can be reused.
+        p.add_server(Slot(0), n(2)).unwrap();
+        assert!(p.uses_node(n(2)));
+    }
+
+    #[test]
+    fn remove_non_last_rejected() {
+        let mut p = DeploymentPlan::agent_server(n(0), n(1));
+        p.add_server(Slot(0), n(2)).unwrap();
+        assert_eq!(p.remove_last(Slot(1)), Err(PlanError::InvalidSlot(Slot(1))));
+    }
+
+    #[test]
+    fn remove_root_rejected() {
+        let mut p = DeploymentPlan::with_root(n(0));
+        assert_eq!(p.remove_last(Slot(0)), Err(PlanError::CannotRemoveRoot));
+    }
+
+    #[test]
+    fn remove_parent_of_children_is_never_last() {
+        let mut p = DeploymentPlan::agent_server(n(0), n(1));
+        p.convert_to_agent(Slot(1)).unwrap();
+        p.add_server(Slot(1), n(2)).unwrap();
+        // Slot(1) has a child, so it is not the last entry and cannot be
+        // removed; only its child Slot(2) can.
+        assert_eq!(p.remove_last(Slot(1)), Err(PlanError::InvalidSlot(Slot(1))));
+        assert_eq!(p.remove_last(Slot(2)).unwrap(), n(2));
+    }
+
+    #[test]
+    fn levels_and_bfs() {
+        let mut p = DeploymentPlan::with_root(n(0));
+        let a = p.add_agent(Slot(0), n(1)).unwrap();
+        let s1 = p.add_server(a, n(2)).unwrap();
+        let s2 = p.add_server(p.root(), n(3)).unwrap();
+        assert_eq!(p.level(p.root()), 0);
+        assert_eq!(p.level(a), 1);
+        assert_eq!(p.level(s1), 2);
+        assert_eq!(p.level(s2), 1);
+        assert_eq!(p.bfs_order(), vec![Slot(0), a, s2, s1]);
+    }
+
+    #[test]
+    fn render_contains_all_entries() {
+        let mut p = DeploymentPlan::with_root(n(0));
+        let a = p.add_agent(Slot(0), n(1)).unwrap();
+        p.add_server(a, n(2)).unwrap();
+        p.add_server(a, n(3)).unwrap();
+        let r = p.render();
+        for id in 0..4 {
+            assert!(r.contains(&format!("n{id}")), "missing n{id} in:\n{r}");
+        }
+    }
+
+    #[test]
+    fn display_summary() {
+        let p = DeploymentPlan::agent_server(n(0), n(1));
+        assert_eq!(p.to_string(), "plan: 1 agents, 1 servers, depth 2");
+    }
+}

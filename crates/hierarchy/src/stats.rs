@@ -1,0 +1,127 @@
+//! Shape statistics of a hierarchy, used in experiment reports
+//! (e.g. describing the automatically generated deployment of Figure 6:
+//! "156 nodes … top agent connected with 9 agents …").
+
+use crate::plan::DeploymentPlan;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Summary statistics of a deployment plan's shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// Number of agent entries.
+    pub agents: usize,
+    /// Number of server entries.
+    pub servers: usize,
+    /// Tree depth (1 = lone root).
+    pub depth: usize,
+    /// Maximum agent out-degree.
+    pub max_degree: usize,
+    /// Out-degree of the root agent.
+    pub root_degree: usize,
+    /// Histogram of agent out-degrees (degree → count).
+    pub degree_histogram: BTreeMap<usize, usize>,
+    /// Number of entries per level (level 0 = root).
+    pub level_sizes: Vec<usize>,
+}
+
+impl HierarchyStats {
+    /// Computes statistics for a plan.
+    pub fn of(plan: &DeploymentPlan) -> Self {
+        let mut degree_histogram = BTreeMap::new();
+        let mut max_degree = 0;
+        for a in plan.agents() {
+            let d = plan.degree(a);
+            *degree_histogram.entry(d).or_insert(0) += 1;
+            max_degree = max_degree.max(d);
+        }
+        let mut level_sizes = Vec::new();
+        for s in plan.slots() {
+            let lvl = plan.level(s);
+            if lvl >= level_sizes.len() {
+                level_sizes.resize(lvl + 1, 0);
+            }
+            level_sizes[lvl] += 1;
+        }
+        Self {
+            agents: plan.agent_count(),
+            servers: plan.server_count(),
+            depth: plan.depth(),
+            max_degree,
+            root_degree: plan.degree(plan.root()),
+            degree_histogram,
+            level_sizes,
+        }
+    }
+
+    /// Total nodes used by the plan.
+    pub fn total_nodes(&self) -> usize {
+        self.agents + self.servers
+    }
+}
+
+impl fmt::Display for HierarchyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes ({} agents + {} servers), depth {}, root degree {}, max degree {}, levels {:?}",
+            self.total_nodes(),
+            self.agents,
+            self.servers,
+            self.depth,
+            self.root_degree,
+            self.max_degree,
+            self.level_sizes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{balanced_two_level, csd_tree, star};
+    use adept_platform::NodeId;
+
+    fn ids(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn star_stats() {
+        let s = HierarchyStats::of(&star(&ids(21)));
+        assert_eq!(s.agents, 1);
+        assert_eq!(s.servers, 20);
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.root_degree, 20);
+        assert_eq!(s.max_degree, 20);
+        assert_eq!(s.level_sizes, vec![1, 20]);
+        assert_eq!(s.total_nodes(), 21);
+    }
+
+    #[test]
+    fn balanced_stats() {
+        let s = HierarchyStats::of(&balanced_two_level(&ids(200), 14));
+        assert_eq!(s.agents, 15);
+        assert_eq!(s.servers, 185);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.root_degree, 14);
+        // 185 servers round-robin over 14 agents: degrees 13 or 14.
+        assert!(s.max_degree == 14);
+        assert_eq!(s.level_sizes, vec![1, 14, 185]);
+    }
+
+    #[test]
+    fn csd_stats_histogram() {
+        let s = HierarchyStats::of(&csd_tree(&ids(7), 2));
+        assert_eq!(s.degree_histogram.get(&2), Some(&3));
+        assert_eq!(s.depth, 3);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let s = HierarchyStats::of(&star(&ids(3)));
+        let d = s.to_string();
+        assert!(d.contains("3 nodes"));
+        assert!(d.contains("1 agents + 2 servers"));
+    }
+}

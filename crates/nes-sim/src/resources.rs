@@ -1,0 +1,159 @@
+//! The `M(r,s,w)` resource model: one serial timeline per node.
+//!
+//! "In this model, a computing resource has no capability for parallelism.
+//! It can either send a message, receive a message, or compute. Only a
+//! single port is assumed. Messages must be sent and received serially."
+//! (paper, Section 3)
+//!
+//! [`Timeline::reserve`] is the whole model: an operation of duration `d`
+//! requested at time `t` occupies the exclusive interval
+//! `[max(t, busy_until), max(t, busy_until) + d)`.
+
+use adept_desim::{SimDuration, SimTime};
+
+/// A node's serial operation timeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timeline {
+    busy_until: SimTime,
+    busy_total: SimDuration,
+}
+
+impl Timeline {
+    /// A timeline idle since the beginning of time.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves an exclusive interval of length `d` starting no earlier
+    /// than `now`. Returns `(start, end)` of the granted interval.
+    pub fn reserve(&mut self, now: SimTime, d: SimDuration) -> (SimTime, SimTime) {
+        let start = now.max(self.busy_until);
+        let end = start + d;
+        self.busy_until = end;
+        self.busy_total = self.busy_total + d;
+        (start, end)
+    }
+
+    /// The instant the node becomes idle.
+    #[inline]
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Accumulated busy time (for utilization reporting).
+    #[inline]
+    pub fn busy_total(&self) -> SimDuration {
+        self.busy_total
+    }
+
+    /// Utilization over `[0, now]`, in `[0, 1]` (1 when saturated).
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
+        (self.busy_total.as_seconds() / now.as_seconds()).min(1.0)
+    }
+}
+
+/// Timelines for all platform nodes, indexed by `NodeId`.
+#[derive(Debug, Clone)]
+pub struct Timelines {
+    nodes: Vec<Timeline>,
+}
+
+impl Timelines {
+    /// One idle timeline per node.
+    pub fn new(node_count: usize) -> Self {
+        Self {
+            nodes: vec![Timeline::new(); node_count],
+        }
+    }
+
+    /// The timeline of a node.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range index.
+    #[inline]
+    pub fn get(&self, node: usize) -> &Timeline {
+        &self.nodes[node]
+    }
+
+    /// Mutable access to a node's timeline.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range index.
+    #[inline]
+    pub fn get_mut(&mut self, node: usize) -> &mut Timeline {
+        &mut self.nodes[node]
+    }
+
+    /// Number of timelines.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when there are no timelines.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: f64) -> SimTime {
+        SimTime::from_seconds(x)
+    }
+    fn d(x: f64) -> SimDuration {
+        SimDuration::from_seconds(x)
+    }
+
+    #[test]
+    fn reserve_on_idle_starts_immediately() {
+        let mut t = Timeline::new();
+        let (start, end) = t.reserve(s(1.0), d(0.5));
+        assert_eq!(start, s(1.0));
+        assert_eq!(end, s(1.5));
+        assert_eq!(t.busy_until(), s(1.5));
+    }
+
+    #[test]
+    fn reserve_on_busy_queues_fifo() {
+        let mut t = Timeline::new();
+        t.reserve(s(0.0), d(1.0));
+        let (start, end) = t.reserve(s(0.2), d(0.3));
+        assert_eq!(start, s(1.0), "second op waits for the first");
+        assert_eq!(end, s(1.3));
+    }
+
+    #[test]
+    fn serialization_is_the_m_rsw_model() {
+        // Three operations requested simultaneously execute back-to-back.
+        let mut t = Timeline::new();
+        let a = t.reserve(s(0.0), d(0.1));
+        let b = t.reserve(s(0.0), d(0.2));
+        let c = t.reserve(s(0.0), d(0.3));
+        assert_eq!(a, (s(0.0), s(0.1)));
+        assert_eq!(b, (s(0.1), s(0.3)));
+        assert_eq!(c, (s(0.3), s(0.6)));
+    }
+
+    #[test]
+    fn utilization_accounts_busy_fraction() {
+        let mut t = Timeline::new();
+        t.reserve(s(0.0), d(2.0));
+        assert!((t.utilization(s(4.0)) - 0.5).abs() < 1e-12);
+        assert_eq!(Timeline::new().utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn timelines_are_independent() {
+        let mut ts = Timelines::new(3);
+        ts.get_mut(0).reserve(s(0.0), d(5.0));
+        let (start, _) = ts.get_mut(1).reserve(s(0.0), d(1.0));
+        assert_eq!(start, s(0.0), "node 1 unaffected by node 0");
+        assert_eq!(ts.len(), 3);
+        assert!(!ts.is_empty());
+    }
+}

@@ -1,0 +1,366 @@
+//! High-level simulation runs.
+
+use crate::config::SimConfig;
+use crate::middleware::{Event, Middleware};
+use adept_desim::{Engine, SimTime};
+use adept_hierarchy::{validate::validate_relaxed, DeploymentPlan};
+use adept_platform::{Platform, Seconds};
+use adept_workload::{ClientRamp, ServiceSpec};
+
+/// Results of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Sustained throughput over the measurement window (req/s).
+    pub throughput: f64,
+    /// Requests issued over the whole run.
+    pub issued: u64,
+    /// Requests completed over the whole run.
+    pub completed: u64,
+    /// Mean response time (s) over the whole run.
+    pub mean_response_time: f64,
+    /// Mean scheduling-phase latency (s).
+    pub mean_scheduling_time: f64,
+    /// Mean service-phase latency (s).
+    pub mean_service_time: f64,
+    /// Number of clients at the end of the ramp.
+    pub clients: usize,
+    /// Events the engine dispatched.
+    pub events: u64,
+    /// Simulated duration.
+    pub duration: Seconds,
+    /// Completed service executions per platform node index (zero for
+    /// agents and unused nodes).
+    pub per_server_completions: Vec<u64>,
+    /// Completed requests per mix service (a single entry for
+    /// single-service runs).
+    pub completed_per_service: Vec<u64>,
+}
+
+/// A configured simulation, ready to run measurement protocols.
+pub struct Simulation {
+    engine: Engine<Middleware>,
+}
+
+impl Simulation {
+    /// Builds a simulation of `plan` on `platform` serving `service`.
+    ///
+    /// # Panics
+    /// Panics if the plan fails relaxed validation (the simulator cannot
+    /// run a childless root), references nodes outside the platform, or
+    /// the config is invalid.
+    pub fn new(
+        platform: &Platform,
+        plan: &DeploymentPlan,
+        service: &ServiceSpec,
+        config: SimConfig,
+    ) -> Self {
+        let errors = validate_relaxed(plan);
+        assert!(
+            errors.is_empty(),
+            "plan fails validation: {:?}",
+            errors
+        );
+        Self {
+            engine: Engine::new(Middleware::new(
+                platform,
+                plan,
+                service,
+                config,
+                Seconds::ZERO,
+            )),
+        }
+    }
+
+    /// Builds a **multi-service** simulation (the paper's future-work
+    /// "several applications" scenario): `assignment` maps every server
+    /// node of the plan to its hosted service in the mix.
+    ///
+    /// # Panics
+    /// Same conditions as [`Simulation::new`], plus assignment coverage
+    /// (every server assigned, every service hosted somewhere).
+    pub fn new_mix(
+        platform: &Platform,
+        plan: &DeploymentPlan,
+        mix: &adept_workload::ServiceMix,
+        assignment: &[(adept_platform::NodeId, usize)],
+        config: SimConfig,
+    ) -> Self {
+        let errors = validate_relaxed(plan);
+        assert!(errors.is_empty(), "plan fails validation: {:?}", errors);
+        Self {
+            engine: Engine::new(Middleware::new_mix(
+                platform,
+                plan,
+                mix,
+                assignment,
+                config,
+                Seconds::ZERO,
+            )),
+        }
+    }
+
+    /// Same, with a non-zero client think time.
+    pub fn with_think_time(
+        platform: &Platform,
+        plan: &DeploymentPlan,
+        service: &ServiceSpec,
+        config: SimConfig,
+        think_time: Seconds,
+    ) -> Self {
+        let errors = validate_relaxed(plan);
+        assert!(errors.is_empty(), "plan fails validation: {:?}", errors);
+        Self {
+            engine: Engine::new(Middleware::new(
+                platform, plan, service, config, think_time,
+            )),
+        }
+    }
+
+    /// Runs the paper's client-ramp protocol (Section 5.1) and measures
+    /// the sustained completion rate once the ramp and the configured
+    /// warmup have passed.
+    pub fn run_ramp(&mut self, ramp: &ClientRamp, config: &SimConfig) -> SimOutcome {
+        for i in 0..ramp.max_clients {
+            let client = self.engine.world_mut().add_client();
+            self.engine.schedule(
+                SimTime::from_seconds(ramp.launch_time(i).value()),
+                Event::ClientIssue { client },
+            );
+        }
+        let measure_start = SimTime::from_seconds(
+            ramp.ramp_end().value() + config.warmup.value(),
+        );
+        let measure_end =
+            SimTime::from_seconds(measure_start.as_seconds() + config.measure.value());
+        self.engine.run_until(measure_end);
+        let world = self.engine.world();
+        SimOutcome {
+            throughput: world.meter.rate_in(measure_start, measure_end),
+            issued: world.issued,
+            completed: world.completed,
+            mean_response_time: world.response_times.mean(),
+            mean_scheduling_time: world.scheduling_times.mean(),
+            mean_service_time: world.service_times.mean(),
+            clients: ramp.max_clients,
+            events: self.engine.dispatched(),
+            duration: Seconds(measure_end.as_seconds()),
+            per_server_completions: world.per_server_completions.clone(),
+            completed_per_service: world.completed_per_service.clone(),
+        }
+    }
+
+    /// Runs an **open-loop** workload: each arrival issues exactly one
+    /// request (extension; the paper's protocol is closed-loop). The
+    /// sustained rate is measured over `[warmup, horizon)`; if the offered
+    /// rate exceeds capacity, queues grow and the measured rate saturates
+    /// at the capacity bound.
+    pub fn run_open_loop(
+        &mut self,
+        arrivals: &[adept_platform::Seconds],
+        config: &SimConfig,
+    ) -> SimOutcome {
+        self.engine.world_mut().set_open_loop(true);
+        let mut horizon = SimTime::ZERO;
+        for &t in arrivals {
+            let client = self.engine.world_mut().add_client();
+            let at = SimTime::from_seconds(t.value());
+            horizon = horizon.max(at);
+            self.engine.schedule(at, Event::ClientIssue { client });
+        }
+        let measure_start = SimTime::from_seconds(config.warmup.value());
+        let measure_end = SimTime::from_seconds(
+            horizon.as_seconds() + config.measure.value(),
+        );
+        self.engine.run_until(measure_end);
+        let world = self.engine.world();
+        SimOutcome {
+            throughput: world.meter.rate_in(measure_start, measure_end),
+            issued: world.issued,
+            completed: world.completed,
+            mean_response_time: world.response_times.mean(),
+            mean_scheduling_time: world.scheduling_times.mean(),
+            mean_service_time: world.service_times.mean(),
+            clients: arrivals.len(),
+            events: self.engine.dispatched(),
+            duration: Seconds(measure_end.as_seconds()),
+            per_server_completions: world.per_server_completions.clone(),
+            completed_per_service: world.completed_per_service.clone(),
+        }
+    }
+
+    /// Read access to the middleware world (utilizations, counters).
+    pub fn world(&self) -> &Middleware {
+        self.engine.world()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adept_hierarchy::builder::star;
+    use adept_platform::generator::lyon_cluster;
+    use adept_platform::NodeId;
+    use adept_workload::Dgemm;
+
+    fn ids(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn ramp_produces_positive_throughput() {
+        let platform = lyon_cluster(3);
+        let plan = star(&ids(3));
+        let svc = Dgemm::new(100).service();
+        let cfg = SimConfig::ideal().with_windows(Seconds(1.0), Seconds(5.0));
+        let mut sim = Simulation::new(&platform, &plan, &svc, cfg);
+        let out = sim.run_ramp(&ClientRamp::paper(4, Seconds(10.0)), &cfg);
+        assert!(out.throughput > 0.0);
+        assert!(out.completed > 0);
+        assert!(out.issued >= out.completed);
+        assert_eq!(out.clients, 4);
+        assert!(out.mean_response_time > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan fails validation")]
+    fn childless_root_rejected() {
+        let platform = lyon_cluster(2);
+        let plan = DeploymentPlan::with_root(NodeId(0));
+        let svc = Dgemm::new(10).service();
+        let cfg = SimConfig::ideal();
+        let _ = Simulation::new(&platform, &plan, &svc, cfg);
+    }
+
+    #[test]
+    fn phase_latencies_decompose_the_response_time() {
+        let platform = lyon_cluster(4);
+        let plan = star(&ids(4));
+        let svc = Dgemm::new(310).service();
+        let cfg = SimConfig::ideal().with_windows(Seconds(1.0), Seconds(10.0));
+        let mut sim = Simulation::new(&platform, &plan, &svc, cfg);
+        let out = sim.run_ramp(&ClientRamp::paper(6, Seconds(12.0)), &cfg);
+        assert!(out.mean_scheduling_time > 0.0);
+        assert!(out.mean_service_time > 0.0);
+        // Scheduling + service ≈ response, up to the client→server hop
+        // that separates the phases (zero latency here) and averaging
+        // over slightly different sample sets (scheduling samples lead).
+        let sum = out.mean_scheduling_time + out.mean_service_time;
+        assert!(
+            (sum - out.mean_response_time).abs() < 0.05 * out.mean_response_time,
+            "phases {sum} should decompose response {}",
+            out.mean_response_time
+        );
+        // DGEMM 310 is service-dominated.
+        assert!(out.mean_service_time > out.mean_scheduling_time * 5.0);
+    }
+
+    #[test]
+    fn open_loop_completes_every_request_under_capacity() {
+        use adept_workload::ArrivalProcess;
+        let platform = lyon_cluster(3);
+        let plan = star(&ids(3));
+        let svc = Dgemm::new(310).service();
+        let cfg = SimConfig::ideal().with_windows(Seconds(0.0), Seconds(10.0));
+        // Offered 5 req/s, capacity ~13 req/s: everything completes.
+        let arrivals = ArrivalProcess::Uniform { rate: 5.0 }.arrivals(Seconds(20.0));
+        let mut sim = Simulation::new(&platform, &plan, &svc, cfg);
+        let out = sim.run_open_loop(&arrivals, &cfg);
+        assert_eq!(out.issued, 100);
+        assert_eq!(out.completed, 100, "under capacity, all requests finish");
+        assert!(out.mean_response_time < 0.5);
+    }
+
+    #[test]
+    fn open_loop_saturates_over_capacity() {
+        use adept_workload::ArrivalProcess;
+        let platform = lyon_cluster(2);
+        let plan = star(&ids(2));
+        let svc = Dgemm::new(1000).service(); // capacity 0.2 req/s
+        let cfg = SimConfig::ideal().with_windows(Seconds(0.0), Seconds(10.0));
+        let arrivals = ArrivalProcess::Uniform { rate: 2.0 }.arrivals(Seconds(30.0));
+        let mut sim = Simulation::new(&platform, &plan, &svc, cfg);
+        let out = sim.run_open_loop(&arrivals, &cfg);
+        assert!(out.completed < out.issued, "overload leaves a backlog");
+        assert!(
+            out.throughput < 0.3,
+            "measured rate caps near capacity, got {}",
+            out.throughput
+        );
+    }
+
+    #[test]
+    fn mix_simulation_serves_both_services() {
+        use adept_workload::ServiceMix;
+        let platform = lyon_cluster(5);
+        let plan = star(&ids(5));
+        let mix = ServiceMix::new(vec![
+            (Dgemm::new(100).service(), 1.0),
+            (Dgemm::new(310).service(), 1.0),
+        ]);
+        // Two servers each.
+        let assignment = vec![
+            (NodeId(1), 0usize),
+            (NodeId(2), 0),
+            (NodeId(3), 1),
+            (NodeId(4), 1),
+        ];
+        let cfg = SimConfig::ideal().with_windows(Seconds(2.0), Seconds(15.0));
+        let mut sim = Simulation::new_mix(&platform, &plan, &mix, &assignment, cfg);
+        let out = sim.run_ramp(&ClientRamp::paper(12, Seconds(20.0)), &cfg);
+        assert!(out.throughput > 0.0);
+        assert_eq!(out.completed_per_service.len(), 2);
+        assert!(
+            out.completed_per_service.iter().all(|&c| c > 0),
+            "both services must complete requests: {:?}",
+            out.completed_per_service
+        );
+        // 50/50 shares: completion counts should be comparable (the heavy
+        // service completes fewer only if its capacity binds).
+        let (a, b) = (
+            out.completed_per_service[0] as f64,
+            out.completed_per_service[1] as f64,
+        );
+        assert!(a / b < 4.0 && b / a < 4.0, "{a} vs {b}");
+        // Service requests only reach matching servers.
+        assert!(out.per_server_completions[1] + out.per_server_completions[2] > 0);
+        assert!(out.per_server_completions[3] + out.per_server_completions[4] > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "every mix service needs at least one server")]
+    fn mix_requires_a_server_per_service() {
+        use adept_workload::ServiceMix;
+        let platform = lyon_cluster(3);
+        let plan = star(&ids(3));
+        let mix = ServiceMix::new(vec![
+            (Dgemm::new(100).service(), 1.0),
+            (Dgemm::new(310).service(), 1.0),
+        ]);
+        let assignment = vec![(NodeId(1), 0usize), (NodeId(2), 0)];
+        let cfg = SimConfig::ideal();
+        let _ = Simulation::new_mix(&platform, &plan, &mix, &assignment, cfg);
+    }
+
+    #[test]
+    fn think_time_lowers_offered_load() {
+        let platform = lyon_cluster(2);
+        let plan = star(&ids(2));
+        let svc = Dgemm::new(310).service();
+        let cfg = SimConfig::ideal().with_windows(Seconds(1.0), Seconds(10.0));
+        let ramp = ClientRamp::paper(1, Seconds(15.0));
+        let mut eager = Simulation::new(&platform, &plan, &svc, cfg);
+        let mut lazy =
+            Simulation::with_think_time(&platform, &plan, &svc, cfg, Seconds(1.0));
+        let te = eager.run_ramp(&ramp, &cfg).throughput;
+        let tl = lazy.run_ramp(&ramp, &cfg).throughput;
+        assert!(
+            tl < te,
+            "a thinking client must complete fewer requests: {tl} vs {te}"
+        );
+    }
+}

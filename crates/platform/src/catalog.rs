@@ -1,0 +1,178 @@
+//! A catalog of named platform presets modelled on the 2008-era Grid'5000
+//! sites the DIET project deployed on.
+//!
+//! The paper used Lyon (calibration, clients) and Orsay (the 200-node
+//! deployment cluster). The catalog rounds this out with the other sites
+//! DIET publications of the period mention, so examples and stress tests
+//! can build realistic multi-cluster platforms without hand-rolling node
+//! lists. Powers are *relative* figures in the paper's Linpack
+//! mini-benchmark units, not vendor specs.
+
+use crate::calibration::MiddlewareCalibration;
+use crate::network::Network;
+use crate::platform::{Platform, PlatformBuilder};
+use crate::resource::SiteId;
+use crate::units::{MbitRate, MflopRate, Seconds};
+
+/// One catalog entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiteSpec {
+    /// Site name (Grid'5000 city).
+    pub name: &'static str,
+    /// Host-name prefix of the site's cluster.
+    pub host_prefix: &'static str,
+    /// Number of nodes available to middleware deployments.
+    pub nodes: usize,
+    /// Per-node power under the Linpack mini-benchmark (MFlop/s).
+    pub node_power: MflopRate,
+}
+
+/// The five-site catalog.
+pub const SITES: [SiteSpec; 5] = [
+    SiteSpec {
+        name: "lyon",
+        host_prefix: "sagittaire",
+        nodes: 56,
+        node_power: MflopRate(400.0),
+    },
+    SiteSpec {
+        name: "orsay",
+        host_prefix: "gdx",
+        nodes: 216,
+        node_power: MflopRate(380.0),
+    },
+    SiteSpec {
+        name: "rennes",
+        host_prefix: "paravent",
+        nodes: 99,
+        node_power: MflopRate(420.0),
+    },
+    SiteSpec {
+        name: "sophia",
+        host_prefix: "azur",
+        nodes: 72,
+        node_power: MflopRate(340.0),
+    },
+    SiteSpec {
+        name: "toulouse",
+        host_prefix: "violette",
+        nodes: 57,
+        node_power: MflopRate(360.0),
+    },
+];
+
+/// Looks up a site by name.
+pub fn site(name: &str) -> Option<&'static SiteSpec> {
+    SITES.iter().find(|s| s.name == name)
+}
+
+/// Builds a single-site platform from the catalog, truncated to
+/// `max_nodes` if given.
+///
+/// # Panics
+/// Panics on an unknown site name.
+pub fn single_site(name: &str, max_nodes: Option<usize>) -> Platform {
+    let spec = site(name).unwrap_or_else(|| panic!("unknown Grid'5000 site {name:?}"));
+    let mut b = Platform::builder(Network::homogeneous(
+        MiddlewareCalibration::reference_bandwidth(),
+    ));
+    let site_id = b.add_site(spec.name);
+    add_site_nodes(&mut b, spec, site_id, max_nodes);
+    b.build().expect("catalog sites are non-empty")
+}
+
+/// Builds a multi-site platform with per-site intra bandwidth and a
+/// shared inter-site (RENATER backbone) bandwidth.
+///
+/// # Panics
+/// Panics on an unknown site name or an empty site list.
+pub fn multi_site(names: &[&str], inter_bandwidth: MbitRate) -> Platform {
+    assert!(!names.is_empty(), "need at least one site");
+    let specs: Vec<&SiteSpec> = names
+        .iter()
+        .map(|n| site(n).unwrap_or_else(|| panic!("unknown Grid'5000 site {n:?}")))
+        .collect();
+    let intra = vec![MiddlewareCalibration::reference_bandwidth(); specs.len()];
+    let mut b = Platform::builder(Network::PerSitePair {
+        intra,
+        inter: inter_bandwidth,
+        latency: Seconds(5e-4), // metropolitan RTT scale
+    });
+    for spec in specs {
+        let site_id = b.add_site(spec.name);
+        add_site_nodes(&mut b, spec, site_id, None);
+    }
+    b.build().expect("catalog sites are non-empty")
+}
+
+fn add_site_nodes(
+    b: &mut PlatformBuilder,
+    spec: &SiteSpec,
+    site_id: SiteId,
+    max_nodes: Option<usize>,
+) {
+    let count = max_nodes.map_or(spec.nodes, |m| m.min(spec.nodes));
+    for i in 0..count {
+        b.add_node(
+            format!("{}-{i}.{}", spec.host_prefix, spec.name),
+            spec.node_power,
+            site_id,
+        )
+        .expect("catalog host names are unique");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_consistent() {
+        assert_eq!(SITES.len(), 5);
+        for s in &SITES {
+            assert!(s.nodes > 0);
+            assert!(s.node_power.value() > 0.0);
+        }
+        assert!(site("orsay").is_some());
+        assert!(site("mars").is_none());
+    }
+
+    #[test]
+    fn single_site_platform() {
+        let p = single_site("lyon", None);
+        assert_eq!(p.node_count(), 56);
+        assert!(p.is_homogeneous_compute());
+        assert!(p.nodes()[0].name.starts_with("sagittaire-0"));
+    }
+
+    #[test]
+    fn single_site_truncation() {
+        let p = single_site("orsay", Some(30));
+        assert_eq!(p.node_count(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown Grid'5000 site")]
+    fn unknown_site_panics() {
+        let _ = single_site("atlantis", None);
+    }
+
+    #[test]
+    fn multi_site_platform_has_per_site_network() {
+        let p = multi_site(&["lyon", "sophia"], MbitRate(20.0));
+        assert_eq!(p.node_count(), 56 + 72);
+        assert_eq!(p.sites().len(), 2);
+        assert!(!p.network().is_homogeneous());
+        // Conservative scalarization picks the slow WAN.
+        assert_eq!(p.bandwidth(), MbitRate(20.0));
+        // Different powers per site → heterogeneous compute.
+        assert!(!p.is_homogeneous_compute());
+    }
+
+    #[test]
+    fn multi_site_names_are_qualified() {
+        let p = multi_site(&["rennes", "toulouse"], MbitRate(50.0));
+        assert!(p.nodes().iter().any(|n| n.name.ends_with(".rennes")));
+        assert!(p.nodes().iter().any(|n| n.name.ends_with(".toulouse")));
+    }
+}

@@ -1,0 +1,282 @@
+//! Synthetic platform generators.
+//!
+//! The paper's experiments ran on two Grid'5000 sites: **Lyon** (homogeneous
+//! cluster, used for calibration and the client machines) and **Orsay**
+//! (200 nodes, used for the middleware). Section 5.3 explains how the
+//! authors *heterogenized* the homogeneous Orsay cluster: they launched
+//! matrix-multiplication programs of different sizes in the background on
+//! some nodes and re-measured the effective MFlops with the Linpack
+//! mini-benchmark.
+//!
+//! These generators produce the equivalent synthetic platforms:
+//!
+//! * [`homogeneous_cluster`] — a Lyon-like uniform cluster;
+//! * [`heterogenized_cluster`] — the paper's background-load methodology:
+//!   each node runs `k_i` background processes drawn from a seeded
+//!   distribution, and the effective power is `base / (1 + k_i)` (CPU fair
+//!   sharing between the middleware process and `k_i` compute-bound
+//!   background processes), then re-measured through a [`CapacityProbe`];
+//! * [`uniform_random_cluster`] — powers drawn uniformly from a range, for
+//!   property tests and stress tests;
+//! * [`grid5000`] — a two-site platform (orsay for middleware, lyon for
+//!   clients) mirroring Section 5.3's setup.
+
+use crate::calibration::{CapacityProbe, MiddlewareCalibration};
+use crate::network::Network;
+use crate::platform::Platform;
+use crate::resource::SiteId;
+use crate::units::{MbitRate, MflopRate};
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A homogeneous cluster of `n` nodes of the given power, on one site,
+/// with the reference homogeneous bandwidth.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn homogeneous_cluster(name: &str, n: usize, power: MflopRate) -> Platform {
+    homogeneous_cluster_with_bandwidth(name, n, power, MiddlewareCalibration::reference_bandwidth())
+}
+
+/// A homogeneous cluster with an explicit bandwidth.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn homogeneous_cluster_with_bandwidth(
+    name: &str,
+    n: usize,
+    power: MflopRate,
+    bandwidth: MbitRate,
+) -> Platform {
+    assert!(n > 0, "cluster must have at least one node");
+    let mut b = Platform::builder(Network::homogeneous(bandwidth));
+    let site = b.add_site(name);
+    for i in 0..n {
+        b.add_node(format!("{name}-{i}"), power, site)
+            .expect("generated names are unique");
+    }
+    b.build().expect("n > 0")
+}
+
+/// A Lyon-like reference cluster: `n` nodes at the paper's reference power.
+pub fn lyon_cluster(n: usize) -> Platform {
+    homogeneous_cluster("lyon", n, MiddlewareCalibration::reference_node_power())
+}
+
+/// Background-load description for [`heterogenized_cluster`]: how many
+/// background compute processes may run on a node.
+#[derive(Debug, Clone, Copy)]
+pub struct BackgroundLoad {
+    /// Maximum number of background processes per node (inclusive).
+    pub max_processes: u32,
+    /// Fraction of nodes left unloaded (kept at full power).
+    pub unloaded_fraction: f64,
+}
+
+impl Default for BackgroundLoad {
+    fn default() -> Self {
+        // Matches the spread we observed the paper's methodology to produce:
+        // effective powers from base/4 to base, with a quarter of the nodes
+        // untouched.
+        Self {
+            max_processes: 3,
+            unloaded_fraction: 0.25,
+        }
+    }
+}
+
+/// The paper's heterogenization methodology: start from a homogeneous
+/// cluster, run `k_i ∈ [0, max]` background processes on each node (drawn
+/// from a seeded RNG), and re-measure effective power `base / (1 + k_i)`
+/// through the given probe.
+///
+/// # Panics
+/// Panics if `n == 0` or `unloaded_fraction ∉ [0, 1]`.
+pub fn heterogenized_cluster(
+    name: &str,
+    n: usize,
+    base_power: MflopRate,
+    load: BackgroundLoad,
+    probe: CapacityProbe,
+    seed: u64,
+) -> Platform {
+    assert!(n > 0, "cluster must have at least one node");
+    assert!(
+        (0.0..=1.0).contains(&load.unloaded_fraction),
+        "unloaded_fraction must be in [0,1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let proc_dist = Uniform::new_inclusive(1, load.max_processes.max(1));
+    let coin = Uniform::new(0.0f64, 1.0);
+
+    let mut b = Platform::builder(Network::homogeneous(
+        MiddlewareCalibration::reference_bandwidth(),
+    ));
+    let site = b.add_site(name);
+    for i in 0..n {
+        let background = if coin.sample(&mut rng) < load.unloaded_fraction {
+            0
+        } else {
+            proc_dist.sample(&mut rng)
+        };
+        let true_power = MflopRate(base_power.value() / (1.0 + background as f64));
+        let measured = probe.measure(true_power, i);
+        b.add_node(format!("{name}-{i}"), measured, site)
+            .expect("generated names are unique");
+    }
+    b.build().expect("n > 0")
+}
+
+/// A cluster whose node powers are drawn uniformly from `[min, max]`.
+///
+/// # Panics
+/// Panics if `n == 0`, or `min <= 0`, or `min > max`.
+pub fn uniform_random_cluster(
+    name: &str,
+    n: usize,
+    min: MflopRate,
+    max: MflopRate,
+    seed: u64,
+) -> Platform {
+    assert!(n > 0, "cluster must have at least one node");
+    assert!(
+        min.value() > 0.0 && min.value() <= max.value(),
+        "need 0 < min <= max"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = Uniform::new_inclusive(min.value(), max.value());
+    let mut b = Platform::builder(Network::homogeneous(
+        MiddlewareCalibration::reference_bandwidth(),
+    ));
+    let site = b.add_site(name);
+    for i in 0..n {
+        b.add_node(format!("{name}-{i}"), MflopRate(dist.sample(&mut rng)), site)
+            .expect("generated names are unique");
+    }
+    b.build().expect("n > 0")
+}
+
+/// The Section 5.3 setup: `middleware_nodes` heterogenized Orsay nodes plus
+/// `client_nodes` Lyon nodes on a second site. The planner should only be
+/// offered the Orsay site (`platform.nodes_on_site(orsay)`); the Lyon nodes
+/// model the client launchers.
+///
+/// Returns `(platform, orsay_site, lyon_site)`.
+pub fn grid5000(
+    middleware_nodes: usize,
+    client_nodes: usize,
+    seed: u64,
+) -> (Platform, SiteId, SiteId) {
+    assert!(middleware_nodes > 0, "need at least one middleware node");
+    let base = MiddlewareCalibration::reference_node_power();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let proc_dist = Uniform::new_inclusive(1u32, 3);
+    let coin = Uniform::new(0.0f64, 1.0);
+    let probe = CapacityProbe::with_noise(0.02, seed ^ 0xA5A5);
+
+    let mut b = Platform::builder(Network::homogeneous(
+        MiddlewareCalibration::reference_bandwidth(),
+    ));
+    let orsay = b.add_site("orsay");
+    let lyon = b.add_site("lyon");
+    for i in 0..middleware_nodes {
+        let background = if coin.sample(&mut rng) < 0.25 {
+            0
+        } else {
+            proc_dist.sample(&mut rng)
+        };
+        let true_power = MflopRate(base.value() / (1.0 + background as f64));
+        b.add_node(format!("gdx-{i}"), probe.measure(true_power, i), orsay)
+            .expect("unique");
+    }
+    for i in 0..client_nodes {
+        b.add_node(format!("sagittaire-{i}"), base, lyon)
+            .expect("unique");
+    }
+    (b.build().expect("non-empty"), orsay, lyon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_cluster_is_homogeneous() {
+        let p = lyon_cluster(8);
+        assert_eq!(p.node_count(), 8);
+        assert!(p.is_homogeneous_compute());
+        assert_eq!(p.nodes()[0].power, MflopRate(400.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_cluster_panics() {
+        let _ = lyon_cluster(0);
+    }
+
+    #[test]
+    fn heterogenized_cluster_spreads_powers() {
+        let p = heterogenized_cluster(
+            "orsay",
+            100,
+            MflopRate(400.0),
+            BackgroundLoad::default(),
+            CapacityProbe::exact(),
+            7,
+        );
+        assert_eq!(p.node_count(), 100);
+        assert!(!p.is_homogeneous_compute());
+        let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+        for n in p.nodes() {
+            lo = lo.min(n.power.value());
+            hi = hi.max(n.power.value());
+            // base/(1+k), k in 0..=3 → power in {100, 133.3, 200, 400}.
+            assert!(n.power.value() >= 100.0 - 1e-9 && n.power.value() <= 400.0 + 1e-9);
+        }
+        assert!(hi > lo, "must actually be heterogeneous");
+        assert!((hi - 400.0).abs() < 1e-9, "some nodes stay unloaded");
+    }
+
+    #[test]
+    fn heterogenized_cluster_is_deterministic_in_seed() {
+        let mk = |seed| {
+            heterogenized_cluster(
+                "x",
+                32,
+                MflopRate(400.0),
+                BackgroundLoad::default(),
+                CapacityProbe::exact(),
+                seed,
+            )
+        };
+        assert_eq!(mk(3), mk(3));
+        assert_ne!(mk(3), mk(4));
+    }
+
+    #[test]
+    fn uniform_random_cluster_respects_bounds() {
+        let p = uniform_random_cluster("u", 50, MflopRate(10.0), MflopRate(20.0), 1);
+        for n in p.nodes() {
+            assert!(n.power.value() >= 10.0 && n.power.value() <= 20.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < min <= max")]
+    fn uniform_random_cluster_bad_bounds() {
+        let _ = uniform_random_cluster("u", 5, MflopRate(20.0), MflopRate(10.0), 1);
+    }
+
+    #[test]
+    fn grid5000_has_two_sites() {
+        let (p, orsay, lyon) = grid5000(200, 30, 11);
+        assert_eq!(p.node_count(), 230);
+        assert_eq!(p.nodes_on_site(orsay).len(), 200);
+        assert_eq!(p.nodes_on_site(lyon).len(), 30);
+        // Lyon client nodes are uniform; Orsay nodes heterogenized.
+        let lyon_nodes = p.nodes_on_site(lyon);
+        let first = p.power(lyon_nodes[0]);
+        assert!(lyon_nodes.iter().all(|&id| p.power(id) == first));
+    }
+}

@@ -1,0 +1,149 @@
+//! Network model.
+//!
+//! The paper assumes **homogeneous connectivity**: every link has the same
+//! bandwidth `B` and links are the only communication cost ("we assume that
+//! communication links are homogeneous, which is the case of our target
+//! platform", Section 3). [`Network::Homogeneous`] captures that.
+//!
+//! The paper's conclusion lists heterogeneous communication as future work;
+//! [`Network::PerSitePair`] implements that extension so the planner
+//! extension and its ablation bench have a substrate to run on. Bandwidth is
+//! then a symmetric function of the two endpoints' sites (intra-site vs
+//! inter-site links is exactly the structure of Grid'5000).
+
+use crate::resource::SiteId;
+use crate::units::{MbitRate, Seconds};
+
+/// Bandwidth model between resources.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Network {
+    /// The paper's model: a single bandwidth for every pair of resources.
+    Homogeneous {
+        /// Link bandwidth `B` in Mb/s.
+        bandwidth: MbitRate,
+        /// Fixed per-message latency. The paper folds latency into measured
+        /// message costs; the simulator exposes it separately so that the
+        /// "measured below predicted" gap has a physical origin. The model
+        /// equations ignore it when it is zero.
+        latency: Seconds,
+    },
+    /// Future-work extension: bandwidth depends on the (unordered) pair of
+    /// sites. `intra[s]` is the bandwidth inside site `s`; `inter` is used
+    /// for any cross-site pair.
+    PerSitePair {
+        /// Per-site internal bandwidth, indexed by `SiteId::index()`.
+        intra: Vec<MbitRate>,
+        /// Bandwidth between any two distinct sites.
+        inter: MbitRate,
+        /// Fixed per-message latency (see above).
+        latency: Seconds,
+    },
+}
+
+impl Network {
+    /// Homogeneous network with the given bandwidth and zero latency.
+    pub fn homogeneous(bandwidth: MbitRate) -> Self {
+        Network::Homogeneous {
+            bandwidth,
+            latency: Seconds::ZERO,
+        }
+    }
+
+    /// Bandwidth between two endpoints identified by site.
+    pub fn bandwidth_between(&self, a: SiteId, b: SiteId) -> MbitRate {
+        match self {
+            Network::Homogeneous { bandwidth, .. } => *bandwidth,
+            Network::PerSitePair { intra, inter, .. } => {
+                if a == b {
+                    intra
+                        .get(a.index())
+                        .copied()
+                        .unwrap_or(*inter)
+                } else {
+                    *inter
+                }
+            }
+        }
+    }
+
+    /// The single bandwidth of a homogeneous network.
+    ///
+    /// The paper's planner (and every formula in Section 3) assumes this;
+    /// callers that support the heterogeneous extension should use
+    /// [`Network::bandwidth_between`]. For a per-site network this returns
+    /// the **minimum** bandwidth (a conservative scalarization used by the
+    /// baseline planner when handed a heterogeneous network).
+    pub fn uniform_bandwidth(&self) -> MbitRate {
+        match self {
+            Network::Homogeneous { bandwidth, .. } => *bandwidth,
+            Network::PerSitePair { intra, inter, .. } => {
+                let min_intra = intra
+                    .iter()
+                    .copied()
+                    .fold(f64::INFINITY, |m, b| m.min(b.value()));
+                MbitRate(min_intra.min(inter.value()))
+            }
+        }
+    }
+
+    /// Per-message latency.
+    pub fn latency(&self) -> Seconds {
+        match self {
+            Network::Homogeneous { latency, .. } | Network::PerSitePair { latency, .. } => {
+                *latency
+            }
+        }
+    }
+
+    /// True if this is the paper's homogeneous model.
+    pub fn is_homogeneous(&self) -> bool {
+        matches!(self, Network::Homogeneous { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_bandwidth_is_uniform() {
+        let n = Network::homogeneous(MbitRate(1000.0));
+        assert_eq!(n.bandwidth_between(SiteId(0), SiteId(1)), MbitRate(1000.0));
+        assert_eq!(n.uniform_bandwidth(), MbitRate(1000.0));
+        assert_eq!(n.latency(), Seconds::ZERO);
+        assert!(n.is_homogeneous());
+    }
+
+    #[test]
+    fn per_site_pair_selects_intra_or_inter() {
+        let n = Network::PerSitePair {
+            intra: vec![MbitRate(1000.0), MbitRate(800.0)],
+            inter: MbitRate(100.0),
+            latency: Seconds(1e-4),
+        };
+        assert_eq!(n.bandwidth_between(SiteId(0), SiteId(0)), MbitRate(1000.0));
+        assert_eq!(n.bandwidth_between(SiteId(1), SiteId(1)), MbitRate(800.0));
+        assert_eq!(n.bandwidth_between(SiteId(0), SiteId(1)), MbitRate(100.0));
+        assert!(!n.is_homogeneous());
+    }
+
+    #[test]
+    fn uniform_bandwidth_of_heterogeneous_is_conservative_min() {
+        let n = Network::PerSitePair {
+            intra: vec![MbitRate(1000.0), MbitRate(800.0)],
+            inter: MbitRate(100.0),
+            latency: Seconds::ZERO,
+        };
+        assert_eq!(n.uniform_bandwidth(), MbitRate(100.0));
+    }
+
+    #[test]
+    fn unknown_site_falls_back_to_inter() {
+        let n = Network::PerSitePair {
+            intra: vec![MbitRate(1000.0)],
+            inter: MbitRate(250.0),
+            latency: Seconds::ZERO,
+        };
+        assert_eq!(n.bandwidth_between(SiteId(9), SiteId(9)), MbitRate(250.0));
+    }
+}

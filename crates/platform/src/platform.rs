@@ -1,0 +1,325 @@
+//! The aggregate platform: resources + sites + network.
+
+use crate::error::PlatformError;
+use crate::network::Network;
+use crate::resource::{NodeId, Resource, Site, SiteId};
+use crate::units::{MbitRate, MflopRate};
+use std::collections::HashSet;
+
+/// A deployment target: a set of heterogeneous resources with a network
+/// model, as in the paper's Section 3.
+///
+/// Node ids are dense (`0..node_count()`), assigned in insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    nodes: Vec<Resource>,
+    sites: Vec<Site>,
+    network: Network,
+}
+
+/// Builder for [`Platform`], enforcing name uniqueness and id density.
+#[derive(Debug)]
+pub struct PlatformBuilder {
+    nodes: Vec<Resource>,
+    sites: Vec<Site>,
+    names: HashSet<String>,
+    network: Network,
+}
+
+impl PlatformBuilder {
+    /// Starts a platform with the given network model.
+    pub fn new(network: Network) -> Self {
+        Self {
+            nodes: Vec::new(),
+            sites: Vec::new(),
+            names: HashSet::new(),
+            network,
+        }
+    }
+
+    /// Registers a site and returns its id.
+    pub fn add_site(&mut self, name: impl Into<String>) -> SiteId {
+        let id = SiteId(self.sites.len() as u16);
+        self.sites.push(Site {
+            id,
+            name: name.into(),
+        });
+        id
+    }
+
+    /// Registers a node on a site and returns its id.
+    ///
+    /// # Errors
+    /// Returns [`PlatformError::DuplicateName`] if the host name was already
+    /// used, or [`PlatformError::UnknownSite`] for an unregistered site.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        power: MflopRate,
+        site: SiteId,
+    ) -> Result<NodeId, PlatformError> {
+        let name = name.into();
+        if site.index() >= self.sites.len() {
+            return Err(PlatformError::UnknownSite(site));
+        }
+        if !self.names.insert(name.clone()) {
+            return Err(PlatformError::DuplicateName(name));
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Resource::new(id, name, power, site));
+        Ok(id)
+    }
+
+    /// Finalizes the platform.
+    ///
+    /// # Errors
+    /// Returns [`PlatformError::Empty`] if no node was added.
+    pub fn build(self) -> Result<Platform, PlatformError> {
+        if self.nodes.is_empty() {
+            return Err(PlatformError::Empty);
+        }
+        Ok(Platform {
+            nodes: self.nodes,
+            sites: self.sites,
+            network: self.network,
+        })
+    }
+}
+
+impl Platform {
+    /// Starts building a platform.
+    pub fn builder(network: Network) -> PlatformBuilder {
+        PlatformBuilder::new(network)
+    }
+
+    /// Number of nodes (the paper's `n_nodes` when all are offered to the
+    /// planner).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All nodes, in id order.
+    pub fn nodes(&self) -> &[Resource] {
+        &self.nodes
+    }
+
+    /// All sites, in id order.
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// The network model.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Errors
+    /// Returns [`PlatformError::UnknownNode`] for an out-of-range id.
+    pub fn node(&self, id: NodeId) -> Result<&Resource, PlatformError> {
+        self.nodes
+            .get(id.index())
+            .ok_or(PlatformError::UnknownNode(id))
+    }
+
+    /// Computing power `w_i` of a node.
+    ///
+    /// # Panics
+    /// Panics on an unknown id; planners only hold ids handed out by this
+    /// platform.
+    pub fn power(&self, id: NodeId) -> MflopRate {
+        self.nodes[id.index()].power
+    }
+
+    /// The uniform bandwidth `B` used by the paper's formulas.
+    pub fn bandwidth(&self) -> MbitRate {
+        self.network.uniform_bandwidth()
+    }
+
+    /// Node ids sorted by **descending computing power**, ties broken by id
+    /// for determinism. Useful to heuristics and reporting.
+    pub fn ids_by_power_desc(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.nodes.iter().map(|n| n.id).collect();
+        ids.sort_by(|a, b| {
+            let pa = self.power(*a).value();
+            let pb = self.power(*b).value();
+            pb.partial_cmp(&pa).expect("powers are finite").then(a.cmp(b))
+        });
+        ids
+    }
+
+    /// Total computing power of the platform (Σ w_i).
+    pub fn total_power(&self) -> MflopRate {
+        MflopRate(self.nodes.iter().map(|n| n.power.value()).sum())
+    }
+
+    /// Returns the ids of nodes on a given site.
+    pub fn nodes_on_site(&self, site: SiteId) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.site == site)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// True if all nodes have the same power (homogeneous cluster), with a
+    /// relative tolerance of 1e-9.
+    pub fn is_homogeneous_compute(&self) -> bool {
+        let first = self.nodes[0].power.value();
+        self.nodes
+            .iter()
+            .all(|n| (n.power.value() - first).abs() <= first.abs() * 1e-9)
+    }
+
+    /// Restrict the platform to the `k` most powerful nodes, preserving the
+    /// network model. Node ids are re-assigned densely.
+    ///
+    /// # Errors
+    /// [`PlatformError::NotEnoughNodes`] if `k > node_count()`,
+    /// [`PlatformError::Empty`] if `k == 0`.
+    pub fn take_most_powerful(&self, k: usize) -> Result<Platform, PlatformError> {
+        if k > self.nodes.len() {
+            return Err(PlatformError::NotEnoughNodes {
+                requested: k,
+                available: self.nodes.len(),
+            });
+        }
+        if k == 0 {
+            return Err(PlatformError::Empty);
+        }
+        let ids = self.ids_by_power_desc();
+        let mut nodes = Vec::with_capacity(k);
+        for (new_idx, id) in ids.into_iter().take(k).enumerate() {
+            let src = &self.nodes[id.index()];
+            nodes.push(Resource::new(
+                NodeId(new_idx as u32),
+                src.name.clone(),
+                src.power,
+                src.site,
+            ));
+        }
+        Ok(Platform {
+            nodes,
+            sites: self.sites.clone(),
+            network: self.network.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Seconds;
+
+    fn sample() -> Platform {
+        let mut b = Platform::builder(Network::homogeneous(MbitRate(1000.0)));
+        let s = b.add_site("lyon");
+        b.add_node("a", MflopRate(100.0), s).unwrap();
+        b.add_node("b", MflopRate(300.0), s).unwrap();
+        b.add_node("c", MflopRate(200.0), s).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let p = sample();
+        assert_eq!(p.node_count(), 3);
+        for (i, n) in p.nodes().iter().enumerate() {
+            assert_eq!(n.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = Platform::builder(Network::homogeneous(MbitRate(1.0)));
+        let s = b.add_site("x");
+        b.add_node("dup", MflopRate(1.0), s).unwrap();
+        let err = b.add_node("dup", MflopRate(2.0), s).unwrap_err();
+        assert_eq!(err, PlatformError::DuplicateName("dup".into()));
+    }
+
+    #[test]
+    fn unknown_site_rejected() {
+        let mut b = Platform::builder(Network::homogeneous(MbitRate(1.0)));
+        let err = b.add_node("a", MflopRate(1.0), SiteId(0)).unwrap_err();
+        assert_eq!(err, PlatformError::UnknownSite(SiteId(0)));
+    }
+
+    #[test]
+    fn empty_platform_rejected() {
+        let b = Platform::builder(Network::homogeneous(MbitRate(1.0)));
+        assert_eq!(b.build().unwrap_err(), PlatformError::Empty);
+    }
+
+    #[test]
+    fn sort_by_power_descending_breaks_ties_by_id() {
+        let p = sample();
+        let ids = p.ids_by_power_desc();
+        assert_eq!(ids, vec![NodeId(1), NodeId(2), NodeId(0)]);
+    }
+
+    #[test]
+    fn tie_break_is_by_id() {
+        let mut b = Platform::builder(Network::homogeneous(MbitRate(1.0)));
+        let s = b.add_site("x");
+        b.add_node("a", MflopRate(5.0), s).unwrap();
+        b.add_node("b", MflopRate(5.0), s).unwrap();
+        let p = b.build().unwrap();
+        assert_eq!(p.ids_by_power_desc(), vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn total_power_sums() {
+        assert_eq!(sample().total_power(), MflopRate(600.0));
+    }
+
+    #[test]
+    fn homogeneity_detection() {
+        assert!(!sample().is_homogeneous_compute());
+        let mut b = Platform::builder(Network::homogeneous(MbitRate(1.0)));
+        let s = b.add_site("x");
+        for i in 0..4 {
+            b.add_node(format!("n{i}"), MflopRate(42.0), s).unwrap();
+        }
+        assert!(b.build().unwrap().is_homogeneous_compute());
+    }
+
+    #[test]
+    fn take_most_powerful_reindexes() {
+        let p = sample().take_most_powerful(2).unwrap();
+        assert_eq!(p.node_count(), 2);
+        assert_eq!(p.nodes()[0].name, "b");
+        assert_eq!(p.nodes()[0].id, NodeId(0));
+        assert_eq!(p.nodes()[1].name, "c");
+        assert_eq!(p.nodes()[1].id, NodeId(1));
+    }
+
+    #[test]
+    fn take_too_many_fails() {
+        let err = sample().take_most_powerful(5).unwrap_err();
+        assert_eq!(
+            err,
+            PlatformError::NotEnoughNodes {
+                requested: 5,
+                available: 3
+            }
+        );
+    }
+
+    #[test]
+    fn nodes_on_site_filters() {
+        let mut b = Platform::builder(Network::Homogeneous {
+            bandwidth: MbitRate(1.0),
+            latency: Seconds::ZERO,
+        });
+        let s0 = b.add_site("lyon");
+        let s1 = b.add_site("orsay");
+        b.add_node("l1", MflopRate(1.0), s0).unwrap();
+        b.add_node("o1", MflopRate(1.0), s1).unwrap();
+        b.add_node("l2", MflopRate(1.0), s0).unwrap();
+        let p = b.build().unwrap();
+        assert_eq!(p.nodes_on_site(s0), vec![NodeId(0), NodeId(2)]);
+        assert_eq!(p.nodes_on_site(s1), vec![NodeId(1)]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Strongly-typed scalar units used throughout the workspace.
+//!
+//! The paper's model (Section 3) mixes four kinds of scalars: computation
+//! amounts (MFlop), computing powers (MFlop/s), message sizes (Mb) and link
+//! bandwidths (Mb/s). Mixing these up is the classic failure mode when
+//! implementing Eq. 1–16, so each gets a newtype. Division of an amount by a
+//! rate yields [`Seconds`], which is the only unit the throughput equations
+//! combine.
+//!
+//! The newtypes are deliberately thin: `Copy`, transparent, and convertible
+//! with `.value()`. Arithmetic is only implemented where it is meaningful.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+macro_rules! unit {
+    ($(#[$doc:meta])* $name:ident, $suffix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Zero value of this unit.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Raw scalar value.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// True if the value is finite and non-negative — all platform
+            /// quantities in the paper are.
+            #[inline]
+            pub fn is_valid(self) -> bool {
+                self.0.is_finite() && self.0 >= 0.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $suffix)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+unit!(
+    /// A computation amount in MFlop (10^6 floating point operations), the
+    /// unit of the paper's `W_*` parameters (`Wreq`, `Wfix`, `Wsel`, `Wpre`,
+    /// `Wapp`).
+    Mflop,
+    "MFlop"
+);
+
+unit!(
+    /// A computing power in MFlop/s, the paper's `w_i` (measured in the paper
+    /// with a Linpack mini-benchmark).
+    MflopRate,
+    "MFlop/s"
+);
+
+unit!(
+    /// A message size in Mb (megabits), the paper's `Sreq` / `Srep`.
+    Mbit,
+    "Mb"
+);
+
+unit!(
+    /// A link bandwidth in Mb/s, the paper's `B`.
+    MbitRate,
+    "Mb/s"
+);
+
+unit!(
+    /// A duration in seconds. All model terms reduce to this unit.
+    Seconds,
+    "s"
+);
+
+impl Neg for Seconds {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Seconds(-self.0)
+    }
+}
+
+impl Div<MflopRate> for Mflop {
+    type Output = Seconds;
+    /// Time to compute an amount of work at a given power: `W / w` seconds.
+    #[inline]
+    fn div(self, rhs: MflopRate) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+impl Div<MbitRate> for Mbit {
+    type Output = Seconds;
+    /// Time to transfer a message over a link: `S / B` seconds.
+    #[inline]
+    fn div(self, rhs: MbitRate) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+impl Seconds {
+    /// Inverse of a strictly-positive duration, in events per second.
+    ///
+    /// This is how the paper converts a per-request cycle time into a
+    /// throughput (e.g. Eq. 14–16). Returns `f64::INFINITY` for a zero
+    /// duration, which composes correctly with `min`.
+    #[inline]
+    pub fn throughput(self) -> f64 {
+        if self.0 <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_time_is_work_over_power() {
+        let t = Mflop(10.0) / MflopRate(5.0);
+        assert_eq!(t, Seconds(2.0));
+    }
+
+    #[test]
+    fn transfer_time_is_size_over_bandwidth() {
+        let t = Mbit(100.0) / MbitRate(1000.0);
+        assert!((t.value() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seconds_add_and_scale() {
+        let t = Seconds(1.5) + Seconds(0.5) * 3.0;
+        assert_eq!(t, Seconds(3.0));
+    }
+
+    #[test]
+    fn throughput_of_zero_is_infinite() {
+        assert_eq!(Seconds(0.0).throughput(), f64::INFINITY);
+        assert_eq!(Seconds(2.0).throughput(), 0.5);
+    }
+
+    #[test]
+    fn sum_of_units() {
+        let total: Mflop = [Mflop(1.0), Mflop(2.0), Mflop(3.0)].into_iter().sum();
+        assert_eq!(total, Mflop(6.0));
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(Mflop(0.0).is_valid());
+        assert!(!Mflop(-1.0).is_valid());
+        assert!(!Mflop(f64::NAN).is_valid());
+        assert!(!MbitRate(f64::INFINITY).is_valid());
+    }
+
+    #[test]
+    fn unit_ratio_is_dimensionless() {
+        let ratio = Mflop(3.0) / Mflop(2.0);
+        assert!((ratio - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_includes_suffix() {
+        assert_eq!(format!("{}", MflopRate(250.0)), "250 MFlop/s");
+        assert_eq!(format!("{}", Mbit(0.0053)), "0.0053 Mb");
+    }
+}

@@ -1,0 +1,99 @@
+//! Client demand — the paper's `client_volume`.
+//!
+//! Algorithm 1 stops growing the hierarchy once its throughput reaches the
+//! client demand (variables `min_ser_cv`, `throughput_diff` in the paper's
+//! Table 2): there is no point consuming more resources than needed, since
+//! "when the maximum throughput can be achieved by multiple distinct
+//! deployments, the preferred deployment is the one using the least
+//! resources" (Section 4).
+
+use std::fmt;
+
+/// How much completed-request throughput the clients will ask for.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ClientDemand {
+    /// No known bound: build the highest-throughput deployment the nodes
+    /// allow. This is how the paper's Section 5 experiments run (clients are
+    /// added until throughput saturates).
+    #[default]
+    Unbounded,
+    /// A target rate in completed requests per second; the planner may stop
+    /// once the platform sustains it.
+    Target(f64),
+}
+
+impl ClientDemand {
+    /// The demand as a comparable rate; `Unbounded` maps to `+∞` so that
+    /// `min(demand, ρ)` in the heuristic does the right thing.
+    #[inline]
+    pub fn rate(self) -> f64 {
+        match self {
+            ClientDemand::Unbounded => f64::INFINITY,
+            ClientDemand::Target(r) => r,
+        }
+    }
+
+    /// True if a deployment achieving `throughput` satisfies this demand.
+    #[inline]
+    pub fn satisfied_by(self, throughput: f64) -> bool {
+        throughput >= self.rate()
+    }
+
+    /// A target demand.
+    ///
+    /// # Panics
+    /// Panics unless the rate is positive and finite (use
+    /// [`ClientDemand::Unbounded`] for "as much as possible").
+    pub fn target(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "demand rate must be positive and finite, got {rate}"
+        );
+        ClientDemand::Target(rate)
+    }
+}
+
+impl fmt::Display for ClientDemand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientDemand::Unbounded => write!(f, "unbounded"),
+            ClientDemand::Target(r) => write!(f, "{r} req/s"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_is_never_satisfied() {
+        assert!(!ClientDemand::Unbounded.satisfied_by(1e12));
+        assert_eq!(ClientDemand::Unbounded.rate(), f64::INFINITY);
+    }
+
+    #[test]
+    fn target_satisfaction() {
+        let d = ClientDemand::target(100.0);
+        assert!(d.satisfied_by(100.0));
+        assert!(d.satisfied_by(150.0));
+        assert!(!d.satisfied_by(99.9));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn non_positive_target_rejected() {
+        let _ = ClientDemand::target(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn infinite_target_rejected() {
+        let _ = ClientDemand::target(f64::INFINITY);
+    }
+
+    #[test]
+    fn default_is_unbounded() {
+        assert_eq!(ClientDemand::default(), ClientDemand::Unbounded);
+    }
+}

@@ -1,0 +1,302 @@
+//! Execution-time forecasting — the paper's future work.
+//!
+//! "In this model we consider that we have a function to know the
+//! execution time but we should study another approach with statistical
+//! mathematical function to forecast the execution time." (Section 6)
+//!
+//! Two estimators are provided:
+//!
+//! * [`WappEstimator`] — a streaming estimator of a *fixed* service's
+//!   `Wapp`: each observed execution contributes `duration × node power`
+//!   MFlop; an exponential moving average tracks drift.
+//! * [`ScalingForecaster`] — a parametric fit `Wapp(n) = c · n^e` over
+//!   observations at different problem sizes (log–log least squares),
+//!   which recovers the cubic DGEMM law and extrapolates to unmeasured
+//!   sizes. This is what lets a deployment be planned for a problem size
+//!   nobody has run yet.
+
+use crate::service::ServiceSpec;
+use adept_platform::{Mflop, MflopRate, Seconds};
+
+/// Streaming `Wapp` estimator for one service (exponential moving
+/// average over observed executions).
+#[derive(Debug, Clone)]
+pub struct WappEstimator {
+    alpha: f64,
+    estimate: Option<f64>,
+    samples: u64,
+}
+
+impl WappEstimator {
+    /// An estimator with smoothing factor `alpha ∈ (0, 1]` (1 = last
+    /// sample wins; small values average over many samples).
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0,1], got {alpha}"
+        );
+        Self {
+            alpha,
+            estimate: None,
+            samples: 0,
+        }
+    }
+
+    /// Records one observed execution: `duration` on a node of `power`.
+    pub fn observe(&mut self, duration: Seconds, power: MflopRate) {
+        assert!(duration.value() >= 0.0, "durations are non-negative");
+        let mflop = duration.value() * power.value();
+        self.estimate = Some(match self.estimate {
+            None => mflop,
+            Some(prev) => prev + self.alpha * (mflop - prev),
+        });
+        self.samples += 1;
+    }
+
+    /// Current estimate (`None` before the first observation).
+    pub fn estimate(&self) -> Option<Mflop> {
+        self.estimate.map(Mflop)
+    }
+
+    /// Observations consumed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Builds a [`ServiceSpec`] from the estimate.
+    ///
+    /// # Panics
+    /// Panics before the first observation.
+    pub fn to_service(&self, name: impl Into<String>) -> ServiceSpec {
+        ServiceSpec::new(
+            name,
+            self.estimate().expect("need at least one observation"),
+        )
+    }
+}
+
+/// One observation for the scaling fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingSample {
+    /// Problem size (e.g. the matrix dimension).
+    pub size: f64,
+    /// Observed duration.
+    pub duration: Seconds,
+    /// Power of the node that ran it.
+    pub power: MflopRate,
+}
+
+/// Result of the power-law fit `Wapp(n) = c · n^e`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// Coefficient `c` (MFlop at n = 1).
+    pub coefficient: f64,
+    /// Exponent `e` (3 for dense matrix multiplication).
+    pub exponent: f64,
+    /// Log–log correlation coefficient of the data.
+    pub r: f64,
+}
+
+impl PowerLawFit {
+    /// Forecast `Wapp` at a (possibly unmeasured) problem size.
+    pub fn predict(&self, size: f64) -> Mflop {
+        assert!(size > 0.0, "size must be positive");
+        Mflop(self.coefficient * size.powf(self.exponent))
+    }
+
+    /// Forecast the service spec at a problem size.
+    pub fn service(&self, name: impl Into<String>, size: f64) -> ServiceSpec {
+        ServiceSpec::new(name, self.predict(size))
+    }
+}
+
+/// Parametric `Wapp(n)` forecaster over multi-size observations.
+#[derive(Debug, Clone, Default)]
+pub struct ScalingForecaster {
+    samples: Vec<ScalingSample>,
+}
+
+impl ScalingForecaster {
+    /// An empty forecaster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    /// Panics on non-positive size or duration (log–log fit).
+    pub fn observe(&mut self, sample: ScalingSample) {
+        assert!(
+            sample.size > 0.0 && sample.duration.value() > 0.0,
+            "scaling samples need positive size and duration"
+        );
+        self.samples.push(sample);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no observation was added.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Log–log least-squares fit of `Wapp(n) = c·n^e`.
+    ///
+    /// Returns `None` with fewer than two distinct sizes.
+    pub fn fit(&self) -> Option<PowerLawFit> {
+        if self.samples.len() < 2 {
+            return None;
+        }
+        let xs: Vec<f64> = self.samples.iter().map(|s| s.size.ln()).collect();
+        let first = xs[0];
+        if xs.iter().all(|&x| (x - first).abs() < 1e-12) {
+            return None; // one distinct size: exponent unidentifiable
+        }
+        let ys: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|s| (s.duration.value() * s.power.value()).ln())
+            .collect();
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let (mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0);
+        for (&x, &y) in xs.iter().zip(&ys) {
+            sxx += (x - mx) * (x - mx);
+            syy += (y - my) * (y - my);
+            sxy += (x - mx) * (y - my);
+        }
+        let exponent = sxy / sxx;
+        let coefficient = (my - exponent * mx).exp();
+        let r = if syy == 0.0 {
+            1.0
+        } else {
+            sxy / (sxx.sqrt() * syy.sqrt())
+        };
+        Some(PowerLawFit {
+            coefficient,
+            exponent,
+            r,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::Dgemm;
+
+    #[test]
+    fn wapp_estimator_recovers_constant_service() {
+        let truth = Dgemm::new(310).wapp();
+        let mut est = WappEstimator::new(0.2);
+        // Executions on nodes of different powers, all the same Wapp.
+        for &power in &[100.0, 250.0, 400.0, 330.0, 180.0] {
+            let duration = Seconds(truth.value() / power);
+            est.observe(duration, MflopRate(power));
+        }
+        let got = est.estimate().expect("observed").value();
+        assert!(
+            (got - truth.value()).abs() < 1e-9,
+            "estimate {got} vs truth {}",
+            truth.value()
+        );
+        assert_eq!(est.samples(), 5);
+        assert_eq!(est.to_service("dgemm-310").wapp.value(), got);
+    }
+
+    #[test]
+    fn wapp_estimator_tracks_drift() {
+        let mut est = WappEstimator::new(0.5);
+        est.observe(Seconds(1.0), MflopRate(100.0)); // 100 MFlop
+        for _ in 0..20 {
+            est.observe(Seconds(2.0), MflopRate(100.0)); // 200 MFlop
+        }
+        let got = est.estimate().expect("observed").value();
+        assert!((got - 200.0).abs() < 1.0, "EMA must converge to 200, got {got}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn bad_alpha_rejected() {
+        let _ = WappEstimator::new(0.0);
+    }
+
+    #[test]
+    fn scaling_forecaster_recovers_cubic_law() {
+        let mut f = ScalingForecaster::new();
+        for &n in &[50u32, 100, 200, 400, 800] {
+            let wapp = Dgemm::new(n).wapp();
+            // Observed on a 350 MFlop/s node.
+            f.observe(ScalingSample {
+                size: n as f64,
+                duration: Seconds(wapp.value() / 350.0),
+                power: MflopRate(350.0),
+            });
+        }
+        let fit = f.fit().expect("5 sizes");
+        assert!((fit.exponent - 3.0).abs() < 1e-9, "exponent {}", fit.exponent);
+        assert!((fit.coefficient - 2e-6).abs() < 1e-12, "coeff {}", fit.coefficient);
+        assert!((fit.r - 1.0).abs() < 1e-12);
+        // Extrapolate to an unmeasured size.
+        let predicted = fit.predict(310.0);
+        let truth = Dgemm::new(310).wapp();
+        assert!((predicted.value() - truth.value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaling_forecaster_handles_noise() {
+        let mut f = ScalingForecaster::new();
+        for (i, &n) in [64u32, 128, 256, 512].iter().enumerate() {
+            let wapp = Dgemm::new(n).wapp();
+            let noise = if i % 2 == 0 { 1.08 } else { 0.92 };
+            f.observe(ScalingSample {
+                size: n as f64,
+                duration: Seconds(wapp.value() * noise / 400.0),
+                power: MflopRate(400.0),
+            });
+        }
+        let fit = f.fit().expect("4 sizes");
+        assert!((fit.exponent - 3.0).abs() < 0.1);
+        assert!(fit.r > 0.999);
+    }
+
+    #[test]
+    fn degenerate_fits_return_none() {
+        let mut f = ScalingForecaster::new();
+        assert!(f.fit().is_none());
+        f.observe(ScalingSample {
+            size: 100.0,
+            duration: Seconds(1.0),
+            power: MflopRate(100.0),
+        });
+        assert!(f.fit().is_none(), "one sample is not enough");
+        f.observe(ScalingSample {
+            size: 100.0,
+            duration: Seconds(1.1),
+            power: MflopRate(100.0),
+        });
+        assert!(f.fit().is_none(), "one distinct size is not enough");
+    }
+
+    #[test]
+    fn forecast_feeds_the_planner_pipeline() {
+        // The future-work loop closed: observe small runs, forecast a big
+        // one, build its ServiceSpec.
+        let mut f = ScalingForecaster::new();
+        for &n in &[10u32, 50, 100] {
+            f.observe(ScalingSample {
+                size: n as f64,
+                duration: Seconds(Dgemm::new(n).wapp().value() / 400.0),
+                power: MflopRate(400.0),
+            });
+        }
+        let svc = f.fit().expect("3 sizes").service("dgemm-forecast-1000", 1000.0);
+        let truth = Dgemm::new(1000).wapp().value();
+        assert!((svc.wapp.value() - truth).abs() / truth < 1e-6);
+    }
+}

@@ -1,0 +1,37 @@
+//! # adept-workload
+//!
+//! Workload substrate for the deployment-planning reproduction: what the
+//! clients ask the middleware to do, and how load is offered to the
+//! deployed platform.
+//!
+//! The paper's experiments (Section 5) all use **DGEMM**, the level-3 BLAS
+//! matrix multiplication, at sizes 10, 100, 200, 310 and 1000, with a
+//! *closed-loop* client population: each client script runs one request at a
+//! time in a continual loop, and one new client is launched every second
+//! until platform throughput stops improving.
+//!
+//! * [`service`] — application service descriptions (`Wapp` in MFlop),
+//!   including [`service::Dgemm`];
+//! * [`demand`] — the paper's *client demand* (`client_volume`) consumed by
+//!   the planner heuristic;
+//! * [`ramp`] — the client-ramp measurement protocol and open-loop arrival
+//!   processes for the simulator;
+//! * [`forecast`] — execution-time forecasting (the paper's future work):
+//!   streaming `Wapp` estimation and power-law scaling fits;
+//! * [`mix`] — multi-service workloads (the paper's "several
+//!   applications" future-work item).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod demand;
+pub mod forecast;
+pub mod mix;
+pub mod ramp;
+pub mod service;
+
+pub use demand::ClientDemand;
+pub use forecast::{PowerLawFit, ScalingForecaster, ScalingSample, WappEstimator};
+pub use mix::ServiceMix;
+pub use ramp::{ArrivalProcess, ClientRamp};
+pub use service::{Dgemm, ServiceSpec};

@@ -1,0 +1,158 @@
+//! Multi-service workloads — the paper's last future-work item.
+//!
+//! "Finally, we are interested to find a modelization to deploy several
+//! middlewares and/or applications on grid." (Section 6)
+//!
+//! A [`ServiceMix`] is a set of services with request shares: clients
+//! draw each request's service from the shares. Deployment-side, servers
+//! are *partitioned* among the services (a SeD serves what it has
+//! installed); the planner extension in `adept-core` chooses the
+//! partition.
+
+use crate::service::ServiceSpec;
+
+/// A workload mixing several services with fixed request shares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceMix {
+    services: Vec<ServiceSpec>,
+    /// Normalized shares, same length as `services`, summing to 1.
+    shares: Vec<f64>,
+}
+
+impl ServiceMix {
+    /// Builds a mix from `(service, weight)` pairs; weights are
+    /// normalized to shares.
+    ///
+    /// # Panics
+    /// Panics on an empty list or non-positive/non-finite weights.
+    pub fn new(entries: Vec<(ServiceSpec, f64)>) -> Self {
+        assert!(!entries.is_empty(), "a mix needs at least one service");
+        let total: f64 = entries.iter().map(|(_, w)| *w).sum();
+        assert!(
+            entries.iter().all(|(_, w)| w.is_finite() && *w > 0.0) && total > 0.0,
+            "mix weights must be positive and finite"
+        );
+        let (services, shares) = entries
+            .into_iter()
+            .map(|(s, w)| (s, w / total))
+            .unzip();
+        Self { services, shares }
+    }
+
+    /// A single-service "mix" (share 1.0).
+    pub fn single(service: ServiceSpec) -> Self {
+        Self::new(vec![(service, 1.0)])
+    }
+
+    /// Number of services.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// True if the mix holds exactly one service.
+    pub fn is_empty(&self) -> bool {
+        false // by construction a mix is never empty
+    }
+
+    /// The services, in declaration order.
+    pub fn services(&self) -> &[ServiceSpec] {
+        &self.services
+    }
+
+    /// Normalized share of service `i`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range index.
+    pub fn share(&self, i: usize) -> f64 {
+        self.shares[i]
+    }
+
+    /// One service by index.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range index.
+    pub fn service(&self, i: usize) -> &ServiceSpec {
+        &self.services[i]
+    }
+
+    /// Draws a service index from the shares using a unit sample
+    /// `u ∈ [0, 1)`.
+    pub fn draw(&self, u: f64) -> usize {
+        debug_assert!((0.0..1.0).contains(&u));
+        let mut acc = 0.0;
+        for (i, &s) in self.shares.iter().enumerate() {
+            acc += s;
+            if u < acc {
+                return i;
+            }
+        }
+        self.services.len() - 1 // guard against rounding
+    }
+
+    /// The demand-weighted mean `Wapp` of the mix (MFlop per request).
+    pub fn mean_wapp(&self) -> f64 {
+        self.services
+            .iter()
+            .zip(&self.shares)
+            .map(|(s, &f)| s.wapp.value() * f)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::Dgemm;
+
+    fn mix() -> ServiceMix {
+        ServiceMix::new(vec![
+            (Dgemm::new(100).service(), 3.0),
+            (Dgemm::new(310).service(), 1.0),
+        ])
+    }
+
+    #[test]
+    fn shares_normalize() {
+        let m = mix();
+        assert_eq!(m.len(), 2);
+        assert!((m.share(0) - 0.75).abs() < 1e-12);
+        assert!((m.share(1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn draw_respects_shares() {
+        let m = mix();
+        assert_eq!(m.draw(0.0), 0);
+        assert_eq!(m.draw(0.74), 0);
+        assert_eq!(m.draw(0.76), 1);
+        assert_eq!(m.draw(0.999), 1);
+    }
+
+    #[test]
+    fn mean_wapp_is_weighted() {
+        let m = mix();
+        let expected = 0.75 * 2.0 + 0.25 * 59.582;
+        assert!((m.mean_wapp() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_service_mix() {
+        let m = ServiceMix::single(Dgemm::new(10).service());
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.share(0), 1.0);
+        assert_eq!(m.draw(0.5), 0);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one service")]
+    fn empty_mix_rejected() {
+        let _ = ServiceMix::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn bad_weights_rejected() {
+        let _ = ServiceMix::new(vec![(Dgemm::new(10).service(), -1.0)]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Load-offering protocols.
+//!
+//! The paper's measurement protocol (Section 5.1):
+//!
+//! > "A unit of load is introduced via a script that runs a single request
+//! > at a time in a continual loop. We then introduce load gradually by
+//! > launching one client script every second. We introduce new clients
+//! > until the throughput of the platform stops improving; we then let the
+//! > platform run with no addition of clients for 10 minutes."
+//!
+//! [`ClientRamp`] captures exactly that; the simulator consumes it. An
+//! open-loop Poisson [`ArrivalProcess`] is provided as an extension for
+//! stress tests (the paper only uses closed-loop clients).
+
+use adept_platform::units::Seconds;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's closed-loop client-ramp protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientRamp {
+    /// Number of clients at the end of the ramp.
+    pub max_clients: usize,
+    /// Interval between client launches (the paper uses 1 s).
+    pub launch_interval: Seconds,
+    /// Client think time between receiving a reply and issuing the next
+    /// request (the paper's scripts loop immediately: 0 s).
+    pub think_time: Seconds,
+    /// Measurement window once all clients are running (the paper holds for
+    /// 10 minutes; simulations use a shorter window since they are noise-free).
+    pub hold_time: Seconds,
+}
+
+impl ClientRamp {
+    /// The paper's protocol with a given final client count: 1 client/s
+    /// launch rate, zero think time, and a hold window.
+    pub fn paper(max_clients: usize, hold_time: Seconds) -> Self {
+        assert!(max_clients > 0, "need at least one client");
+        assert!(hold_time.value() > 0.0, "hold time must be positive");
+        Self {
+            max_clients,
+            launch_interval: Seconds(1.0),
+            think_time: Seconds::ZERO,
+            hold_time,
+        }
+    }
+
+    /// Time at which client `i` (0-based) starts issuing requests.
+    #[inline]
+    pub fn launch_time(&self, i: usize) -> Seconds {
+        Seconds(self.launch_interval.value() * i as f64)
+    }
+
+    /// Time at which the ramp is complete and the measurement hold begins.
+    #[inline]
+    pub fn ramp_end(&self) -> Seconds {
+        self.launch_time(self.max_clients.saturating_sub(1))
+    }
+
+    /// Total simulated duration: ramp plus hold.
+    #[inline]
+    pub fn total_duration(&self) -> Seconds {
+        self.ramp_end() + self.hold_time
+    }
+}
+
+/// Open-loop request arrivals (extension; not used by the paper's protocol).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Deterministic arrivals at a fixed rate (requests/second).
+    Uniform {
+        /// Arrival rate in requests per second.
+        rate: f64,
+    },
+    /// Poisson arrivals at a given mean rate (requests/second).
+    Poisson {
+        /// Mean arrival rate in requests per second.
+        rate: f64,
+        /// RNG seed for reproducibility.
+        seed: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Generates arrival times over `[0, horizon)`, sorted ascending.
+    ///
+    /// # Panics
+    /// Panics if the rate is not positive and finite.
+    pub fn arrivals(&self, horizon: Seconds) -> Vec<Seconds> {
+        match *self {
+            ArrivalProcess::Uniform { rate } => {
+                assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+                let step = 1.0 / rate;
+                let n = (horizon.value() * rate).floor() as usize;
+                (0..n).map(|i| Seconds(i as f64 * step)).collect()
+            }
+            ArrivalProcess::Poisson { rate, seed } => {
+                assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut t = 0.0f64;
+                let mut out = Vec::with_capacity((horizon.value() * rate) as usize + 1);
+                loop {
+                    // Exponential inter-arrival via inverse CDF.
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    t += -u.ln() / rate;
+                    if t >= horizon.value() {
+                        break;
+                    }
+                    out.push(Seconds(t));
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ramp_launch_schedule() {
+        let r = ClientRamp::paper(5, Seconds(60.0));
+        assert_eq!(r.launch_time(0), Seconds(0.0));
+        assert_eq!(r.launch_time(4), Seconds(4.0));
+        assert_eq!(r.ramp_end(), Seconds(4.0));
+        assert_eq!(r.total_duration(), Seconds(64.0));
+        assert_eq!(r.think_time, Seconds::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn empty_ramp_rejected() {
+        let _ = ClientRamp::paper(0, Seconds(1.0));
+    }
+
+    #[test]
+    fn single_client_ramp_ends_immediately() {
+        let r = ClientRamp::paper(1, Seconds(10.0));
+        assert_eq!(r.ramp_end(), Seconds(0.0));
+    }
+
+    #[test]
+    fn uniform_arrivals_are_evenly_spaced() {
+        let a = ArrivalProcess::Uniform { rate: 10.0 }.arrivals(Seconds(1.0));
+        assert_eq!(a.len(), 10);
+        assert!((a[1].value() - a[0].value() - 0.1).abs() < 1e-12);
+        assert!(a.last().unwrap().value() < 1.0);
+    }
+
+    #[test]
+    fn poisson_arrivals_have_roughly_correct_rate() {
+        let a = ArrivalProcess::Poisson {
+            rate: 100.0,
+            seed: 42,
+        }
+        .arrivals(Seconds(100.0));
+        // 10_000 expected; CLT gives ±3σ ≈ ±300.
+        assert!(
+            (a.len() as f64 - 10_000.0).abs() < 500.0,
+            "got {} arrivals",
+            a.len()
+        );
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "sorted");
+    }
+
+    #[test]
+    fn poisson_is_deterministic_in_seed() {
+        let mk = |seed| {
+            ArrivalProcess::Poisson { rate: 5.0, seed }
+                .arrivals(Seconds(10.0))
+                .len()
+        };
+        assert_eq!(mk(7), mk(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn bad_rate_rejected() {
+        let _ = ArrivalProcess::Uniform { rate: 0.0 }.arrivals(Seconds(1.0));
+    }
+}

@@ -1,0 +1,157 @@
+//! Application services offered by the servers.
+//!
+//! The model only needs one number per service: `Wapp`, the computation (in
+//! MFlop) a server spends to complete one service request (paper Section 3,
+//! server computation model). Message sizes for both phases come from the
+//! middleware calibration (paper Table 3); services may optionally override
+//! the service-phase payloads (an extension — the paper's model folds data
+//! movement into the calibrated message sizes).
+
+use adept_platform::units::{Mbit, Mflop};
+use std::fmt;
+
+/// A service a server can execute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSpec {
+    /// Human-readable name (used in reports and XML output).
+    pub name: String,
+    /// `Wapp`: computation per service request, in MFlop.
+    pub wapp: Mflop,
+    /// Optional override of the service-phase request payload (Mb).
+    /// `None` means "use the calibrated server-tier `Sreq`", which is the
+    /// paper's model.
+    pub request_payload: Option<Mbit>,
+    /// Optional override of the service-phase reply payload (Mb).
+    pub reply_payload: Option<Mbit>,
+}
+
+impl ServiceSpec {
+    /// A service with the given name and per-request computation.
+    ///
+    /// # Panics
+    /// Panics if `wapp` is not positive and finite: the paper's Eq. 8–10
+    /// divide by `Wapp`.
+    pub fn new(name: impl Into<String>, wapp: Mflop) -> Self {
+        assert!(
+            wapp.value().is_finite() && wapp.value() > 0.0,
+            "Wapp must be positive and finite, got {wapp}"
+        );
+        Self {
+            name: name.into(),
+            wapp,
+            request_payload: None,
+            reply_payload: None,
+        }
+    }
+
+    /// Sets explicit service-phase payloads (extension over the paper's
+    /// model; see module docs).
+    pub fn with_payloads(mut self, request: Mbit, reply: Mbit) -> Self {
+        self.request_payload = Some(request);
+        self.reply_payload = Some(reply);
+        self
+    }
+}
+
+impl fmt::Display for ServiceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (Wapp = {})", self.name, self.wapp)
+    }
+}
+
+/// The paper's benchmark application: square matrix multiplication
+/// (level-3 BLAS DGEMM).
+///
+/// `C ← αAB + βC` over `n×n` matrices costs `2n³` floating-point operations
+/// (the `n³` multiplies and `n³` adds of the triple loop), i.e.
+/// `Wapp = 2n³ / 10⁶` MFlop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dgemm {
+    /// Matrix dimension `n`.
+    pub n: u32,
+}
+
+impl Dgemm {
+    /// DGEMM on `n×n` matrices.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: u32) -> Self {
+        assert!(n > 0, "matrix dimension must be positive");
+        Self { n }
+    }
+
+    /// `Wapp = 2n³/10⁶` MFlop.
+    pub fn wapp(self) -> Mflop {
+        let n = self.n as f64;
+        Mflop(2.0 * n * n * n / 1e6)
+    }
+
+    /// The corresponding [`ServiceSpec`] named `dgemm-{n}`.
+    pub fn service(self) -> ServiceSpec {
+        ServiceSpec::new(format!("dgemm-{}", self.n), self.wapp())
+    }
+
+    /// The four problem sizes of the paper's Table 4 (10, 100, 310, 1000).
+    pub fn paper_table4_sizes() -> [Dgemm; 4] {
+        [Dgemm::new(10), Dgemm::new(100), Dgemm::new(310), Dgemm::new(1000)]
+    }
+}
+
+impl From<Dgemm> for ServiceSpec {
+    fn from(d: Dgemm) -> Self {
+        d.service()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dgemm_flop_counts() {
+        // 2 n^3 / 1e6 MFlop.
+        assert!((Dgemm::new(10).wapp().value() - 2e-3).abs() < 1e-15);
+        assert!((Dgemm::new(100).wapp().value() - 2.0).abs() < 1e-12);
+        assert!((Dgemm::new(310).wapp().value() - 59.582).abs() < 1e-9);
+        assert!((Dgemm::new(1000).wapp().value() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dgemm_service_name() {
+        let s = Dgemm::new(310).service();
+        assert_eq!(s.name, "dgemm-310");
+        assert!(s.request_payload.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn dgemm_zero_rejected() {
+        let _ = Dgemm::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Wapp must be positive")]
+    fn zero_wapp_rejected() {
+        let _ = ServiceSpec::new("bad", Mflop(0.0));
+    }
+
+    #[test]
+    fn payload_override() {
+        let s = ServiceSpec::new("x", Mflop(1.0)).with_payloads(Mbit(2.0), Mbit(3.0));
+        assert_eq!(s.request_payload, Some(Mbit(2.0)));
+        assert_eq!(s.reply_payload, Some(Mbit(3.0)));
+    }
+
+    #[test]
+    fn table4_sizes() {
+        let sizes: Vec<u32> = Dgemm::paper_table4_sizes().iter().map(|d| d.n).collect();
+        assert_eq!(sizes, vec![10, 100, 310, 1000]);
+    }
+
+    #[test]
+    fn conversion_to_service_spec() {
+        let s: ServiceSpec = Dgemm::new(100).into();
+        assert_eq!(s.name, "dgemm-100");
+    }
+}

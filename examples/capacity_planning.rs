@@ -1,0 +1,49 @@
+//! Capacity planning with a demand target: the heuristic stops growing
+//! once the client demand is met, preferring the deployment "using the
+//! least resources" (paper, Section 4).
+//!
+//! ```text
+//! cargo run --example capacity_planning
+//! ```
+
+use adept::prelude::*;
+
+fn main() {
+    let platform = generator::lyon_cluster(64);
+    let service = Dgemm::new(1000).service();
+    let params = ModelParams::from_platform(&platform);
+
+    println!("Planning dgemm-1000 deployments on a 64-node cluster for rising demand:\n");
+    println!(
+        "{:>12} {:>8} {:>8} {:>12} {:>10}",
+        "demand(r/s)", "agents", "servers", "rho(req/s)", "met?"
+    );
+
+    for target in [0.5, 1.0, 2.0, 4.0, 8.0, 12.0] {
+        let demand = ClientDemand::target(target);
+        let plan = HeuristicPlanner::paper()
+            .plan(&platform, &service, demand)
+            .expect("64 nodes suffice");
+        let report = params.evaluate(&platform, &plan, &service);
+        println!(
+            "{:>12.1} {:>8} {:>8} {:>12.2} {:>10}",
+            target,
+            plan.agent_count(),
+            plan.server_count(),
+            report.rho,
+            if demand.satisfied_by(report.rho) { "yes" } else { "NO" },
+        );
+    }
+
+    let unbounded = HeuristicPlanner::paper()
+        .plan(&platform, &service, ClientDemand::Unbounded)
+        .expect("64 nodes suffice");
+    let max = params.evaluate(&platform, &unbounded, &service);
+    println!(
+        "\nUnbounded demand uses {} nodes for {:.2} req/s ({}).",
+        unbounded.len(),
+        max.rho,
+        max.bottleneck
+    );
+    println!("Targets beyond the platform's capacity simply get the best achievable plan.");
+}

@@ -1,0 +1,63 @@
+//! The full deployment pipeline: plan → XML descriptor → GoDIET-style
+//! staged launch (with injected failures and spare substitution) →
+//! simulate the *actually running* deployment.
+//!
+//! ```text
+//! cargo run --release --example godiet_pipeline
+//! ```
+
+use adept::prelude::*;
+
+fn main() {
+    // A 40-node heterogeneous cluster; the planner leaves some nodes
+    // unused, which become spares for the launcher.
+    let platform = generator::heterogenized_cluster(
+        "orsay",
+        40,
+        MflopRate(400.0),
+        BackgroundLoad::default(),
+        CapacityProbe::exact(),
+        11,
+    );
+    let service = Dgemm::new(310).service();
+    let params = ModelParams::from_platform(&platform);
+
+    let plan = HeuristicPlanner::paper()
+        .plan(&platform, &service, ClientDemand::Unbounded)
+        .expect("40 nodes suffice");
+    println!("planned: {}", HierarchyStats::of(&plan));
+
+    // 1. The planner writes the descriptor (paper Table 1, `write_xml`).
+    let descriptor = xml::write_xml(&plan, Some(&platform));
+    println!("descriptor: {} bytes of XML", descriptor.len());
+
+    // 2. GoDIET launches it, stage by stage. 15% of launch attempts fail;
+    //    failing nodes are retried and eventually replaced by spares.
+    let tool = GoDiet::with_failures(0.15, 2024);
+    let report: DeploymentReport = tool
+        .deploy_xml(&platform, &descriptor)
+        .expect("enough spare nodes to absorb failures");
+    println!(
+        "launched: {} stages, {} attempts ({} failures), {} substitutions, makespan {:.1}",
+        report.stages,
+        report.launches,
+        report.failures,
+        report.substitutions.len(),
+        report.makespan,
+    );
+    for (failed, spare) in &report.substitutions {
+        println!("  substituted {failed} -> {spare}");
+    }
+
+    // 3. What actually runs may differ from what was planned; predict and
+    //    simulate the *running* plan.
+    let predicted = params.evaluate(&platform, &report.plan, &service);
+    println!("running plan prediction: {predicted}");
+
+    let config = SimConfig::paper().with_windows(Seconds(5.0), Seconds(20.0));
+    let outcome = measure_throughput(&platform, &report.plan, &service, 64, &config);
+    println!(
+        "simulated at 64 clients: {:.2} req/s (completed {} requests)",
+        outcome.throughput, outcome.completed
+    );
+}

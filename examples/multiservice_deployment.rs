@@ -1,0 +1,79 @@
+//! Deploying **several applications** on one hierarchy — the paper's last
+//! future-work item, end to end: plan the shared tree, partition the
+//! servers among the services, predict with the mix model, and measure in
+//! the simulator.
+//!
+//! ```text
+//! cargo run --release --example multiservice_deployment
+//! ```
+
+use adept::core::model::mix::{evaluate_mix, partition_servers};
+use adept::prelude::*;
+
+fn main() {
+    let platform = generator::heterogenized_cluster(
+        "orsay",
+        36,
+        MflopRate(400.0),
+        BackgroundLoad::default(),
+        CapacityProbe::exact(),
+        17,
+    );
+    // Two applications with a 2:1 request mix.
+    let mix = ServiceMix::new(vec![
+        (Dgemm::new(100).service(), 2.0),
+        (Dgemm::new(310).service(), 1.0),
+    ]);
+    println!(
+        "mix: {} ({}%), {} ({}%)",
+        mix.service(0),
+        (mix.share(0) * 100.0) as u32,
+        mix.service(1),
+        (mix.share(1) * 100.0) as u32,
+    );
+
+    // Plan the shared hierarchy for the demand-weighted mean workload.
+    let mean = ServiceSpec::new("mix-mean", Mflop(mix.mean_wapp()));
+    let plan = HeuristicPlanner::paper()
+        .plan(&platform, &mean, ClientDemand::Unbounded)
+        .expect("36 nodes suffice");
+    println!("\nshared hierarchy: {}", HierarchyStats::of(&plan));
+
+    // Partition the servers.
+    let params = ModelParams::from_platform(&platform);
+    let assignment = partition_servers(&params, &platform, &plan, &mix);
+    println!(
+        "partition: {} servers for {}, {} for {}",
+        assignment.count_for(0),
+        mix.service(0).name,
+        assignment.count_for(1),
+        mix.service(1).name,
+    );
+
+    // Predict and simulate.
+    let report = evaluate_mix(&params, &platform, &plan, &mix, &assignment);
+    println!(
+        "\npredicted mix throughput: {:.1} req/s (sched {:.1}; per-service {:?}; binding: {:?})",
+        report.rho,
+        report.rho_sched,
+        report
+            .rho_service
+            .iter()
+            .map(|r| (r * 10.0).round() / 10.0)
+            .collect::<Vec<_>>(),
+        report.binding_service,
+    );
+
+    let pairs: Vec<(NodeId, usize)> = assignment
+        .service_of
+        .iter()
+        .map(|(&n, &s)| (n, s))
+        .collect();
+    let cfg = SimConfig::paper().with_windows(Seconds(5.0), Seconds(20.0));
+    let mut sim = Simulation::new_mix(&platform, &plan, &mix, &pairs, cfg);
+    let out = sim.run_ramp(&ClientRamp::paper(96, Seconds(25.0)), &cfg);
+    println!(
+        "measured at 96 clients: {:.1} req/s, per-service completions {:?}",
+        out.throughput, out.completed_per_service
+    );
+}

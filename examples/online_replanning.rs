@@ -1,0 +1,64 @@
+//! Online re-planning of a *running* deployment under a disruption
+//! budget: demand rises, then falls, and the planner adjusts the running
+//! hierarchy a few nodes at a time instead of redeploying from scratch.
+//!
+//! ```text
+//! cargo run --release --example online_replanning
+//! ```
+
+use adept::prelude::*;
+
+fn rho(platform: &Platform, plan: &DeploymentPlan, svc: &ServiceSpec) -> f64 {
+    ModelParams::from_platform(platform)
+        .evaluate(platform, plan, svc)
+        .rho
+}
+
+fn main() {
+    let platform = generator::lyon_cluster(48);
+    let service = Dgemm::new(1000).service();
+
+    // Day 1: deploy for a modest 2 req/s.
+    let mut running = HeuristicPlanner::paper()
+        .plan(&platform, &service, ClientDemand::target(2.0))
+        .expect("48 nodes suffice");
+    println!(
+        "running: {} -> {:.2} req/s",
+        HierarchyStats::of(&running),
+        rho(&platform, &running, &service)
+    );
+
+    // Day 2: demand doubles. Re-plan with at most 4 node changes.
+    let replanner = OnlinePlanner {
+        max_changes: 4,
+        params: None,
+    };
+    let up = replanner.replan(&platform, &running, &service, ClientDemand::target(4.0));
+    println!("\ndemand 2.0 -> 4.0 req/s, budget 4 changes:");
+    print!("{}", up.diff);
+    println!(
+        "revised: {} -> {:.2} req/s",
+        HierarchyStats::of(&up.plan),
+        up.rho
+    );
+    running = up.plan;
+
+    // Day 3: demand collapses to 1 req/s; retire machines.
+    let down = replanner.replan(&platform, &running, &service, ClientDemand::target(1.0));
+    println!("\ndemand 4.0 -> 1.0 req/s:");
+    print!("{}", down.diff);
+    println!(
+        "revised: {} -> {:.2} req/s (freed {} nodes)",
+        HierarchyStats::of(&down.plan),
+        down.rho,
+        running.len() - down.plan.len()
+    );
+
+    // Sanity: the revised plan still simulates.
+    let cfg = SimConfig::paper().with_windows(Seconds(2.0), Seconds(10.0));
+    let out = measure_throughput(&platform, &down.plan, &service, 8, &cfg);
+    println!(
+        "\nsimulated check at 8 clients: {:.2} req/s",
+        out.throughput
+    );
+}

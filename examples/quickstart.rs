@@ -1,0 +1,39 @@
+//! Quickstart: plan a deployment, predict its throughput, print the tree.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use adept::prelude::*;
+
+fn main() {
+    // A 21-node homogeneous cluster like the paper's Lyon site, and the
+    // DGEMM 310×310 workload of Table 4 / Figure 6.
+    let platform = generator::lyon_cluster(21);
+    let service = Dgemm::new(310).service();
+
+    // Plan with the paper's heuristic (Algorithm 1).
+    let planner = HeuristicPlanner::paper();
+    let plan = planner
+        .plan(&platform, &service, ClientDemand::Unbounded)
+        .expect("21 nodes are plenty for a hierarchy");
+
+    println!("Planned deployment for {service}:");
+    print!("{}", plan.render());
+    println!("{}", HierarchyStats::of(&plan));
+
+    // Predict the steady-state throughput (paper Eq. 16) and identify the
+    // bottleneck.
+    let report = ModelParams::from_platform(&platform).evaluate(&platform, &plan, &service);
+    println!("\nModel prediction: {report}");
+
+    // Compare against the naive star on the same nodes.
+    let star = StarPlanner
+        .plan(&platform, &service, ClientDemand::Unbounded)
+        .expect("same platform");
+    let star_report = ModelParams::from_platform(&platform).evaluate(&platform, &star, &service);
+    println!("Star would give:  {star_report}");
+
+    // Emit the GoDIET-style XML descriptor the deployment tool consumes.
+    println!("\nGoDIET descriptor:\n{}", xml::write_xml(&plan, Some(&platform)));
+}

@@ -1,0 +1,101 @@
+//! # adept — Automatic Deployment Planning Tool
+//!
+//! A full Rust reproduction of Caron, Chouhan, Desprez, *Automatic
+//! Middleware Deployment Planning on Heterogeneous Platforms* (INRIA
+//! RR-6566, 2008), named after the tool the paper's conclusion announces
+//! ("implement the theoretical deployment planning techniques as
+//! Automatic Deployment Planning Tool (ADePT)").
+//!
+//! This umbrella crate re-exports the whole workspace and provides a
+//! [`prelude`] for applications:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`platform`] | resources, network, generators, Table 3 calibration |
+//! | [`workload`] | DGEMM & services, client demand, ramp protocol |
+//! | [`hierarchy`] | deployment plan tree, builders, XML, validation |
+//! | [`core`] | throughput model (Eq. 1–16) and planners (Algorithm 1 + baselines) |
+//! | [`desim`] | deterministic discrete-event engine |
+//! | [`nes_sim`] | DIET-like middleware simulator on `M(r,s,w)` resources |
+//! | [`godiet`] | deployment tool: XML in, staged launch, failure injection |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adept::prelude::*;
+//!
+//! // A heterogeneous 24-node cluster (the paper's background-load method).
+//! let platform = adept::platform::generator::heterogenized_cluster(
+//!     "orsay", 24, MflopRate(400.0),
+//!     BackgroundLoad::default(), CapacityProbe::exact(), 7,
+//! );
+//! let service = Dgemm::new(310).service();
+//!
+//! // Plan automatically (the paper's Algorithm 1)...
+//! let plan = HeuristicPlanner::paper()
+//!     .plan(&platform, &service, ClientDemand::Unbounded)
+//!     .expect("platform is large enough");
+//!
+//! // ...predict its throughput (Eq. 16)...
+//! let report = ModelParams::from_platform(&platform)
+//!     .evaluate(&platform, &plan, &service);
+//! assert!(report.rho > 0.0);
+//!
+//! // ...and emit the GoDIET descriptor.
+//! let xml = adept::hierarchy::xml::write_xml(&plan, Some(&platform));
+//! assert!(xml.contains("<deployment>"));
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub use adept_core as core;
+pub use adept_desim as desim;
+pub use adept_godiet as godiet;
+pub use adept_hierarchy as hierarchy;
+pub use adept_nes_sim as nes_sim;
+pub use adept_platform as platform;
+pub use adept_workload as workload;
+
+/// Commonly used items, re-exported flat.
+pub mod prelude {
+    pub use adept_core::analysis::{Bottleneck, ThroughputReport};
+    pub use adept_core::model::ModelParams;
+    pub use adept_core::planner::{
+        BalancedPlanner, HeuristicPlanner, HomogeneousCsdPlanner, Planner, PlannerError,
+        OnlinePlanner, RoundRobinPlanner, StarPlanner, SweepPlanner,
+    };
+    pub use adept_godiet::{DeployError, DeploymentReport, GoDiet};
+    pub use adept_hierarchy::{
+        builder, to_dot, validate, xml, AdjacencyMatrix, DeploymentPlan, HierarchyStats,
+        PlanDiff, Role, Slot,
+    };
+    pub use adept_nes_sim::{
+        measure_throughput, saturation_search, SelectionPolicy, SimConfig, SimOutcome,
+        Simulation,
+    };
+    pub use adept_platform::{
+        generator, BackgroundLoad, CapacityProbe, Mbit, MbitRate, Mflop, MflopRate,
+        MiddlewareCalibration, Network, NodeId, Platform, Resource, Seconds,
+    };
+    pub use adept_workload::{
+        ArrivalProcess, ClientDemand, ClientRamp, Dgemm, ScalingForecaster, ScalingSample,
+        ServiceMix, ServiceSpec, WappEstimator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_compiles_and_links_the_stack() {
+        let platform = generator::lyon_cluster(5);
+        let svc = Dgemm::new(100).service();
+        let plan = StarPlanner
+            .plan(&platform, &svc, ClientDemand::Unbounded)
+            .unwrap();
+        let report = ModelParams::from_platform(&platform).evaluate(&platform, &plan, &svc);
+        assert!(report.rho > 0.0);
+    }
+}

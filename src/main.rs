@@ -1,0 +1,258 @@
+//! The `adept` command-line tool: plan, evaluate, simulate and export
+//! middleware deployments from the terminal.
+//!
+//! ```text
+//! adept plan     --nodes 45 --dgemm 310 [--planner heuristic] [--xml]
+//! adept evaluate --nodes 45 --dgemm 310 --planner star
+//! adept compare  --nodes 45 --dgemm 310
+//! adept simulate --nodes 45 --dgemm 310 --clients 40 [--planner heuristic]
+//! adept validate --file plan.xml --nodes 45
+//! adept deploy   --file plan.xml --nodes 45 [--failures 0.2]
+//! ```
+//!
+//! Platforms are synthetic: `--nodes N` builds an N-node cluster at the
+//! reference power; `--hetero SEED` heterogenizes it with the paper's
+//! background-load method.
+
+use adept::prelude::*;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    nodes: usize,
+    dgemm: u32,
+    planner: String,
+    clients: usize,
+    hetero: Option<u64>,
+    demand: Option<f64>,
+    xml: bool,
+    file: Option<String>,
+    failures: f64,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        command: argv.first().cloned().ok_or_else(usage)?,
+        nodes: 21,
+        dgemm: 310,
+        planner: "heuristic".into(),
+        clients: 32,
+        hetero: None,
+        demand: None,
+        xml: false,
+        file: None,
+        failures: 0.0,
+    };
+    let mut it = argv[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--nodes" => args.nodes = value("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--dgemm" => args.dgemm = value("--dgemm")?.parse().map_err(|e| format!("--dgemm: {e}"))?,
+            "--planner" => args.planner = value("--planner")?,
+            "--clients" => {
+                args.clients = value("--clients")?.parse().map_err(|e| format!("--clients: {e}"))?
+            }
+            "--hetero" => {
+                args.hetero = Some(value("--hetero")?.parse().map_err(|e| format!("--hetero: {e}"))?)
+            }
+            "--demand" => {
+                args.demand = Some(value("--demand")?.parse().map_err(|e| format!("--demand: {e}"))?)
+            }
+            "--xml" => args.xml = true,
+            "--file" => args.file = Some(value("--file")?),
+            "--failures" => {
+                args.failures = value("--failures")?
+                    .parse()
+                    .map_err(|e| format!("--failures: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn usage() -> String {
+    "usage: adept <plan|evaluate|compare|simulate|validate|deploy> \
+     [--nodes N] [--dgemm SIZE] [--planner heuristic|heuristic+rebalance|star|balanced|csd|sweep|round-robin] \
+     [--clients N] [--hetero SEED] [--demand RATE] [--xml] \
+     [--file plan.xml] [--failures P]"
+        .to_string()
+}
+
+fn build_platform(args: &Args) -> Platform {
+    match args.hetero {
+        Some(seed) => generator::heterogenized_cluster(
+            "orsay",
+            args.nodes,
+            MiddlewareCalibration::reference_node_power(),
+            BackgroundLoad::default(),
+            CapacityProbe::exact(),
+            seed,
+        ),
+        None => generator::lyon_cluster(args.nodes),
+    }
+}
+
+fn make_planner(name: &str) -> Result<Box<dyn Planner>, String> {
+    Ok(match name {
+        "heuristic" => Box::new(HeuristicPlanner::paper()),
+        "heuristic+rebalance" => Box::new(HeuristicPlanner::with_rebalance()),
+        "star" => Box::new(StarPlanner),
+        "balanced" => Box::new(BalancedPlanner::paper()),
+        "csd" => Box::new(HomogeneousCsdPlanner::default()),
+        "sweep" => Box::new(SweepPlanner::default()),
+        "round-robin" => Box::new(adept::core::planner::RoundRobinPlanner::default()),
+        other => return Err(format!("unknown planner {other:?}\n{}", usage())),
+    })
+}
+
+fn demand_of(args: &Args) -> ClientDemand {
+    match args.demand {
+        Some(rate) => ClientDemand::target(rate),
+        None => ClientDemand::Unbounded,
+    }
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        return Err(usage());
+    }
+    let mut out = String::new();
+    let args = parse_args(&argv)?;
+    let platform = build_platform(&args);
+    let service = Dgemm::new(args.dgemm).service();
+    let params = ModelParams::from_platform(&platform);
+
+    match args.command.as_str() {
+        "plan" => {
+            let planner = make_planner(&args.planner)?;
+            let plan = planner
+                .plan(&platform, &service, demand_of(&args))
+                .map_err(|e| e.to_string())?;
+            if args.xml {
+                out.push_str(&xml::write_xml(&plan, Some(&platform)));
+            } else {
+                out.push_str(&format!(
+                    "# {} plan for {} on {} nodes\n",
+                    planner.name(), service, args.nodes
+                ));
+                out.push_str(&format!("{}\n", HierarchyStats::of(&plan)));
+                out.push_str(&plan.render());
+                let report = params.evaluate(&platform, &plan, &service);
+                out.push_str(&format!("{report}\n"));
+            }
+        }
+        "evaluate" => {
+            let planner = make_planner(&args.planner)?;
+            let plan = planner
+                .plan(&platform, &service, demand_of(&args))
+                .map_err(|e| e.to_string())?;
+            let report = params.evaluate(&platform, &plan, &service);
+            out.push_str(&format!("{report}\n"));
+        }
+        "compare" => {
+            out.push_str(&format!(
+                "{:<22} {:>10} {:>8} {:>8} {:>7} {:>6}\n",
+                "planner", "rho(req/s)", "agents", "servers", "depth", "maxdeg"
+            ));
+            for name in ["heuristic", "heuristic+rebalance", "star", "balanced", "csd", "sweep"] {
+                let planner = make_planner(name)?;
+                match planner.plan(&platform, &service, demand_of(&args)) {
+                    Ok(plan) => {
+                        let report = params.evaluate(&platform, &plan, &service);
+                        let stats = HierarchyStats::of(&plan);
+                        out.push_str(&format!(
+                            "{:<22} {:>10.2} {:>8} {:>8} {:>7} {:>6}\n",
+                            name, report.rho, stats.agents, stats.servers, stats.depth,
+                            stats.max_degree
+                        ));
+                    }
+                    Err(e) => out.push_str(&format!("{name:<22} unavailable ({e})\n")),
+                }
+            }
+        }
+        "simulate" => {
+            let planner = make_planner(&args.planner)?;
+            let plan = planner
+                .plan(&platform, &service, demand_of(&args))
+                .map_err(|e| e.to_string())?;
+            let predicted = params.evaluate(&platform, &plan, &service).rho;
+            let config = SimConfig::paper();
+            let measured = measure_throughput(&platform, &plan, &service, args.clients, &config);
+            out.push_str(&format!(
+                "planner {} | clients {} | predicted {:.2} req/s | measured {:.2} req/s | mean response {:.4}s\n",
+                planner.name(),
+                args.clients,
+                predicted,
+                measured.throughput,
+                measured.mean_response_time
+            ));
+        }
+        "validate" => {
+            let path = args.file.ok_or("validate needs --file <plan.xml>")?;
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            let plan = xml::parse_xml(&text).map_err(|e| e.to_string())?;
+            let errors = validate::validate_on(&plan, &platform);
+            if errors.is_empty() {
+                out.push_str(&format!(
+                    "{path}: OK ({})\n",
+                    HierarchyStats::of(&plan)
+                ));
+            } else {
+                for e in &errors {
+                    out.push_str(&format!("{path}: {e}\n"));
+                }
+                use std::io::Write;
+                let _ = std::io::stdout().write_all(out.as_bytes());
+                return Err(format!("{} validation error(s)", errors.len()));
+            }
+        }
+        "deploy" => {
+            let path = args.file.ok_or("deploy needs --file <plan.xml>")?;
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            let tool = if args.failures > 0.0 {
+                GoDiet::with_failures(args.failures, 7)
+            } else {
+                GoDiet::default()
+            };
+            let report = tool
+                .deploy_xml(&platform, &text)
+                .map_err(|e| e.to_string())?;
+            out.push_str(&format!(
+                "deployed {} elements in {} stages ({} attempts, {} failures, {} substitutions), makespan {}\n",
+                report.plan.len(),
+                report.stages,
+                report.launches,
+                report.failures,
+                report.substitutions.len(),
+                report.makespan,
+            ));
+            for (failed, spare) in &report.substitutions {
+                out.push_str(&format!("  substituted {failed} -> {spare}\n"));
+            }
+            let report_eval = params.evaluate(&platform, &report.plan, &service);
+            out.push_str(&format!("running plan: {report_eval}\n"));
+        }
+        other => return Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+    // Ignore EPIPE so `adept ... | head` exits cleanly.
+    use std::io::Write;
+    let _ = std::io::stdout().write_all(out.as_bytes());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

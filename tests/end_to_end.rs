@@ -1,0 +1,124 @@
+//! Full-stack integration: platform generation → planning → XML →
+//! deployment tool → simulator → model comparison.
+
+use adept::prelude::*;
+
+#[test]
+fn plan_xml_deploy_simulate_roundtrip() {
+    let platform = generator::heterogenized_cluster(
+        "orsay",
+        24,
+        MflopRate(400.0),
+        BackgroundLoad::default(),
+        CapacityProbe::exact(),
+        3,
+    );
+    let service = Dgemm::new(310).service();
+    let params = ModelParams::from_platform(&platform);
+
+    // Plan.
+    let plan = HeuristicPlanner::paper()
+        .plan(&platform, &service, ClientDemand::Unbounded)
+        .expect("24 nodes suffice");
+    assert!(validate::validate_relaxed(&plan).is_empty());
+
+    // Serialize and re-parse the descriptor.
+    let descriptor = xml::write_xml(&plan, Some(&platform));
+    let parsed = xml::parse_xml(&descriptor).expect("own descriptor parses");
+    assert!(parsed.structurally_eq(&plan));
+
+    // Deploy (failure-free) and check the tool returns the same plan.
+    let report = GoDiet::default()
+        .deploy_xml(&platform, &descriptor)
+        .expect("failure-free launch");
+    assert!(report.plan.structurally_eq(&plan));
+
+    // Simulate the running plan briefly; sanity-check against the model.
+    let predicted = params.evaluate(&platform, &report.plan, &service).rho;
+    let config = SimConfig::ideal().with_windows(Seconds(2.0), Seconds(10.0));
+    let measured = measure_throughput(&platform, &report.plan, &service, 48, &config);
+    assert!(measured.throughput > 0.0);
+    assert!(
+        measured.throughput <= predicted * 1.1,
+        "simulation ({}) cannot beat the steady-state bound ({})",
+        measured.throughput,
+        predicted
+    );
+    assert!(
+        measured.throughput >= predicted * 0.5,
+        "simulation ({}) should reach a decent fraction of the bound ({})",
+        measured.throughput,
+        predicted
+    );
+}
+
+#[test]
+fn deployment_with_failures_still_simulates() {
+    let platform = generator::lyon_cluster(30);
+    let service = Dgemm::new(100).service();
+    let plan = HeuristicPlanner::paper()
+        .plan(&platform, &service, ClientDemand::Unbounded)
+        .expect("30 nodes suffice");
+
+    let tool = GoDiet::with_failures(0.3, 77);
+    let report = tool.deploy(&platform, &plan).expect("spares absorb failures");
+
+    // Whatever GoDIET ended up with must still be a runnable deployment.
+    let config = SimConfig::paper().with_windows(Seconds(1.0), Seconds(5.0));
+    let out = measure_throughput(&platform, &report.plan, &service, 8, &config);
+    assert!(out.throughput > 0.0);
+    assert!(out.completed > 0);
+}
+
+#[test]
+fn demand_target_is_respected_end_to_end() {
+    let platform = generator::lyon_cluster(40);
+    let service = Dgemm::new(1000).service();
+    let params = ModelParams::from_platform(&platform);
+
+    let demand = ClientDemand::target(3.0);
+    let plan = HeuristicPlanner::paper()
+        .plan(&platform, &service, demand)
+        .expect("40 nodes suffice");
+    let rho = params.evaluate(&platform, &plan, &service).rho;
+    assert!(demand.satisfied_by(rho), "plan must meet the 3 req/s target");
+    assert!(
+        plan.len() < 40,
+        "meeting a modest target must not consume the whole platform"
+    );
+}
+
+#[test]
+fn adjacency_matrix_is_consistent_with_xml() {
+    let platform = generator::lyon_cluster(20);
+    let service = Dgemm::new(310).service();
+    let plan = HeuristicPlanner::paper()
+        .plan(&platform, &service, ClientDemand::Unbounded)
+        .expect("20 nodes suffice");
+
+    let via_matrix = AdjacencyMatrix::from_plan(&plan)
+        .to_plan()
+        .expect("plan matrices are trees");
+    let via_xml = xml::parse_xml(&xml::write_xml(&plan, None)).expect("parses");
+    assert!(via_matrix.structurally_eq(&via_xml));
+}
+
+#[test]
+fn cli_binary_parses_and_plans() {
+    // Exercise the installed binary end to end (model path only: fast).
+    let exe = env!("CARGO_BIN_EXE_adept");
+    let out = std::process::Command::new(exe)
+        .args(["compare", "--nodes", "12", "--dgemm", "310"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("heuristic"), "{text}");
+    assert!(text.contains("star"), "{text}");
+
+    let bad = std::process::Command::new(exe)
+        .args(["frobnicate"])
+        .output()
+        .expect("binary runs");
+    assert!(!bad.status.success());
+}

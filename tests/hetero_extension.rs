@@ -1,0 +1,94 @@
+//! Integration tests for the heterogeneous-communication extension
+//! (model ↔ simulator agreement on multi-site platforms) and the site
+//! catalog.
+
+use adept::core::model::hetero;
+use adept::platform::catalog;
+use adept::prelude::*;
+
+#[test]
+fn catalog_multi_site_roundtrip_through_the_stack() {
+    let platform = catalog::multi_site(&["lyon", "sophia"], MbitRate(20.0));
+    let service = Dgemm::new(310).service();
+
+    // Plan with the paper's (homogeneous-B) heuristic — it still works,
+    // just conservatively.
+    let plan = HeuristicPlanner::paper()
+        .plan(&platform, &service, ClientDemand::Unbounded)
+        .expect("128 nodes suffice");
+    assert!(validate::validate_relaxed(&plan).is_empty());
+
+    // Both models evaluate it; the per-link model can only be equal or
+    // more optimistic than the min-bandwidth scalarization.
+    let scalar = ModelParams::from_platform(&platform)
+        .evaluate(&platform, &plan, &service)
+        .rho;
+    let per_link = ModelParams::new(MbitRate(100.0)).with_latency(Seconds(5e-4));
+    let het = hetero::evaluate_hetero(&per_link, &platform, &plan, &service).rho;
+    assert!(
+        het >= scalar * 0.99,
+        "per-link evaluation {het} must not be below the conservative {scalar}"
+    );
+}
+
+#[test]
+fn simulator_charges_cross_site_links() {
+    // Same shape, intra-site vs cross-site servers: the simulator must
+    // measure the intra-site deployment meaningfully faster.
+    let platform = catalog::multi_site(&["lyon", "sophia"], MbitRate(5.0));
+    let service = Dgemm::new(100).service();
+    let lyon_nodes = platform.nodes_on_site(platform.sites()[0].id);
+    let sophia_nodes = platform.nodes_on_site(platform.sites()[1].id);
+
+    let mut intra = DeploymentPlan::with_root(lyon_nodes[0]);
+    for &s in lyon_nodes.iter().skip(1).take(4) {
+        intra.add_server(intra.root(), s).expect("distinct nodes");
+    }
+    let mut cross = DeploymentPlan::with_root(lyon_nodes[0]);
+    for &s in sophia_nodes.iter().take(4) {
+        cross.add_server(cross.root(), s).expect("distinct nodes");
+    }
+
+    let cfg = SimConfig::ideal().with_windows(Seconds(2.0), Seconds(10.0));
+    let m_intra = measure_throughput(&platform, &intra, &service, 16, &cfg).throughput;
+    let m_cross = measure_throughput(&platform, &cross, &service, 16, &cfg).throughput;
+    assert!(
+        m_intra > m_cross * 2.0,
+        "intra-site {m_intra} must beat cross-site {m_cross} on a 20x slower WAN"
+    );
+
+    // And the hetero model must predict both within a sane envelope.
+    // Latency is left at zero in the model here: the simulator treats
+    // wire latency as pure pipeline delay (it costs response time, not
+    // node occupancy), whereas the model folds `latency` into the cycle —
+    // a latency-penalized prediction would under-bound a pipelined run.
+    let per_link = ModelParams::new(MbitRate(100.0));
+    let p_intra = hetero::evaluate_hetero(&per_link, &platform, &intra, &service).rho;
+    let p_cross = hetero::evaluate_hetero(&per_link, &platform, &cross, &service).rho;
+    assert!(m_intra <= p_intra * 1.05);
+    assert!(m_cross <= p_cross * 1.05);
+    assert!(p_intra > p_cross * 2.0, "model agrees on the ranking");
+}
+
+#[test]
+fn sensitivity_analysis_runs_on_real_plans() {
+    use adept::core::analysis::sensitivities;
+    let platform = catalog::single_site("rennes", Some(24));
+    let service = Dgemm::new(310).service();
+    let plan = HeuristicPlanner::paper()
+        .plan(&platform, &service, ClientDemand::Unbounded)
+        .expect("24 nodes suffice");
+    let report = sensitivities(
+        &ModelParams::from_platform(&platform),
+        &platform,
+        &plan,
+        &service,
+    );
+    assert_eq!(report.entries.len(), 8);
+    // The dominant parameter for a crossover-regime plan is one of the
+    // real cost drivers, not a message size.
+    assert!(
+        ["Wapp", "Wreq", "B", "Wsel"].contains(&report.dominant().parameter),
+        "{report}"
+    );
+}

@@ -1,0 +1,124 @@
+//! Model ↔ simulator agreement across the paper's regimes.
+//!
+//! The paper validates its model by comparing predictions against
+//! measurements (Figures 2–5). These tests assert the same properties in
+//! simulation: the prediction is an upper bound the ideal simulator
+//! approaches, and the model's qualitative calls (which deployment wins,
+//! whether an extra server helps) hold in measurement.
+
+use adept::prelude::*;
+
+fn ids(n: u32) -> Vec<NodeId> {
+    (0..n).map(NodeId).collect()
+}
+
+fn measure(platform: &Platform, plan: &DeploymentPlan, svc: &ServiceSpec, clients: usize) -> f64 {
+    let cfg = SimConfig::ideal().with_windows(Seconds(3.0), Seconds(20.0));
+    measure_throughput(platform, plan, svc, clients, &cfg).throughput
+}
+
+fn predict(platform: &Platform, plan: &DeploymentPlan, svc: &ServiceSpec) -> f64 {
+    ModelParams::from_platform(platform)
+        .evaluate(platform, plan, svc)
+        .rho
+}
+
+#[test]
+fn figure2_shape_second_server_hurts_small_requests() {
+    // DGEMM 10 is agent-limited: the model predicts the two-server star
+    // is slower, and the simulator must agree.
+    let platform = generator::lyon_cluster(3);
+    let svc = Dgemm::new(10).service();
+    let one = builder::star(&ids(2));
+    let two = builder::star(&ids(3));
+    assert!(predict(&platform, &two, &svc) < predict(&platform, &one, &svc));
+    let m_one = measure(&platform, &one, &svc, 24);
+    let m_two = measure(&platform, &two, &svc, 24);
+    assert!(
+        m_two < m_one,
+        "measured: 2 SeDs ({m_two}) must be slower than 1 SeD ({m_one})"
+    );
+}
+
+#[test]
+fn figure4_shape_second_server_doubles_large_requests() {
+    // DGEMM 200 is server-limited: the second server roughly doubles
+    // throughput (paper: 35 -> 70 req/s measured).
+    let platform = generator::lyon_cluster(3);
+    let svc = Dgemm::new(200).service();
+    let one = builder::star(&ids(2));
+    let two = builder::star(&ids(3));
+    let m_one = measure(&platform, &one, &svc, 16);
+    let m_two = measure(&platform, &two, &svc, 16);
+    let ratio = m_two / m_one;
+    assert!(
+        (1.7..2.2).contains(&ratio),
+        "second server should ~double throughput, got {m_one} -> {m_two} ({ratio})"
+    );
+}
+
+#[test]
+fn prediction_upper_bounds_ideal_measurement() {
+    for (nodes, size, clients) in [(2u32, 10u32, 16usize), (3, 200, 16), (5, 310, 32), (4, 1000, 16)]
+    {
+        let platform = generator::lyon_cluster(nodes as usize);
+        let svc = Dgemm::new(size).service();
+        let plan = builder::star(&ids(nodes));
+        let p = predict(&platform, &plan, &svc);
+        let m = measure(&platform, &plan, &svc, clients);
+        assert!(
+            m <= p * 1.05,
+            "dgemm-{size}: measured {m} must not exceed predicted {p}"
+        );
+        assert!(
+            m >= p * 0.55,
+            "dgemm-{size}: measured {m} too far below predicted {p}"
+        );
+    }
+}
+
+#[test]
+fn model_ranking_holds_in_simulation() {
+    // Three shapes on 16 heterogeneous nodes, DGEMM 310: the model's
+    // ranking must be preserved by measurement.
+    let platform = generator::heterogenized_cluster(
+        "x",
+        16,
+        MflopRate(400.0),
+        BackgroundLoad::default(),
+        CapacityProbe::exact(),
+        21,
+    );
+    let svc = Dgemm::new(310).service();
+    let auto = HeuristicPlanner::paper()
+        .plan(&platform, &svc, ClientDemand::Unbounded)
+        .unwrap();
+    let star = StarPlanner.plan(&platform, &svc, ClientDemand::Unbounded).unwrap();
+
+    let (p_auto, p_star) = (predict(&platform, &auto, &svc), predict(&platform, &star, &svc));
+    let (m_auto, m_star) = (
+        measure(&platform, &auto, &svc, 64),
+        measure(&platform, &star, &svc, 64),
+    );
+    assert!(p_auto >= p_star);
+    assert!(
+        m_auto >= m_star * 0.95,
+        "simulated ranking must match the model: auto {m_auto} vs star {m_star}"
+    );
+}
+
+#[test]
+fn closed_loop_conservation() {
+    let platform = generator::lyon_cluster(6);
+    let svc = Dgemm::new(310).service();
+    let plan = builder::star(&ids(6));
+    let cfg = SimConfig::paper().with_windows(Seconds(2.0), Seconds(10.0));
+    let out = measure_throughput(&platform, &plan, &svc, 12, &cfg);
+    // Every issued request is either completed or still in flight, and
+    // in-flight count equals the client population.
+    assert_eq!(out.issued - out.completed, 12);
+    // Per-server completions sum to the total service executions.
+    let per_server: u64 = out.per_server_completions.iter().sum();
+    assert!(per_server <= out.completed + 12);
+    assert!(per_server >= out.completed.saturating_sub(12));
+}

@@ -1,0 +1,190 @@
+//! Property-based tests (proptest) over the planners, the hierarchy
+//! substrate, and the model.
+
+use adept::prelude::*;
+use proptest::prelude::*;
+
+/// Random heterogeneous platform: n nodes, powers in [50, 800] MFlop/s.
+fn arb_platform() -> impl Strategy<Value = Platform> {
+    (3usize..40, 0u64..1000).prop_map(|(n, seed)| {
+        generator::uniform_random_cluster("p", n, MflopRate(50.0), MflopRate(800.0), seed)
+    })
+}
+
+/// Random service: DGEMM size in the paper's range.
+fn arb_service() -> impl Strategy<Value = ServiceSpec> {
+    (5u32..1200).prop_map(|n| Dgemm::new(n).service())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn heuristic_plans_are_valid_and_positive(
+        platform in arb_platform(),
+        service in arb_service(),
+    ) {
+        let plan = HeuristicPlanner::paper()
+            .plan(&platform, &service, ClientDemand::Unbounded)
+            .expect("platform has >= 3 nodes");
+        // Structural validity (relaxed arity, as the simulator requires).
+        prop_assert!(validate::validate_relaxed(&plan).is_empty());
+        // Every plan node exists on the platform, no duplicates.
+        prop_assert!(validate::validate_on(&plan, &platform)
+            .iter()
+            .all(|e| !matches!(e, validate::ValidationError::NodeNotOnPlatform(_))));
+        // Positive predicted throughput.
+        let rho = ModelParams::from_platform(&platform)
+            .evaluate(&platform, &plan, &service)
+            .rho;
+        prop_assert!(rho > 0.0);
+    }
+
+    #[test]
+    fn sweep_dominates_fixed_shapes(
+        platform in arb_platform(),
+        service in arb_service(),
+    ) {
+        let params = ModelParams::from_platform(&platform);
+        let (_, sweep_rho) = SweepPlanner::default()
+            .best_plan(&platform, &service)
+            .expect("platform has >= 3 nodes");
+        for planner in [&StarPlanner as &dyn Planner, &HomogeneousCsdPlanner::default()] {
+            let plan = planner
+                .plan(&platform, &service, ClientDemand::Unbounded)
+                .expect("fits");
+            let rho = params.evaluate(&platform, &plan, &service).rho;
+            prop_assert!(
+                sweep_rho >= rho - 1e-6,
+                "sweep {} must dominate {} at {}",
+                sweep_rho, planner.name(), rho
+            );
+        }
+    }
+
+    #[test]
+    fn heuristic_beats_star_or_matches(
+        platform in arb_platform(),
+        service in arb_service(),
+    ) {
+        let params = ModelParams::from_platform(&platform);
+        let heuristic = HeuristicPlanner::paper()
+            .plan(&platform, &service, ClientDemand::Unbounded)
+            .expect("fits");
+        let star = StarPlanner
+            .plan(&platform, &service, ClientDemand::Unbounded)
+            .expect("fits");
+        let h = params.evaluate(&platform, &heuristic, &service).rho;
+        let s = params.evaluate(&platform, &star, &service).rho;
+        prop_assert!(h >= s - 1e-6, "heuristic {h} must not lose to star {s}");
+    }
+
+    #[test]
+    fn xml_roundtrip_preserves_structure(
+        platform in arb_platform(),
+        service in arb_service(),
+    ) {
+        let plan = HeuristicPlanner::paper()
+            .plan(&platform, &service, ClientDemand::Unbounded)
+            .expect("fits");
+        let parsed = xml::parse_xml(&xml::write_xml(&plan, Some(&platform)))
+            .expect("own descriptors parse");
+        prop_assert!(parsed.structurally_eq(&plan));
+    }
+
+    #[test]
+    fn adjacency_roundtrip_preserves_structure(
+        platform in arb_platform(),
+        service in arb_service(),
+    ) {
+        let plan = HeuristicPlanner::paper()
+            .plan(&platform, &service, ClientDemand::Unbounded)
+            .expect("fits");
+        let rebuilt = AdjacencyMatrix::from_plan(&plan).to_plan().expect("tree");
+        prop_assert!(rebuilt.structurally_eq(&plan));
+    }
+
+    #[test]
+    fn csd_trees_span_all_nodes(degree in 2usize..12, n in 4u32..80) {
+        let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let plan = builder::csd_tree(&ids, degree);
+        prop_assert_eq!(plan.len(), n as usize);
+        // Degree bound respected everywhere.
+        for a in plan.agents() {
+            prop_assert!(plan.degree(a) <= degree);
+        }
+    }
+
+    #[test]
+    fn model_sched_monotone_in_degree(
+        power in 50.0f64..1000.0,
+        d in 1usize..100,
+    ) {
+        let params = ModelParams::new(MbitRate(100.0));
+        let a = adept::core::model::throughput::sch_pow(&params, MflopRate(power), d);
+        let b = adept::core::model::throughput::sch_pow(&params, MflopRate(power), d + 1);
+        prop_assert!(b < a, "sched power must strictly decrease with degree");
+    }
+
+    #[test]
+    fn model_service_crossover_law(
+        powers in proptest::collection::vec(50.0f64..1000.0, 2..30),
+        size in 5u32..1200,
+    ) {
+        // Adding server j helps iff its prediction time Wpre/w_j is below
+        // the current per-request service time (Eq. 10): the numerator
+        // grows by Wpre/Wapp while the denominator grows by w_j/Wapp, so
+        // the ratio falls exactly when (Wpre/Wapp)/(w_j/Wapp) < num/den.
+        // For tiny Wapp (prediction dominates the service itself!) extra
+        // servers genuinely hurt — a real property of the paper's model.
+        let params = ModelParams::new(MbitRate(100.0));
+        let service = Dgemm::new(size).service();
+        let wpre = params.calibration.server.wpre.value();
+        let comp_time = |k: usize| {
+            adept::core::model::compute::server_comp_time(
+                &params,
+                &service,
+                powers[..k].iter().map(|&w| MflopRate(w)),
+            )
+            .expect("k >= 1")
+            .value()
+        };
+        #[allow(clippy::needless_range_loop)] // k is a prefix length, not an index
+        for k in 1..powers.len() {
+            let before = comp_time(k);
+            let after = comp_time(k + 1);
+            let pred_time = wpre / powers[k];
+            if pred_time < before - 1e-12 {
+                prop_assert!(after <= before + 1e-12,
+                    "cheap-prediction server must help: {before} -> {after}");
+            } else if pred_time > before + 1e-12 {
+                prop_assert!(after >= before - 1e-12,
+                    "expensive-prediction server must hurt: {before} -> {after}");
+            }
+        }
+    }
+
+    #[test]
+    fn demand_never_overshoots_resources(
+        platform in arb_platform(),
+        size in 50u32..1200,
+        target in 0.5f64..50.0,
+    ) {
+        let service = Dgemm::new(size).service();
+        let params = ModelParams::from_platform(&platform);
+        let demand = ClientDemand::target(target);
+        let capped = HeuristicPlanner::paper()
+            .plan(&platform, &service, demand)
+            .expect("fits");
+        let unbounded = HeuristicPlanner::paper()
+            .plan(&platform, &service, ClientDemand::Unbounded)
+            .expect("fits");
+        prop_assert!(capped.len() <= unbounded.len());
+        // If the capped plan met the demand with fewer nodes, fine; if it
+        // used as many as unbounded, the target was simply unreachable.
+        let rho = params.evaluate(&platform, &capped, &service).rho;
+        if capped.len() < unbounded.len() {
+            prop_assert!(demand.satisfied_by(rho));
+        }
+    }
+}
