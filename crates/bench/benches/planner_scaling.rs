@@ -1,24 +1,51 @@
 //! Criterion: planner runtime scaling with platform size — the heuristic
-//! (Algorithm 1), the sweep reference, and the CSD degree search.
+//! (Algorithm 1), the sweep reference (parallel and sequential), and the
+//! CSD degree search — plus the `eval_strategy` ablation quantifying the
+//! incremental evaluation engine against the clone+full-eval baseline.
+//!
+//! Set `BENCH_JSON=BENCH_planner.json` to export `(id, mean ns, samples)`
+//! records for perf-trajectory tracking across PRs.
 
-use adept_core::planner::{HeuristicPlanner, HomogeneousCsdPlanner, Planner, SweepPlanner};
+use adept_core::planner::{
+    EvalStrategy, HeuristicPlanner, HomogeneousCsdPlanner, Planner, SweepPlanner,
+};
 use adept_platform::generator::uniform_random_cluster;
-use adept_platform::MflopRate;
+use adept_platform::{MflopRate, Platform};
 use adept_workload::{ClientDemand, Dgemm};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
+fn platform(n: usize) -> Platform {
+    uniform_random_cluster("p", n, MflopRate(100.0), MflopRate(400.0), 7)
+}
+
 fn bench_planners(c: &mut Criterion) {
     let service = Dgemm::new(310).service();
-    for (name, planner) in [
-        ("heuristic", Box::new(HeuristicPlanner::paper()) as Box<dyn Planner>),
-        ("sweep", Box::new(SweepPlanner::default())),
-        ("csd", Box::new(HomogeneousCsdPlanner::default())),
+    for (name, planner, sizes) in [
+        (
+            "heuristic",
+            Box::new(HeuristicPlanner::paper()) as Box<dyn Planner>,
+            &[25usize, 50, 100, 200, 400, 800, 1600][..],
+        ),
+        (
+            "sweep",
+            Box::new(SweepPlanner::default()),
+            &[25, 50, 100, 200, 400, 800, 1600][..],
+        ),
+        (
+            "sweep-sequential",
+            Box::new(SweepPlanner::sequential()),
+            &[100, 200, 400, 800][..],
+        ),
+        (
+            "csd",
+            Box::new(HomogeneousCsdPlanner::default()),
+            &[25, 50, 100, 200, 400, 800, 1600][..],
+        ),
     ] {
         let mut group = c.benchmark_group(format!("planner_{name}"));
         group.sample_size(10);
-        for &n in &[25usize, 50, 100, 200] {
-            let platform =
-                uniform_random_cluster("p", n, MflopRate(100.0), MflopRate(400.0), 7);
+        for &n in sizes {
+            let platform = platform(n);
             group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
                 b.iter(|| {
                     black_box(
@@ -34,5 +61,58 @@ fn bench_planners(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_planners);
+/// The ablation the incremental engine is judged by: the same heuristic,
+/// same platform, same service — only the probe evaluation differs. The
+/// full-clone baseline is capped at n = 400 (it is the O(n²)–O(n³) path
+/// this PR removes from the default).
+fn bench_eval_strategy(c: &mut Criterion) {
+    let service = Dgemm::new(310).service();
+    let mut group = c.benchmark_group("eval_strategy");
+    group.sample_size(10);
+    for &n in &[50usize, 100, 200, 400] {
+        let platform = platform(n);
+        for strategy in [EvalStrategy::Incremental, EvalStrategy::FullClone] {
+            let planner = HeuristicPlanner::paper().with_eval_strategy(strategy);
+            group.bench_with_input(
+                BenchmarkId::new(format!("heuristic-{}", strategy.label()), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(
+                            planner
+                                .plan(&platform, &service, ClientDemand::Unbounded)
+                                .expect("fits"),
+                        )
+                        .len()
+                    })
+                },
+            );
+        }
+    }
+    // The rebalance pass exercises best_for_agent_set, the other rewired
+    // consumer with a measurable inner loop.
+    for &n in &[100usize, 200] {
+        let platform = platform(n);
+        for strategy in [EvalStrategy::Incremental, EvalStrategy::FullClone] {
+            let planner = HeuristicPlanner::with_rebalance().with_eval_strategy(strategy);
+            group.bench_with_input(
+                BenchmarkId::new(format!("rebalance-{}", strategy.label()), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(
+                            planner
+                                .plan(&platform, &service, ClientDemand::Unbounded)
+                                .expect("fits"),
+                        )
+                        .len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planners, bench_eval_strategy);
 criterion_main!(benches);

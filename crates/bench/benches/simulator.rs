@@ -19,7 +19,14 @@ fn bench_simulator(c: &mut Criterion) {
     let svc_small = Dgemm::new(100).service();
     group.bench_function("star6_dgemm100_8clients", |b| {
         b.iter(|| {
-            black_box(measure_throughput(&platform, &small_star, &svc_small, 8, &cfg)).completed
+            black_box(measure_throughput(
+                &platform,
+                &small_star,
+                &svc_small,
+                8,
+                &cfg,
+            ))
+            .completed
         })
     });
 

@@ -40,7 +40,12 @@ fn main() {
 
     println!("# Ablation: simulator realism knobs (sustained req/s)\n");
     let mut table = Table::new(vec![
-        "scenario", "predicted", "ideal", "+jitter", "+overhead", "paper",
+        "scenario",
+        "predicted",
+        "ideal",
+        "+jitter",
+        "+overhead",
+        "paper",
     ]);
     for (label, servers, dgemm, clients) in [
         ("agent-limited (dgemm10, star-8)", 8u32, 10u32, 32usize),
@@ -84,7 +89,10 @@ fn main() {
     let mut policy_table = Table::new(vec!["policy", "predicted", "measured", "% of prediction"]);
     for (name, policy) in [
         ("best-prediction (myopic)", SelectionPolicy::BestPrediction),
-        ("weighted-by-rate (model division)", SelectionPolicy::WeightedByRate),
+        (
+            "weighted-by-rate (model division)",
+            SelectionPolicy::WeightedByRate,
+        ),
     ] {
         let cfg = windows(SimConfig::paper()).with_selection(policy);
         let measured = measure_throughput(&platform, &plan, &svc, clients, &cfg).throughput;

@@ -22,7 +22,11 @@ use bench::{results_dir, scenarios, Table};
 fn main() {
     println!("# Ablation: server->agent conversion (shift_nodes), % of sweep optimum\n");
     let mut table = Table::new(vec![
-        "DGEMM", "nodes", "greedy-star %", "heuristic %", "+rebalance %",
+        "DGEMM",
+        "nodes",
+        "greedy-star %",
+        "heuristic %",
+        "+rebalance %",
     ]);
     for nodes in [25usize, 45, 100, 200] {
         let platform = scenarios::lyon(nodes);

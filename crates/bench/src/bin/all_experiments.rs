@@ -11,8 +11,18 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "table3", "table4", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-        "ablation_shift", "ablation_selection", "hetero_comm", "mix_deployment",
+        "table3",
+        "table4",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "ablation_shift",
+        "ablation_selection",
+        "hetero_comm",
+        "mix_deployment",
     ];
     let self_exe = std::env::current_exe().expect("own path");
     let bin_dir = self_exe.parent().expect("target dir");

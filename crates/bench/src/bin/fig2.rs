@@ -9,8 +9,8 @@
 //! cargo run --release -p bench --bin fig2
 //! ```
 
-use bench::{client_schedule, load_curve, results_dir, scenarios, Table};
 use adept_workload::Dgemm;
+use bench::{client_schedule, load_curve, results_dir, scenarios, Table};
 
 fn main() {
     let fast = bench::fast_mode();
@@ -40,6 +40,10 @@ fn main() {
     println!("\nmax sustained: 1 SeD {max1:.1} req/s, 2 SeDs {max2:.1} req/s");
     println!(
         "paper shape: agent-limited, second server hurts -> {}",
-        if max2 < max1 { "REPRODUCED" } else { "NOT reproduced" }
+        if max2 < max1 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

@@ -41,7 +41,11 @@ fn main() {
     let ordered_meas = maxima[0].1 > maxima[1].1;
     println!(
         "\npaper shape: model and measurement both rank 1 SeD above 2 SeDs -> {}",
-        if ordered_pred && ordered_meas { "REPRODUCED" } else { "NOT reproduced" }
+        if ordered_pred && ordered_meas {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     println!("(paper's numbers: predicted 1460/1052, measured 295/283)");
 }

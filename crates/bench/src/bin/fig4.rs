@@ -8,8 +8,8 @@
 //! cargo run --release -p bench --bin fig4
 //! ```
 
-use bench::{client_schedule, load_curve, results_dir, scenarios, Table};
 use adept_workload::Dgemm;
+use bench::{client_schedule, load_curve, results_dir, scenarios, Table};
 
 fn main() {
     let fast = bench::fast_mode();
@@ -40,6 +40,10 @@ fn main() {
     println!("\nmax sustained: 1 SeD {max1:.1} req/s, 2 SeDs {max2:.1} req/s (x{ratio:.2})");
     println!(
         "paper shape: server-limited, second server ~doubles throughput -> {}",
-        if (1.7..=2.2).contains(&ratio) { "REPRODUCED" } else { "NOT reproduced" }
+        if (1.7..=2.2).contains(&ratio) {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

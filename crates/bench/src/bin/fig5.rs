@@ -39,12 +39,14 @@ fn main() {
 
     let doubling_pred = rows[1].0 / rows[0].0;
     let doubling_meas = rows[1].1 / rows[0].1;
-    println!(
-        "\ndoubling factor: predicted x{doubling_pred:.2}, measured x{doubling_meas:.2}"
-    );
+    println!("\ndoubling factor: predicted x{doubling_pred:.2}, measured x{doubling_meas:.2}");
     println!(
         "paper shape: 2 SeDs predicted AND measured ~2x better -> {}",
-        if doubling_pred > 1.7 && doubling_meas > 1.7 { "REPRODUCED" } else { "NOT reproduced" }
+        if doubling_pred > 1.7 && doubling_meas > 1.7 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     println!("(paper's numbers: predicted 45/90, measured 35/70)");
 }

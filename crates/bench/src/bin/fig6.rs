@@ -51,11 +51,13 @@ fn main() {
 
     let best = |c: &Vec<bench::CurvePoint>| c.iter().map(|p| p.throughput).fold(0.0f64, f64::max);
     let (auto, star, balanced) = (best(&curves[0]), best(&curves[1]), best(&curves[2]));
-    println!(
-        "\nmax sustained: automatic {auto:.1}, star {star:.1}, balanced {balanced:.1} req/s"
-    );
+    println!("\nmax sustained: automatic {auto:.1}, star {star:.1}, balanced {balanced:.1} req/s");
     println!(
         "paper shape: automatic > balanced > star -> {}",
-        if auto > balanced && balanced > star { "REPRODUCED" } else { "NOT reproduced" }
+        if auto > balanced && balanced > star {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

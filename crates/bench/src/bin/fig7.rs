@@ -24,7 +24,9 @@ fn main() {
     // whose individual service times reach 20 s on the weakest nodes.
     let clients = client_schedule(if fast { 300 } else { 600 }, if fast { 4 } else { 8 });
 
-    println!("# Figure 7: automatic(=star) vs balanced, DGEMM 1000x1000, 200 heterogeneous nodes\n");
+    println!(
+        "# Figure 7: automatic(=star) vs balanced, DGEMM 1000x1000, 200 heterogeneous nodes\n"
+    );
     let contenders = scenarios::contenders(&platform, &service);
     for (name, plan) in &contenders {
         println!(
@@ -36,7 +38,11 @@ fn main() {
     let auto_is_star = contenders[0].1.agent_count() == 1;
     println!(
         "\nheuristic emitted a star -> {}",
-        if auto_is_star { "REPRODUCED (as in the paper)" } else { "NOT reproduced" }
+        if auto_is_star {
+            "REPRODUCED (as in the paper)"
+        } else {
+            "NOT reproduced"
+        }
     );
     println!();
 
@@ -58,6 +64,10 @@ fn main() {
     println!("\nmax sustained: automatic/star {auto:.1}, balanced {balanced:.1} req/s");
     println!(
         "paper shape: star >= balanced -> {}",
-        if auto >= balanced * 0.98 { "REPRODUCED" } else { "NOT reproduced" }
+        if auto >= balanced * 0.98 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

@@ -79,7 +79,10 @@ fn main() {
 
     println!("# Extension: heterogeneous communication (2 sites, 100 Mb/s intra, 5 Mb/s inter)\n");
     let mut table = Table::new(vec![
-        "deployment", "scalar model", "hetero model", "simulated",
+        "deployment",
+        "scalar model",
+        "hetero model",
+        "simulated",
     ]);
     let mut hetero_preds = Vec::new();
     let mut measured = Vec::new();
@@ -110,6 +113,10 @@ fn main() {
     println!("simulated ranking:    {sim_rank:?}");
     println!(
         "extension check: hetero model ranks deployments like the simulator -> {}",
-        if model_rank == sim_rank { "CONFIRMED" } else { "NOT confirmed" }
+        if model_rank == sim_rank {
+            "CONFIRMED"
+        } else {
+            "NOT confirmed"
+        }
     );
 }

@@ -35,8 +35,14 @@ fn main() {
     let out = sim.run_ramp(&ramp, &config);
     let now = sim.now();
 
-    println!("clients {clients}: throughput {:.1} req/s, mean response {:.3}s", out.throughput, out.mean_response_time);
-    println!("predicted: {:.1} req/s\n", scenarios::predict(&platform, &plan, &service));
+    println!(
+        "clients {clients}: throughput {:.1} req/s, mean response {:.3}s",
+        out.throughput, out.mean_response_time
+    );
+    println!(
+        "predicted: {:.1} req/s\n",
+        scenarios::predict(&platform, &plan, &service)
+    );
 
     // Service-lane utilization histogram across servers.
     let mut utils: Vec<(f64, f64, u64)> = plan
@@ -54,8 +60,16 @@ fn main() {
     utils.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     let mean_util: f64 = utils.iter().map(|u| u.1).sum::<f64>() / utils.len() as f64;
     let idle = utils.iter().filter(|u| u.1 < 0.05).count();
-    println!("servers: {}, mean service utilization {:.2}, near-idle (<5%): {}", utils.len(), mean_util, idle);
-    println!("top 5 (power, util, completions): {:?}", &utils[..5.min(utils.len())]);
+    println!(
+        "servers: {}, mean service utilization {:.2}, near-idle (<5%): {}",
+        utils.len(),
+        mean_util,
+        idle
+    );
+    println!(
+        "top 5 (power, util, completions): {:?}",
+        &utils[..5.min(utils.len())]
+    );
     println!("bottom 5: {:?}", &utils[utils.len().saturating_sub(5)..]);
 
     // Control-lane utilization of the agents (is scheduling the real cap?).
@@ -68,5 +82,8 @@ fn main() {
         })
         .collect();
     agent_utils.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-    println!("\nagents (degree, control util), busiest first: {:?}", &agent_utils[..5.min(agent_utils.len())]);
+    println!(
+        "\nagents (degree, control util), busiest first: {:?}",
+        &agent_utils[..5.min(agent_utils.len())]
+    );
 }

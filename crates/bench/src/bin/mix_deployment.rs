@@ -56,10 +56,7 @@ fn main() {
         (Dgemm::new(310).service(), 1.0),
     ]);
     // Plan the shared hierarchy for the demand-weighted mean workload.
-    let mean = adept_workload::ServiceSpec::new(
-        "mix-mean",
-        adept_platform::Mflop(mix.mean_wapp()),
-    );
+    let mean = adept_workload::ServiceSpec::new("mix-mean", adept_platform::Mflop(mix.mean_wapp()));
     let plan = HeuristicPlanner::paper()
         .plan(&platform, &mean, ClientDemand::Unbounded)
         .expect("30 nodes suffice");
@@ -68,9 +65,7 @@ fn main() {
     let guided = partition_servers(&params, &platform, &plan, &mix);
     let mut naive = ServerAssignment::default();
     for (i, slot) in plan.servers().enumerate() {
-        naive
-            .service_of
-            .insert(plan.node(slot), i % mix.len());
+        naive.service_of.insert(plan.node(slot), i % mix.len());
     }
 
     let cfg = if fast {
@@ -87,7 +82,10 @@ fn main() {
         plan.server_count()
     );
     let mut table = Table::new(vec![
-        "partition", "servers (svc0/svc1)", "predicted mix req/s", "measured mix req/s",
+        "partition",
+        "servers (svc0/svc1)",
+        "predicted mix req/s",
+        "measured mix req/s",
     ]);
     let mut rows = Vec::new();
     for (name, assignment) in [("guided", &guided), ("naive-even", &naive)] {

@@ -70,7 +70,10 @@ fn main() {
     let recovered_wreq_fix = (fit.intercept - comm_per_child) * w;
     let truth_wreq_fix = truth.agent.wreq.value() + truth.agent.wfix.value();
 
-    println!("\nlinear fit: A(d) = {:.3e} + {:.3e}·d  (r = {:.4})", fit.intercept, fit.slope, fit.r);
+    println!(
+        "\nlinear fit: A(d) = {:.3e} + {:.3e}·d  (r = {:.4})",
+        fit.intercept, fit.slope, fit.r
+    );
     let mut table = Table::new(vec!["parameter", "configured", "recovered", "error %"]);
     let pct = |a: f64, b: f64| 100.0 * (a - b).abs() / b;
     table.row(vec![

@@ -19,9 +19,7 @@
 //! ```
 
 use adept_core::model::ModelParams;
-use adept_core::planner::{
-    HeuristicPlanner, HomogeneousCsdPlanner, Planner, SweepPlanner,
-};
+use adept_core::planner::{HeuristicPlanner, HomogeneousCsdPlanner, Planner, SweepPlanner};
 use adept_hierarchy::{DeploymentPlan, HierarchyStats};
 use adept_platform::Platform;
 use adept_workload::{ClientDemand, ServiceSpec};
@@ -32,14 +30,23 @@ fn max_degree(plan: &DeploymentPlan) -> usize {
 }
 
 fn rho(platform: &Platform, plan: &DeploymentPlan, svc: &ServiceSpec) -> f64 {
-    ModelParams::from_platform(platform).evaluate(platform, plan, svc).rho
+    ModelParams::from_platform(platform)
+        .evaluate(platform, plan, svc)
+        .rho
 }
 
 fn main() {
     println!("# Table 4: % of optimal achieved by each planner (model evaluation)\n");
     let mut table = Table::new(vec![
-        "DGEMM", "nodes", "opt deg", "homo deg", "heur deg", "heur %", "greedy-star deg",
-        "greedy-star %", "paper(opt/homo/heur deg, heur %)",
+        "DGEMM",
+        "nodes",
+        "opt deg",
+        "homo deg",
+        "heur deg",
+        "heur %",
+        "greedy-star deg",
+        "greedy-star %",
+        "paper(opt/homo/heur deg, heur %)",
     ]);
     for (dgemm, nodes, p_opt, p_homo, p_heur, p_pct) in scenarios::table4_rows() {
         let platform = scenarios::lyon(nodes);
@@ -76,7 +83,9 @@ fn main() {
     table.to_csv(&results_dir().join("table4.csv"));
 
     println!("\npaper shape checks:");
-    println!("  - extremes trivial (degree 1 for DGEMM 10, star for DGEMM 1000), middle regime hardest");
+    println!(
+        "  - extremes trivial (degree 1 for DGEMM 10, star for DGEMM 1000), middle regime hardest"
+    );
     println!("  - greedy-star reproduces the paper's literal heuristic degrees (33 for DGEMM 310)");
     println!("  - full heuristic stays at or above the paper's ~89-100% of optimal");
 }

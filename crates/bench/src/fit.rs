@@ -70,7 +70,14 @@ mod tests {
         // Deterministic "noise".
         let ys: Vec<f64> = xs
             .iter()
-            .map(|&x| 1.0 + 0.5 * x + if (x as u32).is_multiple_of(2) { 0.3 } else { -0.3 })
+            .map(|&x| {
+                1.0 + 0.5 * x
+                    + if (x as u32).is_multiple_of(2) {
+                        0.3
+                    } else {
+                        -0.3
+                    }
+            })
             .collect();
         let fit = fit_linear(&xs, &ys);
         assert!((fit.slope - 0.5).abs() < 0.02);

@@ -28,16 +28,17 @@ pub use table::{write_csv, Table};
 
 /// True when `BENCH_FAST=1`: smaller sweeps, shorter windows.
 pub fn fast_mode() -> bool {
-    std::env::var("BENCH_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Directory experiment CSVs are written to (`RESULTS_DIR` or
 /// `<workspace>/results`).
 pub fn results_dir() -> std::path::PathBuf {
-    let dir = std::env::var("RESULTS_DIR").map(std::path::PathBuf::from).unwrap_or_else(|_| {
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../../results")
-    });
+    let dir = std::env::var("RESULTS_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results"));
     std::fs::create_dir_all(&dir).expect("results directory is writable");
     dir
 }

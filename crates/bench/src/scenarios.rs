@@ -6,9 +6,7 @@ use adept_hierarchy::builder::star;
 use adept_hierarchy::DeploymentPlan;
 use adept_nes_sim::SimConfig;
 use adept_platform::generator::{heterogenized_cluster, lyon_cluster};
-use adept_platform::{
-    BackgroundLoad, CapacityProbe, MflopRate, NodeId, Platform, Seconds,
-};
+use adept_platform::{BackgroundLoad, CapacityProbe, MflopRate, NodeId, Platform, Seconds};
 use adept_workload::{ClientDemand, Dgemm, ServiceSpec};
 
 /// The Lyon calibration/validation cluster (Sections 5.1–5.2): small,

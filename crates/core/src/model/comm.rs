@@ -80,9 +80,7 @@ mod tests {
         let p = params();
         // Send: (d*Sreq + Srep)/B, receive: (Sreq + d*Srep)/B — equal when
         // d == 1 regardless of sizes.
-        assert!(
-            (agent_send_time(&p, 1).value() - agent_receive_time(&p, 1).value()).abs() < 1e-15
-        );
+        assert!((agent_send_time(&p, 1).value() - agent_receive_time(&p, 1).value()).abs() < 1e-15);
         // At d=0 they differ by (Srep - Sreq)/B.
         let diff = agent_send_time(&p, 0).value() - agent_receive_time(&p, 0).value();
         assert!((diff - (5.4e-3 - 5.3e-3) / 100.0).abs() < 1e-12);
@@ -106,8 +104,7 @@ mod tests {
         let p = params().with_latency(Seconds(1e-3));
         let base = params();
         // Agent with 3 children receives 4 messages per request.
-        let delta =
-            agent_receive_time(&p, 3).value() - agent_receive_time(&base, 3).value();
+        let delta = agent_receive_time(&p, 3).value() - agent_receive_time(&base, 3).value();
         assert!((delta - 4e-3).abs() < 1e-12);
         // Server receives one message.
         let delta_s = server_receive_time(&p).value() - server_receive_time(&base).value();
@@ -118,8 +115,7 @@ mod tests {
     fn bandwidth_scales_inversely() {
         let slow = ModelParams::new(MbitRate(10.0));
         let fast = ModelParams::new(MbitRate(1000.0));
-        let ratio =
-            agent_receive_time(&slow, 5).value() / agent_receive_time(&fast, 5).value();
+        let ratio = agent_receive_time(&slow, 5).value() / agent_receive_time(&fast, 5).value();
         assert!((ratio - 100.0).abs() < 1e-9);
     }
 }

@@ -36,7 +36,11 @@ pub fn server_prediction_time(params: &ModelParams, power: MflopRate) -> Seconds
 ///
 /// Returns `None` when the iterator yields no server (an empty deployment
 /// has no service capacity, not infinite capacity).
-pub fn server_comp_time<I>(params: &ModelParams, service: &ServiceSpec, powers: I) -> Option<Seconds>
+pub fn server_comp_time<I>(
+    params: &ModelParams,
+    service: &ServiceSpec,
+    powers: I,
+) -> Option<Seconds>
 where
     I: IntoIterator<Item = MflopRate>,
 {
@@ -103,8 +107,7 @@ mod tests {
         let p = params();
         let svc = Dgemm::new(1000).service(); // Wapp = 2000 MFlop
         let one = server_comp_time(&p, &svc, vec![MflopRate(400.0)]).unwrap();
-        let four =
-            server_comp_time(&p, &svc, vec![MflopRate(400.0); 4]).unwrap();
+        let four = server_comp_time(&p, &svc, vec![MflopRate(400.0); 4]).unwrap();
         // Four equal servers are (almost exactly) 4x faster; the Wpre
         // correction is relatively tiny.
         let speedup = one.value() / four.value();
@@ -115,12 +118,7 @@ mod tests {
     fn eq10_heterogeneous_servers_weight_by_power() {
         let p = params();
         let svc = ServiceSpec::new("app", Mflop(10.0));
-        let t = server_comp_time(
-            &p,
-            &svc,
-            [MflopRate(100.0), MflopRate(300.0)],
-        )
-        .unwrap();
+        let t = server_comp_time(&p, &svc, [MflopRate(100.0), MflopRate(300.0)]).unwrap();
         // numerator = 1 + 2*(0.0064/10); denominator = (100+300)/10 = 40.
         let expected = (1.0 + 2.0 * 0.00064) / 40.0;
         assert!((t.value() - expected).abs() < 1e-12);

@@ -1,0 +1,1063 @@
+//! Incremental throughput evaluation — O(log n) delta re-evaluation of the
+//! Section 3 model.
+//!
+//! The greedy planners (Algorithm 1's growth loop, the \[7\] rebalance
+//! pass, the online re-planner) probe thousands of candidate moves, and
+//! each probe used to clone the whole [`DeploymentPlan`] and re-run
+//! [`throughput::evaluate`](super::throughput::evaluate) from scratch —
+//! O(n) per probe, O(n²)–O(n³) per planning run. This module exploits the
+//! model's locality instead: under Eq. 13–16 a deployment's throughput is
+//!
+//! ```text
+//! ρ = min( 1 / max_i cycle_i ,  ρ_service )          (Eq. 14–16)
+//! ```
+//!
+//! where `cycle_i` depends only on slot *i*'s role, power, and degree, and
+//! `ρ_service` (Eq. 15) depends only on two running sums over the server
+//! set. Every structural delta — attaching a server, retiring one,
+//! promoting a server to an agent, reparenting a child — touches O(1)
+//! slots, so the bottleneck only needs an updatable max structure:
+//!
+//! * **per-slot cycle cache** — agent scheduling cycles (Eq. 14's second
+//!   term) and server prediction cycles (its first term), recomputed only
+//!   for the touched slots;
+//! * **tournament tree** ([`MaxTree`]) over the cycles — the root holds
+//!   the binding stage, updates cost O(log n), ties resolve to the lowest
+//!   slot exactly like the sequential scan in `throughput::evaluate`;
+//! * **service running sums** — Eq. 10's numerator `1 + Σ Wpre/Wapp` and
+//!   denominator `Σ wᵢ/Wapp` maintained in O(1).
+//!
+//! # Delta API
+//!
+//! [`IncrementalEval::add_server`], [`remove_server`]
+//! (IncrementalEval::remove_server), [`promote_to_agent`]
+//! (IncrementalEval::promote_to_agent), [`demote_to_server`]
+//! (IncrementalEval::demote_to_server), [`move_child`]
+//! (IncrementalEval::move_child) and the abstract
+//! [`assign_child_slot`](IncrementalEval::assign_child_slot) / \
+//! [`release_child_slot`](IncrementalEval::release_child_slot) pair each
+//! run in O(log n) and push an inverse record onto an undo stack;
+//! [`undo`](IncrementalEval::undo) pops one delta and restores the
+//! previous state **bit-exactly** (changed floats are saved and restored
+//! verbatim, never recomputed), so a probe-and-retract loop cannot drift.
+//!
+//! # Parity contract
+//!
+//! [`rho`](IncrementalEval::rho) and [`report`](IncrementalEval::report)
+//! match a from-scratch [`ModelParams::evaluate`] of the equivalent plan to
+//! within 1e-9 relative (exactly, for the scheduling phase; the service
+//! sums can differ from the sequential re-summation by float associativity
+//! only). The property test `tests/incremental_parity.rs` drives ~1k
+//! randomized mutation sequences against the full evaluator to enforce
+//! this, including the reported bottleneck kind.
+
+use super::{comm, throughput, ModelParams};
+use crate::analysis::{Bottleneck, ThroughputReport};
+use adept_hierarchy::{DeploymentPlan, PlanError, Role, Slot};
+use adept_platform::{MflopRate, NodeId, Platform};
+use adept_workload::ServiceSpec;
+use std::collections::HashSet;
+
+/// Tournament (segment) tree over per-slot cycle times: O(1) max query,
+/// O(log n) point update. Ties resolve to the lower slot index, matching
+/// the first-strict-max scan of the sequential evaluator.
+#[derive(Debug, Clone)]
+struct MaxTree {
+    /// Number of leaves (a power of two).
+    size: usize,
+    /// Implicit binary heap layout; `tree[1]` is the root. Each node holds
+    /// `(cycle, slot)`; empty leaves hold `(NEG_INFINITY, usize::MAX)`.
+    tree: Vec<(f64, usize)>,
+}
+
+impl MaxTree {
+    fn with_capacity(cap: usize) -> Self {
+        let size = cap.max(2).next_power_of_two();
+        Self {
+            size,
+            tree: vec![(f64::NEG_INFINITY, usize::MAX); 2 * size],
+        }
+    }
+
+    #[inline]
+    fn combine(a: (f64, usize), b: (f64, usize)) -> (f64, usize) {
+        // `>=` keeps the left (lower-slot) branch on ties.
+        if a.0 >= b.0 {
+            a
+        } else {
+            b
+        }
+    }
+
+    fn set(&mut self, slot: usize, cycle: f64) {
+        if slot >= self.size {
+            self.grow(slot + 1);
+        }
+        let mut i = self.size + slot;
+        self.tree[i] = if cycle == f64::NEG_INFINITY {
+            (f64::NEG_INFINITY, usize::MAX)
+        } else {
+            (cycle, slot)
+        };
+        i /= 2;
+        while i >= 1 {
+            self.tree[i] = Self::combine(self.tree[2 * i], self.tree[2 * i + 1]);
+            if i == 1 {
+                break;
+            }
+            i /= 2;
+        }
+    }
+
+    fn get(&self, slot: usize) -> f64 {
+        if slot >= self.size {
+            f64::NEG_INFINITY
+        } else {
+            self.tree[self.size + slot].0
+        }
+    }
+
+    /// `(max cycle, slot)` over all set slots.
+    fn max(&self) -> (f64, usize) {
+        self.tree[1]
+    }
+
+    fn grow(&mut self, needed: usize) {
+        let mut bigger = Self::with_capacity(self.size.max(needed) * 2);
+        for slot in 0..self.size {
+            let (v, _) = self.tree[self.size + slot];
+            if v != f64::NEG_INFINITY {
+                bigger.set(slot, v);
+            }
+        }
+        *self = bigger;
+    }
+}
+
+/// Scalars needed to restore the evaluator state bit-exactly on undo.
+#[derive(Debug, Clone, Copy)]
+struct Saved {
+    numerator: f64,
+    denominator: f64,
+    /// `(slot, previous cycle)` for every tree entry the delta touched.
+    cycles: [(usize, f64); 2],
+    /// How many entries of `cycles` are meaningful.
+    touched: usize,
+}
+
+/// One applied delta, as recorded on the undo stack.
+#[derive(Debug, Clone, Copy)]
+enum Delta {
+    AddServer {
+        slot: usize,
+        parent: usize,
+    },
+    RemoveServer {
+        slot: usize,
+        parent: usize,
+    },
+    Promote {
+        slot: usize,
+    },
+    Demote {
+        slot: usize,
+    },
+    MoveChild {
+        child: usize,
+        old_parent: usize,
+        new_parent: usize,
+    },
+    AssignChildSlot {
+        agent: usize,
+    },
+    ReleaseChildSlot {
+        agent: usize,
+    },
+}
+
+/// Incrementally maintained model evaluation of a deployment.
+///
+/// Mirrors a deployment's slots (`Slot(i)` here corresponds to `Slot(i)`
+/// of the plan it was built from, for lock-step mutation), caching every
+/// per-stage cycle and the Eq. 15 running sums. See the module docs for
+/// the complexity contract.
+#[derive(Debug, Clone)]
+pub struct IncrementalEval {
+    params: ModelParams,
+    /// `(Sreq + Srep)/B` of the service phase, Eq. 15's transfer term.
+    service_transfer: f64,
+    /// `Wpre / Wapp` — the per-server numerator increment of Eq. 10.
+    wpre_over_wapp: f64,
+    /// `1 / Wapp` — converts a power into Eq. 10's denominator increment.
+    inv_wapp: f64,
+
+    nodes: Vec<NodeId>,
+    powers: Vec<f64>,
+    roles: Vec<Role>,
+    parents: Vec<Option<usize>>,
+    degrees: Vec<usize>,
+    active: Vec<bool>,
+    used: HashSet<NodeId>,
+
+    tree: MaxTree,
+    /// Number of active slots (tombstoned removals excluded).
+    active_count: usize,
+    server_count: usize,
+    /// Eq. 10 numerator, `1 + Σ Wpre/Wapp` over active servers.
+    numerator: f64,
+    /// Eq. 10 denominator, `Σ wᵢ/Wapp` over active servers.
+    denominator: f64,
+
+    undo_stack: Vec<(Delta, Saved)>,
+}
+
+impl IncrementalEval {
+    /// Builds the evaluator for an existing plan; `Slot(i)` here matches
+    /// `Slot(i)` of `plan`. O(n log n).
+    pub fn from_plan(
+        params: &ModelParams,
+        platform: &Platform,
+        plan: &DeploymentPlan,
+        service: &ServiceSpec,
+    ) -> Self {
+        let mut eval = Self::empty(params, service, plan.len());
+        for slot in plan.slots() {
+            let node = plan.node(slot);
+            eval.push_slot(
+                node,
+                platform.power(node).value(),
+                plan.role(slot),
+                plan.parent(slot).map(Slot::index),
+                plan.degree(slot),
+            );
+        }
+        eval
+    }
+
+    /// Builds the evaluator for an **abstract** agent set (no parent links,
+    /// all degrees zero, no servers) — the starting point of sweep-style
+    /// searches that assign child slots one at a time before any tree is
+    /// realized. `Slot(i)` is `agents[i]`.
+    ///
+    /// # Panics
+    /// Panics if `agents` is empty.
+    pub fn from_agents(
+        params: &ModelParams,
+        platform: &Platform,
+        agents: &[NodeId],
+        service: &ServiceSpec,
+    ) -> Self {
+        assert!(!agents.is_empty(), "need at least the root agent");
+        let mut eval = Self::empty(params, service, agents.len() * 2);
+        for &node in agents {
+            eval.push_slot(node, platform.power(node).value(), Role::Agent, None, 0);
+        }
+        eval
+    }
+
+    fn empty(params: &ModelParams, service: &ServiceSpec, capacity: usize) -> Self {
+        Self {
+            params: *params,
+            service_transfer: comm::service_transfer_time(params).value(),
+            wpre_over_wapp: params.calibration.server.wpre / service.wapp,
+            inv_wapp: 1.0 / service.wapp.value(),
+            nodes: Vec::with_capacity(capacity),
+            powers: Vec::with_capacity(capacity),
+            roles: Vec::with_capacity(capacity),
+            parents: Vec::with_capacity(capacity),
+            degrees: Vec::with_capacity(capacity),
+            active: Vec::with_capacity(capacity),
+            used: HashSet::with_capacity(capacity),
+            tree: MaxTree::with_capacity(capacity.max(4)),
+            active_count: 0,
+            server_count: 0,
+            numerator: 1.0,
+            denominator: 0.0,
+            undo_stack: Vec::new(),
+        }
+    }
+
+    /// Appends a slot during construction (not undoable, not a delta).
+    fn push_slot(
+        &mut self,
+        node: NodeId,
+        power: f64,
+        role: Role,
+        parent: Option<usize>,
+        degree: usize,
+    ) {
+        let slot = self.nodes.len();
+        self.nodes.push(node);
+        self.powers.push(power);
+        self.roles.push(role);
+        self.parents.push(parent);
+        self.degrees.push(degree);
+        self.active.push(true);
+        self.active_count += 1;
+        self.used.insert(node);
+        self.tree.set(slot, self.cycle_of(slot));
+        if role == Role::Server {
+            self.server_count += 1;
+            self.numerator += self.wpre_over_wapp;
+            self.denominator += power * self.inv_wapp;
+        }
+    }
+
+    /// The per-request cycle a slot contributes to Eq. 14 under its
+    /// current role and degree.
+    fn cycle_of(&self, slot: usize) -> f64 {
+        let power = MflopRate(self.powers[slot]);
+        match self.roles[slot] {
+            Role::Agent => throughput::agent_cycle(&self.params, power, self.degrees[slot]).value(),
+            Role::Server => throughput::server_prediction_cycle(&self.params, power).value(),
+        }
+    }
+
+    fn saved(&self) -> Saved {
+        Saved {
+            numerator: self.numerator,
+            denominator: self.denominator,
+            cycles: [(usize::MAX, 0.0); 2],
+            touched: 0,
+        }
+    }
+
+    fn save_cycle(&self, saved: &mut Saved, slot: usize) {
+        saved.cycles[saved.touched] = (slot, self.tree.get(slot));
+        saved.touched += 1;
+    }
+
+    fn restore(&mut self, saved: &Saved) {
+        self.numerator = saved.numerator;
+        self.denominator = saved.denominator;
+        for &(slot, cycle) in saved.cycles.iter().take(saved.touched) {
+            self.tree.set(slot, cycle);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deltas
+    // ------------------------------------------------------------------
+
+    /// Attaches `node` as a server under `parent`. O(log n). Returns the
+    /// new slot (the next index, matching `DeploymentPlan::add_server` on
+    /// a plan kept in lock step).
+    ///
+    /// # Errors
+    /// [`PlanError::InvalidSlot`], [`PlanError::ParentIsServer`], or
+    /// [`PlanError::NodeAlreadyUsed`].
+    pub fn add_server(
+        &mut self,
+        parent: Slot,
+        node: NodeId,
+        power: MflopRate,
+    ) -> Result<Slot, PlanError> {
+        let p = parent.index();
+        if p >= self.nodes.len() || !self.active[p] {
+            return Err(PlanError::InvalidSlot(parent));
+        }
+        if self.roles[p] != Role::Agent {
+            return Err(PlanError::ParentIsServer(parent));
+        }
+        if self.used.contains(&node) {
+            return Err(PlanError::NodeAlreadyUsed(node));
+        }
+        let mut saved = self.saved();
+        self.save_cycle(&mut saved, p);
+
+        let slot = self.nodes.len();
+        self.nodes.push(node);
+        self.powers.push(power.value());
+        self.roles.push(Role::Server);
+        self.parents.push(Some(p));
+        self.degrees.push(0);
+        self.active.push(true);
+        self.active_count += 1;
+        self.used.insert(node);
+        self.degrees[p] += 1;
+        self.tree.set(p, self.cycle_of(p));
+        self.tree.set(slot, self.cycle_of(slot));
+        self.server_count += 1;
+        self.numerator += self.wpre_over_wapp;
+        self.denominator += power.value() * self.inv_wapp;
+
+        self.undo_stack
+            .push((Delta::AddServer { slot, parent: p }, saved));
+        Ok(Slot(slot))
+    }
+
+    /// Detaches a leaf server. O(log n). The slot becomes inactive (its
+    /// index is *not* reused), so a plan kept in lock step must be
+    /// compacted separately when the removal is committed.
+    ///
+    /// # Errors
+    /// [`PlanError::InvalidSlot`] or [`PlanError::NotAServer`].
+    pub fn remove_server(&mut self, slot: Slot) -> Result<(), PlanError> {
+        let i = slot.index();
+        if i >= self.nodes.len() || !self.active[i] {
+            return Err(PlanError::InvalidSlot(slot));
+        }
+        if self.roles[i] != Role::Server {
+            return Err(PlanError::NotAServer(slot));
+        }
+        let parent = self.parents[i].expect("servers always have a parent");
+        let mut saved = self.saved();
+        self.save_cycle(&mut saved, parent);
+        self.save_cycle(&mut saved, i);
+
+        self.active[i] = false;
+        self.active_count -= 1;
+        self.used.remove(&self.nodes[i]);
+        self.degrees[parent] -= 1;
+        self.tree.set(parent, self.cycle_of(parent));
+        self.tree.set(i, f64::NEG_INFINITY);
+        self.server_count -= 1;
+        self.numerator -= self.wpre_over_wapp;
+        self.denominator -= self.powers[i] * self.inv_wapp;
+
+        self.undo_stack
+            .push((Delta::RemoveServer { slot: i, parent }, saved));
+        Ok(())
+    }
+
+    /// Promotes a server to an agent (the `shift_nodes` conversion).
+    /// O(log n). The slot keeps its parent and starts with zero children.
+    ///
+    /// # Errors
+    /// [`PlanError::InvalidSlot`] or [`PlanError::NotAServer`].
+    pub fn promote_to_agent(&mut self, slot: Slot) -> Result<(), PlanError> {
+        let i = slot.index();
+        if i >= self.nodes.len() || !self.active[i] {
+            return Err(PlanError::InvalidSlot(slot));
+        }
+        if self.roles[i] != Role::Server {
+            return Err(PlanError::NotAServer(slot));
+        }
+        let mut saved = self.saved();
+        self.save_cycle(&mut saved, i);
+
+        self.roles[i] = Role::Agent;
+        self.tree.set(i, self.cycle_of(i));
+        self.server_count -= 1;
+        self.numerator -= self.wpre_over_wapp;
+        self.denominator -= self.powers[i] * self.inv_wapp;
+
+        self.undo_stack.push((Delta::Promote { slot: i }, saved));
+        Ok(())
+    }
+
+    /// Demotes a childless agent back to a server — the inverse of
+    /// [`promote_to_agent`](IncrementalEval::promote_to_agent). O(log n).
+    ///
+    /// # Errors
+    /// [`PlanError::InvalidSlot`], [`PlanError::NotAnAgent`],
+    /// [`PlanError::AgentHasChildren`], or [`PlanError::CannotRemoveRoot`]
+    /// when the slot has no parent.
+    pub fn demote_to_server(&mut self, slot: Slot) -> Result<(), PlanError> {
+        let i = slot.index();
+        if i >= self.nodes.len() || !self.active[i] {
+            return Err(PlanError::InvalidSlot(slot));
+        }
+        if self.roles[i] != Role::Agent {
+            return Err(PlanError::NotAnAgent(slot));
+        }
+        if self.degrees[i] > 0 {
+            return Err(PlanError::AgentHasChildren(slot));
+        }
+        if self.parents[i].is_none() {
+            return Err(PlanError::CannotRemoveRoot);
+        }
+        let mut saved = self.saved();
+        self.save_cycle(&mut saved, i);
+
+        self.roles[i] = Role::Server;
+        self.tree.set(i, self.cycle_of(i));
+        self.server_count += 1;
+        self.numerator += self.wpre_over_wapp;
+        self.denominator += self.powers[i] * self.inv_wapp;
+
+        self.undo_stack.push((Delta::Demote { slot: i }, saved));
+        Ok(())
+    }
+
+    /// Reparents `child` under `new_parent`. O(log n). Only the two parent
+    /// degrees change; the moved subtree's own cycles are unaffected
+    /// (Eq. 14 depends on per-agent degree, not position).
+    ///
+    /// Returns `true` when a delta was applied (and must be paired with
+    /// one [`undo`](IncrementalEval::undo) to retract), `false` for the
+    /// same-parent no-op, which records **nothing** — a probe loop that
+    /// blindly paired every success with an `undo()` would otherwise pop
+    /// an unrelated earlier delta.
+    ///
+    /// # Errors
+    /// [`PlanError::InvalidSlot`], [`PlanError::ParentIsServer`],
+    /// [`PlanError::CannotRemoveRoot`] for a parentless child, or
+    /// [`PlanError::WouldCreateCycle`].
+    pub fn move_child(&mut self, child: Slot, new_parent: Slot) -> Result<bool, PlanError> {
+        let (c, np) = (child.index(), new_parent.index());
+        if c >= self.nodes.len() || !self.active[c] {
+            return Err(PlanError::InvalidSlot(child));
+        }
+        if np >= self.nodes.len() || !self.active[np] {
+            return Err(PlanError::InvalidSlot(new_parent));
+        }
+        if self.roles[np] != Role::Agent {
+            return Err(PlanError::ParentIsServer(new_parent));
+        }
+        let Some(old_parent) = self.parents[c] else {
+            return Err(PlanError::CannotRemoveRoot);
+        };
+        let mut cursor = Some(np);
+        while let Some(s) = cursor {
+            if s == c {
+                return Err(PlanError::WouldCreateCycle(child));
+            }
+            cursor = self.parents[s];
+        }
+        if old_parent == np {
+            // Mirror `DeploymentPlan::move_child`: a no-op still succeeds,
+            // but nothing is recorded (nothing to undo).
+            return Ok(false);
+        }
+        let mut saved = self.saved();
+        self.save_cycle(&mut saved, old_parent);
+        self.save_cycle(&mut saved, np);
+
+        self.degrees[old_parent] -= 1;
+        self.degrees[np] += 1;
+        self.parents[c] = Some(np);
+        self.tree.set(old_parent, self.cycle_of(old_parent));
+        self.tree.set(np, self.cycle_of(np));
+
+        self.undo_stack.push((
+            Delta::MoveChild {
+                child: c,
+                old_parent,
+                new_parent: np,
+            },
+            saved,
+        ));
+        Ok(true)
+    }
+
+    /// Accounts for one child slot handed to `agent` without materializing
+    /// the child — the abstract waterfill step of sweep-style searches
+    /// (the child may be a *future* agent whose own slot already exists).
+    /// O(log n).
+    ///
+    /// # Errors
+    /// [`PlanError::InvalidSlot`] or [`PlanError::NotAnAgent`].
+    pub fn assign_child_slot(&mut self, agent: Slot) -> Result<(), PlanError> {
+        let i = agent.index();
+        if i >= self.nodes.len() || !self.active[i] {
+            return Err(PlanError::InvalidSlot(agent));
+        }
+        if self.roles[i] != Role::Agent {
+            return Err(PlanError::NotAnAgent(agent));
+        }
+        let mut saved = self.saved();
+        self.save_cycle(&mut saved, i);
+        self.degrees[i] += 1;
+        self.tree.set(i, self.cycle_of(i));
+        self.undo_stack
+            .push((Delta::AssignChildSlot { agent: i }, saved));
+        Ok(())
+    }
+
+    /// Takes one child slot back from `agent` — inverse of
+    /// [`assign_child_slot`](IncrementalEval::assign_child_slot). O(log n).
+    ///
+    /// # Errors
+    /// [`PlanError::InvalidSlot`], [`PlanError::NotAnAgent`], or
+    /// [`PlanError::AgentHasChildren`]-style misuse when the degree is
+    /// already zero (reported as [`PlanError::InvalidSlot`]).
+    pub fn release_child_slot(&mut self, agent: Slot) -> Result<(), PlanError> {
+        let i = agent.index();
+        if i >= self.nodes.len() || !self.active[i] || self.degrees[i] == 0 {
+            return Err(PlanError::InvalidSlot(agent));
+        }
+        if self.roles[i] != Role::Agent {
+            return Err(PlanError::NotAnAgent(agent));
+        }
+        let mut saved = self.saved();
+        self.save_cycle(&mut saved, i);
+        self.degrees[i] -= 1;
+        self.tree.set(i, self.cycle_of(i));
+        self.undo_stack
+            .push((Delta::ReleaseChildSlot { agent: i }, saved));
+        Ok(())
+    }
+
+    /// Reverts the most recent delta, restoring every cached float to its
+    /// exact previous bit pattern. O(log n). Returns `false` when the undo
+    /// stack is empty.
+    pub fn undo(&mut self) -> bool {
+        let Some((delta, saved)) = self.undo_stack.pop() else {
+            return false;
+        };
+        match delta {
+            Delta::AddServer { slot, parent } => {
+                debug_assert_eq!(slot, self.nodes.len() - 1);
+                self.used.remove(&self.nodes[slot]);
+                self.nodes.pop();
+                self.powers.pop();
+                self.roles.pop();
+                self.parents.pop();
+                self.degrees.pop();
+                self.active.pop();
+                self.active_count -= 1;
+                self.degrees[parent] -= 1;
+                self.tree.set(slot, f64::NEG_INFINITY);
+                self.server_count -= 1;
+            }
+            Delta::RemoveServer { slot, parent } => {
+                self.active[slot] = true;
+                self.active_count += 1;
+                self.used.insert(self.nodes[slot]);
+                self.degrees[parent] += 1;
+                self.server_count += 1;
+            }
+            Delta::Promote { slot } => {
+                self.roles[slot] = Role::Server;
+                self.server_count += 1;
+            }
+            Delta::Demote { slot } => {
+                self.roles[slot] = Role::Agent;
+                self.server_count -= 1;
+            }
+            Delta::MoveChild {
+                child,
+                old_parent,
+                new_parent,
+            } => {
+                self.degrees[new_parent] -= 1;
+                self.degrees[old_parent] += 1;
+                self.parents[child] = Some(old_parent);
+            }
+            Delta::AssignChildSlot { agent } => {
+                self.degrees[agent] -= 1;
+            }
+            Delta::ReleaseChildSlot { agent } => {
+                self.degrees[agent] += 1;
+            }
+        }
+        self.restore(&saved);
+        true
+    }
+
+    /// Reverts every delta on the undo stack (newest first).
+    pub fn undo_all(&mut self) {
+        while self.undo() {}
+    }
+
+    /// Number of deltas currently undoable.
+    pub fn pending_deltas(&self) -> usize {
+        self.undo_stack.len()
+    }
+
+    /// Drops the undo history, making the current state the new baseline.
+    /// Call after committing probed deltas to the real plan.
+    pub fn commit(&mut self) {
+        self.undo_stack.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Eq. 16's completed-request throughput of the current state.
+    /// O(1).
+    pub fn rho(&self) -> f64 {
+        let (rho_sched, _) = self.sched();
+        rho_sched.min(self.rho_service())
+    }
+
+    /// Eq. 14's scheduling throughput and its binding slot. O(1).
+    fn sched(&self) -> (f64, (f64, usize)) {
+        let worst = self.tree.max();
+        let rho = if worst.0 <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / worst.0
+        };
+        (rho, worst)
+    }
+
+    /// Eq. 15's service throughput. O(1).
+    pub fn rho_service(&self) -> f64 {
+        if self.server_count == 0 {
+            0.0
+        } else {
+            1.0 / (self.service_transfer + self.numerator / self.denominator)
+        }
+    }
+
+    /// Full report, mirroring [`ModelParams::evaluate`] including the
+    /// bottleneck tie rule (scheduling wins ties). O(1).
+    pub fn report(&self) -> ThroughputReport {
+        let (rho_sched, (_, worst_slot)) = self.sched();
+        let rho_service = self.rho_service();
+        if rho_sched <= rho_service {
+            let bottleneck = match self.roles[worst_slot] {
+                Role::Agent => Bottleneck::AgentSched {
+                    slot: Slot(worst_slot),
+                    node: self.nodes[worst_slot],
+                },
+                Role::Server => Bottleneck::ServerPrediction {
+                    slot: Slot(worst_slot),
+                    node: self.nodes[worst_slot],
+                },
+            };
+            ThroughputReport {
+                rho: rho_sched,
+                rho_sched,
+                rho_service,
+                bottleneck,
+            }
+        } else {
+            ThroughputReport {
+                rho: rho_service,
+                rho_sched,
+                rho_service,
+                bottleneck: Bottleneck::ServiceCapacity,
+            }
+        }
+    }
+
+    /// Role of an active slot.
+    pub fn role(&self, slot: Slot) -> Role {
+        self.roles[slot.index()]
+    }
+
+    /// Platform node of an active slot.
+    pub fn node(&self, slot: Slot) -> NodeId {
+        self.nodes[slot.index()]
+    }
+
+    /// Degree (child count) of an active slot.
+    pub fn degree(&self, slot: Slot) -> usize {
+        self.degrees[slot.index()]
+    }
+
+    /// Node power cached for a slot.
+    pub fn power(&self, slot: Slot) -> MflopRate {
+        MflopRate(self.powers[slot.index()])
+    }
+
+    /// True when the platform node appears in an active slot.
+    pub fn uses_node(&self, node: NodeId) -> bool {
+        self.used.contains(&node)
+    }
+
+    /// Active agent slots, in slot order.
+    pub fn agents(&self) -> impl Iterator<Item = Slot> + '_ {
+        (0..self.nodes.len())
+            .filter(|&i| self.active[i] && self.roles[i] == Role::Agent)
+            .map(Slot)
+    }
+
+    /// Active server slots, in slot order.
+    pub fn servers(&self) -> impl Iterator<Item = Slot> + '_ {
+        (0..self.nodes.len())
+            .filter(|&i| self.active[i] && self.roles[i] == Role::Server)
+            .map(Slot)
+    }
+
+    /// Number of active servers. O(1).
+    pub fn server_count(&self) -> usize {
+        self.server_count
+    }
+
+    /// Number of active slots. O(1). Always ≥ 1: the root agent can
+    /// never be detached.
+    pub fn len(&self) -> usize {
+        self.active_count
+    }
+
+    /// True when no active slot exists (`len() == 0`). Construction
+    /// always installs a root agent, so this only holds for a value
+    /// built from pathological inputs; provided to keep the standard
+    /// `is_empty <=> len() == 0` contract alongside [`len`]
+    /// (IncrementalEval::len).
+    pub fn is_empty(&self) -> bool {
+        self.active_count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adept_platform::generator::{heterogenized_cluster, lyon_cluster};
+    use adept_platform::{BackgroundLoad, CapacityProbe};
+    use adept_workload::Dgemm;
+
+    fn check_parity(
+        eval: &IncrementalEval,
+        params: &ModelParams,
+        platform: &Platform,
+        plan: &DeploymentPlan,
+        service: &ServiceSpec,
+        context: &str,
+    ) {
+        let full = params.evaluate(platform, plan, service);
+        let fast = eval.report();
+        let tol = 1e-9 * full.rho.abs().max(1.0);
+        assert!(
+            (full.rho - fast.rho).abs() <= tol,
+            "{context}: rho {} vs full {}",
+            fast.rho,
+            full.rho
+        );
+        assert!(
+            (full.rho_sched - fast.rho_sched).abs() <= 1e-9 * full.rho_sched.abs().max(1.0),
+            "{context}: rho_sched"
+        );
+        assert!(
+            (full.rho_service - fast.rho_service).abs() <= 1e-9 * full.rho_service.abs().max(1.0),
+            "{context}: rho_service"
+        );
+        assert_eq!(
+            std::mem::discriminant(&full.bottleneck),
+            std::mem::discriminant(&fast.bottleneck),
+            "{context}: bottleneck kind {:?} vs {:?}",
+            fast.bottleneck,
+            full.bottleneck
+        );
+    }
+
+    #[test]
+    fn from_plan_matches_full_eval() {
+        let platform = lyon_cluster(12);
+        let svc = Dgemm::new(310).service();
+        let params = ModelParams::from_platform(&platform);
+        let mut plan = DeploymentPlan::with_root(NodeId(0));
+        let a = plan.add_agent(plan.root(), NodeId(1)).unwrap();
+        for i in 2..8 {
+            plan.add_server(a, NodeId(i)).unwrap();
+        }
+        let eval = IncrementalEval::from_plan(&params, &platform, &plan, &svc);
+        check_parity(&eval, &params, &platform, &plan, &svc, "static");
+    }
+
+    #[test]
+    fn add_server_tracks_plan() {
+        let platform = heterogenized_cluster(
+            "x",
+            16,
+            MflopRate(400.0),
+            BackgroundLoad::default(),
+            CapacityProbe::exact(),
+            11,
+        );
+        let svc = Dgemm::new(310).service();
+        let params = ModelParams::from_platform(&platform);
+        let mut plan = DeploymentPlan::agent_server(NodeId(0), NodeId(1));
+        let mut eval = IncrementalEval::from_plan(&params, &platform, &plan, &svc);
+        for i in 2..10 {
+            let node = NodeId(i);
+            let s1 = plan.add_server(plan.root(), node).unwrap();
+            let s2 = eval
+                .add_server(Slot(0), node, platform.power(node))
+                .unwrap();
+            assert_eq!(s1, s2, "slots stay aligned");
+            check_parity(&eval, &params, &platform, &plan, &svc, "add");
+        }
+    }
+
+    #[test]
+    fn undo_restores_bit_exact_state() {
+        let platform = lyon_cluster(20);
+        let svc = Dgemm::new(1000).service();
+        let params = ModelParams::from_platform(&platform);
+        let mut plan = DeploymentPlan::agent_server(NodeId(0), NodeId(1));
+        for i in 2..10 {
+            plan.add_server(plan.root(), NodeId(i)).unwrap();
+        }
+        let mut eval = IncrementalEval::from_plan(&params, &platform, &plan, &svc);
+        let before = eval.rho();
+        let report_before = eval.report();
+
+        // A long probe chain, then unwind it completely.
+        eval.add_server(Slot(0), NodeId(15), platform.power(NodeId(15)))
+            .unwrap();
+        eval.promote_to_agent(Slot(3)).unwrap();
+        eval.add_server(Slot(3), NodeId(16), platform.power(NodeId(16)))
+            .unwrap();
+        eval.move_child(Slot(5), Slot(3)).unwrap();
+        eval.remove_server(Slot(6)).unwrap();
+        eval.assign_child_slot(Slot(0)).unwrap();
+        eval.release_child_slot(Slot(0)).unwrap();
+        assert_eq!(eval.pending_deltas(), 7);
+        eval.undo_all();
+
+        assert_eq!(eval.rho().to_bits(), before.to_bits(), "must be bit-exact");
+        assert_eq!(eval.report(), report_before);
+        assert_eq!(eval.len(), plan.len());
+        check_parity(&eval, &params, &platform, &plan, &svc, "after undo_all");
+    }
+
+    #[test]
+    fn remove_server_matches_rebuilt_plan() {
+        let platform = lyon_cluster(8);
+        let svc = Dgemm::new(310).service();
+        let params = ModelParams::from_platform(&platform);
+        let mut plan = DeploymentPlan::agent_server(NodeId(0), NodeId(1));
+        for i in 2..6 {
+            plan.add_server(plan.root(), NodeId(i)).unwrap();
+        }
+        let mut eval = IncrementalEval::from_plan(&params, &platform, &plan, &svc);
+        eval.remove_server(Slot(2)).unwrap();
+
+        // Reference: the same plan without NodeId(2).
+        let mut smaller = DeploymentPlan::agent_server(NodeId(0), NodeId(1));
+        for i in 3..6 {
+            smaller.add_server(smaller.root(), NodeId(i)).unwrap();
+        }
+        check_parity(&eval, &params, &platform, &smaller, &svc, "remove");
+        assert!(!eval.uses_node(NodeId(2)));
+        assert_eq!(eval.server_count(), 4);
+    }
+
+    #[test]
+    fn promote_then_grow_matches_plan() {
+        let platform = lyon_cluster(10);
+        let svc = Dgemm::new(310).service();
+        let params = ModelParams::from_platform(&platform);
+        let mut plan = DeploymentPlan::agent_server(NodeId(0), NodeId(1));
+        plan.add_server(plan.root(), NodeId(2)).unwrap();
+        let mut eval = IncrementalEval::from_plan(&params, &platform, &plan, &svc);
+
+        plan.convert_to_agent(Slot(1)).unwrap();
+        eval.promote_to_agent(Slot(1)).unwrap();
+        let node = NodeId(3);
+        plan.add_server(Slot(1), node).unwrap();
+        eval.add_server(Slot(1), node, platform.power(node))
+            .unwrap();
+        check_parity(&eval, &params, &platform, &plan, &svc, "promote+grow");
+
+        // Demote path: retract the child, then the promotion.
+        eval.undo();
+        eval.demote_to_server(Slot(1)).unwrap();
+        plan.remove_last(Slot(3)).unwrap();
+        plan.convert_to_server(Slot(1)).unwrap();
+        check_parity(&eval, &params, &platform, &plan, &svc, "demote");
+    }
+
+    #[test]
+    fn move_child_matches_plan() {
+        let platform = lyon_cluster(10);
+        let svc = Dgemm::new(100).service();
+        let params = ModelParams::from_platform(&platform);
+        let mut plan = DeploymentPlan::with_root(NodeId(0));
+        let a = plan.add_agent(plan.root(), NodeId(1)).unwrap();
+        let b = plan.add_agent(plan.root(), NodeId(2)).unwrap();
+        for i in 3..7 {
+            plan.add_server(a, NodeId(i)).unwrap();
+        }
+        plan.add_server(b, NodeId(7)).unwrap();
+        let mut eval = IncrementalEval::from_plan(&params, &platform, &plan, &svc);
+
+        plan.move_child(Slot(3), b).unwrap();
+        eval.move_child(Slot(3), b).unwrap();
+        check_parity(&eval, &params, &platform, &plan, &svc, "move");
+    }
+
+    #[test]
+    fn abstract_agent_set_matches_realized_tree() {
+        use crate::model::throughput::sch_pow;
+        let platform = heterogenized_cluster(
+            "h",
+            12,
+            MflopRate(400.0),
+            BackgroundLoad::default(),
+            CapacityProbe::exact(),
+            5,
+        );
+        let svc = Dgemm::new(310).service();
+        let params = ModelParams::from_platform(&platform);
+        let nodes = platform.ids_by_power_desc();
+        let (agents, servers) = (&nodes[0..3], &nodes[3..9]);
+
+        let mut eval = IncrementalEval::from_agents(&params, &platform, agents, &svc);
+        // Hand the two non-root agents their child slots, then attach the
+        // servers under whichever agent keeps the highest post-attachment
+        // scheduling power (the waterfill rule).
+        eval.assign_child_slot(Slot(0)).unwrap();
+        eval.assign_child_slot(Slot(0)).unwrap();
+        for &s in servers {
+            let best = eval
+                .agents()
+                .max_by(|&x, &y| {
+                    let px = sch_pow(&params, eval.power(x), eval.degree(x) + 1);
+                    let py = sch_pow(&params, eval.power(y), eval.degree(y) + 1);
+                    px.partial_cmp(&py).unwrap().then(y.cmp(&x))
+                })
+                .unwrap();
+            eval.add_server(best, s, platform.power(s)).unwrap();
+        }
+        // The realized tree with the same degree distribution must agree.
+        let degrees: Vec<usize> = (0..3).map(|i| eval.degree(Slot(i))).collect();
+        let plan = crate::planner::realize::realize(agents, servers, &degrees);
+        check_parity(&eval, &params, &platform, &plan, &svc, "abstract");
+    }
+
+    #[test]
+    fn error_paths_do_not_mutate() {
+        let platform = lyon_cluster(6);
+        let svc = Dgemm::new(310).service();
+        let params = ModelParams::from_platform(&platform);
+        let plan = DeploymentPlan::agent_server(NodeId(0), NodeId(1));
+        let mut eval = IncrementalEval::from_plan(&params, &platform, &plan, &svc);
+        let rho = eval.rho();
+
+        assert!(eval
+            .add_server(Slot(1), NodeId(2), MflopRate(400.0))
+            .is_err());
+        assert!(eval
+            .add_server(Slot(0), NodeId(1), MflopRate(400.0))
+            .is_err());
+        assert!(eval
+            .add_server(Slot(9), NodeId(2), MflopRate(400.0))
+            .is_err());
+        assert!(eval.remove_server(Slot(0)).is_err());
+        assert!(eval.promote_to_agent(Slot(0)).is_err());
+        assert!(eval.demote_to_server(Slot(1)).is_err());
+        assert!(eval.move_child(Slot(0), Slot(0)).is_err());
+        assert!(eval.move_child(Slot(1), Slot(1)).is_err());
+        assert_eq!(eval.pending_deltas(), 0);
+        assert_eq!(eval.rho().to_bits(), rho.to_bits());
+    }
+
+    #[test]
+    fn commit_clears_history() {
+        let platform = lyon_cluster(6);
+        let svc = Dgemm::new(310).service();
+        let params = ModelParams::from_platform(&platform);
+        let plan = DeploymentPlan::agent_server(NodeId(0), NodeId(1));
+        let mut eval = IncrementalEval::from_plan(&params, &platform, &plan, &svc);
+        eval.add_server(Slot(0), NodeId(2), platform.power(NodeId(2)))
+            .unwrap();
+        eval.commit();
+        assert_eq!(eval.pending_deltas(), 0);
+        assert!(!eval.undo());
+        assert_eq!(eval.server_count(), 2);
+    }
+
+    #[test]
+    fn tree_growth_preserves_max() {
+        let platform = lyon_cluster(200);
+        let svc = Dgemm::new(1000).service();
+        let params = ModelParams::from_platform(&platform);
+        let mut plan = DeploymentPlan::agent_server(NodeId(0), NodeId(1));
+        let mut eval = IncrementalEval::from_plan(&params, &platform, &plan, &svc);
+        // Push far past the initial tree capacity.
+        for i in 2..150 {
+            let node = NodeId(i);
+            plan.add_server(plan.root(), node).unwrap();
+            eval.add_server(Slot(0), node, platform.power(node))
+                .unwrap();
+        }
+        check_parity(&eval, &params, &platform, &plan, &svc, "growth");
+    }
+}

@@ -130,11 +130,8 @@ pub fn partition_servers(
         // most starved one.
         let starved = (0..mix.len())
             .map(|j| {
-                let rho = throughput::hier_ser_pow(
-                    params,
-                    mix.service(j),
-                    powers_for[j].iter().copied(),
-                );
+                let rho =
+                    throughput::hier_ser_pow(params, mix.service(j), powers_for[j].iter().copied());
                 (j, rho / mix.share(j))
             })
             .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("rates are finite"))

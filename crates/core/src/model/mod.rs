@@ -21,8 +21,11 @@
 pub mod comm;
 pub mod compute;
 pub mod hetero;
+pub mod incremental;
 pub mod mix;
 pub mod throughput;
+
+pub use incremental::IncrementalEval;
 
 use crate::analysis::ThroughputReport;
 use adept_hierarchy::DeploymentPlan;

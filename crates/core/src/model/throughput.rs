@@ -4,9 +4,9 @@ use super::comm;
 use super::compute;
 use super::ModelParams;
 use crate::analysis::{Bottleneck, ThroughputReport};
-use adept_hierarchy::{DeploymentPlan, Role};
 #[cfg(test)]
 use adept_hierarchy::Slot;
+use adept_hierarchy::{DeploymentPlan, Role};
 use adept_platform::{MflopRate, Platform, Seconds};
 use adept_workload::ServiceSpec;
 
@@ -264,9 +264,8 @@ mod tests {
         let svc = Dgemm::new(310).service();
         let one = hier_ser_pow(&p, &svc, [MflopRate(400.0)]);
         // 1/( (Sreq+Srep)/B + (1 + Wpre/Wapp)/(w/Wapp) )
-        let expected = 1.0
-            / ((5.3e-5 + 6.4e-5) / 100.0
-                + (1.0 + 0.0064 / 59.582) / (400.0 / 59.582));
+        let expected =
+            1.0 / ((5.3e-5 + 6.4e-5) / 100.0 + (1.0 + 0.0064 / 59.582) / (400.0 / 59.582));
         assert!((one - expected).abs() < 1e-9);
     }
 }

@@ -99,10 +99,13 @@ mod tests {
 
     #[test]
     fn star_planner_uses_strongest_as_agent() {
-        let platform =
-            uniform_random_cluster("u", 10, MflopRate(100.0), MflopRate(900.0), 5);
+        let platform = uniform_random_cluster("u", 10, MflopRate(100.0), MflopRate(900.0), 5);
         let plan = StarPlanner
-            .plan(&platform, &Dgemm::new(100).service(), ClientDemand::Unbounded)
+            .plan(
+                &platform,
+                &Dgemm::new(100).service(),
+                ClientDemand::Unbounded,
+            )
             .unwrap();
         let root_power = platform.power(plan.node(plan.root()));
         for n in platform.nodes() {
@@ -116,7 +119,11 @@ mod tests {
         let platform = lyon_cluster(1);
         assert_eq!(
             StarPlanner
-                .plan(&platform, &Dgemm::new(10).service(), ClientDemand::Unbounded)
+                .plan(
+                    &platform,
+                    &Dgemm::new(10).service(),
+                    ClientDemand::Unbounded
+                )
                 .unwrap_err(),
             PlannerError::NotEnoughNodes {
                 needed: 2,
@@ -129,7 +136,11 @@ mod tests {
     fn balanced_planner_paper_shape_on_200_nodes() {
         let platform = lyon_cluster(200);
         let plan = BalancedPlanner::paper()
-            .plan(&platform, &Dgemm::new(310).service(), ClientDemand::Unbounded)
+            .plan(
+                &platform,
+                &Dgemm::new(310).service(),
+                ClientDemand::Unbounded,
+            )
             .unwrap();
         assert_eq!(plan.agent_count(), 15);
         assert_eq!(plan.server_count(), 185);

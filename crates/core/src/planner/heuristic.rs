@@ -46,13 +46,25 @@
 //! With `rebalance = true` the greedy result is post-processed by the
 //! iterative bottleneck-removal pass of the authors' earlier work \[7\]
 //! (see [`improve`]) — an extension, off by default.
+//!
+//! ## Probe cost
+//!
+//! Every growth step probes candidate moves under the model. With the
+//! default [`EvalStrategy::Incremental`] a probe is an O(log n)
+//! delta+undo on [`IncrementalEval`]; with [`EvalStrategy::FullClone`]
+//! (the pre-incremental baseline, kept for the `eval_strategy` ablation
+//! bench) it clones the plan and re-runs Eq. 13–16 from scratch, O(n).
+//! Both commit identical moves; see [`EvalStrategy`] for the parity
+//! contract.
 
-use super::{improve, resolve_params, Planner, PlannerError};
+use super::realize::HeapEntry;
+use super::{improve, resolve_params, EvalStrategy, Planner, PlannerError};
 use crate::model::throughput::{hier_ser_pow, sch_pow};
-use crate::model::ModelParams;
+use crate::model::{IncrementalEval, ModelParams};
 use adept_hierarchy::{DeploymentPlan, Slot};
 use adept_platform::{NodeId, Platform};
 use adept_workload::{ClientDemand, ServiceSpec};
+use std::collections::HashSet;
 
 /// Relative tolerance for "strictly better" comparisons; keeps the greedy
 /// from oscillating on floating-point noise.
@@ -70,6 +82,8 @@ pub struct HeuristicPlanner {
     /// Apply the iterative bottleneck-removal pass of \[7\] afterwards
     /// (extension; not part of Algorithm 1).
     pub rebalance: bool,
+    /// How candidate moves are evaluated (incremental by default).
+    pub eval_strategy: EvalStrategy,
 }
 
 impl Default for HeuristicPlanner {
@@ -78,6 +92,7 @@ impl Default for HeuristicPlanner {
             params: None,
             allow_conversion: true,
             rebalance: false,
+            eval_strategy: EvalStrategy::default(),
         }
     }
 }
@@ -104,36 +119,130 @@ impl HeuristicPlanner {
         }
     }
 
+    /// Replaces the probe evaluation strategy (ablation hook).
+    pub fn with_eval_strategy(mut self, strategy: EvalStrategy) -> Self {
+        self.eval_strategy = strategy;
+        self
+    }
+
     /// Steps 1–2: nodes sorted by `calc_sch_pow` with `n_nodes − 1`
     /// children, descending. Ties break toward lower node id (stable).
+    /// The score is computed once per node, not once per comparison.
     pub fn sorted_nodes(params: &ModelParams, platform: &Platform) -> Vec<NodeId> {
-        let n = platform.node_count();
-        let mut ids: Vec<NodeId> = platform.nodes().iter().map(|r| r.id).collect();
-        ids.sort_by(|&a, &b| {
-            let pa = sch_pow(params, platform.power(a), n.saturating_sub(1).max(1));
-            let pb = sch_pow(params, platform.power(b), n.saturating_sub(1).max(1));
-            pb.partial_cmp(&pa).expect("rates are finite").then(a.cmp(&b))
+        let d = platform.node_count().saturating_sub(1).max(1);
+        let mut keyed: Vec<(f64, NodeId)> = platform
+            .nodes()
+            .iter()
+            .map(|r| (sch_pow(params, r.power, d), r.id))
+            .collect();
+        keyed.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("rates are finite")
+                .then(a.1.cmp(&b.1))
         });
-        ids
+        keyed.into_iter().map(|(_, id)| id).collect()
     }
 }
 
-/// Attaches `node` as a server under the agent with the highest
-/// post-attachment scheduling power; returns the updated plan.
+/// The agent of `plan` that keeps the highest scheduling power after
+/// receiving one more child. Ties break toward the lower slot.
+fn best_attach_agent(params: &ModelParams, platform: &Platform, plan: &DeploymentPlan) -> Slot {
+    plan.agents()
+        .max_by(|&a, &b| {
+            let pa = sch_pow(params, platform.power(plan.node(a)), plan.degree(a) + 1);
+            let pb = sch_pow(params, platform.power(plan.node(b)), plan.degree(b) + 1);
+            pa.partial_cmp(&pb)
+                .expect("rates are finite")
+                .then(b.cmp(&a))
+        })
+        .expect("plans always contain the root agent")
+}
+
+/// [`best_attach_agent`] over the incremental mirror — same rule, same
+/// tie-breaking, no plan access. Shared with the online re-planner.
+pub(crate) fn best_attach_agent_in_eval(params: &ModelParams, eval: &IncrementalEval) -> Slot {
+    eval.agents()
+        .max_by(|&a, &b| {
+            let pa = sch_pow(params, eval.power(a), eval.degree(a) + 1);
+            let pb = sch_pow(params, eval.power(b), eval.degree(b) + 1);
+            pa.partial_cmp(&pb)
+                .expect("rates are finite")
+                .then(b.cmp(&a))
+        })
+        .expect("plans always contain the root agent")
+}
+
+/// Lazy max-heap over agents keyed by post-attachment scheduling power —
+/// replaces the O(k) scan of [`best_attach_agent_in_eval`] with O(log k)
+/// amortized selection inside the incremental growth loop. Entries go
+/// stale when an agent's degree changes; [`AttachHeap::best`] discards
+/// and re-keys stale tops lazily, so selection (max `sp_after`, ties to
+/// the lower slot) is identical to the scan's.
+struct AttachHeap {
+    heap: std::collections::BinaryHeap<HeapEntry>,
+}
+
+impl AttachHeap {
+    fn key(params: &ModelParams, eval: &IncrementalEval, slot: Slot) -> f64 {
+        sch_pow(params, eval.power(slot), eval.degree(slot) + 1)
+    }
+
+    /// Rebuilds from the engine's current agent set (after conversions).
+    fn rebuild(&mut self, params: &ModelParams, eval: &IncrementalEval) {
+        self.heap.clear();
+        for slot in eval.agents() {
+            self.heap.push(HeapEntry {
+                sp_after: Self::key(params, eval, slot),
+                agent: slot.index(),
+            });
+        }
+    }
+
+    fn new(params: &ModelParams, eval: &IncrementalEval) -> Self {
+        let mut h = Self {
+            heap: std::collections::BinaryHeap::new(),
+        };
+        h.rebuild(params, eval);
+        h
+    }
+
+    /// The agent that keeps the highest scheduling power after one more
+    /// child — the same answer the O(k) scan would give.
+    fn best(&mut self, params: &ModelParams, eval: &IncrementalEval) -> Slot {
+        loop {
+            let top = self.heap.peek().expect("agents are never empty");
+            let slot = Slot(top.agent);
+            let fresh = Self::key(params, eval, slot);
+            if top.sp_after == fresh {
+                return slot;
+            }
+            // Stale (the agent's degree changed since insertion): re-key.
+            self.heap.pop();
+            self.heap.push(HeapEntry {
+                sp_after: fresh,
+                agent: slot.index(),
+            });
+        }
+    }
+
+    /// Re-keys one agent after its degree changed.
+    fn update(&mut self, params: &ModelParams, eval: &IncrementalEval, slot: Slot) {
+        self.heap.push(HeapEntry {
+            sp_after: Self::key(params, eval, slot),
+            agent: slot.index(),
+        });
+    }
+}
+
+/// Attaches `node` as a server under the best agent; returns the updated
+/// plan (full-clone probe path).
 fn attach_best(
     params: &ModelParams,
     platform: &Platform,
     plan: &DeploymentPlan,
     node: NodeId,
 ) -> DeploymentPlan {
-    let best_agent: Slot = plan
-        .agents()
-        .max_by(|&a, &b| {
-            let pa = sch_pow(params, platform.power(plan.node(a)), plan.degree(a) + 1);
-            let pb = sch_pow(params, platform.power(plan.node(b)), plan.degree(b) + 1);
-            pa.partial_cmp(&pb).expect("rates are finite").then(b.cmp(&a))
-        })
-        .expect("plans always contain the root agent");
+    let best_agent = best_attach_agent(params, platform, plan);
     let mut next = plan.clone();
     next.add_server(best_agent, node)
         .expect("unused node under an agent always inserts");
@@ -145,6 +254,12 @@ fn attach_best(
 /// grow servers from `queue` while the modelled throughput improves.
 /// Returns `(plan, queue nodes consumed, final rho)`, or `None` when no
 /// conversion is possible.
+///
+/// `power_order` is the planner's node list sorted strongest-first —
+/// computed once per planning run (`sorted_nodes` ordering coincides with
+/// power order because `sch_pow` at fixed degree is strictly increasing in
+/// power) and filtered here by membership, instead of re-collecting and
+/// re-sorting the agent/server lists on every stalled-attachment probe.
 fn try_conversion(
     params: &ModelParams,
     platform: &Platform,
@@ -152,30 +267,28 @@ fn try_conversion(
     service: &ServiceSpec,
     demand: ClientDemand,
     queue: &std::collections::VecDeque<NodeId>,
+    power_order: &[NodeId],
 ) -> Option<(DeploymentPlan, usize, f64)> {
-    let by_power_desc = |ids: &mut Vec<NodeId>| {
-        ids.sort_by(|&x, &y| {
-            platform
-                .power(y)
-                .value()
-                .partial_cmp(&platform.power(x).value())
-                .expect("powers are finite")
-                .then(x.cmp(&y))
-        });
-    };
-    let mut agents: Vec<NodeId> = plan.agents().map(|s| plan.node(s)).collect();
-    let mut servers: Vec<NodeId> = plan.servers().map(|s| plan.node(s)).collect();
-    by_power_desc(&mut servers);
+    let server_set: HashSet<NodeId> = plan.servers().map(|s| plan.node(s)).collect();
+    let agent_set: HashSet<NodeId> = plan.agents().map(|s| plan.node(s)).collect();
+    let mut servers: Vec<NodeId> = power_order
+        .iter()
+        .copied()
+        .filter(|n| server_set.contains(n))
+        .collect();
     let victim = servers.remove(0);
     if servers.is_empty() {
         return None;
     }
-    agents.push(victim);
-    by_power_desc(&mut agents);
+    let agents: Vec<NodeId> = power_order
+        .iter()
+        .copied()
+        .filter(|n| agent_set.contains(n) || *n == victim)
+        .collect();
 
     let mut p = super::realize::realize_balanced(params, platform, &agents, &servers)?;
-    let mut rho = params.evaluate(platform, &p, service).rho;
     let mut consumed = 0usize;
+    let mut rho = params.evaluate(platform, &p, service).rho;
     while let Some(&more) = queue.get(consumed) {
         if demand.satisfied_by(rho) {
             break;
@@ -191,6 +304,312 @@ fn try_conversion(
         }
     }
     Some((p, consumed, rho))
+}
+
+/// The `shift_nodes` conversion as pure deltas on the incremental engine:
+/// promote the strongest server, rebalance degrees toward the enlarged
+/// agent set, then grow servers from `queue` while ρ improves.
+///
+/// The rebalance is itself incremental: the pre-conversion degrees are
+/// already the greedy max-min waterfill of the old agent set (every
+/// attach went to the argmax-`sch_pow` agent), and enlarging the set by
+/// one agent only ever *moves children into the newcomer* — each step
+/// takes a child from the currently binding (lowest `sch_pow`) agent as
+/// long as the newcomer's post-move power exceeds that minimum. That is
+/// O((n/k) log k) instead of re-waterfilling all n children.
+///
+/// On acceptance (`ρ` strictly beats `current`) the deltas are committed
+/// and `Some(consumed, rho)` returns; otherwise every delta is undone and
+/// `None` returns, leaving the engine bit-identical to its input state.
+/// Throughput under Eq. 13–16 depends only on the role/degree/power
+/// multiset, so never materializing a tree — the O(n) realize+rebuild
+/// that used to dominate the growth loop — cannot change ρ.
+#[allow(clippy::too_many_arguments)] // a probe needs the whole growth-loop state
+fn try_conversion_deltas(
+    params: &ModelParams,
+    platform: &Platform,
+    eval: &mut IncrementalEval,
+    demand: ClientDemand,
+    queue: &std::collections::VecDeque<NodeId>,
+    current: f64,
+    attach_heap: &mut AttachHeap,
+    victim: Slot,
+    server_order: &mut Vec<Slot>,
+) -> Option<(usize, f64)> {
+    debug_assert_eq!(eval.pending_deltas(), 0, "probe from a committed state");
+
+    if eval.server_count() < 2 {
+        return None;
+    }
+    debug_assert_eq!(
+        Some(victim),
+        eval.servers().max_by(|&a, &b| {
+            let pa = eval.power(a).value();
+            let pb = eval.power(b).value();
+            pa.partial_cmp(&pb)
+                .expect("powers are finite")
+                .then_with(|| eval.node(b).cmp(&eval.node(a)))
+        }),
+        "victim must be the strongest server (lowest node id on ties)"
+    );
+
+    // Steal loop: min-heap over the old agents by *current* scheduling
+    // power (the binding agent on top; lazily re-keyed like AttachHeap).
+    let mut binding: std::collections::BinaryHeap<std::cmp::Reverse<HeapEntry>> = eval
+        .agents()
+        .map(|s| {
+            std::cmp::Reverse(HeapEntry {
+                sp_after: sch_pow(params, eval.power(s), eval.degree(s)),
+                agent: s.index(),
+            })
+        })
+        .collect();
+
+    eval.promote_to_agent(victim).expect("victim is a server");
+    let victim_power = eval.power(victim);
+    loop {
+        let worst = loop {
+            let std::cmp::Reverse(top) = binding.peek().expect("agents are never empty");
+            let slot = Slot(top.agent);
+            let fresh = sch_pow(params, eval.power(slot), eval.degree(slot));
+            if top.sp_after == fresh {
+                break slot;
+            }
+            binding.pop();
+            binding.push(std::cmp::Reverse(HeapEntry {
+                sp_after: fresh,
+                agent: slot.index(),
+            }));
+        };
+        let sp_worst = sch_pow(params, eval.power(worst), eval.degree(worst));
+        let sp_victim_next = sch_pow(params, victim_power, eval.degree(victim) + 1);
+        if sp_victim_next <= sp_worst {
+            break;
+        }
+        if eval.degree(worst) <= 1 {
+            // The newcomer would strip the binding agent bare — the
+            // conversion cannot keep every level populated (the scratch
+            // waterfill's `degrees.contains(&0)` rejection).
+            eval.undo_all();
+            return None;
+        }
+        eval.release_child_slot(worst).expect("degree > 1");
+        eval.assign_child_slot(victim).expect("victim is an agent");
+        binding.push(std::cmp::Reverse(HeapEntry {
+            sp_after: sch_pow(params, eval.power(worst), eval.degree(worst)),
+            agent: worst.index(),
+        }));
+    }
+    // A newcomer that attracts no children wastes a level (the
+    // realize-based path's `realize_balanced -> None` case).
+    if eval.degree(victim) == 0 {
+        eval.undo_all();
+        return None;
+    }
+
+    // Grow servers under the rebalanced hierarchy while ρ improves (the
+    // inner while of steps 18–24), all still on the delta stack.
+    attach_heap.rebuild(params, eval);
+    let mut rho = eval.rho();
+    let mut consumed = 0usize;
+    while let Some(&more) = queue.get(consumed) {
+        if demand.satisfied_by(rho) {
+            break;
+        }
+        let agent = attach_heap.best(params, eval);
+        let slot = eval
+            .add_server(agent, more, platform.power(more))
+            .expect("queue nodes are unused");
+        let grown_rho = eval.rho();
+        if grown_rho > rho * (1.0 + EPS) {
+            rho = grown_rho;
+            consumed += 1;
+            attach_heap.update(params, eval, agent);
+            server_order.push(slot);
+        } else {
+            eval.undo();
+            break;
+        }
+    }
+
+    if rho > current * (1.0 + EPS) {
+        eval.commit();
+        attach_heap.rebuild(params, eval);
+        Some((consumed, rho))
+    } else {
+        eval.undo_all();
+        server_order.truncate(server_order.len() - consumed);
+        attach_heap.rebuild(params, eval);
+        None
+    }
+}
+
+/// Realizes the incremental engine's final abstract state into a concrete
+/// tree: agents strongest-first (the root is the strongest node, as in
+/// Algorithm 1's sort), servers strongest-first, degrees as grown. The
+/// tree's throughput equals the engine's ρ because Eq. 13–16 only sees
+/// the role/degree/power multiset.
+fn realize_from_eval(eval: &IncrementalEval) -> DeploymentPlan {
+    let mut agents: Vec<Slot> = eval.agents().collect();
+    agents.sort_by(|&a, &b| {
+        let pa = eval.power(a).value();
+        let pb = eval.power(b).value();
+        pb.partial_cmp(&pa)
+            .expect("powers are finite")
+            .then_with(|| eval.node(a).cmp(&eval.node(b)))
+    });
+    let mut servers: Vec<Slot> = eval.servers().collect();
+    servers.sort_by(|&a, &b| {
+        let pa = eval.power(a).value();
+        let pb = eval.power(b).value();
+        pb.partial_cmp(&pa)
+            .expect("powers are finite")
+            .then_with(|| eval.node(a).cmp(&eval.node(b)))
+    });
+    let agent_nodes: Vec<NodeId> = agents.iter().map(|&s| eval.node(s)).collect();
+    let server_nodes: Vec<NodeId> = servers.iter().map(|&s| eval.node(s)).collect();
+    let degrees: Vec<usize> = agents.iter().map(|&s| eval.degree(s)).collect();
+    super::realize::realize(&agent_nodes, &server_nodes, &degrees)
+}
+
+/// The greedy growth loop on the incremental engine: the deployment lives
+/// entirely inside [`IncrementalEval`] (roles, degrees, powers — all the
+/// model sees) and is realized into a tree exactly once, at the end.
+/// Attach probes are O(log n) delta+undo; conversions are delta batches
+/// ([`try_conversion_deltas`]).
+fn grow_incremental(
+    params: &ModelParams,
+    platform: &Platform,
+    service: &ServiceSpec,
+    demand: ClientDemand,
+    seed: DeploymentPlan,
+    mut queue: std::collections::VecDeque<NodeId>,
+    allow_conversion: bool,
+) -> DeploymentPlan {
+    let mut eval = IncrementalEval::from_plan(params, platform, &seed, service);
+    let mut current = eval.rho();
+    let mut attach_heap = AttachHeap::new(params, &eval);
+    // Servers in attachment order. The queue is power-descending, so the
+    // strongest remaining server is always the earliest entry that has
+    // not yet been promoted — conversion victims are read off the front
+    // instead of scanning every slot.
+    let mut server_order: Vec<Slot> = vec![Slot(1)]; // the seed pair's server
+    let mut next_victim = 0usize;
+
+    while !queue.is_empty() && !demand.satisfied_by(current) {
+        let next_node = *queue.front().expect("queue checked non-empty");
+
+        // Preferred action: plain attachment (steps 19–23's "take next
+        // node from sorted_nodes[] as a server"). While this improves,
+        // conversion is never cheaper in resources, so commit directly.
+        let agent = attach_heap.best(params, &eval);
+        let slot = eval
+            .add_server(agent, next_node, platform.power(next_node))
+            .expect("queue nodes are unused");
+        let attach_rho = eval.rho();
+        if attach_rho > current * (1.0 + EPS) {
+            eval.commit();
+            attach_heap.update(params, &eval, agent);
+            server_order.push(slot);
+            current = attach_rho;
+            queue.pop_front();
+            continue;
+        }
+        eval.undo();
+
+        // Attachment stalled: the hierarchy is at its sched/service
+        // crossing. Try the shift_nodes conversion (steps 16–24) as a
+        // delta batch; see `grow_full_clone` for the algorithmic intent.
+        if allow_conversion && next_victim < server_order.len() {
+            let victim = server_order[next_victim];
+            if let Some((consumed, rho)) = try_conversion_deltas(
+                params,
+                platform,
+                &mut eval,
+                demand,
+                &queue,
+                current,
+                &mut attach_heap,
+                victim,
+                &mut server_order,
+            ) {
+                next_victim += 1;
+                current = rho;
+                for _ in 0..consumed {
+                    queue.pop_front();
+                }
+                continue;
+            }
+        }
+        break;
+    }
+    realize_from_eval(&eval)
+}
+
+/// The pre-incremental growth loop: every probe clones the plan and
+/// re-runs the full model (ablation baseline).
+#[allow(clippy::too_many_arguments)]
+fn grow_full_clone(
+    params: &ModelParams,
+    platform: &Platform,
+    service: &ServiceSpec,
+    demand: ClientDemand,
+    mut plan: DeploymentPlan,
+    mut queue: std::collections::VecDeque<NodeId>,
+    allow_conversion: bool,
+    power_order: &[NodeId],
+) -> DeploymentPlan {
+    let mut current = params.evaluate(platform, &plan, service).rho;
+
+    while !queue.is_empty() && !demand.satisfied_by(current) {
+        let next_node = *queue.front().expect("queue checked non-empty");
+
+        // Preferred action: plain attachment (steps 19–23's "take next
+        // node from sorted_nodes[] as a server"). While this improves,
+        // conversion is never cheaper in resources, so commit directly.
+        let attach_plan = attach_best(params, platform, &plan, next_node);
+        let attach_rho = params.evaluate(platform, &attach_plan, service).rho;
+        if attach_rho > current * (1.0 + EPS) {
+            plan = attach_plan;
+            current = attach_rho;
+            queue.pop_front();
+            continue;
+        }
+
+        // Attachment stalled: the hierarchy is at its sched/service
+        // crossing. Try the shift_nodes conversion (steps 16–24):
+        // promote the strongest server to an agent, redistribute the
+        // children over the enlarged agent set (the conversion is
+        // pointless if the binding agent keeps its degree — the
+        // paper's own Figure 6 deployment has root degree 9 on 200
+        // nodes, so shift_nodes necessarily rebalances), then grow
+        // servers under the new level while that improves (the inner
+        // while of steps 18–24). The whole batch is committed only if
+        // it strictly beats the pre-conversion hierarchy.
+        if allow_conversion && plan.server_count() >= 2 {
+            if let Some(candidate) = try_conversion(
+                params,
+                platform,
+                &plan,
+                service,
+                demand,
+                &queue,
+                power_order,
+            ) {
+                let (p, consumed, rho) = candidate;
+                if rho > current * (1.0 + EPS) {
+                    plan = p;
+                    current = rho;
+                    for _ in 0..consumed {
+                        queue.pop_front();
+                    }
+                    continue;
+                }
+            }
+        }
+        break;
+    }
+    plan
 }
 
 impl Planner for HeuristicPlanner {
@@ -225,8 +644,7 @@ impl Planner for HeuristicPlanner {
         // Steps 3–5.
         let root = sorted[0];
         let vir_max_sch_pow = sch_pow(&params, platform.power(root), 1);
-        let vir_max_ser_pow =
-            hier_ser_pow(&params, service, [platform.power(sorted[1])]);
+        let vir_max_ser_pow = hier_ser_pow(&params, service, [platform.power(sorted[1])]);
         let min_ser_cv = vir_max_ser_pow.min(demand.rate());
 
         let mut plan = DeploymentPlan::agent_server(root, sorted[1]);
@@ -237,56 +655,39 @@ impl Planner for HeuristicPlanner {
         }
 
         // Steps 9–39: greedy growth.
-        let mut queue: std::collections::VecDeque<NodeId> =
-            sorted[2..].iter().copied().collect();
-        let mut current = params.evaluate(platform, &plan, service).rho;
-
-        while !queue.is_empty() && !demand.satisfied_by(current) {
-            let next_node = *queue.front().expect("queue checked non-empty");
-
-            // Preferred action: plain attachment (steps 19–23's "take next
-            // node from sorted_nodes[] as a server"). While this improves,
-            // conversion is never cheaper in resources, so commit directly.
-            let attach_plan = attach_best(&params, platform, &plan, next_node);
-            let attach_rho = params.evaluate(platform, &attach_plan, service).rho;
-            if attach_rho > current * (1.0 + EPS) {
-                plan = attach_plan;
-                current = attach_rho;
-                queue.pop_front();
-                continue;
-            }
-
-            // Attachment stalled: the hierarchy is at its sched/service
-            // crossing. Try the shift_nodes conversion (steps 16–24):
-            // promote the strongest server to an agent, redistribute the
-            // children over the enlarged agent set (the conversion is
-            // pointless if the binding agent keeps its degree — the
-            // paper's own Figure 6 deployment has root degree 9 on 200
-            // nodes, so shift_nodes necessarily rebalances), then grow
-            // servers under the new level while that improves (the inner
-            // while of steps 18–24). The whole batch is committed only if
-            // it strictly beats the pre-conversion hierarchy.
-            if self.allow_conversion && plan.server_count() >= 2 {
-                if let Some(candidate) =
-                    try_conversion(&params, platform, &plan, service, demand, &queue)
-                {
-                    let (p, consumed, rho) = candidate;
-                    if rho > current * (1.0 + EPS) {
-                        plan = p;
-                        current = rho;
-                        for _ in 0..consumed {
-                            queue.pop_front();
-                        }
-                        continue;
-                    }
-                }
-            }
-            break;
-        }
+        let queue: std::collections::VecDeque<NodeId> = sorted[2..].iter().copied().collect();
+        plan = match self.eval_strategy {
+            EvalStrategy::Incremental => grow_incremental(
+                &params,
+                platform,
+                service,
+                demand,
+                plan,
+                queue,
+                self.allow_conversion,
+            ),
+            EvalStrategy::FullClone => grow_full_clone(
+                &params,
+                platform,
+                service,
+                demand,
+                plan,
+                queue,
+                self.allow_conversion,
+                &sorted,
+            ),
+        };
 
         // Extension: the [7] bottleneck-removal repair pass.
         if self.rebalance {
-            plan = improve::rebalance(&params, platform, &plan, service, demand);
+            plan = improve::rebalance_with(
+                &params,
+                platform,
+                &plan,
+                service,
+                demand,
+                self.eval_strategy,
+            );
         }
         Ok(plan)
     }
@@ -311,7 +712,11 @@ mod tests {
         // Paper Table 4 row 1 (degree 1) and the Figure 2–3 finding.
         let platform = lyon_cluster(21);
         let plan = HeuristicPlanner::paper()
-            .plan(&platform, &Dgemm::new(10).service(), ClientDemand::Unbounded)
+            .plan(
+                &platform,
+                &Dgemm::new(10).service(),
+                ClientDemand::Unbounded,
+            )
             .unwrap();
         assert_eq!(plan.agent_count(), 1);
         assert_eq!(plan.server_count(), 1);
@@ -323,7 +728,11 @@ mod tests {
         // deployment for this problem size."
         let platform = lyon_cluster(21);
         let plan = HeuristicPlanner::paper()
-            .plan(&platform, &Dgemm::new(1000).service(), ClientDemand::Unbounded)
+            .plan(
+                &platform,
+                &Dgemm::new(1000).service(),
+                ClientDemand::Unbounded,
+            )
             .unwrap();
         assert_eq!(plan.agent_count(), 1);
         assert_eq!(plan.server_count(), 20);
@@ -335,7 +744,11 @@ mod tests {
         // degree (33 in the paper) and achieves a high fraction of optimal.
         let platform = lyon_cluster(45);
         let plan = HeuristicPlanner::paper()
-            .plan(&platform, &Dgemm::new(310).service(), ClientDemand::Unbounded)
+            .plan(
+                &platform,
+                &Dgemm::new(310).service(),
+                ClientDemand::Unbounded,
+            )
             .unwrap();
         let root_degree = plan.degree(plan.root());
         assert!(
@@ -402,7 +815,11 @@ mod tests {
         );
         for size in [10u32, 100, 310, 1000] {
             let plan = HeuristicPlanner::paper()
-                .plan(&platform, &Dgemm::new(size).service(), ClientDemand::Unbounded)
+                .plan(
+                    &platform,
+                    &Dgemm::new(size).service(),
+                    ClientDemand::Unbounded,
+                )
                 .unwrap();
             assert!(
                 validate_relaxed(&plan).is_empty(),
@@ -421,9 +838,7 @@ mod tests {
         let rebalanced = HeuristicPlanner::with_rebalance()
             .plan(&platform, &svc, ClientDemand::Unbounded)
             .unwrap();
-        assert!(
-            rho_of(&platform, &rebalanced, &svc) >= rho_of(&platform, &plain, &svc) - 1e-9
-        );
+        assert!(rho_of(&platform, &rebalanced, &svc) >= rho_of(&platform, &plain, &svc) - 1e-9);
     }
 
     #[test]
@@ -455,6 +870,80 @@ mod tests {
             assert!(
                 platform.power(w[0]).value() >= platform.power(w[1]).value(),
                 "sched-power order must match power order on a uniform network"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_and_full_clone_strategies_agree() {
+        // The probe strategy must not change the planner's decisions: on
+        // the Table 4 scenarios (homogeneous, all DGEMM sizes) and on
+        // heterogenized platforms both paths must commit the same moves.
+        let hetero = heterogenized_cluster(
+            "orsay",
+            55,
+            MflopRate(400.0),
+            BackgroundLoad::default(),
+            CapacityProbe::exact(),
+            13,
+        );
+        let homo = lyon_cluster(45);
+        for platform in [&homo, &hetero] {
+            for size in [10u32, 100, 310, 1000] {
+                let svc = Dgemm::new(size).service();
+                for planner in [
+                    HeuristicPlanner::paper(),
+                    HeuristicPlanner::with_rebalance(),
+                    HeuristicPlanner::without_conversion(),
+                ] {
+                    let inc = planner
+                        .with_eval_strategy(EvalStrategy::Incremental)
+                        .plan(platform, &svc, ClientDemand::Unbounded)
+                        .unwrap();
+                    let full = planner
+                        .with_eval_strategy(EvalStrategy::FullClone)
+                        .plan(platform, &svc, ClientDemand::Unbounded)
+                        .unwrap();
+                    let ri = rho_of(platform, &inc, &svc);
+                    let rf = rho_of(platform, &full, &svc);
+                    assert!(
+                        (ri - rf).abs() <= 1e-9 * rf.max(1.0),
+                        "dgemm-{size} {}: incremental {ri} vs full {rf}",
+                        planner.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_agree_under_demand_caps() {
+        // The two strategies may realize differently-shaped (but
+        // throughput-identical) trees; resource usage and the achieved
+        // rate must match.
+        let platform = lyon_cluster(30);
+        let svc = Dgemm::new(1000).service();
+        for target in [0.5, 1.0, 3.0] {
+            let inc = HeuristicPlanner::paper()
+                .plan(&platform, &svc, ClientDemand::target(target))
+                .unwrap();
+            let full = HeuristicPlanner::paper()
+                .with_eval_strategy(EvalStrategy::FullClone)
+                .plan(&platform, &svc, ClientDemand::target(target))
+                .unwrap();
+            assert_eq!(inc.len(), full.len(), "target {target}: node counts");
+            assert_eq!(
+                inc.agent_count(),
+                full.agent_count(),
+                "target {target}: agent counts"
+            );
+            let (ri, rf) = (
+                rho_of(&platform, &inc, &svc),
+                rho_of(&platform, &full, &svc),
+            );
+            assert!(
+                (ri - rf).abs() <= 1e-9 * rf.max(1.0),
+                "target {target}: rho {ri} vs {rf}"
             );
         }
     }

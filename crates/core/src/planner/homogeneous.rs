@@ -95,7 +95,11 @@ mod tests {
             .unwrap();
         assert_eq!(d, 1);
         let plan = planner
-            .plan(&platform, &Dgemm::new(10).service(), ClientDemand::Unbounded)
+            .plan(
+                &platform,
+                &Dgemm::new(10).service(),
+                ClientDemand::Unbounded,
+            )
             .unwrap();
         assert_eq!(plan.len(), 2);
     }

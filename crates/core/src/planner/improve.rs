@@ -24,12 +24,14 @@
 //!
 //! The pass never returns a worse plan than its input.
 
-use super::realize::realize_balanced;
-use crate::model::ModelParams;
-use adept_hierarchy::DeploymentPlan;
+use super::realize::{realize, realize_balanced, HeapEntry};
+use super::EvalStrategy;
+use crate::model::throughput::sch_pow;
+use crate::model::{IncrementalEval, ModelParams};
+use adept_hierarchy::{DeploymentPlan, Slot};
 use adept_platform::{NodeId, Platform};
 use adept_workload::{ClientDemand, ServiceSpec};
-use std::collections::HashSet;
+use std::collections::{BinaryHeap, HashSet};
 
 /// Relative tolerance for strict-improvement acceptance.
 const EPS: f64 = 1e-9;
@@ -48,7 +50,31 @@ fn by_power_desc(platform: &Platform, ids: &mut [NodeId]) {
 /// Best plan for a fixed agent set, scanning the server count over `pool`
 /// (strongest first). Returns the best `(plan, rho)` if any configuration
 /// is feasible. The scan stops after the unimodal peak.
+///
+/// With [`EvalStrategy::Incremental`] the scan mirrors the sweep planner:
+/// child slots are waterfilled one at a time through a heap while the
+/// incremental evaluator maintains ρ, so stepping from `s` to `s+1`
+/// servers costs O(log n) instead of a fresh O(n) realize + evaluate —
+/// and only the winning server count is realized into a tree, once.
 fn best_for_agent_set(
+    params: &ModelParams,
+    platform: &Platform,
+    service: &ServiceSpec,
+    agents: &[NodeId],
+    pool: &[NodeId],
+    strategy: EvalStrategy,
+) -> Option<(DeploymentPlan, f64)> {
+    match strategy {
+        EvalStrategy::Incremental => {
+            best_for_agent_set_incremental(params, platform, service, agents, pool)
+        }
+        EvalStrategy::FullClone => best_for_agent_set_full(params, platform, service, agents, pool),
+    }
+}
+
+/// The pre-incremental baseline: one realize + full evaluate per server
+/// count (kept for the `eval_strategy` ablation).
+fn best_for_agent_set_full(
     params: &ModelParams,
     platform: &Platform,
     service: &ServiceSpec,
@@ -74,15 +100,115 @@ fn best_for_agent_set(
     best
 }
 
+/// Incremental scan: O(log n) per server count, one realize at the end.
+fn best_for_agent_set_incremental(
+    params: &ModelParams,
+    platform: &Platform,
+    service: &ServiceSpec,
+    agents: &[NodeId],
+    pool: &[NodeId],
+) -> Option<(DeploymentPlan, f64)> {
+    let k = agents.len();
+    if pool.is_empty() {
+        return None;
+    }
+    let mut eval = IncrementalEval::from_agents(params, platform, agents, service);
+    let mut heap: BinaryHeap<HeapEntry> = (0..k)
+        .map(|i| HeapEntry {
+            sp_after: sch_pow(params, platform.power(agents[i]), 1),
+            agent: i,
+        })
+        .collect();
+    let mut zero_agents = k;
+    // Which agent received each child slot, in assignment order: counting
+    // a prefix of this reconstructs the degree distribution at any `s`.
+    let mut assignments: Vec<usize> = Vec::with_capacity(k - 1 + pool.len());
+
+    // Waterfill step: hand the next child slot to the agent with the
+    // highest post-assignment scheduling power.
+    let pop_next = |heap: &mut BinaryHeap<HeapEntry>,
+                    eval: &IncrementalEval,
+                    zero_agents: &mut usize,
+                    assignments: &mut Vec<usize>| {
+        let top = heap.pop().expect("k >= 1 agents in the heap");
+        let i = top.agent;
+        if eval.degree(Slot(i)) == 0 {
+            *zero_agents -= 1;
+        }
+        assignments.push(i);
+        heap.push(HeapEntry {
+            sp_after: sch_pow(params, platform.power(agents[i]), eval.degree(Slot(i)) + 2),
+            agent: i,
+        });
+        i
+    };
+
+    // The k-1 non-root agents each consume one (abstract) child slot.
+    for _ in 0..k - 1 {
+        let i = pop_next(&mut heap, &eval, &mut zero_agents, &mut assignments);
+        eval.assign_child_slot(Slot(i))
+            .expect("agent slots are valid");
+    }
+
+    let mut best: Option<(usize, f64)> = None;
+    let mut peak = f64::NEG_INFINITY;
+    for s in 1..=pool.len() {
+        let i = pop_next(&mut heap, &eval, &mut zero_agents, &mut assignments);
+        let node = pool[s - 1];
+        eval.add_server(Slot(i), node, platform.power(node))
+            .expect("pool nodes are unused");
+        if zero_agents > 0 {
+            continue; // an agent is still childless: dominated by smaller k
+        }
+        let rho = eval.rho();
+        if rho + EPS < peak {
+            break; // past the sched/service crossing
+        }
+        peak = peak.max(rho);
+        let better = best.is_none_or(|(_, cur)| rho > cur * (1.0 + EPS));
+        if better {
+            best = Some((s, rho));
+        }
+    }
+
+    let (s_best, rho) = best?;
+    let mut degrees = vec![0usize; k];
+    for &i in &assignments[..k - 1 + s_best] {
+        degrees[i] += 1;
+    }
+    Some((realize(agents, &pool[..s_best], &degrees), rho))
+}
+
 /// Runs the bottleneck-removal pass until no move improves the modelled
 /// throughput (or the demand is met). Returns the improved plan; never
-/// worse than the input under the model.
+/// worse than the input under the model. Uses the default (incremental)
+/// probe strategy; see [`rebalance_with`].
 pub fn rebalance(
     params: &ModelParams,
     platform: &Platform,
     plan: &DeploymentPlan,
     service: &ServiceSpec,
     demand: ClientDemand,
+) -> DeploymentPlan {
+    rebalance_with(
+        params,
+        platform,
+        plan,
+        service,
+        demand,
+        EvalStrategy::default(),
+    )
+}
+
+/// [`rebalance`] with an explicit probe evaluation strategy (ablation
+/// hook; see [`EvalStrategy`]).
+pub fn rebalance_with(
+    params: &ModelParams,
+    platform: &Platform,
+    plan: &DeploymentPlan,
+    service: &ServiceSpec,
+    demand: ClientDemand,
+    strategy: EvalStrategy,
 ) -> DeploymentPlan {
     let mut best_plan = plan.clone();
     let mut best_rho = params.evaluate(platform, &best_plan, service).rho;
@@ -117,7 +243,9 @@ pub fn rebalance(
         };
 
         // Keep: same agents, re-tuned server count.
-        consider(best_for_agent_set(params, platform, service, &agents, &pool));
+        consider(best_for_agent_set(
+            params, platform, service, &agents, &pool, strategy,
+        ));
 
         // Promote: the strongest pool node becomes an agent.
         if pool.len() >= 2 {
@@ -125,7 +253,12 @@ pub fn rebalance(
             a2.push(pool[0]);
             by_power_desc(platform, &mut a2);
             consider(best_for_agent_set(
-                params, platform, service, &a2, &pool[1..],
+                params,
+                platform,
+                service,
+                &a2,
+                &pool[1..],
+                strategy,
             ));
         }
 
@@ -135,7 +268,9 @@ pub fn rebalance(
             let mut p2 = pool.clone();
             p2.push(agents[agents.len() - 1]);
             by_power_desc(platform, &mut p2);
-            consider(best_for_agent_set(params, platform, service, &a2, &p2));
+            consider(best_for_agent_set(
+                params, platform, service, &a2, &p2, strategy,
+            ));
         }
 
         match candidate {
@@ -269,6 +404,99 @@ mod tests {
             ClientDemand::target(before * 0.5),
         );
         assert!(improved.structurally_eq(&small));
+    }
+
+    #[test]
+    fn incremental_and_full_scans_pick_the_same_configuration() {
+        use adept_platform::generator::heterogenized_cluster;
+        use adept_platform::{BackgroundLoad, CapacityProbe, MflopRate};
+        let hetero = heterogenized_cluster(
+            "h",
+            40,
+            MflopRate(400.0),
+            BackgroundLoad::default(),
+            CapacityProbe::exact(),
+            21,
+        );
+        let homo = lyon_cluster(40);
+        for platform in [&homo, &hetero] {
+            let params = ModelParams::from_platform(platform);
+            let nodes: Vec<NodeId> = platform.ids_by_power_desc();
+            for size in [10u32, 100, 310, 1000] {
+                let svc = Dgemm::new(size).service();
+                for k in [1usize, 2, 3, 5] {
+                    let (agents, pool) = (&nodes[..k], &nodes[k..]);
+                    let inc = best_for_agent_set(
+                        &params,
+                        platform,
+                        &svc,
+                        agents,
+                        pool,
+                        EvalStrategy::Incremental,
+                    );
+                    let full = best_for_agent_set(
+                        &params,
+                        platform,
+                        &svc,
+                        agents,
+                        pool,
+                        EvalStrategy::FullClone,
+                    );
+                    match (inc, full) {
+                        (None, None) => {}
+                        (Some((pi, ri)), Some((pf, rf))) => {
+                            assert!(
+                                (ri - rf).abs() <= 1e-9 * rf.max(1.0),
+                                "dgemm-{size} k={k}: rho {ri} vs {rf}"
+                            );
+                            assert_eq!(pi.server_count(), pf.server_count());
+                            assert_eq!(pi.agent_count(), pf.agent_count());
+                        }
+                        (a, b) => panic!(
+                            "dgemm-{size} k={k}: feasibility diverged ({:?} vs {:?})",
+                            a.map(|x| x.1),
+                            b.map(|x| x.1)
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rebalance_strategies_agree() {
+        let platform = lyon_cluster(45);
+        let params = ModelParams::from_platform(&platform);
+        for size in [100u32, 310] {
+            let svc = Dgemm::new(size).service();
+            let start = StarPlanner
+                .plan(&platform, &svc, ClientDemand::Unbounded)
+                .unwrap();
+            let inc = rebalance_with(
+                &params,
+                &platform,
+                &start,
+                &svc,
+                ClientDemand::Unbounded,
+                EvalStrategy::Incremental,
+            );
+            let full = rebalance_with(
+                &params,
+                &platform,
+                &start,
+                &svc,
+                ClientDemand::Unbounded,
+                EvalStrategy::FullClone,
+            );
+            let (ri, rf) = (
+                rho_of(&platform, &inc, &svc),
+                rho_of(&platform, &full, &svc),
+            );
+            assert!(
+                (ri - rf).abs() <= 1e-9 * rf.max(1.0),
+                "dgemm-{size}: {ri} vs {rf}"
+            );
+        }
     }
 
     #[test]

@@ -36,6 +36,35 @@ use adept_platform::Platform;
 use adept_workload::{ClientDemand, ServiceSpec};
 use std::fmt;
 
+/// How search-based planners evaluate candidate moves.
+///
+/// The default, [`EvalStrategy::Incremental`], probes each move through
+/// [`IncrementalEval`](crate::model::IncrementalEval) — an O(log n)
+/// delta-apply, read `ρ`, undo. [`EvalStrategy::FullClone`] keeps the
+/// original clone-the-plan-and-re-run-Eq.-16 probes; it exists as an
+/// ablation baseline so benchmarks (`planner_scaling`'s `eval_strategy`
+/// group) measure the speedup instead of asserting it. Both strategies
+/// commit the same moves, so the produced plans' throughputs agree to
+/// float-associativity (≤ 1e-9 relative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalStrategy {
+    /// O(log n) delta + undo probes on the incremental engine (default).
+    #[default]
+    Incremental,
+    /// O(n) clone + full Eq. 13–16 re-evaluation per probe (ablation).
+    FullClone,
+}
+
+impl EvalStrategy {
+    /// Short label for bench ids and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EvalStrategy::Incremental => "incremental",
+            EvalStrategy::FullClone => "full-clone",
+        }
+    }
+}
+
 /// Errors raised by planners.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PlannerError {

@@ -19,8 +19,10 @@
 //! [`improve::rebalance`](super::improve), which optimizes throughput
 //! with no regard for how much of the tree it rewires.
 
+use super::heuristic::best_attach_agent_in_eval;
+use super::EvalStrategy;
 use crate::model::throughput::sch_pow;
-use crate::model::ModelParams;
+use crate::model::{IncrementalEval, ModelParams};
 use adept_hierarchy::{DeploymentPlan, PlanDiff, Role, Slot};
 use adept_platform::{NodeId, Platform};
 use adept_workload::{ClientDemand, ServiceSpec};
@@ -48,6 +50,8 @@ pub struct OnlinePlanner {
     pub max_changes: usize,
     /// Optional model-parameter override.
     pub params: Option<ModelParams>,
+    /// How candidate moves are evaluated (incremental by default).
+    pub eval_strategy: EvalStrategy,
 }
 
 impl Default for OnlinePlanner {
@@ -55,6 +59,7 @@ impl Default for OnlinePlanner {
         Self {
             max_changes: 4,
             params: None,
+            eval_strategy: EvalStrategy::default(),
         }
     }
 }
@@ -90,7 +95,9 @@ fn best_agent(params: &ModelParams, platform: &Platform, plan: &DeploymentPlan) 
         .max_by(|&a, &b| {
             let pa = sch_pow(params, platform.power(plan.node(a)), plan.degree(a) + 1);
             let pb = sch_pow(params, platform.power(plan.node(b)), plan.degree(b) + 1);
-            pa.partial_cmp(&pb).expect("rates are finite").then(b.cmp(&a))
+            pa.partial_cmp(&pb)
+                .expect("rates are finite")
+                .then(b.cmp(&a))
         })
         .expect("plans always contain the root agent")
 }
@@ -104,6 +111,132 @@ impl OnlinePlanner {
     /// as long as the demand *stays* met (the paper's least-resources
     /// preference, applied online).
     pub fn replan(
+        &self,
+        platform: &Platform,
+        running: &DeploymentPlan,
+        service: &ServiceSpec,
+        demand: ClientDemand,
+    ) -> Replan {
+        match self.eval_strategy {
+            EvalStrategy::Incremental => {
+                self.replan_incremental(platform, running, service, demand)
+            }
+            EvalStrategy::FullClone => self.replan_full(platform, running, service, demand),
+        }
+    }
+
+    /// Delta+undo probing on the incremental engine: each candidate move
+    /// costs O(log n) to evaluate instead of an O(n) plan clone plus full
+    /// re-evaluation. Commits mirror onto the running plan so the returned
+    /// [`PlanDiff`] is identical to the full-clone path's.
+    fn replan_incremental(
+        &self,
+        platform: &Platform,
+        running: &DeploymentPlan,
+        service: &ServiceSpec,
+        demand: ClientDemand,
+    ) -> Replan {
+        let params = super::resolve_params(self.params, platform);
+        let mut plan = running.clone();
+        let mut eval = IncrementalEval::from_plan(&params, platform, &plan, service);
+        let mut rho = eval.rho();
+        let mut changes_left = self.max_changes;
+
+        let used: HashSet<NodeId> = plan.slots().map(|s| plan.node(s)).collect();
+        let mut unused: Vec<NodeId> = platform
+            .ids_by_power_desc()
+            .into_iter()
+            .filter(|id| !used.contains(id))
+            .collect();
+
+        while changes_left > 0 {
+            if !demand.satisfied_by(rho) {
+                // Under-provisioned: try to grow (1 change), else open a
+                // level (2 changes).
+                if let Some(&fresh) = unused.first() {
+                    let agent = best_attach_agent_in_eval(&params, &eval);
+                    eval.add_server(agent, fresh, platform.power(fresh))
+                        .expect("unused node under an agent inserts");
+                    let r = eval.rho();
+                    if r > rho * (1.0 + EPS) {
+                        plan.add_server(agent, fresh)
+                            .expect("unused node under an agent inserts");
+                        eval.commit();
+                        rho = r;
+                        unused.retain(|&n| n != fresh);
+                        changes_left -= 1;
+                        continue;
+                    }
+                    eval.undo();
+                }
+                // Convert-grow: promote the strongest server, attach a
+                // fresh node under it.
+                if changes_left >= 2 && plan.server_count() >= 2 && !unused.is_empty() {
+                    let victim = plan
+                        .servers()
+                        .max_by(|&a, &b| {
+                            let pa = platform.power(plan.node(a)).value();
+                            let pb = platform.power(plan.node(b)).value();
+                            pa.partial_cmp(&pb).expect("finite").then(b.cmp(&a))
+                        })
+                        .expect("server_count >= 2");
+                    let fresh = unused[0];
+                    eval.promote_to_agent(victim).expect("victim is a server");
+                    eval.add_server(victim, fresh, platform.power(fresh))
+                        .expect("unused node under the new agent inserts");
+                    let r = eval.rho();
+                    if r > rho * (1.0 + EPS) {
+                        plan.convert_to_agent(victim).expect("victim is a server");
+                        plan.add_server(victim, fresh)
+                            .expect("unused node under the new agent inserts");
+                        eval.commit();
+                        rho = r;
+                        unused.remove(0);
+                        changes_left = changes_left.saturating_sub(2);
+                        continue;
+                    }
+                    eval.undo();
+                    eval.undo();
+                }
+                break; // no growth move helps
+            } else {
+                // Demand met: retire the weakest server if the demand
+                // stays met without it.
+                if plan.server_count() < 2 {
+                    break;
+                }
+                let victim = plan
+                    .servers()
+                    .min_by(|&a, &b| {
+                        let pa = platform.power(plan.node(a)).value();
+                        let pb = platform.power(plan.node(b)).value();
+                        pa.partial_cmp(&pb).expect("finite").then(a.cmp(&b))
+                    })
+                    .expect("server_count >= 2");
+                eval.remove_server(victim).expect("victim is a server");
+                let r = eval.rho();
+                if demand.satisfied_by(r) {
+                    unused.push(plan.node(victim));
+                    plan = without_server(&plan, victim);
+                    // Committing a removal compacts the plan's slots, so
+                    // the mirror is rebuilt to stay index-aligned (rare:
+                    // at most `max_changes` times per round).
+                    eval = IncrementalEval::from_plan(&params, platform, &plan, service);
+                    rho = eval.rho();
+                    changes_left -= 1;
+                } else {
+                    eval.undo();
+                    break; // every remaining server is needed
+                }
+            }
+        }
+
+        let diff = PlanDiff::between(running, &plan);
+        Replan { plan, diff, rho }
+    }
+
+    /// The pre-incremental clone+full-eval probing (ablation baseline).
+    fn replan_full(
         &self,
         platform: &Platform,
         running: &DeploymentPlan,
@@ -245,7 +378,7 @@ mod tests {
         let before = rho_of(&platform, &plan, &svc);
         let replanner = OnlinePlanner {
             max_changes: 3,
-            params: None,
+            ..Default::default()
         };
         let replan = replanner.replan(&platform, &plan, &svc, ClientDemand::target(before * 2.0));
         assert!(replan.rho > before, "must grow toward the new demand");
@@ -266,11 +399,10 @@ mod tests {
         let plan = running(&platform, &svc, 4.0);
         let replanner = OnlinePlanner {
             max_changes: 8,
-            params: None,
+            ..Default::default()
         };
         let low_target = 1.0;
-        let replan =
-            replanner.replan(&platform, &plan, &svc, ClientDemand::target(low_target));
+        let replan = replanner.replan(&platform, &plan, &svc, ClientDemand::target(low_target));
         assert!(
             replan.plan.server_count() < plan.server_count(),
             "should retire servers"
@@ -316,12 +448,46 @@ mod tests {
         let plan = running(&platform, &svc, 0.5);
         let replanner = OnlinePlanner {
             max_changes: 2,
-            params: None,
+            ..Default::default()
         };
-        let replan =
-            replanner.replan(&platform, &plan, &svc, ClientDemand::target(1e9));
+        let replan = replanner.replan(&platform, &plan, &svc, ClientDemand::target(1e9));
         assert!(replan.diff.len() <= 2);
         assert!(replan.rho >= rho_of(&platform, &plan, &svc) - 1e-9);
+    }
+
+    #[test]
+    fn replan_strategies_produce_identical_diffs() {
+        let platform = lyon_cluster(40);
+        let svc = Dgemm::new(1000).service();
+        let plan = running(&platform, &svc, 2.0);
+        let base = rho_of(&platform, &plan, &svc);
+        // Grow, shrink, and convert-grow regimes.
+        for target in [base * 2.0, base * 0.4, 1e9] {
+            let inc = OnlinePlanner {
+                max_changes: 6,
+                ..Default::default()
+            }
+            .replan(&platform, &plan, &svc, ClientDemand::target(target));
+            let full = OnlinePlanner {
+                max_changes: 6,
+                eval_strategy: EvalStrategy::FullClone,
+                ..Default::default()
+            }
+            .replan(&platform, &plan, &svc, ClientDemand::target(target));
+            assert!(
+                inc.plan.structurally_eq(&full.plan),
+                "target {target}: plans diverged\n{}\nvs\n{}",
+                inc.plan.render(),
+                full.plan.render()
+            );
+            assert!(
+                (inc.rho - full.rho).abs() <= 1e-9 * full.rho.max(1.0),
+                "target {target}: rho {} vs {}",
+                inc.rho,
+                full.rho
+            );
+            assert_eq!(inc.diff.len(), full.diff.len());
+        }
     }
 
     #[test]

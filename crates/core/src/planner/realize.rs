@@ -23,9 +23,70 @@ use crate::model::throughput::sch_pow;
 use crate::model::ModelParams;
 use adept_hierarchy::{DeploymentPlan, Slot};
 use adept_platform::{NodeId, Platform};
+use std::cmp::Ordering;
+
+/// Max-heap key for incremental waterfills: the scheduling power an agent
+/// would have after receiving one more child. Ties resolve to the lower
+/// agent index, so heap-driven assignment is deterministic.
+#[derive(Debug, PartialEq)]
+pub(crate) struct HeapEntry {
+    /// `sch_pow` of the agent at `degree + 1`.
+    pub sp_after: f64,
+    /// Agent index in the caller's agent list.
+    pub agent: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sp_after
+            .partial_cmp(&other.sp_after)
+            .expect("scheduling powers are finite")
+            .then_with(|| other.agent.cmp(&self.agent))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Heap entry for [`waterfill_degrees`]: same key as [`HeapEntry`] but
+/// ties resolve to the **higher** agent index, preserving the historical
+/// `max_by` (last-maximum) behaviour of the original O(children·k) scan
+/// this heap replaced.
+#[derive(Debug, PartialEq)]
+struct LastTieEntry {
+    sp_after: f64,
+    agent: usize,
+}
+
+impl Eq for LastTieEntry {}
+
+impl Ord for LastTieEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sp_after
+            .partial_cmp(&other.sp_after)
+            .expect("scheduling powers are finite")
+            .then_with(|| self.agent.cmp(&other.agent))
+    }
+}
+
+impl PartialOrd for LastTieEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 /// Balanced degree distribution for `agents` (any order) receiving
 /// `total_children` child slots. Returns one degree per agent.
+///
+/// Each child slot goes to the agent with the highest scheduling power
+/// *after* the assignment, maintained in a max-heap — O(children·log k)
+/// where the previous full-scan implementation was O(children·k), which
+/// dominated every `shift_nodes` conversion of the heuristic.
 ///
 /// # Panics
 /// Panics if `agents` is empty and `total_children > 0`.
@@ -40,21 +101,22 @@ pub(crate) fn waterfill_degrees(
         "cannot distribute children without agents"
     );
     let mut degrees = vec![0usize; agents.len()];
+    let mut heap: std::collections::BinaryHeap<LastTieEntry> = agents
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| LastTieEntry {
+            sp_after: sch_pow(params, platform.power(a), 1),
+            agent: i,
+        })
+        .collect();
     for _ in 0..total_children {
-        // Assign the next child to the agent with the highest scheduling
-        // power after the assignment.
-        let (best, _) = agents
-            .iter()
-            .enumerate()
-            .map(|(i, &a)| {
-                (
-                    i,
-                    sch_pow(params, platform.power(a), degrees[i] + 1),
-                )
-            })
-            .max_by(|(_, x), (_, y)| x.partial_cmp(y).expect("rates are finite"))
-            .expect("agents is non-empty");
-        degrees[best] += 1;
+        let top = heap.pop().expect("one entry per agent");
+        let i = top.agent;
+        degrees[i] += 1;
+        heap.push(LastTieEntry {
+            sp_after: sch_pow(params, platform.power(agents[i]), degrees[i] + 1),
+            agent: i,
+        });
     }
     degrees
 }
@@ -70,11 +132,7 @@ pub(crate) fn waterfill_degrees(
 /// # Panics
 /// Panics if the degree sum does not match or an agent has degree 0 —
 /// callers filter such configurations out before realizing.
-pub(crate) fn realize(
-    agents: &[NodeId],
-    servers: &[NodeId],
-    degrees: &[usize],
-) -> DeploymentPlan {
+pub(crate) fn realize(agents: &[NodeId], servers: &[NodeId], degrees: &[usize]) -> DeploymentPlan {
     assert_eq!(agents.len(), degrees.len(), "one degree per agent");
     assert!(!agents.is_empty(), "need at least the root agent");
     let total: usize = degrees.iter().sum();
@@ -156,23 +214,27 @@ mod tests {
             *degrees.iter().min().unwrap(),
             *degrees.iter().max().unwrap(),
         );
-        assert!(hi - lo <= 1, "homogeneous agents balance evenly: {degrees:?}");
+        assert!(
+            hi - lo <= 1,
+            "homogeneous agents balance evenly: {degrees:?}"
+        );
     }
 
     #[test]
     fn waterfill_weak_agent_gets_fewer_children() {
         // One strong and one weak agent.
         use adept_platform::{Network, Platform};
-        let mut b = Platform::builder(Network::homogeneous(
-            adept_platform::MbitRate(100.0),
-        ));
+        let mut b = Platform::builder(Network::homogeneous(adept_platform::MbitRate(100.0)));
         let s = b.add_site("x");
         b.add_node("strong", MflopRate(800.0), s).unwrap();
         b.add_node("weak", MflopRate(100.0), s).unwrap();
         let p = b.build().unwrap();
         let params = crate::model::ModelParams::from_platform(&p);
         let degrees = waterfill_degrees(&params, &p, &ids(2), 12);
-        assert!(degrees[0] > degrees[1], "strong agent takes more: {degrees:?}");
+        assert!(
+            degrees[0] > degrees[1],
+            "strong agent takes more: {degrees:?}"
+        );
         assert_eq!(degrees.iter().sum::<usize>(), 12);
     }
 
@@ -231,9 +293,7 @@ mod tests {
         let params = crate::model::ModelParams::from_platform(&platform);
         let all = ids(30);
         for k in 1..12 {
-            if let Some(plan) =
-                realize_balanced(&params, &platform, &all[0..k], &all[k..])
-            {
+            if let Some(plan) = realize_balanced(&params, &platform, &all[0..k], &all[k..]) {
                 assert_eq!(plan.len(), 30, "k={k} uses all nodes");
                 assert!(validate_relaxed(&plan).is_empty(), "k={k}");
             }

@@ -25,7 +25,9 @@ pub struct RoundRobinPlanner {
 
 impl Default for RoundRobinPlanner {
     fn default() -> Self {
-        Self { nodes_per_agent: 16 }
+        Self {
+            nodes_per_agent: 16,
+        }
     }
 }
 
@@ -62,9 +64,7 @@ impl Planner for RoundRobinPlanner {
         // First pass: agents attach round-robin under earlier agents.
         for (i, &node) in nodes.iter().enumerate().skip(1).take(agent_count - 1) {
             let parent = agents[(i - 1) % agents.len()];
-            let slot = plan
-                .add_agent(parent, node)
-                .expect("distinct nodes insert");
+            let slot = plan.add_agent(parent, node).expect("distinct nodes insert");
             agents.push(slot);
         }
         // Second pass: servers deal out round-robin across all agents.
@@ -92,7 +92,11 @@ mod tests {
         for n in [2usize, 5, 16, 33, 64] {
             let platform = lyon_cluster(n);
             let plan = RoundRobinPlanner::default()
-                .plan(&platform, &Dgemm::new(310).service(), ClientDemand::Unbounded)
+                .plan(
+                    &platform,
+                    &Dgemm::new(310).service(),
+                    ClientDemand::Unbounded,
+                )
                 .unwrap();
             assert_eq!(plan.len(), n, "uses every node");
             assert!(validate_relaxed(&plan).is_empty(), "n={n}");
@@ -103,7 +107,11 @@ mod tests {
     fn agent_fraction_respected() {
         let platform = lyon_cluster(32);
         let plan = RoundRobinPlanner { nodes_per_agent: 8 }
-            .plan(&platform, &Dgemm::new(310).service(), ClientDemand::Unbounded)
+            .plan(
+                &platform,
+                &Dgemm::new(310).service(),
+                ClientDemand::Unbounded,
+            )
             .unwrap();
         assert_eq!(plan.agent_count(), 4);
         assert_eq!(plan.server_count(), 28);

@@ -17,6 +17,15 @@
 //! `O(n² log n)` model evaluations' worth of work — fast enough for the
 //! 200-node Grid'5000 scenarios.
 //!
+//! The outer `k`-loop's iterations are fully independent, so on large
+//! platforms they are distributed over worker threads (scoped std
+//! threads pulling `k` values from an atomic counter); each worker folds
+//! its `k`s locally and the per-`k` winners merge in ascending-`k` order
+//! with the same strict-improvement rule the sequential fold uses, so
+//! the parallel sweep selects the same configuration (ties below the
+//! 1e-12 resolution excepted) and the returned ρ is identical. Set
+//! [`SweepPlanner::parallel`] to `false` to force the sequential path.
+//!
 //! This is the strongest polynomial-time reference we can compute and
 //! serves as Table 4's "optimal" when judging the heuristic ("Heur. Perf."
 //! = heuristic ρ / sweep ρ). It is *not* proven optimal on heterogeneous
@@ -24,53 +33,200 @@
 //! clusters the swept family contains every complete spanning d-ary tree's
 //! throughput, so it can only match or beat the CSD optimum of \[10\].
 
+use super::realize::HeapEntry;
 use super::{resolve_params, Planner, PlannerError};
 use crate::model::throughput::{sch_pow, server_prediction_cycle};
 use crate::model::{comm, ModelParams};
 use adept_hierarchy::DeploymentPlan;
 use adept_platform::Platform;
 use adept_workload::{ClientDemand, ServiceSpec};
-use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Max-heap key: scheduling power an agent would have after receiving one
-/// more child.
-#[derive(Debug, PartialEq)]
-struct HeapEntry {
-    sp_after: f64,
-    agent: usize,
-}
+/// Strict-improvement resolution of the sweep: ties within this margin
+/// keep the earlier (fewer-agents, fewer-nodes) configuration.
+const TIE_EPS: f64 = 1e-12;
 
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.sp_after
-            .partial_cmp(&other.sp_after)
-            .expect("scheduling powers are finite")
-            .then_with(|| other.agent.cmp(&self.agent))
-    }
-}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
+/// Below this node count the sweep stays sequential — thread spawn
+/// overhead would dominate the O(n² log n) scan.
+const PARALLEL_THRESHOLD: usize = 64;
 
 /// The sweep planner.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct SweepPlanner {
     /// Optional model-parameter override.
     pub params: Option<ModelParams>,
+    /// Distribute the outer agent-count loop over worker threads on large
+    /// platforms (default). The result is deterministic either way.
+    pub parallel: bool,
+    /// Worker-count override; `None` uses the machine's available
+    /// parallelism. Only consulted when [`parallel`](Self::parallel) is
+    /// on and the platform crosses the size threshold.
+    pub threads: Option<usize>,
 }
 
-#[derive(Debug)]
-struct BestConfig {
+impl Default for SweepPlanner {
+    fn default() -> Self {
+        Self {
+            params: None,
+            parallel: true,
+            threads: None,
+        }
+    }
+}
+
+impl SweepPlanner {
+    /// A sweep forced onto the sequential path (ablation/debug hook).
+    pub fn sequential() -> Self {
+        Self {
+            parallel: false,
+            ..Self::default()
+        }
+    }
+
+    /// A sweep with an explicit worker count (testing/tuning hook).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: Some(threads),
+            ..Self::default()
+        }
+    }
+}
+
+/// Winner of one `k` scan: the best server count for that agent count.
+#[derive(Debug, Clone, Copy)]
+struct KBest {
     agents: usize,
     servers: usize,
-    degrees: Vec<usize>,
     rho: f64,
+}
+
+/// Model scalars the scan needs, precomputed once.
+#[derive(Debug, Clone, Copy)]
+struct ScanCtx<'a> {
+    params: &'a ModelParams,
+    powers: &'a [f64],
+    wpre: f64,
+    wapp: f64,
+    transfer: f64,
+}
+
+/// One waterfill step: hand the next child slot to the agent whose
+/// scheduling power after the assignment is highest; returns nothing but
+/// updates the degree, min-scheduling-power, and zero-agent bookkeeping.
+fn assign_one(
+    ctx: &ScanCtx<'_>,
+    degrees: &mut [usize],
+    heap: &mut BinaryHeap<HeapEntry>,
+    min_sp: &mut f64,
+    zero_agents: &mut usize,
+) {
+    let top = heap.pop().expect("k >= 1 agents in the heap");
+    let i = top.agent;
+    if degrees[i] == 0 {
+        *zero_agents -= 1;
+    }
+    degrees[i] += 1;
+    *min_sp = min_sp.min(top.sp_after);
+    heap.push(HeapEntry {
+        sp_after: sch_pow(
+            ctx.params,
+            adept_platform::MflopRate(ctx.powers[i]),
+            degrees[i] + 1,
+        ),
+        agent: i,
+    });
+}
+
+fn initial_heap(ctx: &ScanCtx<'_>, k: usize) -> BinaryHeap<HeapEntry> {
+    (0..k)
+        .map(|i| HeapEntry {
+            sp_after: sch_pow(ctx.params, adept_platform::MflopRate(ctx.powers[i]), 1),
+            agent: i,
+        })
+        .collect()
+}
+
+/// Scans all server counts for a fixed agent count `k`, returning the
+/// locally best `(servers, rho)` under the sweep's strict-improvement
+/// rule. Fully independent of every other `k`.
+fn scan_k(ctx: &ScanCtx<'_>, n: usize, k: usize) -> Option<KBest> {
+    let mut degrees = vec![0usize; k];
+    let mut zero_agents = k;
+    let mut min_sp = f64::INFINITY;
+    let mut heap = initial_heap(ctx, k);
+    // The k-1 non-root agents each consume one child slot.
+    for _ in 0..k - 1 {
+        assign_one(ctx, &mut degrees, &mut heap, &mut min_sp, &mut zero_agents);
+    }
+    // Service-power running sums (Eq. 10/15) and the prediction bound of
+    // Eq. 14 (weakest server binds; servers are added in descending power
+    // order so the latest is the weakest).
+    let mut numerator = 1.0;
+    let mut denominator = 0.0;
+    let mut min_pred = f64::INFINITY;
+    let mut best: Option<KBest> = None;
+    let mut best_for_k = f64::NEG_INFINITY;
+    for s in 1..=(n - k) {
+        assign_one(ctx, &mut degrees, &mut heap, &mut min_sp, &mut zero_agents);
+        let w = ctx.powers[k + s - 1];
+        numerator += ctx.wpre / ctx.wapp;
+        denominator += w / ctx.wapp;
+        min_pred = min_pred
+            .min(1.0 / server_prediction_cycle(ctx.params, adept_platform::MflopRate(w)).value());
+        let service_pow = 1.0 / (ctx.transfer + numerator / denominator);
+        if zero_agents > 0 {
+            continue; // dominated by a smaller k; keep growing s
+        }
+        let rho = min_sp.min(min_pred).min(service_pow);
+        // Strict improvement only: ties keep the earlier (fewer-nodes)
+        // configuration — "least resources".
+        let better = match &best {
+            None => true,
+            Some(cur) => rho > cur.rho + TIE_EPS,
+        };
+        if better {
+            best = Some(KBest {
+                agents: k,
+                servers: s,
+                rho,
+            });
+        }
+        if rho + TIE_EPS < best_for_k {
+            break; // unimodal in s: past the sched/service crossing
+        }
+        best_for_k = best_for_k.max(rho);
+    }
+    best
+}
+
+/// Replays the waterfill for the winning `(k, total_children)` to recover
+/// its degree distribution — run once, after the scan has chosen.
+fn waterfill_degrees_for(ctx: &ScanCtx<'_>, k: usize, total_children: usize) -> Vec<usize> {
+    let mut degrees = vec![0usize; k];
+    let mut zero_agents = k;
+    let mut min_sp = f64::INFINITY;
+    let mut heap = initial_heap(ctx, k);
+    for _ in 0..total_children {
+        assign_one(ctx, &mut degrees, &mut heap, &mut min_sp, &mut zero_agents);
+    }
+    degrees
+}
+
+/// Folds per-`k` winners in ascending `k` with the sweep's acceptance
+/// rule — the same chain the sequential loop walks.
+fn merge_in_k_order(candidates: impl IntoIterator<Item = KBest>) -> Option<KBest> {
+    let mut best: Option<KBest> = None;
+    for cand in candidates {
+        let better = match &best {
+            None => true,
+            Some(cur) => cand.rho > cur.rho + TIE_EPS,
+        };
+        if better {
+            best = Some(cand);
+        }
+    }
+    best
 }
 
 impl SweepPlanner {
@@ -92,98 +248,71 @@ impl SweepPlanner {
         }
         let params = resolve_params(self.params, platform);
         let nodes = platform.ids_by_power_desc();
-        let powers: Vec<f64> = nodes
-            .iter()
-            .map(|&id| platform.power(id).value())
-            .collect();
+        let powers: Vec<f64> = nodes.iter().map(|&id| platform.power(id).value()).collect();
+        let ctx = ScanCtx {
+            params: &params,
+            powers: &powers,
+            wpre: params.calibration.server.wpre.value(),
+            wapp: service.wapp.value(),
+            transfer: comm::service_transfer_time(&params).value(),
+        };
 
-        let wpre = params.calibration.server.wpre.value();
-        let wapp = service.wapp.value();
-        let transfer = comm::service_transfer_time(&params).value();
-
-        let mut best: Option<BestConfig> = None;
-        for k in 1..n {
-            let agent_power =
-                |i: usize| adept_platform::MflopRate(powers[i]);
-            // Waterfill state.
-            let mut degrees = vec![0usize; k];
-            let mut zero_agents = k;
-            let mut min_sp = f64::INFINITY;
-            let mut heap: BinaryHeap<HeapEntry> = (0..k)
-                .map(|i| HeapEntry {
-                    sp_after: sch_pow(&params, agent_power(i), 1),
-                    agent: i,
+        let workers = if self.parallel && n >= PARALLEL_THRESHOLD {
+            self.threads
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|c| c.get())
+                        .unwrap_or(1)
                 })
-                .collect();
-            let assign_one = |degrees: &mut Vec<usize>,
-                                  heap: &mut BinaryHeap<HeapEntry>,
-                                  min_sp: &mut f64,
-                                  zero_agents: &mut usize| {
-                let top = heap.pop().expect("k >= 1 agents in the heap");
-                let i = top.agent;
-                if degrees[i] == 0 {
-                    *zero_agents -= 1;
-                }
-                degrees[i] += 1;
-                *min_sp = min_sp.min(top.sp_after);
-                heap.push(HeapEntry {
-                    sp_after: sch_pow(&params, agent_power(i), degrees[i] + 1),
-                    agent: i,
-                });
-            };
-            // The k-1 non-root agents each consume one child slot.
-            for _ in 0..k - 1 {
-                assign_one(&mut degrees, &mut heap, &mut min_sp, &mut zero_agents);
-            }
-            // Service-power running sums (Eq. 10/15) and the prediction
-            // bound of Eq. 14 (weakest server binds; servers are added in
-            // descending power order so the latest is the weakest).
-            let mut numerator = 1.0;
-            let mut denominator = 0.0;
-            let mut min_pred = f64::INFINITY;
-            let mut best_for_k = f64::NEG_INFINITY;
-            for s in 1..=(n - k) {
-                assign_one(&mut degrees, &mut heap, &mut min_sp, &mut zero_agents);
-                let w = powers[k + s - 1];
-                numerator += wpre / wapp;
-                denominator += w / wapp;
-                min_pred = min_pred.min(
-                    1.0 / server_prediction_cycle(&params, adept_platform::MflopRate(w))
-                        .value(),
-                );
-                let service_pow = 1.0 / (transfer + numerator / denominator);
-                if zero_agents > 0 {
-                    continue; // dominated by a smaller k; keep growing s
-                }
-                let rho = min_sp.min(min_pred).min(service_pow);
-                let better = match &best {
-                    None => true,
-                    // Strict improvement only: ties keep the earlier
-                    // (fewer-agents, fewer-nodes) plan — "least resources".
-                    Some(cur) => rho > cur.rho + 1e-12,
-                };
-                if better {
-                    best = Some(BestConfig {
-                        agents: k,
-                        servers: s,
-                        degrees: degrees.clone(),
-                        rho,
-                    });
-                }
-                if rho + 1e-12 < best_for_k {
-                    break; // unimodal in s: past the sched/service crossing
-                }
-                best_for_k = best_for_k.max(rho);
-            }
-        }
+                .min(n - 1)
+                .max(1)
+        } else {
+            1
+        };
 
-        let cfg = best.ok_or_else(|| {
-            PlannerError::InvalidConfig("no feasible deployment found".into())
-        })?;
+        let best = if workers <= 1 {
+            merge_in_k_order((1..n).filter_map(|k| scan_k(&ctx, n, k)))
+        } else {
+            // Workers pull k values from a shared counter (dynamic load
+            // balance: small k scans are much longer than large k ones),
+            // then the per-k winners merge in ascending k order.
+            let next_k = AtomicUsize::new(1);
+            let mut candidates = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let ctx = &ctx;
+                        let next_k = &next_k;
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let k = next_k.fetch_add(1, Ordering::Relaxed);
+                                if k >= n {
+                                    break;
+                                }
+                                if let Some(b) = scan_k(ctx, n, k) {
+                                    local.push(b);
+                                }
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("sweep workers do not panic"))
+                    .collect::<Vec<_>>()
+            });
+            candidates.sort_by_key(|c| c.agents);
+            merge_in_k_order(candidates)
+        };
+
+        let cfg =
+            best.ok_or_else(|| PlannerError::InvalidConfig("no feasible deployment found".into()))?;
+        let degrees = waterfill_degrees_for(&ctx, cfg.agents, cfg.agents - 1 + cfg.servers);
         let plan = super::realize::realize(
             &nodes[0..cfg.agents],
             &nodes[cfg.agents..cfg.agents + cfg.servers],
-            &cfg.degrees,
+            &degrees,
         );
         Ok((plan, cfg.rho))
     }
@@ -217,13 +346,9 @@ mod tests {
         let platform = lyon_cluster(25);
         for size in [10u32, 100, 310, 1000] {
             let svc = Dgemm::new(size).service();
-            let (_, sweep_rho) = SweepPlanner::default()
-                .best_plan(&platform, &svc)
-                .unwrap();
+            let (_, sweep_rho) = SweepPlanner::default().best_plan(&platform, &svc).unwrap();
             let csd = HomogeneousCsdPlanner::default();
-            let plan = csd
-                .plan(&platform, &svc, ClientDemand::Unbounded)
-                .unwrap();
+            let plan = csd.plan(&platform, &svc, ClientDemand::Unbounded).unwrap();
             let csd_rho = crate::model::ModelParams::from_platform(&platform)
                 .evaluate(&platform, &plan, &svc)
                 .rho;
@@ -246,6 +371,40 @@ mod tests {
             (rho - full).abs() < 1e-9 * full.max(1.0),
             "incremental rho {rho} vs full evaluation {full}"
         );
+    }
+
+    #[test]
+    fn parallel_and_sequential_sweeps_agree_exactly() {
+        // Big enough to cross PARALLEL_THRESHOLD; the worker count is
+        // forced so the threaded path runs even on single-CPU machines.
+        let platform = heterogenized_cluster(
+            "orsay",
+            150,
+            MflopRate(400.0),
+            BackgroundLoad::default(),
+            CapacityProbe::exact(),
+            3,
+        );
+        for size in [10u32, 100, 310, 1000] {
+            let svc = Dgemm::new(size).service();
+            for workers in [2usize, 4, 7] {
+                let (p_par, rho_par) = SweepPlanner::with_threads(workers)
+                    .best_plan(&platform, &svc)
+                    .unwrap();
+                let (p_seq, rho_seq) = SweepPlanner::sequential()
+                    .best_plan(&platform, &svc)
+                    .unwrap();
+                assert_eq!(
+                    rho_par.to_bits(),
+                    rho_seq.to_bits(),
+                    "dgemm-{size} workers={workers}: parallel rho {rho_par} != sequential {rho_seq}"
+                );
+                assert!(
+                    p_par.structurally_eq(&p_seq),
+                    "dgemm-{size} workers={workers}: parallel plan differs"
+                );
+            }
+        }
     }
 
     #[test]

@@ -29,5 +29,5 @@ pub mod trace;
 pub use engine::{Engine, Scheduler, World};
 pub use rng::DetRng;
 pub use stats::{OnlineStats, ThroughputMeter};
-pub use trace::{TraceEntry, TraceRing};
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEntry, TraceRing};

@@ -30,7 +30,10 @@ impl DetRng {
     /// # Panics
     /// Panics unless `rel ∈ [0, 1)`.
     pub fn jitter(&mut self, d: SimDuration, rel: f64) -> SimDuration {
-        assert!((0.0..1.0).contains(&rel), "jitter must be in [0,1), got {rel}");
+        assert!(
+            (0.0..1.0).contains(&rel),
+            "jitter must be in [0,1), got {rel}"
+        );
         if rel == 0.0 || d == SimDuration::ZERO {
             return d;
         }

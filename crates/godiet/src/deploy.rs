@@ -332,17 +332,14 @@ mod tests {
         // And the running plan must still be deployable on the platform.
         assert!(validate_on(&report.plan, &platform)
             .iter()
-            .all(|e| !matches!(
-                e,
-                adept_hierarchy::ValidationError::NodeNotOnPlatform(_)
-            )));
+            .all(|e| !matches!(e, adept_hierarchy::ValidationError::NodeNotOnPlatform(_))));
     }
 
     #[test]
     fn no_spares_means_launch_failed() {
         let platform = lyon_cluster(4);
         let plan = star(&ids(4)); // no spares at all
-        // High failure probability: some element will exhaust retries.
+                                  // High failure probability: some element will exhaust retries.
         let tool = GoDiet::with_failures(0.95, 3);
         let err = tool.deploy(&platform, &plan).unwrap_err();
         assert!(matches!(err, DeployError::LaunchFailed { .. }));

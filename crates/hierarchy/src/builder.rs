@@ -23,7 +23,10 @@ use adept_platform::NodeId;
 /// # Panics
 /// Panics if fewer than two nodes are supplied.
 pub fn star(nodes: &[NodeId]) -> DeploymentPlan {
-    assert!(nodes.len() >= 2, "a star needs an agent and at least one server");
+    assert!(
+        nodes.len() >= 2,
+        "a star needs an agent and at least one server"
+    );
     let mut plan = DeploymentPlan::with_root(nodes[0]);
     for &s in &nodes[1..] {
         plan.add_server(plan.root(), s)
@@ -138,11 +141,7 @@ mod tests {
         assert_eq!(p.agent_count(), 4);
         assert_eq!(p.server_count(), 10);
         assert_eq!(p.depth(), 3);
-        let mut degrees: Vec<usize> = p
-            .children(Slot(0))
-            .iter()
-            .map(|&a| p.degree(a))
-            .collect();
+        let mut degrees: Vec<usize> = p.children(Slot(0)).iter().map(|&a| p.degree(a)).collect();
         degrees.sort_unstable();
         assert_eq!(degrees, vec![3, 3, 4]);
     }

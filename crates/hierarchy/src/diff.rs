@@ -120,9 +120,7 @@ impl fmt::Display for PlanDiff {
                     writeln!(f, "~ {node} changes role {from} -> {to}")?
                 }
                 NodeChange::Reparented { from, to } => {
-                    let p = |x: &Option<NodeId>| {
-                        x.map_or("root".to_string(), |n| n.to_string())
-                    };
+                    let p = |x: &Option<NodeId>| x.map_or("root".to_string(), |n| n.to_string());
                     writeln!(f, "~ {node} moves {} -> {}", p(from), p(to))?
                 }
             }
@@ -181,7 +179,10 @@ mod tests {
                 to: Role::Agent
             }
         );
-        assert_eq!(d.changes[&NodeId(7)], NodeChange::Added { role: Role::Server });
+        assert_eq!(
+            d.changes[&NodeId(7)],
+            NodeChange::Added { role: Role::Server }
+        );
         assert_eq!(d.len(), 2);
     }
 
@@ -216,7 +217,13 @@ mod tests {
             new.add_server(new.root(), NodeId(i)).unwrap();
         }
         let d = PlanDiff::between(&old, &new);
-        assert_eq!(d.changes[&NodeId(3)], NodeChange::Removed { role: Role::Server });
-        assert_eq!(d.changes[&NodeId(9)], NodeChange::Added { role: Role::Server });
+        assert_eq!(
+            d.changes[&NodeId(3)],
+            NodeChange::Removed { role: Role::Server }
+        );
+        assert_eq!(
+            d.changes[&NodeId(9)],
+            NodeChange::Added { role: Role::Server }
+        );
     }
 }

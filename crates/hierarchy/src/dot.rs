@@ -25,12 +25,7 @@ pub fn to_dot(plan: &DeploymentPlan, platform: Option<&Platform>) -> String {
     }
     for slot in plan.slots() {
         for &child in plan.children(slot) {
-            let _ = writeln!(
-                out,
-                "  n{} -> n{};",
-                plan.node(slot).0,
-                plan.node(child).0
-            );
+            let _ = writeln!(out, "  n{} -> n{};", plan.node(slot).0, plan.node(child).0);
         }
     }
     out.push_str("}\n");

@@ -59,8 +59,14 @@ pub enum PlanError {
     ParentIsServer(Slot),
     /// Attempted to convert an entry that is not a server.
     NotAServer(Slot),
+    /// Attempted to convert an entry that is not an agent.
+    NotAnAgent(Slot),
+    /// Attempted to demote an agent that still has children.
+    AgentHasChildren(Slot),
     /// Attempted to remove the root.
     CannotRemoveRoot,
+    /// Reparenting would make an entry its own ancestor.
+    WouldCreateCycle(Slot),
 }
 
 impl fmt::Display for PlanError {
@@ -70,7 +76,14 @@ impl fmt::Display for PlanError {
             PlanError::InvalidSlot(s) => write!(f, "invalid plan slot {s}"),
             PlanError::ParentIsServer(s) => write!(f, "parent slot {s} is a server"),
             PlanError::NotAServer(s) => write!(f, "slot {s} is not a server"),
+            PlanError::NotAnAgent(s) => write!(f, "slot {s} is not an agent"),
+            PlanError::AgentHasChildren(s) => {
+                write!(f, "agent slot {s} still has children")
+            }
             PlanError::CannotRemoveRoot => write!(f, "cannot remove the root agent"),
+            PlanError::WouldCreateCycle(s) => {
+                write!(f, "reparenting slot {s} would create a cycle")
+            }
         }
     }
 }
@@ -205,6 +218,71 @@ impl DeploymentPlan {
         Ok(())
     }
 
+    /// Converts a childless non-root agent back into a server — the inverse
+    /// of [`DeploymentPlan::convert_to_agent`], used by incremental planners
+    /// to retract a speculative promotion.
+    ///
+    /// # Errors
+    /// [`PlanError::InvalidSlot`], [`PlanError::NotAnAgent`],
+    /// [`PlanError::CannotRemoveRoot`] for the root, or
+    /// [`PlanError::AgentHasChildren`] when children are still attached.
+    pub fn convert_to_server(&mut self, slot: Slot) -> Result<(), PlanError> {
+        if slot.0 == 0 {
+            return Err(PlanError::CannotRemoveRoot);
+        }
+        let e = self
+            .entries
+            .get_mut(slot.0)
+            .ok_or(PlanError::InvalidSlot(slot))?;
+        if e.role != Role::Agent {
+            return Err(PlanError::NotAnAgent(slot));
+        }
+        if !e.children.is_empty() {
+            return Err(PlanError::AgentHasChildren(slot));
+        }
+        e.role = Role::Server;
+        Ok(())
+    }
+
+    /// Reparents `child` (and its whole subtree) under `new_parent` — the
+    /// `move_child` delta of the incremental evaluation engine. A no-op when
+    /// `new_parent` already is the parent.
+    ///
+    /// # Errors
+    /// [`PlanError::CannotRemoveRoot`] for the root,
+    /// [`PlanError::InvalidSlot`], [`PlanError::ParentIsServer`] when the
+    /// target is a server, or [`PlanError::WouldCreateCycle`] when the
+    /// target sits inside `child`'s subtree.
+    pub fn move_child(&mut self, child: Slot, new_parent: Slot) -> Result<(), PlanError> {
+        if child.0 == 0 {
+            return Err(PlanError::CannotRemoveRoot);
+        }
+        self.entry(child)?;
+        let target = self.entry(new_parent)?;
+        if target.role != Role::Agent {
+            return Err(PlanError::ParentIsServer(new_parent));
+        }
+        // Walk up from the target: hitting `child` means the target lives
+        // inside the moved subtree.
+        let mut cursor = Some(new_parent);
+        while let Some(s) = cursor {
+            if s == child {
+                return Err(PlanError::WouldCreateCycle(child));
+            }
+            cursor = self.entries[s.0].parent;
+        }
+        let old_parent = self.entries[child.0]
+            .parent
+            .expect("non-root entries always have a parent");
+        if old_parent == new_parent {
+            return Ok(());
+        }
+        self.entries[old_parent.0].children.retain(|&c| c != child);
+        self.entries[new_parent.0].children.push(child);
+        self.entries[child.0].parent = Some(new_parent);
+        Ok(())
+    }
+
     /// Removes the most recently added entry (Algorithm 1, step 30 removes
     /// a child from the last agent when throughput degraded). The vacated
     /// platform node can be reused afterwards.
@@ -307,12 +385,18 @@ impl DeploymentPlan {
 
     /// Number of agents.
     pub fn agent_count(&self) -> usize {
-        self.entries.iter().filter(|e| e.role == Role::Agent).count()
+        self.entries
+            .iter()
+            .filter(|e| e.role == Role::Agent)
+            .count()
     }
 
     /// Number of servers.
     pub fn server_count(&self) -> usize {
-        self.entries.iter().filter(|e| e.role == Role::Server).count()
+        self.entries
+            .iter()
+            .filter(|e| e.role == Role::Server)
+            .count()
     }
 
     /// Platform nodes of all servers, in insertion order.
@@ -497,7 +581,10 @@ mod tests {
     #[test]
     fn convert_agent_fails() {
         let mut p = DeploymentPlan::with_root(n(0));
-        assert_eq!(p.convert_to_agent(Slot(0)), Err(PlanError::NotAServer(Slot(0))));
+        assert_eq!(
+            p.convert_to_agent(Slot(0)),
+            Err(PlanError::NotAServer(Slot(0)))
+        );
     }
 
     #[test]
@@ -534,6 +621,67 @@ mod tests {
         // removed; only its child Slot(2) can.
         assert_eq!(p.remove_last(Slot(1)), Err(PlanError::InvalidSlot(Slot(1))));
         assert_eq!(p.remove_last(Slot(2)).unwrap(), n(2));
+    }
+
+    #[test]
+    fn demote_childless_agent_roundtrip() {
+        let mut p = DeploymentPlan::agent_server(n(0), n(1));
+        p.convert_to_agent(Slot(1)).unwrap();
+        p.convert_to_server(Slot(1)).unwrap();
+        assert_eq!(p.role(Slot(1)), Role::Server);
+    }
+
+    #[test]
+    fn demote_rejects_root_parents_and_servers() {
+        let mut p = DeploymentPlan::agent_server(n(0), n(1));
+        p.convert_to_agent(Slot(1)).unwrap();
+        p.add_server(Slot(1), n(2)).unwrap();
+        assert_eq!(
+            p.convert_to_server(Slot(0)),
+            Err(PlanError::CannotRemoveRoot)
+        );
+        assert_eq!(
+            p.convert_to_server(Slot(1)),
+            Err(PlanError::AgentHasChildren(Slot(1)))
+        );
+        assert_eq!(
+            p.convert_to_server(Slot(2)),
+            Err(PlanError::NotAnAgent(Slot(2)))
+        );
+    }
+
+    #[test]
+    fn move_child_reparents_subtree() {
+        // root -> a(1) -> s(2), root -> s(3); move s(3) under a(1).
+        let mut p = DeploymentPlan::with_root(n(0));
+        let a = p.add_agent(Slot(0), n(1)).unwrap();
+        p.add_server(a, n(2)).unwrap();
+        let s3 = p.add_server(p.root(), n(3)).unwrap();
+        p.move_child(s3, a).unwrap();
+        assert_eq!(p.parent(s3), Some(a));
+        assert_eq!(p.degree(p.root()), 1);
+        assert_eq!(p.degree(a), 2);
+        assert_eq!(p.level(s3), 2);
+    }
+
+    #[test]
+    fn move_child_to_same_parent_is_noop() {
+        let mut p = DeploymentPlan::agent_server(n(0), n(1));
+        p.move_child(Slot(1), Slot(0)).unwrap();
+        assert_eq!(p.parent(Slot(1)), Some(Slot(0)));
+        assert_eq!(p.degree(Slot(0)), 1);
+    }
+
+    #[test]
+    fn move_child_rejects_cycles_roots_and_server_targets() {
+        let mut p = DeploymentPlan::with_root(n(0));
+        let a = p.add_agent(Slot(0), n(1)).unwrap();
+        let b = p.add_agent(a, n(2)).unwrap();
+        let s = p.add_server(b, n(3)).unwrap();
+        assert_eq!(p.move_child(Slot(0), a), Err(PlanError::CannotRemoveRoot));
+        assert_eq!(p.move_child(a, b), Err(PlanError::WouldCreateCycle(a)));
+        assert_eq!(p.move_child(a, a), Err(PlanError::WouldCreateCycle(a)));
+        assert_eq!(p.move_child(b, s), Err(PlanError::ParentIsServer(s)));
     }
 
     #[test]

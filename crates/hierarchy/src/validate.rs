@@ -16,9 +16,9 @@
 //! Plans can also be validated **against a platform** ([`validate_on`]):
 //! every plan node must exist there.
 
-use crate::plan::{DeploymentPlan, Slot};
 #[cfg(test)]
 use crate::plan::Role;
+use crate::plan::{DeploymentPlan, Slot};
 use adept_platform::{NodeId, Platform};
 use std::fmt;
 

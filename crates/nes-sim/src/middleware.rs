@@ -239,10 +239,8 @@ impl Middleware {
         // Single-service deployments are a mix of one, every server
         // hosting it.
         let mix = adept_workload::ServiceMix::single(service.clone());
-        let assignment: Vec<(adept_platform::NodeId, usize)> = plan
-            .servers()
-            .map(|s| (plan.node(s), 0usize))
-            .collect();
+        let assignment: Vec<(adept_platform::NodeId, usize)> =
+            plan.servers().map(|s| (plan.node(s), 0usize)).collect();
         Self::new_mix(platform, plan, &mix, &assignment, config, think_time)
     }
 
@@ -290,7 +288,10 @@ impl Middleware {
         let lookup: std::collections::HashMap<u32, usize> = assignment
             .iter()
             .map(|&(node, svc)| {
-                assert!(svc < mix.len(), "assignment references service {svc} outside the mix");
+                assert!(
+                    svc < mix.len(),
+                    "assignment references service {svc} outside the mix"
+                );
                 (node.0, svc)
             })
             .collect();
@@ -318,8 +319,7 @@ impl Middleware {
         for (slot, &node) in compiled.node.iter().enumerate() {
             node_to_slot[node as usize] = slot as u32;
         }
-        let sites: Vec<adept_platform::SiteId> =
-            platform.nodes().iter().map(|r| r.site).collect();
+        let sites: Vec<adept_platform::SiteId> = platform.nodes().iter().map(|r| r.site).collect();
         Self {
             plan: compiled,
             node_to_slot,
@@ -462,7 +462,14 @@ impl Middleware {
         let node = self.plan.node[from as usize] as usize;
         let (_, end) = self.timelines.get_mut(node).reserve(now, occ);
         let arrival = end + SimDuration::from_seconds(self.latency);
-        sched.at(arrival, Event::Deliver(EndpointEvent { at: to, msg, edge_bw }));
+        sched.at(
+            arrival,
+            Event::Deliver(EndpointEvent {
+                at: to,
+                msg,
+                edge_bw,
+            }),
+        );
     }
 
     /// Sends `msg` from a client (no sender occupancy). Clients are
@@ -473,7 +480,14 @@ impl Middleware {
             Endpoint::Client(_) => self.bandwidth,
         };
         let arrival = now + SimDuration::from_seconds(self.latency);
-        sched.at(arrival, Event::Deliver(EndpointEvent { at: to, msg, edge_bw }));
+        sched.at(
+            arrival,
+            Event::Deliver(EndpointEvent {
+                at: to,
+                msg,
+                edge_bw,
+            }),
+        );
     }
 
     fn alloc_request(&mut self, client: u32, now: SimTime) -> u32 {
@@ -512,13 +526,7 @@ impl Middleware {
         }
     }
 
-    fn handle_received(
-        &mut self,
-        now: SimTime,
-        slot: u32,
-        msg: Msg,
-        sched: &mut Scheduler<Event>,
-    ) {
+    fn handle_received(&mut self, now: SimTime, slot: u32, msg: Msg, sched: &mut Scheduler<Event>) {
         let s = slot as usize;
         match (self.plan.role[s], msg) {
             // Agent got a scheduling request: process it (Wreq), then
@@ -528,7 +536,13 @@ impl Middleware {
                 let d = self.compute_duration(self.config.calibration.agent.wreq.value(), power);
                 let node = self.plan.node[s] as usize;
                 let (_, end) = self.timelines.get_mut(node).reserve(now, d);
-                sched.at(end, Event::ComputeDone { slot, msg: MsgEvent(msg) });
+                sched.at(
+                    end,
+                    Event::ComputeDone {
+                        slot,
+                        msg: MsgEvent(msg),
+                    },
+                );
             }
             // Server got a scheduling request: predict (Wpre), then reply.
             (Role::Server, Msg::SchedRequest { .. }) => {
@@ -536,11 +550,25 @@ impl Middleware {
                 let d = self.compute_duration(self.config.calibration.server.wpre.value(), power);
                 let node = self.plan.node[s] as usize;
                 let (_, end) = self.timelines.get_mut(node).reserve(now, d);
-                sched.at(end, Event::ComputeDone { slot, msg: MsgEvent(msg) });
+                sched.at(
+                    end,
+                    Event::ComputeDone {
+                        slot,
+                        msg: MsgEvent(msg),
+                    },
+                );
             }
             // Agent got a child's reply: aggregate; on the last one, run
             // the selection computation Wrep(d) and forward up.
-            (Role::Agent, Msg::SchedReply { req, pred, server, weight }) => {
+            (
+                Role::Agent,
+                Msg::SchedReply {
+                    req,
+                    pred,
+                    server,
+                    weight,
+                },
+            ) => {
                 let selection = self.config.selection;
                 let draw = if selection == crate::config::SelectionPolicy::WeightedByRate {
                     self.rng.unit()
@@ -585,7 +613,12 @@ impl Middleware {
                         end,
                         Event::ComputeDone {
                             slot,
-                            msg: MsgEvent(Msg::SchedReply { req, pred, server, weight }),
+                            msg: MsgEvent(Msg::SchedReply {
+                                req,
+                                pred,
+                                server,
+                                weight,
+                            }),
                         },
                     );
                 }
@@ -596,8 +629,7 @@ impl Middleware {
                 let power = self.power_of_slot(slot);
                 let wapp = self.wapps[self.requests[req as usize].service as usize];
                 debug_assert_eq!(
-                    self.slot_service[s],
-                    self.requests[req as usize].service,
+                    self.slot_service[s], self.requests[req as usize].service,
                     "service requests only reach matching servers"
                 );
                 let d = self.compute_duration(wapp, power);
@@ -655,8 +687,7 @@ impl Middleware {
                     // This server does not host the requested service: it
                     // still replies (its parent is waiting on it) but with
                     // an uncompetitive bid and zero selection weight.
-                    let parent =
-                        self.plan.parent[s].expect("servers always have a parent");
+                    let parent = self.plan.parent[s].expect("servers always have a parent");
                     self.send_from_slot(
                         now,
                         slot,
@@ -701,7 +732,12 @@ impl Middleware {
                 let (pred, server) = self.requests[req as usize].best[s];
                 let weight = self.requests[req as usize].cum_weight[s];
                 debug_assert!(server != u32::MAX, "aggregation without replies");
-                let reply = Msg::SchedReply { req, pred, server, weight };
+                let reply = Msg::SchedReply {
+                    req,
+                    pred,
+                    server,
+                    weight,
+                };
                 match self.plan.parent[s] {
                     Some(parent) => {
                         self.send_from_slot(now, slot, Endpoint::Slot(parent), reply, sched)
@@ -738,7 +774,8 @@ impl Middleware {
                     let r = &mut self.requests[req as usize];
                     r.sched_done_at = Some(now);
                     let issued_at = r.issued_at;
-                    self.scheduling_times.push(now.since(issued_at).as_seconds());
+                    self.scheduling_times
+                        .push(now.since(issued_at).as_seconds());
                 }
                 let slot = self.node_to_slot[server as usize];
                 debug_assert_ne!(slot, u32::MAX, "selected server exists in the plan");
@@ -783,12 +820,7 @@ impl World for Middleware {
                 let req = self.alloc_request(client, now);
                 self.issued += 1;
                 // Root is always slot 0.
-                self.send_from_client(
-                    now,
-                    Endpoint::Slot(0),
-                    Msg::SchedRequest { req },
-                    sched,
-                );
+                self.send_from_client(now, Endpoint::Slot(0), Msg::SchedRequest { req }, sched);
             }
             Event::Deliver(EndpointEvent { at, msg, edge_bw }) => match at {
                 Endpoint::Slot(slot) => {
@@ -804,9 +836,10 @@ impl World for Middleware {
                 Endpoint::Slot(slot) => self.handle_received(now, slot, msg, sched),
                 Endpoint::Client(_) => unreachable!("clients have no receive occupancy"),
             },
-            Event::ComputeDone { slot, msg: MsgEvent(msg) } => {
-                self.handle_compute_done(now, slot, msg, sched)
-            }
+            Event::ComputeDone {
+                slot,
+                msg: MsgEvent(msg),
+            } => self.handle_compute_done(now, slot, msg, sched),
         }
     }
 }
@@ -891,10 +924,7 @@ mod tests {
             "prediction-based selection must spread load, got {:?}",
             w.per_server_completions
         );
-        let (min, max) = (
-            *active.iter().min().unwrap(),
-            *active.iter().max().unwrap(),
-        );
+        let (min, max) = (*active.iter().min().unwrap(), *active.iter().max().unwrap());
         assert!(
             max - min <= max / 2 + 2,
             "load should be roughly even: {active:?}"

@@ -55,11 +55,7 @@ impl Simulation {
         config: SimConfig,
     ) -> Self {
         let errors = validate_relaxed(plan);
-        assert!(
-            errors.is_empty(),
-            "plan fails validation: {:?}",
-            errors
-        );
+        assert!(errors.is_empty(), "plan fails validation: {:?}", errors);
         Self {
             engine: Engine::new(Middleware::new(
                 platform,
@@ -110,9 +106,7 @@ impl Simulation {
         let errors = validate_relaxed(plan);
         assert!(errors.is_empty(), "plan fails validation: {:?}", errors);
         Self {
-            engine: Engine::new(Middleware::new(
-                platform, plan, service, config, think_time,
-            )),
+            engine: Engine::new(Middleware::new(platform, plan, service, config, think_time)),
         }
     }
 
@@ -127,9 +121,7 @@ impl Simulation {
                 Event::ClientIssue { client },
             );
         }
-        let measure_start = SimTime::from_seconds(
-            ramp.ramp_end().value() + config.warmup.value(),
-        );
+        let measure_start = SimTime::from_seconds(ramp.ramp_end().value() + config.warmup.value());
         let measure_end =
             SimTime::from_seconds(measure_start.as_seconds() + config.measure.value());
         self.engine.run_until(measure_end);
@@ -168,9 +160,7 @@ impl Simulation {
             self.engine.schedule(at, Event::ClientIssue { client });
         }
         let measure_start = SimTime::from_seconds(config.warmup.value());
-        let measure_end = SimTime::from_seconds(
-            horizon.as_seconds() + config.measure.value(),
-        );
+        let measure_end = SimTime::from_seconds(horizon.as_seconds() + config.measure.value());
         self.engine.run_until(measure_end);
         let world = self.engine.world();
         SimOutcome {
@@ -354,8 +344,7 @@ mod tests {
         let cfg = SimConfig::ideal().with_windows(Seconds(1.0), Seconds(10.0));
         let ramp = ClientRamp::paper(1, Seconds(15.0));
         let mut eager = Simulation::new(&platform, &plan, &svc, cfg);
-        let mut lazy =
-            Simulation::with_think_time(&platform, &plan, &svc, cfg, Seconds(1.0));
+        let mut lazy = Simulation::with_think_time(&platform, &plan, &svc, cfg, Seconds(1.0));
         let te = eager.run_ramp(&ramp, &cfg).throughput;
         let tl = lazy.run_ramp(&ramp, &cfg).throughput;
         assert!(

@@ -208,9 +208,7 @@ mod tests {
     #[test]
     fn total_compute_adds_wreq() {
         let c = MiddlewareCalibration::lyon_2008();
-        assert!(
-            (c.agent.total_compute(5).value() - (0.17 + 0.004 + 5.0 * 0.0054)).abs() < 1e-12
-        );
+        assert!((c.agent.total_compute(5).value() - (0.17 + 0.004 + 5.0 * 0.0054)).abs() < 1e-12);
     }
 
     #[test]

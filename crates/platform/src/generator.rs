@@ -151,8 +151,12 @@ pub fn uniform_random_cluster(
     ));
     let site = b.add_site(name);
     for i in 0..n {
-        b.add_node(format!("{name}-{i}"), MflopRate(dist.sample(&mut rng)), site)
-            .expect("generated names are unique");
+        b.add_node(
+            format!("{name}-{i}"),
+            MflopRate(dist.sample(&mut rng)),
+            site,
+        )
+        .expect("generated names are unique");
     }
     b.build().expect("n > 0")
 }

@@ -55,10 +55,7 @@ impl Network {
             Network::Homogeneous { bandwidth, .. } => *bandwidth,
             Network::PerSitePair { intra, inter, .. } => {
                 if a == b {
-                    intra
-                        .get(a.index())
-                        .copied()
-                        .unwrap_or(*inter)
+                    intra.get(a.index()).copied().unwrap_or(*inter)
                 } else {
                     *inter
                 }
@@ -89,9 +86,7 @@ impl Network {
     /// Per-message latency.
     pub fn latency(&self) -> Seconds {
         match self {
-            Network::Homogeneous { latency, .. } | Network::PerSitePair { latency, .. } => {
-                *latency
-            }
+            Network::Homogeneous { latency, .. } | Network::PerSitePair { latency, .. } => *latency,
         }
     }
 

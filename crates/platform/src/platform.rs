@@ -144,7 +144,9 @@ impl Platform {
         ids.sort_by(|a, b| {
             let pa = self.power(*a).value();
             let pb = self.power(*b).value();
-            pb.partial_cmp(&pa).expect("powers are finite").then(a.cmp(b))
+            pb.partial_cmp(&pa)
+                .expect("powers are finite")
+                .then(a.cmp(b))
         });
         ids
     }

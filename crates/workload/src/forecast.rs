@@ -217,7 +217,10 @@ mod tests {
             est.observe(Seconds(2.0), MflopRate(100.0)); // 200 MFlop
         }
         let got = est.estimate().expect("observed").value();
-        assert!((got - 200.0).abs() < 1.0, "EMA must converge to 200, got {got}");
+        assert!(
+            (got - 200.0).abs() < 1.0,
+            "EMA must converge to 200, got {got}"
+        );
     }
 
     #[test]
@@ -239,8 +242,16 @@ mod tests {
             });
         }
         let fit = f.fit().expect("5 sizes");
-        assert!((fit.exponent - 3.0).abs() < 1e-9, "exponent {}", fit.exponent);
-        assert!((fit.coefficient - 2e-6).abs() < 1e-12, "coeff {}", fit.coefficient);
+        assert!(
+            (fit.exponent - 3.0).abs() < 1e-9,
+            "exponent {}",
+            fit.exponent
+        );
+        assert!(
+            (fit.coefficient - 2e-6).abs() < 1e-12,
+            "coeff {}",
+            fit.coefficient
+        );
         assert!((fit.r - 1.0).abs() < 1e-12);
         // Extrapolate to an unmeasured size.
         let predicted = fit.predict(310.0);
@@ -295,7 +306,10 @@ mod tests {
                 power: MflopRate(400.0),
             });
         }
-        let svc = f.fit().expect("3 sizes").service("dgemm-forecast-1000", 1000.0);
+        let svc = f
+            .fit()
+            .expect("3 sizes")
+            .service("dgemm-forecast-1000", 1000.0);
         let truth = Dgemm::new(1000).wapp().value();
         assert!((svc.wapp.value() - truth).abs() / truth < 1e-6);
     }

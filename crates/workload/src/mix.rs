@@ -32,10 +32,7 @@ impl ServiceMix {
             entries.iter().all(|(_, w)| w.is_finite() && *w > 0.0) && total > 0.0,
             "mix weights must be positive and finite"
         );
-        let (services, shares) = entries
-            .into_iter()
-            .map(|(s, w)| (s, w / total))
-            .unzip();
+        let (services, shares) = entries.into_iter().map(|(s, w)| (s, w / total)).unzip();
         Self { services, shares }
     }
 

@@ -94,7 +94,12 @@ impl Dgemm {
 
     /// The four problem sizes of the paper's Table 4 (10, 100, 310, 1000).
     pub fn paper_table4_sizes() -> [Dgemm; 4] {
-        [Dgemm::new(10), Dgemm::new(100), Dgemm::new(310), Dgemm::new(1000)]
+        [
+            Dgemm::new(10),
+            Dgemm::new(100),
+            Dgemm::new(310),
+            Dgemm::new(1000),
+        ]
     }
 }
 

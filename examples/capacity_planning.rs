@@ -31,7 +31,11 @@ fn main() {
             plan.agent_count(),
             plan.server_count(),
             report.rho,
-            if demand.satisfied_by(report.rho) { "yes" } else { "NO" },
+            if demand.satisfied_by(report.rho) {
+                "yes"
+            } else {
+                "NO"
+            },
         );
     }
 

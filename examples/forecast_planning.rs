@@ -62,7 +62,11 @@ fn main() {
         .plan(&platform, &forecast, ClientDemand::Unbounded)
         .expect("45 nodes suffice");
     let oracle = HeuristicPlanner::paper()
-        .plan(&platform, &Dgemm::new(310).service(), ClientDemand::Unbounded)
+        .plan(
+            &platform,
+            &Dgemm::new(310).service(),
+            ClientDemand::Unbounded,
+        )
         .expect("45 nodes suffice");
     let params = ModelParams::from_platform(&platform);
     let truth_svc = Dgemm::new(310).service();

@@ -13,7 +13,10 @@ fn describe(platform: &Platform, label: &str) {
     let min = powers.iter().copied().fold(f64::INFINITY, f64::min);
     let max = powers.iter().copied().fold(0.0f64, f64::max);
     let mean = powers.iter().sum::<f64>() / powers.len() as f64;
-    println!("{label}: {} nodes, power min {min:.0} / mean {mean:.0} / max {max:.0} MFlop/s", powers.len());
+    println!(
+        "{label}: {} nodes, power min {min:.0} / mean {mean:.0} / max {max:.0} MFlop/s",
+        powers.len()
+    );
 }
 
 fn plan_and_report(platform: &Platform, service: &ServiceSpec) {

@@ -31,7 +31,7 @@ fn main() {
     // Day 2: demand doubles. Re-plan with at most 4 node changes.
     let replanner = OnlinePlanner {
         max_changes: 4,
-        params: None,
+        ..Default::default()
     };
     let up = replanner.replan(&platform, &running, &service, ClientDemand::target(4.0));
     println!("\ndemand 2.0 -> 4.0 req/s, budget 4 changes:");

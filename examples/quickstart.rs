@@ -35,5 +35,8 @@ fn main() {
     println!("Star would give:  {star_report}");
 
     // Emit the GoDIET-style XML descriptor the deployment tool consumes.
-    println!("\nGoDIET descriptor:\n{}", xml::write_xml(&plan, Some(&platform)));
+    println!(
+        "\nGoDIET descriptor:\n{}",
+        xml::write_xml(&plan, Some(&platform))
+    );
 }

@@ -60,19 +60,18 @@ pub use adept_workload as workload;
 /// Commonly used items, re-exported flat.
 pub mod prelude {
     pub use adept_core::analysis::{Bottleneck, ThroughputReport};
-    pub use adept_core::model::ModelParams;
+    pub use adept_core::model::{IncrementalEval, ModelParams};
     pub use adept_core::planner::{
-        BalancedPlanner, HeuristicPlanner, HomogeneousCsdPlanner, Planner, PlannerError,
-        OnlinePlanner, RoundRobinPlanner, StarPlanner, SweepPlanner,
+        BalancedPlanner, EvalStrategy, HeuristicPlanner, HomogeneousCsdPlanner, OnlinePlanner,
+        Planner, PlannerError, RoundRobinPlanner, StarPlanner, SweepPlanner,
     };
     pub use adept_godiet::{DeployError, DeploymentReport, GoDiet};
     pub use adept_hierarchy::{
-        builder, to_dot, validate, xml, AdjacencyMatrix, DeploymentPlan, HierarchyStats,
-        PlanDiff, Role, Slot,
+        builder, to_dot, validate, xml, AdjacencyMatrix, DeploymentPlan, HierarchyStats, PlanDiff,
+        Role, Slot,
     };
     pub use adept_nes_sim::{
-        measure_throughput, saturation_search, SelectionPolicy, SimConfig, SimOutcome,
-        Simulation,
+        measure_throughput, saturation_search, SelectionPolicy, SimConfig, SimOutcome, Simulation,
     };
     pub use adept_platform::{
         generator, BackgroundLoad, CapacityProbe, Mbit, MbitRate, Mflop, MflopRate,

@@ -51,17 +51,35 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 .ok_or_else(|| format!("{name} needs a value"))
         };
         match flag.as_str() {
-            "--nodes" => args.nodes = value("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?,
-            "--dgemm" => args.dgemm = value("--dgemm")?.parse().map_err(|e| format!("--dgemm: {e}"))?,
+            "--nodes" => {
+                args.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?
+            }
+            "--dgemm" => {
+                args.dgemm = value("--dgemm")?
+                    .parse()
+                    .map_err(|e| format!("--dgemm: {e}"))?
+            }
             "--planner" => args.planner = value("--planner")?,
             "--clients" => {
-                args.clients = value("--clients")?.parse().map_err(|e| format!("--clients: {e}"))?
+                args.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
             }
             "--hetero" => {
-                args.hetero = Some(value("--hetero")?.parse().map_err(|e| format!("--hetero: {e}"))?)
+                args.hetero = Some(
+                    value("--hetero")?
+                        .parse()
+                        .map_err(|e| format!("--hetero: {e}"))?,
+                )
             }
             "--demand" => {
-                args.demand = Some(value("--demand")?.parse().map_err(|e| format!("--demand: {e}"))?)
+                args.demand = Some(
+                    value("--demand")?
+                        .parse()
+                        .map_err(|e| format!("--demand: {e}"))?,
+                )
             }
             "--xml" => args.xml = true,
             "--file" => args.file = Some(value("--file")?),
@@ -140,7 +158,9 @@ fn run() -> Result<(), String> {
             } else {
                 out.push_str(&format!(
                     "# {} plan for {} on {} nodes\n",
-                    planner.name(), service, args.nodes
+                    planner.name(),
+                    service,
+                    args.nodes
                 ));
                 out.push_str(&format!("{}\n", HierarchyStats::of(&plan)));
                 out.push_str(&plan.render());
@@ -161,7 +181,14 @@ fn run() -> Result<(), String> {
                 "{:<22} {:>10} {:>8} {:>8} {:>7} {:>6}\n",
                 "planner", "rho(req/s)", "agents", "servers", "depth", "maxdeg"
             ));
-            for name in ["heuristic", "heuristic+rebalance", "star", "balanced", "csd", "sweep"] {
+            for name in [
+                "heuristic",
+                "heuristic+rebalance",
+                "star",
+                "balanced",
+                "csd",
+                "sweep",
+            ] {
                 let planner = make_planner(name)?;
                 match planner.plan(&platform, &service, demand_of(&args)) {
                     Ok(plan) => {
@@ -169,7 +196,11 @@ fn run() -> Result<(), String> {
                         let stats = HierarchyStats::of(&plan);
                         out.push_str(&format!(
                             "{:<22} {:>10.2} {:>8} {:>8} {:>7} {:>6}\n",
-                            name, report.rho, stats.agents, stats.servers, stats.depth,
+                            name,
+                            report.rho,
+                            stats.agents,
+                            stats.servers,
+                            stats.depth,
                             stats.max_degree
                         ));
                     }
@@ -200,10 +231,7 @@ fn run() -> Result<(), String> {
             let plan = xml::parse_xml(&text).map_err(|e| e.to_string())?;
             let errors = validate::validate_on(&plan, &platform);
             if errors.is_empty() {
-                out.push_str(&format!(
-                    "{path}: OK ({})\n",
-                    HierarchyStats::of(&plan)
-                ));
+                out.push_str(&format!("{path}: OK ({})\n", HierarchyStats::of(&plan)));
             } else {
                 for e in &errors {
                     out.push_str(&format!("{path}: {e}\n"));

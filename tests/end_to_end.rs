@@ -61,7 +61,9 @@ fn deployment_with_failures_still_simulates() {
         .expect("30 nodes suffice");
 
     let tool = GoDiet::with_failures(0.3, 77);
-    let report = tool.deploy(&platform, &plan).expect("spares absorb failures");
+    let report = tool
+        .deploy(&platform, &plan)
+        .expect("spares absorb failures");
 
     // Whatever GoDIET ended up with must still be a runnable deployment.
     let config = SimConfig::paper().with_windows(Seconds(1.0), Seconds(5.0));
@@ -81,7 +83,10 @@ fn demand_target_is_respected_end_to_end() {
         .plan(&platform, &service, demand)
         .expect("40 nodes suffice");
     let rho = params.evaluate(&platform, &plan, &service).rho;
-    assert!(demand.satisfied_by(rho), "plan must meet the 3 req/s target");
+    assert!(
+        demand.satisfied_by(rho),
+        "plan must meet the 3 req/s target"
+    );
     assert!(
         plan.len() < 40,
         "meeting a modest target must not consume the whole platform"

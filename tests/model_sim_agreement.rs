@@ -59,8 +59,12 @@ fn figure4_shape_second_server_doubles_large_requests() {
 
 #[test]
 fn prediction_upper_bounds_ideal_measurement() {
-    for (nodes, size, clients) in [(2u32, 10u32, 16usize), (3, 200, 16), (5, 310, 32), (4, 1000, 16)]
-    {
+    for (nodes, size, clients) in [
+        (2u32, 10u32, 16usize),
+        (3, 200, 16),
+        (5, 310, 32),
+        (4, 1000, 16),
+    ] {
         let platform = generator::lyon_cluster(nodes as usize);
         let svc = Dgemm::new(size).service();
         let plan = builder::star(&ids(nodes));
@@ -93,9 +97,14 @@ fn model_ranking_holds_in_simulation() {
     let auto = HeuristicPlanner::paper()
         .plan(&platform, &svc, ClientDemand::Unbounded)
         .unwrap();
-    let star = StarPlanner.plan(&platform, &svc, ClientDemand::Unbounded).unwrap();
+    let star = StarPlanner
+        .plan(&platform, &svc, ClientDemand::Unbounded)
+        .unwrap();
 
-    let (p_auto, p_star) = (predict(&platform, &auto, &svc), predict(&platform, &star, &svc));
+    let (p_auto, p_star) = (
+        predict(&platform, &auto, &svc),
+        predict(&platform, &star, &svc),
+    );
     let (m_auto, m_star) = (
         measure(&platform, &auto, &svc, 64),
         measure(&platform, &star, &svc, 64),

@@ -1,0 +1,290 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion 0.5 API the workspace's benches
+//! use — [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`]
+//! / [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`black_box`],
+//! [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — implemented as a straightforward wall-clock harness:
+//!
+//! * each benchmark is warmed up once, then timed over `sample_size`
+//!   samples whose per-sample iteration count targets ~2 ms;
+//! * a per-benchmark wall-clock budget (default 2 s, `BENCH_BUDGET_MS`
+//!   to override) keeps smoke runs fast even for slow benchmarks;
+//! * results (id, mean ns, samples) print to stdout and, when the
+//!   `BENCH_JSON` environment variable names a path, are written to that
+//!   file as a JSON array (one file per bench process — a later process
+//!   pointed at the same path overwrites it) — the hook CI uses to
+//!   record perf trajectories.
+//!
+//! The statistics are deliberately simple (mean over samples); this is a
+//! trend tracker, not a rigorous estimator like upstream criterion.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — defeats constant folding of benchmark inputs
+/// and results.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Full benchmark id, `group/function`.
+    pub id: String,
+    /// Mean wall-clock time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// Benchmark identifier inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendering just the parameter (criterion's
+    /// `BenchmarkId::from_parameter`).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self(parameter.to_string())
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// The per-benchmark timing driver passed to measurement closures.
+pub struct Bencher<'a> {
+    budget: Duration,
+    sample_size: usize,
+    result: &'a mut Option<(f64, usize)>,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, storing the mean per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: run once to estimate the iteration cost.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        // Aim for ~2 ms per sample, at least one iteration.
+        let iters = (Duration::from_millis(2).as_nanos() / once.as_nanos()).max(1) as u64;
+        let deadline = Instant::now() + self.budget;
+
+        let mut means = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            means.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        let mean = means.iter().sum::<f64>() / means.len() as f64;
+        *self.result = Some((mean, means.len()));
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher<'_>)>(&mut self, id: String, mut f: F) {
+        let mut result = None;
+        let mut bencher = Bencher {
+            budget: self.criterion.budget,
+            sample_size: self.sample_size,
+            result: &mut result,
+        };
+        f(&mut bencher);
+        let full_id = format!("{}/{}", self.name, id);
+        if let Some((mean_ns, samples)) = result {
+            println!(
+                "{full_id:<48} {:>14.1} ns/iter ({samples} samples)",
+                mean_ns
+            );
+            self.criterion.records.push(Record {
+                id: full_id,
+                mean_ns,
+                samples,
+            });
+        }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into().0, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.run(id.0, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    records: Vec<Record>,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let budget_ms = std::env::var("BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2000u64);
+        Self {
+            records: Vec::new(),
+            budget: Duration::from_millis(budget_ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(name, f);
+        self
+    }
+
+    /// All measurements taken so far.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Writes collected results to `$BENCH_JSON` (if set) as a JSON array
+    /// of `{id, mean_ns, samples}` objects. Called by [`criterion_main!`].
+    pub fn finalize(&self) {
+        let Ok(path) = std::env::var("BENCH_JSON") else {
+            return;
+        };
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let comma = if i + 1 == self.records.len() { "" } else { "," };
+            out.push_str(&format!(
+                "  {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"samples\": {}}}{comma}\n",
+                r.id.replace('"', "'"),
+                r.mean_ns,
+                r.samples
+            ));
+        }
+        out.push_str("]\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("criterion: cannot write {path}: {e}");
+        }
+    }
+}
+
+/// Bundles benchmark functions into a group runner, like upstream
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running every group, like upstream criterion's macro
+/// of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_capture_mean() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+            g.finish();
+        }
+        assert_eq!(c.records().len(), 1);
+        let r = &c.records()[0];
+        assert_eq!(r.id, "g/noop");
+        assert!(r.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn bench_with_input_passes_value() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_with_input(BenchmarkId::from_parameter(21), &21u64, |b, &n| {
+                b.iter(|| black_box(n * 2))
+            });
+        }
+        assert_eq!(c.records()[0].id, "g/21");
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::from_parameter(400).0, "400");
+        assert_eq!(BenchmarkId::new("f", 7).0, "f/7");
+    }
+}

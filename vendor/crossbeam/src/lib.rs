@@ -1,0 +1,72 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`scope`] is provided — the workspace uses crossbeam exclusively
+//! for scoped threads, which `std::thread::scope` (Rust ≥ 1.63) covers.
+//! The shim keeps crossbeam's call shape: the thread closure receives a
+//! `&Scope` argument (std's closures take none) and `scope` returns a
+//! `Result` (std propagates child panics directly; the `Err` branch is
+//! therefore never constructed here).
+
+use std::thread;
+
+/// A scope handle that can spawn further scoped threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. As in crossbeam, the closure receives the
+    /// scope so it can spawn siblings.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the caller's
+/// stack. All spawned threads are joined before `scope` returns.
+///
+/// # Errors
+/// Mirrors crossbeam's signature; with the std backing, child panics
+/// resurface as panics in the caller instead, so `Err` is never returned.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let result = super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(result, 42);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let hits = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| hits.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}
