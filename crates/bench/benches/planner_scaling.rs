@@ -1,13 +1,18 @@
 //! Criterion: planner runtime scaling with platform size — the heuristic
 //! (Algorithm 1), the sweep reference (parallel and sequential), and the
 //! CSD degree search — plus the `eval_strategy` ablation quantifying the
-//! incremental evaluation engine against the clone+full-eval baseline.
+//! incremental evaluation engine against the clone+full-eval baseline,
+//! the `mix_scaling` group (batched multi-service planning vs independent
+//! single-service runs), and the `online_replan` latency probe at
+//! n = 10⁴ (the ROADMAP replan budget).
 //!
 //! Set `BENCH_JSON=BENCH_planner.json` to export `(id, mean ns, samples)`
-//! records for perf-trajectory tracking across PRs.
+//! records for perf-trajectory tracking across PRs; CI's `bench_gate`
+//! compares them against the committed `BENCH_planner.baseline.json`.
 
 use adept_core::planner::{
-    EvalStrategy, HeuristicPlanner, HomogeneousCsdPlanner, Planner, SweepPlanner,
+    EvalStrategy, HeuristicPlanner, HomogeneousCsdPlanner, MixPlanner, OnlinePlanner, Planner,
+    SweepPlanner,
 };
 use adept_platform::generator::uniform_random_cluster;
 use adept_platform::{MflopRate, Platform};
@@ -114,5 +119,93 @@ fn bench_eval_strategy(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_planners, bench_eval_strategy);
+/// The acceptance bar of the batched multi-service evaluator: planning a
+/// 4-service mix in one growth loop must cost less than TWO independent
+/// single-service heuristic runs (the per-service replanning it
+/// replaces paid one full run per service). The independent pair is the
+/// mix's two *heavy* services — the ones whose capacity needs drive the
+/// mix deployment's own size (the light services stop growing after a
+/// handful of nodes and would make the baseline trivially cheap).
+/// `bench_gate` enforces the pair at n = 400.
+fn bench_mix_scaling(c: &mut Criterion) {
+    let mix = bench::scenarios::mix4();
+    let svc0 = mix.service(2).clone();
+    let svc1 = mix.service(3).clone();
+    let mut group = c.benchmark_group("mix_scaling");
+    group.sample_size(10);
+    for &n in &[100usize, 200, 400] {
+        let platform = platform(n);
+        group.bench_with_input(BenchmarkId::new("mix-planner-4svc", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    MixPlanner::default()
+                        .plan_mix_unbounded(&platform, &mix)
+                        .expect("fits"),
+                )
+                .plan
+                .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("independent-2svc", n), &n, |b, _| {
+            b.iter(|| {
+                let p = HeuristicPlanner::paper();
+                black_box(
+                    p.plan(&platform, &svc0, ClientDemand::Unbounded)
+                        .expect("fits"),
+                )
+                .len()
+                    + black_box(
+                        p.plan(&platform, &svc1, ClientDemand::Unbounded)
+                            .expect("fits"),
+                    )
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// ROADMAP's online replan latency budget: one end-to-end
+/// `OnlinePlanner::replan` round (evaluator build + O(log n) probes) on
+/// a 10⁴-node platform against a demand 1.5× the running plan's rate.
+/// `bench_gate` asserts a coarse absolute ceiling on this id so hot-loop
+/// regressions in the replanner fail CI.
+fn bench_online_replan(c: &mut Criterion) {
+    let n = 10_000usize;
+    let platform = platform(n);
+    let service = Dgemm::new(310).service();
+    let running = HeuristicPlanner::paper()
+        .plan(&platform, &service, ClientDemand::Unbounded)
+        .expect("fits");
+    let rho = adept_core::model::ModelParams::from_platform(&platform)
+        .evaluate(&platform, &running, &service)
+        .rho;
+    let planner = OnlinePlanner {
+        max_changes: 4,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("online_replan");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+        b.iter(|| {
+            black_box(planner.replan(
+                &platform,
+                &running,
+                &service,
+                ClientDemand::target(rho * 1.5),
+            ))
+            .plan
+            .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_planners,
+    bench_eval_strategy,
+    bench_mix_scaling,
+    bench_online_replan
+);
 criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! CI perf-regression gate: compares a `BENCH_JSON` smoke run against
+//! the committed baseline and exits non-zero on regressions, missing
+//! benchmarks, latency-budget overruns, or a broken mix-vs-independent
+//! ordering. See [`bench::gate`] for the rules.
+//!
+//! ```text
+//! bench_gate [CURRENT.json] [BASELINE.json]
+//! # defaults: BENCH_planner.json BENCH_planner.baseline.json
+//! ```
+
+use bench::gate;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let current_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_planner.json".to_string());
+    let baseline_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_planner.baseline.json".to_string());
+
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let parse = |path: &str, text: &str| -> Vec<gate::BenchRecord> {
+        gate::parse_records(text).unwrap_or_else(|e| {
+            eprintln!("bench_gate: {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let current = parse(&current_path, &read(&current_path));
+    let baseline = parse(&baseline_path, &read(&baseline_path));
+
+    print!("{}", gate::comparison_table(&current, &baseline));
+    let violations = gate::check(&current, &baseline);
+    if violations.is_empty() {
+        println!(
+            "\nbench gate PASSED: {} benchmarks within {}x of baseline, ceilings and pair rules hold",
+            current.len(),
+            gate::NOISE_RATIO
+        );
+        return;
+    }
+    eprintln!("\nbench gate FAILED ({} violation(s)):", violations.len());
+    for v in &violations {
+        eprintln!("  {v}");
+    }
+    std::process::exit(1);
+}

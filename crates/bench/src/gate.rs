@@ -1,0 +1,378 @@
+//! CI perf-regression gate over `BENCH_JSON` exports.
+//!
+//! The `bench-smoke` CI job runs `planner_scaling` with a short
+//! per-benchmark budget and exports `(id, mean ns, samples)` records;
+//! this module compares that run against the committed
+//! `BENCH_planner.baseline.json` and fails the job on:
+//!
+//! * **ratio regressions** — a benchmark whose mean exceeds its baseline
+//!   by more than [`NOISE_RATIO`]×. The ratio is deliberately generous:
+//!   CI runners differ from the machine that recorded the baseline, and
+//!   the smoke run is a trend tracker, not a rigorous estimator — the
+//!   gate exists to catch order-of-magnitude hot-loop regressions, not
+//!   5% drift;
+//! * **missing benchmarks** — a baseline id absent from the current run
+//!   (deleting a regressing bench must come with a baseline update);
+//! * **absolute ceilings** — [`CEILINGS`] pins coarse upper bounds on
+//!   latency-budget ids (the ROADMAP's `online_replan` budget at
+//!   n = 10⁴), so regressions fail even if the baseline itself was
+//!   recorded after the regression;
+//! * **pair rules** — [`FASTER_THAN`] asserts one id stays cheaper than
+//!   another within the *same* run (hardware-independent). This encodes
+//!   the batched-mix acceptance bar: a 4-service mix plan at n = 400
+//!   must cost less than two independent single-service plans.
+//!
+//! The records are parsed with a purpose-built scanner (the offline
+//! build environment has no serde); the format is the vendored
+//! criterion's one-object-per-line array.
+
+use std::fmt;
+
+/// Maximum tolerated current/baseline mean ratio before a benchmark
+/// counts as regressed.
+pub const NOISE_RATIO: f64 = 2.5;
+
+/// Coarse absolute ceilings (id, max mean ns). The `online_replan`
+/// budget leaves ~20× headroom over the recorded ~1.2 ms so slow CI
+/// hardware passes while a complexity regression (e.g. an O(n) probe
+/// sneaking back into the O(log n) loop) still fails.
+pub const CEILINGS: &[(&str, f64)] = &[("online_replan/10000", 25_000_000.0)];
+
+/// Same-run ordering rules: the first id's mean must stay strictly below
+/// the second's.
+pub const FASTER_THAN: &[(&str, &str)] = &[(
+    "mix_scaling/mix-planner-4svc/400",
+    "mix_scaling/independent-2svc/400",
+)];
+
+/// One parsed benchmark record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Full benchmark id, `group/function[/param]`.
+    pub id: String,
+    /// Mean wall-clock time per iteration, nanoseconds.
+    pub mean_ns: f64,
+}
+
+/// A reason the gate fails.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// Mean exceeded baseline by more than [`NOISE_RATIO`]×.
+    Regression {
+        /// Benchmark id.
+        id: String,
+        /// Baseline mean (ns).
+        baseline_ns: f64,
+        /// Current mean (ns).
+        current_ns: f64,
+    },
+    /// A baseline id is absent from the current run.
+    Missing {
+        /// Benchmark id.
+        id: String,
+    },
+    /// An absolute latency ceiling was exceeded (or its id is missing).
+    CeilingExceeded {
+        /// Benchmark id.
+        id: String,
+        /// Ceiling (ns).
+        ceiling_ns: f64,
+        /// Current mean (ns), `None` when the id did not run.
+        current_ns: Option<f64>,
+    },
+    /// A same-run ordering rule failed (or an id is missing).
+    PairViolated {
+        /// Id required to be faster.
+        fast: String,
+        /// Id required to be slower.
+        slow: String,
+        /// Means (ns) when both ran.
+        means: Option<(f64, f64)>,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Regression {
+                id,
+                baseline_ns,
+                current_ns,
+            } => write!(
+                f,
+                "REGRESSION {id}: {current_ns:.0} ns vs baseline {baseline_ns:.0} ns ({:.2}x > {NOISE_RATIO}x)",
+                current_ns / baseline_ns
+            ),
+            Violation::Missing { id } => write!(
+                f,
+                "MISSING {id}: present in the baseline but not in this run \
+                 (update BENCH_planner.baseline.json if it was removed on purpose)"
+            ),
+            Violation::CeilingExceeded {
+                id,
+                ceiling_ns,
+                current_ns: Some(ns),
+            } => write!(
+                f,
+                "CEILING {id}: {ns:.0} ns exceeds the {ceiling_ns:.0} ns latency budget"
+            ),
+            Violation::CeilingExceeded {
+                id,
+                ceiling_ns,
+                current_ns: None,
+            } => write!(f, "CEILING {id}: did not run (budget {ceiling_ns:.0} ns)"),
+            Violation::PairViolated {
+                fast,
+                slow,
+                means: Some((a, b)),
+            } => write!(f, "PAIR {fast} ({a:.0} ns) must stay below {slow} ({b:.0} ns)"),
+            Violation::PairViolated { fast, slow, means: None } => {
+                write!(f, "PAIR {fast} < {slow}: one of the ids did not run")
+            }
+        }
+    }
+}
+
+/// Parses a `BENCH_JSON` export: a JSON array of
+/// `{"id": "...", "mean_ns": <num>, "samples": <int>}` objects.
+///
+/// # Errors
+/// A description of the first malformed record.
+pub fn parse_records(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut records = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.contains("\"id\"") {
+            continue;
+        }
+        let field = |key: &str| -> Result<&str, String> {
+            let pat = format!("\"{key}\":");
+            let at = line
+                .find(&pat)
+                .ok_or_else(|| format!("line {}: no {key} field: {line}", lineno + 1))?;
+            Ok(line[at + pat.len()..].trim_start())
+        };
+        let id_rest = field("id")?;
+        let id_rest = id_rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("line {}: id is not a string", lineno + 1))?;
+        let id_end = id_rest
+            .find('"')
+            .ok_or_else(|| format!("line {}: unterminated id", lineno + 1))?;
+        let id = id_rest[..id_end].to_string();
+        let mean_rest = field("mean_ns")?;
+        let mean_end = mean_rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(mean_rest.len());
+        let mean_ns: f64 = mean_rest[..mean_end]
+            .parse()
+            .map_err(|e| format!("line {}: bad mean_ns: {e}", lineno + 1))?;
+        records.push(BenchRecord { id, mean_ns });
+    }
+    if records.is_empty() {
+        return Err("no benchmark records found".into());
+    }
+    Ok(records)
+}
+
+fn mean_of(records: &[BenchRecord], id: &str) -> Option<f64> {
+    records.iter().find(|r| r.id == id).map(|r| r.mean_ns)
+}
+
+/// Applies every rule; returns all violations (empty = gate passes).
+pub fn check(current: &[BenchRecord], baseline: &[BenchRecord]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for base in baseline {
+        match mean_of(current, &base.id) {
+            None => violations.push(Violation::Missing {
+                id: base.id.clone(),
+            }),
+            Some(cur) if cur > base.mean_ns * NOISE_RATIO => {
+                violations.push(Violation::Regression {
+                    id: base.id.clone(),
+                    baseline_ns: base.mean_ns,
+                    current_ns: cur,
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    for &(id, ceiling_ns) in CEILINGS {
+        match mean_of(current, id) {
+            Some(ns) if ns <= ceiling_ns => {}
+            other => violations.push(Violation::CeilingExceeded {
+                id: id.to_string(),
+                ceiling_ns,
+                current_ns: other,
+            }),
+        }
+    }
+    for &(fast, slow) in FASTER_THAN {
+        match (mean_of(current, fast), mean_of(current, slow)) {
+            (Some(a), Some(b)) if a < b => {}
+            (Some(a), Some(b)) => violations.push(Violation::PairViolated {
+                fast: fast.to_string(),
+                slow: slow.to_string(),
+                means: Some((a, b)),
+            }),
+            _ => violations.push(Violation::PairViolated {
+                fast: fast.to_string(),
+                slow: slow.to_string(),
+                means: None,
+            }),
+        }
+    }
+    violations
+}
+
+/// Renders the per-id comparison table (sorted by ratio, worst first).
+pub fn comparison_table(current: &[BenchRecord], baseline: &[BenchRecord]) -> String {
+    let mut rows: Vec<(f64, String)> = baseline
+        .iter()
+        .filter_map(|b| {
+            mean_of(current, &b.id).map(|cur| {
+                let ratio = cur / b.mean_ns;
+                (
+                    ratio,
+                    format!(
+                        "{:<48} {:>14.0} {:>14.0} {:>7.2}x",
+                        b.id, b.mean_ns, cur, ratio
+                    ),
+                )
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("ratios are finite"));
+    let mut out = format!(
+        "{:<48} {:>14} {:>14} {:>8}\n",
+        "benchmark", "baseline ns", "current ns", "ratio"
+    );
+    for (_, row) in rows {
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: &str, mean: f64) -> BenchRecord {
+        BenchRecord {
+            id: id.into(),
+            mean_ns: mean,
+        }
+    }
+
+    fn passing_current() -> Vec<BenchRecord> {
+        vec![
+            rec("planner_heuristic/400", 500_000.0),
+            rec("online_replan/10000", 1_200_000.0),
+            rec("mix_scaling/mix-planner-4svc/400", 450_000.0),
+            rec("mix_scaling/independent-2svc/400", 1_000_000.0),
+        ]
+    }
+
+    #[test]
+    fn parses_the_vendored_criterion_format() {
+        let text = r#"[
+  {"id": "planner_heuristic/25", "mean_ns": 13259.8, "samples": 10},
+  {"id": "online_replan/10000", "mean_ns": 1239321.75, "samples": 10}
+]"#;
+        let records = parse_records(text).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, "planner_heuristic/25");
+        assert!((records[1].mean_ns - 1_239_321.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_or_garbage_is_an_error() {
+        assert!(parse_records("[]").is_err());
+        assert!(parse_records("{\"id\": 42}").is_err());
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let current = passing_current();
+        let baseline = current.clone();
+        assert!(check(&current, &baseline).is_empty());
+    }
+
+    #[test]
+    fn noise_below_the_ratio_passes_and_regression_fails() {
+        let mut current = passing_current();
+        let baseline = current.clone();
+        current[0].mean_ns *= 2.0; // within 2.5x: noise
+        assert!(check(&current, &baseline).is_empty());
+        current[0].mean_ns = baseline[0].mean_ns * 3.0; // beyond: regression
+        let violations = check(&current, &baseline);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            &violations[0],
+            Violation::Regression { id, .. } if id == "planner_heuristic/400"
+        ));
+        assert!(violations[0].to_string().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn deleted_benchmark_fails() {
+        let current = passing_current();
+        let mut baseline = current.clone();
+        baseline.push(rec("planner_sweep/400", 1.0e6));
+        let violations = check(&current, &baseline);
+        assert_eq!(
+            violations,
+            vec![Violation::Missing {
+                id: "planner_sweep/400".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn replan_latency_ceiling_is_enforced() {
+        let mut current = passing_current();
+        let baseline = current.clone();
+        current[1].mean_ns = 26_000_000.0; // above the 25 ms budget
+        let violations = check(&current, &baseline);
+        // The ceiling fires; the ratio rule fires too (26 ms >> baseline).
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::CeilingExceeded { .. })));
+        // Removing the bench entirely also trips the ceiling.
+        let current: Vec<BenchRecord> = passing_current()
+            .into_iter()
+            .filter(|r| r.id != "online_replan/10000")
+            .collect();
+        let violations = check(&current, &current.clone());
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            Violation::CeilingExceeded {
+                current_ns: None,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn mix_must_stay_cheaper_than_independent_plans() {
+        let mut current = passing_current();
+        let baseline = current.clone();
+        current[2].mean_ns = 1_100_000.0; // mix slower than the pair
+        let violations = check(&current, &baseline);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::PairViolated { means: Some(_), .. })));
+    }
+
+    #[test]
+    fn table_sorts_worst_ratio_first() {
+        // Ids chosen to not appear in the header row.
+        let baseline = vec![rec("mild_drift", 100.0), rec("big_jump", 100.0)];
+        let current = vec![rec("mild_drift", 120.0), rec("big_jump", 240.0)];
+        let table = comparison_table(&current, &baseline);
+        let worst_at = table.find("big_jump").unwrap();
+        let mild_at = table.find("mild_drift").unwrap();
+        assert!(worst_at < mild_at, "worst ratio first:\n{table}");
+    }
+}

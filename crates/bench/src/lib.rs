@@ -9,7 +9,9 @@
 //!   correlation coefficient of 0.97");
 //! * [`scenarios`] — the paper's platforms and workloads as named setups;
 //! * [`curves`] — load-curve sweeps (throughput vs. number of clients)
-//!   run in parallel across client counts with crossbeam.
+//!   run in parallel across client counts with crossbeam;
+//! * [`gate`] — the CI perf-regression gate comparing a `BENCH_JSON`
+//!   smoke run against the committed `BENCH_planner.baseline.json`.
 //!
 //! Binaries honor two environment variables: `BENCH_FAST=1` shrinks client
 //! sweeps and measurement windows (CI-friendly), and `RESULTS_DIR`
@@ -19,6 +21,7 @@
 
 pub mod curves;
 pub mod fit;
+pub mod gate;
 pub mod scenarios;
 pub mod table;
 

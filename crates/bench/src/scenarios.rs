@@ -7,7 +7,7 @@ use adept_hierarchy::DeploymentPlan;
 use adept_nes_sim::SimConfig;
 use adept_platform::generator::{heterogenized_cluster, lyon_cluster};
 use adept_platform::{BackgroundLoad, CapacityProbe, MflopRate, NodeId, Platform, Seconds};
-use adept_workload::{ClientDemand, Dgemm, ServiceSpec};
+use adept_workload::{ClientDemand, Dgemm, ServiceMix, ServiceSpec};
 
 /// The Lyon calibration/validation cluster (Sections 5.1–5.2): small,
 /// homogeneous.
@@ -26,6 +26,19 @@ pub fn orsay200(seed: u64) -> Platform {
         CapacityProbe::with_noise(0.02, seed ^ 0x5a5a),
         seed,
     )
+}
+
+/// A four-service DGEMM mix with skewed request shares (4:2:1:1) — the
+/// multi-service planning scenario of the `mix_scaling` bench group.
+/// Light services dominate the request stream; heavy services dominate
+/// the computation.
+pub fn mix4() -> ServiceMix {
+    ServiceMix::new(vec![
+        (Dgemm::new(100).service(), 4.0),
+        (Dgemm::new(220).service(), 2.0),
+        (Dgemm::new(310).service(), 1.0),
+        (Dgemm::new(450).service(), 1.0),
+    ])
 }
 
 /// Star with one agent and `servers` SeDs on a Lyon cluster (the

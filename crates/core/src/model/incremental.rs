@@ -41,21 +41,49 @@
 //! previous state **bit-exactly** (changed floats are saved and restored
 //! verbatim, never recomputed), so a probe-and-retract loop cannot drift.
 //!
+//! # Batched multi-service evaluation
+//!
+//! A [`ServiceMix`] deployment shares the scheduling phase — every
+//! request crosses every agent whatever its service, so Eq. 14 is one
+//! number — while the servers are **partitioned**: a server hosts exactly
+//! one service and only feeds that service's Eq. 15 sums. The evaluator
+//! therefore keeps *one* tournament tree and, per service `j`, the Eq. 10
+//! running sums as structure-of-arrays
+//! ([`svc_numerator`](IncrementalEval)/`svc_denominator`/…). A delta
+//! touches at most one service's sums (the server being attached,
+//! retired, promoted or demoted belongs to exactly one service), so every
+//! mutation still costs one O(log n) tree pass plus O(1) sum updates —
+//! and updates **all** services' throughputs at once; queries are O(S)
+//! for S services. Build with [`from_plan_mix`]
+//! (IncrementalEval::from_plan_mix) / [`from_agents_mix`]
+//! (IncrementalEval::from_agents_mix), attach with [`add_server_for`]
+//! (IncrementalEval::add_server_for), move a server between services
+//! with [`reassign_server`](IncrementalEval::reassign_server) (an O(1)
+//! reinstall — the scheduling phase is untouched), read with
+//! [`rho_service_of`](IncrementalEval::rho_service_of) and
+//! [`mix_report`](IncrementalEval::mix_report). The single-service
+//! constructors are the one-service special case of the same machinery
+//! (share 1.0), with bit-identical results.
+//!
 //! # Parity contract
 //!
 //! [`rho`](IncrementalEval::rho) and [`report`](IncrementalEval::report)
 //! match a from-scratch [`ModelParams::evaluate`] of the equivalent plan to
 //! within 1e-9 relative (exactly, for the scheduling phase; the service
 //! sums can differ from the sequential re-summation by float associativity
-//! only). The property test `tests/incremental_parity.rs` drives ~1k
-//! randomized mutation sequences against the full evaluator to enforce
-//! this, including the reported bottleneck kind.
+//! only), and [`mix_report`](IncrementalEval::mix_report) matches
+//! [`evaluate_mix`](super::mix::evaluate_mix) the same way, per service.
+//! The property test `tests/incremental_parity.rs` drives ~1k randomized
+//! single-service mutation sequences plus randomized multi-service
+//! sequences against the full evaluator to enforce this, including the
+//! reported bottleneck kind and bit-exact undo.
 
+use super::mix::{MixReport, ServerAssignment};
 use super::{comm, throughput, ModelParams};
 use crate::analysis::{Bottleneck, ThroughputReport};
 use adept_hierarchy::{DeploymentPlan, PlanError, Role, Slot};
 use adept_platform::{MflopRate, NodeId, Platform};
-use adept_workload::ServiceSpec;
+use adept_workload::{ServiceMix, ServiceSpec};
 use std::collections::HashSet;
 
 /// Tournament (segment) tree over per-slot cycle times: O(1) max query,
@@ -137,8 +165,13 @@ impl MaxTree {
 /// Scalars needed to restore the evaluator state bit-exactly on undo.
 #[derive(Debug, Clone, Copy)]
 struct Saved {
-    numerator: f64,
-    denominator: f64,
+    /// `(service, numerator, denominator)` for every service whose
+    /// Eq. 15 sums the delta touched — at most two (a reassignment moves
+    /// a server between two services; every other delta touches one or
+    /// none).
+    services: [(usize, f64, f64); 2],
+    /// How many entries of `services` are meaningful.
+    touched_services: usize,
     /// `(slot, previous cycle)` for every tree entry the delta touched.
     cycles: [(usize, f64); 2],
     /// How many entries of `cycles` are meaningful.
@@ -173,6 +206,10 @@ enum Delta {
     ReleaseChildSlot {
         agent: usize,
     },
+    Reassign {
+        slot: usize,
+        old_service: usize,
+    },
 }
 
 /// Incrementally maintained model evaluation of a deployment.
@@ -184,18 +221,36 @@ enum Delta {
 #[derive(Debug, Clone)]
 pub struct IncrementalEval {
     params: ModelParams,
-    /// `(Sreq + Srep)/B` of the service phase, Eq. 15's transfer term.
+    /// `(Sreq + Srep)/B` of the service phase, Eq. 15's transfer term
+    /// (service-independent: the calibrated server-tier message sizes).
     service_transfer: f64,
-    /// `Wpre / Wapp` — the per-server numerator increment of Eq. 10.
-    wpre_over_wapp: f64,
-    /// `1 / Wapp` — converts a power into Eq. 10's denominator increment.
-    inv_wapp: f64,
+
+    // Per-service Eq. 15 state, structure-of-arrays (index = service in
+    // the mix; a single-service evaluator is the len-1 special case).
+    /// `Wpre / Wapp_j` — service `j`'s per-server numerator increment.
+    svc_wpre_over_wapp: Vec<f64>,
+    /// `1 / Wapp_j` — converts a power into `j`'s denominator increment.
+    svc_inv_wapp: Vec<f64>,
+    /// Eq. 10 numerator of service `j`, `1 + Σ Wpre/Wapp_j` over its
+    /// active servers.
+    svc_numerator: Vec<f64>,
+    /// Eq. 10 denominator of service `j`, `Σ wᵢ/Wapp_j` over its active
+    /// servers.
+    svc_denominator: Vec<f64>,
+    /// Active servers hosting service `j`.
+    svc_server_count: Vec<usize>,
+    /// Request share `f_j` of service `j` (1.0 for single-service).
+    svc_share: Vec<f64>,
 
     nodes: Vec<NodeId>,
     powers: Vec<f64>,
     roles: Vec<Role>,
     parents: Vec<Option<usize>>,
     degrees: Vec<usize>,
+    /// Service hosted by each slot while it is (or last was) a server;
+    /// agents keep their last value (0 for never-servers) so a demotion
+    /// returns the node to the service it previously hosted.
+    service_of: Vec<usize>,
     active: Vec<bool>,
     used: HashSet<NodeId>,
 
@@ -203,10 +258,6 @@ pub struct IncrementalEval {
     /// Number of active slots (tombstoned removals excluded).
     active_count: usize,
     server_count: usize,
-    /// Eq. 10 numerator, `1 + Σ Wpre/Wapp` over active servers.
-    numerator: f64,
-    /// Eq. 10 denominator, `Σ wᵢ/Wapp` over active servers.
-    denominator: f64,
 
     undo_stack: Vec<(Delta, Saved)>,
 }
@@ -220,7 +271,7 @@ impl IncrementalEval {
         plan: &DeploymentPlan,
         service: &ServiceSpec,
     ) -> Self {
-        let mut eval = Self::empty(params, service, plan.len());
+        let mut eval = Self::empty(params, std::slice::from_ref(service), &[1.0], plan.len());
         for slot in plan.slots() {
             let node = plan.node(slot);
             eval.push_slot(
@@ -229,9 +280,57 @@ impl IncrementalEval {
                 plan.role(slot),
                 plan.parent(slot).map(Slot::index),
                 plan.degree(slot),
+                0,
             );
         }
         eval
+    }
+
+    /// Builds a **batched multi-service** evaluator for an existing plan
+    /// whose servers are partitioned among the mix's services by
+    /// `assignment`; `Slot(i)` here matches `Slot(i)` of `plan`.
+    /// O(n log n).
+    ///
+    /// # Errors
+    /// [`PlanError::ServerNotAssigned`] when a plan server is missing
+    /// from the assignment, [`PlanError::InvalidServiceIndex`] when an
+    /// assignment points outside the mix.
+    pub fn from_plan_mix(
+        params: &ModelParams,
+        platform: &Platform,
+        plan: &DeploymentPlan,
+        mix: &ServiceMix,
+        assignment: &ServerAssignment,
+    ) -> Result<Self, PlanError> {
+        let shares: Vec<f64> = (0..mix.len()).map(|j| mix.share(j)).collect();
+        let mut eval = Self::empty(params, mix.services(), &shares, plan.len());
+        for slot in plan.slots() {
+            let node = plan.node(slot);
+            let service = match plan.role(slot) {
+                Role::Agent => 0,
+                Role::Server => {
+                    let j = assignment
+                        .service(node)
+                        .ok_or(PlanError::ServerNotAssigned(node))?;
+                    if j >= mix.len() {
+                        return Err(PlanError::InvalidServiceIndex {
+                            index: j,
+                            services: mix.len(),
+                        });
+                    }
+                    j
+                }
+            };
+            eval.push_slot(
+                node,
+                platform.power(node).value(),
+                plan.role(slot),
+                plan.parent(slot).map(Slot::index),
+                plan.degree(slot),
+                service,
+            );
+        }
+        Ok(eval)
     }
 
     /// Builds the evaluator for an **abstract** agent set (no parent links,
@@ -248,31 +347,69 @@ impl IncrementalEval {
         service: &ServiceSpec,
     ) -> Self {
         assert!(!agents.is_empty(), "need at least the root agent");
-        let mut eval = Self::empty(params, service, agents.len() * 2);
+        let mut eval = Self::empty(
+            params,
+            std::slice::from_ref(service),
+            &[1.0],
+            agents.len() * 2,
+        );
         for &node in agents {
-            eval.push_slot(node, platform.power(node).value(), Role::Agent, None, 0);
+            eval.push_slot(node, platform.power(node).value(), Role::Agent, None, 0, 0);
         }
         eval
     }
 
-    fn empty(params: &ModelParams, service: &ServiceSpec, capacity: usize) -> Self {
+    /// [`from_agents`](IncrementalEval::from_agents) for a service mix:
+    /// the abstract starting point of a multi-service growth loop, with
+    /// no servers yet (every service starts at zero capacity).
+    ///
+    /// # Panics
+    /// Panics if `agents` is empty.
+    pub fn from_agents_mix(
+        params: &ModelParams,
+        platform: &Platform,
+        agents: &[NodeId],
+        mix: &ServiceMix,
+    ) -> Self {
+        assert!(!agents.is_empty(), "need at least the root agent");
+        let shares: Vec<f64> = (0..mix.len()).map(|j| mix.share(j)).collect();
+        let mut eval = Self::empty(params, mix.services(), &shares, agents.len() * 2);
+        for &node in agents {
+            eval.push_slot(node, platform.power(node).value(), Role::Agent, None, 0, 0);
+        }
+        eval
+    }
+
+    fn empty(
+        params: &ModelParams,
+        services: &[ServiceSpec],
+        shares: &[f64],
+        capacity: usize,
+    ) -> Self {
+        debug_assert_eq!(services.len(), shares.len(), "one share per service");
         Self {
             params: *params,
             service_transfer: comm::service_transfer_time(params).value(),
-            wpre_over_wapp: params.calibration.server.wpre / service.wapp,
-            inv_wapp: 1.0 / service.wapp.value(),
+            svc_wpre_over_wapp: services
+                .iter()
+                .map(|s| params.calibration.server.wpre / s.wapp)
+                .collect(),
+            svc_inv_wapp: services.iter().map(|s| 1.0 / s.wapp.value()).collect(),
+            svc_numerator: vec![1.0; services.len()],
+            svc_denominator: vec![0.0; services.len()],
+            svc_server_count: vec![0; services.len()],
+            svc_share: shares.to_vec(),
             nodes: Vec::with_capacity(capacity),
             powers: Vec::with_capacity(capacity),
             roles: Vec::with_capacity(capacity),
             parents: Vec::with_capacity(capacity),
             degrees: Vec::with_capacity(capacity),
+            service_of: Vec::with_capacity(capacity),
             active: Vec::with_capacity(capacity),
             used: HashSet::with_capacity(capacity),
             tree: MaxTree::with_capacity(capacity.max(4)),
             active_count: 0,
             server_count: 0,
-            numerator: 1.0,
-            denominator: 0.0,
             undo_stack: Vec::new(),
         }
     }
@@ -285,6 +422,7 @@ impl IncrementalEval {
         role: Role,
         parent: Option<usize>,
         degree: usize,
+        service: usize,
     ) {
         let slot = self.nodes.len();
         self.nodes.push(node);
@@ -292,14 +430,16 @@ impl IncrementalEval {
         self.roles.push(role);
         self.parents.push(parent);
         self.degrees.push(degree);
+        self.service_of.push(service);
         self.active.push(true);
         self.active_count += 1;
         self.used.insert(node);
         self.tree.set(slot, self.cycle_of(slot));
         if role == Role::Server {
             self.server_count += 1;
-            self.numerator += self.wpre_over_wapp;
-            self.denominator += power * self.inv_wapp;
+            self.svc_server_count[service] += 1;
+            self.svc_numerator[service] += self.svc_wpre_over_wapp[service];
+            self.svc_denominator[service] += power * self.svc_inv_wapp[service];
         }
     }
 
@@ -315,11 +455,18 @@ impl IncrementalEval {
 
     fn saved(&self) -> Saved {
         Saved {
-            numerator: self.numerator,
-            denominator: self.denominator,
+            services: [(usize::MAX, 0.0, 0.0); 2],
+            touched_services: 0,
             cycles: [(usize::MAX, 0.0); 2],
             touched: 0,
         }
+    }
+
+    /// Records service `j`'s running sums before a delta mutates them.
+    fn save_service(&self, saved: &mut Saved, j: usize) {
+        saved.services[saved.touched_services] =
+            (j, self.svc_numerator[j], self.svc_denominator[j]);
+        saved.touched_services += 1;
     }
 
     fn save_cycle(&self, saved: &mut Saved, slot: usize) {
@@ -328,8 +475,10 @@ impl IncrementalEval {
     }
 
     fn restore(&mut self, saved: &Saved) {
-        self.numerator = saved.numerator;
-        self.denominator = saved.denominator;
+        for &(j, numerator, denominator) in saved.services.iter().take(saved.touched_services) {
+            self.svc_numerator[j] = numerator;
+            self.svc_denominator[j] = denominator;
+        }
         for &(slot, cycle) in saved.cycles.iter().take(saved.touched) {
             self.tree.set(slot, cycle);
         }
@@ -352,7 +501,30 @@ impl IncrementalEval {
         node: NodeId,
         power: MflopRate,
     ) -> Result<Slot, PlanError> {
+        self.add_server_for(parent, node, power, 0)
+    }
+
+    /// Attaches `node` as a server of the mix's service `service` under
+    /// `parent` — the multi-service form of [`add_server`]
+    /// (IncrementalEval::add_server). O(log n).
+    ///
+    /// # Errors
+    /// [`PlanError::InvalidServiceIndex`] in addition to the
+    /// single-service errors.
+    pub fn add_server_for(
+        &mut self,
+        parent: Slot,
+        node: NodeId,
+        power: MflopRate,
+        service: usize,
+    ) -> Result<Slot, PlanError> {
         let p = parent.index();
+        if service >= self.svc_numerator.len() {
+            return Err(PlanError::InvalidServiceIndex {
+                index: service,
+                services: self.svc_numerator.len(),
+            });
+        }
         if p >= self.nodes.len() || !self.active[p] {
             return Err(PlanError::InvalidSlot(parent));
         }
@@ -363,6 +535,7 @@ impl IncrementalEval {
             return Err(PlanError::NodeAlreadyUsed(node));
         }
         let mut saved = self.saved();
+        self.save_service(&mut saved, service);
         self.save_cycle(&mut saved, p);
 
         let slot = self.nodes.len();
@@ -371,6 +544,7 @@ impl IncrementalEval {
         self.roles.push(Role::Server);
         self.parents.push(Some(p));
         self.degrees.push(0);
+        self.service_of.push(service);
         self.active.push(true);
         self.active_count += 1;
         self.used.insert(node);
@@ -378,8 +552,9 @@ impl IncrementalEval {
         self.tree.set(p, self.cycle_of(p));
         self.tree.set(slot, self.cycle_of(slot));
         self.server_count += 1;
-        self.numerator += self.wpre_over_wapp;
-        self.denominator += power.value() * self.inv_wapp;
+        self.svc_server_count[service] += 1;
+        self.svc_numerator[service] += self.svc_wpre_over_wapp[service];
+        self.svc_denominator[service] += power.value() * self.svc_inv_wapp[service];
 
         self.undo_stack
             .push((Delta::AddServer { slot, parent: p }, saved));
@@ -401,7 +576,9 @@ impl IncrementalEval {
             return Err(PlanError::NotAServer(slot));
         }
         let parent = self.parents[i].expect("servers always have a parent");
+        let service = self.service_of[i];
         let mut saved = self.saved();
+        self.save_service(&mut saved, service);
         self.save_cycle(&mut saved, parent);
         self.save_cycle(&mut saved, i);
 
@@ -412,8 +589,9 @@ impl IncrementalEval {
         self.tree.set(parent, self.cycle_of(parent));
         self.tree.set(i, f64::NEG_INFINITY);
         self.server_count -= 1;
-        self.numerator -= self.wpre_over_wapp;
-        self.denominator -= self.powers[i] * self.inv_wapp;
+        self.svc_server_count[service] -= 1;
+        self.svc_numerator[service] -= self.svc_wpre_over_wapp[service];
+        self.svc_denominator[service] -= self.powers[i] * self.svc_inv_wapp[service];
 
         self.undo_stack
             .push((Delta::RemoveServer { slot: i, parent }, saved));
@@ -433,14 +611,17 @@ impl IncrementalEval {
         if self.roles[i] != Role::Server {
             return Err(PlanError::NotAServer(slot));
         }
+        let service = self.service_of[i];
         let mut saved = self.saved();
+        self.save_service(&mut saved, service);
         self.save_cycle(&mut saved, i);
 
         self.roles[i] = Role::Agent;
         self.tree.set(i, self.cycle_of(i));
         self.server_count -= 1;
-        self.numerator -= self.wpre_over_wapp;
-        self.denominator -= self.powers[i] * self.inv_wapp;
+        self.svc_server_count[service] -= 1;
+        self.svc_numerator[service] -= self.svc_wpre_over_wapp[service];
+        self.svc_denominator[service] -= self.powers[i] * self.svc_inv_wapp[service];
 
         self.undo_stack.push((Delta::Promote { slot: i }, saved));
         Ok(())
@@ -467,14 +648,19 @@ impl IncrementalEval {
         if self.parents[i].is_none() {
             return Err(PlanError::CannotRemoveRoot);
         }
+        // The node returns to the service it hosted before its promotion
+        // (0 for an agent that has never been a server).
+        let service = self.service_of[i];
         let mut saved = self.saved();
+        self.save_service(&mut saved, service);
         self.save_cycle(&mut saved, i);
 
         self.roles[i] = Role::Server;
         self.tree.set(i, self.cycle_of(i));
         self.server_count += 1;
-        self.numerator += self.wpre_over_wapp;
-        self.denominator += self.powers[i] * self.inv_wapp;
+        self.svc_server_count[service] += 1;
+        self.svc_numerator[service] += self.svc_wpre_over_wapp[service];
+        self.svc_denominator[service] += self.powers[i] * self.svc_inv_wapp[service];
 
         self.undo_stack.push((Delta::Demote { slot: i }, saved));
         Ok(())
@@ -589,6 +775,59 @@ impl IncrementalEval {
         Ok(())
     }
 
+    /// Moves a server to another service of the mix — a reinstall on the
+    /// same machine: the tree, degrees, and scheduling phase are
+    /// untouched (a server's prediction cycle is service-independent);
+    /// only the two services' Eq. 15 sums move. O(1).
+    ///
+    /// Returns `true` when a delta was applied (pair with one
+    /// [`undo`](IncrementalEval::undo) to retract), `false` for the
+    /// same-service no-op, which records nothing.
+    ///
+    /// # Errors
+    /// [`PlanError::InvalidSlot`], [`PlanError::NotAServer`], or
+    /// [`PlanError::InvalidServiceIndex`].
+    pub fn reassign_server(&mut self, slot: Slot, service: usize) -> Result<bool, PlanError> {
+        let i = slot.index();
+        if service >= self.svc_numerator.len() {
+            return Err(PlanError::InvalidServiceIndex {
+                index: service,
+                services: self.svc_numerator.len(),
+            });
+        }
+        if i >= self.nodes.len() || !self.active[i] {
+            return Err(PlanError::InvalidSlot(slot));
+        }
+        if self.roles[i] != Role::Server {
+            return Err(PlanError::NotAServer(slot));
+        }
+        let old_service = self.service_of[i];
+        if old_service == service {
+            return Ok(false);
+        }
+        let mut saved = self.saved();
+        self.save_service(&mut saved, old_service);
+        self.save_service(&mut saved, service);
+
+        let power = self.powers[i];
+        self.svc_server_count[old_service] -= 1;
+        self.svc_numerator[old_service] -= self.svc_wpre_over_wapp[old_service];
+        self.svc_denominator[old_service] -= power * self.svc_inv_wapp[old_service];
+        self.svc_server_count[service] += 1;
+        self.svc_numerator[service] += self.svc_wpre_over_wapp[service];
+        self.svc_denominator[service] += power * self.svc_inv_wapp[service];
+        self.service_of[i] = service;
+
+        self.undo_stack.push((
+            Delta::Reassign {
+                slot: i,
+                old_service,
+            },
+            saved,
+        ));
+        Ok(true)
+    }
+
     /// Reverts the most recent delta, restoring every cached float to its
     /// exact previous bit pattern. O(log n). Returns `false` when the undo
     /// stack is empty.
@@ -600,11 +839,13 @@ impl IncrementalEval {
             Delta::AddServer { slot, parent } => {
                 debug_assert_eq!(slot, self.nodes.len() - 1);
                 self.used.remove(&self.nodes[slot]);
+                self.svc_server_count[self.service_of[slot]] -= 1;
                 self.nodes.pop();
                 self.powers.pop();
                 self.roles.pop();
                 self.parents.pop();
                 self.degrees.pop();
+                self.service_of.pop();
                 self.active.pop();
                 self.active_count -= 1;
                 self.degrees[parent] -= 1;
@@ -617,14 +858,17 @@ impl IncrementalEval {
                 self.used.insert(self.nodes[slot]);
                 self.degrees[parent] += 1;
                 self.server_count += 1;
+                self.svc_server_count[self.service_of[slot]] += 1;
             }
             Delta::Promote { slot } => {
                 self.roles[slot] = Role::Server;
                 self.server_count += 1;
+                self.svc_server_count[self.service_of[slot]] += 1;
             }
             Delta::Demote { slot } => {
                 self.roles[slot] = Role::Agent;
                 self.server_count -= 1;
+                self.svc_server_count[self.service_of[slot]] -= 1;
             }
             Delta::MoveChild {
                 child,
@@ -640,6 +884,11 @@ impl IncrementalEval {
             }
             Delta::ReleaseChildSlot { agent } => {
                 self.degrees[agent] += 1;
+            }
+            Delta::Reassign { slot, old_service } => {
+                self.svc_server_count[self.service_of[slot]] -= 1;
+                self.svc_server_count[old_service] += 1;
+                self.service_of[slot] = old_service;
             }
         }
         self.restore(&saved);
@@ -666,8 +915,10 @@ impl IncrementalEval {
     // Queries
     // ------------------------------------------------------------------
 
-    /// Eq. 16's completed-request throughput of the current state.
-    /// O(1).
+    /// Eq. 16's completed-request throughput of the current state —
+    /// for a mix, the completed-mix rate (scheduling capped by the worst
+    /// share-normalized service). O(S) for S services; O(1)
+    /// single-service.
     pub fn rho(&self) -> f64 {
         let (rho_sched, _) = self.sched();
         rho_sched.min(self.rho_service())
@@ -684,17 +935,67 @@ impl IncrementalEval {
         (rho, worst)
     }
 
-    /// Eq. 15's service throughput. O(1).
+    /// Eq. 14's scheduling throughput. O(1). Shared by every service of
+    /// a mix (all requests cross all agents).
+    pub fn rho_sched(&self) -> f64 {
+        self.sched().0
+    }
+
+    /// Eq. 15's service throughput of the deployment: the smallest
+    /// share-normalized per-service rate, `min_j ρ_service_j / f_j` —
+    /// the service phase's cap on the completed-mix rate (the service
+    /// whose capacity is smallest *relative to its request share* binds).
+    /// For a single-service evaluator this is plain Eq. 15. O(S).
     pub fn rho_service(&self) -> f64 {
-        if self.server_count == 0 {
+        let mut worst = f64::INFINITY;
+        for j in 0..self.svc_numerator.len() {
+            let share = self.svc_share[j];
+            if share == 0.0 {
+                continue; // no requests ever routed here: cannot bind
+            }
+            worst = worst.min(self.rho_service_of(j) / share);
+        }
+        if worst == f64::INFINITY {
             0.0
         } else {
-            1.0 / (self.service_transfer + self.numerator / self.denominator)
+            worst
         }
     }
 
+    /// Eq. 15's raw service throughput of one service of the mix (not
+    /// share-normalized): the rate its own server partition sustains.
+    /// O(1).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range service index.
+    pub fn rho_service_of(&self, j: usize) -> f64 {
+        if self.svc_server_count[j] == 0 {
+            0.0
+        } else {
+            throughput::service_rate_from_sums(
+                self.service_transfer,
+                self.svc_numerator[j],
+                self.svc_denominator[j],
+            )
+        }
+    }
+
+    /// What [`rho_service_of`](IncrementalEval::rho_service_of)`(j)`
+    /// would become if one more server of power `power` were assigned to
+    /// service `j` — bit-identical to applying [`add_server_for`]
+    /// (IncrementalEval::add_server_for) and reading the rate, without
+    /// mutating. O(1); the analytic half of a planner's attach probe (the
+    /// scheduling half needs one [`assign_child_slot`]
+    /// (IncrementalEval::assign_child_slot)/undo pair).
+    pub fn service_rate_with_extra(&self, j: usize, power: MflopRate) -> f64 {
+        let num = self.svc_numerator[j] + self.svc_wpre_over_wapp[j];
+        let den = self.svc_denominator[j] + power.value() * self.svc_inv_wapp[j];
+        throughput::service_rate_from_sums(self.service_transfer, num, den)
+    }
+
     /// Full report, mirroring [`ModelParams::evaluate`] including the
-    /// bottleneck tie rule (scheduling wins ties). O(1).
+    /// bottleneck tie rule (scheduling wins ties). O(S); O(1)
+    /// single-service.
     pub fn report(&self) -> ThroughputReport {
         let (rho_sched, (_, worst_slot)) = self.sched();
         let rho_service = self.rho_service();
@@ -723,6 +1024,63 @@ impl IncrementalEval {
                 bottleneck: Bottleneck::ServiceCapacity,
             }
         }
+    }
+
+    /// Full multi-service report, mirroring [`evaluate_mix`]
+    /// (super::mix::evaluate_mix) including its binding rule (ascending
+    /// service order, strict improvement; scheduling wins ties). O(S).
+    pub fn mix_report(&self) -> MixReport {
+        let rho_sched = self.rho_sched();
+        let rho_service: Vec<f64> = (0..self.svc_numerator.len())
+            .map(|j| self.rho_service_of(j))
+            .collect();
+        let mut rho = rho_sched;
+        let mut binding = None;
+        for (j, &rs) in rho_service.iter().enumerate() {
+            let share = self.svc_share[j];
+            if share == 0.0 {
+                continue; // a zero-share service never binds the mix
+            }
+            let capped = rs / share;
+            if capped < rho {
+                rho = capped;
+                binding = Some(j);
+            }
+        }
+        MixReport {
+            rho,
+            rho_sched,
+            rho_service,
+            binding_service: binding,
+        }
+    }
+
+    /// Number of services the evaluator tracks (1 for the single-service
+    /// constructors).
+    pub fn service_count(&self) -> usize {
+        self.svc_numerator.len()
+    }
+
+    /// Request share of service `j`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range service index.
+    pub fn share(&self, j: usize) -> f64 {
+        self.svc_share[j]
+    }
+
+    /// Number of active servers hosting service `j`. O(1).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range service index.
+    pub fn server_count_for(&self, j: usize) -> usize {
+        self.svc_server_count[j]
+    }
+
+    /// The mix service hosted by a server slot (for an agent: the service
+    /// it would return to on demotion).
+    pub fn service_of(&self, slot: Slot) -> usize {
+        self.service_of[slot.index()]
     }
 
     /// Role of an active slot.
@@ -1042,6 +1400,234 @@ mod tests {
         assert_eq!(eval.pending_deltas(), 0);
         assert!(!eval.undo());
         assert_eq!(eval.server_count(), 2);
+    }
+
+    fn three_mix() -> ServiceMix {
+        ServiceMix::new(vec![
+            (Dgemm::new(100).service(), 2.0),
+            (Dgemm::new(310).service(), 1.0),
+            (Dgemm::new(1000).service(), 1.0),
+        ])
+    }
+
+    fn check_mix_parity(
+        eval: &IncrementalEval,
+        params: &ModelParams,
+        platform: &Platform,
+        plan: &DeploymentPlan,
+        mix: &ServiceMix,
+        assignment: &ServerAssignment,
+        context: &str,
+    ) {
+        let full = super::super::mix::evaluate_mix_full(params, platform, plan, mix, assignment);
+        let fast = eval.mix_report();
+        let rel = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+        assert!(rel(fast.rho, full.rho), "{context}: rho");
+        assert!(rel(fast.rho_sched, full.rho_sched), "{context}: rho_sched");
+        for j in 0..mix.len() {
+            assert!(
+                rel(fast.rho_service[j], full.rho_service[j]),
+                "{context}: service {j}"
+            );
+        }
+        assert_eq!(
+            fast.binding_service, full.binding_service,
+            "{context}: binding"
+        );
+    }
+
+    #[test]
+    fn mix_deltas_update_every_service_at_once() {
+        let platform = lyon_cluster(20);
+        let mix = three_mix();
+        let params = ModelParams::from_platform(&platform);
+        let mut plan = DeploymentPlan::with_root(NodeId(0));
+        let mut assignment = ServerAssignment::default();
+        for (i, j) in [(1u32, 0usize), (2, 1), (3, 2)] {
+            plan.add_server(plan.root(), NodeId(i)).unwrap();
+            assignment.service_of.insert(NodeId(i), j);
+        }
+        let mut eval =
+            IncrementalEval::from_plan_mix(&params, &platform, &plan, &mix, &assignment).unwrap();
+        check_mix_parity(
+            &eval,
+            &params,
+            &platform,
+            &plan,
+            &mix,
+            &assignment,
+            "static",
+        );
+        // Grow each service in turn; every add must move only its own
+        // service's rate while the report stays in full parity.
+        for (i, j) in [(4u32, 2usize), (5, 2), (6, 0), (7, 1), (8, 2)] {
+            let before: Vec<f64> = (0..3).map(|k| eval.rho_service_of(k)).collect();
+            let predicted = eval.service_rate_with_extra(j, platform.power(NodeId(i)));
+            plan.add_server(plan.root(), NodeId(i)).unwrap();
+            assignment.service_of.insert(NodeId(i), j);
+            eval.add_server_for(Slot(0), NodeId(i), platform.power(NodeId(i)), j)
+                .unwrap();
+            assert_eq!(
+                predicted.to_bits(),
+                eval.rho_service_of(j).to_bits(),
+                "analytic probe must be bit-identical to the applied delta"
+            );
+            for (k, rate) in before.iter().enumerate() {
+                if k != j {
+                    assert_eq!(
+                        rate.to_bits(),
+                        eval.rho_service_of(k).to_bits(),
+                        "untouched service {k} must not move"
+                    );
+                }
+            }
+            check_mix_parity(&eval, &params, &platform, &plan, &mix, &assignment, "grow");
+        }
+        assert_eq!(eval.server_count_for(2), 4);
+        assert_eq!(eval.service_count(), 3);
+    }
+
+    #[test]
+    fn mix_undo_is_bit_exact_across_services() {
+        let platform = lyon_cluster(16);
+        let mix = three_mix();
+        let params = ModelParams::from_platform(&platform);
+        let mut plan = DeploymentPlan::with_root(NodeId(0));
+        let mut assignment = ServerAssignment::default();
+        for (i, j) in [(1u32, 0usize), (2, 1), (3, 2), (4, 0)] {
+            plan.add_server(plan.root(), NodeId(i)).unwrap();
+            assignment.service_of.insert(NodeId(i), j);
+        }
+        let mut eval =
+            IncrementalEval::from_plan_mix(&params, &platform, &plan, &mix, &assignment).unwrap();
+        let before: Vec<u64> = (0..3).map(|k| eval.rho_service_of(k).to_bits()).collect();
+        let rho_before = eval.rho().to_bits();
+
+        eval.add_server_for(Slot(0), NodeId(9), platform.power(NodeId(9)), 1)
+            .unwrap();
+        eval.promote_to_agent(Slot(1)).unwrap();
+        eval.add_server_for(Slot(1), NodeId(10), platform.power(NodeId(10)), 2)
+            .unwrap();
+        eval.remove_server(Slot(3)).unwrap();
+        eval.demote_to_server(Slot(1)).unwrap_err(); // has a child: rejected
+        eval.undo_all();
+
+        for (k, &bits) in before.iter().enumerate() {
+            assert_eq!(
+                bits,
+                eval.rho_service_of(k).to_bits(),
+                "service {k} must restore bit-exactly"
+            );
+        }
+        assert_eq!(rho_before, eval.rho().to_bits());
+        check_mix_parity(&eval, &params, &platform, &plan, &mix, &assignment, "undo");
+    }
+
+    #[test]
+    fn reassign_moves_rates_between_services_and_undoes_bit_exactly() {
+        let platform = lyon_cluster(12);
+        let mix = three_mix();
+        let params = ModelParams::from_platform(&platform);
+        let mut plan = DeploymentPlan::with_root(NodeId(0));
+        let mut assignment = ServerAssignment::default();
+        for (i, j) in [(1u32, 0usize), (2, 0), (3, 1), (4, 2)] {
+            plan.add_server(plan.root(), NodeId(i)).unwrap();
+            assignment.service_of.insert(NodeId(i), j);
+        }
+        let mut eval =
+            IncrementalEval::from_plan_mix(&params, &platform, &plan, &mix, &assignment).unwrap();
+        let before: Vec<u64> = (0..3).map(|k| eval.rho_service_of(k).to_bits()).collect();
+        let sched = eval.rho_sched().to_bits();
+
+        // Move the second service-0 server to service 2.
+        assert!(eval.reassign_server(Slot(2), 2).unwrap());
+        assert_eq!(eval.server_count_for(0), 1);
+        assert_eq!(eval.server_count_for(2), 2);
+        assert_eq!(eval.service_of(Slot(2)), 2);
+        assert_eq!(
+            sched,
+            eval.rho_sched().to_bits(),
+            "a reinstall never moves the scheduling phase"
+        );
+        // Parity with a from-scratch build of the reassigned partition.
+        assignment.service_of.insert(NodeId(2), 2);
+        check_mix_parity(
+            &eval,
+            &params,
+            &platform,
+            &plan,
+            &mix,
+            &assignment,
+            "reassign",
+        );
+        // Same-service reassignment records nothing.
+        assert!(!eval.reassign_server(Slot(2), 2).unwrap());
+        assert_eq!(eval.pending_deltas(), 1);
+        // Errors leave no trace.
+        assert!(
+            eval.reassign_server(Slot(0), 1).is_err(),
+            "root is no server"
+        );
+        assert!(matches!(
+            eval.reassign_server(Slot(2), 9),
+            Err(PlanError::InvalidServiceIndex { .. })
+        ));
+        // Unwind restores every service bit-exactly.
+        eval.undo_all();
+        for (k, &bits) in before.iter().enumerate() {
+            assert_eq!(bits, eval.rho_service_of(k).to_bits(), "service {k}");
+        }
+    }
+
+    #[test]
+    fn demoted_agent_returns_to_its_previous_service() {
+        let platform = lyon_cluster(8);
+        let mix = three_mix();
+        let params = ModelParams::from_platform(&platform);
+        let mut plan = DeploymentPlan::with_root(NodeId(0));
+        let mut assignment = ServerAssignment::default();
+        for (i, j) in [(1u32, 1usize), (2, 0), (3, 2)] {
+            plan.add_server(plan.root(), NodeId(i)).unwrap();
+            assignment.service_of.insert(NodeId(i), j);
+        }
+        let mut eval =
+            IncrementalEval::from_plan_mix(&params, &platform, &plan, &mix, &assignment).unwrap();
+        let before = eval.rho_service_of(1).to_bits();
+        eval.promote_to_agent(Slot(1)).unwrap();
+        assert_eq!(eval.server_count_for(1), 0);
+        eval.demote_to_server(Slot(1)).unwrap();
+        assert_eq!(eval.server_count_for(1), 1);
+        assert_eq!(eval.service_of(Slot(1)), 1);
+        assert_eq!(before, eval.rho_service_of(1).to_bits());
+    }
+
+    #[test]
+    fn invalid_service_index_is_rejected_without_mutation() {
+        let platform = lyon_cluster(6);
+        let mix = three_mix();
+        let params = ModelParams::from_platform(&platform);
+        let mut plan = DeploymentPlan::with_root(NodeId(0));
+        plan.add_server(plan.root(), NodeId(1)).unwrap();
+        let mut assignment = ServerAssignment::default();
+        assignment.service_of.insert(NodeId(1), 0);
+        let mut eval =
+            IncrementalEval::from_plan_mix(&params, &platform, &plan, &mix, &assignment).unwrap();
+        let rho = eval.rho().to_bits();
+        assert!(matches!(
+            eval.add_server_for(Slot(0), NodeId(2), platform.power(NodeId(2)), 7),
+            Err(PlanError::InvalidServiceIndex {
+                index: 7,
+                services: 3
+            })
+        ));
+        assert_eq!(eval.pending_deltas(), 0);
+        assert_eq!(rho, eval.rho().to_bits());
+        // Constructor-level rejection too.
+        assignment.service_of.insert(NodeId(1), 9);
+        assert!(matches!(
+            IncrementalEval::from_plan_mix(&params, &platform, &plan, &mix, &assignment),
+            Err(PlanError::InvalidServiceIndex { .. })
+        ));
     }
 
     #[test]

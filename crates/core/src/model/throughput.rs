@@ -37,6 +37,17 @@ pub fn sch_pow(params: &ModelParams, power: MflopRate, children: usize) -> f64 {
     agent_cycle(params, power, children).throughput()
 }
 
+/// Eq. 15 as a rate from pre-accumulated Eq. 10 running sums: the
+/// service throughput of a server set whose numerator (`1 + Σ Wpre/Wapp`)
+/// and denominator (`Σ wᵢ/Wapp`) are maintained incrementally. The one
+/// shared formula behind [`hier_ser_pow`], the incremental evaluator's
+/// per-service caches, the sweep's inner scan, and the mix partition
+/// waterfill — keeping them bit-identical by construction.
+#[inline]
+pub(crate) fn service_rate_from_sums(transfer: f64, numerator: f64, denominator: f64) -> f64 {
+    1.0 / (transfer + numerator / denominator)
+}
+
 /// Service power of a server set — the heuristic's `calc_hier_ser_pow`
 /// procedure ("servicing power provided by the hierarchy when load is
 /// equally divided among the servers", paper Table 1): Eq. 15 as a rate.

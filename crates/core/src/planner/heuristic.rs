@@ -57,7 +57,7 @@
 //! Both commit identical moves; see [`EvalStrategy`] for the parity
 //! contract.
 
-use super::realize::HeapEntry;
+use super::realize::{realize_from_eval, AttachHeap};
 use super::{improve, resolve_params, EvalStrategy, Planner, PlannerError};
 use crate::model::throughput::{hier_ser_pow, sch_pow};
 use crate::model::{IncrementalEval, ModelParams};
@@ -170,68 +170,6 @@ pub(crate) fn best_attach_agent_in_eval(params: &ModelParams, eval: &Incremental
                 .then(b.cmp(&a))
         })
         .expect("plans always contain the root agent")
-}
-
-/// Lazy max-heap over agents keyed by post-attachment scheduling power —
-/// replaces the O(k) scan of [`best_attach_agent_in_eval`] with O(log k)
-/// amortized selection inside the incremental growth loop. Entries go
-/// stale when an agent's degree changes; [`AttachHeap::best`] discards
-/// and re-keys stale tops lazily, so selection (max `sp_after`, ties to
-/// the lower slot) is identical to the scan's.
-struct AttachHeap {
-    heap: std::collections::BinaryHeap<HeapEntry>,
-}
-
-impl AttachHeap {
-    fn key(params: &ModelParams, eval: &IncrementalEval, slot: Slot) -> f64 {
-        sch_pow(params, eval.power(slot), eval.degree(slot) + 1)
-    }
-
-    /// Rebuilds from the engine's current agent set (after conversions).
-    fn rebuild(&mut self, params: &ModelParams, eval: &IncrementalEval) {
-        self.heap.clear();
-        for slot in eval.agents() {
-            self.heap.push(HeapEntry {
-                sp_after: Self::key(params, eval, slot),
-                agent: slot.index(),
-            });
-        }
-    }
-
-    fn new(params: &ModelParams, eval: &IncrementalEval) -> Self {
-        let mut h = Self {
-            heap: std::collections::BinaryHeap::new(),
-        };
-        h.rebuild(params, eval);
-        h
-    }
-
-    /// The agent that keeps the highest scheduling power after one more
-    /// child — the same answer the O(k) scan would give.
-    fn best(&mut self, params: &ModelParams, eval: &IncrementalEval) -> Slot {
-        loop {
-            let top = self.heap.peek().expect("agents are never empty");
-            let slot = Slot(top.agent);
-            let fresh = Self::key(params, eval, slot);
-            if top.sp_after == fresh {
-                return slot;
-            }
-            // Stale (the agent's degree changed since insertion): re-key.
-            self.heap.pop();
-            self.heap.push(HeapEntry {
-                sp_after: fresh,
-                agent: slot.index(),
-            });
-        }
-    }
-
-    /// Re-keys one agent after its degree changed.
-    fn update(&mut self, params: &ModelParams, eval: &IncrementalEval, slot: Slot) {
-        self.heap.push(HeapEntry {
-            sp_after: Self::key(params, eval, slot),
-            agent: slot.index(),
-        });
-    }
 }
 
 /// Attaches `node` as a server under the best agent; returns the updated
@@ -353,57 +291,10 @@ fn try_conversion_deltas(
         "victim must be the strongest server (lowest node id on ties)"
     );
 
-    // Steal loop: min-heap over the old agents by *current* scheduling
-    // power (the binding agent on top; lazily re-keyed like AttachHeap).
-    let mut binding: std::collections::BinaryHeap<std::cmp::Reverse<HeapEntry>> = eval
-        .agents()
-        .map(|s| {
-            std::cmp::Reverse(HeapEntry {
-                sp_after: sch_pow(params, eval.power(s), eval.degree(s)),
-                agent: s.index(),
-            })
-        })
-        .collect();
-
-    eval.promote_to_agent(victim).expect("victim is a server");
-    let victim_power = eval.power(victim);
-    loop {
-        let worst = loop {
-            let std::cmp::Reverse(top) = binding.peek().expect("agents are never empty");
-            let slot = Slot(top.agent);
-            let fresh = sch_pow(params, eval.power(slot), eval.degree(slot));
-            if top.sp_after == fresh {
-                break slot;
-            }
-            binding.pop();
-            binding.push(std::cmp::Reverse(HeapEntry {
-                sp_after: fresh,
-                agent: slot.index(),
-            }));
-        };
-        let sp_worst = sch_pow(params, eval.power(worst), eval.degree(worst));
-        let sp_victim_next = sch_pow(params, victim_power, eval.degree(victim) + 1);
-        if sp_victim_next <= sp_worst {
-            break;
-        }
-        if eval.degree(worst) <= 1 {
-            // The newcomer would strip the binding agent bare — the
-            // conversion cannot keep every level populated (the scratch
-            // waterfill's `degrees.contains(&0)` rejection).
-            eval.undo_all();
-            return None;
-        }
-        eval.release_child_slot(worst).expect("degree > 1");
-        eval.assign_child_slot(victim).expect("victim is an agent");
-        binding.push(std::cmp::Reverse(HeapEntry {
-            sp_after: sch_pow(params, eval.power(worst), eval.degree(worst)),
-            agent: worst.index(),
-        }));
-    }
-    // A newcomer that attracts no children wastes a level (the
-    // realize-based path's `realize_balanced -> None` case).
-    if eval.degree(victim) == 0 {
-        eval.undo_all();
+    // Promote + steal-rebalance (shared with the mix planner's
+    // conversion; bails out with all deltas unwound when the conversion
+    // cannot keep every level populated).
+    if !super::realize::promote_and_steal(params, eval, victim) {
         return None;
     }
 
@@ -442,34 +333,6 @@ fn try_conversion_deltas(
         attach_heap.rebuild(params, eval);
         None
     }
-}
-
-/// Realizes the incremental engine's final abstract state into a concrete
-/// tree: agents strongest-first (the root is the strongest node, as in
-/// Algorithm 1's sort), servers strongest-first, degrees as grown. The
-/// tree's throughput equals the engine's ρ because Eq. 13–16 only sees
-/// the role/degree/power multiset.
-fn realize_from_eval(eval: &IncrementalEval) -> DeploymentPlan {
-    let mut agents: Vec<Slot> = eval.agents().collect();
-    agents.sort_by(|&a, &b| {
-        let pa = eval.power(a).value();
-        let pb = eval.power(b).value();
-        pb.partial_cmp(&pa)
-            .expect("powers are finite")
-            .then_with(|| eval.node(a).cmp(&eval.node(b)))
-    });
-    let mut servers: Vec<Slot> = eval.servers().collect();
-    servers.sort_by(|&a, &b| {
-        let pa = eval.power(a).value();
-        let pb = eval.power(b).value();
-        pb.partial_cmp(&pa)
-            .expect("powers are finite")
-            .then_with(|| eval.node(a).cmp(&eval.node(b)))
-    });
-    let agent_nodes: Vec<NodeId> = agents.iter().map(|&s| eval.node(s)).collect();
-    let server_nodes: Vec<NodeId> = servers.iter().map(|&s| eval.node(s)).collect();
-    let degrees: Vec<usize> = agents.iter().map(|&s| eval.degree(s)).collect();
-    super::realize::realize(&agent_nodes, &server_nodes, &degrees)
 }
 
 /// The greedy growth loop on the incremental engine: the deployment lives

@@ -13,11 +13,18 @@
 //!   Section 5.3 (Figures 6–7).
 //! * [`improve`] — the iterative bottleneck-removal pass of the authors'
 //!   earlier work \[7\], usable as a repair step after any planner.
+//! * [`MixPlanner`] — multi-service extension: one growth loop planning
+//!   tree and server→service partition jointly on the batched
+//!   incremental evaluator.
+//! * [`OnlinePlanner`] — bounded-disruption revision of a running plan,
+//!   single-service ([`OnlinePlanner::replan`]) or per-service demand
+//!   vectors ([`OnlinePlanner::replan_mix`]).
 
 pub mod baselines;
 pub mod heuristic;
 pub mod homogeneous;
 pub mod improve;
+pub mod mix;
 pub mod online;
 pub(crate) mod realize;
 pub mod roundrobin;
@@ -26,7 +33,8 @@ pub mod sweep;
 pub use baselines::{BalancedPlanner, StarPlanner};
 pub use heuristic::HeuristicPlanner;
 pub use homogeneous::HomogeneousCsdPlanner;
-pub use online::{OnlinePlanner, Replan};
+pub use mix::{MixObjective, MixPlan, MixPlanner};
+pub use online::{MixReplan, OnlinePlanner, Replan};
 pub use roundrobin::RoundRobinPlanner;
 pub use sweep::SweepPlanner;
 

@@ -20,12 +20,16 @@
 //! with no regard for how much of the tree it rewires.
 
 use super::heuristic::best_attach_agent_in_eval;
+use super::mix::{
+    accept_growth, best_attach_normalized, normalized_min, normalized_service_min, MixObjective,
+};
 use super::EvalStrategy;
+use crate::model::mix::{MixReport, ServerAssignment};
 use crate::model::throughput::sch_pow;
 use crate::model::{IncrementalEval, ModelParams};
-use adept_hierarchy::{DeploymentPlan, PlanDiff, Role, Slot};
+use adept_hierarchy::{DeploymentPlan, PlanDiff, PlanError, Role, Slot};
 use adept_platform::{NodeId, Platform};
-use adept_workload::{ClientDemand, ServiceSpec};
+use adept_workload::{ClientDemand, MixDemand, ServiceMix, ServiceSpec};
 use std::collections::HashSet;
 
 /// Relative tolerance for strict-improvement acceptance.
@@ -40,6 +44,31 @@ pub struct Replan {
     pub diff: PlanDiff,
     /// Modelled throughput of the revised plan.
     pub rho: f64,
+}
+
+/// Result of a multi-service re-planning round.
+#[derive(Debug, Clone)]
+pub struct MixReplan {
+    /// The revised plan.
+    pub plan: DeploymentPlan,
+    /// The revised server→service partition.
+    pub assignment: ServerAssignment,
+    /// What changed relative to the running plan. Pure service
+    /// reassignments do not appear here (the tree is untouched); see
+    /// [`reassigned`](MixReplan::reassigned).
+    pub diff: PlanDiff,
+    /// Servers moved to another service, `(node, from, to)` — a
+    /// reinstall on the same machine, one disruption each.
+    pub reassigned: Vec<(NodeId, usize, usize)>,
+    /// Model evaluation of the revised deployment.
+    pub report: MixReport,
+}
+
+impl MixReplan {
+    /// Total disruptions of the round: tree changes plus reinstalls.
+    pub fn changes(&self) -> usize {
+        self.diff.len() + self.reassigned.len()
+    }
 }
 
 /// Online re-planner with a disruption budget.
@@ -233,6 +262,238 @@ impl OnlinePlanner {
 
         let diff = PlanDiff::between(running, &plan);
         Replan { plan, diff, rho }
+    }
+
+    /// Revises a running **multi-service** deployment for a per-service
+    /// demand vector, spending at most
+    /// [`max_changes`](OnlinePlanner::max_changes) node changes — the mix
+    /// counterpart of [`replan`](OnlinePlanner::replan), probing every
+    /// move through one batched [`IncrementalEval`] (shared scheduling
+    /// phase, per-service Eq. 15 sums) so a probe costs O(log n + S)
+    /// regardless of the mix size.
+    ///
+    /// While the demand is unmet, growth moves attach an unused node as a
+    /// server of whichever service most improves the demand-satisfaction
+    /// margin (the smallest of `ρ_sched/Σd` and `ρ_service_j/d_j`; with
+    /// any unbounded entry, the completed-mix rate); when no spare node
+    /// helps, a **reassignment** reinstalls a server of a slack service
+    /// for a starved one (1 change, tree untouched), and a convert-grow
+    /// (2 changes) opens a level when attachment stalls. With the demand
+    /// met, shrink moves retire the weakest server whose removal keeps
+    /// every service covered (the least-resources preference, applied
+    /// per service).
+    ///
+    /// # Errors
+    /// [`PlanError`] when `assignment` does not cover the running plan's
+    /// servers or points outside the mix.
+    ///
+    /// # Panics
+    /// Panics when `demand` does not cover the mix's services.
+    pub fn replan_mix(
+        &self,
+        platform: &Platform,
+        running: &DeploymentPlan,
+        mix: &ServiceMix,
+        assignment: &ServerAssignment,
+        demand: &MixDemand,
+    ) -> Result<MixReplan, PlanError> {
+        assert_eq!(demand.len(), mix.len(), "one demand entry per mix service");
+        let params = super::resolve_params(self.params, platform);
+        let mut plan = running.clone();
+        let mut assignment = assignment.clone();
+        let mut eval = IncrementalEval::from_plan_mix(&params, platform, &plan, mix, &assignment)?;
+        let mut changes_left = self.max_changes;
+        let mut reassigned: Vec<(NodeId, usize, usize)> = Vec::new();
+
+        let used: HashSet<NodeId> = plan.slots().map(|s| plan.node(s)).collect();
+        let mut unused: Vec<NodeId> = platform
+            .ids_by_power_desc()
+            .into_iter()
+            .filter(|id| !used.contains(id))
+            .collect();
+        // Normalize the demand semantics once into per-service divisors
+        // (zero = that component never binds) plus a scheduling divisor.
+        // Any unbounded entry falls back to the mix shares with a unit
+        // scheduling divisor — the margin is then the completed-mix rate
+        // itself, mirroring the single-service unbounded replan; with
+        // finite targets the margin is the smallest satisfaction ratio,
+        // so strictly increasing it always moves toward
+        // `demand.satisfied_by`. One shared machinery
+        // (`normalized_min` / `best_attach_normalized` / `accept_growth`)
+        // then drives offline planning and online revision alike.
+        let (divisors, sched_divisor): (Vec<f64>, f64) = if demand.any_unbounded() {
+            ((0..mix.len()).map(|j| mix.share(j)).collect(), 1.0)
+        } else {
+            (
+                (0..mix.len()).map(|j| demand.rate(j)).collect(),
+                demand.total_rate(),
+            )
+        };
+        // Services worth growing: ones whose margin component can move.
+        let candidates: Vec<usize> = (0..mix.len()).filter(|&j| divisors[j] > 0.0).collect();
+
+        let margin = |eval: &IncrementalEval| normalized_min(eval, &divisors, sched_divisor);
+        let met = |eval: &IncrementalEval| super::mix::demand_met(eval, demand);
+        let probe_attach = |eval: &mut IncrementalEval, parent: Slot, fresh: NodeId| {
+            best_attach_normalized(
+                &params,
+                eval,
+                parent,
+                platform.power(fresh),
+                &divisors,
+                sched_divisor,
+                &candidates,
+            )
+        };
+
+        let mut current = margin(&eval);
+        while changes_left > 0 {
+            if !met(&eval) {
+                // Under-provisioned: grow one server (1 change) for the
+                // service that most improves the margin.
+                if let Some(&fresh) = unused.first() {
+                    let agent = best_attach_agent_in_eval(&params, &eval);
+                    let svc_min = normalized_service_min(&eval, &divisors);
+                    let choice = probe_attach(&mut eval, agent, fresh);
+                    if accept_growth(MixObjective::WeightedMin, &choice, current, svc_min) {
+                        eval.add_server_for(agent, fresh, platform.power(fresh), choice.service)
+                            .expect("unused node under an agent inserts");
+                        plan.add_server(agent, fresh)
+                            .expect("unused node under an agent inserts");
+                        assignment.service_of.insert(fresh, choice.service);
+                        eval.commit();
+                        current = choice.score;
+                        unused.retain(|&n| n != fresh);
+                        changes_left -= 1;
+                        continue;
+                    }
+                }
+                // Reassign: reinstall a server of a slack service for a
+                // starved one — 1 change, no tree edit. The donor is
+                // scanned weakest-first (minimize the donor's loss); the
+                // first reassignment improving the margin commits.
+                {
+                    let mut donors: Vec<Slot> = eval.servers().collect();
+                    donors.sort_by(|&a, &b| {
+                        let pa = eval.power(a).value();
+                        let pb = eval.power(b).value();
+                        pa.partial_cmp(&pb).expect("finite").then(a.cmp(&b))
+                    });
+                    let mut committed = false;
+                    'donor: for victim in donors {
+                        for &j in &candidates {
+                            if eval.service_of(victim) == j {
+                                continue;
+                            }
+                            let moved = eval
+                                .reassign_server(victim, j)
+                                .expect("victim is a server of the mix");
+                            debug_assert!(moved, "distinct services always apply");
+                            let m = margin(&eval);
+                            if m > current * (1.0 + EPS) {
+                                let node = eval.node(victim);
+                                let from = assignment
+                                    .service_of
+                                    .insert(node, j)
+                                    .expect("running servers are assigned");
+                                reassigned.push((node, from, j));
+                                eval.commit();
+                                current = m;
+                                changes_left -= 1;
+                                committed = true;
+                                break 'donor;
+                            }
+                            eval.undo();
+                        }
+                    }
+                    if committed {
+                        continue;
+                    }
+                }
+                // Convert-grow: promote the strongest server, attach a
+                // fresh node under it for the best service (2 changes).
+                if changes_left >= 2 && eval.server_count() >= 2 && !unused.is_empty() {
+                    let victim = eval
+                        .servers()
+                        .max_by(|&a, &b| {
+                            let pa = eval.power(a).value();
+                            let pb = eval.power(b).value();
+                            pa.partial_cmp(&pb).expect("finite").then(b.cmp(&a))
+                        })
+                        .expect("server_count >= 2");
+                    let fresh = unused[0];
+                    eval.promote_to_agent(victim).expect("victim is a server");
+                    let svc_min = normalized_service_min(&eval, &divisors);
+                    let choice = probe_attach(&mut eval, victim, fresh);
+                    if accept_growth(MixObjective::WeightedMin, &choice, current, svc_min) {
+                        eval.add_server_for(victim, fresh, platform.power(fresh), choice.service)
+                            .expect("unused node under the new agent inserts");
+                        let victim_node = eval.node(victim);
+                        plan.convert_to_agent(victim).expect("victim is a server");
+                        plan.add_server(victim, fresh)
+                            .expect("unused node under the new agent inserts");
+                        assignment.service_of.remove(&victim_node);
+                        assignment.service_of.insert(fresh, choice.service);
+                        eval.commit();
+                        current = choice.score;
+                        unused.remove(0);
+                        changes_left = changes_left.saturating_sub(2);
+                        continue;
+                    }
+                    eval.undo(); // retract the promotion
+                }
+                break; // no growth move helps
+            } else {
+                // Demand met: retire the weakest server whose removal
+                // keeps it met (weakest-first scan — the weakest may
+                // belong to a tight partition while another has slack).
+                if eval.server_count() < 2 {
+                    break;
+                }
+                let mut victims: Vec<Slot> = eval.servers().collect();
+                victims.sort_by(|&a, &b| {
+                    let pa = eval.power(a).value();
+                    let pb = eval.power(b).value();
+                    pa.partial_cmp(&pb).expect("finite").then(a.cmp(&b))
+                });
+                let mut removed = false;
+                for victim in victims {
+                    eval.remove_server(victim).expect("victim is a server");
+                    if met(&eval) {
+                        let node = plan.node(victim);
+                        unused.push(node);
+                        assignment.service_of.remove(&node);
+                        plan = without_server(&plan, victim);
+                        // Committing a removal compacts the plan's slots,
+                        // so the mirror is rebuilt to stay index-aligned.
+                        eval = IncrementalEval::from_plan_mix(
+                            &params,
+                            platform,
+                            &plan,
+                            mix,
+                            &assignment,
+                        )?;
+                        current = margin(&eval);
+                        changes_left -= 1;
+                        removed = true;
+                        break;
+                    }
+                    eval.undo();
+                }
+                if !removed {
+                    break; // every remaining server is needed
+                }
+            }
+        }
+
+        let diff = PlanDiff::between(running, &plan);
+        Ok(MixReplan {
+            report: eval.mix_report(),
+            plan,
+            assignment,
+            diff,
+            reassigned,
+        })
     }
 
     /// The pre-incremental clone+full-eval probing (ablation baseline).
@@ -487,6 +748,226 @@ mod tests {
                 full.rho
             );
             assert_eq!(inc.diff.len(), full.diff.len());
+        }
+    }
+
+    mod mix {
+        use super::*;
+        use crate::model::mix::partition_servers;
+        use crate::planner::MixPlanner;
+        use adept_workload::{MixDemand, ServiceMix};
+
+        fn two_mix() -> ServiceMix {
+            ServiceMix::new(vec![
+                (Dgemm::new(1000).service(), 1.0),
+                (Dgemm::new(1000).service(), 1.0),
+            ])
+        }
+
+        /// A running mix deployment sized for the given per-service
+        /// targets.
+        fn running_mix(
+            platform: &Platform,
+            mix: &ServiceMix,
+            targets: Vec<f64>,
+        ) -> (DeploymentPlan, crate::model::mix::ServerAssignment) {
+            let got = MixPlanner::default()
+                .plan_mix(platform, mix, &MixDemand::targets(targets))
+                .expect("fits");
+            (got.plan, got.assignment)
+        }
+
+        #[test]
+        fn no_changes_when_mix_demand_met() {
+            let platform = lyon_cluster(40);
+            let mix = two_mix();
+            let (plan, asg) = running_mix(&platform, &mix, vec![1.0, 1.0]);
+            let replan = OnlinePlanner::default()
+                .replan_mix(
+                    &platform,
+                    &plan,
+                    &mix,
+                    &asg,
+                    &MixDemand::targets(vec![1.0, 1.0]),
+                )
+                .unwrap();
+            assert!(replan.diff.is_empty(), "{}", replan.diff);
+            assert_eq!(replan.assignment, asg);
+        }
+
+        #[test]
+        fn grows_the_deficient_service_within_budget() {
+            let platform = lyon_cluster(40);
+            let mix = two_mix();
+            let (plan, asg) = running_mix(&platform, &mix, vec![1.0, 1.0]);
+            // Service 1's demand doubles; service 0's stays.
+            let demand = MixDemand::targets(vec![1.0, 2.0]);
+            let replanner = OnlinePlanner {
+                max_changes: 6,
+                ..Default::default()
+            };
+            let replan = replanner
+                .replan_mix(&platform, &plan, &mix, &asg, &demand)
+                .unwrap();
+            assert!(replan.diff.len() <= 6, "{}", replan.diff);
+            assert!(
+                replan.report.rho_service[1] > 1.0,
+                "service 1 must gain capacity: {:?}",
+                replan.report.rho_service
+            );
+            assert!(
+                replan.assignment.count_for(1) > asg.count_for(1),
+                "new servers must host the deficient service"
+            );
+            // The untouched service keeps its demand covered.
+            assert!(replan.report.rho_service[0] >= 1.0);
+        }
+
+        #[test]
+        fn shrinks_surplus_service_when_demand_drops() {
+            let platform = lyon_cluster(40);
+            let mix = two_mix();
+            let (plan, asg) = running_mix(&platform, &mix, vec![2.0, 2.0]);
+            let demand = MixDemand::targets(vec![2.0, 0.5]);
+            let replanner = OnlinePlanner {
+                max_changes: 8,
+                ..Default::default()
+            };
+            let replan = replanner
+                .replan_mix(&platform, &plan, &mix, &asg, &demand)
+                .unwrap();
+            assert!(
+                replan.plan.server_count() < plan.server_count(),
+                "surplus servers must retire"
+            );
+            let rates: Vec<f64> = replan.report.rho_service.clone();
+            assert!(
+                demand.satisfied_by(replan.report.rho_sched, &rates),
+                "the reduced deployment must still meet the demand: {rates:?}"
+            );
+            assert!(
+                asg.count_for(1) > replan.assignment.count_for(1),
+                "the slack service gives up servers first"
+            );
+        }
+
+        #[test]
+        fn unbounded_mix_demand_grows_while_it_helps() {
+            let platform = lyon_cluster(24);
+            let mix = two_mix();
+            let (plan, asg) = running_mix(&platform, &mix, vec![0.5, 0.5]);
+            let replanner = OnlinePlanner {
+                max_changes: 4,
+                ..Default::default()
+            };
+            let replan = replanner
+                .replan_mix(&platform, &plan, &mix, &asg, &MixDemand::unbounded(2))
+                .unwrap();
+            assert!(replan.diff.len() <= 4);
+            assert!(
+                replan.report.rho
+                    >= crate::model::mix::evaluate_mix(
+                        &ModelParams::from_platform(&platform),
+                        &platform,
+                        &plan,
+                        &mix,
+                        &asg
+                    )
+                    .unwrap()
+                    .rho - 1e-9,
+                "unbounded replanning never loses throughput"
+            );
+        }
+
+        #[test]
+        fn reassigns_servers_when_no_spare_node_exists() {
+            // Every platform node is deployed; service 1's demand rises
+            // while service 0 has slack — only a reinstall can help.
+            let platform = lyon_cluster(16);
+            let mix = two_mix();
+            let got = MixPlanner::default()
+                .plan_mix_unbounded(&platform, &mix)
+                .expect("fits");
+            assert_eq!(got.plan.len(), 16, "unbounded dgemm-1000 uses all nodes");
+            let r0 = got.report.rho_service[0];
+            let r1 = got.report.rho_service[1];
+            // Demand: service 0 needs a fraction of its capacity,
+            // service 1 slightly more than it has.
+            let demand = MixDemand::targets(vec![r0 * 0.3, r1 * 1.2]);
+            let replanner = OnlinePlanner {
+                max_changes: 4,
+                ..Default::default()
+            };
+            let replan = replanner
+                .replan_mix(&platform, &got.plan, &mix, &got.assignment, &demand)
+                .unwrap();
+            assert!(
+                !replan.reassigned.is_empty(),
+                "a reinstall is the only possible move"
+            );
+            assert!(replan.changes() <= 4);
+            for &(_, from, to) in &replan.reassigned {
+                assert_eq!((from, to), (0, 1), "slack donates to the starved service");
+            }
+            assert!(
+                replan.report.rho_service[1] > r1,
+                "the starved service must gain capacity"
+            );
+            let rates = replan.report.rho_service.clone();
+            assert!(
+                demand.satisfied_by(replan.report.rho_sched, &rates),
+                "the reassignments cover the shifted demand: {rates:?}"
+            );
+            // Growth is impossible (no spare nodes): any tree change is
+            // the shrink phase freeing surplus machines once the
+            // reinstalls cover the demand.
+            for (node, change) in &replan.diff.changes {
+                assert!(
+                    matches!(change, adept_hierarchy::NodeChange::Removed { .. }),
+                    "unexpected non-removal change of {node}: {change:?}"
+                );
+            }
+        }
+
+        #[test]
+        fn stale_assignment_is_an_error() {
+            let platform = lyon_cluster(20);
+            let mix = two_mix();
+            let (plan, _) = running_mix(&platform, &mix, vec![0.5, 0.5]);
+            let err = OnlinePlanner::default().replan_mix(
+                &platform,
+                &plan,
+                &mix,
+                &crate::model::mix::ServerAssignment::default(),
+                &MixDemand::targets(vec![0.5, 0.5]),
+            );
+            assert!(matches!(
+                err,
+                Err(adept_hierarchy::PlanError::ServerNotAssigned(_))
+            ));
+        }
+
+        #[test]
+        fn works_from_a_partitioned_heuristic_plan() {
+            // The pre-batched pipeline's output is a valid starting state.
+            let platform = lyon_cluster(30);
+            let mix = two_mix();
+            let svc = Dgemm::new(1000).service();
+            let plan = HeuristicPlanner::paper()
+                .plan(&platform, &svc, ClientDemand::target(2.0))
+                .unwrap();
+            let params = ModelParams::from_platform(&platform);
+            let asg = partition_servers(&params, &platform, &plan, &mix).unwrap();
+            let replan = OnlinePlanner::default()
+                .replan_mix(
+                    &platform,
+                    &plan,
+                    &mix,
+                    &asg,
+                    &MixDemand::targets(vec![1.5, 1.5]),
+                )
+                .unwrap();
+            assert!(replan.diff.len() <= OnlinePlanner::default().max_changes);
         }
     }
 

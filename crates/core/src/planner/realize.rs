@@ -20,7 +20,7 @@
 //! is attached the first `i` agents hold at least one free slot.
 
 use crate::model::throughput::sch_pow;
-use crate::model::ModelParams;
+use crate::model::{IncrementalEval, ModelParams};
 use adept_hierarchy::{DeploymentPlan, Slot};
 use adept_platform::{NodeId, Platform};
 use std::cmp::Ordering;
@@ -51,6 +51,164 @@ impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
+}
+
+/// Lazy max-heap over an [`IncrementalEval`]'s agents keyed by
+/// post-attachment scheduling power — replaces an O(k) scan with
+/// O(log k) amortized selection inside incremental growth loops (the
+/// heuristic's and the mix planner's). Entries go stale when an agent's
+/// degree changes; [`AttachHeap::best`] discards and re-keys stale tops
+/// lazily, so selection (max `sp_after`, ties to the lower slot) is
+/// identical to the scan's.
+pub(crate) struct AttachHeap {
+    heap: std::collections::BinaryHeap<HeapEntry>,
+}
+
+impl AttachHeap {
+    fn key(params: &ModelParams, eval: &IncrementalEval, slot: Slot) -> f64 {
+        sch_pow(params, eval.power(slot), eval.degree(slot) + 1)
+    }
+
+    /// Rebuilds from the engine's current agent set (after conversions).
+    pub(crate) fn rebuild(&mut self, params: &ModelParams, eval: &IncrementalEval) {
+        self.heap.clear();
+        for slot in eval.agents() {
+            self.heap.push(HeapEntry {
+                sp_after: Self::key(params, eval, slot),
+                agent: slot.index(),
+            });
+        }
+    }
+
+    pub(crate) fn new(params: &ModelParams, eval: &IncrementalEval) -> Self {
+        let mut h = Self {
+            heap: std::collections::BinaryHeap::new(),
+        };
+        h.rebuild(params, eval);
+        h
+    }
+
+    /// The agent that keeps the highest scheduling power after one more
+    /// child — the same answer the O(k) scan would give.
+    pub(crate) fn best(&mut self, params: &ModelParams, eval: &IncrementalEval) -> Slot {
+        loop {
+            let top = self.heap.peek().expect("agents are never empty");
+            let slot = Slot(top.agent);
+            let fresh = Self::key(params, eval, slot);
+            if top.sp_after == fresh {
+                return slot;
+            }
+            // Stale (the agent's degree changed since insertion): re-key.
+            self.heap.pop();
+            self.heap.push(HeapEntry {
+                sp_after: fresh,
+                agent: slot.index(),
+            });
+        }
+    }
+
+    /// Re-keys one agent after its degree changed.
+    pub(crate) fn update(&mut self, params: &ModelParams, eval: &IncrementalEval, slot: Slot) {
+        self.heap.push(HeapEntry {
+            sp_after: Self::key(params, eval, slot),
+            agent: slot.index(),
+        });
+    }
+}
+
+/// The structural stage of a `shift_nodes` conversion, shared by the
+/// single-service heuristic and the mix planner: promotes `victim` to an
+/// agent, then steal-rebalances children toward it — each step takes a
+/// child from the currently binding (lowest `sch_pow`) agent, found
+/// through a lazily re-keyed min-heap, as long as the newcomer's
+/// post-move power exceeds that minimum. All deltas stay on the
+/// engine's undo stack for the caller to commit or unwind.
+///
+/// Returns `false` — with every delta already unwound — when the
+/// conversion is structurally infeasible: the newcomer would strip the
+/// binding agent bare (`degree <= 1`), or attracts no children at all
+/// (a wasted level; the scratch waterfill's `degrees.contains(&0)`
+/// rejection).
+pub(crate) fn promote_and_steal(
+    params: &ModelParams,
+    eval: &mut IncrementalEval,
+    victim: Slot,
+) -> bool {
+    // Min-heap over the old agents by *current* scheduling power (the
+    // binding agent on top).
+    let mut binding: std::collections::BinaryHeap<std::cmp::Reverse<HeapEntry>> = eval
+        .agents()
+        .map(|s| {
+            std::cmp::Reverse(HeapEntry {
+                sp_after: sch_pow(params, eval.power(s), eval.degree(s)),
+                agent: s.index(),
+            })
+        })
+        .collect();
+
+    eval.promote_to_agent(victim).expect("victim is a server");
+    let victim_power = eval.power(victim);
+    loop {
+        let worst = loop {
+            let std::cmp::Reverse(top) = binding.peek().expect("agents are never empty");
+            let slot = Slot(top.agent);
+            let fresh = sch_pow(params, eval.power(slot), eval.degree(slot));
+            if top.sp_after == fresh {
+                break slot;
+            }
+            // Stale (the agent's degree changed since insertion): re-key.
+            binding.pop();
+            binding.push(std::cmp::Reverse(HeapEntry {
+                sp_after: fresh,
+                agent: slot.index(),
+            }));
+        };
+        let sp_worst = sch_pow(params, eval.power(worst), eval.degree(worst));
+        let sp_victim_next = sch_pow(params, victim_power, eval.degree(victim) + 1);
+        if sp_victim_next <= sp_worst {
+            break;
+        }
+        if eval.degree(worst) <= 1 {
+            eval.undo_all();
+            return false;
+        }
+        eval.release_child_slot(worst).expect("degree > 1");
+        eval.assign_child_slot(victim).expect("victim is an agent");
+        binding.push(std::cmp::Reverse(HeapEntry {
+            sp_after: sch_pow(params, eval.power(worst), eval.degree(worst)),
+            agent: worst.index(),
+        }));
+    }
+    if eval.degree(victim) == 0 {
+        eval.undo_all();
+        return false;
+    }
+    true
+}
+
+/// Realizes an incremental engine's final abstract state into a concrete
+/// tree: agents strongest-first (the root is the strongest node, as in
+/// Algorithm 1's sort), servers strongest-first, degrees as grown. The
+/// tree's throughput equals the engine's ρ because Eq. 13–16 only sees
+/// the role/degree/power multiset.
+pub(crate) fn realize_from_eval(eval: &IncrementalEval) -> DeploymentPlan {
+    let by_power_desc = |eval: &IncrementalEval, slots: &mut Vec<Slot>| {
+        slots.sort_by(|&a, &b| {
+            let pa = eval.power(a).value();
+            let pb = eval.power(b).value();
+            pb.partial_cmp(&pa)
+                .expect("powers are finite")
+                .then_with(|| eval.node(a).cmp(&eval.node(b)))
+        });
+    };
+    let mut agents: Vec<Slot> = eval.agents().collect();
+    by_power_desc(eval, &mut agents);
+    let mut servers: Vec<Slot> = eval.servers().collect();
+    by_power_desc(eval, &mut servers);
+    let agent_nodes: Vec<NodeId> = agents.iter().map(|&s| eval.node(s)).collect();
+    let server_nodes: Vec<NodeId> = servers.iter().map(|&s| eval.node(s)).collect();
+    let degrees: Vec<usize> = agents.iter().map(|&s| eval.degree(s)).collect();
+    realize(&agent_nodes, &server_nodes, &degrees)
 }
 
 /// Heap entry for [`waterfill_degrees`]: same key as [`HeapEntry`] but

@@ -35,7 +35,7 @@
 
 use super::realize::HeapEntry;
 use super::{resolve_params, Planner, PlannerError};
-use crate::model::throughput::{sch_pow, server_prediction_cycle};
+use crate::model::throughput::{sch_pow, server_prediction_cycle, service_rate_from_sums};
 use crate::model::{comm, ModelParams};
 use adept_hierarchy::DeploymentPlan;
 use adept_platform::Platform;
@@ -174,7 +174,7 @@ fn scan_k(ctx: &ScanCtx<'_>, n: usize, k: usize) -> Option<KBest> {
         denominator += w / ctx.wapp;
         min_pred = min_pred
             .min(1.0 / server_prediction_cycle(ctx.params, adept_platform::MflopRate(w)).value());
-        let service_pow = 1.0 / (ctx.transfer + numerator / denominator);
+        let service_pow = service_rate_from_sums(ctx.transfer, numerator, denominator);
         if zero_agents > 0 {
             continue; // dominated by a smaller k; keep growing s
         }

@@ -37,5 +37,5 @@ pub use adjacency::AdjacencyMatrix;
 pub use diff::{NodeChange, PlanDiff};
 pub use dot::to_dot;
 pub use plan::{DeploymentPlan, PlanError, Role, Slot};
-pub use stats::HierarchyStats;
-pub use validate::{validate, validate_relaxed, ValidationError};
+pub use stats::{HierarchyStats, PartitionStats};
+pub use validate::{validate, validate_assignment, validate_relaxed, ValidationError};

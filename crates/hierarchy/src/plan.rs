@@ -67,6 +67,24 @@ pub enum PlanError {
     CannotRemoveRoot,
     /// Reparenting would make an entry its own ancestor.
     WouldCreateCycle(Slot),
+    /// A multi-service operation referenced a service index outside the
+    /// mix.
+    InvalidServiceIndex {
+        /// The out-of-range index.
+        index: usize,
+        /// How many services the mix holds.
+        services: usize,
+    },
+    /// A server of a multi-service deployment has no service assignment.
+    ServerNotAssigned(NodeId),
+    /// A multi-service deployment does not hold enough servers to give
+    /// every demanded service at least one.
+    NotEnoughServers {
+        /// Servers required (one per service with positive share).
+        needed: usize,
+        /// Servers available in the plan.
+        available: usize,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -84,6 +102,16 @@ impl fmt::Display for PlanError {
             PlanError::WouldCreateCycle(s) => {
                 write!(f, "reparenting slot {s} would create a cycle")
             }
+            PlanError::InvalidServiceIndex { index, services } => {
+                write!(f, "service index {index} out of range (mix has {services})")
+            }
+            PlanError::ServerNotAssigned(n) => {
+                write!(f, "server node {n} has no service assignment")
+            }
+            PlanError::NotEnoughServers { needed, available } => write!(
+                f,
+                "not enough servers for the mix: need {needed}, plan has {available}"
+            ),
         }
     }
 }

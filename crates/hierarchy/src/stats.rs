@@ -60,6 +60,51 @@ impl HierarchyStats {
     }
 }
 
+/// Server partition of a multi-service deployment: how many of a plan's
+/// servers host each service of the mix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Server count per service index.
+    pub per_service: Vec<usize>,
+    /// Plan servers with no assignment (0 for a valid deployment; see
+    /// [`validate_assignment`](crate::validate::validate_assignment)).
+    pub unassigned: usize,
+}
+
+impl PartitionStats {
+    /// Counts a plan's servers per assigned service. Assignments pointing
+    /// at out-of-range services count as unassigned.
+    pub fn of(
+        plan: &DeploymentPlan,
+        service_of: &BTreeMap<adept_platform::NodeId, usize>,
+        services: usize,
+    ) -> Self {
+        let mut per_service = vec![0usize; services];
+        let mut unassigned = 0usize;
+        for slot in plan.servers() {
+            match service_of.get(&plan.node(slot)) {
+                Some(&j) if j < services => per_service[j] += 1,
+                _ => unassigned += 1,
+            }
+        }
+        Self {
+            per_service,
+            unassigned,
+        }
+    }
+}
+
+impl fmt::Display for PartitionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let counts: Vec<String> = self.per_service.iter().map(|c| c.to_string()).collect();
+        write!(f, "servers per service [{}]", counts.join("/"))?;
+        if self.unassigned > 0 {
+            write!(f, " + {} unassigned", self.unassigned)?;
+        }
+        Ok(())
+    }
+}
+
 impl fmt::Display for HierarchyStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -123,5 +168,20 @@ mod tests {
         let d = s.to_string();
         assert!(d.contains("3 nodes"));
         assert!(d.contains("1 agents + 2 servers"));
+    }
+
+    #[test]
+    fn partition_stats_count_per_service() {
+        let plan = star(&ids(6)); // 5 servers
+        let mut service_of = BTreeMap::new();
+        for (i, s) in plan.servers().enumerate().take(4) {
+            service_of.insert(plan.node(s), i % 2);
+        }
+        let p = PartitionStats::of(&plan, &service_of, 2);
+        assert_eq!(p.per_service, vec![2, 2]);
+        assert_eq!(p.unassigned, 1);
+        let d = p.to_string();
+        assert!(d.contains("[2/2]"));
+        assert!(d.contains("1 unassigned"));
     }
 }

@@ -16,10 +16,10 @@
 //! Plans can also be validated **against a platform** ([`validate_on`]):
 //! every plan node must exist there.
 
-#[cfg(test)]
 use crate::plan::Role;
 use crate::plan::{DeploymentPlan, Slot};
 use adept_platform::{NodeId, Platform};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A structural defect found in a plan.
@@ -44,6 +44,21 @@ pub enum ValidationError {
     },
     /// A plan node does not exist on the platform it is validated against.
     NodeNotOnPlatform(NodeId),
+    /// Multi-service deployments: a server carries no service assignment.
+    ServerWithoutService(NodeId),
+    /// Multi-service deployments: a service assignment names a node that
+    /// is not one of the plan's servers (a stale or misdirected entry).
+    AssignedNodeNotAServer(NodeId),
+    /// Multi-service deployments: an assignment references a service
+    /// index outside the mix.
+    ServiceIndexOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Its assigned service index.
+        index: usize,
+        /// Number of services in the mix.
+        services: usize,
+    },
 }
 
 impl fmt::Display for ValidationError {
@@ -62,6 +77,20 @@ impl fmt::Display for ValidationError {
             ValidationError::NodeNotOnPlatform(n) => {
                 write!(f, "plan references node {n} which is not on the platform")
             }
+            ValidationError::ServerWithoutService(n) => {
+                write!(f, "server node {n} has no service assignment")
+            }
+            ValidationError::AssignedNodeNotAServer(n) => {
+                write!(f, "assignment names node {n} which is not a plan server")
+            }
+            ValidationError::ServiceIndexOutOfRange {
+                node,
+                index,
+                services,
+            } => write!(
+                f,
+                "node {node} assigned to service {index}, but the mix has only {services}"
+            ),
         }
     }
 }
@@ -100,6 +129,44 @@ pub fn validate_relaxed(plan: &DeploymentPlan) -> Vec<ValidationError> {
     for slot in plan.agents() {
         if slot != plan.root() && plan.degree(slot) == 0 {
             errors.push(ValidationError::ChildlessAgent { slot });
+        }
+    }
+    errors
+}
+
+/// Validates a server→service assignment of a multi-service deployment
+/// against a plan: every plan server must be assigned, every assigned node
+/// must be a plan server, and every service index must lie inside the mix.
+/// Structural plan defects are **not** re-checked here — combine with
+/// [`validate`] / [`validate_relaxed`] as needed.
+pub fn validate_assignment(
+    plan: &DeploymentPlan,
+    service_of: &BTreeMap<NodeId, usize>,
+    services: usize,
+) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    let mut server_nodes = std::collections::HashSet::new();
+    for slot in plan.slots() {
+        if plan.role(slot) != Role::Server {
+            continue;
+        }
+        let node = plan.node(slot);
+        server_nodes.insert(node);
+        match service_of.get(&node) {
+            None => errors.push(ValidationError::ServerWithoutService(node)),
+            Some(&index) if index >= services => {
+                errors.push(ValidationError::ServiceIndexOutOfRange {
+                    node,
+                    index,
+                    services,
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    for (&node, _) in service_of.iter() {
+        if !server_nodes.contains(&node) {
+            errors.push(ValidationError::AssignedNodeNotAServer(node));
         }
     }
     errors
@@ -200,6 +267,35 @@ mod tests {
         };
         assert!(e.to_string().contains("#3"));
         assert!(e.to_string().contains("at least 2"));
+    }
+
+    #[test]
+    fn assignment_validation_catches_all_defect_kinds() {
+        let p = star(&ids(4)); // root n0, servers n1..n3
+        let mut service_of = BTreeMap::new();
+        service_of.insert(NodeId(1), 0);
+        service_of.insert(NodeId(2), 5); // out of range for 2 services
+        service_of.insert(NodeId(0), 1); // the root is not a server
+                                         // n3 left unassigned
+        let errs = validate_assignment(&p, &service_of, 2);
+        assert!(errs.contains(&ValidationError::ServerWithoutService(NodeId(3))));
+        assert!(errs.contains(&ValidationError::AssignedNodeNotAServer(NodeId(0))));
+        assert!(errs.contains(&ValidationError::ServiceIndexOutOfRange {
+            node: NodeId(2),
+            index: 5,
+            services: 2
+        }));
+        assert_eq!(errs.len(), 3);
+    }
+
+    #[test]
+    fn complete_assignment_is_valid() {
+        let p = star(&ids(4));
+        let mut service_of = BTreeMap::new();
+        for (i, s) in p.servers().enumerate() {
+            service_of.insert(p.node(s), i % 2);
+        }
+        assert!(validate_assignment(&p, &service_of, 2).is_empty());
     }
 
     #[test]

@@ -21,16 +21,20 @@ pub struct ServiceMix {
 
 impl ServiceMix {
     /// Builds a mix from `(service, weight)` pairs; weights are
-    /// normalized to shares.
+    /// normalized to shares. A **zero** weight keeps the service in the
+    /// mix with no request share — the degenerate "installed but idle"
+    /// service a demand forecast can produce; planners give it no
+    /// servers and it never binds the mix throughput.
     ///
     /// # Panics
-    /// Panics on an empty list or non-positive/non-finite weights.
+    /// Panics on an empty list, negative or non-finite weights, or an
+    /// all-zero weight vector.
     pub fn new(entries: Vec<(ServiceSpec, f64)>) -> Self {
         assert!(!entries.is_empty(), "a mix needs at least one service");
         let total: f64 = entries.iter().map(|(_, w)| *w).sum();
         assert!(
-            entries.iter().all(|(_, w)| w.is_finite() && *w > 0.0) && total > 0.0,
-            "mix weights must be positive and finite"
+            entries.iter().all(|(_, w)| w.is_finite() && *w >= 0.0) && total > 0.0,
+            "mix weights must be non-negative and finite, with a positive total"
         );
         let (services, shares) = entries.into_iter().map(|(s, w)| (s, w / total)).unzip();
         Self { services, shares }
@@ -94,6 +98,98 @@ impl ServiceMix {
             .map(|(s, &f)| s.wapp.value() * f)
             .sum()
     }
+
+    /// Number of services with a positive request share (each needs at
+    /// least one server; zero-share services may be left empty).
+    pub fn demanded_services(&self) -> usize {
+        self.shares.iter().filter(|&&f| f > 0.0).count()
+    }
+}
+
+/// A per-service demand vector for a [`ServiceMix`] deployment — the
+/// multi-service counterpart of [`ClientDemand`](crate::ClientDemand).
+///
+/// Each entry is a target rate in completed requests per second for one
+/// service of the mix; `f64::INFINITY` means "as much as possible" (the
+/// mix counterpart of `ClientDemand::Unbounded`, never satisfied) and
+/// `0.0` means the service demands nothing. A deployment satisfies the
+/// vector when its **scheduling phase** sustains the summed rate (every
+/// request crosses every agent, whatever its service) and each service's
+/// server partition sustains that service's own rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixDemand {
+    rates: Vec<f64>,
+}
+
+impl MixDemand {
+    /// Unbounded demand for every service of an `n`-service mix: plan the
+    /// highest mix throughput the platform allows.
+    pub fn unbounded(services: usize) -> Self {
+        assert!(services > 0, "a demand vector needs at least one service");
+        Self {
+            rates: vec![f64::INFINITY; services],
+        }
+    }
+
+    /// Per-service target rates (req/s). Zero entries are allowed
+    /// (service installed, nothing demanded).
+    ///
+    /// # Panics
+    /// Panics on an empty vector or negative/NaN rates.
+    pub fn targets(rates: Vec<f64>) -> Self {
+        assert!(
+            !rates.is_empty(),
+            "a demand vector needs at least one service"
+        );
+        assert!(
+            rates.iter().all(|r| !r.is_nan() && *r >= 0.0),
+            "demand rates must be non-negative"
+        );
+        Self { rates }
+    }
+
+    /// Number of services covered.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// True when the vector covers no service (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// Target rate of service `j`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range index.
+    pub fn rate(&self, j: usize) -> f64 {
+        self.rates[j]
+    }
+
+    /// Summed rate the scheduling phase must sustain.
+    pub fn total_rate(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+
+    /// True when any service asks for "as much as possible".
+    pub fn any_unbounded(&self) -> bool {
+        self.rates.iter().any(|r| r.is_infinite())
+    }
+
+    /// True when a deployment with scheduling throughput `rho_sched` and
+    /// per-service service throughputs `rho_service` satisfies every
+    /// entry.
+    ///
+    /// # Panics
+    /// Panics if `rho_service` has a different length than the vector.
+    pub fn satisfied_by(&self, rho_sched: f64, rho_service: &[f64]) -> bool {
+        assert_eq!(
+            rho_service.len(),
+            self.rates.len(),
+            "one throughput per demanded service"
+        );
+        rho_sched >= self.total_rate() && self.rates.iter().zip(rho_service).all(|(&d, &r)| r >= d)
+    }
 }
 
 #[cfg(test)]
@@ -148,8 +244,61 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive and finite")]
+    #[should_panic(expected = "non-negative and finite")]
     fn bad_weights_rejected() {
         let _ = ServiceMix::new(vec![(Dgemm::new(10).service(), -1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total")]
+    fn all_zero_weights_rejected() {
+        let _ = ServiceMix::new(vec![
+            (Dgemm::new(10).service(), 0.0),
+            (Dgemm::new(100).service(), 0.0),
+        ]);
+    }
+
+    #[test]
+    fn zero_weight_service_kept_with_zero_share() {
+        let m = ServiceMix::new(vec![
+            (Dgemm::new(10).service(), 0.0),
+            (Dgemm::new(100).service(), 2.0),
+        ]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.share(0), 0.0);
+        assert_eq!(m.share(1), 1.0);
+        assert_eq!(m.demanded_services(), 1);
+        assert_eq!(m.draw(0.0), 1, "zero-share service never drawn");
+    }
+
+    #[test]
+    fn mix_demand_satisfaction() {
+        let d = MixDemand::targets(vec![3.0, 0.0, 2.0]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.total_rate(), 5.0);
+        assert!(!d.any_unbounded());
+        assert!(d.satisfied_by(5.0, &[3.0, 0.0, 2.0]));
+        assert!(
+            !d.satisfied_by(4.9, &[3.0, 0.0, 2.0]),
+            "sched must carry the sum"
+        );
+        assert!(
+            !d.satisfied_by(10.0, &[2.9, 0.0, 2.0]),
+            "each service must cover its own"
+        );
+        assert!(d.satisfied_by(10.0, &[3.0, 0.0, 9.0]));
+    }
+
+    #[test]
+    fn unbounded_mix_demand_never_satisfied() {
+        let d = MixDemand::unbounded(2);
+        assert!(d.any_unbounded());
+        assert!(!d.satisfied_by(1e12, &[1e12, 1e12]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_mix_demand_rejected() {
+        let _ = MixDemand::targets(vec![1.0, -0.5]);
     }
 }

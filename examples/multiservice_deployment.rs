@@ -7,7 +7,8 @@
 //! cargo run --release --example multiservice_deployment
 //! ```
 
-use adept::core::model::mix::{evaluate_mix, partition_servers};
+use adept::core::model::mix::evaluate_mix;
+use adept::core::planner::MixPlanner;
 use adept::prelude::*;
 
 fn main() {
@@ -32,16 +33,14 @@ fn main() {
         (mix.share(1) * 100.0) as u32,
     );
 
-    // Plan the shared hierarchy for the demand-weighted mean workload.
-    let mean = ServiceSpec::new("mix-mean", Mflop(mix.mean_wapp()));
-    let plan = HeuristicPlanner::paper()
-        .plan(&platform, &mean, ClientDemand::Unbounded)
-        .expect("36 nodes suffice");
-    println!("\nshared hierarchy: {}", HierarchyStats::of(&plan));
-
-    // Partition the servers.
+    // Plan tree and server partition jointly on the batched incremental
+    // evaluator (one growth loop for the whole mix).
     let params = ModelParams::from_platform(&platform);
-    let assignment = partition_servers(&params, &platform, &plan, &mix);
+    let planned = MixPlanner::default()
+        .plan_mix_unbounded(&platform, &mix)
+        .expect("36 nodes suffice");
+    let (plan, assignment) = (planned.plan, planned.assignment);
+    println!("\nshared hierarchy: {}", HierarchyStats::of(&plan));
     println!(
         "partition: {} servers for {}, {} for {}",
         assignment.count_for(0),
@@ -51,7 +50,8 @@ fn main() {
     );
 
     // Predict and simulate.
-    let report = evaluate_mix(&params, &platform, &plan, &mix, &assignment);
+    let report = evaluate_mix(&params, &platform, &plan, &mix, &assignment)
+        .expect("the planner assigns every server");
     println!(
         "\npredicted mix throughput: {:.1} req/s (sched {:.1}; per-service {:?}; binding: {:?})",
         report.rho,

@@ -60,15 +60,17 @@ pub use adept_workload as workload;
 /// Commonly used items, re-exported flat.
 pub mod prelude {
     pub use adept_core::analysis::{Bottleneck, ThroughputReport};
+    pub use adept_core::model::mix::{MixReport, ServerAssignment};
     pub use adept_core::model::{IncrementalEval, ModelParams};
     pub use adept_core::planner::{
-        BalancedPlanner, EvalStrategy, HeuristicPlanner, HomogeneousCsdPlanner, OnlinePlanner,
-        Planner, PlannerError, RoundRobinPlanner, StarPlanner, SweepPlanner,
+        BalancedPlanner, EvalStrategy, HeuristicPlanner, HomogeneousCsdPlanner, MixObjective,
+        MixPlan, MixPlanner, MixReplan, OnlinePlanner, Planner, PlannerError, RoundRobinPlanner,
+        StarPlanner, SweepPlanner,
     };
     pub use adept_godiet::{DeployError, DeploymentReport, GoDiet};
     pub use adept_hierarchy::{
-        builder, to_dot, validate, xml, AdjacencyMatrix, DeploymentPlan, HierarchyStats, PlanDiff,
-        Role, Slot,
+        builder, to_dot, validate, xml, AdjacencyMatrix, DeploymentPlan, HierarchyStats,
+        PartitionStats, PlanDiff, Role, Slot,
     };
     pub use adept_nes_sim::{
         measure_throughput, saturation_search, SelectionPolicy, SimConfig, SimOutcome, Simulation,
@@ -78,8 +80,8 @@ pub mod prelude {
         MiddlewareCalibration, Network, NodeId, Platform, Resource, Seconds,
     };
     pub use adept_workload::{
-        ArrivalProcess, ClientDemand, ClientRamp, Dgemm, ScalingForecaster, ScalingSample,
-        ServiceMix, ServiceSpec, WappEstimator,
+        ArrivalProcess, ClientDemand, ClientRamp, Dgemm, MixDemand, ScalingForecaster,
+        ScalingSample, ServiceMix, ServiceSpec, WappEstimator,
     };
 }
 

@@ -8,7 +8,16 @@
 //! reported bottleneck *kind* are checked against a from-scratch
 //! `ModelParams::evaluate` of the plan, to 1e-9 relative. Over a thousand
 //! mutation steps are exercised across seeds and platform sizes.
+//!
+//! The **multi-service** half does the same for the batched evaluator: a
+//! plan plus a server→service assignment is mutated by random
+//! service-targeted attaches, promotions, moves, and undos, and after
+//! every step each service's Eq. 15 rate, the shared `ρ_sched`, the mix
+//! `ρ`, and the binding service are checked against a from-scratch
+//! per-service evaluation (`evaluate_mix_full`), to 1e-9 relative —
+//! including bit-exact unwinds of deep probe chains.
 
+use adept::core::model::mix::{evaluate_mix_full, ServerAssignment};
 use adept::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -22,6 +31,9 @@ enum Op {
     Promote { slot: Slot },
     /// Moved `child` from `old_parent` to a new parent.
     Move { child: Slot, old_parent: Slot },
+    /// Reinstalled the server at `slot` for another service (mix
+    /// harness only).
+    Reassign { slot: Slot, old_service: usize },
 }
 
 struct Harness<'a> {
@@ -170,6 +182,7 @@ impl<'a> Harness<'a> {
                     .move_child(child, old_parent)
                     .expect("reverse move is always legal");
             }
+            Op::Reassign { .. } => unreachable!("single-service harness never reassigns"),
         }
         true
     }
@@ -202,6 +215,226 @@ impl<'a> Harness<'a> {
     }
 }
 
+/// Multi-service mirror of [`Harness`]: plan + assignment + batched
+/// evaluator mutated in lock step, checked per service after every step.
+struct MixHarness<'a> {
+    platform: &'a Platform,
+    mix: &'a ServiceMix,
+    params: ModelParams,
+    plan: DeploymentPlan,
+    assignment: ServerAssignment,
+    eval: IncrementalEval,
+    log: Vec<Op>,
+    steps_checked: usize,
+}
+
+impl<'a> MixHarness<'a> {
+    fn new(platform: &'a Platform, mix: &'a ServiceMix) -> Self {
+        let params = ModelParams::from_platform(platform);
+        let ids = platform.ids_by_power_desc();
+        let mut plan = DeploymentPlan::with_root(ids[0]);
+        let mut assignment = ServerAssignment::default();
+        // One seed server per service so every partition starts non-empty.
+        for j in 0..mix.len() {
+            plan.add_server(plan.root(), ids[1 + j]).unwrap();
+            assignment.service_of.insert(ids[1 + j], j);
+        }
+        let eval = IncrementalEval::from_plan_mix(&params, platform, &plan, mix, &assignment)
+            .expect("seed assignment is complete");
+        Self {
+            platform,
+            mix,
+            params,
+            plan,
+            assignment,
+            eval,
+            log: Vec::new(),
+            steps_checked: 0,
+        }
+    }
+
+    fn check(&mut self, context: &str) {
+        let full = evaluate_mix_full(
+            &self.params,
+            self.platform,
+            &self.plan,
+            self.mix,
+            &self.assignment,
+        );
+        let fast = self.eval.mix_report();
+        let rel = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+        assert!(
+            rel(fast.rho, full.rho),
+            "{context}: mix rho {} vs full {}\n{}",
+            fast.rho,
+            full.rho,
+            self.plan.render()
+        );
+        assert!(
+            rel(fast.rho_sched, full.rho_sched),
+            "{context}: rho_sched {} vs {}",
+            fast.rho_sched,
+            full.rho_sched
+        );
+        for j in 0..self.mix.len() {
+            assert!(
+                rel(fast.rho_service[j], full.rho_service[j]),
+                "{context}: service {j} rate {} vs {}",
+                fast.rho_service[j],
+                full.rho_service[j]
+            );
+        }
+        assert_eq!(
+            fast.binding_service, full.binding_service,
+            "{context}: binding service"
+        );
+        self.steps_checked += 1;
+    }
+
+    fn try_attach(&mut self, rng: &mut StdRng) -> bool {
+        let unused: Vec<NodeId> = self
+            .platform
+            .nodes()
+            .iter()
+            .map(|r| r.id)
+            .filter(|&id| !self.plan.uses_node(id))
+            .collect();
+        if unused.is_empty() {
+            return false;
+        }
+        let node = unused[rng.gen_range(0..unused.len())];
+        let service = rng.gen_range(0..self.mix.len());
+        let agents: Vec<Slot> = self.plan.agents().collect();
+        let parent = agents[rng.gen_range(0..agents.len())];
+        let s1 = self.plan.add_server(parent, node).expect("node unused");
+        let s2 = self
+            .eval
+            .add_server_for(parent, node, self.platform.power(node), service)
+            .expect("node unused");
+        assert_eq!(s1, s2, "slot alignment");
+        self.assignment.service_of.insert(node, service);
+        self.log.push(Op::Attach { slot: s1 });
+        true
+    }
+
+    fn try_promote(&mut self, rng: &mut StdRng) -> bool {
+        let servers: Vec<Slot> = self.plan.servers().collect();
+        if servers.is_empty() {
+            return false;
+        }
+        let slot = servers[rng.gen_range(0..servers.len())];
+        self.plan.convert_to_agent(slot).expect("is a server");
+        self.eval.promote_to_agent(slot).expect("is a server");
+        // The reference evaluation reads the assignment map, so the
+        // promoted node must leave it (the engine remembers the service
+        // internally for demotion symmetry).
+        self.assignment.service_of.remove(&self.plan.node(slot));
+        self.log.push(Op::Promote { slot });
+        true
+    }
+
+    fn try_move(&mut self, rng: &mut StdRng) -> bool {
+        if self.plan.len() < 3 {
+            return false;
+        }
+        let child = Slot(rng.gen_range(1..self.plan.len()));
+        let agents: Vec<Slot> = self.plan.agents().collect();
+        let target = agents[rng.gen_range(0..agents.len())];
+        let old_parent = self.plan.parent(child).expect("non-root");
+        let plan_result = self.plan.move_child(child, target);
+        let eval_result = self.eval.move_child(child, target);
+        assert_eq!(plan_result.is_ok(), eval_result.is_ok());
+        match eval_result {
+            Ok(true) => {
+                self.log.push(Op::Move { child, old_parent });
+                true
+            }
+            Ok(false) | Err(_) => false,
+        }
+    }
+
+    fn try_reassign(&mut self, rng: &mut StdRng) -> bool {
+        let servers: Vec<Slot> = self.plan.servers().collect();
+        if servers.is_empty() {
+            return false;
+        }
+        let slot = servers[rng.gen_range(0..servers.len())];
+        let service = rng.gen_range(0..self.mix.len());
+        let old_service = self.eval.service_of(slot);
+        if !self
+            .eval
+            .reassign_server(slot, service)
+            .expect("slot is a server of the mix")
+        {
+            return false; // same-service no-op: nothing recorded
+        }
+        self.assignment
+            .service_of
+            .insert(self.plan.node(slot), service);
+        self.log.push(Op::Reassign { slot, old_service });
+        true
+    }
+
+    fn undo(&mut self) -> bool {
+        let Some(op) = self.log.pop() else {
+            return false;
+        };
+        assert!(self.eval.undo(), "engine undo stack in sync with the log");
+        match op {
+            Op::Attach { slot } => {
+                self.assignment.service_of.remove(&self.plan.node(slot));
+                self.plan
+                    .remove_last(slot)
+                    .expect("undo retracts the last slot");
+            }
+            Op::Promote { slot } => {
+                self.plan
+                    .convert_to_server(slot)
+                    .expect("promotion is reverted before children attach");
+                // Back into the partition, under its remembered service.
+                self.assignment
+                    .service_of
+                    .insert(self.plan.node(slot), self.eval.service_of(slot));
+            }
+            Op::Move { child, old_parent } => {
+                self.plan
+                    .move_child(child, old_parent)
+                    .expect("reverse move is always legal");
+            }
+            Op::Reassign { slot, old_service } => {
+                self.assignment
+                    .service_of
+                    .insert(self.plan.node(slot), old_service);
+            }
+        }
+        true
+    }
+
+    fn run(&mut self, rng: &mut StdRng, steps: usize) {
+        self.check("initial");
+        for step in 0..steps {
+            let acted = match rng.gen_range(0u32..10) {
+                0..=3 => self.try_attach(rng),
+                4..=5 => self.try_promote(rng),
+                6 => self.try_move(rng),
+                7..=8 => self.try_reassign(rng),
+                _ => self.undo(),
+            };
+            if acted {
+                self.check(&format!("step {step}"));
+            }
+        }
+        while self.undo() {
+            self.check("unwind");
+        }
+        assert_eq!(
+            self.plan.len(),
+            1 + self.mix.len(),
+            "unwind returns to the seed deployment"
+        );
+    }
+}
+
 #[test]
 fn incremental_matches_full_eval_on_randomized_sequences() {
     let mut total_steps = 0;
@@ -226,6 +459,95 @@ fn incremental_matches_full_eval_on_randomized_sequences() {
         total_steps >= 1000,
         "property test must exercise >= 1000 checked mutations, got {total_steps}"
     );
+}
+
+#[test]
+fn batched_mix_matches_per_service_full_eval_on_randomized_sequences() {
+    let mut total_steps = 0;
+    for (size, seed) in [(24usize, 3u64), (40, 17), (56, 29)] {
+        let platform = generator::heterogenized_cluster(
+            "orsay",
+            size,
+            MflopRate(400.0),
+            BackgroundLoad::default(),
+            CapacityProbe::exact(),
+            seed,
+        );
+        for weights in [
+            vec![1.0, 1.0],
+            vec![4.0, 2.0, 1.0],
+            vec![3.0, 1.0, 1.0, 1.0],
+        ] {
+            let mix = ServiceMix::new(
+                weights
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| (Dgemm::new(100 + 200 * i as u32).service(), w))
+                    .collect(),
+            );
+            let mut harness = MixHarness::new(&platform, &mix);
+            let mut rng = StdRng::seed_from_u64(seed ^ (weights.len() as u64) << 16);
+            harness.run(&mut rng, 120);
+            total_steps += harness.steps_checked;
+        }
+    }
+    assert!(
+        total_steps >= 800,
+        "mix property test must exercise >= 800 checked mutations, got {total_steps}"
+    );
+}
+
+#[test]
+fn mix_undo_is_bit_exact_after_deep_probe_chains() {
+    let platform = generator::heterogenized_cluster(
+        "orsay",
+        40,
+        MflopRate(400.0),
+        BackgroundLoad::default(),
+        CapacityProbe::exact(),
+        13,
+    );
+    let mix = ServiceMix::new(vec![
+        (Dgemm::new(100).service(), 2.0),
+        (Dgemm::new(310).service(), 1.0),
+        (Dgemm::new(1000).service(), 1.0),
+    ]);
+    let mut harness = MixHarness::new(&platform, &mix);
+    let mut rng = StdRng::seed_from_u64(77);
+    let baseline_rho = harness.eval.rho();
+    let baseline_rates: Vec<u64> = (0..mix.len())
+        .map(|j| harness.eval.rho_service_of(j).to_bits())
+        .collect();
+    for _ in 0..150 {
+        let depth = rng.gen_range(1usize..6);
+        let mut applied = 0;
+        for _ in 0..depth {
+            let acted = match rng.gen_range(0u32..4) {
+                0 => harness.try_attach(&mut rng),
+                1 => harness.try_promote(&mut rng),
+                2 => harness.try_move(&mut rng),
+                _ => harness.try_reassign(&mut rng),
+            };
+            if acted {
+                applied += 1;
+            }
+        }
+        for _ in 0..applied {
+            assert!(harness.undo());
+        }
+        assert_eq!(
+            harness.eval.rho().to_bits(),
+            baseline_rho.to_bits(),
+            "mix probe chains must unwind bit-exactly"
+        );
+        for (j, &bits) in baseline_rates.iter().enumerate() {
+            assert_eq!(
+                harness.eval.rho_service_of(j).to_bits(),
+                bits,
+                "service {j} must unwind bit-exactly"
+            );
+        }
+    }
 }
 
 #[test]
