@@ -10,12 +10,13 @@
 //! records for perf-trajectory tracking across PRs; CI's `bench_gate`
 //! compares them against the committed `BENCH_planner.baseline.json`.
 
+use adept_core::model::ModelParams;
 use adept_core::planner::{
     EvalStrategy, HeuristicPlanner, HomogeneousCsdPlanner, MixPlanner, OnlinePlanner, Planner,
     SweepPlanner,
 };
-use adept_platform::generator::uniform_random_cluster;
-use adept_platform::{MflopRate, Platform};
+use adept_platform::generator::{multi_site_grid, uniform_random_cluster};
+use adept_platform::{MbitRate, MflopRate, Platform};
 use adept_workload::{ClientDemand, Dgemm};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -165,6 +166,66 @@ fn bench_mix_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// The site-aware hot path: the same heuristic growth loop on a uniform
+/// network (heap-driven attach, degree-only cycles) versus 2- and 4-site
+/// grids (link-cost tables, per-child running sums, O(k) joint
+/// power+link attach scans). Guarded by `bench_gate` via the committed
+/// baseline so a complexity regression in the site-aware paths fails CI.
+/// As a side effect, the 2-site configuration prints the throughput gap
+/// between the site-aware plan and the min-B scalarized plan — the
+/// quality win the extra bookkeeping buys.
+fn bench_hetero_scaling(c: &mut Criterion) {
+    let service = Dgemm::new(310).service();
+    let mut group = c.benchmark_group("hetero_scaling");
+    group.sample_size(10);
+    for &n in &[200usize, 400, 800] {
+        for (label, sites) in [("uniform", 1usize), ("2-site", 2), ("4-site", 4)] {
+            let platform = if sites == 1 {
+                platform(n)
+            } else {
+                multi_site_grid(
+                    sites,
+                    n / sites,
+                    MflopRate(400.0),
+                    MbitRate(100.0),
+                    MbitRate(10.0),
+                    7,
+                )
+            };
+            if sites == 2 {
+                let params = ModelParams::from_platform(&platform);
+                let aware = HeuristicPlanner::paper()
+                    .plan(&platform, &service, ClientDemand::Unbounded)
+                    .expect("fits");
+                let scalar = HeuristicPlanner {
+                    params: Some(params.scalarized()),
+                    ..HeuristicPlanner::paper()
+                }
+                .plan(&platform, &service, ClientDemand::Unbounded)
+                .expect("fits");
+                let rho_aware = params.evaluate(&platform, &aware, &service).rho;
+                let rho_scalar = params.evaluate(&platform, &scalar, &service).rho;
+                eprintln!(
+                    "hetero_scaling n={n}: site-aware {rho_aware:.1} req/s vs min-B scalarized \
+                     {rho_scalar:.1} req/s ({:+.1}%)",
+                    (rho_aware / rho_scalar - 1.0) * 100.0
+                );
+            }
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        HeuristicPlanner::paper()
+                            .plan(&platform, &service, ClientDemand::Unbounded)
+                            .expect("fits"),
+                    )
+                    .len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 /// ROADMAP's online replan latency budget: one end-to-end
 /// `OnlinePlanner::replan` round (evaluator build + O(log n) probes) on
 /// a 10⁴-node platform against a demand 1.5× the running plan's rate.
@@ -206,6 +267,7 @@ criterion_group!(
     bench_planners,
     bench_eval_strategy,
     bench_mix_scaling,
+    bench_hetero_scaling,
     bench_online_replan
 );
 criterion_main!(benches);

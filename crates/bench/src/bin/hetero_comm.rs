@@ -1,29 +1,30 @@
-//! **Extension experiment: heterogeneous communication** (the paper's
-//! future work, DESIGN.md §7).
+//! **Extension experiment: heterogeneous communication** — the paper's
+//! future work, now a first-class planner path.
 //!
 //! Two-site platform (fast links inside each site, a slow link between
-//! them). Three deployments of the same 12 middleware nodes:
+//! them). Two questions:
 //!
-//! * `intra` — the whole hierarchy inside site A;
-//! * `cross-servers` — agent on site A, all servers on site B (every
-//!   scheduling message crosses the slow link);
-//! * `split` — one mid-agent per site, servers attached locally (only the
-//!   two agent↔root edges cross).
-//!
-//! For each, the homogeneous model (with the conservative min-bandwidth
-//! scalarization), the hetero-aware model, and the simulator are compared.
-//! The hetero model should rank the deployments like the simulator; the
-//! scalarized model cannot separate them.
+//! 1. **Model fidelity** — three hand-built deployments of the same 12
+//!    middleware nodes (`intra`, `cross-servers`, `split`) are scored by
+//!    the min-bandwidth scalarized model, the per-link model, and the
+//!    simulator. The per-link model should rank the deployments like the
+//!    simulator; the scalarized model cannot separate them.
+//! 2. **Planner quality** — the min-B scalarized heuristic (the
+//!    historical behavior), the site-aware heuristic (per-link
+//!    incremental engine), and the multi-site sweep are compared under
+//!    the per-link model and the simulator. The site-aware plans should
+//!    recover the throughput the scalarization leaves on the table.
 //!
 //! ```text
-//! cargo run --release -p bench --bin hetero_comm
+//! cargo run --release -p adept-bench --bin hetero_comm
 //! ```
 
 use adept_core::model::{hetero, ModelParams};
+use adept_core::planner::{HeuristicPlanner, Planner, SweepPlanner};
 use adept_hierarchy::DeploymentPlan;
 use adept_nes_sim::{measure_throughput, SimConfig};
 use adept_platform::{MbitRate, MflopRate, Network, NodeId, Platform, Seconds};
-use adept_workload::Dgemm;
+use adept_workload::{ClientDemand, Dgemm};
 use bench::{results_dir, Table};
 
 fn two_site_platform() -> Platform {
@@ -65,23 +66,33 @@ fn deployments() -> Vec<(&'static str, DeploymentPlan)> {
     vec![("intra", intra), ("cross-servers", cross), ("split", split)]
 }
 
+fn rank(v: &[(String, f64)]) -> Vec<String> {
+    let mut pairs: Vec<(String, f64)> = v.to_vec();
+    pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    pairs.into_iter().map(|(n, _)| n).collect()
+}
+
 fn main() {
     let fast = bench::fast_mode();
     let platform = two_site_platform();
     let service = Dgemm::new(100).service();
-    let params = ModelParams::new(MbitRate(100.0)); // per-link model input
-    let params_scalar = ModelParams::from_platform(&platform); // min-B scalarization
+    let params = ModelParams::from_platform(&platform); // per-link (site-aware default)
+    let params_scalar = params.scalarized(); // min-B scalarization
     let config = if fast {
         SimConfig::paper().with_windows(Seconds(2.0), Seconds(8.0))
     } else {
         SimConfig::paper().with_windows(Seconds(5.0), Seconds(20.0))
     };
+    let simulate = |plan: &DeploymentPlan| {
+        measure_throughput(&platform, plan, &service, 32, &config).throughput
+    };
 
     println!("# Extension: heterogeneous communication (2 sites, 100 Mb/s intra, 5 Mb/s inter)\n");
+    println!("## Model fidelity on fixed deployments\n");
     let mut table = Table::new(vec![
         "deployment",
         "scalar model",
-        "hetero model",
+        "per-link model",
         "simulated",
     ]);
     let mut hetero_preds = Vec::new();
@@ -89,9 +100,9 @@ fn main() {
     for (name, plan) in deployments() {
         let scalar = params_scalar.evaluate(&platform, &plan, &service).rho;
         let het = hetero::evaluate_hetero(&params, &platform, &plan, &service).rho;
-        let sim = measure_throughput(&platform, &plan, &service, 32, &config).throughput;
-        hetero_preds.push((name, het));
-        measured.push((name, sim));
+        let sim = simulate(&plan);
+        hetero_preds.push((name.to_string(), het));
+        measured.push((name.to_string(), sim));
         table.row(vec![
             name.to_string(),
             format!("{scalar:.1}"),
@@ -100,20 +111,65 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
-    table.to_csv(&results_dir().join("hetero_comm.csv"));
 
-    fn rank(v: &[(&'static str, f64)]) -> Vec<&'static str> {
-        let mut pairs: Vec<(&'static str, f64)> = v.to_vec();
-        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-        pairs.into_iter().map(|(n, _)| n).collect()
-    }
     let model_rank = rank(&hetero_preds);
     let sim_rank = rank(&measured);
-    println!("\nhetero-model ranking: {model_rank:?}");
-    println!("simulated ranking:    {sim_rank:?}");
+    println!("\nper-link model ranking: {model_rank:?}");
+    println!("simulated ranking:      {sim_rank:?}");
     println!(
-        "extension check: hetero model ranks deployments like the simulator -> {}",
+        "extension check: per-link model ranks deployments like the simulator -> {}",
         if model_rank == sim_rank {
+            "CONFIRMED"
+        } else {
+            "NOT confirmed"
+        }
+    );
+
+    println!("\n## Site-aware planning vs the min-B scalarization\n");
+    let scalar_plan = HeuristicPlanner {
+        params: Some(params_scalar),
+        ..HeuristicPlanner::paper()
+    }
+    .plan(&platform, &service, ClientDemand::Unbounded)
+    .expect("12 nodes suffice");
+    let aware_plan = HeuristicPlanner::paper()
+        .plan(&platform, &service, ClientDemand::Unbounded)
+        .expect("12 nodes suffice");
+    let (sweep_plan, _) = SweepPlanner::default()
+        .best_plan(&platform, &service)
+        .expect("12 nodes suffice");
+
+    let mut table = Table::new(vec!["planner", "per-link model", "simulated", "nodes"]);
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for (name, plan) in [
+        ("heuristic (min-B scalarized)", &scalar_plan),
+        ("heuristic (site-aware)", &aware_plan),
+        ("sweep (multi-site)", &sweep_plan),
+    ] {
+        let rho = params.evaluate(&platform, plan, &service).rho;
+        let sim = simulate(plan);
+        rows.push((name.to_string(), rho));
+        table.row(vec![
+            name.to_string(),
+            format!("{rho:.1}"),
+            format!("{sim:.1}"),
+            format!("{}", plan.len()),
+        ]);
+    }
+    print!("{}", table.render());
+    table.to_csv(&results_dir().join("hetero_comm.csv"));
+
+    let scalar_rho = rows[0].1;
+    let aware_rho = rows[1].1;
+    println!(
+        "\nsite-aware heuristic vs scalarized plan: {:.1} vs {:.1} req/s ({:+.1}%)",
+        aware_rho,
+        scalar_rho,
+        (aware_rho / scalar_rho - 1.0) * 100.0
+    );
+    println!(
+        "planner check: site-aware plan beats the scalarization -> {}",
+        if aware_rho > scalar_rho {
             "CONFIRMED"
         } else {
             "NOT confirmed"

@@ -10,15 +10,32 @@
 //! message term is costed with the bandwidth of the specific link it
 //! crosses (via [`Network::bandwidth_between`](adept_platform::Network::bandwidth_between) over the endpoints' sites)
 //! instead of the global `B`. The homogeneous equations are recovered
-//! exactly when the platform's network is uniform.
+//! exactly when the platform's network is uniform. The client side is a
+//! site too: with [`ModelParams::client_site`] set, the root's parent
+//! link and the Eq. 15 service-phase transfers cross the link to that
+//! site; by default clients are assumed co-located with each endpoint's
+//! own site gateway (the paper's setup).
+//!
+//! **Role in the stack.** [`evaluate_hetero`] is the O(n) from-scratch
+//! *reference* implementation of the per-link model — the exact role
+//! [`throughput::evaluate`](super::throughput::evaluate) plays for the
+//! homogeneous model. The hot path is the site-aware
+//! [`IncrementalEval`](super::IncrementalEval), which prefetches the
+//! site-pair bandwidth table and maintains the same quantities as
+//! O(log n) deltas; `tests/incremental_parity.rs` drives randomized
+//! multi-site mutation sequences against this module at 1e-9 relative.
+//! [`ModelParams::evaluate`] dispatches here automatically whenever the
+//! platform's network is heterogeneous (and
+//! [`site_aware`](ModelParams::site_aware) is left on), so planners,
+//! tests and reports all price links the same way.
 //!
 //! The practical consequence the extension exposes: on a multi-site
 //! platform, the homogeneous-`B` planner (which scalarizes the network to
 //! its *minimum* bandwidth, see
 //! [`Network::uniform_bandwidth`](adept_platform::Network::uniform_bandwidth)) either underestimates intra-site
 //! deployments or overestimates cross-site edges; the hetero-aware
-//! evaluation ranks cross-site hierarchies correctly. The
-//! `hetero_comm` bench quantifies the gap.
+//! evaluation ranks cross-site hierarchies correctly, and the site-aware
+//! planners exploit it. The `hetero_comm` bench quantifies the gap.
 
 use super::ModelParams;
 use crate::analysis::{Bottleneck, ThroughputReport};
@@ -35,11 +52,11 @@ fn site_of(platform: &Platform, plan: &DeploymentPlan, slot: Slot) -> SiteId {
 }
 
 /// Generalized Eq. 1+2+5: full cycle of an agent whose links may have
-/// different bandwidths. `parent_site` is `None` for the root (its parent
-/// link goes to the client side, costed at the agent's own intra-site
-/// bandwidth — clients are assumed co-located with the root's site
-/// gateway, as in the paper's setup where clients sat on a dedicated
-/// cluster wired to the middleware site).
+/// different bandwidths. The root has no parent slot: its parent link
+/// goes to the client side — [`ModelParams::client_site`] when set,
+/// otherwise the agent's own site (clients co-located with the root's
+/// site gateway, as in the paper's setup where clients sat on a
+/// dedicated cluster wired to the middleware site).
 pub fn agent_cycle_hetero(
     params: &ModelParams,
     platform: &Platform,
@@ -51,7 +68,7 @@ pub fn agent_cycle_hetero(
     let parent_site = plan
         .parent(slot)
         .map(|p| site_of(platform, plan, p))
-        .unwrap_or(my_site);
+        .unwrap_or_else(|| params.client_site.unwrap_or(my_site));
     let net = platform.network();
     let b_parent = net.bandwidth_between(my_site, parent_site);
     // Parent link: receive the request, send the reply (Eq. 1/2 first
@@ -87,8 +104,9 @@ pub fn server_prediction_cycle_hetero(
 }
 
 /// Generalized Eq. 15: the service-phase transfer crosses the
-/// client↔server link; clients are costed at the server's intra-site
-/// bandwidth (see [`agent_cycle_hetero`] for the convention).
+/// client↔server link — [`ModelParams::client_site`] when set, otherwise
+/// the server's own intra-site bandwidth (see [`agent_cycle_hetero`] for
+/// the convention). The slowest client↔server transfer binds.
 pub fn service_throughput_hetero(
     params: &ModelParams,
     platform: &Platform,
@@ -107,7 +125,7 @@ pub fn service_throughput_hetero(
         numerator += s.wpre / service.wapp;
         denominator += power.value() / service.wapp.value();
         let site = site_of(platform, plan, slot);
-        let b = net.bandwidth_between(site, site);
+        let b = net.bandwidth_between(site, params.client_site.unwrap_or(site));
         let transfer = s.sreq / b + s.srep / b + params.latency * 2.0;
         if transfer > worst_transfer {
             worst_transfer = transfer;
@@ -242,6 +260,32 @@ mod tests {
         assert!(
             hetero_rho > scalar_rho,
             "hetero model must credit intra-site links: {scalar_rho} vs {hetero_rho}"
+        );
+    }
+
+    #[test]
+    fn explicit_client_site_prices_the_client_links() {
+        let platform = two_site_platform(10.0);
+        let svc = Dgemm::new(310).service();
+        let intra = star(&ids(4)); // entirely on site a
+        let params = ModelParams::new(MbitRate(100.0));
+        let default_rho = evaluate_hetero(&params, &platform, &intra, &svc).rho;
+        // Clients declared on site a: identical to the default convention
+        // for a site-a deployment (every client link is still intra-a).
+        let co_located = params.with_client_site(SiteId(0));
+        assert_eq!(
+            evaluate_hetero(&co_located, &platform, &intra, &svc)
+                .rho
+                .to_bits(),
+            default_rho.to_bits()
+        );
+        // Clients behind the 10 Mb/s WAN: the root's parent link and all
+        // Eq. 15 transfers slow down, so throughput must drop.
+        let remote = params.with_client_site(SiteId(1));
+        let remote_rho = evaluate_hetero(&remote, &platform, &intra, &svc).rho;
+        assert!(
+            remote_rho < default_rho,
+            "WAN clients must cost: {remote_rho} vs {default_rho}"
         );
     }
 

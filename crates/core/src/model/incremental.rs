@@ -4,7 +4,7 @@
 //! The greedy planners (Algorithm 1's growth loop, the \[7\] rebalance
 //! pass, the online re-planner) probe thousands of candidate moves, and
 //! each probe used to clone the whole [`DeploymentPlan`] and re-run
-//! [`throughput::evaluate`](super::throughput::evaluate) from scratch —
+//! [`throughput::evaluate`] from scratch —
 //! O(n) per probe, O(n²)–O(n³) per planning run. This module exploits the
 //! model's locality instead: under Eq. 13–16 a deployment's throughput is
 //!
@@ -21,7 +21,7 @@
 //! * **per-slot cycle cache** — agent scheduling cycles (Eq. 14's second
 //!   term) and server prediction cycles (its first term), recomputed only
 //!   for the touched slots;
-//! * **tournament tree** ([`MaxTree`]) over the cycles — the root holds
+//! * **tournament tree** (`MaxTree`) over the cycles — the root holds
 //!   the binding stage, updates cost O(log n), ties resolve to the lowest
 //!   slot exactly like the sequential scan in `throughput::evaluate`;
 //! * **service running sums** — Eq. 10's numerator `1 + Σ Wpre/Wapp` and
@@ -29,13 +29,9 @@
 //!
 //! # Delta API
 //!
-//! [`IncrementalEval::add_server`], [`remove_server`]
-//! (IncrementalEval::remove_server), [`promote_to_agent`]
-//! (IncrementalEval::promote_to_agent), [`demote_to_server`]
-//! (IncrementalEval::demote_to_server), [`move_child`]
-//! (IncrementalEval::move_child) and the abstract
-//! [`assign_child_slot`](IncrementalEval::assign_child_slot) / \
-//! [`release_child_slot`](IncrementalEval::release_child_slot) pair each
+//! [`IncrementalEval::add_server`], [`remove_server`],
+//! [`promote_to_agent`], [`demote_to_server`], [`move_child`] and the
+//! abstract [`assign_child_slot`] / [`release_child_slot`] pair each
 //! run in O(log n) and push an inverse record onto an undo stack;
 //! [`undo`](IncrementalEval::undo) pops one delta and restores the
 //! previous state **bit-exactly** (changed floats are saved and restored
@@ -54,10 +50,8 @@
 //! retired, promoted or demoted belongs to exactly one service), so every
 //! mutation still costs one O(log n) tree pass plus O(1) sum updates —
 //! and updates **all** services' throughputs at once; queries are O(S)
-//! for S services. Build with [`from_plan_mix`]
-//! (IncrementalEval::from_plan_mix) / [`from_agents_mix`]
-//! (IncrementalEval::from_agents_mix), attach with [`add_server_for`]
-//! (IncrementalEval::add_server_for), move a server between services
+//! for S services. Build with [`from_plan_mix`] / [`from_agents_mix`],
+//! attach with [`add_server_for`], move a server between services
 //! with [`reassign_server`](IncrementalEval::reassign_server) (an O(1)
 //! reinstall — the scheduling phase is untouched), read with
 //! [`rho_service_of`](IncrementalEval::rho_service_of) and
@@ -65,24 +59,68 @@
 //! constructors are the one-service special case of the same machinery
 //! (share 1.0), with bit-identical results.
 //!
+//! # Site-aware evaluation (heterogeneous communication)
+//!
+//! On a platform whose network distinguishes links
+//! ([`Network::PerSitePair`](adept_platform::Network::PerSitePair)), the
+//! evaluator runs in **site-aware mode**: it carries a per-slot site
+//! vector and dense per-site-pair link-cost tables (prefetched from
+//! [`Network::pair_table`](adept_platform::Network::pair_table) at
+//! construction, indexed branch-free on the hot path), and maintains the
+//! [`hetero`](super::hetero) generalization of Eq. 1–16:
+//!
+//! * an agent's cycle is its parent-link cost plus a **running sum of
+//!   per-child link costs** (`child_sum`) plus Eq. 5 — not
+//!   `degree × uniform_cost`;
+//! * a server's prediction cycle prices the server↔parent link;
+//! * each service's Eq. 15 transfer bound is the **worst client↔server
+//!   link** over the sites its partition occupies, maintained through
+//!   per-`(service, site)` server counts;
+//! * the root's parent link and the Eq. 15 transfers go to
+//!   [`ModelParams::client_site`] when set, else each endpoint's own
+//!   site.
+//!
+//! Every delta stays O(log n) (`move_child` additionally refreshes the
+//! moved child's own cycle — its parent link changed) and undo remains
+//! bit-exact: touched `child_sum` floats are saved and restored verbatim
+//! alongside the cycles and service sums. On a homogeneous network the
+//! site machinery is absent (`site: None`) and every code path is the
+//! pre-existing uniform one, **bit-identically** — the single-site fast
+//! path costs nothing. Abstract [`assign_child_slot`] probes price the
+//! phantom child at the agent's own site; use [`assign_child_slot_at`]
+//! to price a concrete site.
+//!
 //! # Parity contract
 //!
 //! [`rho`](IncrementalEval::rho) and [`report`](IncrementalEval::report)
 //! match a from-scratch [`ModelParams::evaluate`] of the equivalent plan to
 //! within 1e-9 relative (exactly, for the scheduling phase; the service
 //! sums can differ from the sequential re-summation by float associativity
-//! only), and [`mix_report`](IncrementalEval::mix_report) matches
+//! only) — in site-aware mode the reference is
+//! [`evaluate_hetero`](super::hetero::evaluate_hetero), to the same
+//! 1e-9 — and [`mix_report`](IncrementalEval::mix_report) matches
 //! [`evaluate_mix`](super::mix::evaluate_mix) the same way, per service.
 //! The property test `tests/incremental_parity.rs` drives ~1k randomized
-//! single-service mutation sequences plus randomized multi-service
-//! sequences against the full evaluator to enforce this, including the
-//! reported bottleneck kind and bit-exact undo.
+//! single-service mutation sequences plus randomized multi-service and
+//! multi-site sequences against the full evaluators to enforce this,
+//! including the reported bottleneck kind and bit-exact undo.
+//!
+//! [`remove_server`]: IncrementalEval::remove_server
+//! [`promote_to_agent`]: IncrementalEval::promote_to_agent
+//! [`demote_to_server`]: IncrementalEval::demote_to_server
+//! [`move_child`]: IncrementalEval::move_child
+//! [`assign_child_slot`]: IncrementalEval::assign_child_slot
+//! [`assign_child_slot_at`]: IncrementalEval::assign_child_slot_at
+//! [`release_child_slot`]: IncrementalEval::release_child_slot
+//! [`from_plan_mix`]: IncrementalEval::from_plan_mix
+//! [`from_agents_mix`]: IncrementalEval::from_agents_mix
+//! [`add_server_for`]: IncrementalEval::add_server_for
 
 use super::mix::{MixReport, ServerAssignment};
-use super::{comm, throughput, ModelParams};
+use super::{comm, compute, throughput, ModelParams};
 use crate::analysis::{Bottleneck, ThroughputReport};
 use adept_hierarchy::{DeploymentPlan, PlanError, Role, Slot};
-use adept_platform::{MflopRate, NodeId, Platform};
+use adept_platform::{Mbit, MflopRate, NodeId, Platform, SiteId};
 use adept_workload::{ServiceMix, ServiceSpec};
 use std::collections::HashSet;
 
@@ -162,6 +200,72 @@ impl MaxTree {
     }
 }
 
+/// Prefetched link-cost tables and per-node sites — present only in
+/// site-aware mode (heterogeneous network). All costs are full per-link
+/// round trips in seconds, computed once from
+/// [`Network::pair_table`](adept_platform::Network::pair_table) so the
+/// delta hot path is a branch-free table lookup.
+#[derive(Debug, Clone)]
+struct SiteModel {
+    /// Number of sites the tables cover (≥ every node's site index + 1,
+    /// and ≥ the client site index + 1 when one is declared).
+    site_count: usize,
+    /// Agent-tier `Sreq/b + Srep/b + 2·latency`, row-major `[my][other]`.
+    agent_link: Vec<f64>,
+    /// Server-tier round trip, same layout (server↔parent scheduling
+    /// messages).
+    server_link: Vec<f64>,
+    /// Eq. 15 client↔server transfer per server site (to the client
+    /// site when declared, else intra-site).
+    service_transfer: Vec<f64>,
+    /// Client site index for root parent links; `None` = each root's own
+    /// site.
+    client_site: Option<usize>,
+    /// `NodeId` index → site index.
+    node_site: Vec<usize>,
+}
+
+impl SiteModel {
+    fn build(params: &ModelParams, platform: &Platform) -> Option<Box<SiteModel>> {
+        if !params.uses_link_bandwidths(platform) {
+            return None;
+        }
+        let client_site = params.client_site.map(SiteId::index);
+        let mut site_count = platform.site_count().max(1);
+        if let Some(c) = client_site {
+            site_count = site_count.max(c + 1);
+        }
+        let bw = platform.network().pair_table(site_count);
+        let a = &params.calibration.agent;
+        let srv = &params.calibration.server;
+        let link_table = |sreq: Mbit, srep: Mbit| -> Vec<f64> {
+            bw.iter()
+                .map(|&b| (sreq / b + srep / b + params.latency * 2.0).value())
+                .collect()
+        };
+        let service_transfer = (0..site_count)
+            .map(|site| {
+                let b = bw[site * site_count + client_site.unwrap_or(site)];
+                (srv.sreq / b + srv.srep / b + params.latency * 2.0).value()
+            })
+            .collect();
+        Some(Box::new(SiteModel {
+            site_count,
+            agent_link: link_table(a.sreq, a.srep),
+            server_link: link_table(srv.sreq, srv.srep),
+            service_transfer,
+            client_site,
+            node_site: platform.nodes().iter().map(|r| r.site.index()).collect(),
+        }))
+    }
+
+    /// Agent-tier cost of the `my`↔`other` link.
+    #[inline]
+    fn agent_link(&self, my: usize, other: usize) -> f64 {
+        self.agent_link[my * self.site_count + other]
+    }
+}
+
 /// Scalars needed to restore the evaluator state bit-exactly on undo.
 #[derive(Debug, Clone, Copy)]
 struct Saved {
@@ -172,10 +276,18 @@ struct Saved {
     services: [(usize, f64, f64); 2],
     /// How many entries of `services` are meaningful.
     touched_services: usize,
-    /// `(slot, previous cycle)` for every tree entry the delta touched.
-    cycles: [(usize, f64); 2],
+    /// `(slot, previous cycle)` for every tree entry the delta touched —
+    /// at most three (a site-aware `move_child` refreshes both parents
+    /// *and* the moved child's own parent-link cycle).
+    cycles: [(usize, f64); 3],
     /// How many entries of `cycles` are meaningful.
     touched: usize,
+    /// `(slot, previous child-link running sum)` for every `child_sum`
+    /// entry a site-aware delta touched — at most two (`move_child`
+    /// moves link cost between two parents). Unused in uniform mode.
+    sums: [(usize, f64); 2],
+    /// How many entries of `sums` are meaningful.
+    touched_sums: usize,
 }
 
 /// One applied delta, as recorded on the undo stack.
@@ -242,15 +354,31 @@ pub struct IncrementalEval {
     /// Request share `f_j` of service `j` (1.0 for single-service).
     svc_share: Vec<f64>,
 
+    /// Link-cost tables for the site-aware mode; `None` on a uniform
+    /// network (every path below then ignores the site machinery and is
+    /// bit-identical to the homogeneous engine).
+    site: Option<Box<SiteModel>>,
+    /// `site.site_count` (1 in uniform mode), denormalized for indexing.
+    site_count: usize,
+
     nodes: Vec<NodeId>,
     powers: Vec<f64>,
     roles: Vec<Role>,
     parents: Vec<Option<usize>>,
     degrees: Vec<usize>,
+    /// Per-slot site index (all zero in uniform mode).
+    sites: Vec<usize>,
+    /// Per-slot running sum of child link costs (site-aware agents only;
+    /// all zero in uniform mode).
+    child_sum: Vec<f64>,
     /// Service hosted by each slot while it is (or last was) a server;
     /// agents keep their last value (0 for never-servers) so a demotion
     /// returns the node to the service it previously hosted.
     service_of: Vec<usize>,
+    /// Active servers per `(service, site)`, `[service * site_count +
+    /// site]` — the support of each service's Eq. 15 worst-transfer
+    /// bound. Empty in uniform mode.
+    svc_site_servers: Vec<u32>,
     active: Vec<bool>,
     used: HashSet<NodeId>,
 
@@ -271,7 +399,13 @@ impl IncrementalEval {
         plan: &DeploymentPlan,
         service: &ServiceSpec,
     ) -> Self {
-        let mut eval = Self::empty(params, std::slice::from_ref(service), &[1.0], plan.len());
+        let mut eval = Self::empty(
+            params,
+            std::slice::from_ref(service),
+            &[1.0],
+            plan.len(),
+            SiteModel::build(params, platform),
+        );
         for slot in plan.slots() {
             let node = plan.node(slot);
             eval.push_slot(
@@ -283,6 +417,7 @@ impl IncrementalEval {
                 0,
             );
         }
+        eval.finish_build();
         eval
     }
 
@@ -303,7 +438,13 @@ impl IncrementalEval {
         assignment: &ServerAssignment,
     ) -> Result<Self, PlanError> {
         let shares: Vec<f64> = (0..mix.len()).map(|j| mix.share(j)).collect();
-        let mut eval = Self::empty(params, mix.services(), &shares, plan.len());
+        let mut eval = Self::empty(
+            params,
+            mix.services(),
+            &shares,
+            plan.len(),
+            SiteModel::build(params, platform),
+        );
         for slot in plan.slots() {
             let node = plan.node(slot);
             let service = match plan.role(slot) {
@@ -330,6 +471,7 @@ impl IncrementalEval {
                 service,
             );
         }
+        eval.finish_build();
         Ok(eval)
     }
 
@@ -352,10 +494,12 @@ impl IncrementalEval {
             std::slice::from_ref(service),
             &[1.0],
             agents.len() * 2,
+            SiteModel::build(params, platform),
         );
         for &node in agents {
             eval.push_slot(node, platform.power(node).value(), Role::Agent, None, 0, 0);
         }
+        eval.finish_build();
         eval
     }
 
@@ -373,10 +517,17 @@ impl IncrementalEval {
     ) -> Self {
         assert!(!agents.is_empty(), "need at least the root agent");
         let shares: Vec<f64> = (0..mix.len()).map(|j| mix.share(j)).collect();
-        let mut eval = Self::empty(params, mix.services(), &shares, agents.len() * 2);
+        let mut eval = Self::empty(
+            params,
+            mix.services(),
+            &shares,
+            agents.len() * 2,
+            SiteModel::build(params, platform),
+        );
         for &node in agents {
             eval.push_slot(node, platform.power(node).value(), Role::Agent, None, 0, 0);
         }
+        eval.finish_build();
         eval
     }
 
@@ -385,11 +536,20 @@ impl IncrementalEval {
         services: &[ServiceSpec],
         shares: &[f64],
         capacity: usize,
+        site: Option<Box<SiteModel>>,
     ) -> Self {
         debug_assert_eq!(services.len(), shares.len(), "one share per service");
+        let site_count = site.as_deref().map(|sm| sm.site_count).unwrap_or(1);
+        let svc_site_servers = if site.is_some() {
+            vec![0u32; services.len() * site_count]
+        } else {
+            Vec::new()
+        };
         Self {
             params: *params,
             service_transfer: comm::service_transfer_time(params).value(),
+            site,
+            site_count,
             svc_wpre_over_wapp: services
                 .iter()
                 .map(|s| params.calibration.server.wpre / s.wapp)
@@ -404,7 +564,10 @@ impl IncrementalEval {
             roles: Vec::with_capacity(capacity),
             parents: Vec::with_capacity(capacity),
             degrees: Vec::with_capacity(capacity),
+            sites: Vec::with_capacity(capacity),
+            child_sum: Vec::with_capacity(capacity),
             service_of: Vec::with_capacity(capacity),
+            svc_site_servers,
             active: Vec::with_capacity(capacity),
             used: HashSet::with_capacity(capacity),
             tree: MaxTree::with_capacity(capacity.max(4)),
@@ -415,6 +578,9 @@ impl IncrementalEval {
     }
 
     /// Appends a slot during construction (not undoable, not a delta).
+    /// In site-aware mode cycles are installed by [`finish_build`](IncrementalEval::finish_build)
+    /// instead — a reparented plan may
+    /// reference parents at higher slot indexes.
     fn push_slot(
         &mut self,
         node: NodeId,
@@ -424,29 +590,88 @@ impl IncrementalEval {
         degree: usize,
         service: usize,
     ) {
+        let site = self
+            .site
+            .as_deref()
+            .map(|sm| sm.node_site[node.index()])
+            .unwrap_or(0);
         let slot = self.nodes.len();
         self.nodes.push(node);
         self.powers.push(power);
         self.roles.push(role);
         self.parents.push(parent);
         self.degrees.push(degree);
+        self.sites.push(site);
+        self.child_sum.push(0.0);
         self.service_of.push(service);
         self.active.push(true);
         self.active_count += 1;
         self.used.insert(node);
-        self.tree.set(slot, self.cycle_of(slot));
+        if self.site.is_none() {
+            self.tree.set(slot, self.cycle_of(slot));
+        }
         if role == Role::Server {
             self.server_count += 1;
             self.svc_server_count[service] += 1;
             self.svc_numerator[service] += self.svc_wpre_over_wapp[service];
             self.svc_denominator[service] += power * self.svc_inv_wapp[service];
+            if self.site.is_some() {
+                self.svc_site_servers[service * self.site_count + site] += 1;
+            }
+        }
+    }
+
+    /// Site-aware second construction pass: accumulates every agent's
+    /// child-link running sum from the pushed parent links, then installs
+    /// all cycles. No-op in uniform mode (cycles were installed during
+    /// the first pass).
+    fn finish_build(&mut self) {
+        let Some(sm) = self.site.as_deref() else {
+            return;
+        };
+        let mut sums = vec![0.0f64; self.nodes.len()];
+        for i in 0..self.nodes.len() {
+            if !self.active[i] {
+                continue;
+            }
+            if let Some(p) = self.parents[i] {
+                sums[p] += sm.agent_link(self.sites[p], self.sites[i]);
+            }
+        }
+        self.child_sum = sums;
+        for i in 0..self.nodes.len() {
+            if self.active[i] {
+                self.tree.set(i, self.cycle_of(i));
+            }
         }
     }
 
     /// The per-request cycle a slot contributes to Eq. 14 under its
-    /// current role and degree.
+    /// current role and degree — per-link costs in site-aware mode,
+    /// mirroring [`hetero::agent_cycle_hetero`](super::hetero::agent_cycle_hetero)
+    /// /
+    /// [`server_prediction_cycle_hetero`](super::hetero::server_prediction_cycle_hetero)
+    ///.
     fn cycle_of(&self, slot: usize) -> f64 {
         let power = MflopRate(self.powers[slot]);
+        if let Some(sm) = self.site.as_deref() {
+            let my = self.sites[slot];
+            let parent_site = match self.parents[slot] {
+                Some(p) => self.sites[p],
+                None => sm.client_site.unwrap_or(my),
+            };
+            return match self.roles[slot] {
+                Role::Agent => {
+                    sm.agent_link(my, parent_site)
+                        + self.child_sum[slot]
+                        + compute::agent_comp_time(&self.params, power, self.degrees[slot]).value()
+                }
+                Role::Server => {
+                    sm.server_link[my * sm.site_count + parent_site]
+                        + compute::server_prediction_time(&self.params, power).value()
+                }
+            };
+        }
         match self.roles[slot] {
             Role::Agent => throughput::agent_cycle(&self.params, power, self.degrees[slot]).value(),
             Role::Server => throughput::server_prediction_cycle(&self.params, power).value(),
@@ -457,9 +682,17 @@ impl IncrementalEval {
         Saved {
             services: [(usize::MAX, 0.0, 0.0); 2],
             touched_services: 0,
-            cycles: [(usize::MAX, 0.0); 2],
+            cycles: [(usize::MAX, 0.0); 3],
             touched: 0,
+            sums: [(usize::MAX, 0.0); 2],
+            touched_sums: 0,
         }
+    }
+
+    /// Records a slot's `child_sum` before a site-aware delta mutates it.
+    fn save_sum(&self, saved: &mut Saved, slot: usize) {
+        saved.sums[saved.touched_sums] = (slot, self.child_sum[slot]);
+        saved.touched_sums += 1;
     }
 
     /// Records service `j`'s running sums before a delta mutates them.
@@ -478,6 +711,9 @@ impl IncrementalEval {
         for &(j, numerator, denominator) in saved.services.iter().take(saved.touched_services) {
             self.svc_numerator[j] = numerator;
             self.svc_denominator[j] = denominator;
+        }
+        for &(slot, sum) in saved.sums.iter().take(saved.touched_sums) {
+            self.child_sum[slot] = sum;
         }
         for &(slot, cycle) in saved.cycles.iter().take(saved.touched) {
             self.tree.set(slot, cycle);
@@ -505,8 +741,8 @@ impl IncrementalEval {
     }
 
     /// Attaches `node` as a server of the mix's service `service` under
-    /// `parent` — the multi-service form of [`add_server`]
-    /// (IncrementalEval::add_server). O(log n).
+    /// `parent` — the multi-service form of [`add_server`](IncrementalEval::add_server)
+    ///. O(log n).
     ///
     /// # Errors
     /// [`PlanError::InvalidServiceIndex`] in addition to the
@@ -534,21 +770,35 @@ impl IncrementalEval {
         if self.used.contains(&node) {
             return Err(PlanError::NodeAlreadyUsed(node));
         }
+        let site_info = self.site.as_deref().map(|sm| {
+            let site = sm.node_site[node.index()];
+            (site, sm.agent_link(self.sites[p], site))
+        });
         let mut saved = self.saved();
         self.save_service(&mut saved, service);
         self.save_cycle(&mut saved, p);
+        if site_info.is_some() {
+            self.save_sum(&mut saved, p);
+        }
 
         let slot = self.nodes.len();
+        let site = site_info.map(|(s, _)| s).unwrap_or(0);
         self.nodes.push(node);
         self.powers.push(power.value());
         self.roles.push(Role::Server);
         self.parents.push(Some(p));
         self.degrees.push(0);
+        self.sites.push(site);
+        self.child_sum.push(0.0);
         self.service_of.push(service);
         self.active.push(true);
         self.active_count += 1;
         self.used.insert(node);
         self.degrees[p] += 1;
+        if let Some((site, link)) = site_info {
+            self.child_sum[p] += link;
+            self.svc_site_servers[service * self.site_count + site] += 1;
+        }
         self.tree.set(p, self.cycle_of(p));
         self.tree.set(slot, self.cycle_of(slot));
         self.server_count += 1;
@@ -577,15 +827,26 @@ impl IncrementalEval {
         }
         let parent = self.parents[i].expect("servers always have a parent");
         let service = self.service_of[i];
+        let site_info = self
+            .site
+            .as_deref()
+            .map(|sm| sm.agent_link(self.sites[parent], self.sites[i]));
         let mut saved = self.saved();
         self.save_service(&mut saved, service);
         self.save_cycle(&mut saved, parent);
         self.save_cycle(&mut saved, i);
+        if site_info.is_some() {
+            self.save_sum(&mut saved, parent);
+        }
 
         self.active[i] = false;
         self.active_count -= 1;
         self.used.remove(&self.nodes[i]);
         self.degrees[parent] -= 1;
+        if let Some(link) = site_info {
+            self.child_sum[parent] -= link;
+            self.svc_site_servers[service * self.site_count + self.sites[i]] -= 1;
+        }
         self.tree.set(parent, self.cycle_of(parent));
         self.tree.set(i, f64::NEG_INFINITY);
         self.server_count -= 1;
@@ -615,6 +876,14 @@ impl IncrementalEval {
         let mut saved = self.saved();
         self.save_service(&mut saved, service);
         self.save_cycle(&mut saved, i);
+        if self.site.is_some() {
+            // A fresh agent starts with zero child-link cost; resetting
+            // (instead of trusting the stale value) also sheds any
+            // accumulated float dust from a previous agent life.
+            self.save_sum(&mut saved, i);
+            self.child_sum[i] = 0.0;
+            self.svc_site_servers[service * self.site_count + self.sites[i]] -= 1;
+        }
 
         self.roles[i] = Role::Agent;
         self.tree.set(i, self.cycle_of(i));
@@ -654,6 +923,9 @@ impl IncrementalEval {
         let mut saved = self.saved();
         self.save_service(&mut saved, service);
         self.save_cycle(&mut saved, i);
+        if self.site.is_some() {
+            self.svc_site_servers[service * self.site_count + self.sites[i]] += 1;
+        }
 
         self.roles[i] = Role::Server;
         self.tree.set(i, self.cycle_of(i));
@@ -666,9 +938,11 @@ impl IncrementalEval {
         Ok(())
     }
 
-    /// Reparents `child` under `new_parent`. O(log n). Only the two parent
-    /// degrees change; the moved subtree's own cycles are unaffected
-    /// (Eq. 14 depends on per-agent degree, not position).
+    /// Reparents `child` under `new_parent`. O(log n). In uniform mode
+    /// only the two parent degrees change (Eq. 14 depends on per-agent
+    /// degree, not position); in site-aware mode the child's own cycle
+    /// refreshes too — its parent-link cost changed — while the rest of
+    /// the moved subtree is still untouched.
     ///
     /// Returns `true` when a delta was applied (and must be paired with
     /// one [`undo`](IncrementalEval::undo) to retract), `false` for the
@@ -706,15 +980,35 @@ impl IncrementalEval {
             // but nothing is recorded (nothing to undo).
             return Ok(false);
         }
+        let site_info = self.site.as_deref().map(|sm| {
+            let cs = self.sites[c];
+            (
+                sm.agent_link(self.sites[old_parent], cs),
+                sm.agent_link(self.sites[np], cs),
+            )
+        });
         let mut saved = self.saved();
         self.save_cycle(&mut saved, old_parent);
         self.save_cycle(&mut saved, np);
+        if site_info.is_some() {
+            // The child's own parent link changed too.
+            self.save_cycle(&mut saved, c);
+            self.save_sum(&mut saved, old_parent);
+            self.save_sum(&mut saved, np);
+        }
 
         self.degrees[old_parent] -= 1;
         self.degrees[np] += 1;
         self.parents[c] = Some(np);
+        if let Some((l_old, l_new)) = site_info {
+            self.child_sum[old_parent] -= l_old;
+            self.child_sum[np] += l_new;
+        }
         self.tree.set(old_parent, self.cycle_of(old_parent));
         self.tree.set(np, self.cycle_of(np));
+        if site_info.is_some() {
+            self.tree.set(c, self.cycle_of(c));
+        }
 
         self.undo_stack.push((
             Delta::MoveChild {
@@ -730,11 +1024,31 @@ impl IncrementalEval {
     /// Accounts for one child slot handed to `agent` without materializing
     /// the child — the abstract waterfill step of sweep-style searches
     /// (the child may be a *future* agent whose own slot already exists).
-    /// O(log n).
+    /// O(log n). In site-aware mode the phantom child is priced at the
+    /// agent's **own site** (a co-located child); use
+    /// [`assign_child_slot_at`](IncrementalEval::assign_child_slot_at)
+    /// to price a concrete site.
     ///
     /// # Errors
     /// [`PlanError::InvalidSlot`] or [`PlanError::NotAnAgent`].
     pub fn assign_child_slot(&mut self, agent: Slot) -> Result<(), PlanError> {
+        let site = SiteId(self.sites.get(agent.index()).copied().unwrap_or(0) as u16);
+        self.assign_child_slot_at(agent, site)
+    }
+
+    /// [`assign_child_slot`](IncrementalEval::assign_child_slot) with an
+    /// explicit site for the phantom child: the agent pays the real
+    /// agent↔`child_site` link cost — the scheduling half of a
+    /// site-aware attach probe. O(log n). In uniform mode the site is
+    /// ignored.
+    ///
+    /// # Errors
+    /// [`PlanError::InvalidSlot`] or [`PlanError::NotAnAgent`].
+    pub fn assign_child_slot_at(
+        &mut self,
+        agent: Slot,
+        child_site: SiteId,
+    ) -> Result<(), PlanError> {
         let i = agent.index();
         if i >= self.nodes.len() || !self.active[i] {
             return Err(PlanError::InvalidSlot(agent));
@@ -742,8 +1056,16 @@ impl IncrementalEval {
         if self.roles[i] != Role::Agent {
             return Err(PlanError::NotAnAgent(agent));
         }
+        let link = self
+            .site
+            .as_deref()
+            .map(|sm| sm.agent_link(self.sites[i], child_site.index()));
         let mut saved = self.saved();
         self.save_cycle(&mut saved, i);
+        if let Some(link) = link {
+            self.save_sum(&mut saved, i);
+            self.child_sum[i] += link;
+        }
         self.degrees[i] += 1;
         self.tree.set(i, self.cycle_of(i));
         self.undo_stack
@@ -753,6 +1075,12 @@ impl IncrementalEval {
 
     /// Takes one child slot back from `agent` — inverse of
     /// [`assign_child_slot`](IncrementalEval::assign_child_slot). O(log n).
+    /// In site-aware mode the released phantom is priced at the agent's
+    /// own site, mirroring `assign_child_slot`'s convention — pair
+    /// site-specific probes ([`assign_child_slot_at`](IncrementalEval::assign_child_slot_at)
+    ///) with
+    /// [`undo`](IncrementalEval::undo) instead, which restores the link
+    /// sum bit-exactly whatever the site was.
     ///
     /// # Errors
     /// [`PlanError::InvalidSlot`], [`PlanError::NotAnAgent`], or
@@ -766,8 +1094,16 @@ impl IncrementalEval {
         if self.roles[i] != Role::Agent {
             return Err(PlanError::NotAnAgent(agent));
         }
+        let link = self
+            .site
+            .as_deref()
+            .map(|sm| sm.agent_link(self.sites[i], self.sites[i]));
         let mut saved = self.saved();
         self.save_cycle(&mut saved, i);
+        if let Some(link) = link {
+            self.save_sum(&mut saved, i);
+            self.child_sum[i] -= link;
+        }
         self.degrees[i] -= 1;
         self.tree.set(i, self.cycle_of(i));
         self.undo_stack
@@ -816,6 +1152,11 @@ impl IncrementalEval {
         self.svc_server_count[service] += 1;
         self.svc_numerator[service] += self.svc_wpre_over_wapp[service];
         self.svc_denominator[service] += power * self.svc_inv_wapp[service];
+        if self.site.is_some() {
+            let site = self.sites[i];
+            self.svc_site_servers[old_service * self.site_count + site] -= 1;
+            self.svc_site_servers[service * self.site_count + site] += 1;
+        }
         self.service_of[i] = service;
 
         self.undo_stack.push((
@@ -840,11 +1181,17 @@ impl IncrementalEval {
                 debug_assert_eq!(slot, self.nodes.len() - 1);
                 self.used.remove(&self.nodes[slot]);
                 self.svc_server_count[self.service_of[slot]] -= 1;
+                if self.site.is_some() {
+                    self.svc_site_servers
+                        [self.service_of[slot] * self.site_count + self.sites[slot]] -= 1;
+                }
                 self.nodes.pop();
                 self.powers.pop();
                 self.roles.pop();
                 self.parents.pop();
                 self.degrees.pop();
+                self.sites.pop();
+                self.child_sum.pop();
                 self.service_of.pop();
                 self.active.pop();
                 self.active_count -= 1;
@@ -859,16 +1206,28 @@ impl IncrementalEval {
                 self.degrees[parent] += 1;
                 self.server_count += 1;
                 self.svc_server_count[self.service_of[slot]] += 1;
+                if self.site.is_some() {
+                    self.svc_site_servers
+                        [self.service_of[slot] * self.site_count + self.sites[slot]] += 1;
+                }
             }
             Delta::Promote { slot } => {
                 self.roles[slot] = Role::Server;
                 self.server_count += 1;
                 self.svc_server_count[self.service_of[slot]] += 1;
+                if self.site.is_some() {
+                    self.svc_site_servers
+                        [self.service_of[slot] * self.site_count + self.sites[slot]] += 1;
+                }
             }
             Delta::Demote { slot } => {
                 self.roles[slot] = Role::Agent;
                 self.server_count -= 1;
                 self.svc_server_count[self.service_of[slot]] -= 1;
+                if self.site.is_some() {
+                    self.svc_site_servers
+                        [self.service_of[slot] * self.site_count + self.sites[slot]] -= 1;
+                }
             }
             Delta::MoveChild {
                 child,
@@ -888,6 +1247,11 @@ impl IncrementalEval {
             Delta::Reassign { slot, old_service } => {
                 self.svc_server_count[self.service_of[slot]] -= 1;
                 self.svc_server_count[old_service] += 1;
+                if self.site.is_some() {
+                    let site = self.sites[slot];
+                    self.svc_site_servers[self.service_of[slot] * self.site_count + site] -= 1;
+                    self.svc_site_servers[old_service * self.site_count + site] += 1;
+                }
                 self.service_of[slot] = old_service;
             }
         }
@@ -964,7 +1328,10 @@ impl IncrementalEval {
 
     /// Eq. 15's raw service throughput of one service of the mix (not
     /// share-normalized): the rate its own server partition sustains.
-    /// O(1).
+    /// O(1) in uniform mode; O(#sites) site-aware (the worst
+    /// client↔server transfer over the partition's sites binds, as in
+    /// [`service_throughput_hetero`](super::hetero::service_throughput_hetero)
+    ///).
     ///
     /// # Panics
     /// Panics on an out-of-range service index.
@@ -972,25 +1339,128 @@ impl IncrementalEval {
         if self.svc_server_count[j] == 0 {
             0.0
         } else {
+            let transfer = if self.site.is_some() {
+                self.worst_transfer_of(j)
+            } else {
+                self.service_transfer
+            };
             throughput::service_rate_from_sums(
-                self.service_transfer,
+                transfer,
                 self.svc_numerator[j],
                 self.svc_denominator[j],
             )
         }
     }
 
+    /// Worst Eq. 15 client↔server transfer over the sites service `j`'s
+    /// partition occupies (`-inf` for an empty partition). Site-aware
+    /// mode only.
+    fn worst_transfer_of(&self, j: usize) -> f64 {
+        let sm = self.site.as_deref().expect("site-aware mode only");
+        let mut worst = f64::NEG_INFINITY;
+        for (site, &transfer) in sm.service_transfer.iter().enumerate() {
+            if self.svc_site_servers[j * self.site_count + site] > 0 {
+                worst = worst.max(transfer);
+            }
+        }
+        worst
+    }
+
     /// What [`rho_service_of`](IncrementalEval::rho_service_of)`(j)`
     /// would become if one more server of power `power` were assigned to
-    /// service `j` — bit-identical to applying [`add_server_for`]
-    /// (IncrementalEval::add_server_for) and reading the rate, without
+    /// service `j` — bit-identical to applying [`add_server_for`](IncrementalEval::add_server_for)
+    /// and reading the rate, without
     /// mutating. O(1); the analytic half of a planner's attach probe (the
-    /// scheduling half needs one [`assign_child_slot`]
-    /// (IncrementalEval::assign_child_slot)/undo pair).
+    /// scheduling half needs one [`assign_child_slot`](IncrementalEval::assign_child_slot)
+    ////undo pair).
+    ///
+    /// Site-aware caveat: this form does not know the newcomer's site, so
+    /// it keeps the service's current worst-transfer bound (exact when
+    /// the newcomer's client link is no slower; an empty partition is
+    /// priced at the cheapest site). [`service_rate_with_extra_at`](IncrementalEval::service_rate_with_extra_at)
+    /// is exact.
     pub fn service_rate_with_extra(&self, j: usize, power: MflopRate) -> f64 {
         let num = self.svc_numerator[j] + self.svc_wpre_over_wapp[j];
         let den = self.svc_denominator[j] + power.value() * self.svc_inv_wapp[j];
-        throughput::service_rate_from_sums(self.service_transfer, num, den)
+        let transfer = match self.site.as_deref() {
+            None => self.service_transfer,
+            Some(sm) => {
+                let worst = self.worst_transfer_of(j);
+                if worst == f64::NEG_INFINITY {
+                    sm.service_transfer
+                        .iter()
+                        .copied()
+                        .fold(f64::INFINITY, f64::min)
+                } else {
+                    worst
+                }
+            }
+        };
+        throughput::service_rate_from_sums(transfer, num, den)
+    }
+
+    /// [`service_rate_with_extra`](IncrementalEval::service_rate_with_extra)
+    /// with the newcomer's site: bit-identical to applying
+    /// [`add_server_for`](IncrementalEval::add_server_for) for a node on
+    /// `site` and reading the rate, in site-aware mode included (the
+    /// worst-transfer bound absorbs the newcomer's client link). O(#sites);
+    /// O(1) uniform.
+    pub fn service_rate_with_extra_at(&self, j: usize, power: MflopRate, site: SiteId) -> f64 {
+        let Some(sm) = self.site.as_deref() else {
+            return self.service_rate_with_extra(j, power);
+        };
+        let num = self.svc_numerator[j] + self.svc_wpre_over_wapp[j];
+        let den = self.svc_denominator[j] + power.value() * self.svc_inv_wapp[j];
+        let worst = self
+            .worst_transfer_of(j)
+            .max(sm.service_transfer[site.index()]);
+        throughput::service_rate_from_sums(worst, num, den)
+    }
+
+    /// The Eq. 14 prediction cycle a new server of `power` living on
+    /// `site` under `parent` would contribute — bit-identical to the new
+    /// slot's cycle after [`add_server_for`](IncrementalEval::add_server_for)
+    ///, without mutating. Uniform mode
+    /// ignores the site and parent. O(1).
+    pub fn server_cycle_at(&self, power: MflopRate, site: SiteId, parent: Slot) -> f64 {
+        match self.site.as_deref() {
+            None => throughput::server_prediction_cycle(&self.params, power).value(),
+            Some(sm) => {
+                sm.server_link[site.index() * sm.site_count + self.sites[parent.index()]]
+                    + compute::server_prediction_time(&self.params, power).value()
+            }
+        }
+    }
+
+    /// The scheduling cycle `agent` would contribute after adopting one
+    /// more child living on `child_site` — the joint (power, link)
+    /// attach cost site-aware planners rank candidates by. Uniform mode
+    /// ignores the site ([`agent_cycle`](throughput::agent_cycle) at
+    /// `degree + 1`). Bit-identical to the agent's cycle after
+    /// [`assign_child_slot_at`](IncrementalEval::assign_child_slot_at).
+    ///
+    /// # Panics
+    /// Panics when `agent` is not an active agent slot.
+    pub fn cycle_with_extra_child(&self, agent: Slot, child_site: SiteId) -> f64 {
+        let i = agent.index();
+        assert!(
+            self.active[i] && self.roles[i] == Role::Agent,
+            "attach targets are active agents"
+        );
+        let power = MflopRate(self.powers[i]);
+        match self.site.as_deref() {
+            None => throughput::agent_cycle(&self.params, power, self.degrees[i] + 1).value(),
+            Some(sm) => {
+                let my = self.sites[i];
+                let parent_site = match self.parents[i] {
+                    Some(p) => self.sites[p],
+                    None => sm.client_site.unwrap_or(my),
+                };
+                sm.agent_link(my, parent_site)
+                    + (self.child_sum[i] + sm.agent_link(my, child_site.index()))
+                    + compute::agent_comp_time(&self.params, power, self.degrees[i] + 1).value()
+            }
+        }
     }
 
     /// Full report, mirroring [`ModelParams::evaluate`] including the
@@ -1026,8 +1496,8 @@ impl IncrementalEval {
         }
     }
 
-    /// Full multi-service report, mirroring [`evaluate_mix`]
-    /// (super::mix::evaluate_mix) including its binding rule (ascending
+    /// Full multi-service report, mirroring [`evaluate_mix`](super::mix::evaluate_mix)
+    /// including its binding rule (ascending
     /// service order, strict improvement; scheduling wins ties). O(S).
     pub fn mix_report(&self) -> MixReport {
         let rho_sched = self.rho_sched();
@@ -1083,6 +1553,51 @@ impl IncrementalEval {
         self.service_of[slot.index()]
     }
 
+    /// True when the evaluator prices individual links (multi-site mode):
+    /// the platform's network was heterogeneous and
+    /// [`ModelParams::site_aware`] was on at construction.
+    pub fn is_site_aware(&self) -> bool {
+        self.site.is_some()
+    }
+
+    /// Site of a slot's node (`SiteId(0)` in uniform mode).
+    pub fn site_of_slot(&self, slot: Slot) -> SiteId {
+        SiteId(self.sites[slot.index()] as u16)
+    }
+
+    /// Parent of a slot (`None` for roots / abstract agents).
+    pub(crate) fn parent_of(&self, slot: Slot) -> Option<Slot> {
+        self.parents[slot.index()].map(Slot)
+    }
+
+    /// Raw slot-table length, tombstoned removals included (the valid
+    /// `Slot` index range).
+    pub(crate) fn raw_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the slot index is in range and not tombstoned.
+    pub(crate) fn is_active_slot(&self, slot: Slot) -> bool {
+        slot.index() < self.active.len() && self.active[slot.index()]
+    }
+
+    /// The cached Eq. 14 cycle of an active slot (as stored in the
+    /// tournament tree).
+    pub(crate) fn cached_cycle(&self, slot: Slot) -> f64 {
+        self.tree.get(slot.index())
+    }
+
+    /// Active children of an agent, by slot scan — O(n), for the rare
+    /// structural passes (site-aware conversions) that need concrete
+    /// children; the O(log n) deltas never call this.
+    pub(crate) fn children_of(&self, agent: Slot) -> Vec<Slot> {
+        let a = agent.index();
+        (0..self.nodes.len())
+            .filter(|&i| self.active[i] && self.parents[i] == Some(a))
+            .map(Slot)
+            .collect()
+    }
+
     /// Role of an active slot.
     pub fn role(&self, slot: Slot) -> Role {
         self.roles[slot.index()]
@@ -1136,8 +1651,8 @@ impl IncrementalEval {
     /// True when no active slot exists (`len() == 0`). Construction
     /// always installs a root agent, so this only holds for a value
     /// built from pathological inputs; provided to keep the standard
-    /// `is_empty <=> len() == 0` contract alongside [`len`]
-    /// (IncrementalEval::len).
+    /// `is_empty <=> len() == 0` contract alongside [`len`](IncrementalEval::len)
+    ///.
     pub fn is_empty(&self) -> bool {
         self.active_count == 0
     }
@@ -1628,6 +2143,201 @@ mod tests {
             IncrementalEval::from_plan_mix(&params, &platform, &plan, &mix, &assignment),
             Err(PlanError::InvalidServiceIndex { .. })
         ));
+    }
+
+    mod site_aware {
+        use super::*;
+        use crate::model::hetero::evaluate_hetero;
+        use adept_platform::generator::multi_site_grid;
+        use adept_platform::{MbitRate, Network, Seconds, SiteId};
+
+        fn grid(seed: u64) -> Platform {
+            multi_site_grid(3, 6, MflopRate(400.0), MbitRate(100.0), MbitRate(8.0), seed)
+        }
+
+        fn check_hetero_parity(
+            eval: &IncrementalEval,
+            params: &ModelParams,
+            platform: &Platform,
+            plan: &DeploymentPlan,
+            service: &ServiceSpec,
+            context: &str,
+        ) {
+            let full = evaluate_hetero(params, platform, plan, service);
+            let fast = eval.report();
+            let rel = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+            assert!(
+                rel(fast.rho, full.rho),
+                "{context}: rho {} vs hetero {}",
+                fast.rho,
+                full.rho
+            );
+            assert!(rel(fast.rho_sched, full.rho_sched), "{context}: rho_sched");
+            assert!(
+                rel(fast.rho_service, full.rho_service),
+                "{context}: rho_service {} vs {}",
+                fast.rho_service,
+                full.rho_service
+            );
+        }
+
+        #[test]
+        fn cross_site_plan_matches_hetero_reference_through_deltas() {
+            let platform = grid(7);
+            let params = ModelParams::from_platform(&platform);
+            let svc = Dgemm::new(310).service();
+            // Root on site 0, mid-agent on site 1, servers on all sites.
+            let mut plan = DeploymentPlan::with_root(NodeId(0));
+            let mut eval = IncrementalEval::from_plan(&params, &platform, &plan, &svc);
+            assert!(eval.is_site_aware());
+            assert_eq!(eval.site_of_slot(Slot(0)), SiteId(0));
+
+            let mid = plan.add_server(plan.root(), NodeId(6)).unwrap(); // site 1
+            eval.add_server(Slot(0), NodeId(6), platform.power(NodeId(6)))
+                .unwrap();
+            check_hetero_parity(&eval, &params, &platform, &plan, &svc, "cross add");
+            plan.convert_to_agent(mid).unwrap();
+            eval.promote_to_agent(mid).unwrap();
+            for node in [7u32, 8, 12, 1, 2] {
+                let node = NodeId(node);
+                plan.add_server(mid, node).unwrap();
+                eval.add_server(mid, node, platform.power(node)).unwrap();
+                check_hetero_parity(&eval, &params, &platform, &plan, &svc, "grow");
+            }
+            // Reparenting across sites moves the child's own link cost.
+            plan.move_child(Slot(6), plan.root()).unwrap();
+            eval.move_child(Slot(6), Slot(0)).unwrap();
+            check_hetero_parity(&eval, &params, &platform, &plan, &svc, "move");
+            // Removal gives the link cost back (slot 3 hosts NodeId(8)).
+            eval.remove_server(Slot(3)).unwrap();
+            let mut smaller = DeploymentPlan::with_root(NodeId(0));
+            let mid2 = smaller.add_server(smaller.root(), NodeId(6)).unwrap();
+            smaller.convert_to_agent(mid2).unwrap();
+            for node in [7u32, 12, 1, 2] {
+                smaller.add_server(mid2, NodeId(node)).unwrap();
+            }
+            smaller.move_child(Slot(5), smaller.root()).unwrap();
+            check_hetero_parity(&eval, &params, &platform, &smaller, &svc, "remove");
+        }
+
+        #[test]
+        fn site_aware_undo_is_bit_exact() {
+            let platform = grid(21);
+            let params = ModelParams::from_platform(&platform);
+            let svc = Dgemm::new(310).service();
+            let mut plan = DeploymentPlan::with_root(NodeId(0));
+            for i in [1u32, 6, 12] {
+                plan.add_server(plan.root(), NodeId(i)).unwrap();
+            }
+            let mut eval = IncrementalEval::from_plan(&params, &platform, &plan, &svc);
+            let before_rho = eval.rho().to_bits();
+            let before_report = eval.report();
+
+            eval.add_server(Slot(0), NodeId(7), platform.power(NodeId(7)))
+                .unwrap();
+            eval.promote_to_agent(Slot(2)).unwrap();
+            eval.add_server(Slot(2), NodeId(13), platform.power(NodeId(13)))
+                .unwrap();
+            eval.move_child(Slot(3), Slot(2)).unwrap();
+            eval.remove_server(Slot(1)).unwrap();
+            // A cross-site phantom probe is retracted by undo (never by
+            // `release_child_slot`, which prices the agent's own site —
+            // only an own-site `assign_child_slot` may pair with it).
+            eval.assign_child_slot_at(Slot(0), SiteId(2)).unwrap();
+            eval.assign_child_slot(Slot(0)).unwrap();
+            eval.release_child_slot(Slot(0)).unwrap();
+            assert_eq!(eval.pending_deltas(), 8);
+            eval.undo_all();
+            assert_eq!(eval.rho().to_bits(), before_rho, "must unwind bit-exactly");
+            assert_eq!(eval.report(), before_report);
+            check_hetero_parity(&eval, &params, &platform, &plan, &svc, "after undo");
+        }
+
+        #[test]
+        fn analytic_probes_are_bit_identical_to_deltas() {
+            let platform = grid(3);
+            let params = ModelParams::from_platform(&platform);
+            let svc = Dgemm::new(310).service();
+            let mut plan = DeploymentPlan::with_root(NodeId(0));
+            plan.add_server(plan.root(), NodeId(1)).unwrap();
+            let mut eval = IncrementalEval::from_plan(&params, &platform, &plan, &svc);
+            for node in [6u32, 13, 2] {
+                let node = NodeId(node);
+                let site = platform.site_of(node);
+                let predicted_rate = eval.service_rate_with_extra_at(0, platform.power(node), site);
+                let predicted_cycle = eval.cycle_with_extra_child(Slot(0), site);
+                let predicted_server = eval.server_cycle_at(platform.power(node), site, Slot(0));
+                let slot = eval
+                    .add_server(Slot(0), node, platform.power(node))
+                    .unwrap();
+                assert_eq!(
+                    predicted_rate.to_bits(),
+                    eval.rho_service_of(0).to_bits(),
+                    "service-rate probe for {node}"
+                );
+                assert_eq!(
+                    predicted_cycle.to_bits(),
+                    eval.cached_cycle(Slot(0)).to_bits(),
+                    "agent-cycle probe for {node}"
+                );
+                assert_eq!(
+                    predicted_server.to_bits(),
+                    eval.cached_cycle(slot).to_bits(),
+                    "server-cycle probe for {node}"
+                );
+            }
+        }
+
+        #[test]
+        fn equal_bandwidth_per_site_pair_matches_uniform_values() {
+            // A PerSitePair network whose intra and inter bandwidths are
+            // all equal is *numerically* uniform: the site-aware path
+            // must agree with the homogeneous engine to 1e-9.
+            let mut b = Platform::builder(Network::PerSitePair {
+                intra: vec![MbitRate(100.0), MbitRate(100.0)],
+                inter: MbitRate(100.0),
+                latency: Seconds::ZERO,
+            });
+            let s0 = b.add_site("a");
+            let s1 = b.add_site("b");
+            for i in 0..4 {
+                b.add_node(format!("a{i}"), MflopRate(400.0 - i as f64 * 13.0), s0)
+                    .unwrap();
+            }
+            for i in 0..4 {
+                b.add_node(format!("b{i}"), MflopRate(350.0 - i as f64 * 11.0), s1)
+                    .unwrap();
+            }
+            let platform = b.build().unwrap();
+            let params = ModelParams::from_platform(&platform);
+            let svc = Dgemm::new(310).service();
+            let mut plan = DeploymentPlan::with_root(NodeId(0));
+            let mid = plan.add_server(plan.root(), NodeId(4)).unwrap();
+            plan.convert_to_agent(mid).unwrap();
+            for i in [1u32, 2, 5, 6] {
+                plan.add_server(if i < 4 { plan.root() } else { mid }, NodeId(i))
+                    .unwrap();
+            }
+            let aware = IncrementalEval::from_plan(&params, &platform, &plan, &svc);
+            assert!(aware.is_site_aware());
+            let uniform = IncrementalEval::from_plan(&params.scalarized(), &platform, &plan, &svc);
+            assert!(!uniform.is_site_aware());
+            let rel = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+            assert!(rel(aware.rho(), uniform.rho()));
+            assert!(rel(aware.rho_sched(), uniform.rho_sched()));
+            assert!(rel(aware.rho_service(), uniform.rho_service()));
+        }
+
+        #[test]
+        fn homogeneous_network_never_builds_site_machinery() {
+            let platform = lyon_cluster(6);
+            let params = ModelParams::from_platform(&platform);
+            let svc = Dgemm::new(310).service();
+            let plan = DeploymentPlan::agent_server(NodeId(0), NodeId(1));
+            let eval = IncrementalEval::from_plan(&params, &platform, &plan, &svc);
+            assert!(!eval.is_site_aware());
+            assert_eq!(eval.site_of_slot(Slot(0)), SiteId(0));
+        }
     }
 
     #[test]

@@ -54,10 +54,22 @@
 //! delta+undo on [`IncrementalEval`]; with [`EvalStrategy::FullClone`]
 //! (the pre-incremental baseline, kept for the `eval_strategy` ablation
 //! bench) it clones the plan and re-runs Eq. 13–16 from scratch, O(n).
-//! Both commit identical moves; see [`EvalStrategy`] for the parity
-//! contract.
+//! Both commit identical moves on a uniform network; see
+//! [`EvalStrategy`] for the parity contract.
+//!
+//! ## Heterogeneous communication
+//!
+//! On a multi-site platform (per-site-pair network, site-aware pricing
+//! on) the growth loop runs on the site-aware engine: attach targets are
+//! ranked by **(power, link) jointly** — the full post-attach cycle
+//! including the real agent↔candidate link — instead of power alone, and
+//! `shift_nodes` conversions steal concrete children so every moved link
+//! is priced at its true bandwidth. The `hetero_scaling` bench and
+//! `site_aware_heuristic_beats_min_b_scalarization_across_sites` pin the
+//! quality gap over the historical min-bandwidth scalarization (force it
+//! back with [`ModelParams::scalarized`] as the `params` override).
 
-use super::realize::{realize_from_eval, AttachHeap};
+use super::realize::{best_attach_agent_site_aware, realize_from_eval, AttachHeap};
 use super::{improve, resolve_params, EvalStrategy, Planner, PlannerError};
 use crate::model::throughput::{hier_ser_pow, sch_pow};
 use crate::model::{IncrementalEval, ModelParams};
@@ -170,6 +182,21 @@ pub(crate) fn best_attach_agent_in_eval(params: &ModelParams, eval: &Incremental
                 .then(b.cmp(&a))
         })
         .expect("plans always contain the root agent")
+}
+
+/// [`best_attach_agent_in_eval`] for a child living on `child_site`: on
+/// a site-aware evaluator this is [`best_attach_agent_site_aware`]'s
+/// joint (power, link) ranking instead of power alone. Shared with the
+/// online re-planner.
+pub(crate) fn best_attach_agent_in_eval_for(
+    params: &ModelParams,
+    eval: &IncrementalEval,
+    child_site: adept_platform::SiteId,
+) -> Slot {
+    if !eval.is_site_aware() {
+        return best_attach_agent_in_eval(params, eval);
+    }
+    best_attach_agent_site_aware(eval, child_site)
 }
 
 /// Attaches `node` as a server under the best agent; returns the updated
@@ -307,7 +334,7 @@ fn try_conversion_deltas(
         if demand.satisfied_by(rho) {
             break;
         }
-        let agent = attach_heap.best(params, eval);
+        let agent = attach_heap.best_for(params, eval, platform.site_of(more));
         let slot = eval
             .add_server(agent, more, platform.power(more))
             .expect("queue nodes are unused");
@@ -365,7 +392,9 @@ fn grow_incremental(
         // Preferred action: plain attachment (steps 19–23's "take next
         // node from sorted_nodes[] as a server"). While this improves,
         // conversion is never cheaper in resources, so commit directly.
-        let agent = attach_heap.best(params, &eval);
+        // Site-aware platforms rank the attach target by (power, link)
+        // jointly — see `AttachHeap::best_for`.
+        let agent = attach_heap.best_for(params, &eval, platform.site_of(next_node));
         let slot = eval
             .add_server(agent, next_node, platform.power(next_node))
             .expect("queue nodes are unused");
@@ -808,6 +837,71 @@ mod tests {
                 (ri - rf).abs() <= 1e-9 * rf.max(1.0),
                 "target {target}: rho {ri} vs {rf}"
             );
+        }
+    }
+
+    #[test]
+    fn site_aware_heuristic_beats_min_b_scalarization_across_sites() {
+        // The tentpole's acceptance bar: on a cross-site scenario the
+        // site-aware growth loop (joint power+link attach ranking,
+        // concrete-child conversions, per-link ρ) must strictly beat the
+        // historical min-bandwidth scalarization, judged under the
+        // per-link model both times.
+        use adept_platform::generator::multi_site_grid;
+        use adept_platform::MbitRate;
+        for seed in [11u64, 29] {
+            let platform = multi_site_grid(
+                2,
+                20,
+                MflopRate(400.0),
+                MbitRate(100.0),
+                MbitRate(5.0),
+                seed,
+            );
+            let svc = Dgemm::new(310).service();
+            let params = ModelParams::from_platform(&platform);
+            let aware = HeuristicPlanner::paper()
+                .plan(&platform, &svc, ClientDemand::Unbounded)
+                .unwrap();
+            let scalar = HeuristicPlanner {
+                params: Some(params.scalarized()),
+                ..HeuristicPlanner::paper()
+            }
+            .plan(&platform, &svc, ClientDemand::Unbounded)
+            .unwrap();
+            let rho_aware = params.evaluate(&platform, &aware, &svc).rho;
+            let rho_scalar = params.evaluate(&platform, &scalar, &svc).rho;
+            assert!(
+                rho_aware > rho_scalar * 1.02,
+                "seed {seed}: site-aware {rho_aware} must beat scalarized {rho_scalar}"
+            );
+        }
+    }
+
+    #[test]
+    fn site_aware_plans_stay_structurally_valid() {
+        use adept_platform::generator::multi_site_grid;
+        use adept_platform::MbitRate;
+        let platform = multi_site_grid(3, 12, MflopRate(400.0), MbitRate(100.0), MbitRate(10.0), 5);
+        for size in [10u32, 310, 1000] {
+            for planner in [
+                HeuristicPlanner::paper(),
+                HeuristicPlanner::with_rebalance(),
+                HeuristicPlanner::without_conversion(),
+            ] {
+                let plan = planner
+                    .plan(
+                        &platform,
+                        &Dgemm::new(size).service(),
+                        ClientDemand::Unbounded,
+                    )
+                    .unwrap();
+                assert!(
+                    validate_relaxed(&plan).is_empty(),
+                    "dgemm-{size} {} plan invalid",
+                    planner.name()
+                );
+            }
         }
     }
 

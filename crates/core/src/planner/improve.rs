@@ -36,7 +36,9 @@ use std::collections::{BinaryHeap, HashSet};
 /// Relative tolerance for strict-improvement acceptance.
 const EPS: f64 = 1e-9;
 
-fn by_power_desc(platform: &Platform, ids: &mut [NodeId]) {
+/// Sorts node ids by descending power, ties to the lower id — the one
+/// ordering every strongest-first scan in the planners uses.
+pub(crate) fn by_power_desc(platform: &Platform, ids: &mut [NodeId]) {
     ids.sort_by(|&a, &b| {
         platform
             .power(b)
@@ -64,6 +66,16 @@ fn best_for_agent_set(
     pool: &[NodeId],
     strategy: EvalStrategy,
 ) -> Option<(DeploymentPlan, f64)> {
+    // The incremental scan's abstract waterfill ranks agents by power
+    // alone and prices phantom children at each agent's own site; on a
+    // multi-site platform the realized tree's true link costs would
+    // diverge from that abstract estimate, so the pass evaluates each
+    // server count on a realized tree through the (hetero-aware) full
+    // model instead — correctness over the O(log n) shortcut on this
+    // cold path.
+    if params.uses_link_bandwidths(platform) {
+        return best_for_agent_set_full(params, platform, service, agents, pool);
+    }
     match strategy {
         EvalStrategy::Incremental => {
             best_for_agent_set_incremental(params, platform, service, agents, pool)

@@ -17,8 +17,8 @@
 //! The per-step service choice is **analytic**: the scheduling effect of
 //! one more child is probed with a single `assign_child_slot`/undo pair
 //! (O(log n), service-independent) and each candidate service's new rate
-//! comes from [`service_rate_with_extra`]
-//! (crate::model::IncrementalEval::service_rate_with_extra) in O(1) —
+//! comes from [`service_rate_with_extra`](crate::model::IncrementalEval::service_rate_with_extra)
+//! in O(1) —
 //! bit-identical to applying the delta — so planning an S-service mix
 //! costs about one single-service heuristic run plus O(S²) scalar work
 //! per step, not S runs (the `mix_scaling` bench group holds a 4-service
@@ -44,10 +44,9 @@ use super::heuristic::HeuristicPlanner;
 use super::realize::{promote_and_steal, realize_from_eval, AttachHeap};
 use super::{resolve_params, PlannerError};
 use crate::model::mix::{MixReport, ServerAssignment};
-use crate::model::throughput::server_prediction_cycle;
 use crate::model::{IncrementalEval, ModelParams};
 use adept_hierarchy::{DeploymentPlan, Slot};
-use adept_platform::{MflopRate, NodeId, Platform};
+use adept_platform::{MflopRate, NodeId, Platform, SiteId};
 use adept_workload::{MixDemand, ServiceMix};
 use std::collections::VecDeque;
 
@@ -211,17 +210,12 @@ impl MixPlanner {
         while !queue.is_empty() && !demand_met(&eval, demand) {
             let node = *queue.front().expect("queue checked non-empty");
             let power = platform.power(node);
+            let site = platform.site_of(node);
 
-            let agent = heap.best(&params, &eval);
+            let agent = heap.best_for(&params, &eval, site);
             let service_min = eval.rho_service();
-            let choice = best_attach_service(
-                &params,
-                &mut eval,
-                agent,
-                power,
-                self.objective,
-                &candidates,
-            );
+            let choice =
+                best_attach_service(&mut eval, agent, power, site, self.objective, &candidates);
             if accept_growth(self.objective, &choice, current, service_min) {
                 let slot = eval
                     .add_server_for(agent, node, power, choice.service)
@@ -371,21 +365,23 @@ pub(crate) struct AttachChoice {
     pub sched_after: f64,
 }
 
-/// Scheduling throughput after attaching one server of power `power`
-/// under `agent`: the parent's degree bump (one tree probe + undo) and
-/// the new server's own prediction cycle — bit-identical to applying the
-/// attach and reading [`rho_sched`](IncrementalEval::rho_sched).
+/// Scheduling throughput after attaching one server of power `power` on
+/// `site` under `agent`: the parent's degree-and-link bump (one tree
+/// probe + undo) and the new server's own prediction cycle — bit-identical
+/// to applying the attach and reading [`rho_sched`](IncrementalEval::rho_sched)
+///. On a site-aware evaluator the server's
+/// prediction cycle prices the server↔parent link.
 fn sched_after_attach(
-    params: &ModelParams,
     eval: &mut IncrementalEval,
     agent: Slot,
     power: MflopRate,
+    site: SiteId,
 ) -> f64 {
-    eval.assign_child_slot(agent)
+    eval.assign_child_slot_at(agent, site)
         .expect("attach targets are agents");
     let sched_tree = eval.rho_sched();
     eval.undo();
-    sched_tree.min(1.0 / server_prediction_cycle(params, power).value())
+    sched_tree.min(1.0 / eval.server_cycle_at(power, site, agent))
 }
 
 /// The analytic min-objective attach probe under arbitrary per-service
@@ -397,23 +393,24 @@ fn sched_after_attach(
 /// [`EPS`] relative) resolve to the most starved candidate, then the
 /// lower index — on a plateau every joint-minimum service ties, and the
 /// starved one is the step that makes progress.
+#[allow(clippy::too_many_arguments)] // an attach probe carries the whole demand context
 pub(crate) fn best_attach_normalized(
-    params: &ModelParams,
     eval: &mut IncrementalEval,
     agent: Slot,
     power: MflopRate,
+    site: SiteId,
     divisors: &[f64],
     sched_divisor: f64,
     candidates: &[usize],
 ) -> AttachChoice {
-    let sched_raw = sched_after_attach(params, eval, agent, power);
+    let sched_raw = sched_after_attach(eval, agent, power, site);
     let sched_after = if sched_divisor > 0.0 {
         sched_raw / sched_divisor
     } else {
         f64::INFINITY
     };
     select_best(candidates, sched_after, |cand, starved_of| {
-        let extra = eval.service_rate_with_extra(cand, power);
+        let extra = eval.service_rate_with_extra_at(cand, power, site);
         let mut sc = sched_after;
         for (k, &d) in divisors.iter().enumerate() {
             if d > 0.0 {
@@ -467,16 +464,16 @@ fn select_best(
     best.expect("candidates are non-empty")
 }
 
-/// Best service for attaching a server of power `power` under `agent`
-/// per the planner's objective, probed analytically (no committed
-/// deltas). Scores are bit-identical to applying each candidate delta
-/// and reading [`objective_score`]; ties resolve as in
+/// Best service for attaching a server of power `power` (living on
+/// `site`) under `agent` per the planner's objective, probed analytically
+/// (no committed deltas). Scores are bit-identical to applying each
+/// candidate delta and reading [`objective_score`]; ties resolve as in
 /// [`best_attach_normalized`].
 pub(crate) fn best_attach_service(
-    params: &ModelParams,
     eval: &mut IncrementalEval,
     agent: Slot,
     power: MflopRate,
+    site: SiteId,
     objective: MixObjective,
     candidates: &[usize],
 ) -> AttachChoice {
@@ -484,12 +481,12 @@ pub(crate) fn best_attach_service(
     match objective {
         MixObjective::WeightedMin => {
             let shares: Vec<f64> = (0..s).map(|k| eval.share(k)).collect();
-            best_attach_normalized(params, eval, agent, power, &shares, 1.0, candidates)
+            best_attach_normalized(eval, agent, power, site, &shares, 1.0, candidates)
         }
         MixObjective::WeightedSum => {
-            let sched_after = sched_after_attach(params, eval, agent, power);
+            let sched_after = sched_after_attach(eval, agent, power, site);
             select_best(candidates, sched_after, |cand, starved_of| {
-                let extra = eval.service_rate_with_extra(cand, power);
+                let extra = eval.service_rate_with_extra_at(cand, power, site);
                 *starved_of = if eval.share(cand) > 0.0 {
                     eval.rho_service_of(cand) / eval.share(cand)
                 } else {
@@ -576,9 +573,10 @@ fn try_conversion_mix(
             break;
         }
         let power = platform.power(more);
-        let agent = heap.best(params, eval);
+        let site = platform.site_of(more);
+        let agent = heap.best_for(params, eval, site);
         let service_min = eval.rho_service();
-        let choice = best_attach_service(params, eval, agent, power, objective, candidates);
+        let choice = best_attach_service(eval, agent, power, site, objective, candidates);
         if accept_growth(objective, &choice, score, service_min) {
             let slot = eval
                 .add_server_for(agent, more, power, choice.service)

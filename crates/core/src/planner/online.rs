@@ -19,7 +19,7 @@
 //! [`improve::rebalance`](super::improve), which optimizes throughput
 //! with no regard for how much of the tree it rewires.
 
-use super::heuristic::best_attach_agent_in_eval;
+use super::heuristic::best_attach_agent_in_eval_for;
 use super::mix::{
     accept_growth, best_attach_normalized, normalized_min, normalized_service_min, MixObjective,
 };
@@ -28,9 +28,30 @@ use crate::model::mix::{MixReport, ServerAssignment};
 use crate::model::throughput::sch_pow;
 use crate::model::{IncrementalEval, ModelParams};
 use adept_hierarchy::{DeploymentPlan, PlanDiff, PlanError, Role, Slot};
-use adept_platform::{NodeId, Platform};
+use adept_platform::{NodeId, Platform, SiteId};
 use adept_workload::{ClientDemand, MixDemand, ServiceMix, ServiceSpec};
 use std::collections::HashSet;
+
+/// Growth candidates for one replan step: on a uniform network, the
+/// strongest unused node; on a multi-site platform, the strongest unused
+/// node **of every site** — a weaker local node can beat the globally
+/// strongest one sitting behind a slow WAN link, so each site's best
+/// candidate is probed with its real link costs.
+fn grow_candidates(platform: &Platform, unused: &[NodeId], site_aware: bool) -> Vec<NodeId> {
+    if !site_aware {
+        return unused.first().copied().into_iter().collect();
+    }
+    let mut seen: Vec<SiteId> = Vec::new();
+    let mut picks = Vec::new();
+    for &node in unused {
+        let site = platform.site_of(node);
+        if !seen.contains(&site) {
+            seen.push(site);
+            picks.push(node); // `unused` is power-descending: first = strongest
+        }
+    }
+    picks
+}
 
 /// Relative tolerance for strict-improvement acceptance.
 const EPS: f64 = 1e-9;
@@ -181,25 +202,37 @@ impl OnlinePlanner {
         while changes_left > 0 {
             if !demand.satisfied_by(rho) {
                 // Under-provisioned: try to grow (1 change), else open a
-                // level (2 changes).
-                if let Some(&fresh) = unused.first() {
-                    let agent = best_attach_agent_in_eval(&params, &eval);
+                // level (2 changes). On a multi-site platform every
+                // site's strongest spare node is probed with its real
+                // link costs (a local mid-power node can beat the global
+                // strongest behind a slow WAN); uniform platforms keep
+                // the single strongest-node candidate.
+                let candidates = grow_candidates(platform, &unused, eval.is_site_aware());
+                let mut best: Option<(f64, NodeId, Slot)> = None;
+                for &fresh in &candidates {
+                    let agent =
+                        best_attach_agent_in_eval_for(&params, &eval, platform.site_of(fresh));
                     eval.add_server(agent, fresh, platform.power(fresh))
                         .expect("unused node under an agent inserts");
                     let r = eval.rho();
-                    if r > rho * (1.0 + EPS) {
-                        plan.add_server(agent, fresh)
-                            .expect("unused node under an agent inserts");
-                        eval.commit();
-                        rho = r;
-                        unused.retain(|&n| n != fresh);
-                        changes_left -= 1;
-                        continue;
-                    }
                     eval.undo();
+                    if r > rho * (1.0 + EPS) && best.is_none_or(|(br, _, _)| r > br) {
+                        best = Some((r, fresh, agent));
+                    }
                 }
-                // Convert-grow: promote the strongest server, attach a
-                // fresh node under it.
+                if let Some((r, fresh, agent)) = best {
+                    eval.add_server(agent, fresh, platform.power(fresh))
+                        .expect("probe just applied cleanly");
+                    plan.add_server(agent, fresh)
+                        .expect("unused node under an agent inserts");
+                    eval.commit();
+                    rho = r;
+                    unused.retain(|&n| n != fresh);
+                    changes_left -= 1;
+                    continue;
+                }
+                // Convert-grow: promote the strongest server, attach the
+                // best spare node under it.
                 if changes_left >= 2 && plan.server_count() >= 2 && !unused.is_empty() {
                     let victim = plan
                         .servers()
@@ -209,23 +242,30 @@ impl OnlinePlanner {
                             pa.partial_cmp(&pb).expect("finite").then(b.cmp(&a))
                         })
                         .expect("server_count >= 2");
-                    let fresh = unused[0];
                     eval.promote_to_agent(victim).expect("victim is a server");
-                    eval.add_server(victim, fresh, platform.power(fresh))
-                        .expect("unused node under the new agent inserts");
-                    let r = eval.rho();
-                    if r > rho * (1.0 + EPS) {
+                    let mut best: Option<(f64, NodeId)> = None;
+                    for &fresh in &candidates {
+                        eval.add_server(victim, fresh, platform.power(fresh))
+                            .expect("unused node under the new agent inserts");
+                        let r = eval.rho();
+                        eval.undo();
+                        if r > rho * (1.0 + EPS) && best.is_none_or(|(br, _)| r > br) {
+                            best = Some((r, fresh));
+                        }
+                    }
+                    if let Some((r, fresh)) = best {
+                        eval.add_server(victim, fresh, platform.power(fresh))
+                            .expect("probe just applied cleanly");
                         plan.convert_to_agent(victim).expect("victim is a server");
                         plan.add_server(victim, fresh)
                             .expect("unused node under the new agent inserts");
                         eval.commit();
                         rho = r;
-                        unused.remove(0);
+                        unused.retain(|&n| n != fresh);
                         changes_left = changes_left.saturating_sub(2);
                         continue;
                     }
-                    eval.undo();
-                    eval.undo();
+                    eval.undo(); // retract the promotion
                 }
                 break; // no growth move helps
             } else {
@@ -336,10 +376,10 @@ impl OnlinePlanner {
         let met = |eval: &IncrementalEval| super::mix::demand_met(eval, demand);
         let probe_attach = |eval: &mut IncrementalEval, parent: Slot, fresh: NodeId| {
             best_attach_normalized(
-                &params,
                 eval,
                 parent,
                 platform.power(fresh),
+                platform.site_of(fresh),
                 &divisors,
                 sched_divisor,
                 &candidates,
@@ -350,12 +390,28 @@ impl OnlinePlanner {
         while changes_left > 0 {
             if !met(&eval) {
                 // Under-provisioned: grow one server (1 change) for the
-                // service that most improves the margin.
-                if let Some(&fresh) = unused.first() {
-                    let agent = best_attach_agent_in_eval(&params, &eval);
+                // service that most improves the margin. Multi-site
+                // platforms probe every site's strongest spare node with
+                // its real link costs.
+                {
+                    let grow = grow_candidates(platform, &unused, eval.is_site_aware());
+                    // Probes are undone, so the pre-attach service-phase
+                    // minimum is invariant across candidates.
                     let svc_min = normalized_service_min(&eval, &divisors);
-                    let choice = probe_attach(&mut eval, agent, fresh);
-                    if accept_growth(MixObjective::WeightedMin, &choice, current, svc_min) {
+                    let mut best: Option<(super::mix::AttachChoice, NodeId, Slot)> = None;
+                    for &fresh in &grow {
+                        let agent =
+                            best_attach_agent_in_eval_for(&params, &eval, platform.site_of(fresh));
+                        let choice = probe_attach(&mut eval, agent, fresh);
+                        if accept_growth(MixObjective::WeightedMin, &choice, current, svc_min)
+                            && best
+                                .as_ref()
+                                .is_none_or(|(b, _, _)| choice.score > b.score * (1.0 + EPS))
+                        {
+                            best = Some((choice, fresh, agent));
+                        }
+                    }
+                    if let Some((choice, fresh, agent)) = best {
                         eval.add_server_for(agent, fresh, platform.power(fresh), choice.service)
                             .expect("unused node under an agent inserts");
                         plan.add_server(agent, fresh)
@@ -410,8 +466,9 @@ impl OnlinePlanner {
                         continue;
                     }
                 }
-                // Convert-grow: promote the strongest server, attach a
-                // fresh node under it for the best service (2 changes).
+                // Convert-grow: promote the strongest server, attach the
+                // best spare node under it for the best service
+                // (2 changes).
                 if changes_left >= 2 && eval.server_count() >= 2 && !unused.is_empty() {
                     let victim = eval
                         .servers()
@@ -421,11 +478,21 @@ impl OnlinePlanner {
                             pa.partial_cmp(&pb).expect("finite").then(b.cmp(&a))
                         })
                         .expect("server_count >= 2");
-                    let fresh = unused[0];
                     eval.promote_to_agent(victim).expect("victim is a server");
+                    let grow = grow_candidates(platform, &unused, eval.is_site_aware());
                     let svc_min = normalized_service_min(&eval, &divisors);
-                    let choice = probe_attach(&mut eval, victim, fresh);
-                    if accept_growth(MixObjective::WeightedMin, &choice, current, svc_min) {
+                    let mut best: Option<(super::mix::AttachChoice, NodeId)> = None;
+                    for &fresh in &grow {
+                        let choice = probe_attach(&mut eval, victim, fresh);
+                        if accept_growth(MixObjective::WeightedMin, &choice, current, svc_min)
+                            && best
+                                .as_ref()
+                                .is_none_or(|(b, _)| choice.score > b.score * (1.0 + EPS))
+                        {
+                            best = Some((choice, fresh));
+                        }
+                    }
+                    if let Some((choice, fresh)) = best {
                         eval.add_server_for(victim, fresh, platform.power(fresh), choice.service)
                             .expect("unused node under the new agent inserts");
                         let victim_node = eval.node(victim);
@@ -436,7 +503,7 @@ impl OnlinePlanner {
                         assignment.service_of.insert(fresh, choice.service);
                         eval.commit();
                         current = choice.score;
-                        unused.remove(0);
+                        unused.retain(|&n| n != fresh);
                         changes_left = changes_left.saturating_sub(2);
                         continue;
                     }

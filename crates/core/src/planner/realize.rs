@@ -21,8 +21,8 @@
 
 use crate::model::throughput::sch_pow;
 use crate::model::{IncrementalEval, ModelParams};
-use adept_hierarchy::{DeploymentPlan, Slot};
-use adept_platform::{NodeId, Platform};
+use adept_hierarchy::{DeploymentPlan, Role, Slot};
+use adept_platform::{NodeId, Platform, SiteId};
 use std::cmp::Ordering;
 
 /// Max-heap key for incremental waterfills: the scheduling power an agent
@@ -70,8 +70,13 @@ impl AttachHeap {
     }
 
     /// Rebuilds from the engine's current agent set (after conversions).
+    /// No-op on a site-aware evaluator ([`best_for`](AttachHeap::best_for)
+    /// scans instead of consulting the heap).
     pub(crate) fn rebuild(&mut self, params: &ModelParams, eval: &IncrementalEval) {
         self.heap.clear();
+        if eval.is_site_aware() {
+            return;
+        }
         for slot in eval.agents() {
             self.heap.push(HeapEntry {
                 sp_after: Self::key(params, eval, slot),
@@ -107,13 +112,55 @@ impl AttachHeap {
         }
     }
 
-    /// Re-keys one agent after its degree changed.
+    /// Attach target for a child living on `child_site`: on a site-aware
+    /// evaluator this is [`best_attach_agent_site_aware`]'s joint
+    /// (power, link) ranking — the heap's power-only key cannot express
+    /// a per-site cost; on a uniform evaluator it is exactly
+    /// [`best`](AttachHeap::best).
+    pub(crate) fn best_for(
+        &mut self,
+        params: &ModelParams,
+        eval: &IncrementalEval,
+        child_site: SiteId,
+    ) -> Slot {
+        if !eval.is_site_aware() {
+            return self.best(params, eval);
+        }
+        best_attach_agent_site_aware(eval, child_site)
+    }
+
+    /// Re-keys one agent after its degree changed (no-op on a site-aware
+    /// evaluator, where [`best_for`](AttachHeap::best_for) scans).
     pub(crate) fn update(&mut self, params: &ModelParams, eval: &IncrementalEval, slot: Slot) {
+        if eval.is_site_aware() {
+            return;
+        }
         self.heap.push(HeapEntry {
             sp_after: Self::key(params, eval, slot),
             agent: slot.index(),
         });
     }
+}
+
+/// The one site-aware attach ranking, shared by [`AttachHeap::best_for`]
+/// and the online replanner's `best_attach_agent_in_eval_for`: the agent
+/// minimizing its full post-attach cycle for a child living on
+/// `child_site` — parent link + child-link running sum + the real
+/// agent↔child link + Eq. 5 — so (power, link) are judged **jointly**;
+/// a strong agent behind a slow WAN loses to a weaker local one once the
+/// link dominates. O(k) over the current agents; ties resolve to the
+/// lower slot, matching the uniform heap rule.
+pub(crate) fn best_attach_agent_site_aware(eval: &IncrementalEval, child_site: SiteId) -> Slot {
+    debug_assert!(eval.is_site_aware(), "uniform evaluators use the heap");
+    eval.agents()
+        .min_by(|&a, &b| {
+            let ca = eval.cycle_with_extra_child(a, child_site);
+            let cb = eval.cycle_with_extra_child(b, child_site);
+            ca.partial_cmp(&cb)
+                .expect("cycles are finite")
+                .then(a.cmp(&b))
+        })
+        .expect("plans always contain the root agent")
 }
 
 /// The structural stage of a `shift_nodes` conversion, shared by the
@@ -123,6 +170,10 @@ impl AttachHeap {
 /// through a lazily re-keyed min-heap, as long as the newcomer's
 /// post-move power exceeds that minimum. All deltas stay on the
 /// engine's undo stack for the caller to commit or unwind.
+///
+/// On a site-aware evaluator the rebalance steals **concrete** children
+/// (the abstract degree shuffle cannot price the moved links): see
+/// [`promote_and_steal_site_aware`].
 ///
 /// Returns `false` — with every delta already unwound — when the
 /// conversion is structurally infeasible: the newcomer would strip the
@@ -134,6 +185,9 @@ pub(crate) fn promote_and_steal(
     eval: &mut IncrementalEval,
     victim: Slot,
 ) -> bool {
+    if eval.is_site_aware() {
+        return promote_and_steal_site_aware(eval, victim);
+    }
     // Min-heap over the old agents by *current* scheduling power (the
     // binding agent on top).
     let mut binding: std::collections::BinaryHeap<std::cmp::Reverse<HeapEntry>> = eval
@@ -186,12 +240,78 @@ pub(crate) fn promote_and_steal(
     true
 }
 
-/// Realizes an incremental engine's final abstract state into a concrete
-/// tree: agents strongest-first (the root is the strongest node, as in
-/// Algorithm 1's sort), servers strongest-first, degrees as grown. The
-/// tree's throughput equals the engine's ρ because Eq. 13–16 only sees
-/// the role/degree/power multiset.
+/// Site-aware `shift_nodes` rebalance: promotes `victim`, then while the
+/// binding agent's cycle dominates, moves that agent's **cheapest-to-adopt
+/// concrete child** (the one minimizing the victim↔child link, ties to
+/// the lower slot) under the victim via real [`move_child`](IncrementalEval::move_child)
+/// deltas — so every stolen link is priced
+/// at its true bandwidth, and the victim's own parent link is already in
+/// its cycle. Stops when adopting the best child would not beat the
+/// binding cycle; bails out (all deltas unwound) when the binding agent
+/// would be stripped bare or the victim attracts nothing.
+fn promote_and_steal_site_aware(eval: &mut IncrementalEval, victim: Slot) -> bool {
+    eval.promote_to_agent(victim).expect("victim is a server");
+    // The victim's ancestor chain can never move under it (cycle).
+    let mut blocked: Vec<Slot> = Vec::new();
+    let mut cur = Some(victim);
+    while let Some(s) = cur {
+        blocked.push(s);
+        cur = eval.parent_of(s);
+    }
+    // Each round moves one child of the binding old agent (highest
+    // cached cycle, victim excluded) under the victim.
+    while let Some(worst) = eval.agents().filter(|&a| a != victim).max_by(|&a, &b| {
+        let ca = eval.cached_cycle(a);
+        let cb = eval.cached_cycle(b);
+        ca.partial_cmp(&cb)
+            .expect("cycles are finite")
+            .then(b.cmp(&a))
+    }) {
+        let candidates: Vec<Slot> = eval
+            .children_of(worst)
+            .into_iter()
+            .filter(|c| !blocked.contains(c))
+            .collect();
+        let Some(&best_child) = candidates.iter().min_by(|&&x, &&y| {
+            let lx = eval.cycle_with_extra_child(victim, eval.site_of_slot(x));
+            let ly = eval.cycle_with_extra_child(victim, eval.site_of_slot(y));
+            lx.partial_cmp(&ly)
+                .expect("cycles are finite")
+                .then(x.cmp(&y))
+        }) else {
+            break; // nothing the binding agent can safely give up
+        };
+        let victim_next = eval.cycle_with_extra_child(victim, eval.site_of_slot(best_child));
+        if victim_next >= eval.cached_cycle(worst) {
+            break; // adopting would not relieve the bottleneck
+        }
+        if eval.degree(worst) <= 1 {
+            eval.undo_all();
+            return false;
+        }
+        eval.move_child(best_child, victim)
+            .expect("victim is an agent and the child is no ancestor");
+    }
+    if eval.degree(victim) == 0 {
+        eval.undo_all();
+        return false;
+    }
+    true
+}
+
+/// Realizes an incremental engine's final state into a concrete tree.
+///
+/// Uniform mode: agents strongest-first (the root is the strongest node,
+/// as in Algorithm 1's sort), servers strongest-first, degrees as grown —
+/// the tree's throughput equals the engine's ρ because the homogeneous
+/// Eq. 13–16 only sees the role/degree/power multiset. Site-aware mode:
+/// the engine's **exact topology** is reproduced ([`realize_topology`]) —
+/// under per-link bandwidths, which parent a child hangs from *is* part
+/// of the cost, so re-shuffling by power would change ρ.
 pub(crate) fn realize_from_eval(eval: &IncrementalEval) -> DeploymentPlan {
+    if eval.is_site_aware() {
+        return realize_topology(eval);
+    }
     let by_power_desc = |eval: &IncrementalEval, slots: &mut Vec<Slot>| {
         slots.sort_by(|&a, &b| {
             let pa = eval.power(a).value();
@@ -209,6 +329,58 @@ pub(crate) fn realize_from_eval(eval: &IncrementalEval) -> DeploymentPlan {
     let server_nodes: Vec<NodeId> = servers.iter().map(|&s| eval.node(s)).collect();
     let degrees: Vec<usize> = agents.iter().map(|&s| eval.degree(s)).collect();
     realize(&agent_nodes, &server_nodes, &degrees)
+}
+
+/// Reproduces a site-aware engine's exact tree: same root, same parent
+/// for every active slot, same roles. Children attach in BFS order so
+/// every parent exists before its children whatever reparenting history
+/// the engine accumulated.
+///
+/// # Panics
+/// Panics when the engine does not hold exactly one active parentless
+/// slot (site-aware growth always starts from a rooted plan).
+fn realize_topology(eval: &IncrementalEval) -> DeploymentPlan {
+    let active: Vec<Slot> = (0..eval.raw_len())
+        .map(Slot)
+        .filter(|&s| eval.is_active_slot(s))
+        .collect();
+    let roots: Vec<Slot> = active
+        .iter()
+        .copied()
+        .filter(|&s| eval.parent_of(s).is_none())
+        .collect();
+    assert_eq!(
+        roots.len(),
+        1,
+        "site-aware realization needs exactly one root"
+    );
+    let root = roots[0];
+    let mut children: Vec<Vec<Slot>> = vec![Vec::new(); eval.raw_len()];
+    for &s in &active {
+        if let Some(p) = eval.parent_of(s) {
+            children[p.index()].push(s);
+        }
+    }
+    let mut plan = DeploymentPlan::with_root(eval.node(root));
+    let mut map = vec![Slot(usize::MAX); eval.raw_len()];
+    map[root.index()] = plan.root();
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(s) = queue.pop_front() {
+        for &c in &children[s.index()] {
+            let parent = map[s.index()];
+            let slot = match eval.role(c) {
+                Role::Agent => plan
+                    .add_agent(parent, eval.node(c))
+                    .expect("engine nodes are unique"),
+                Role::Server => plan
+                    .add_server(parent, eval.node(c))
+                    .expect("engine nodes are unique"),
+            };
+            map[c.index()] = slot;
+            queue.push_back(c);
+        }
+    }
+    plan
 }
 
 /// Heap entry for [`waterfill_degrees`]: same key as [`HeapEntry`] but

@@ -36,9 +36,9 @@
 use super::realize::HeapEntry;
 use super::{resolve_params, Planner, PlannerError};
 use crate::model::throughput::{sch_pow, server_prediction_cycle, service_rate_from_sums};
-use crate::model::{comm, ModelParams};
-use adept_hierarchy::DeploymentPlan;
-use adept_platform::Platform;
+use crate::model::{comm, IncrementalEval, ModelParams};
+use adept_hierarchy::{DeploymentPlan, Slot};
+use adept_platform::{NodeId, Platform};
 use adept_workload::{ClientDemand, ServiceSpec};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -232,6 +232,12 @@ fn merge_in_k_order(candidates: impl IntoIterator<Item = KBest>) -> Option<KBest
 impl SweepPlanner {
     /// Returns the best plan together with its modelled throughput.
     ///
+    /// On a platform with a heterogeneous network (and site-aware
+    /// pricing on), the swept family changes shape — per-site sweeps
+    /// plus a cross-site per-site server-count sweep (see
+    /// `best_plan_multi_site`); the returned ρ is then the per-link
+    /// (hetero) model's.
+    ///
     /// # Errors
     /// [`PlannerError::NotEnoughNodes`] below two nodes.
     pub fn best_plan(
@@ -247,14 +253,42 @@ impl SweepPlanner {
             });
         }
         let params = resolve_params(self.params, platform);
+        if params.uses_link_bandwidths(platform) {
+            // Also taken for a single-site PerSitePair network: the
+            // per-site phase prices its links at the intra bandwidth
+            // (not the scalarized min, which would drag in an unused
+            // inter-site link) and the returned ρ stays the per-link
+            // model's.
+            return self.best_plan_multi_site(platform, service, &params);
+        }
         let nodes = platform.ids_by_power_desc();
+        self.best_over_nodes(&params, platform, service, &nodes)
+    }
+
+    /// The uniform-network sweep core over an explicit power-descending
+    /// node list (the whole platform, or one site's nodes for the
+    /// multi-site family), under `params.bandwidth` as the single `B`.
+    fn best_over_nodes(
+        &self,
+        params: &ModelParams,
+        platform: &Platform,
+        service: &ServiceSpec,
+        nodes: &[NodeId],
+    ) -> Result<(DeploymentPlan, f64), PlannerError> {
+        let n = nodes.len();
+        if n < 2 {
+            return Err(PlannerError::NotEnoughNodes {
+                needed: 2,
+                available: n,
+            });
+        }
         let powers: Vec<f64> = nodes.iter().map(|&id| platform.power(id).value()).collect();
         let ctx = ScanCtx {
-            params: &params,
+            params,
             powers: &powers,
             wpre: params.calibration.server.wpre.value(),
             wapp: service.wapp.value(),
-            transfer: comm::service_transfer_time(&params).value(),
+            transfer: comm::service_transfer_time(params).value(),
         };
 
         let workers = if self.parallel && n >= PARALLEL_THRESHOLD {
@@ -316,7 +350,161 @@ impl SweepPlanner {
         );
         Ok((plan, cfg.rho))
     }
+
+    /// The multi-site sweep family, keeping the reference quality bar
+    /// meaningful under heterogeneous communication:
+    ///
+    /// 1. **Per-site sweeps** — the full uniform sweep runs inside every
+    ///    site with `B` set to that site's intra bandwidth (links inside
+    ///    a site *are* uniform, so this stays the exact family search);
+    ///    each winner is re-scored under the per-link model and the best
+    ///    single-site deployment seeds phase 2.
+    /// 2. **Per-site server-count sweep** — for every foreign site, a
+    ///    mid-agent (the site's strongest node) opens under the root and
+    ///    the site's servers attach beneath it strongest-first while the
+    ///    hetero ρ strictly improves, on the site-aware incremental
+    ///    engine; passes repeat until a full round adds nothing. Only
+    ///    the two mid-agent↔root messages per request cross the WAN.
+    ///
+    /// Falls back to the min-B scalarized sweep re-scored under the
+    /// per-link model when no single site can seat two nodes.
+    fn best_plan_multi_site(
+        &self,
+        platform: &Platform,
+        service: &ServiceSpec,
+        params: &ModelParams,
+    ) -> Result<(DeploymentPlan, f64), PlannerError> {
+        let net = platform.network();
+        let mut best: Option<(DeploymentPlan, f64)> = None;
+        for site in platform.sites() {
+            let mut nodes = platform.nodes_on_site(site.id);
+            if nodes.len() < 2 {
+                continue;
+            }
+            super::improve::by_power_desc(platform, &mut nodes);
+            let site_params = ModelParams {
+                bandwidth: net.bandwidth_between(site.id, site.id),
+                ..*params
+            };
+            let Ok((plan, _)) = self.best_over_nodes(&site_params, platform, service, &nodes)
+            else {
+                continue;
+            };
+            // Re-score under the per-link model (exact for a single-site
+            // plan unless a client site is declared elsewhere).
+            let rho = params.evaluate(platform, &plan, service).rho;
+            if best
+                .as_ref()
+                .is_none_or(|(_, cur)| rho > cur * (1.0 + TIE_EPS))
+            {
+                best = Some((plan, rho));
+            }
+        }
+        let Some((seed, _)) = best else {
+            // No site seats two nodes: sweep the scalarized family and
+            // re-score per-link.
+            let nodes = platform.ids_by_power_desc();
+            let (plan, _) = self.best_over_nodes(params, platform, service, &nodes)?;
+            let rho = params.evaluate(platform, &plan, service).rho;
+            return Ok((plan, rho));
+        };
+        Ok(self.extend_across_sites(platform, service, params, seed))
+    }
+
+    /// Phase 2 of the multi-site sweep: grow per-foreign-site server
+    /// groups on the site-aware incremental engine (see
+    /// [`best_plan_multi_site`](SweepPlanner::best_plan_multi_site)).
+    fn extend_across_sites(
+        &self,
+        platform: &Platform,
+        service: &ServiceSpec,
+        params: &ModelParams,
+        seed: DeploymentPlan,
+    ) -> (DeploymentPlan, f64) {
+        let mut eval = IncrementalEval::from_plan(params, platform, &seed, service);
+        debug_assert!(eval.is_site_aware());
+        let root = seed.root();
+        // Strongest-first spare nodes per site.
+        let mut spare: Vec<Vec<NodeId>> = platform
+            .sites()
+            .iter()
+            .map(|s| {
+                let mut v: Vec<NodeId> = platform
+                    .nodes_on_site(s.id)
+                    .into_iter()
+                    .filter(|&id| !eval.uses_node(id))
+                    .collect();
+                super::improve::by_power_desc(platform, &mut v);
+                v.reverse(); // pop() takes the strongest
+                v
+            })
+            .collect();
+        // The mid-agent slot opened for each site, once one exists.
+        let mut group: Vec<Option<Slot>> = vec![None; platform.site_count()];
+        for _pass in 0..MAX_CROSS_SITE_PASSES {
+            let mut grew = false;
+            for site_idx in 0..platform.site_count() {
+                let mut rho = eval.rho();
+                while let Some(&node) = spare[site_idx].last() {
+                    let power = platform.power(node);
+                    match group[site_idx] {
+                        None => {
+                            // Open the site's group: mid-agent + first
+                            // server, accepted only as a pair (a bare
+                            // agent level never helps).
+                            if spare[site_idx].len() < 2 {
+                                break;
+                            }
+                            let mid_slot = eval
+                                .add_server(root, node, power)
+                                .expect("spare nodes are unused");
+                            eval.promote_to_agent(mid_slot).expect("just added");
+                            let first = spare[site_idx][spare[site_idx].len() - 2];
+                            eval.add_server(mid_slot, first, platform.power(first))
+                                .expect("spare nodes are unused");
+                            let grown = eval.rho();
+                            if grown > rho * (1.0 + TIE_EPS) {
+                                eval.commit();
+                                group[site_idx] = Some(mid_slot);
+                                spare[site_idx].pop();
+                                spare[site_idx].pop();
+                                rho = grown;
+                                grew = true;
+                            } else {
+                                eval.undo_all();
+                                break;
+                            }
+                        }
+                        Some(mid) => {
+                            eval.add_server(mid, node, power)
+                                .expect("spare nodes are unused");
+                            let grown = eval.rho();
+                            if grown > rho * (1.0 + TIE_EPS) {
+                                eval.commit();
+                                spare[site_idx].pop();
+                                rho = grown;
+                                grew = true;
+                            } else {
+                                eval.undo();
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        let rho = eval.rho();
+        (super::realize::realize_from_eval(&eval), rho)
+    }
 }
+
+/// Upper bound on phase-2 rounds over the sites: a later site's group can
+/// re-open headroom for an earlier one, but strict improvement makes
+/// every extra round add at least one node, so a handful suffices.
+const MAX_CROSS_SITE_PASSES: usize = 4;
 
 impl Planner for SweepPlanner {
     fn name(&self) -> &str {
@@ -448,6 +636,95 @@ mod tests {
             .map(|n| n.power.value())
             .fold(0.0f64, f64::max);
         assert!((root_power.value() - max_power).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_site_sweep_keeps_the_quality_bar() {
+        use adept_platform::generator::multi_site_grid;
+        use adept_platform::{MbitRate, SiteId};
+        let platform = multi_site_grid(2, 15, MflopRate(400.0), MbitRate(100.0), MbitRate(5.0), 9);
+        let svc = Dgemm::new(310).service();
+        let params = crate::model::ModelParams::from_platform(&platform);
+        let (plan, rho) = SweepPlanner::default().best_plan(&platform, &svc).unwrap();
+        // The reported rho is the per-link model's evaluation of the plan.
+        let full = params.evaluate(&platform, &plan, &svc).rho;
+        assert!(
+            (rho - full).abs() <= 1e-9 * full.max(1.0),
+            "reported {rho} vs per-link {full}"
+        );
+        // Dominates the min-B scalarized sweep's plan under per-link
+        // evaluation (phase 1 alone already prices intra links right).
+        let scalar_planner = SweepPlanner {
+            params: Some(params.scalarized()),
+            ..SweepPlanner::default()
+        };
+        let (scalar_plan, _) = scalar_planner.best_plan(&platform, &svc).unwrap();
+        let scalar_rho = params.evaluate(&platform, &scalar_plan, &svc).rho;
+        assert!(
+            rho >= scalar_rho * (1.0 - 1e-9),
+            "multi-site sweep {rho} must dominate scalarized {scalar_rho}"
+        );
+        // Dominates every single-site sweep: the per-site family is
+        // phase 1's candidate set.
+        for site in [SiteId(0), SiteId(1)] {
+            let mut b = Platform::builder(platform.network().clone());
+            for s in platform.sites() {
+                b.add_site(s.name.clone());
+            }
+            for &id in &platform.nodes_on_site(site) {
+                let node = platform.node(id).unwrap();
+                b.add_node(node.name.clone(), node.power, node.site)
+                    .unwrap();
+            }
+            let single = b.build().unwrap();
+            let (sp, _) = SweepPlanner::default().best_plan(&single, &svc).unwrap();
+            let srho = crate::model::ModelParams::from_platform(&single)
+                .evaluate(&single, &sp, &svc)
+                .rho;
+            assert!(
+                rho >= srho * (1.0 - 1e-9),
+                "{site}: multi-site {rho} below single-site {srho}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_site_per_site_pair_sweep_ignores_the_unused_wan() {
+        // One populated site on a PerSitePair network whose (unused)
+        // inter-site bandwidth is the minimum: the sweep must price links
+        // at the intra bandwidth and return the per-link model's rho, not
+        // plan under the min-B scalarization.
+        use adept_platform::{MbitRate, Network, Seconds};
+        let mut b = Platform::builder(Network::PerSitePair {
+            intra: vec![MbitRate(100.0)],
+            inter: MbitRate(10.0),
+            latency: Seconds::ZERO,
+        });
+        let s = b.add_site("only");
+        for i in 0..12 {
+            b.add_node(format!("n{i}"), MflopRate(400.0 - 7.0 * i as f64), s)
+                .unwrap();
+        }
+        let platform = b.build().unwrap();
+        let svc = Dgemm::new(310).service();
+        let params = crate::model::ModelParams::from_platform(&platform);
+        let (plan, rho) = SweepPlanner::default().best_plan(&platform, &svc).unwrap();
+        let full = params.evaluate(&platform, &plan, &svc).rho;
+        assert!(
+            (rho - full).abs() <= 1e-9 * full.max(1.0),
+            "reported {rho} vs per-link {full}"
+        );
+        // And it must beat what the scalarized sweep's plan achieves when
+        // both are judged per-link (the scalarization plans for a 10 Mb/s
+        // network that does not exist).
+        let (scalar_plan, _) = SweepPlanner {
+            params: Some(params.scalarized()),
+            ..SweepPlanner::default()
+        }
+        .best_plan(&platform, &svc)
+        .unwrap();
+        let scalar_rho = params.evaluate(&platform, &scalar_plan, &svc).rho;
+        assert!(rho >= scalar_rho * (1.0 - 1e-9));
     }
 
     #[test]

@@ -161,6 +161,50 @@ pub fn uniform_random_cluster(
     b.build().expect("n > 0")
 }
 
+/// A multi-site grid in the Grid'5000 mold: `sites` clusters of
+/// `nodes_per_site` heterogenized nodes each (the paper's background-load
+/// methodology, seeded per node), wired as a [`Network::PerSitePair`] —
+/// `intra` inside every site, `inter` between sites. This is the
+/// substrate of the heterogeneous-communication extension: the planner's
+/// min-bandwidth scalarization sees only `min(intra, inter)` while the
+/// site-aware engine prices every link.
+///
+/// # Panics
+/// Panics if `sites == 0` or `nodes_per_site == 0`.
+pub fn multi_site_grid(
+    sites: usize,
+    nodes_per_site: usize,
+    base_power: MflopRate,
+    intra: MbitRate,
+    inter: MbitRate,
+    seed: u64,
+) -> Platform {
+    assert!(sites > 0, "grid must have at least one site");
+    assert!(nodes_per_site > 0, "sites must have at least one node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let proc_dist = Uniform::new_inclusive(1u32, 3);
+    let coin = Uniform::new(0.0f64, 1.0);
+    let mut b = Platform::builder(Network::PerSitePair {
+        intra: vec![intra; sites],
+        inter,
+        latency: crate::units::Seconds::ZERO,
+    });
+    for s in 0..sites {
+        let site = b.add_site(format!("site-{s}"));
+        for i in 0..nodes_per_site {
+            let background = if coin.sample(&mut rng) < 0.25 {
+                0
+            } else {
+                proc_dist.sample(&mut rng)
+            };
+            let power = MflopRate(base_power.value() / (1.0 + background as f64));
+            b.add_node(format!("site-{s}-n{i}"), power, site)
+                .expect("generated names are unique");
+        }
+    }
+    b.build().expect("sites * nodes_per_site > 0")
+}
+
 /// The Section 5.3 setup: `middleware_nodes` heterogenized Orsay nodes plus
 /// `client_nodes` Lyon nodes on a second site. The planner should only be
 /// offered the Orsay site (`platform.nodes_on_site(orsay)`); the Lyon nodes
@@ -270,6 +314,35 @@ mod tests {
     #[should_panic(expected = "0 < min <= max")]
     fn uniform_random_cluster_bad_bounds() {
         let _ = uniform_random_cluster("u", 5, MflopRate(20.0), MflopRate(10.0), 1);
+    }
+
+    #[test]
+    fn multi_site_grid_shape_and_network() {
+        let p = multi_site_grid(4, 25, MflopRate(400.0), MbitRate(100.0), MbitRate(10.0), 3);
+        assert_eq!(p.node_count(), 100);
+        assert_eq!(p.site_count(), 4);
+        for s in 0..4 {
+            assert_eq!(p.nodes_on_site(SiteId(s)).len(), 25);
+        }
+        assert!(!p.network().is_homogeneous());
+        assert_eq!(
+            p.network().bandwidth_between(SiteId(0), SiteId(0)),
+            MbitRate(100.0)
+        );
+        assert_eq!(
+            p.network().bandwidth_between(SiteId(0), SiteId(3)),
+            MbitRate(10.0)
+        );
+        assert_eq!(p.bandwidth(), MbitRate(10.0), "scalarization is the min");
+        // Deterministic in the seed, heterogeneous in powers.
+        assert_eq!(
+            p,
+            multi_site_grid(4, 25, MflopRate(400.0), MbitRate(100.0), MbitRate(10.0), 3)
+        );
+        assert!(!p.is_homogeneous_compute());
+        // Node sites line up with the id layout.
+        assert_eq!(p.site_of(crate::resource::NodeId(0)), SiteId(0));
+        assert_eq!(p.site_of(crate::resource::NodeId(99)), SiteId(3));
     }
 
     #[test]

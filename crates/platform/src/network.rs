@@ -83,6 +83,21 @@ impl Network {
         }
     }
 
+    /// Dense row-major per-site-pair bandwidth table over `sites` sites:
+    /// entry `a * sites + b` is [`bandwidth_between`](Network::bandwidth_between)`(a, b)`.
+    /// This is the prefetched form the incremental evaluation engine
+    /// indexes branch-free on its hot path; sites outside the table fall
+    /// back to the inter-site bandwidth exactly like `bandwidth_between`.
+    pub fn pair_table(&self, sites: usize) -> Vec<MbitRate> {
+        let mut table = Vec::with_capacity(sites * sites);
+        for a in 0..sites {
+            for b in 0..sites {
+                table.push(self.bandwidth_between(SiteId(a as u16), SiteId(b as u16)));
+            }
+        }
+        table
+    }
+
     /// Per-message latency.
     pub fn latency(&self) -> Seconds {
         match self {
@@ -130,6 +145,27 @@ mod tests {
             latency: Seconds::ZERO,
         };
         assert_eq!(n.uniform_bandwidth(), MbitRate(100.0));
+    }
+
+    #[test]
+    fn pair_table_matches_bandwidth_between() {
+        let n = Network::PerSitePair {
+            intra: vec![MbitRate(1000.0), MbitRate(800.0)],
+            inter: MbitRate(100.0),
+            latency: Seconds::ZERO,
+        };
+        let t = n.pair_table(3); // one site beyond `intra`: inter fallback
+        assert_eq!(t.len(), 9);
+        for a in 0..3u16 {
+            for b in 0..3u16 {
+                assert_eq!(
+                    t[a as usize * 3 + b as usize],
+                    n.bandwidth_between(SiteId(a), SiteId(b)),
+                    "({a},{b})"
+                );
+            }
+        }
+        assert_eq!(t[2 * 3 + 2], MbitRate(100.0), "unknown site uses inter");
     }
 
     #[test]

@@ -108,6 +108,20 @@ impl Platform {
         &self.sites
     }
 
+    /// Number of registered sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Site of a node.
+    ///
+    /// # Panics
+    /// Panics on an unknown id; planners only hold ids handed out by this
+    /// platform.
+    pub fn site_of(&self, id: NodeId) -> SiteId {
+        self.nodes[id.index()].site
+    }
+
     /// The network model.
     pub fn network(&self) -> &Network {
         &self.network

@@ -1,12 +1,14 @@
-//! Multi-site planning with the heterogeneous-communication extension
-//! (the paper's future work): the same nodes, evaluated with the
-//! homogeneous-B model versus the per-link model.
+//! Multi-site evaluation with the heterogeneous-communication extension:
+//! the same nodes, priced with the homogeneous-B scalarization versus the
+//! per-link model (which [`ModelParams::evaluate`] dispatches to
+//! automatically on a multi-site network). See
+//! `examples/multi_site_deployment.rs` for the full planner-vs-planner
+//! walk-through.
 //!
 //! ```text
 //! cargo run --release --example multisite_planning
 //! ```
 
-use adept::core::model::hetero;
 use adept::prelude::*;
 
 fn main() {
@@ -28,20 +30,17 @@ fn main() {
     }
     let platform = b.build().expect("non-empty");
     let service = Dgemm::new(310).service();
+    let params = ModelParams::from_platform(&platform);
 
-    // The paper's planner sees a single conservative bandwidth (the slow
-    // WAN link): its plan is correct but its throughput estimate is
-    // pessimistic for intra-site edges.
+    // The planner now prices links while it plans (site-aware default).
     let plan = HeuristicPlanner::paper()
         .plan(&platform, &service, ClientDemand::Unbounded)
         .expect("20 nodes suffice");
-    println!("heuristic plan: {}", HierarchyStats::of(&plan));
+    println!("site-aware heuristic plan: {}", HierarchyStats::of(&plan));
 
-    let scalar = ModelParams::from_platform(&platform).evaluate(&platform, &plan, &service);
+    let scalar = params.scalarized().evaluate(&platform, &plan, &service);
     println!("homogeneous-B model (B = min link): {scalar}");
-
-    let per_link = ModelParams::new(MbitRate(100.0)).with_latency(Seconds(5e-4));
-    let het = hetero::evaluate_hetero(&per_link, &platform, &plan, &service);
+    let het = params.evaluate(&platform, &plan, &service);
     println!("per-link model (extension):         {het}");
 
     // A deliberately bad idea: put the servers on the far site.
@@ -50,7 +49,7 @@ fn main() {
     for &s in ids_b.iter().take(8) {
         cross.add_server(cross.root(), s).expect("distinct nodes");
     }
-    let cross_het = hetero::evaluate_hetero(&per_link, &platform, &cross, &service);
+    let cross_het = params.evaluate(&platform, &cross, &service);
     println!("\ncross-site star (servers behind the WAN): {cross_het}");
     println!("the per-link model exposes the WAN penalty that the paper's");
     println!("homogeneous-B model spreads uniformly over all deployments.");

@@ -77,7 +77,7 @@ pub mod prelude {
     };
     pub use adept_platform::{
         generator, BackgroundLoad, CapacityProbe, Mbit, MbitRate, Mflop, MflopRate,
-        MiddlewareCalibration, Network, NodeId, Platform, Resource, Seconds,
+        MiddlewareCalibration, Network, NodeId, Platform, Resource, Seconds, Site, SiteId,
     };
     pub use adept_workload::{
         ArrivalProcess, ClientDemand, ClientRamp, Dgemm, MixDemand, ScalingForecaster,

@@ -17,7 +17,9 @@
 //! per-service evaluation (`evaluate_mix_full`), to 1e-9 relative —
 //! including bit-exact unwinds of deep probe chains.
 
+use adept::core::model::hetero::evaluate_hetero;
 use adept::core::model::mix::{evaluate_mix_full, ServerAssignment};
+use adept::platform::SiteId;
 use adept::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -48,7 +50,10 @@ struct Harness<'a> {
 
 impl<'a> Harness<'a> {
     fn new(platform: &'a Platform, service: &'a ServiceSpec) -> Self {
-        let params = ModelParams::from_platform(platform);
+        Self::with_params(platform, service, ModelParams::from_platform(platform))
+    }
+
+    fn with_params(platform: &'a Platform, service: &'a ServiceSpec, params: ModelParams) -> Self {
         let ids = platform.ids_by_power_desc();
         let plan = DeploymentPlan::agent_server(ids[0], ids[1]);
         let eval = IncrementalEval::from_plan(&params, platform, &plan, service);
@@ -64,9 +69,15 @@ impl<'a> Harness<'a> {
     }
 
     fn check(&mut self, context: &str) {
-        let full = self
-            .params
-            .evaluate(self.platform, &self.plan, self.service);
+        // On a multi-site platform the reference is the from-scratch
+        // per-link evaluator (what `params.evaluate` dispatches to);
+        // calling it directly keeps the contract explicit.
+        let full = if self.params.uses_link_bandwidths(self.platform) {
+            evaluate_hetero(&self.params, self.platform, &self.plan, self.service)
+        } else {
+            self.params
+                .evaluate(self.platform, &self.plan, self.service)
+        };
         let fast = self.eval.report();
         let rel = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
         assert!(
@@ -547,6 +558,109 @@ fn mix_undo_is_bit_exact_after_deep_probe_chains() {
                 "service {j} must unwind bit-exactly"
             );
         }
+    }
+}
+
+#[test]
+fn site_aware_incremental_matches_evaluate_hetero_on_randomized_sequences() {
+    // Every delta + undo of the site-aware engine checked against the
+    // from-scratch per-link evaluator at 1e-9, across site counts,
+    // inter-site bandwidths, and DGEMM sizes — including a run with an
+    // explicit client site.
+    let mut total_steps = 0;
+    for (sites, per_site, inter, seed) in [
+        (2usize, 14usize, 5.0f64, 7u64),
+        (3, 9, 10.0, 19),
+        (4, 7, 25.0, 33),
+    ] {
+        let platform = generator::multi_site_grid(
+            sites,
+            per_site,
+            MflopRate(400.0),
+            MbitRate(100.0),
+            MbitRate(inter),
+            seed,
+        );
+        for dgemm in [10u32, 310, 1000] {
+            let service = Dgemm::new(dgemm).service();
+            let mut harness = Harness::new(&platform, &service);
+            assert!(
+                harness.eval.is_site_aware(),
+                "multi-site platforms engage the site-aware engine"
+            );
+            let mut rng = StdRng::seed_from_u64(seed ^ ((dgemm as u64) << 8));
+            harness.run(&mut rng, 120);
+            total_steps += harness.steps_checked;
+        }
+        // Clients declared on the last site: root parent links and
+        // Eq. 15 transfers cross the WAN for every other site.
+        let service = Dgemm::new(310).service();
+        let params =
+            ModelParams::from_platform(&platform).with_client_site(SiteId(sites as u16 - 1));
+        let mut harness = Harness::with_params(&platform, &service, params);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC11E57);
+        harness.run(&mut rng, 80);
+        total_steps += harness.steps_checked;
+    }
+    assert!(
+        total_steps >= 800,
+        "multi-site property test must exercise >= 800 checked mutations, got {total_steps}"
+    );
+}
+
+#[test]
+fn site_aware_flag_is_bit_inert_on_uniform_networks() {
+    // On a homogeneous network the site-aware machinery must never
+    // engage: the default (site-aware) engine and the explicitly
+    // scalarized one walk the same randomized delta sequence with
+    // bit-identical state at every step — the single-site fast path of
+    // the refactor costs nothing.
+    let platform = generator::heterogenized_cluster(
+        "orsay",
+        40,
+        MflopRate(400.0),
+        BackgroundLoad::default(),
+        CapacityProbe::exact(),
+        17,
+    );
+    let service = Dgemm::new(310).service();
+    let mut aware = Harness::new(&platform, &service);
+    assert!(!aware.eval.is_site_aware(), "uniform network: fast path");
+    let mut scalar = Harness::with_params(
+        &platform,
+        &service,
+        ModelParams::from_platform(&platform).scalarized(),
+    );
+    let mut rng_a = StdRng::seed_from_u64(4242);
+    let mut rng_b = StdRng::seed_from_u64(4242);
+    for step in 0..150 {
+        let op = rng_a.gen_range(0u32..10);
+        assert_eq!(op, rng_b.gen_range(0u32..10));
+        let (acted_a, acted_b) = match op {
+            0..=4 => (aware.try_attach(&mut rng_a), scalar.try_attach(&mut rng_b)),
+            5..=6 => (
+                aware.try_promote(&mut rng_a),
+                scalar.try_promote(&mut rng_b),
+            ),
+            7..=8 => (aware.try_move(&mut rng_a), scalar.try_move(&mut rng_b)),
+            _ => (aware.undo(), scalar.undo()),
+        };
+        assert_eq!(acted_a, acted_b, "step {step}: divergent action");
+        assert_eq!(
+            aware.eval.rho().to_bits(),
+            scalar.eval.rho().to_bits(),
+            "step {step}: rho must stay bit-identical on a uniform network"
+        );
+        assert_eq!(
+            aware.eval.rho_sched().to_bits(),
+            scalar.eval.rho_sched().to_bits(),
+            "step {step}: rho_sched"
+        );
+        assert_eq!(
+            aware.eval.rho_service().to_bits(),
+            scalar.eval.rho_service().to_bits(),
+            "step {step}: rho_service"
+        );
     }
 }
 

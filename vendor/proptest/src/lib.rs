@@ -90,7 +90,7 @@ pub mod collection {
     use super::{Range, Rng, StdRng, Strategy};
     use std::fmt::Debug;
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         length: Range<usize>,
