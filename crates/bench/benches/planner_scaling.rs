@@ -227,38 +227,109 @@ fn bench_hetero_scaling(c: &mut Criterion) {
 }
 
 /// ROADMAP's online replan latency budget: one end-to-end
-/// `OnlinePlanner::replan` round (evaluator build + O(log n) probes) on
-/// a 10⁴-node platform against a demand 1.5× the running plan's rate.
-/// `bench_gate` asserts a coarse absolute ceiling on this id so hot-loop
-/// regressions in the replanner fail CI.
+/// `OnlinePlanner::replan` round (evaluator build + O(log n) probes)
+/// against a demand 1.5× the running plan's rate, at n = 10⁴ and the
+/// ROADMAP's n = 10⁵ target. `bench_gate` asserts coarse absolute
+/// ceilings on these ids so hot-loop regressions in the replanner fail
+/// CI.
 fn bench_online_replan(c: &mut Criterion) {
-    let n = 10_000usize;
-    let platform = platform(n);
     let service = Dgemm::new(310).service();
-    let running = HeuristicPlanner::paper()
-        .plan(&platform, &service, ClientDemand::Unbounded)
-        .expect("fits");
-    let rho = adept_core::model::ModelParams::from_platform(&platform)
-        .evaluate(&platform, &running, &service)
-        .rho;
-    let planner = OnlinePlanner {
-        max_changes: 4,
-        ..Default::default()
-    };
     let mut group = c.benchmark_group("online_replan");
     group.sample_size(10);
-    group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-        b.iter(|| {
-            black_box(planner.replan(
-                &platform,
-                &running,
-                &service,
-                ClientDemand::target(rho * 1.5),
-            ))
-            .plan
-            .len()
-        })
-    });
+    for &n in &[10_000usize, 100_000] {
+        let platform = platform(n);
+        let running = HeuristicPlanner::paper()
+            .plan(&platform, &service, ClientDemand::Unbounded)
+            .expect("fits");
+        let rho = adept_core::model::ModelParams::from_platform(&platform)
+            .evaluate(&platform, &running, &service)
+            .rho;
+        let planner = OnlinePlanner {
+            max_changes: 4,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(planner.replan(
+                    &platform,
+                    &running,
+                    &service,
+                    ClientDemand::target(rho * 1.5),
+                ))
+                .plan
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The autonomic control loop end to end: a scripted demand ramp +
+/// plateau + spike (34 ticks, several drift-triggered migrations) runs
+/// entirely through `Controller::tick` — forecaster updates, trigger
+/// evaluation (one model pass per tick), online revision, migration
+/// script compilation and simulated execution — at n = 10⁴ and 10⁵.
+/// Gated via the committed baseline: a per-tick complexity regression
+/// anywhere in the observe → migrate pipeline fails CI.
+fn bench_control_loop(c: &mut Criterion) {
+    use adept_control::{Controller, ControllerConfig, Observations, TriggerPolicy};
+    use adept_core::planner::MixPlanner;
+    use adept_godiet::GoDiet;
+    use adept_workload::{MixDemand, ServiceMix};
+
+    let mix = ServiceMix::new(vec![
+        (Dgemm::new(310).service(), 2.0),
+        (Dgemm::new(700).service(), 1.0),
+        (Dgemm::new(1000).service(), 1.0),
+    ]);
+    let base = MixDemand::targets(vec![2.0, 1.0, 0.8]);
+    let phases: &[(usize, [f64; 3])] = &[
+        (6, [2.0, 1.0, 0.8]), // steady
+        (6, [2.0, 1.0, 1.6]), // ramp step 1
+        (6, [2.0, 1.0, 2.4]), // ramp step 2
+        (8, [2.0, 1.0, 2.4]), // plateau
+        (8, [2.0, 5.0, 2.4]), // spike
+    ];
+    let mut group = c.benchmark_group("control_loop");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let platform = platform(n);
+        let initial = MixPlanner::default()
+            .plan_mix(&platform, &mix, &base)
+            .expect("fits");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut controller = Controller::new(
+                    &platform,
+                    mix.clone(),
+                    initial.plan.clone(),
+                    initial.assignment.clone(),
+                    &base,
+                    Box::new(OnlinePlanner {
+                        max_changes: 20,
+                        ..Default::default()
+                    }),
+                    GoDiet::default(),
+                    ControllerConfig {
+                        triggers: vec![TriggerPolicy::ForecastDrift { threshold: 0.2 }],
+                        demand_alpha: 1.0,
+                        ..Default::default()
+                    },
+                );
+                let mut migrations = 0usize;
+                for &(ticks, rates) in phases {
+                    for _ in 0..ticks {
+                        migrations += controller
+                            .tick(&Observations::rates(rates.to_vec()))
+                            .expect("scripted scenario replans cleanly")
+                            .is_some() as usize;
+                    }
+                }
+                assert!(migrations >= 3, "ramp and spike must migrate");
+                black_box(migrations)
+            })
+        });
+    }
     group.finish();
 }
 
@@ -268,6 +339,7 @@ criterion_group!(
     bench_eval_strategy,
     bench_mix_scaling,
     bench_hetero_scaling,
-    bench_online_replan
+    bench_online_replan,
+    bench_control_loop
 );
 criterion_main!(benches);

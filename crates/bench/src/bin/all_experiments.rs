@@ -7,9 +7,10 @@
 //! BENCH_FAST=1 cargo run --release -p bench --bin all_experiments   # quick pass
 //! ```
 
+use std::error::Error;
 use std::process::Command;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let bins = [
         "table3",
         "table4",
@@ -24,14 +25,16 @@ fn main() {
         "hetero_comm",
         "mix_deployment",
     ];
-    let self_exe = std::env::current_exe().expect("own path");
-    let bin_dir = self_exe.parent().expect("target dir");
+    let self_exe = std::env::current_exe()?;
+    let bin_dir = self_exe
+        .parent()
+        .ok_or("own executable path has no parent directory")?;
     let mut failures = Vec::new();
     for bin in bins {
         println!("\n================ {bin} ================\n");
         let status = Command::new(bin_dir.join(bin))
             .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+            .map_err(|e| format!("failed to launch {bin}: {e}"))?;
         if !status.success() {
             failures.push(bin);
         }
@@ -39,8 +42,8 @@ fn main() {
     println!("\n================ summary ================\n");
     if failures.is_empty() {
         println!("all {} experiments completed; CSVs in results/", bins.len());
+        Ok(())
     } else {
-        println!("FAILED: {failures:?}");
-        std::process::exit(1);
+        Err(format!("experiments failed: {failures:?}").into())
     }
 }

@@ -1,0 +1,43 @@
+//! # adept-control
+//!
+//! The autonomic replanning control loop — the wire between the pieces
+//! the rest of the workspace already provides:
+//!
+//! ```text
+//!  observe ──> forecast ──> trigger ──> replan ──> diff ──> migrate
+//!  (demand,    (workload:    (this      (core:     (hier-   (godiet:
+//!   exec       RateFore-     crate)     Revise)    archy:    Migration-
+//!   samples)   caster,                             PlanDiff) Script)
+//!              WappEstimator)
+//! ```
+//!
+//! The paper plans a deployment *once*, for a demand someone states.
+//! The ROADMAP's north star serves live, shifting traffic — which means
+//! replanning must be **driven**, not hand-invoked. Following Dearle
+//! et al.'s autonomic deployment framework (PAPERS.md), a
+//! [`Controller`] closes the loop: each [`tick`](Controller::tick)
+//! feeds fresh observations into the demand/execution forecasters,
+//! pluggable [`TriggerPolicy`] rules decide *when* the forecast has
+//! walked far enough from the running plan's assumptions to act (with
+//! hysteresis so noise does not flap the deployment), a
+//! [`Revise`](adept_core::planner::Revise) backend computes the revised
+//! plan under a disruption budget, and — following Flissi & Merle's
+//! argument that the migration step must be a first-class, ordered
+//! artifact — the resulting
+//! [`PlanDiff`](adept_hierarchy::PlanDiff) is compiled into a
+//! stage-ordered [`MigrationScript`](adept_godiet::MigrationScript)
+//! that [`GoDiet`](adept_godiet::GoDiet) executes against the running
+//! deployment, spare nodes substituting for elements that fail to come
+//! up mid-migration.
+//!
+//! No stage is manual: the operator states *policies* (drift
+//! thresholds, budgets, cooldowns), not replan times.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod controller;
+pub mod trigger;
+
+pub use controller::{ControlError, Controller, ControllerConfig, Migration, Observations};
+pub use trigger::{Hysteresis, TriggerPolicy};

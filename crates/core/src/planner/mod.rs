@@ -19,6 +19,11 @@
 //! * [`OnlinePlanner`] — bounded-disruption revision of a running plan,
 //!   single-service ([`OnlinePlanner::replan`]) or per-service demand
 //!   vectors ([`OnlinePlanner::replan_mix`]).
+//! * [`revise`] — the unified revision entry point: the [`Revise`]
+//!   trait over which the autonomic control loop is generic, with the
+//!   budgeted [`OnlinePlanner`] and the unbounded [`Rebalancer`] as
+//!   backends, and the shared grow/reassign/convert-grow/shrink loop
+//!   skeleton all revision paths run on.
 
 pub mod baselines;
 pub mod heuristic;
@@ -27,6 +32,7 @@ pub mod improve;
 pub mod mix;
 pub mod online;
 pub(crate) mod realize;
+pub mod revise;
 pub mod roundrobin;
 pub mod sweep;
 
@@ -35,6 +41,7 @@ pub use heuristic::HeuristicPlanner;
 pub use homogeneous::HomogeneousCsdPlanner;
 pub use mix::{MixObjective, MixPlan, MixPlanner};
 pub use online::{MixReplan, OnlinePlanner, Replan};
+pub use revise::{Rebalancer, Revise, ReviseError};
 pub use roundrobin::RoundRobinPlanner;
 pub use sweep::SweepPlanner;
 

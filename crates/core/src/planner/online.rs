@@ -18,11 +18,22 @@
 //! stays within the budget — unlike
 //! [`improve::rebalance`](super::improve), which optimizes throughput
 //! with no regard for how much of the tree it rewires.
+//!
+//! The budgeted grow/reassign/convert-grow/shrink skeleton itself lives
+//! in [`revise`](super::revise) (the crate-private `drive` function over
+//! the `ReviseOps` move trait): the single-service
+//! incremental path, the mix path, and the full-clone ablation baseline
+//! are three `ReviseOps` implementations of the same loop, and the
+//! public [`Revise`](super::Revise) trait exposes this planner (and the
+//! improver-backed [`Rebalancer`](super::Rebalancer)) behind one entry
+//! point for the autonomic control loop.
 
 use super::heuristic::best_attach_agent_in_eval_for;
 use super::mix::{
-    accept_growth, best_attach_normalized, normalized_min, normalized_service_min, MixObjective,
+    accept_growth, best_attach_normalized, demand_met, normalized_min, normalized_service_min,
+    AttachChoice, MixObjective,
 };
+use super::revise::{drive, ReviseOps};
 use super::EvalStrategy;
 use crate::model::mix::{MixReport, ServerAssignment};
 use crate::model::throughput::sch_pow;
@@ -152,6 +163,460 @@ fn best_agent(params: &ModelParams, platform: &Platform, plan: &DeploymentPlan) 
         .expect("plans always contain the root agent")
 }
 
+/// Unused platform nodes, most powerful first.
+fn unused_by_power(platform: &Platform, plan: &DeploymentPlan) -> Vec<NodeId> {
+    let used: HashSet<NodeId> = plan.slots().map(|s| plan.node(s)).collect();
+    platform
+        .ids_by_power_desc()
+        .into_iter()
+        .filter(|id| !used.contains(id))
+        .collect()
+}
+
+/// Working state of one single-service incremental revision round:
+/// delta+undo probing on the incremental engine, each candidate move
+/// costing O(log n) instead of an O(n) plan clone plus full
+/// re-evaluation. Commits mirror onto the running plan so the returned
+/// [`PlanDiff`] is identical to the full-clone path's.
+struct SingleIncOps<'a> {
+    params: ModelParams,
+    platform: &'a Platform,
+    service: &'a ServiceSpec,
+    demand: ClientDemand,
+    plan: DeploymentPlan,
+    eval: IncrementalEval,
+    rho: f64,
+    unused: Vec<NodeId>,
+}
+
+impl ReviseOps for SingleIncOps<'_> {
+    fn met(&self) -> bool {
+        self.demand.satisfied_by(self.rho)
+    }
+
+    fn grow(&mut self) -> Option<usize> {
+        let candidates = grow_candidates(self.platform, &self.unused, self.eval.is_site_aware());
+        let mut best: Option<(f64, NodeId, Slot)> = None;
+        for &fresh in &candidates {
+            let agent = best_attach_agent_in_eval_for(
+                &self.params,
+                &self.eval,
+                self.platform.site_of(fresh),
+            );
+            self.eval
+                .add_server(agent, fresh, self.platform.power(fresh))
+                .expect("unused node under an agent inserts");
+            let r = self.eval.rho();
+            self.eval.undo();
+            if r > self.rho * (1.0 + EPS) && best.is_none_or(|(br, _, _)| r > br) {
+                best = Some((r, fresh, agent));
+            }
+        }
+        let (r, fresh, agent) = best?;
+        self.eval
+            .add_server(agent, fresh, self.platform.power(fresh))
+            .expect("probe just applied cleanly");
+        self.plan
+            .add_server(agent, fresh)
+            .expect("unused node under an agent inserts");
+        self.eval.commit();
+        self.rho = r;
+        self.unused.retain(|&n| n != fresh);
+        Some(1)
+    }
+
+    fn convert_grow(&mut self) -> Option<usize> {
+        // Promote the strongest server, attach the best spare under it.
+        if self.plan.server_count() < 2 || self.unused.is_empty() {
+            return None;
+        }
+        let candidates = grow_candidates(self.platform, &self.unused, self.eval.is_site_aware());
+        let victim = self
+            .plan
+            .servers()
+            .max_by(|&a, &b| {
+                let pa = self.platform.power(self.plan.node(a)).value();
+                let pb = self.platform.power(self.plan.node(b)).value();
+                pa.partial_cmp(&pb).expect("finite").then(b.cmp(&a))
+            })
+            .expect("server_count >= 2");
+        self.eval
+            .promote_to_agent(victim)
+            .expect("victim is a server");
+        let mut best: Option<(f64, NodeId)> = None;
+        for &fresh in &candidates {
+            self.eval
+                .add_server(victim, fresh, self.platform.power(fresh))
+                .expect("unused node under the new agent inserts");
+            let r = self.eval.rho();
+            self.eval.undo();
+            if r > self.rho * (1.0 + EPS) && best.is_none_or(|(br, _)| r > br) {
+                best = Some((r, fresh));
+            }
+        }
+        let Some((r, fresh)) = best else {
+            self.eval.undo(); // retract the promotion
+            return None;
+        };
+        self.eval
+            .add_server(victim, fresh, self.platform.power(fresh))
+            .expect("probe just applied cleanly");
+        self.plan
+            .convert_to_agent(victim)
+            .expect("victim is a server");
+        self.plan
+            .add_server(victim, fresh)
+            .expect("unused node under the new agent inserts");
+        self.eval.commit();
+        self.rho = r;
+        self.unused.retain(|&n| n != fresh);
+        Some(2)
+    }
+
+    fn shrink(&mut self) -> Option<usize> {
+        // Retire the weakest server if the demand stays met without it.
+        if self.plan.server_count() < 2 {
+            return None;
+        }
+        let victim = self
+            .plan
+            .servers()
+            .min_by(|&a, &b| {
+                let pa = self.platform.power(self.plan.node(a)).value();
+                let pb = self.platform.power(self.plan.node(b)).value();
+                pa.partial_cmp(&pb).expect("finite").then(a.cmp(&b))
+            })
+            .expect("server_count >= 2");
+        self.eval.remove_server(victim).expect("victim is a server");
+        let r = self.eval.rho();
+        if !self.demand.satisfied_by(r) {
+            self.eval.undo();
+            return None;
+        }
+        self.unused.push(self.plan.node(victim));
+        self.plan = without_server(&self.plan, victim);
+        // Committing a removal compacts the plan's slots, so the mirror
+        // is rebuilt to stay index-aligned (rare: at most `max_changes`
+        // times per round).
+        self.eval =
+            IncrementalEval::from_plan(&self.params, self.platform, &self.plan, self.service);
+        self.rho = self.eval.rho();
+        Some(1)
+    }
+}
+
+/// Working state of one multi-service revision round on the batched
+/// evaluator: shared scheduling phase, per-service Eq. 15 sums, so a
+/// probe costs O(log n + S) regardless of the mix size.
+struct MixOps<'a> {
+    params: ModelParams,
+    platform: &'a Platform,
+    mix: &'a ServiceMix,
+    demand: &'a MixDemand,
+    plan: DeploymentPlan,
+    assignment: ServerAssignment,
+    eval: IncrementalEval,
+    reassigned: Vec<(NodeId, usize, usize)>,
+    unused: Vec<NodeId>,
+    /// Per-service margin divisors (zero = that component never binds).
+    divisors: Vec<f64>,
+    /// Scheduling-phase divisor.
+    sched_divisor: f64,
+    /// Service indices worth growing (margin component can move).
+    services: Vec<usize>,
+    /// Current margin value.
+    current: f64,
+}
+
+impl MixOps<'_> {
+    fn margin(&self) -> f64 {
+        normalized_min(&self.eval, &self.divisors, self.sched_divisor)
+    }
+
+    fn probe_attach(&mut self, parent: Slot, fresh: NodeId) -> AttachChoice {
+        best_attach_normalized(
+            &mut self.eval,
+            parent,
+            self.platform.power(fresh),
+            self.platform.site_of(fresh),
+            &self.divisors,
+            self.sched_divisor,
+            &self.services,
+        )
+    }
+}
+
+impl ReviseOps for MixOps<'_> {
+    fn met(&self) -> bool {
+        demand_met(&self.eval, self.demand)
+    }
+
+    fn grow(&mut self) -> Option<usize> {
+        // Grow one server (1 change) for the service that most improves
+        // the margin. Multi-site platforms probe every site's strongest
+        // spare node with its real link costs.
+        let grow = grow_candidates(self.platform, &self.unused, self.eval.is_site_aware());
+        // Probes are undone, so the pre-attach service-phase minimum is
+        // invariant across candidates.
+        let svc_min = normalized_service_min(&self.eval, &self.divisors);
+        let mut best: Option<(AttachChoice, NodeId, Slot)> = None;
+        for &fresh in &grow {
+            let agent = best_attach_agent_in_eval_for(
+                &self.params,
+                &self.eval,
+                self.platform.site_of(fresh),
+            );
+            let choice = self.probe_attach(agent, fresh);
+            if accept_growth(MixObjective::WeightedMin, &choice, self.current, svc_min)
+                && best
+                    .as_ref()
+                    .is_none_or(|(b, _, _)| choice.score > b.score * (1.0 + EPS))
+            {
+                best = Some((choice, fresh, agent));
+            }
+        }
+        let (choice, fresh, agent) = best?;
+        self.eval
+            .add_server_for(agent, fresh, self.platform.power(fresh), choice.service)
+            .expect("unused node under an agent inserts");
+        self.plan
+            .add_server(agent, fresh)
+            .expect("unused node under an agent inserts");
+        self.assignment.service_of.insert(fresh, choice.service);
+        self.eval.commit();
+        self.current = choice.score;
+        self.unused.retain(|&n| n != fresh);
+        Some(1)
+    }
+
+    fn reassign(&mut self) -> Option<usize> {
+        // Reinstall a server of a slack service for a starved one —
+        // 1 change, no tree edit. The donor is scanned weakest-first
+        // (minimize the donor's loss); the first reassignment improving
+        // the margin commits.
+        let mut donors: Vec<Slot> = self.eval.servers().collect();
+        donors.sort_by(|&a, &b| {
+            let pa = self.eval.power(a).value();
+            let pb = self.eval.power(b).value();
+            pa.partial_cmp(&pb).expect("finite").then(a.cmp(&b))
+        });
+        for victim in donors {
+            for &j in &self.services {
+                if self.eval.service_of(victim) == j {
+                    continue;
+                }
+                let moved = self
+                    .eval
+                    .reassign_server(victim, j)
+                    .expect("victim is a server of the mix");
+                debug_assert!(moved, "distinct services always apply");
+                let m = self.margin();
+                if m > self.current * (1.0 + EPS) {
+                    let node = self.eval.node(victim);
+                    let from = self
+                        .assignment
+                        .service_of
+                        .insert(node, j)
+                        .expect("running servers are assigned");
+                    self.reassigned.push((node, from, j));
+                    self.eval.commit();
+                    self.current = m;
+                    return Some(1);
+                }
+                self.eval.undo();
+            }
+        }
+        None
+    }
+
+    fn convert_grow(&mut self) -> Option<usize> {
+        // Promote the strongest server, attach the best spare node under
+        // it for the best service (2 changes).
+        if self.eval.server_count() < 2 || self.unused.is_empty() {
+            return None;
+        }
+        let victim = self
+            .eval
+            .servers()
+            .max_by(|&a, &b| {
+                let pa = self.eval.power(a).value();
+                let pb = self.eval.power(b).value();
+                pa.partial_cmp(&pb).expect("finite").then(b.cmp(&a))
+            })
+            .expect("server_count >= 2");
+        self.eval
+            .promote_to_agent(victim)
+            .expect("victim is a server");
+        let grow = grow_candidates(self.platform, &self.unused, self.eval.is_site_aware());
+        let svc_min = normalized_service_min(&self.eval, &self.divisors);
+        let mut best: Option<(AttachChoice, NodeId)> = None;
+        for &fresh in &grow {
+            let choice = self.probe_attach(victim, fresh);
+            if accept_growth(MixObjective::WeightedMin, &choice, self.current, svc_min)
+                && best
+                    .as_ref()
+                    .is_none_or(|(b, _)| choice.score > b.score * (1.0 + EPS))
+            {
+                best = Some((choice, fresh));
+            }
+        }
+        let Some((choice, fresh)) = best else {
+            self.eval.undo(); // retract the promotion
+            return None;
+        };
+        self.eval
+            .add_server_for(victim, fresh, self.platform.power(fresh), choice.service)
+            .expect("unused node under the new agent inserts");
+        let victim_node = self.eval.node(victim);
+        self.plan
+            .convert_to_agent(victim)
+            .expect("victim is a server");
+        self.plan
+            .add_server(victim, fresh)
+            .expect("unused node under the new agent inserts");
+        self.assignment.service_of.remove(&victim_node);
+        self.assignment.service_of.insert(fresh, choice.service);
+        self.eval.commit();
+        self.current = choice.score;
+        self.unused.retain(|&n| n != fresh);
+        Some(2)
+    }
+
+    fn shrink(&mut self) -> Option<usize> {
+        // Retire the weakest server whose removal keeps the demand met
+        // (weakest-first scan — the weakest may belong to a tight
+        // partition while another has slack).
+        if self.eval.server_count() < 2 {
+            return None;
+        }
+        let mut victims: Vec<Slot> = self.eval.servers().collect();
+        victims.sort_by(|&a, &b| {
+            let pa = self.eval.power(a).value();
+            let pb = self.eval.power(b).value();
+            pa.partial_cmp(&pb).expect("finite").then(a.cmp(&b))
+        });
+        for victim in victims {
+            self.eval.remove_server(victim).expect("victim is a server");
+            if demand_met(&self.eval, self.demand) {
+                let node = self.plan.node(victim);
+                self.unused.push(node);
+                self.assignment.service_of.remove(&node);
+                self.plan = without_server(&self.plan, victim);
+                // Committing a removal compacts the plan's slots, so the
+                // mirror is rebuilt to stay index-aligned.
+                self.eval = IncrementalEval::from_plan_mix(
+                    &self.params,
+                    self.platform,
+                    &self.plan,
+                    self.mix,
+                    &self.assignment,
+                )
+                .expect("the maintained assignment covers the compacted plan");
+                self.current = self.margin();
+                return Some(1);
+            }
+            self.eval.undo();
+        }
+        None
+    }
+}
+
+/// Working state of the pre-incremental clone+full-eval round (ablation
+/// baseline).
+struct SingleFullOps<'a> {
+    params: ModelParams,
+    platform: &'a Platform,
+    service: &'a ServiceSpec,
+    demand: ClientDemand,
+    plan: DeploymentPlan,
+    rho: f64,
+    unused: Vec<NodeId>,
+}
+
+impl SingleFullOps<'_> {
+    fn evaluate(&self, p: &DeploymentPlan) -> f64 {
+        self.params.evaluate(self.platform, p, self.service).rho
+    }
+}
+
+impl ReviseOps for SingleFullOps<'_> {
+    fn met(&self) -> bool {
+        self.demand.satisfied_by(self.rho)
+    }
+
+    fn grow(&mut self) -> Option<usize> {
+        let &fresh = self.unused.first()?;
+        let mut p = self.plan.clone();
+        p.add_server(best_agent(&self.params, self.platform, &p), fresh)
+            .expect("unused node under an agent inserts");
+        let r = self.evaluate(&p);
+        if r > self.rho * (1.0 + EPS) {
+            self.plan = p;
+            self.rho = r;
+            self.unused.retain(|&n| n != fresh);
+            Some(1)
+        } else {
+            None
+        }
+    }
+
+    fn convert_grow(&mut self) -> Option<usize> {
+        // Promote the strongest server, attach a fresh node under it.
+        if self.plan.server_count() < 2 || self.unused.is_empty() {
+            return None;
+        }
+        let victim = self
+            .plan
+            .servers()
+            .max_by(|&a, &b| {
+                let pa = self.platform.power(self.plan.node(a)).value();
+                let pb = self.platform.power(self.plan.node(b)).value();
+                pa.partial_cmp(&pb).expect("finite").then(b.cmp(&a))
+            })
+            .expect("server_count >= 2");
+        let fresh = self.unused[0];
+        let mut p = self.plan.clone();
+        p.convert_to_agent(victim).expect("victim is a server");
+        p.add_server(victim, fresh)
+            .expect("unused node under the new agent inserts");
+        let r = self.evaluate(&p);
+        if r > self.rho * (1.0 + EPS) {
+            self.plan = p;
+            self.rho = r;
+            self.unused.remove(0);
+            Some(2)
+        } else {
+            None
+        }
+    }
+
+    fn shrink(&mut self) -> Option<usize> {
+        // Retire the weakest server if the demand stays met without it.
+        if self.plan.server_count() < 2 {
+            return None;
+        }
+        let victim = self
+            .plan
+            .servers()
+            .min_by(|&a, &b| {
+                let pa = self.platform.power(self.plan.node(a)).value();
+                let pb = self.platform.power(self.plan.node(b)).value();
+                pa.partial_cmp(&pb).expect("finite").then(a.cmp(&b))
+            })
+            .expect("server_count >= 2");
+        let p = without_server(&self.plan, victim);
+        let r = self.evaluate(&p);
+        if self.demand.satisfied_by(r) {
+            self.unused.push(self.plan.node(victim));
+            self.plan = p;
+            self.rho = r;
+            Some(1)
+        } else {
+            None
+        }
+    }
+}
+
 impl OnlinePlanner {
     /// Revises a running plan for the (possibly changed) demand, spending
     /// at most [`max_changes`](OnlinePlanner::max_changes) node changes.
@@ -175,10 +640,8 @@ impl OnlinePlanner {
         }
     }
 
-    /// Delta+undo probing on the incremental engine: each candidate move
-    /// costs O(log n) to evaluate instead of an O(n) plan clone plus full
-    /// re-evaluation. Commits mirror onto the running plan so the returned
-    /// [`PlanDiff`] is identical to the full-clone path's.
+    /// Delta+undo probing on the incremental engine (see
+    /// [`SingleIncOps`]).
     fn replan_incremental(
         &self,
         platform: &Platform,
@@ -187,121 +650,27 @@ impl OnlinePlanner {
         demand: ClientDemand,
     ) -> Replan {
         let params = super::resolve_params(self.params, platform);
-        let mut plan = running.clone();
-        let mut eval = IncrementalEval::from_plan(&params, platform, &plan, service);
-        let mut rho = eval.rho();
-        let mut changes_left = self.max_changes;
-
-        let used: HashSet<NodeId> = plan.slots().map(|s| plan.node(s)).collect();
-        let mut unused: Vec<NodeId> = platform
-            .ids_by_power_desc()
-            .into_iter()
-            .filter(|id| !used.contains(id))
-            .collect();
-
-        while changes_left > 0 {
-            if !demand.satisfied_by(rho) {
-                // Under-provisioned: try to grow (1 change), else open a
-                // level (2 changes). On a multi-site platform every
-                // site's strongest spare node is probed with its real
-                // link costs (a local mid-power node can beat the global
-                // strongest behind a slow WAN); uniform platforms keep
-                // the single strongest-node candidate.
-                let candidates = grow_candidates(platform, &unused, eval.is_site_aware());
-                let mut best: Option<(f64, NodeId, Slot)> = None;
-                for &fresh in &candidates {
-                    let agent =
-                        best_attach_agent_in_eval_for(&params, &eval, platform.site_of(fresh));
-                    eval.add_server(agent, fresh, platform.power(fresh))
-                        .expect("unused node under an agent inserts");
-                    let r = eval.rho();
-                    eval.undo();
-                    if r > rho * (1.0 + EPS) && best.is_none_or(|(br, _, _)| r > br) {
-                        best = Some((r, fresh, agent));
-                    }
-                }
-                if let Some((r, fresh, agent)) = best {
-                    eval.add_server(agent, fresh, platform.power(fresh))
-                        .expect("probe just applied cleanly");
-                    plan.add_server(agent, fresh)
-                        .expect("unused node under an agent inserts");
-                    eval.commit();
-                    rho = r;
-                    unused.retain(|&n| n != fresh);
-                    changes_left -= 1;
-                    continue;
-                }
-                // Convert-grow: promote the strongest server, attach the
-                // best spare node under it.
-                if changes_left >= 2 && plan.server_count() >= 2 && !unused.is_empty() {
-                    let victim = plan
-                        .servers()
-                        .max_by(|&a, &b| {
-                            let pa = platform.power(plan.node(a)).value();
-                            let pb = platform.power(plan.node(b)).value();
-                            pa.partial_cmp(&pb).expect("finite").then(b.cmp(&a))
-                        })
-                        .expect("server_count >= 2");
-                    eval.promote_to_agent(victim).expect("victim is a server");
-                    let mut best: Option<(f64, NodeId)> = None;
-                    for &fresh in &candidates {
-                        eval.add_server(victim, fresh, platform.power(fresh))
-                            .expect("unused node under the new agent inserts");
-                        let r = eval.rho();
-                        eval.undo();
-                        if r > rho * (1.0 + EPS) && best.is_none_or(|(br, _)| r > br) {
-                            best = Some((r, fresh));
-                        }
-                    }
-                    if let Some((r, fresh)) = best {
-                        eval.add_server(victim, fresh, platform.power(fresh))
-                            .expect("probe just applied cleanly");
-                        plan.convert_to_agent(victim).expect("victim is a server");
-                        plan.add_server(victim, fresh)
-                            .expect("unused node under the new agent inserts");
-                        eval.commit();
-                        rho = r;
-                        unused.retain(|&n| n != fresh);
-                        changes_left = changes_left.saturating_sub(2);
-                        continue;
-                    }
-                    eval.undo(); // retract the promotion
-                }
-                break; // no growth move helps
-            } else {
-                // Demand met: retire the weakest server if the demand
-                // stays met without it.
-                if plan.server_count() < 2 {
-                    break;
-                }
-                let victim = plan
-                    .servers()
-                    .min_by(|&a, &b| {
-                        let pa = platform.power(plan.node(a)).value();
-                        let pb = platform.power(plan.node(b)).value();
-                        pa.partial_cmp(&pb).expect("finite").then(a.cmp(&b))
-                    })
-                    .expect("server_count >= 2");
-                eval.remove_server(victim).expect("victim is a server");
-                let r = eval.rho();
-                if demand.satisfied_by(r) {
-                    unused.push(plan.node(victim));
-                    plan = without_server(&plan, victim);
-                    // Committing a removal compacts the plan's slots, so
-                    // the mirror is rebuilt to stay index-aligned (rare:
-                    // at most `max_changes` times per round).
-                    eval = IncrementalEval::from_plan(&params, platform, &plan, service);
-                    rho = eval.rho();
-                    changes_left -= 1;
-                } else {
-                    eval.undo();
-                    break; // every remaining server is needed
-                }
-            }
+        let plan = running.clone();
+        let eval = IncrementalEval::from_plan(&params, platform, &plan, service);
+        let rho = eval.rho();
+        let unused = unused_by_power(platform, &plan);
+        let mut ops = SingleIncOps {
+            params,
+            platform,
+            service,
+            demand,
+            plan,
+            eval,
+            rho,
+            unused,
+        };
+        drive(&mut ops, self.max_changes);
+        let diff = PlanDiff::between(running, &ops.plan);
+        Replan {
+            plan: ops.plan,
+            diff,
+            rho: ops.rho,
         }
-
-        let diff = PlanDiff::between(running, &plan);
-        Replan { plan, diff, rho }
     }
 
     /// Revises a running **multi-service** deployment for a per-service
@@ -339,18 +708,10 @@ impl OnlinePlanner {
     ) -> Result<MixReplan, PlanError> {
         assert_eq!(demand.len(), mix.len(), "one demand entry per mix service");
         let params = super::resolve_params(self.params, platform);
-        let mut plan = running.clone();
-        let mut assignment = assignment.clone();
-        let mut eval = IncrementalEval::from_plan_mix(&params, platform, &plan, mix, &assignment)?;
-        let mut changes_left = self.max_changes;
-        let mut reassigned: Vec<(NodeId, usize, usize)> = Vec::new();
-
-        let used: HashSet<NodeId> = plan.slots().map(|s| plan.node(s)).collect();
-        let mut unused: Vec<NodeId> = platform
-            .ids_by_power_desc()
-            .into_iter()
-            .filter(|id| !used.contains(id))
-            .collect();
+        let plan = running.clone();
+        let assignment = assignment.clone();
+        let eval = IncrementalEval::from_plan_mix(&params, platform, &plan, mix, &assignment)?;
+        let unused = unused_by_power(platform, &plan);
         // Normalize the demand semantics once into per-service divisors
         // (zero = that component never binds) plus a scheduling divisor.
         // Any unbounded entry falls back to the mix shares with a unit
@@ -370,196 +731,31 @@ impl OnlinePlanner {
             )
         };
         // Services worth growing: ones whose margin component can move.
-        let candidates: Vec<usize> = (0..mix.len()).filter(|&j| divisors[j] > 0.0).collect();
-
-        let margin = |eval: &IncrementalEval| normalized_min(eval, &divisors, sched_divisor);
-        let met = |eval: &IncrementalEval| super::mix::demand_met(eval, demand);
-        let probe_attach = |eval: &mut IncrementalEval, parent: Slot, fresh: NodeId| {
-            best_attach_normalized(
-                eval,
-                parent,
-                platform.power(fresh),
-                platform.site_of(fresh),
-                &divisors,
-                sched_divisor,
-                &candidates,
-            )
-        };
-
-        let mut current = margin(&eval);
-        while changes_left > 0 {
-            if !met(&eval) {
-                // Under-provisioned: grow one server (1 change) for the
-                // service that most improves the margin. Multi-site
-                // platforms probe every site's strongest spare node with
-                // its real link costs.
-                {
-                    let grow = grow_candidates(platform, &unused, eval.is_site_aware());
-                    // Probes are undone, so the pre-attach service-phase
-                    // minimum is invariant across candidates.
-                    let svc_min = normalized_service_min(&eval, &divisors);
-                    let mut best: Option<(super::mix::AttachChoice, NodeId, Slot)> = None;
-                    for &fresh in &grow {
-                        let agent =
-                            best_attach_agent_in_eval_for(&params, &eval, platform.site_of(fresh));
-                        let choice = probe_attach(&mut eval, agent, fresh);
-                        if accept_growth(MixObjective::WeightedMin, &choice, current, svc_min)
-                            && best
-                                .as_ref()
-                                .is_none_or(|(b, _, _)| choice.score > b.score * (1.0 + EPS))
-                        {
-                            best = Some((choice, fresh, agent));
-                        }
-                    }
-                    if let Some((choice, fresh, agent)) = best {
-                        eval.add_server_for(agent, fresh, platform.power(fresh), choice.service)
-                            .expect("unused node under an agent inserts");
-                        plan.add_server(agent, fresh)
-                            .expect("unused node under an agent inserts");
-                        assignment.service_of.insert(fresh, choice.service);
-                        eval.commit();
-                        current = choice.score;
-                        unused.retain(|&n| n != fresh);
-                        changes_left -= 1;
-                        continue;
-                    }
-                }
-                // Reassign: reinstall a server of a slack service for a
-                // starved one — 1 change, no tree edit. The donor is
-                // scanned weakest-first (minimize the donor's loss); the
-                // first reassignment improving the margin commits.
-                {
-                    let mut donors: Vec<Slot> = eval.servers().collect();
-                    donors.sort_by(|&a, &b| {
-                        let pa = eval.power(a).value();
-                        let pb = eval.power(b).value();
-                        pa.partial_cmp(&pb).expect("finite").then(a.cmp(&b))
-                    });
-                    let mut committed = false;
-                    'donor: for victim in donors {
-                        for &j in &candidates {
-                            if eval.service_of(victim) == j {
-                                continue;
-                            }
-                            let moved = eval
-                                .reassign_server(victim, j)
-                                .expect("victim is a server of the mix");
-                            debug_assert!(moved, "distinct services always apply");
-                            let m = margin(&eval);
-                            if m > current * (1.0 + EPS) {
-                                let node = eval.node(victim);
-                                let from = assignment
-                                    .service_of
-                                    .insert(node, j)
-                                    .expect("running servers are assigned");
-                                reassigned.push((node, from, j));
-                                eval.commit();
-                                current = m;
-                                changes_left -= 1;
-                                committed = true;
-                                break 'donor;
-                            }
-                            eval.undo();
-                        }
-                    }
-                    if committed {
-                        continue;
-                    }
-                }
-                // Convert-grow: promote the strongest server, attach the
-                // best spare node under it for the best service
-                // (2 changes).
-                if changes_left >= 2 && eval.server_count() >= 2 && !unused.is_empty() {
-                    let victim = eval
-                        .servers()
-                        .max_by(|&a, &b| {
-                            let pa = eval.power(a).value();
-                            let pb = eval.power(b).value();
-                            pa.partial_cmp(&pb).expect("finite").then(b.cmp(&a))
-                        })
-                        .expect("server_count >= 2");
-                    eval.promote_to_agent(victim).expect("victim is a server");
-                    let grow = grow_candidates(platform, &unused, eval.is_site_aware());
-                    let svc_min = normalized_service_min(&eval, &divisors);
-                    let mut best: Option<(super::mix::AttachChoice, NodeId)> = None;
-                    for &fresh in &grow {
-                        let choice = probe_attach(&mut eval, victim, fresh);
-                        if accept_growth(MixObjective::WeightedMin, &choice, current, svc_min)
-                            && best
-                                .as_ref()
-                                .is_none_or(|(b, _)| choice.score > b.score * (1.0 + EPS))
-                        {
-                            best = Some((choice, fresh));
-                        }
-                    }
-                    if let Some((choice, fresh)) = best {
-                        eval.add_server_for(victim, fresh, platform.power(fresh), choice.service)
-                            .expect("unused node under the new agent inserts");
-                        let victim_node = eval.node(victim);
-                        plan.convert_to_agent(victim).expect("victim is a server");
-                        plan.add_server(victim, fresh)
-                            .expect("unused node under the new agent inserts");
-                        assignment.service_of.remove(&victim_node);
-                        assignment.service_of.insert(fresh, choice.service);
-                        eval.commit();
-                        current = choice.score;
-                        unused.retain(|&n| n != fresh);
-                        changes_left = changes_left.saturating_sub(2);
-                        continue;
-                    }
-                    eval.undo(); // retract the promotion
-                }
-                break; // no growth move helps
-            } else {
-                // Demand met: retire the weakest server whose removal
-                // keeps it met (weakest-first scan — the weakest may
-                // belong to a tight partition while another has slack).
-                if eval.server_count() < 2 {
-                    break;
-                }
-                let mut victims: Vec<Slot> = eval.servers().collect();
-                victims.sort_by(|&a, &b| {
-                    let pa = eval.power(a).value();
-                    let pb = eval.power(b).value();
-                    pa.partial_cmp(&pb).expect("finite").then(a.cmp(&b))
-                });
-                let mut removed = false;
-                for victim in victims {
-                    eval.remove_server(victim).expect("victim is a server");
-                    if met(&eval) {
-                        let node = plan.node(victim);
-                        unused.push(node);
-                        assignment.service_of.remove(&node);
-                        plan = without_server(&plan, victim);
-                        // Committing a removal compacts the plan's slots,
-                        // so the mirror is rebuilt to stay index-aligned.
-                        eval = IncrementalEval::from_plan_mix(
-                            &params,
-                            platform,
-                            &plan,
-                            mix,
-                            &assignment,
-                        )?;
-                        current = margin(&eval);
-                        changes_left -= 1;
-                        removed = true;
-                        break;
-                    }
-                    eval.undo();
-                }
-                if !removed {
-                    break; // every remaining server is needed
-                }
-            }
-        }
-
-        let diff = PlanDiff::between(running, &plan);
-        Ok(MixReplan {
-            report: eval.mix_report(),
+        let services: Vec<usize> = (0..mix.len()).filter(|&j| divisors[j] > 0.0).collect();
+        let current = normalized_min(&eval, &divisors, sched_divisor);
+        let mut ops = MixOps {
+            params,
+            platform,
+            mix,
+            demand,
             plan,
             assignment,
+            eval,
+            reassigned: Vec::new(),
+            unused,
+            divisors,
+            sched_divisor,
+            services,
+            current,
+        };
+        drive(&mut ops, self.max_changes);
+        let diff = PlanDiff::between(running, &ops.plan);
+        Ok(MixReplan {
+            report: ops.eval.mix_report(),
+            plan: ops.plan,
+            assignment: ops.assignment,
             diff,
-            reassigned,
+            reassigned: ops.reassigned,
         })
     }
 
@@ -572,97 +768,27 @@ impl OnlinePlanner {
         demand: ClientDemand,
     ) -> Replan {
         let params = super::resolve_params(self.params, platform);
-        let evaluate = |p: &DeploymentPlan| params.evaluate(platform, p, service).rho;
-
-        let mut plan = running.clone();
-        let mut rho = evaluate(&plan);
-        let mut changes_left = self.max_changes;
-
-        let used: HashSet<NodeId> = plan.slots().map(|s| plan.node(s)).collect();
-        let mut unused: Vec<NodeId> = platform
-            .ids_by_power_desc()
-            .into_iter()
-            .filter(|id| !used.contains(id))
-            .collect();
-
-        while changes_left > 0 {
-            if !demand.satisfied_by(rho) {
-                // Under-provisioned: try to grow (1 change), else open a
-                // level (2 changes).
-                let grow = unused.first().map(|&fresh| {
-                    let mut p = plan.clone();
-                    p.add_server(best_agent(&params, platform, &p), fresh)
-                        .expect("unused node under an agent inserts");
-                    (p, fresh)
-                });
-                let grow_rho = grow.as_ref().map(|(p, _)| evaluate(p));
-                if let (Some((p, fresh)), Some(r)) = (grow, grow_rho) {
-                    if r > rho * (1.0 + EPS) {
-                        plan = p;
-                        rho = r;
-                        unused.retain(|&n| n != fresh);
-                        changes_left -= 1;
-                        continue;
-                    }
-                }
-                // Convert-grow: promote the strongest server, attach a
-                // fresh node under it.
-                if changes_left >= 2 && plan.server_count() >= 2 && !unused.is_empty() {
-                    let victim = plan
-                        .servers()
-                        .max_by(|&a, &b| {
-                            let pa = platform.power(plan.node(a)).value();
-                            let pb = platform.power(plan.node(b)).value();
-                            pa.partial_cmp(&pb).expect("finite").then(b.cmp(&a))
-                        })
-                        .expect("server_count >= 2");
-                    let fresh = unused[0];
-                    let mut p = plan.clone();
-                    p.convert_to_agent(victim).expect("victim is a server");
-                    p.add_server(victim, fresh)
-                        .expect("unused node under the new agent inserts");
-                    let r = evaluate(&p);
-                    if r > rho * (1.0 + EPS) {
-                        plan = p;
-                        rho = r;
-                        unused.remove(0);
-                        changes_left = changes_left.saturating_sub(2);
-                        continue;
-                    }
-                }
-                break; // no growth move helps
-            } else {
-                // Demand met: retire the weakest server if the demand
-                // stays met without it.
-                if plan.server_count() < 2 {
-                    break;
-                }
-                let victim = plan
-                    .servers()
-                    .min_by(|&a, &b| {
-                        let pa = platform.power(plan.node(a)).value();
-                        let pb = platform.power(plan.node(b)).value();
-                        pa.partial_cmp(&pb).expect("finite").then(a.cmp(&b))
-                    })
-                    .expect("server_count >= 2");
-                let p = without_server(&plan, victim);
-                let r = evaluate(&p);
-                if demand.satisfied_by(r) {
-                    unused.push(plan.node(victim));
-                    plan = p;
-                    rho = r;
-                    changes_left -= 1;
-                } else {
-                    break; // every remaining server is needed
-                }
-            }
+        let plan = running.clone();
+        let rho = params.evaluate(platform, &plan, service).rho;
+        let unused = unused_by_power(platform, &plan);
+        let mut ops = SingleFullOps {
+            params,
+            platform,
+            service,
+            demand,
+            plan,
+            rho,
+            unused,
+        };
+        drive(&mut ops, self.max_changes);
+        let diff = PlanDiff::between(running, &ops.plan);
+        Replan {
+            plan: ops.plan,
+            diff,
+            rho: ops.rho,
         }
-
-        let diff = PlanDiff::between(running, &plan);
-        Replan { plan, diff, rho }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,6 +23,12 @@ pub enum DeployError {
         /// Attempts made (initial + retries).
         attempts: u32,
     },
+    /// A migration script's preconditions do not hold against the
+    /// running deployment it is being executed on.
+    ScriptMismatch(String),
+    /// The requested transition cannot be expressed as a live migration
+    /// (e.g. it replaces the root agent).
+    ScriptUncompilable(String),
 }
 
 impl fmt::Display for DeployError {
@@ -38,6 +44,12 @@ impl fmt::Display for DeployError {
                 f,
                 "element {slot} on {node} failed to start after {attempts} attempts and no spare node remains"
             ),
+            DeployError::ScriptMismatch(msg) => {
+                write!(f, "migration script does not match the running deployment: {msg}")
+            }
+            DeployError::ScriptUncompilable(msg) => {
+                write!(f, "transition is not migratable: {msg}")
+            }
         }
     }
 }
@@ -125,6 +137,52 @@ impl GoDiet {
         unit < self.failure_probability
     }
 
+    /// Brings one element up: attempts on `node` with bounded retries,
+    /// substituting spares (recorded in `substitutions`) when a node
+    /// keeps failing. This is the per-element engine shared by the
+    /// full-tree [`deploy`](GoDiet::deploy) and the incremental
+    /// [`migrate`](GoDiet::migrate) paths.
+    ///
+    /// Returns the node the element finally started on and the attempt
+    /// streak on that node (the element's contribution to its stage's
+    /// makespan).
+    pub(crate) fn start_element(
+        &self,
+        slot: Slot,
+        mut node: NodeId,
+        spares: &mut Vec<NodeId>,
+        launches: &mut u32,
+        failures: &mut u32,
+        substitutions: &mut Vec<(NodeId, NodeId)>,
+    ) -> Result<StartedElement, DeployError> {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            *launches += 1;
+            if !self.attempt_fails(node, attempts) {
+                return Ok(StartedElement { node, attempts });
+            }
+            *failures += 1;
+            if attempts > self.max_retries {
+                // Substitute a spare and start over on it.
+                match spares.pop() {
+                    Some(spare) => {
+                        substitutions.push((node, spare));
+                        node = spare;
+                        attempts = 0;
+                    }
+                    None => {
+                        return Err(DeployError::LaunchFailed {
+                            slot,
+                            node,
+                            attempts,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
     /// Deploys a plan on a platform: validates, computes launch stages,
     /// starts every element (with failure injection), substitutes spares
     /// for nodes that keep failing, and reports the running deployment.
@@ -158,13 +216,7 @@ impl GoDiet {
         }
 
         let used: HashSet<NodeId> = plan.slots().map(|s| plan.node(s)).collect();
-        // Spares: unused platform nodes, most powerful first.
-        let mut spares: Vec<NodeId> = platform
-            .ids_by_power_desc()
-            .into_iter()
-            .filter(|id| !used.contains(id))
-            .collect();
-        spares.reverse(); // pop() takes the most powerful
+        let mut spares = spare_nodes(platform, |id| used.contains(&id));
 
         let mut running = plan.clone();
         let mut launches = 0u32;
@@ -179,35 +231,19 @@ impl GoDiet {
             // element).
             let mut stage_attempts_max = 0u32;
             for &slot in stage {
-                let mut node = running.node(slot);
-                let mut attempts = 0u32;
-                loop {
-                    attempts += 1;
-                    launches += 1;
-                    if !self.attempt_fails(node, attempts) {
-                        break;
-                    }
-                    failures += 1;
-                    if attempts > self.max_retries {
-                        // Substitute a spare and start over on it.
-                        match spares.pop() {
-                            Some(spare) => {
-                                substitutions.push((node, spare));
-                                running = substitute(&running, slot, spare);
-                                node = spare;
-                                attempts = 0;
-                            }
-                            None => {
-                                return Err(DeployError::LaunchFailed {
-                                    slot,
-                                    node,
-                                    attempts,
-                                });
-                            }
-                        }
-                    }
+                let node = running.node(slot);
+                let started = self.start_element(
+                    slot,
+                    node,
+                    &mut spares,
+                    &mut launches,
+                    &mut failures,
+                    &mut substitutions,
+                )?;
+                if started.node != node {
+                    running = substitute(&running, slot, started.node);
                 }
-                stage_attempts_max = stage_attempts_max.max(attempts);
+                stage_attempts_max = stage_attempts_max.max(started.attempts);
             }
             makespan += self.launch_latency.value() * f64::from(stage_attempts_max.max(1));
         }
@@ -236,9 +272,30 @@ impl GoDiet {
     }
 }
 
+/// A successfully started element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct StartedElement {
+    /// The node it came up on (a spare when the planned node failed).
+    pub node: NodeId,
+    /// Attempt streak on that node (its stage-makespan contribution).
+    pub attempts: u32,
+}
+
+/// Spare pool: platform nodes for which `used` is false, ordered so
+/// `pop()` takes the most powerful first.
+pub(crate) fn spare_nodes(platform: &Platform, used: impl Fn(NodeId) -> bool) -> Vec<NodeId> {
+    let mut spares: Vec<NodeId> = platform
+        .ids_by_power_desc()
+        .into_iter()
+        .filter(|&id| !used(id))
+        .collect();
+    spares.reverse();
+    spares
+}
+
 /// Returns a copy of `plan` with the platform node of `slot` replaced by
 /// `spare`, preserving the tree shape.
-fn substitute(plan: &DeploymentPlan, slot: Slot, spare: NodeId) -> DeploymentPlan {
+pub(crate) fn substitute(plan: &DeploymentPlan, slot: Slot, spare: NodeId) -> DeploymentPlan {
     let mut rebuilt = DeploymentPlan::with_root(if slot == plan.root() {
         spare
     } else {

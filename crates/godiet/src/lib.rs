@@ -19,13 +19,22 @@
 //!   failure injection, bounded retries, and spare-node substitution
 //!   (re-planning a failed element onto an unused node of the platform);
 //! * [`deploy::GoDiet::deploy_xml`] — the full XML → running-deployment
-//!   path.
+//!   path;
+//! * [`migrate`] — incremental migration of a *running* deployment: a
+//!   [`PlanDiff`](adept_hierarchy::PlanDiff) compiled into an ordered
+//!   [`MigrationScript`] (parents launch before children, children stop
+//!   before parents, demotions last) and executed stage by stage with
+//!   the same failure injection and spare substitution as a full
+//!   launch. This is what an autonomic replanning loop hands to the
+//!   deployment tool instead of a fresh tree.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod deploy;
 pub mod launch;
+pub mod migrate;
 
 pub use deploy::{DeployError, DeploymentReport, GoDiet};
 pub use launch::{launch_stages, stage_of};
+pub use migrate::{MigrationAction, MigrationReport, MigrationScript};

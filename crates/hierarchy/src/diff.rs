@@ -4,6 +4,13 @@
 //! nodes, the improver reshapes trees, demand changes. A [`PlanDiff`]
 //! explains *what changed* between two plans in node terms: which
 //! platform nodes joined, left, changed role, or changed parent.
+//!
+//! A diff is also an **executable object**: every change carries enough
+//! context (role *and* parent in the new plan) that
+//! [`PlanDiff::apply`] reconstructs the new plan from the old one
+//! exactly. This is what lets a migration tool treat a diff as the
+//! transition itself — compile it into an ordered script, execute the
+//! stages — rather than as a human-readable report.
 
 use crate::plan::{DeploymentPlan, Role};
 use adept_platform::NodeId;
@@ -17,18 +24,24 @@ pub enum NodeChange {
     Added {
         /// Role in the new plan.
         role: Role,
+        /// Parent node in the new plan (`None` = it is the new root).
+        parent: Option<NodeId>,
     },
     /// The node appears only in the old plan.
     Removed {
         /// Role it had in the old plan.
         role: Role,
     },
-    /// The node's role changed (e.g. server promoted to agent).
+    /// The node's role changed (e.g. server promoted to agent). The
+    /// parent is recorded too: a rerole may coincide with a reparent,
+    /// and [`PlanDiff::apply`] needs the final position either way.
     Rerole {
         /// Old role.
         from: Role,
         /// New role.
         to: Role,
+        /// Parent node in the new plan (`None` = it is now the root).
+        parent: Option<NodeId>,
     },
     /// Same role, different parent node.
     Reparented {
@@ -39,6 +52,40 @@ pub enum NodeChange {
     },
 }
 
+/// Errors raised by [`PlanDiff::apply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffError {
+    /// A change references a node absent from the base plan.
+    AbsentNode(NodeId),
+    /// An `Added` node is already present in the base plan.
+    AlreadyPresent(NodeId),
+    /// A `Rerole`/`Reparented` precondition does not match the base plan
+    /// (wrong prior role or parent): the diff was computed against a
+    /// different plan.
+    StateMismatch(NodeId),
+    /// The patched node set does not form a single rooted tree (no or
+    /// several roots, a server with children, or unreachable nodes).
+    BrokenTree(String),
+}
+
+impl fmt::Display for DiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffError::AbsentNode(n) => write!(f, "diff references {n}, absent from the base plan"),
+            DiffError::AlreadyPresent(n) => {
+                write!(f, "diff adds {n}, already present in the base plan")
+            }
+            DiffError::StateMismatch(n) => write!(
+                f,
+                "diff precondition on {n} does not match the base plan (diff from another plan?)"
+            ),
+            DiffError::BrokenTree(msg) => write!(f, "patched plan is not a rooted tree: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DiffError {}
+
 /// The full structural diff.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PlanDiff {
@@ -46,19 +93,69 @@ pub struct PlanDiff {
     pub changes: BTreeMap<NodeId, NodeChange>,
 }
 
+/// `node -> (role, parent node)` description of a plan; the canonical
+/// structure diffs and patches operate on.
+fn describe(plan: &DeploymentPlan) -> BTreeMap<NodeId, (Role, Option<NodeId>)> {
+    let mut map = BTreeMap::new();
+    for s in plan.slots() {
+        map.insert(
+            plan.node(s),
+            (plan.role(s), plan.parent(s).map(|p| plan.node(p))),
+        );
+    }
+    map
+}
+
+/// Builds a [`DeploymentPlan`] from a `node -> (role, parent)` map.
+fn rebuild(desc: &BTreeMap<NodeId, (Role, Option<NodeId>)>) -> Result<DeploymentPlan, DiffError> {
+    let mut roots = desc.iter().filter(|(_, &(_, parent))| parent.is_none());
+    let root = match (roots.next(), roots.next()) {
+        (Some((&node, &(Role::Agent, _))), None) => node,
+        (Some((&node, &(Role::Server, _))), None) => {
+            return Err(DiffError::BrokenTree(format!("root {node} is a server")))
+        }
+        (None, _) => return Err(DiffError::BrokenTree("no root".into())),
+        (Some(_), Some(_)) => return Err(DiffError::BrokenTree("several roots".into())),
+    };
+    let mut children: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+    for (&node, &(_, parent)) in desc {
+        if let Some(p) = parent {
+            if !desc.contains_key(&p) {
+                return Err(DiffError::BrokenTree(format!(
+                    "{node} hangs off {p}, which is not in the plan"
+                )));
+            }
+            children.entry(p).or_default().push(node);
+        }
+    }
+    let mut plan = DeploymentPlan::with_root(root);
+    let mut queue = std::collections::VecDeque::from([(root, plan.root())]);
+    let mut placed = 1usize;
+    while let Some((node, slot)) = queue.pop_front() {
+        for &child in children.get(&node).into_iter().flatten() {
+            let role = desc[&child].0;
+            let child_slot = match role {
+                Role::Agent => plan.add_agent(slot, child),
+                Role::Server => plan.add_server(slot, child),
+            }
+            .map_err(|e| DiffError::BrokenTree(e.to_string()))?;
+            placed += 1;
+            queue.push_back((child, child_slot));
+        }
+    }
+    if placed != desc.len() {
+        return Err(DiffError::BrokenTree(format!(
+            "{} of {} nodes unreachable from the root (parent cycle)",
+            desc.len() - placed,
+            desc.len()
+        )));
+    }
+    Ok(plan)
+}
+
 impl PlanDiff {
     /// Computes the diff from `old` to `new`.
     pub fn between(old: &DeploymentPlan, new: &DeploymentPlan) -> Self {
-        let describe = |plan: &DeploymentPlan| {
-            let mut map = BTreeMap::new();
-            for s in plan.slots() {
-                map.insert(
-                    plan.node(s),
-                    (plan.role(s), plan.parent(s).map(|p| plan.node(p))),
-                );
-            }
-            map
-        };
         let before = describe(old);
         let after = describe(new);
         let mut changes = BTreeMap::new();
@@ -74,6 +171,7 @@ impl PlanDiff {
                             NodeChange::Rerole {
                                 from: role,
                                 to: new_role,
+                                parent: new_parent,
                             },
                         );
                     } else if new_parent != parent {
@@ -88,12 +186,50 @@ impl PlanDiff {
                 }
             }
         }
-        for (&node, &(role, _)) in &after {
+        for (&node, &(role, parent)) in &after {
             if !before.contains_key(&node) {
-                changes.insert(node, NodeChange::Added { role });
+                changes.insert(node, NodeChange::Added { role, parent });
             }
         }
         Self { changes }
+    }
+
+    /// Applies the diff to `base`, reconstructing the plan it was
+    /// computed *towards*: `PlanDiff::between(a, b).apply(a)` is
+    /// structurally equal to `b`. Each change's precondition (prior
+    /// role/parent) is checked against `base`, so applying a diff to the
+    /// wrong plan fails instead of silently producing a hybrid.
+    ///
+    /// # Errors
+    /// [`DiffError`] when a change's precondition does not hold on
+    /// `base` or the patched node set is not a single rooted tree.
+    pub fn apply(&self, base: &DeploymentPlan) -> Result<DeploymentPlan, DiffError> {
+        let mut desc = describe(base);
+        for (&node, change) in &self.changes {
+            match *change {
+                NodeChange::Removed { role } => match desc.remove(&node) {
+                    Some((r, _)) if r == role => {}
+                    Some(_) => return Err(DiffError::StateMismatch(node)),
+                    None => return Err(DiffError::AbsentNode(node)),
+                },
+                NodeChange::Added { role, parent } => {
+                    if desc.insert(node, (role, parent)).is_some() {
+                        return Err(DiffError::AlreadyPresent(node));
+                    }
+                }
+                NodeChange::Rerole { from, to, parent } => match desc.get_mut(&node) {
+                    Some(entry) if entry.0 == from => *entry = (to, parent),
+                    Some(_) => return Err(DiffError::StateMismatch(node)),
+                    None => return Err(DiffError::AbsentNode(node)),
+                },
+                NodeChange::Reparented { from, to } => match desc.get_mut(&node) {
+                    Some(entry) if entry.1 == from => entry.1 = to,
+                    Some(_) => return Err(DiffError::StateMismatch(node)),
+                    None => return Err(DiffError::AbsentNode(node)),
+                },
+            }
+        }
+        rebuild(&desc)
     }
 
     /// True when the plans are structurally identical.
@@ -105,6 +241,22 @@ impl PlanDiff {
     pub fn len(&self) -> usize {
         self.changes.len()
     }
+
+    /// Nodes joining the new plan, with their role and parent.
+    pub fn added(&self) -> impl Iterator<Item = (NodeId, Role, Option<NodeId>)> + '_ {
+        self.changes.iter().filter_map(|(&n, c)| match *c {
+            NodeChange::Added { role, parent } => Some((n, role, parent)),
+            _ => None,
+        })
+    }
+
+    /// Nodes leaving the old plan, with the role they had.
+    pub fn removed(&self) -> impl Iterator<Item = (NodeId, Role)> + '_ {
+        self.changes.iter().filter_map(|(&n, c)| match *c {
+            NodeChange::Removed { role } => Some((n, role)),
+            _ => None,
+        })
+    }
 }
 
 impl fmt::Display for PlanDiff {
@@ -112,15 +264,17 @@ impl fmt::Display for PlanDiff {
         if self.is_empty() {
             return write!(f, "no changes");
         }
+        let p = |x: &Option<NodeId>| x.map_or("root".to_string(), |n| n.to_string());
         for (node, change) in &self.changes {
             match change {
-                NodeChange::Added { role } => writeln!(f, "+ {node} joins as {role}")?,
+                NodeChange::Added { role, parent } => {
+                    writeln!(f, "+ {node} joins as {role} under {}", p(parent))?
+                }
                 NodeChange::Removed { role } => writeln!(f, "- {node} leaves (was {role})")?,
-                NodeChange::Rerole { from, to } => {
+                NodeChange::Rerole { from, to, .. } => {
                     writeln!(f, "~ {node} changes role {from} -> {to}")?
                 }
                 NodeChange::Reparented { from, to } => {
-                    let p = |x: &Option<NodeId>| x.map_or("root".to_string(), |n| n.to_string());
                     writeln!(f, "~ {node} moves {} -> {}", p(from), p(to))?
                 }
             }
@@ -156,13 +310,18 @@ mod tests {
         assert_eq!(d.len(), 1);
         assert_eq!(
             d.changes[&NodeId(9)],
-            NodeChange::Added { role: Role::Server }
+            NodeChange::Added {
+                role: Role::Server,
+                parent: Some(NodeId(0))
+            }
         );
+        assert_eq!(d.added().count(), 1);
         let back = PlanDiff::between(&new, &old);
         assert_eq!(
             back.changes[&NodeId(9)],
             NodeChange::Removed { role: Role::Server }
         );
+        assert_eq!(back.removed().count(), 1);
     }
 
     #[test]
@@ -176,12 +335,16 @@ mod tests {
             d.changes[&NodeId(1)],
             NodeChange::Rerole {
                 from: Role::Server,
-                to: Role::Agent
+                to: Role::Agent,
+                parent: Some(NodeId(0))
             }
         );
         assert_eq!(
             d.changes[&NodeId(7)],
-            NodeChange::Added { role: Role::Server }
+            NodeChange::Added {
+                role: Role::Server,
+                parent: Some(NodeId(1))
+            }
         );
         assert_eq!(d.len(), 2);
     }
@@ -223,7 +386,194 @@ mod tests {
         );
         assert_eq!(
             d.changes[&NodeId(9)],
-            NodeChange::Added { role: Role::Server }
+            NodeChange::Added {
+                role: Role::Server,
+                parent: Some(NodeId(0))
+            }
         );
+    }
+
+    #[test]
+    fn apply_reconstructs_simple_growth() {
+        let old = star(&ids(3));
+        let mut new = star(&ids(3));
+        new.add_server(new.root(), NodeId(9)).unwrap();
+        let patched = PlanDiff::between(&old, &new).apply(&old).unwrap();
+        assert!(patched.structurally_eq(&new));
+    }
+
+    #[test]
+    fn apply_reconstructs_rerole_and_reparent_chain() {
+        // old: root(0) -> {s1, s2, s3}.
+        // new: root(0) -> a1 -> {s2, s9}, root -> s3 reroled to agent
+        //      holding nothing... make it: s3 removed, s2 reparented
+        //      under promoted a1, fresh s9 under a1.
+        let old = star(&ids(4));
+        let mut new = DeploymentPlan::with_root(NodeId(0));
+        let a1 = new.add_agent(new.root(), NodeId(1)).unwrap();
+        new.add_server(a1, NodeId(2)).unwrap();
+        new.add_server(a1, NodeId(9)).unwrap();
+        let d = PlanDiff::between(&old, &new);
+        // One rerole (1: server->agent), one reparent (2), one removal
+        // (3), one addition (9).
+        assert_eq!(d.len(), 4);
+        let patched = d.apply(&old).unwrap();
+        assert!(patched.structurally_eq(&new), "{}", patched.render());
+    }
+
+    #[test]
+    fn apply_handles_root_substitution() {
+        let old = star(&ids(3));
+        let mut new = DeploymentPlan::with_root(NodeId(9));
+        new.add_server(new.root(), NodeId(1)).unwrap();
+        new.add_server(new.root(), NodeId(2)).unwrap();
+        let d = PlanDiff::between(&old, &new);
+        let patched = d.apply(&old).unwrap();
+        assert!(patched.structurally_eq(&new));
+    }
+
+    #[test]
+    fn apply_rejects_wrong_base() {
+        let old = star(&ids(3));
+        let mut new = star(&ids(3));
+        new.add_server(new.root(), NodeId(9)).unwrap();
+        let d = PlanDiff::between(&old, &new);
+        // Applying to the *new* plan: node 9 already present.
+        assert_eq!(d.apply(&new), Err(DiffError::AlreadyPresent(NodeId(9))));
+        // A diff removing a node absent from the base.
+        let shrink = PlanDiff::between(&new, &old);
+        assert_eq!(shrink.apply(&old), Err(DiffError::AbsentNode(NodeId(9))));
+    }
+
+    #[test]
+    fn apply_rejects_broken_trees() {
+        let old = star(&ids(3));
+        // A hand-built diff hanging a node off a parent that is leaving.
+        let mut d = PlanDiff::default();
+        d.changes
+            .insert(NodeId(1), NodeChange::Removed { role: Role::Server });
+        d.changes.insert(
+            NodeId(9),
+            NodeChange::Added {
+                role: Role::Server,
+                parent: Some(NodeId(1)),
+            },
+        );
+        assert!(matches!(d.apply(&old), Err(DiffError::BrokenTree(_))));
+        // Demoting the root to a server breaks rootedness.
+        let mut d2 = PlanDiff::default();
+        d2.changes.insert(
+            NodeId(0),
+            NodeChange::Rerole {
+                from: Role::Agent,
+                to: Role::Server,
+                parent: None,
+            },
+        );
+        assert!(matches!(d2.apply(&old), Err(DiffError::BrokenTree(_))));
+        assert!(DiffError::BrokenTree("x".into()).to_string().contains("x"));
+    }
+
+    /// Round-trip property: for randomized plan pairs `(a, b)` related by
+    /// chains of adds, removals, reroles and reparents,
+    /// `diff(a, b).apply(a)` reconstructs `b` exactly.
+    #[test]
+    fn apply_round_trips_randomized_mutation_chains() {
+        // Deterministic SplitMix64; no external RNG needed.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) as usize
+        };
+        for case in 0..200 {
+            // Base plan: root + a few levels, built by random attach.
+            let mut a = DeploymentPlan::with_root(NodeId(0));
+            let mut next_id = 1u32;
+            for _ in 0..(3 + next() % 10) {
+                let agents: Vec<Slot> = a.agents().collect();
+                let parent = agents[next() % agents.len()];
+                if next() % 3 == 0 {
+                    a.add_agent(parent, NodeId(next_id)).unwrap();
+                } else {
+                    a.add_server(parent, NodeId(next_id)).unwrap();
+                }
+                next_id += 1;
+            }
+            // Mutate a copy through a chain of structural edits.
+            let mut b = a.clone();
+            for _ in 0..(1 + next() % 8) {
+                match next() % 4 {
+                    // Add under a random agent.
+                    0 => {
+                        let agents: Vec<Slot> = b.agents().collect();
+                        let parent = agents[next() % agents.len()];
+                        if next() % 2 == 0 {
+                            b.add_agent(parent, NodeId(next_id)).unwrap();
+                        } else {
+                            b.add_server(parent, NodeId(next_id)).unwrap();
+                        }
+                        next_id += 1;
+                    }
+                    // Rerole: promote a server, or demote a childless
+                    // non-root agent.
+                    1 => {
+                        let servers: Vec<Slot> = b.servers().collect();
+                        if !servers.is_empty() && next() % 2 == 0 {
+                            b.convert_to_agent(servers[next() % servers.len()]).unwrap();
+                        } else {
+                            let leaves: Vec<Slot> = b
+                                .agents()
+                                .filter(|&s| s != b.root() && b.degree(s) == 0)
+                                .collect();
+                            if !leaves.is_empty() {
+                                b.convert_to_server(leaves[next() % leaves.len()]).unwrap();
+                            }
+                        }
+                    }
+                    // Reparent a random non-root entry under a random
+                    // agent outside its own subtree.
+                    2 => {
+                        let movable: Vec<Slot> = b.slots().filter(|&s| s != b.root()).collect();
+                        if !movable.is_empty() {
+                            let child = movable[next() % movable.len()];
+                            let agents: Vec<Slot> = b.agents().collect();
+                            let target = agents[next() % agents.len()];
+                            let _ = b.move_child(child, target); // cycles rejected, fine
+                        }
+                    }
+                    // Remove the last entry when it exists and is a
+                    // leaf (reparenting may have given it children).
+                    _ => {
+                        if b.len() > 1 {
+                            let last = Slot(b.len() - 1);
+                            if b.children(last).is_empty() {
+                                let _ = b.remove_last(last);
+                            }
+                        }
+                    }
+                }
+            }
+            let d = PlanDiff::between(&a, &b);
+            let patched = d.apply(&a).unwrap_or_else(|e| {
+                panic!(
+                    "case {case}: apply failed: {e}\nold:\n{}\nnew:\n{}",
+                    a.render(),
+                    b.render()
+                )
+            });
+            assert!(
+                patched.structurally_eq(&b),
+                "case {case}: round-trip diverged\nold:\n{}\nnew:\n{}\npatched:\n{}",
+                a.render(),
+                b.render(),
+                patched.render()
+            );
+            // And the reverse direction, too.
+            let back = PlanDiff::between(&b, &a).apply(&b).unwrap();
+            assert!(back.structurally_eq(&a));
+        }
     }
 }

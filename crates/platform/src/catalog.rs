@@ -9,6 +9,7 @@
 //! mini-benchmark units, not vendor specs.
 
 use crate::calibration::MiddlewareCalibration;
+use crate::error::PlatformError;
 use crate::network::Network;
 use crate::platform::{Platform, PlatformBuilder};
 use crate::resource::SiteId;
@@ -69,29 +70,32 @@ pub fn site(name: &str) -> Option<&'static SiteSpec> {
 /// Builds a single-site platform from the catalog, truncated to
 /// `max_nodes` if given.
 ///
-/// # Panics
-/// Panics on an unknown site name.
-pub fn single_site(name: &str, max_nodes: Option<usize>) -> Platform {
-    let spec = site(name).unwrap_or_else(|| panic!("unknown Grid'5000 site {name:?}"));
+/// # Errors
+/// [`PlatformError::UnknownSiteName`] for a name outside the catalog.
+pub fn single_site(name: &str, max_nodes: Option<usize>) -> Result<Platform, PlatformError> {
+    let spec = site(name).ok_or_else(|| PlatformError::UnknownSiteName(name.to_string()))?;
     let mut b = Platform::builder(Network::homogeneous(
         MiddlewareCalibration::reference_bandwidth(),
     ));
     let site_id = b.add_site(spec.name);
     add_site_nodes(&mut b, spec, site_id, max_nodes);
-    b.build().expect("catalog sites are non-empty")
+    b.build()
 }
 
 /// Builds a multi-site platform with per-site intra bandwidth and a
 /// shared inter-site (RENATER backbone) bandwidth.
 ///
-/// # Panics
-/// Panics on an unknown site name or an empty site list.
-pub fn multi_site(names: &[&str], inter_bandwidth: MbitRate) -> Platform {
-    assert!(!names.is_empty(), "need at least one site");
+/// # Errors
+/// [`PlatformError::UnknownSiteName`] for a name outside the catalog;
+/// [`PlatformError::Empty`] for an empty site list.
+pub fn multi_site(names: &[&str], inter_bandwidth: MbitRate) -> Result<Platform, PlatformError> {
+    if names.is_empty() {
+        return Err(PlatformError::Empty);
+    }
     let specs: Vec<&SiteSpec> = names
         .iter()
-        .map(|n| site(n).unwrap_or_else(|| panic!("unknown Grid'5000 site {n:?}")))
-        .collect();
+        .map(|&n| site(n).ok_or_else(|| PlatformError::UnknownSiteName(n.to_string())))
+        .collect::<Result<_, _>>()?;
     let intra = vec![MiddlewareCalibration::reference_bandwidth(); specs.len()];
     let mut b = Platform::builder(Network::PerSitePair {
         intra,
@@ -102,7 +106,7 @@ pub fn multi_site(names: &[&str], inter_bandwidth: MbitRate) -> Platform {
         let site_id = b.add_site(spec.name);
         add_site_nodes(&mut b, spec, site_id, None);
     }
-    b.build().expect("catalog sites are non-empty")
+    b.build()
 }
 
 fn add_site_nodes(
@@ -139,7 +143,7 @@ mod tests {
 
     #[test]
     fn single_site_platform() {
-        let p = single_site("lyon", None);
+        let p = single_site("lyon", None).unwrap();
         assert_eq!(p.node_count(), 56);
         assert!(p.is_homogeneous_compute());
         assert!(p.nodes()[0].name.starts_with("sagittaire-0"));
@@ -147,19 +151,26 @@ mod tests {
 
     #[test]
     fn single_site_truncation() {
-        let p = single_site("orsay", Some(30));
+        let p = single_site("orsay", Some(30)).unwrap();
         assert_eq!(p.node_count(), 30);
     }
 
     #[test]
-    #[should_panic(expected = "unknown Grid'5000 site")]
-    fn unknown_site_panics() {
-        let _ = single_site("atlantis", None);
+    fn unknown_site_is_an_error_not_a_panic() {
+        let err = single_site("atlantis", None).unwrap_err();
+        assert_eq!(err, PlatformError::UnknownSiteName("atlantis".into()));
+        assert!(err.to_string().contains("atlantis"));
+        let err = multi_site(&["lyon", "mars"], MbitRate(20.0)).unwrap_err();
+        assert_eq!(err, PlatformError::UnknownSiteName("mars".into()));
+        assert_eq!(
+            multi_site(&[], MbitRate(20.0)).unwrap_err(),
+            PlatformError::Empty
+        );
     }
 
     #[test]
     fn multi_site_platform_has_per_site_network() {
-        let p = multi_site(&["lyon", "sophia"], MbitRate(20.0));
+        let p = multi_site(&["lyon", "sophia"], MbitRate(20.0)).unwrap();
         assert_eq!(p.node_count(), 56 + 72);
         assert_eq!(p.sites().len(), 2);
         assert!(!p.network().is_homogeneous());
@@ -171,7 +182,7 @@ mod tests {
 
     #[test]
     fn multi_site_names_are_qualified() {
-        let p = multi_site(&["rennes", "toulouse"], MbitRate(50.0));
+        let p = multi_site(&["rennes", "toulouse"], MbitRate(50.0)).unwrap();
         assert!(p.nodes().iter().any(|n| n.name.ends_with(".rennes")));
         assert!(p.nodes().iter().any(|n| n.name.ends_with(".toulouse")));
     }

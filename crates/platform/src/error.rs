@@ -10,6 +10,8 @@ pub enum PlatformError {
     UnknownNode(NodeId),
     /// A site id was referenced that does not exist in the platform.
     UnknownSite(SiteId),
+    /// A named catalog site does not exist.
+    UnknownSiteName(String),
     /// Two resources were registered with the same host name.
     DuplicateName(String),
     /// The platform contains no resources.
@@ -28,6 +30,9 @@ impl fmt::Display for PlatformError {
         match self {
             PlatformError::UnknownNode(id) => write!(f, "unknown node {id}"),
             PlatformError::UnknownSite(id) => write!(f, "unknown site {id}"),
+            PlatformError::UnknownSiteName(name) => {
+                write!(f, "unknown Grid'5000 site {name:?}")
+            }
             PlatformError::DuplicateName(name) => {
                 write!(f, "duplicate resource name {name:?}")
             }

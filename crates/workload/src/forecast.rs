@@ -4,7 +4,7 @@
 //! execution time but we should study another approach with statistical
 //! mathematical function to forecast the execution time." (Section 6)
 //!
-//! Two estimators are provided:
+//! Three estimators are provided:
 //!
 //! * [`WappEstimator`] — a streaming estimator of a *fixed* service's
 //!   `Wapp`: each observed execution contributes `duration × node power`
@@ -14,6 +14,13 @@
 //!   which recovers the cubic DGEMM law and extrapolates to unmeasured
 //!   sizes. This is what lets a deployment be planned for a problem size
 //!   nobody has run yet.
+//! * [`RateForecaster`] — a streaming estimator of a service's *demand*
+//!   (completed-request rate), tracking the relative **drift** of the
+//!   forecast against the rate the running deployment was planned for.
+//!   This drift statistic is what an autonomic replanning trigger
+//!   thresholds on: the deployment stays put while the forecast stays
+//!   near its planning assumption, and a replan fires when reality
+//!   walks away from it.
 
 use crate::service::ServiceSpec;
 use adept_platform::{Mflop, MflopRate, Seconds};
@@ -24,6 +31,9 @@ use adept_platform::{Mflop, MflopRate, Seconds};
 pub struct WappEstimator {
     alpha: f64,
     estimate: Option<f64>,
+    /// Estimate at the last [`mark`](WappEstimator::mark) — the `Wapp`
+    /// the current deployment was planned with.
+    marked: Option<f64>,
     samples: u64,
 }
 
@@ -38,6 +48,7 @@ impl WappEstimator {
         Self {
             alpha,
             estimate: None,
+            marked: None,
             samples: 0,
         }
     }
@@ -61,6 +72,29 @@ impl WappEstimator {
     /// Observations consumed.
     pub fn samples(&self) -> u64 {
         self.samples
+    }
+
+    /// Records the current estimate as the value the running deployment
+    /// was planned with; [`drift`](WappEstimator::drift) is measured
+    /// against it from now on.
+    ///
+    /// # Panics
+    /// Panics before the first observation.
+    pub fn mark(&mut self) {
+        self.marked = Some(
+            self.estimate
+                .expect("cannot mark before the first observation"),
+        );
+    }
+
+    /// Relative drift of the estimate since the last
+    /// [`mark`](WappEstimator::mark): `|est - marked| / marked`. Zero
+    /// before any mark or observation.
+    pub fn drift(&self) -> f64 {
+        match (self.estimate, self.marked) {
+            (Some(est), Some(marked)) if marked > 0.0 => (est - marked).abs() / marked,
+            _ => 0.0,
+        }
     }
 
     /// Builds a [`ServiceSpec`] from the estimate.
@@ -185,6 +219,97 @@ impl ScalingForecaster {
     }
 }
 
+/// Streaming demand forecaster for one service: an exponential moving
+/// average over observed completed-request rates (req/s per observation
+/// window), with the drift statistics an autonomic replanning trigger
+/// needs.
+///
+/// The forecaster distinguishes the **forecast** (where demand is
+/// heading) from the **planned rate** (what the running deployment was
+/// sized for, set by [`mark_planned`](RateForecaster::mark_planned)
+/// each time a plan is committed). [`drift`](RateForecaster::drift) is
+/// the relative gap between the two — the quantity a
+/// forecast-drift trigger thresholds on.
+#[derive(Debug, Clone)]
+pub struct RateForecaster {
+    alpha: f64,
+    estimate: Option<f64>,
+    planned: Option<f64>,
+    samples: u64,
+}
+
+impl RateForecaster {
+    /// A forecaster with smoothing factor `alpha ∈ (0, 1]` (1 = last
+    /// window wins; small values average over many windows).
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0,1], got {alpha}"
+        );
+        Self {
+            alpha,
+            estimate: None,
+            planned: None,
+            samples: 0,
+        }
+    }
+
+    /// Records one observed demand rate (completed or offered requests
+    /// per second over the last observation window).
+    pub fn observe(&mut self, rate: f64) {
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "rates are non-negative and finite, got {rate}"
+        );
+        self.estimate = Some(match self.estimate {
+            None => rate,
+            Some(prev) => prev + self.alpha * (rate - prev),
+        });
+        self.samples += 1;
+    }
+
+    /// Current demand forecast (`None` before the first observation).
+    pub fn forecast(&self) -> Option<f64> {
+        self.estimate
+    }
+
+    /// Observations consumed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Records the rate the (re)planned deployment was sized for;
+    /// [`drift`](RateForecaster::drift) resets to zero relative to it.
+    ///
+    /// # Panics
+    /// Panics on a negative or non-finite rate.
+    pub fn mark_planned(&mut self, rate: f64) {
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "planned rates are non-negative and finite, got {rate}"
+        );
+        self.planned = Some(rate);
+    }
+
+    /// The rate the running deployment was planned for, if any.
+    pub fn planned(&self) -> Option<f64> {
+        self.planned
+    }
+
+    /// Relative drift of the forecast from the planned rate:
+    /// `|forecast - planned| / max(planned, ε)`. Zero before the first
+    /// observation or plan; a forecast appearing where nothing was ever
+    /// planned is infinite drift only in the degenerate `planned = 0`,
+    /// `forecast > 0` case, which is reported as the forecast itself
+    /// over ε = 1e-12 — i.e. effectively "replan now".
+    pub fn drift(&self) -> f64 {
+        match (self.estimate, self.planned) {
+            (Some(est), Some(planned)) => (est - planned).abs() / planned.max(1e-12),
+            _ => 0.0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +417,68 @@ mod tests {
             power: MflopRate(100.0),
         });
         assert!(f.fit().is_none(), "one distinct size is not enough");
+    }
+
+    #[test]
+    fn wapp_drift_is_measured_from_the_mark() {
+        let mut est = WappEstimator::new(1.0);
+        est.observe(Seconds(1.0), MflopRate(100.0)); // 100 MFlop
+        assert_eq!(est.drift(), 0.0, "no mark yet");
+        est.mark();
+        assert_eq!(est.drift(), 0.0);
+        est.observe(Seconds(1.5), MflopRate(100.0)); // 150 MFlop
+        assert!((est.drift() - 0.5).abs() < 1e-12);
+        est.mark();
+        assert_eq!(est.drift(), 0.0, "re-marking resets the reference");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot mark")]
+    fn wapp_mark_needs_an_observation() {
+        WappEstimator::new(0.5).mark();
+    }
+
+    #[test]
+    fn rate_forecaster_tracks_demand_and_drift() {
+        let mut f = RateForecaster::new(0.5);
+        assert_eq!(f.forecast(), None);
+        assert_eq!(f.drift(), 0.0, "nothing observed, nothing planned");
+        f.observe(2.0);
+        assert_eq!(f.forecast(), Some(2.0));
+        f.mark_planned(2.0);
+        assert_eq!(f.planned(), Some(2.0));
+        assert_eq!(f.drift(), 0.0);
+        // Demand doubles; the EMA converges and the drift grows.
+        for _ in 0..20 {
+            f.observe(4.0);
+        }
+        let fc = f.forecast().unwrap();
+        assert!((fc - 4.0).abs() < 0.01, "EMA must converge, got {fc}");
+        assert!((f.drift() - 1.0).abs() < 0.01, "drift {} vs 1.0", f.drift());
+        assert_eq!(f.samples(), 21);
+        // Committing a new plan at the forecast resets the drift.
+        f.mark_planned(fc);
+        assert!(f.drift() < 1e-9);
+    }
+
+    #[test]
+    fn rate_forecaster_zero_planned_rate_reports_huge_drift() {
+        let mut f = RateForecaster::new(1.0);
+        f.mark_planned(0.0);
+        f.observe(1.0);
+        assert!(f.drift() > 1e9, "demand appearing from nothing must fire");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn rate_forecaster_bad_alpha_rejected() {
+        let _ = RateForecaster::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rate_forecaster_bad_rate_rejected() {
+        RateForecaster::new(0.5).observe(-1.0);
     }
 
     #[test]

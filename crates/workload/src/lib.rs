@@ -31,7 +31,7 @@ pub mod ramp;
 pub mod service;
 
 pub use demand::ClientDemand;
-pub use forecast::{PowerLawFit, ScalingForecaster, ScalingSample, WappEstimator};
+pub use forecast::{PowerLawFit, RateForecaster, ScalingForecaster, ScalingSample, WappEstimator};
 pub use mix::{MixDemand, ServiceMix};
 pub use ramp::{ArrivalProcess, ClientRamp};
 pub use service::{Dgemm, ServiceSpec};

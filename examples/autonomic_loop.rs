@@ -1,0 +1,142 @@
+//! The autonomic replanning control loop, end to end: a two-site
+//! platform serves a three-service mix through a scripted day — ramp,
+//! plateau, spike, night-time decay — and every capacity change is
+//! decided, planned, and migrated by [`Controller::tick`]. No replan is
+//! ever invoked by hand.
+//!
+//! ```text
+//! cargo run --release --example autonomic_loop
+//! ```
+
+use adept::prelude::*;
+
+fn main() {
+    // Two 30-node sites joined by a 10 Mb/s WAN.
+    let platform =
+        generator::multi_site_grid(2, 30, MflopRate(400.0), MbitRate(100.0), MbitRate(10.0), 7);
+    let mix = ServiceMix::new(vec![
+        (Dgemm::new(310).service(), 2.0),  // light: ~6.7 req/s per server
+        (Dgemm::new(700).service(), 1.0),  // mid:  ~0.58 req/s per server
+        (Dgemm::new(1000).service(), 1.0), // heavy: ~0.2 req/s per server
+    ]);
+
+    // Deploy once for the morning's demand...
+    let planned = MixDemand::targets(vec![1.0, 0.5, 0.4]);
+    let initial = MixPlanner::default()
+        .plan_mix(&platform, &mix, &planned)
+        .expect("60 nodes cover the morning");
+    println!(
+        "initial deployment: {} ({} servers) for demand {:?}",
+        HierarchyStats::of(&initial.plan),
+        initial.plan.server_count(),
+        [1.0, 0.5, 0.4],
+    );
+
+    // ...then hand it to the controller: drift-triggered, hysteresis-
+    // damped, online-revised under a disruption budget, migrated by a
+    // launcher that injects failures (and heals them with spares).
+    let mut controller = Controller::new(
+        &platform,
+        mix,
+        initial.plan,
+        initial.assignment,
+        &planned,
+        Box::new(OnlinePlanner {
+            max_changes: 20,
+            ..Default::default()
+        }),
+        GoDiet::with_failures(0.4, 17),
+        ControllerConfig {
+            triggers: vec![TriggerPolicy::ForecastDrift { threshold: 0.2 }],
+            demand_alpha: 0.7,
+            ..Default::default()
+        },
+    );
+
+    let day: &[(&str, usize, [f64; 3])] = &[
+        ("morning steady", 6, [1.0, 0.5, 0.4]),
+        ("ramp step 1", 6, [1.0, 0.5, 0.8]),
+        ("ramp step 2", 6, [1.0, 0.5, 1.2]),
+        ("plateau", 8, [1.0, 0.5, 1.2]),
+        ("spike", 8, [1.0, 2.5, 1.2]),
+        ("night decay", 10, [0.4, 0.3, 0.2]),
+    ];
+
+    for &(phase, ticks, rates) in day {
+        println!("\n== {phase}: observed demand {rates:?} ==");
+        for t in 0..ticks {
+            let migration = controller
+                .tick(&Observations::rates(rates.to_vec()))
+                .expect("the loop heals its own failures");
+            if let Some(m) = migration {
+                println!("tick {t}: REPLAN — {}", m.reason);
+                println!(
+                    "  planned for {:?} req/s",
+                    (0..3).map(|j| m.planned_demand.rate(j)).collect::<Vec<_>>()
+                );
+                println!(
+                    "  diff: {} node change(s), {} reinstall(s); script: {} stage(s), \
+                     {} action(s)",
+                    m.replan.diff.len(),
+                    m.replan.reassigned.len(),
+                    m.script.stages.len(),
+                    m.script.len(),
+                );
+                print!("{}", m.script);
+                if m.report.failures > 0 {
+                    println!(
+                        "  launcher: {} failed attempt(s), {} spare substitution(s), \
+                         makespan {:.1}s",
+                        m.report.failures,
+                        m.report.substitutions.len(),
+                        m.report.makespan.value()
+                    );
+                    for &(failed, spare) in &m.report.substitutions {
+                        println!("    {failed} kept failing -> spare {spare} took its place");
+                    }
+                }
+                let report = controller.predicted();
+                println!(
+                    "  now running: {} servers, predicted per-service {:?} req/s",
+                    controller.running().server_count(),
+                    report
+                        .rho_service
+                        .iter()
+                        .map(|r| (r * 100.0).round() / 100.0)
+                        .collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    println!(
+        "\nday done: {} replan round(s), {} migration(s), final deployment {}",
+        controller.replans(),
+        controller.migrations(),
+        HierarchyStats::of(controller.running()),
+    );
+
+    // Closing sanity: the simulator confirms the final deployment
+    // sustains the night-time demand.
+    let pairs: Vec<(NodeId, usize)> = controller
+        .assignment()
+        .service_of
+        .iter()
+        .map(|(&n, &s)| (n, s))
+        .collect();
+    let cfg = SimConfig::ideal().with_windows(Seconds(5.0), Seconds(1.0));
+    let offered = 0.4 + 0.3 + 0.2;
+    let arrivals = ArrivalProcess::Uniform { rate: offered }.arrivals(Seconds(60.0));
+    let night_mix = ServiceMix::new(
+        controller
+            .mix()
+            .services()
+            .iter()
+            .cloned()
+            .zip([0.4, 0.3, 0.2])
+            .collect(),
+    );
+    let mut sim = Simulation::new_mix(&platform, controller.running(), &night_mix, &pairs, cfg);
+    let measured = sim.run_open_loop(&arrivals, &cfg).throughput;
+    println!("simulated night-time check: {measured:.2} req/s sustained of {offered:.2} offered");
+}

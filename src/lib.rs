@@ -17,7 +17,55 @@
 //! | [`core`] | throughput model (Eq. 1–16) and planners (Algorithm 1 + baselines) |
 //! | [`desim`] | deterministic discrete-event engine |
 //! | [`nes_sim`] | DIET-like middleware simulator on `M(r,s,w)` resources |
-//! | [`godiet`] | deployment tool: XML in, staged launch, failure injection |
+//! | [`godiet`] | deployment tool: XML in, staged launch + migration, failure injection |
+//! | [`control`] | autonomic replanning control loop over all of the above |
+//!
+//! ## Architecture: the autonomic control loop
+//!
+//! Beyond one-shot planning, the workspace closes the loop the paper's
+//! future work calls for — a deployment that follows live, shifting
+//! traffic with no operator in the path. Each stage is owned by one
+//! crate:
+//!
+//! ```text
+//! observe ─> forecast ─> trigger ─> replan ─> diff ─> migrate ─> validate
+//! ```
+//!
+//! 1. **observe** — per-service demand rates and execution samples
+//!    arrive as [`control::Observations`] (fed by the middleware in
+//!    production, by [`nes_sim`]/[`desim`] in tests).
+//! 2. **forecast** — [`workload`] owns the statistics:
+//!    [`RateForecaster`](adept_workload::RateForecaster) tracks each
+//!    service's demand (EMA + relative drift against the rate the
+//!    running plan was sized for), and
+//!    [`WappEstimator`](adept_workload::WappEstimator) /
+//!    [`ScalingForecaster`](adept_workload::ScalingForecaster) track
+//!    execution cost.
+//! 3. **trigger** — [`control`]'s pluggable
+//!    [`TriggerPolicy`](adept_control::TriggerPolicy) rules (forecast
+//!    drift, predicted shortfall, periodic) decide *when* to act;
+//!    [`Hysteresis`](adept_control::Hysteresis) (sustain + cooldown)
+//!    keeps observation noise from flapping machines.
+//! 4. **replan** — [`core`]'s
+//!    [`Revise`](adept_core::planner::Revise) trait is the unified
+//!    revision entry point: the budgeted
+//!    [`OnlinePlanner`](adept_core::planner::OnlinePlanner) for live
+//!    traffic, the unbounded
+//!    [`Rebalancer`](adept_core::planner::Rebalancer) for maintenance
+//!    windows — all sharing one grow/reassign/convert-grow/shrink loop
+//!    on the incremental evaluation engine.
+//! 5. **diff** — [`hierarchy`]'s
+//!    [`PlanDiff`](adept_hierarchy::PlanDiff) is an *executable*
+//!    object: `diff(a, b).apply(a)` reconstructs `b` exactly, so the
+//!    transition itself is a first-class artifact.
+//! 6. **migrate** — [`godiet`] compiles the diff into a stage-ordered
+//!    [`MigrationScript`](adept_godiet::MigrationScript) (parents
+//!    before children, stops deepest-first, demotions last) and
+//!    executes it against the running deployment with failure
+//!    injection and spare-node substitution.
+//! 7. **validate** — [`nes_sim`] measures the migrated deployment and
+//!    confirms throughput tracks the model across each transition
+//!    (`tests/control_loop.rs`).
 //!
 //! ## Quickstart
 //!
@@ -49,6 +97,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub use adept_control as control;
 pub use adept_core as core;
 pub use adept_desim as desim;
 pub use adept_godiet as godiet;
@@ -59,18 +108,25 @@ pub use adept_workload as workload;
 
 /// Commonly used items, re-exported flat.
 pub mod prelude {
+    pub use adept_control::controller::ExecutionSample;
+    pub use adept_control::{
+        ControlError, Controller, ControllerConfig, Hysteresis, Migration, Observations,
+        TriggerPolicy,
+    };
     pub use adept_core::analysis::{Bottleneck, ThroughputReport};
     pub use adept_core::model::mix::{MixReport, ServerAssignment};
     pub use adept_core::model::{IncrementalEval, ModelParams};
     pub use adept_core::planner::{
         BalancedPlanner, EvalStrategy, HeuristicPlanner, HomogeneousCsdPlanner, MixObjective,
-        MixPlan, MixPlanner, MixReplan, OnlinePlanner, Planner, PlannerError, RoundRobinPlanner,
-        StarPlanner, SweepPlanner,
+        MixPlan, MixPlanner, MixReplan, OnlinePlanner, Planner, PlannerError, Rebalancer, Revise,
+        ReviseError, RoundRobinPlanner, StarPlanner, SweepPlanner,
     };
-    pub use adept_godiet::{DeployError, DeploymentReport, GoDiet};
+    pub use adept_godiet::{
+        DeployError, DeploymentReport, GoDiet, MigrationAction, MigrationReport, MigrationScript,
+    };
     pub use adept_hierarchy::{
         builder, to_dot, validate, xml, AdjacencyMatrix, DeploymentPlan, HierarchyStats,
-        PartitionStats, PlanDiff, Role, Slot,
+        NodeChange, PartitionStats, PlanDiff, Role, Slot,
     };
     pub use adept_nes_sim::{
         measure_throughput, saturation_search, SelectionPolicy, SimConfig, SimOutcome, Simulation,
@@ -80,8 +136,8 @@ pub mod prelude {
         MiddlewareCalibration, Network, NodeId, Platform, Resource, Seconds, Site, SiteId,
     };
     pub use adept_workload::{
-        ArrivalProcess, ClientDemand, ClientRamp, Dgemm, MixDemand, ScalingForecaster,
-        ScalingSample, ServiceMix, ServiceSpec, WappEstimator,
+        ArrivalProcess, ClientDemand, ClientRamp, Dgemm, MixDemand, RateForecaster,
+        ScalingForecaster, ScalingSample, ServiceMix, ServiceSpec, WappEstimator,
     };
 }
 

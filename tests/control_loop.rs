@@ -1,0 +1,265 @@
+//! End-to-end acceptance of the autonomic replanning control loop.
+//!
+//! A scripted demand-shift scenario — ramp, plateau, spike — on a
+//! **2-site platform** with a **3-service mix** runs entirely through
+//! [`Controller::tick`]: no manual replan call anywhere. The tests pin
+//! the loop's contract:
+//!
+//! * the forecast-drift trigger (not an operator) starts every round;
+//! * each migration script is stage-ordered: parents launch before
+//!   their children, teardown runs deepest-first;
+//! * an injected node failure mid-migration is survived via spare-node
+//!   substitution, and the controller adopts the substituted node;
+//! * after every migration the simulator's measured throughput tracks
+//!   the model's prediction within 10%;
+//! * hysteresis holds replans to ≤ 1 per sustained demand level.
+
+use adept::prelude::*;
+
+/// Light / mid / heavy DGEMM mix: per-server service rates of roughly
+/// 6.7, 0.58 and 0.2 req/s on a 400 MFlop/s node, so the mid and heavy
+/// services translate demand shifts into real server-count changes.
+fn mix3() -> ServiceMix {
+    ServiceMix::new(vec![
+        (Dgemm::new(310).service(), 2.0),
+        (Dgemm::new(700).service(), 1.0),
+        (Dgemm::new(1000).service(), 1.0),
+    ])
+}
+
+/// Two 30-node sites, fast LAN, 10 Mb/s WAN between them.
+fn two_site_platform() -> Platform {
+    generator::multi_site_grid(2, 30, MflopRate(400.0), MbitRate(100.0), MbitRate(10.0), 7)
+}
+
+fn controller_with<'a>(
+    platform: &'a Platform,
+    mix: &ServiceMix,
+    planned: &MixDemand,
+    tool: GoDiet,
+) -> Controller<'a> {
+    let got = MixPlanner::default()
+        .plan_mix(platform, mix, planned)
+        .expect("60 nodes fit the initial demand");
+    Controller::new(
+        platform,
+        mix.clone(),
+        got.plan,
+        got.assignment,
+        planned,
+        Box::new(OnlinePlanner {
+            max_changes: 20,
+            ..Default::default()
+        }),
+        tool,
+        ControllerConfig {
+            triggers: vec![TriggerPolicy::ForecastDrift { threshold: 0.2 }],
+            demand_alpha: 1.0, // scripted scenario: the last window is the truth
+            ..Default::default()
+        },
+    )
+}
+
+/// Every launch/restart registering with a parent that the script
+/// itself brings up must sit in a strictly later stage than that
+/// parent — parents before children, the launch-stage rule applied to
+/// the changed subset.
+fn assert_stage_ordered(script: &MigrationScript) {
+    use std::collections::HashMap;
+    let mut up_stage: HashMap<NodeId, usize> = HashMap::new();
+    for (i, stage) in script.stages.iter().enumerate() {
+        for action in stage {
+            match *action {
+                MigrationAction::Launch { node, .. } => {
+                    up_stage.insert(node, i);
+                }
+                MigrationAction::Restart {
+                    node,
+                    to: Role::Agent,
+                    ..
+                } => {
+                    up_stage.insert(node, i);
+                }
+                _ => {}
+            }
+        }
+    }
+    for (i, stage) in script.stages.iter().enumerate() {
+        for action in stage {
+            let parent = match *action {
+                MigrationAction::Launch { parent, .. } => Some(parent),
+                MigrationAction::Restart { parent, .. } => Some(parent),
+                MigrationAction::Reattach { new_parent, .. } => Some(new_parent),
+                MigrationAction::Stop { .. } => None,
+            };
+            if let Some(p) = parent {
+                if let Some(&ps) = up_stage.get(&p) {
+                    assert!(
+                        ps < i,
+                        "stage {i}: {action} registers with {p}, which only comes up in stage {ps}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Measures the migrated deployment in the discrete-event simulator and
+/// checks its sustained throughput lands within 10% of the model's
+/// prediction.
+///
+/// The offered load is shaped like the demand the controller planned
+/// for (request shares ∝ the forecast rates) and offered at exactly
+/// the rate the model predicts the deployment sustains for that shape —
+/// so an over-promising model shows up as a growing backlog and a
+/// measured rate below 90% of the prediction.
+fn assert_sim_tracks_model(
+    platform: &Platform,
+    plan: &DeploymentPlan,
+    mix: &ServiceMix,
+    assignment: &ServerAssignment,
+    demand: &[f64],
+) {
+    let demand_mix = ServiceMix::new(
+        mix.services()
+            .iter()
+            .cloned()
+            .zip(demand.iter().copied())
+            .collect(),
+    );
+    let predicted = adept::core::model::mix::evaluate_mix(
+        &ModelParams::from_platform(platform),
+        platform,
+        plan,
+        &demand_mix,
+        assignment,
+    )
+    .expect("controller state is consistent")
+    .rho;
+    let pairs: Vec<(NodeId, usize)> = assignment
+        .service_of
+        .iter()
+        .map(|(&n, &s)| (n, s))
+        .collect();
+    // Short `measure` so the [warmup, last arrival + measure] window
+    // stays essentially the arrival span.
+    let cfg = SimConfig::ideal().with_windows(Seconds(5.0), Seconds(1.0));
+    let arrivals = ArrivalProcess::Uniform { rate: predicted }.arrivals(Seconds(95.0));
+    let mut sim = Simulation::new_mix(platform, plan, &demand_mix, &pairs, cfg);
+    let measured = sim.run_open_loop(&arrivals, &cfg).throughput;
+    let ratio = measured / predicted;
+    assert!(
+        (0.9..=1.1).contains(&ratio),
+        "simulated {measured:.3} req/s vs predicted {predicted:.3} req/s (ratio {ratio:.3})"
+    );
+}
+
+#[test]
+fn scripted_ramp_plateau_spike_runs_hands_off() {
+    let platform = two_site_platform();
+    let mix = mix3();
+    let planned = MixDemand::targets(vec![1.0, 0.5, 0.4]);
+    // Failure injection on: migration launches can fail and must be
+    // healed by spare substitution, invisibly to the operator.
+    let mut c = controller_with(&platform, &mix, &planned, GoDiet::with_failures(0.55, 23));
+
+    // The scripted day: (per-tick observed rates, sustained per phase).
+    let phases: &[(usize, [f64; 3])] = &[
+        (6, [1.0, 0.5, 0.4]), // steady at the planned level
+        (6, [1.0, 0.5, 0.8]), // ramp step 1: heavy service doubles
+        (6, [1.0, 0.5, 1.2]), // ramp step 2
+        (8, [1.0, 0.5, 1.2]), // plateau
+        (8, [1.0, 2.5, 1.2]), // spike: mid service quintuples
+    ];
+
+    let mut migrations: Vec<Migration> = Vec::new();
+    let mut substitutions = 0usize;
+    for &(ticks, rates) in phases {
+        let migrations_before = migrations.len();
+        for _ in 0..ticks {
+            let pre = c.running().clone();
+            if let Some(m) = c
+                .tick(&Observations::rates(rates.to_vec()))
+                .expect("the loop heals failures itself")
+            {
+                // The script is an ordered, verifiable artifact.
+                m.script.verify(&pre).expect("script preconditions hold");
+                assert_stage_ordered(&m.script);
+                assert!(
+                    m.reason.contains("drift"),
+                    "rounds fire on forecast drift, got: {}",
+                    m.reason
+                );
+                substitutions += m.report.substitutions.len();
+                // The controller's adopted state is exactly what the
+                // launcher reports running.
+                assert!(c.running().structurally_eq(&m.report.plan));
+                // Sim-validate the new deployment under the demand the
+                // controller planned it for.
+                assert_sim_tracks_model(&platform, c.running(), c.mix(), c.assignment(), &rates);
+                migrations.push(m);
+            }
+        }
+        assert!(
+            migrations.len() - migrations_before <= 1,
+            "at most one migration per sustained demand level"
+        );
+    }
+
+    assert!(
+        migrations.len() >= 3,
+        "ramp steps and the spike must each drive a migration, got {}",
+        migrations.len()
+    );
+    assert!(
+        substitutions > 0,
+        "with p=0.55 failure injection, some launch must have needed a spare"
+    );
+    // Every planned-but-failed node was substituted by a spare outside
+    // the plan, and the controller's assignment covers the spare.
+    for m in &migrations {
+        for &(planned_node, spare) in &m.report.substitutions {
+            assert!(m.replan.plan.uses_node(planned_node));
+            assert!(!m.replan.plan.uses_node(spare));
+        }
+    }
+    // The final deployment covers the final demand level in the model.
+    let report = c.predicted();
+    assert!(report.rho_service[1] >= 2.5, "mid service covered");
+    assert!(report.rho_service[2] >= 1.2, "heavy service covered");
+    assert_eq!(
+        c.migrations(),
+        migrations.len() as u64,
+        "every migration came through tick — zero manual replans"
+    );
+}
+
+#[test]
+fn hysteresis_limits_replans_to_one_per_sustained_level() {
+    let platform = two_site_platform();
+    let mix = mix3();
+    let planned = MixDemand::targets(vec![1.0, 0.5, 0.4]);
+    let mut c = controller_with(&platform, &mix, &planned, GoDiet::default());
+
+    // Three sustained levels, each observed with ±8% alternating noise
+    // — below the 20% drift threshold once re-anchored.
+    let levels: &[[f64; 3]] = &[[1.0, 0.5, 0.4], [1.0, 0.5, 1.0], [1.0, 1.8, 1.0]];
+    for (li, level) in levels.iter().enumerate() {
+        let replans_before = c.replans();
+        for i in 0..14 {
+            let wobble = if i % 2 == 0 { 1.08 } else { 0.92 };
+            let rates: Vec<f64> = level.iter().map(|r| r * wobble).collect();
+            c.tick(&Observations::rates(rates))
+                .expect("noise and shifts are routine");
+        }
+        assert!(
+            c.replans() - replans_before <= 1,
+            "level {li}: {} replans for one sustained level",
+            c.replans() - replans_before
+        );
+    }
+    assert!(
+        c.migrations() >= 1,
+        "the genuine level shifts must still migrate"
+    );
+}

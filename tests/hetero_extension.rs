@@ -8,7 +8,7 @@ use adept::prelude::*;
 
 #[test]
 fn catalog_multi_site_roundtrip_through_the_stack() {
-    let platform = catalog::multi_site(&["lyon", "sophia"], MbitRate(20.0));
+    let platform = catalog::multi_site(&["lyon", "sophia"], MbitRate(20.0)).unwrap();
     let service = Dgemm::new(310).service();
 
     // Plan with the paper's (homogeneous-B) heuristic — it still works,
@@ -35,7 +35,7 @@ fn catalog_multi_site_roundtrip_through_the_stack() {
 fn simulator_charges_cross_site_links() {
     // Same shape, intra-site vs cross-site servers: the simulator must
     // measure the intra-site deployment meaningfully faster.
-    let platform = catalog::multi_site(&["lyon", "sophia"], MbitRate(5.0));
+    let platform = catalog::multi_site(&["lyon", "sophia"], MbitRate(5.0)).unwrap();
     let service = Dgemm::new(100).service();
     let lyon_nodes = platform.nodes_on_site(platform.sites()[0].id);
     let sophia_nodes = platform.nodes_on_site(platform.sites()[1].id);
@@ -73,7 +73,7 @@ fn simulator_charges_cross_site_links() {
 #[test]
 fn sensitivity_analysis_runs_on_real_plans() {
     use adept::core::analysis::sensitivities;
-    let platform = catalog::single_site("rennes", Some(24));
+    let platform = catalog::single_site("rennes", Some(24)).unwrap();
     let service = Dgemm::new(310).service();
     let plan = HeuristicPlanner::paper()
         .plan(&platform, &service, ClientDemand::Unbounded)
