@@ -3,8 +3,9 @@
 //! CSD degree search — plus the `eval_strategy` ablation quantifying the
 //! incremental evaluation engine against the clone+full-eval baseline,
 //! the `mix_scaling` group (batched multi-service planning vs independent
-//! single-service runs), and the `online_replan` latency probe at
-//! n = 10⁴ (the ROADMAP replan budget).
+//! single-service runs), the gated `mix_vs_sweep` quality group (the mix
+//! planner against the mix-aware sweep reference), and the
+//! `online_replan` latency probe at n = 10⁴ (the ROADMAP replan budget).
 //!
 //! Set `BENCH_JSON=BENCH_planner.json` to export `(id, mean ns, samples)`
 //! records for perf-trajectory tracking across PRs; CI's `bench_gate`
@@ -12,12 +13,12 @@
 
 use adept_core::model::ModelParams;
 use adept_core::planner::{
-    EvalStrategy, HeuristicPlanner, HomogeneousCsdPlanner, MixPlanner, OnlinePlanner, Planner,
-    SweepPlanner,
+    EvalStrategy, HeuristicPlanner, HomogeneousCsdPlanner, MixObjective, MixPlanner, OnlinePlanner,
+    Planner, SweepPlanner,
 };
 use adept_platform::generator::{multi_site_grid, uniform_random_cluster};
 use adept_platform::{MbitRate, MflopRate, Platform};
-use adept_workload::{ClientDemand, Dgemm};
+use adept_workload::{ClientDemand, Dgemm, ServiceMix};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn platform(n: usize) -> Platform {
@@ -226,6 +227,69 @@ fn bench_hetero_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// The mix planner's Table-4-style quality bar: `MixPlanner` against
+/// the mix-aware sweep reference (`SweepPlanner::best_mix_plan`) on the
+/// two gated scenarios — a 2-service mix on a 2-site grid and a
+/// 4-service mix on one site. Two kinds of records feed `bench_gate`:
+///
+/// * `mix_vs_sweep/quality/<scenario>` — the heuristic/reference
+///   weighted-min objective ratio (a metric record), held ≥ 0.9 by the
+///   gate's quality floor so a quality regression in either planner
+///   fails CI;
+/// * `mix_vs_sweep/sweep-ref-<scenario>/<n>` — the reference's own
+///   wall clock, under an absolute ceiling so the composition walk's
+///   pruning cannot silently decay into the exponential unpruned scan.
+fn bench_mix_vs_sweep(c: &mut Criterion) {
+    let scenarios: Vec<(&str, Platform, ServiceMix)> = vec![
+        (
+            "2svc-2site",
+            multi_site_grid(2, 18, MflopRate(400.0), MbitRate(100.0), MbitRate(10.0), 7),
+            ServiceMix::new(vec![
+                (Dgemm::new(310).service(), 2.0),
+                (Dgemm::new(450).service(), 1.0),
+            ]),
+        ),
+        ("4svc-1site", platform(48), bench::scenarios::mix4()),
+    ];
+    for (label, platform, mix) in &scenarios {
+        let sweep = SweepPlanner::default()
+            .best_mix_plan(platform, mix, MixObjective::WeightedMin)
+            .expect("fits");
+        let heur = MixPlanner::default()
+            .plan_mix_unbounded(platform, mix)
+            .expect("fits");
+        let ratio = heur.objective_value / sweep.objective_value;
+        eprintln!(
+            "mix_vs_sweep {label}: heuristic {:.2} req/s vs sweep reference {:.2} req/s \
+             ({:.1}% of the bar)",
+            heur.objective_value,
+            sweep.objective_value,
+            ratio * 100.0
+        );
+        c.report_metric(format!("mix_vs_sweep/quality/{label}"), ratio);
+    }
+    let mut group = c.benchmark_group("mix_vs_sweep");
+    group.sample_size(10);
+    for (label, platform, mix) in &scenarios {
+        group.bench_with_input(
+            BenchmarkId::new(format!("sweep-ref-{label}"), platform.node_count()),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        SweepPlanner::default()
+                            .best_mix_plan(platform, mix, MixObjective::WeightedMin)
+                            .expect("fits"),
+                    )
+                    .plan
+                    .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 /// ROADMAP's online replan latency budget: one end-to-end
 /// `OnlinePlanner::replan` round (evaluator build + O(log n) probes)
 /// against a demand 1.5× the running plan's rate, at n = 10⁴ and the
@@ -338,6 +402,7 @@ criterion_group!(
     bench_planners,
     bench_eval_strategy,
     bench_mix_scaling,
+    bench_mix_vs_sweep,
     bench_hetero_scaling,
     bench_online_replan,
     bench_control_loop

@@ -20,7 +20,12 @@
 //! * **pair rules** — [`FASTER_THAN`] asserts one id stays cheaper than
 //!   another within the *same* run (hardware-independent). This encodes
 //!   the batched-mix acceptance bar: a 4-service mix plan at n = 400
-//!   must cost less than two independent single-service plans.
+//!   must cost less than two independent single-service plans;
+//! * **quality floors** — [`QUALITY_FLOORS`] holds non-timing metric
+//!   records (quality ratios the benches export via `report_metric`) at
+//!   or above a floor. The `mix_vs_sweep` entries pin `MixPlanner` to
+//!   ≥ 90% of the mix-aware sweep reference's objective, the paper's
+//!   Table-4 "Heur. Perf." bar extended to service mixes.
 //!
 //! The records are parsed with a purpose-built scanner (the offline
 //! build environment has no serde); the format is the vendored
@@ -35,11 +40,14 @@ pub const NOISE_RATIO: f64 = 2.5;
 /// Coarse absolute ceilings (id, max mean ns). Each budget leaves ~20×
 /// headroom over its locally recorded mean so slow CI hardware passes
 /// while a complexity regression (e.g. an O(n) probe sneaking back into
-/// the O(log n) loop, or an O(n) scan per control tick) still fails.
+/// the O(log n) loop, an O(n) scan per control tick, or the mix sweep's
+/// composition pruning decaying into the unpruned walk) still fails.
 pub const CEILINGS: &[(&str, f64)] = &[
     ("online_replan/10000", 25_000_000.0),
     ("online_replan/100000", 300_000_000.0),
     ("control_loop/100000", 1_800_000_000.0),
+    ("mix_vs_sweep/sweep-ref-2svc-2site/36", 15_000_000.0),
+    ("mix_vs_sweep/sweep-ref-4svc-1site/48", 700_000_000.0),
 ];
 
 /// Same-run ordering rules: the first id's mean must stay strictly below
@@ -48,6 +56,17 @@ pub const FASTER_THAN: &[(&str, &str)] = &[(
     "mix_scaling/mix-planner-4svc/400",
     "mix_scaling/independent-2svc/400",
 )];
+
+/// Quality floors (id, min value): non-timing metric records (exported
+/// by the benches through `report_metric`, carried in the `mean_ns`
+/// field) that must stay **at or above** a floor, hardware-independent.
+/// This encodes the mix planner's Table-4-style acceptance bar:
+/// `MixPlanner` must reach ≥ 90% of the mix-aware sweep reference's
+/// objective on the gated scenarios.
+pub const QUALITY_FLOORS: &[(&str, f64)] = &[
+    ("mix_vs_sweep/quality/2svc-2site", 0.9),
+    ("mix_vs_sweep/quality/4svc-1site", 0.9),
+];
 
 /// One parsed benchmark record.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,6 +112,15 @@ pub enum Violation {
         /// Means (ns) when both ran.
         means: Option<(f64, f64)>,
     },
+    /// A quality metric fell below its floor (or its id is missing).
+    QualityBelowFloor {
+        /// Metric id.
+        id: String,
+        /// Required minimum value.
+        floor: f64,
+        /// Current value, `None` when the metric was not exported.
+        value: Option<f64>,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -133,6 +161,16 @@ impl fmt::Display for Violation {
             Violation::PairViolated { fast, slow, means: None } => {
                 write!(f, "PAIR {fast} < {slow}: one of the ids did not run")
             }
+            Violation::QualityBelowFloor {
+                id,
+                floor,
+                value: Some(v),
+            } => write!(f, "QUALITY {id}: {v:.4} below the {floor} floor"),
+            Violation::QualityBelowFloor {
+                id,
+                floor,
+                value: None,
+            } => write!(f, "QUALITY {id}: metric missing (floor {floor})"),
         }
     }
 }
@@ -186,7 +224,11 @@ fn mean_of(records: &[BenchRecord], id: &str) -> Option<f64> {
 /// Applies every rule; returns all violations (empty = gate passes).
 pub fn check(current: &[BenchRecord], baseline: &[BenchRecord]) -> Vec<Violation> {
     let mut violations = Vec::new();
-    for base in baseline {
+    // Quality metrics have their own floor rule (which also reports a
+    // missing metric); running them through the timing regression ratio
+    // would diagnose a quality shift as a nonsensical slowdown.
+    let is_quality = |id: &str| QUALITY_FLOORS.iter().any(|&(q, _)| q == id);
+    for base in baseline.iter().filter(|b| !is_quality(&b.id)) {
         match mean_of(current, &base.id) {
             None => violations.push(Violation::Missing {
                 id: base.id.clone(),
@@ -223,6 +265,16 @@ pub fn check(current: &[BenchRecord], baseline: &[BenchRecord]) -> Vec<Violation
                 fast: fast.to_string(),
                 slow: slow.to_string(),
                 means: None,
+            }),
+        }
+    }
+    for &(id, floor) in QUALITY_FLOORS {
+        match mean_of(current, id) {
+            Some(v) if v >= floor => {}
+            other => violations.push(Violation::QualityBelowFloor {
+                id: id.to_string(),
+                floor,
+                value: other,
             }),
         }
     }
@@ -277,6 +329,10 @@ mod tests {
             rec("control_loop/100000", 90_000_000.0),
             rec("mix_scaling/mix-planner-4svc/400", 450_000.0),
             rec("mix_scaling/independent-2svc/400", 1_000_000.0),
+            rec("mix_vs_sweep/sweep-ref-2svc-2site/36", 500_000.0),
+            rec("mix_vs_sweep/sweep-ref-4svc-1site/48", 30_000_000.0),
+            rec("mix_vs_sweep/quality/2svc-2site", 0.99),
+            rec("mix_vs_sweep/quality/4svc-1site", 1.03),
         ]
     }
 
@@ -373,6 +429,46 @@ mod tests {
         assert!(violations
             .iter()
             .any(|v| matches!(v, Violation::PairViolated { means: Some(_), .. })));
+    }
+
+    #[test]
+    fn mix_quality_floor_is_enforced() {
+        let mut current = passing_current();
+        let baseline = current.clone();
+        current
+            .iter_mut()
+            .find(|r| r.id == "mix_vs_sweep/quality/2svc-2site")
+            .unwrap()
+            .mean_ns = 0.85; // heuristic dropped below 90% of the reference
+        let violations = check(&current, &baseline);
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            Violation::QualityBelowFloor {
+                value: Some(v),
+                ..
+            } if *v == 0.85
+        )));
+        // Quality ids are exempt from the timing rules: a ratio moving
+        // more than NOISE_RATIO from its baseline (here 0.99 -> 2.6,
+        // a *good* move above the floor) must not be misdiagnosed as a
+        // wall-clock regression.
+        let mut current = passing_current();
+        current
+            .iter_mut()
+            .find(|r| r.id == "mix_vs_sweep/quality/2svc-2site")
+            .unwrap()
+            .mean_ns = 2.6;
+        assert!(check(&current, &baseline).is_empty());
+        assert!(violations.iter().any(|v| v.to_string().contains("QUALITY")));
+        // A quality metric vanishing from the run also fails.
+        let current: Vec<BenchRecord> = passing_current()
+            .into_iter()
+            .filter(|r| r.id != "mix_vs_sweep/quality/4svc-1site")
+            .collect();
+        let violations = check(&current, &current.clone());
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::QualityBelowFloor { value: None, .. })));
     }
 
     #[test]

@@ -143,6 +143,7 @@ pub struct Controller<'a> {
     cooldown_until: u64,
     replans: u64,
     migrations: u64,
+    rejected_samples: u64,
 }
 
 impl<'a> Controller<'a> {
@@ -199,6 +200,7 @@ impl<'a> Controller<'a> {
             cooldown_until: 0,
             replans: 0,
             migrations: 0,
+            rejected_samples: 0,
         }
     }
 
@@ -226,6 +228,15 @@ impl<'a> Controller<'a> {
     /// Migrations actually executed.
     pub fn migrations(&self) -> u64 {
         self.migrations
+    }
+
+    /// Corrupt observations dropped so far (NaN, infinite, or negative
+    /// demand rates; non-finite or negative execution samples) instead
+    /// of being fed to the forecasters — the tick report's data-quality
+    /// counter. A rising value means the telemetry source is sick while
+    /// the control loop keeps flying on the last healthy statistics.
+    pub fn rejected_samples(&self) -> u64 {
+        self.rejected_samples
     }
 
     /// Model evaluation of the running deployment under the current
@@ -275,11 +286,21 @@ impl<'a> Controller<'a> {
             self.mix.len(),
             "one observed rate per mix service"
         );
+        // Corrupt telemetry is dropped, never fed to the statistics: the
+        // forecasters' EMAs never forget, so a single NaN rate or
+        // execution sample would poison every subsequent replan's
+        // forecast/Wapp. Drops are surfaced via `rejected_samples`.
         for (f, &rate) in self.demand.iter_mut().zip(&obs.rates) {
-            f.observe(rate);
+            if rate.is_finite() && rate >= 0.0 {
+                f.observe(rate);
+            } else {
+                self.rejected_samples += 1;
+            }
         }
         for sample in &obs.executions {
-            self.wapp[sample.service].observe(sample.duration, sample.power);
+            if !self.wapp[sample.service].observe(sample.duration, sample.power) {
+                self.rejected_samples += 1;
+            }
         }
 
         // Trigger evaluation: drift statistics are O(services); the
@@ -405,6 +426,7 @@ impl fmt::Debug for Controller<'_> {
             .field("tick", &self.tick)
             .field("replans", &self.replans)
             .field("migrations", &self.migrations)
+            .field("rejected_samples", &self.rejected_samples)
             .field("running", &self.running.to_string())
             .finish_non_exhaustive()
     }
@@ -580,6 +602,51 @@ mod tests {
             "re-anchoring must stop the permanent refire, got {}",
             c.replans()
         );
+    }
+
+    #[test]
+    fn corrupt_observations_are_dropped_and_counted() {
+        // Regression: a NaN demand rate (or execution duration) used to
+        // panic inside the forecasters' asserts — and, had it slipped
+        // through, would have poisoned the EMA for every later replan.
+        // The loop must instead drop the sample, count it, and keep
+        // controlling on the last healthy statistics.
+        let platform = lyon_cluster(30);
+        let planned = MixDemand::targets(vec![2.0, 0.3]);
+        let mut c = controller_on(&platform, &planned, ControllerConfig::default());
+        let corrupt = Observations {
+            rates: vec![f64::NAN, f64::INFINITY],
+            executions: vec![
+                ExecutionSample {
+                    service: 0,
+                    duration: Seconds(f64::NAN),
+                    power: MflopRate(400.0),
+                },
+                ExecutionSample {
+                    service: 1,
+                    duration: Seconds(1.0),
+                    power: MflopRate(f64::INFINITY),
+                },
+            ],
+        };
+        let migrated = c.tick(&corrupt).expect("corrupt telemetry is not an error");
+        assert!(migrated.is_none());
+        assert_eq!(c.rejected_samples(), 4, "every corrupt sample counted");
+        // Forecasts fall back to the planned rates: nothing landed.
+        assert_eq!(c.forecast(), vec![2.0, 0.3]);
+        // The loop keeps flying: steady clean ticks neither replan nor
+        // carry any NaN into the model.
+        for _ in 0..20 {
+            let m = c
+                .tick(&Observations::rates(vec![2.0, 0.3]))
+                .expect("steady state cannot fail");
+            assert!(m.is_none());
+        }
+        assert_eq!(c.replans(), 0);
+        assert_eq!(c.rejected_samples(), 4);
+        let report = c.predicted();
+        assert!(report.rho.is_finite() && report.rho > 0.0);
+        assert!(format!("{c:?}").contains("rejected_samples: 4"));
     }
 
     #[test]

@@ -1399,6 +1399,50 @@ impl IncrementalEval {
         throughput::service_rate_from_sums(transfer, num, den)
     }
 
+    /// Batch form of [`service_rate_with_extra`](IncrementalEval::service_rate_with_extra):
+    /// what [`rho_service_of`](IncrementalEval::rho_service_of)`(j)`
+    /// would become if `extra_servers` more servers totalling
+    /// `extra_power_sum` MFlop/s were assigned to service `j`, in one
+    /// O(1) read — the Eq. 15 running sums are linear in the added set,
+    /// so only its size and power *sum* matter. This is the optimistic
+    /// bound the mix sweep's composition walk prunes with ("even handed
+    /// every remaining server, service `j` reaches at most this rate"):
+    /// probing it per candidate count would cost the O(log n) delta the
+    /// bound exists to avoid. `extra_servers == 0` returns the current
+    /// rate for a non-empty partition (and the sum-formula rate, not the
+    /// 0.0 empty-partition convention, for an empty one).
+    ///
+    /// Site-aware caveat: as with the single-server form, the newcomer
+    /// sites are unknown, so the service's current worst-transfer bound
+    /// is kept (empty partitions price at the cheapest site) — a lower
+    /// bound on transfer, hence still an optimistic rate bound when the
+    /// platform's client links are uniform or the partition already
+    /// spans the slowest site.
+    pub fn service_rate_with_added(
+        &self,
+        j: usize,
+        extra_servers: usize,
+        extra_power_sum: f64,
+    ) -> f64 {
+        let num = self.svc_numerator[j] + extra_servers as f64 * self.svc_wpre_over_wapp[j];
+        let den = self.svc_denominator[j] + extra_power_sum * self.svc_inv_wapp[j];
+        let transfer = match self.site.as_deref() {
+            None => self.service_transfer,
+            Some(sm) => {
+                let worst = self.worst_transfer_of(j);
+                if worst == f64::NEG_INFINITY {
+                    sm.service_transfer
+                        .iter()
+                        .copied()
+                        .fold(f64::INFINITY, f64::min)
+                } else {
+                    worst
+                }
+            }
+        };
+        throughput::service_rate_from_sums(transfer, num, den)
+    }
+
     /// [`service_rate_with_extra`](IncrementalEval::service_rate_with_extra)
     /// with the newcomer's site: bit-identical to applying
     /// [`add_server_for`](IncrementalEval::add_server_for) for a node on
@@ -2355,5 +2399,69 @@ mod tests {
                 .unwrap();
         }
         check_parity(&eval, &params, &platform, &plan, &svc, "growth");
+    }
+
+    #[test]
+    fn service_rate_with_added_matches_applied_deltas_uniform_and_site_aware() {
+        use adept_platform::generator::multi_site_grid;
+        use adept_platform::MbitRate;
+        use adept_workload::ServiceMix;
+        let mix = ServiceMix::new(vec![
+            (Dgemm::new(310).service(), 2.0),
+            (Dgemm::new(450).service(), 1.0),
+        ]);
+        for (label, platform) in [
+            ("uniform", lyon_cluster(12)),
+            (
+                "site-aware",
+                multi_site_grid(2, 6, MflopRate(400.0), MbitRate(100.0), MbitRate(10.0), 3),
+            ),
+        ] {
+            let params = ModelParams::from_platform(&platform);
+            let nodes = platform.ids_by_power_desc();
+            let mut eval = IncrementalEval::from_agents_mix(&params, &platform, &nodes[..1], &mix);
+            eval.add_server_for(Slot(0), nodes[1], platform.power(nodes[1]), 0)
+                .unwrap();
+            eval.add_server_for(Slot(0), nodes[2], platform.power(nodes[2]), 1)
+                .unwrap();
+            eval.commit();
+            assert_eq!(eval.is_site_aware(), label == "site-aware");
+            // One-server batch probe == the single-server probe, bitwise
+            // (same formula, same transfer bound), in both modes.
+            for j in 0..2 {
+                let p = platform.power(nodes[3]);
+                assert_eq!(
+                    eval.service_rate_with_added(j, 1, p.value()).to_bits(),
+                    eval.service_rate_with_extra(j, p).to_bits(),
+                    "{label}: single-server batch probe must match"
+                );
+            }
+            // m-server batch probe == actually applying the deltas (to
+            // float associativity: the probe multiplies the power *sum*
+            // once where the deltas multiply per server), when the
+            // newcomers share the partition's site so the worst client
+            // transfer is unchanged — the accuracy the mix sweep's
+            // pruning bound relies on (its TIE_EPS margins absorb the
+            // ulp-level difference).
+            let same_site: Vec<NodeId> = nodes[3..]
+                .iter()
+                .copied()
+                .filter(|&id| platform.site_of(id) == platform.site_of(nodes[1]))
+                .take(3)
+                .collect();
+            assert!(same_site.len() >= 2, "{label}: need same-site spares");
+            let sum: f64 = same_site.iter().map(|&id| platform.power(id).value()).sum();
+            let predicted = eval.service_rate_with_added(0, same_site.len(), sum);
+            for &id in &same_site {
+                eval.add_server_for(Slot(0), id, platform.power(id), 0)
+                    .unwrap();
+            }
+            let applied = eval.rho_service_of(0);
+            assert!(
+                (predicted - applied).abs() <= 1e-12 * applied.max(1.0),
+                "{label}: batch probe {predicted} vs applied deltas {applied}"
+            );
+            eval.undo_all();
+        }
     }
 }

@@ -306,6 +306,12 @@ pub(crate) fn objective_score(objective: MixObjective, eval: &IncrementalEval) -
         MixObjective::WeightedSum => {
             let sched = eval.rho_sched();
             (0..eval.service_count())
+                // A zero-share service contributes nothing by definition;
+                // skipping it (instead of multiplying by 0) keeps an
+                // unbounded per-service rate from turning the whole sum
+                // into `inf * 0.0 = NaN`, which every later plateau
+                // comparison would silently absorb as "not better".
+                .filter(|&j| eval.share(j) > 0.0)
                 .map(|j| eval.share(j) * sched.min(eval.rho_service_of(j)))
                 .sum()
         }
@@ -493,6 +499,7 @@ pub(crate) fn best_attach_service(
                     f64::INFINITY
                 };
                 (0..s)
+                    .filter(|&k| eval.share(k) > 0.0) // see objective_score
                     .map(|k| {
                         let rate = if k == cand {
                             extra
@@ -764,6 +771,36 @@ mod tests {
             MixPlanner::default().plan_mix(&platform, &mix, &MixDemand::targets(vec![1.0, 5.0])),
             Err(PlannerError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn degenerate_demand_never_poisons_either_objective() {
+        // Regression: an unbounded (infinite) target riding with a
+        // zero-share service must flow through both objectives without
+        // producing a NaN anywhere — the weighted-sum previously summed
+        // `share * min(sched, rate)` over every service, one
+        // `inf * 0.0` away from poisoning all plateau comparisons.
+        let platform = lyon_cluster(30);
+        let mix = ServiceMix::new(vec![
+            (Dgemm::new(310).service(), 1.0),
+            (Dgemm::new(1000).service(), 0.0),
+        ]);
+        let demand = MixDemand::targets(vec![f64::INFINITY, 0.0]);
+        for objective in [MixObjective::WeightedMin, MixObjective::WeightedSum] {
+            let got = MixPlanner::with_objective(objective)
+                .plan_mix(&platform, &mix, &demand)
+                .unwrap();
+            assert!(
+                got.objective_value.is_finite(),
+                "{objective:?}: objective {} must be finite",
+                got.objective_value
+            );
+            assert!(got.report.rho.is_finite());
+            assert!(got.report.rho_service.iter().all(|r| r.is_finite()));
+            assert!(got.assignment.count_for(1) == 0, "idle service stays empty");
+        }
+        // The validating constructor rejects real poison at the door.
+        assert!(MixDemand::try_targets(vec![f64::NAN, 1.0]).is_err());
     }
 
     #[test]

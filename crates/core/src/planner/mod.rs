@@ -8,7 +8,10 @@
 //!   degree chosen under the model (Table 4's "Homo. Deg." column).
 //! * [`SweepPlanner`] — a model-guided search over (agent count, server
 //!   count) with balanced degree distribution; the strongest reference we
-//!   can compute in polynomial time, used as Table 4's "optimal".
+//!   can compute in polynomial time, used as Table 4's "optimal". Its
+//!   mix-aware form ([`SweepPlanner::best_mix_plan`], module
+//!   [`sweep_mix`]) sweeps agent count × per-service server-count
+//!   compositions and is the quality bar [`MixPlanner`] is judged by.
 //! * [`StarPlanner`] and [`BalancedPlanner`] — the intuitive comparators of
 //!   Section 5.3 (Figures 6–7).
 //! * [`improve`] — the iterative bottleneck-removal pass of the authors'
@@ -35,6 +38,7 @@ pub(crate) mod realize;
 pub mod revise;
 pub mod roundrobin;
 pub mod sweep;
+pub mod sweep_mix;
 
 pub use baselines::{BalancedPlanner, StarPlanner};
 pub use heuristic::HeuristicPlanner;
@@ -92,6 +96,10 @@ pub enum PlannerError {
     },
     /// A planner-specific configuration problem.
     InvalidConfig(String),
+    /// A plan-level error surfaced through a planner (e.g. a
+    /// [`SweepPlanner::max_agents`](sweep::SweepPlanner::max_agents) cap
+    /// leaving no server: [`adept_hierarchy::PlanError::NotEnoughServers`]).
+    Plan(adept_hierarchy::PlanError),
 }
 
 impl fmt::Display for PlannerError {
@@ -102,11 +110,18 @@ impl fmt::Display for PlannerError {
                 "not enough nodes: planner needs {needed}, platform has {available}"
             ),
             PlannerError::InvalidConfig(msg) => write!(f, "invalid planner config: {msg}"),
+            PlannerError::Plan(e) => write!(f, "planner hit a plan error: {e}"),
         }
     }
 }
 
 impl std::error::Error for PlannerError {}
+
+impl From<adept_hierarchy::PlanError> for PlannerError {
+    fn from(e: adept_hierarchy::PlanError) -> Self {
+        PlannerError::Plan(e)
+    }
+}
 
 /// A deployment planner: maps a platform, a service and a client demand to
 /// a hierarchy.

@@ -32,12 +32,23 @@
 //! platforms (the true problem is NP-hard, Section 1), but on homogeneous
 //! clusters the swept family contains every complete spanning d-ary tree's
 //! throughput, so it can only match or beat the CSD optimum of \[10\].
+//!
+//! **Service mixes.** [`SweepPlanner::best_mix_plan`] (module
+//! [`sweep_mix`](super::sweep_mix)) extends the family with a third
+//! axis: integer *compositions* of the server count across the mix's
+//! services, walked as O(log n) engine deltas and kept tractable by a
+//! per-service **Eq. 15 pruning bound** — once a service's rate
+//! saturates its share of the (only-ever-falling) scheduling rate,
+//! every larger count for it is dominated, which caps each composition
+//! digit near its saturation point instead of at `n`. See the
+//! `sweep_mix` module docs for the full argument. The multi-site
+//! phase 2 below is shared between both references.
 
 use super::realize::HeapEntry;
 use super::{resolve_params, Planner, PlannerError};
 use crate::model::throughput::{sch_pow, server_prediction_cycle, service_rate_from_sums};
 use crate::model::{comm, IncrementalEval, ModelParams};
-use adept_hierarchy::{DeploymentPlan, Slot};
+use adept_hierarchy::{DeploymentPlan, PlanError, Slot};
 use adept_platform::{NodeId, Platform};
 use adept_workload::{ClientDemand, ServiceSpec};
 use std::collections::BinaryHeap;
@@ -45,11 +56,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Strict-improvement resolution of the sweep: ties within this margin
 /// keep the earlier (fewer-agents, fewer-nodes) configuration.
-const TIE_EPS: f64 = 1e-12;
+pub(crate) const TIE_EPS: f64 = 1e-12;
 
 /// Below this node count the sweep stays sequential — thread spawn
 /// overhead would dominate the O(n² log n) scan.
-const PARALLEL_THRESHOLD: usize = 64;
+pub(crate) const PARALLEL_THRESHOLD: usize = 64;
 
 /// The sweep planner.
 #[derive(Debug, Clone, Copy)]
@@ -60,9 +71,17 @@ pub struct SweepPlanner {
     /// platforms (default). The result is deterministic either way.
     pub parallel: bool,
     /// Worker-count override; `None` uses the machine's available
-    /// parallelism. Only consulted when [`parallel`](Self::parallel) is
-    /// on and the platform crosses the size threshold.
+    /// parallelism, and any explicit value is clamped to at least one
+    /// worker (`with_threads(0)` runs sequentially rather than spawning
+    /// an empty pool). Only consulted when [`parallel`](Self::parallel)
+    /// is on and the platform crosses the size threshold.
     pub threads: Option<usize>,
+    /// Optional cap on the swept agent count `k`; `None` (default)
+    /// sweeps every feasible count. A cap of `0` is a configuration
+    /// error, and a cap of `n` or more nodes is
+    /// [`PlanError::NotEnoughServers`] — honoring it would leave no
+    /// node to serve, so the sweep range would silently be empty.
+    pub max_agents: Option<usize>,
 }
 
 impl Default for SweepPlanner {
@@ -71,6 +90,7 @@ impl Default for SweepPlanner {
             params: None,
             parallel: true,
             threads: None,
+            max_agents: None,
         }
     }
 }
@@ -85,11 +105,36 @@ impl SweepPlanner {
     }
 
     /// A sweep with an explicit worker count (testing/tuning hook).
+    /// `0` is clamped to one worker — i.e. the sequential scan.
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads: Some(threads),
             ..Self::default()
         }
+    }
+
+    /// Validates [`max_agents`](Self::max_agents) against the platform
+    /// size, so a nonsensical cap surfaces as a typed error instead of
+    /// an empty sweep range reporting "no feasible deployment".
+    pub(crate) fn validate_max_agents(&self, n: usize) -> Result<(), PlannerError> {
+        match self.max_agents {
+            Some(0) => Err(PlannerError::InvalidConfig(
+                "max_agents must be at least 1 (the root is an agent)".into(),
+            )),
+            Some(m) if m >= n => Err(PlannerError::Plan(PlanError::NotEnoughServers {
+                needed: 1,
+                available: n.saturating_sub(m),
+            })),
+            _ => Ok(()),
+        }
+    }
+
+    /// The agent-count range swept over `n_local` nodes: the global cap
+    /// (already validated) clamped to the local node list.
+    pub(crate) fn k_cap(&self, n_local: usize) -> usize {
+        self.max_agents
+            .unwrap_or(n_local - 1)
+            .min(n_local.saturating_sub(1))
     }
 }
 
@@ -239,7 +284,11 @@ impl SweepPlanner {
     /// (hetero) model's.
     ///
     /// # Errors
-    /// [`PlannerError::NotEnoughNodes`] below two nodes.
+    /// [`PlannerError::NotEnoughNodes`] below two nodes;
+    /// [`PlannerError::InvalidConfig`] for a zero
+    /// [`max_agents`](Self::max_agents) cap and
+    /// [`PlanError::NotEnoughServers`] (wrapped) for a cap that leaves
+    /// no server below it.
     pub fn best_plan(
         &self,
         platform: &Platform,
@@ -252,6 +301,7 @@ impl SweepPlanner {
                 available: n,
             });
         }
+        self.validate_max_agents(n)?;
         let params = resolve_params(self.params, platform);
         if params.uses_link_bandwidths(platform) {
             // Also taken for a single-site PerSitePair network: the
@@ -291,6 +341,7 @@ impl SweepPlanner {
             transfer: comm::service_transfer_time(params).value(),
         };
 
+        let k_cap = self.k_cap(n);
         let workers = if self.parallel && n >= PARALLEL_THRESHOLD {
             self.threads
                 .unwrap_or_else(|| {
@@ -305,7 +356,7 @@ impl SweepPlanner {
         };
 
         let best = if workers <= 1 {
-            merge_in_k_order((1..n).filter_map(|k| scan_k(&ctx, n, k)))
+            merge_in_k_order((1..=k_cap).filter_map(|k| scan_k(&ctx, n, k)))
         } else {
             // Workers pull k values from a shared counter (dynamic load
             // balance: small k scans are much longer than large k ones),
@@ -320,7 +371,7 @@ impl SweepPlanner {
                             let mut local = Vec::new();
                             loop {
                                 let k = next_k.fetch_add(1, Ordering::Relaxed);
-                                if k >= n {
+                                if k > k_cap {
                                     break;
                                 }
                                 if let Some(b) = scan_k(ctx, n, k) {
@@ -359,12 +410,19 @@ impl SweepPlanner {
     ///    a site *are* uniform, so this stays the exact family search);
     ///    each winner is re-scored under the per-link model and the best
     ///    single-site deployment seeds phase 2.
-    /// 2. **Per-site server-count sweep** — for every foreign site, a
-    ///    mid-agent (the site's strongest node) opens under the root and
-    ///    the site's servers attach beneath it strongest-first while the
-    ///    hetero ρ strictly improves, on the site-aware incremental
-    ///    engine; passes repeat until a full round adds nothing. Only
-    ///    the two mid-agent↔root messages per request cross the WAN.
+    /// 2. **Per-site sub-sweeps** — every site (the seed's included)
+    ///    grows server groups behind site-local mid-agents on the
+    ///    site-aware incremental engine, and may hold **multiple**
+    ///    mid-agents: each step commits the best strictly-improving
+    ///    move among attaching the next spare under any of the site's
+    ///    attach targets, opening a fresh mid-agent pair under the
+    ///    root, or promoting a spare into a steal-rebalanced mid that
+    ///    adopts children away from the binding agent (the sweep's
+    ///    `shift_nodes` counterpart, so growth continues past the
+    ///    sched/service crossing the single-mid family stalled at).
+    ///    Passes repeat until a full round adds nothing
+    ///    ([`extend_across_sites_engine`]); only the mid-agent↔root
+    ///    messages per request cross the WAN.
     ///
     /// Falls back to the min-B scalarized sweep re-scored under the
     /// per-link model when no single site can seat two nodes.
@@ -413,7 +471,9 @@ impl SweepPlanner {
 
     /// Phase 2 of the multi-site sweep: grow per-foreign-site server
     /// groups on the site-aware incremental engine (see
-    /// [`best_plan_multi_site`](SweepPlanner::best_plan_multi_site)).
+    /// [`best_plan_multi_site`](SweepPlanner::best_plan_multi_site)),
+    /// through the shared [`extend_across_sites_engine`] driver (the
+    /// mix-aware sweep reference reuses it with its own objective).
     fn extend_across_sites(
         &self,
         platform: &Platform,
@@ -423,81 +483,197 @@ impl SweepPlanner {
     ) -> (DeploymentPlan, f64) {
         let mut eval = IncrementalEval::from_plan(params, platform, &seed, service);
         debug_assert!(eval.is_site_aware());
-        let root = seed.root();
-        // Strongest-first spare nodes per site.
-        let mut spare: Vec<Vec<NodeId>> = platform
-            .sites()
-            .iter()
-            .map(|s| {
-                let mut v: Vec<NodeId> = platform
-                    .nodes_on_site(s.id)
-                    .into_iter()
-                    .filter(|&id| !eval.uses_node(id))
-                    .collect();
-                super::improve::by_power_desc(platform, &mut v);
-                v.reverse(); // pop() takes the strongest
-                v
-            })
-            .collect();
-        // The mid-agent slot opened for each site, once one exists.
-        let mut group: Vec<Option<Slot>> = vec![None; platform.site_count()];
-        for _pass in 0..MAX_CROSS_SITE_PASSES {
-            let mut grew = false;
-            for site_idx in 0..platform.site_count() {
-                let mut rho = eval.rho();
-                while let Some(&node) = spare[site_idx].last() {
+        extend_across_sites_engine(
+            params,
+            platform,
+            &mut eval,
+            seed.root(),
+            &[0],
+            self.max_agents,
+            |e| e.rho(),
+        );
+        let rho = eval.rho();
+        (super::realize::realize_from_eval(&eval), rho)
+    }
+}
+
+/// One candidate move of the cross-site growth phase.
+#[derive(Debug, Clone, Copy)]
+enum CrossSiteMove {
+    /// Attach the site's strongest spare as a server for `service`
+    /// under the already-open mid-agent `mid`.
+    Attach { mid: Slot, service: usize },
+    /// Open a **new** mid-agent on the site (strongest spare) with the
+    /// second spare as its first server for `service` — accepted only
+    /// as a pair, since a bare agent level never helps.
+    Open { service: usize },
+}
+
+/// Phase 2 of the multi-site sweeps, shared between the single-service
+/// and the mix-aware reference: per-site growth of server groups behind
+/// site-local mid-agents, on the (site-aware) incremental engine.
+///
+/// Unlike the original single-group phase, every site may hold
+/// **multiple mid-agents**: each step runs a per-site sub-sweep over
+/// all candidate moves — attach the next spare under *any* of the
+/// site's attach targets (the seed's own agents count, for any
+/// candidate service), open a fresh mid-agent pair under the root, or
+/// **convert** the site's strongest server into a mid-agent that
+/// steal-rebalances children away from the binding agent
+/// ([`promote_and_steal`]) — and commits the best strictly-improving
+/// one (`score` rises by more than [`TIE_EPS`] relative). A saturated
+/// tree therefore keeps growing past the sched/service crossing the
+/// single-mid phase stalled at: when no attachment helps, a conversion
+/// relieves the bottleneck agent and re-opens attach headroom, exactly
+/// as Algorithm 1's `shift_nodes` does for the heuristic. Only the
+/// mid↔root messages cross the WAN either way.
+///
+/// `candidates` are the service indices a new server may host (`&[0]`
+/// for a single-service evaluator); `score` is the objective the sweep
+/// maximizes (ρ, or a mix objective); `max_agents` is the planner's
+/// agent cap, honored across the Open/steal moves (phase 1 already
+/// respects it per site). Probes are engine deltas undone before the
+/// next probe, so the evaluator is bit-exactly unchanged on rejection.
+pub(crate) fn extend_across_sites_engine(
+    params: &ModelParams,
+    platform: &Platform,
+    eval: &mut IncrementalEval,
+    root: Slot,
+    candidates: &[usize],
+    max_agents: Option<usize>,
+    score: impl Fn(&IncrementalEval) -> f64,
+) {
+    debug_assert_eq!(eval.pending_deltas(), 0, "grow from a committed state");
+    let agent_budget = max_agents.unwrap_or(usize::MAX);
+    let mut agent_count = eval.agents().count();
+    // Strongest-first spare nodes per site.
+    let mut spare: Vec<Vec<NodeId>> = platform
+        .sites()
+        .iter()
+        .map(|s| {
+            let mut v: Vec<NodeId> = platform
+                .nodes_on_site(s.id)
+                .into_iter()
+                .filter(|&id| !eval.uses_node(id))
+                .collect();
+            super::improve::by_power_desc(platform, &mut v);
+            v.reverse(); // pop() takes the strongest
+            v
+        })
+        .collect();
+    // Attach targets per site: the seed's own agents count (a spare on
+    // the seed's site belongs under the existing tree, not behind a
+    // fresh root-level mid), plus every mid opened or converted below.
+    let mut mids: Vec<Vec<Slot>> = vec![Vec::new(); platform.site_count()];
+    for agent in eval.agents() {
+        mids[eval.site_of_slot(agent).index()].push(agent);
+    }
+    for _pass in 0..MAX_CROSS_SITE_PASSES {
+        let mut grew = false;
+        for site_idx in 0..platform.site_count() {
+            // The site's sub-sweep: commit best improving moves until
+            // none is left.
+            loop {
+                let base = score(eval);
+                let mut best: Option<(CrossSiteMove, f64)> = None;
+                let consider = |mv: CrossSiteMove, sc: f64, best: &mut Option<_>| {
+                    if best.as_ref().is_none_or(|&(_, cur)| sc > cur) {
+                        *best = Some((mv, sc));
+                    }
+                };
+                if let Some(&node) = spare[site_idx].last() {
                     let power = platform.power(node);
-                    match group[site_idx] {
-                        None => {
-                            // Open the site's group: mid-agent + first
-                            // server, accepted only as a pair (a bare
-                            // agent level never helps).
-                            if spare[site_idx].len() < 2 {
-                                break;
-                            }
-                            let mid_slot = eval
-                                .add_server(root, node, power)
+                    for &mid in &mids[site_idx] {
+                        for &service in candidates {
+                            eval.add_server_for(mid, node, power, service)
                                 .expect("spare nodes are unused");
-                            eval.promote_to_agent(mid_slot).expect("just added");
-                            let first = spare[site_idx][spare[site_idx].len() - 2];
-                            eval.add_server(mid_slot, first, platform.power(first))
-                                .expect("spare nodes are unused");
-                            let grown = eval.rho();
-                            if grown > rho * (1.0 + TIE_EPS) {
-                                eval.commit();
-                                group[site_idx] = Some(mid_slot);
-                                spare[site_idx].pop();
-                                spare[site_idx].pop();
-                                rho = grown;
-                                grew = true;
-                            } else {
-                                eval.undo_all();
-                                break;
-                            }
-                        }
-                        Some(mid) => {
-                            eval.add_server(mid, node, power)
-                                .expect("spare nodes are unused");
-                            let grown = eval.rho();
-                            if grown > rho * (1.0 + TIE_EPS) {
-                                eval.commit();
-                                spare[site_idx].pop();
-                                rho = grown;
-                                grew = true;
-                            } else {
-                                eval.undo();
-                                break;
-                            }
+                            let sc = score(eval);
+                            eval.undo();
+                            consider(CrossSiteMove::Attach { mid, service }, sc, &mut best);
                         }
                     }
+                    if spare[site_idx].len() >= 2 && agent_count < agent_budget {
+                        let first = spare[site_idx][spare[site_idx].len() - 2];
+                        let first_power = platform.power(first);
+                        let mid = eval
+                            .add_server(root, node, power)
+                            .expect("spare nodes are unused");
+                        eval.promote_to_agent(mid).expect("just added");
+                        for &service in candidates {
+                            eval.add_server_for(mid, first, first_power, service)
+                                .expect("spare nodes are unused");
+                            let sc = score(eval);
+                            eval.undo();
+                            consider(CrossSiteMove::Open { service }, sc, &mut best);
+                        }
+                        eval.undo_all(); // promote + mid add
+                    }
                 }
-            }
-            if !grew {
+                if let Some((mv, sc)) = best {
+                    if sc > base * (1.0 + TIE_EPS) {
+                        let node = *spare[site_idx].last().expect("probed a spare");
+                        let power = platform.power(node);
+                        match mv {
+                            CrossSiteMove::Attach { mid, service } => {
+                                eval.add_server_for(mid, node, power, service)
+                                    .expect("probe just succeeded");
+                                spare[site_idx].pop();
+                            }
+                            CrossSiteMove::Open { service } => {
+                                let mid = eval
+                                    .add_server(root, node, power)
+                                    .expect("probe just succeeded");
+                                eval.promote_to_agent(mid).expect("just added");
+                                let first = spare[site_idx][spare[site_idx].len() - 2];
+                                eval.add_server_for(mid, first, platform.power(first), service)
+                                    .expect("probe just succeeded");
+                                mids[site_idx].push(mid);
+                                agent_count += 1;
+                                spare[site_idx].pop();
+                                spare[site_idx].pop();
+                            }
+                        }
+                        eval.commit();
+                        grew = true;
+                        continue;
+                    }
+                }
+                // Attachment stalled: scheduling binds, so one more
+                // server anywhere only hurts. Open a steal-rebalanced
+                // mid instead — the site's strongest spare joins as an
+                // agent and adopts children away from the binding agent
+                // (`promote_and_steal`), relieving the bottleneck
+                // without sacrificing any server's Eq. 15 capacity and
+                // re-opening attach headroom for the next rounds.
+                let steal_worked = match spare[site_idx].last() {
+                    Some(&node) if agent_count < agent_budget => {
+                        let mid = eval
+                            .add_server(root, node, platform.power(node))
+                            .expect("spare nodes are unused");
+                        // On failure promote_and_steal has already
+                        // unwound everything, the root attach included.
+                        super::realize::promote_and_steal(params, eval, mid).then_some(mid)
+                    }
+                    _ => None,
+                };
+                if let Some(mid) = steal_worked {
+                    let sc = score(eval);
+                    if sc > base * (1.0 + TIE_EPS) {
+                        eval.commit();
+                        mids[site_idx].push(mid);
+                        agent_count += 1;
+                        spare[site_idx].pop();
+                        grew = true;
+                        continue;
+                    }
+                    eval.undo_all();
+                }
                 break;
             }
         }
-        let rho = eval.rho();
-        (super::realize::realize_from_eval(&eval), rho)
+        if !grew {
+            break;
+        }
     }
 }
 
@@ -733,5 +909,142 @@ mod tests {
         assert!(SweepPlanner::default()
             .best_plan(&platform, &Dgemm::new(10).service())
             .is_err());
+    }
+
+    #[test]
+    fn with_threads_zero_is_clamped_to_one_worker() {
+        // Regression: an explicit zero worker count must run the
+        // sequential scan, not spawn an empty pool that returns nothing.
+        let platform = heterogenized_cluster(
+            "orsay",
+            80,
+            MflopRate(400.0),
+            BackgroundLoad::default(),
+            CapacityProbe::exact(),
+            3,
+        );
+        let svc = Dgemm::new(310).service();
+        let (plan0, rho0) = SweepPlanner::with_threads(0)
+            .best_plan(&platform, &svc)
+            .unwrap();
+        let (plan_seq, rho_seq) = SweepPlanner::sequential()
+            .best_plan(&platform, &svc)
+            .unwrap();
+        assert_eq!(rho0.to_bits(), rho_seq.to_bits());
+        assert!(plan0.structurally_eq(&plan_seq));
+    }
+
+    #[test]
+    fn max_agents_cap_binds_on_both_paths() {
+        // 80 nodes crosses PARALLEL_THRESHOLD so the capped k-queue is
+        // exercised on the threaded path too.
+        let platform = heterogenized_cluster(
+            "orsay",
+            80,
+            MflopRate(400.0),
+            BackgroundLoad::default(),
+            CapacityProbe::exact(),
+            3,
+        );
+        let svc = Dgemm::new(100).service();
+        let (free_plan, free_rho) = SweepPlanner::default().best_plan(&platform, &svc).unwrap();
+        assert!(
+            free_plan.agent_count() > 1,
+            "scenario must need more than one agent for the cap to bind"
+        );
+        for planner in [
+            SweepPlanner {
+                max_agents: Some(1),
+                ..SweepPlanner::sequential()
+            },
+            SweepPlanner {
+                max_agents: Some(1),
+                threads: Some(2),
+                ..SweepPlanner::default()
+            },
+        ] {
+            let (plan, rho) = planner.best_plan(&platform, &svc).unwrap();
+            assert_eq!(plan.agent_count(), 1, "the cap must bind");
+            assert!(
+                rho <= free_rho * (1.0 + 1e-12),
+                "a capped family cannot beat the free sweep"
+            );
+        }
+        // The cap must also hold across the multi-site phase 2, whose
+        // Open/steal moves add agents outside the per-site scans.
+        use adept_platform::generator::multi_site_grid;
+        use adept_platform::MbitRate;
+        let grid = multi_site_grid(2, 18, MflopRate(400.0), MbitRate(100.0), MbitRate(10.0), 7);
+        let free = SweepPlanner::default().best_plan(&grid, &svc).unwrap().0;
+        assert!(free.agent_count() > 2, "phase 2 must want extra agents");
+        for cap in [1usize, 2] {
+            let (plan, _) = SweepPlanner {
+                max_agents: Some(cap),
+                ..SweepPlanner::default()
+            }
+            .best_plan(&grid, &svc)
+            .unwrap();
+            assert!(
+                plan.agent_count() <= cap,
+                "cap {cap} violated: {} agents",
+                plan.agent_count()
+            );
+        }
+    }
+
+    #[test]
+    fn max_agents_beyond_the_platform_is_a_typed_error() {
+        use adept_hierarchy::PlanError;
+        let platform = lyon_cluster(10);
+        let svc = Dgemm::new(310).service();
+        // A cap of n (or more) leaves no server below it: previously an
+        // empty sweep range, now a typed NotEnoughServers.
+        for cap in [10usize, 11] {
+            for planner in [
+                SweepPlanner {
+                    max_agents: Some(cap),
+                    ..SweepPlanner::sequential()
+                },
+                SweepPlanner {
+                    max_agents: Some(cap),
+                    threads: Some(2),
+                    ..SweepPlanner::default()
+                },
+            ] {
+                assert!(
+                    matches!(
+                        planner.best_plan(&platform, &svc),
+                        Err(PlannerError::Plan(PlanError::NotEnoughServers {
+                            needed: 1,
+                            ..
+                        }))
+                    ),
+                    "cap {cap} must be NotEnoughServers"
+                );
+            }
+        }
+        // A zero cap is a configuration error (the root is an agent).
+        assert!(matches!(
+            SweepPlanner {
+                max_agents: Some(0),
+                ..SweepPlanner::default()
+            }
+            .best_plan(&platform, &svc),
+            Err(PlannerError::InvalidConfig(_))
+        ));
+        // The mix-aware reference validates the same way.
+        use adept_workload::ServiceMix;
+        let mix = ServiceMix::new(vec![
+            (Dgemm::new(310).service(), 1.0),
+            (Dgemm::new(450).service(), 1.0),
+        ]);
+        assert!(matches!(
+            SweepPlanner {
+                max_agents: Some(10),
+                ..SweepPlanner::default()
+            }
+            .best_mix_plan(&platform, &mix, crate::planner::MixObjective::WeightedMin),
+            Err(PlannerError::Plan(PlanError::NotEnoughServers { .. }))
+        ));
     }
 }

@@ -1,0 +1,1165 @@
+//! Mix-aware sweep reference — the multi-service counterpart of
+//! [`SweepPlanner::best_plan`], giving [`MixPlanner`](super::MixPlanner)
+//! the quality bar Table 4 gives the single-service heuristic.
+//!
+//! # The swept family
+//!
+//! A single-service sweep is two nested scans: agent count `k`
+//! (strongest-first) × server count `s` (strongest remaining first),
+//! degrees balanced by waterfill. The mix generalization keeps the tree
+//! shape exactly as the single-service sweep would build it for `(k, s)`
+//! — under the homogeneous model the scheduling phase only sees the
+//! degree/power multiset, never which service a child hosts — and adds
+//! one more axis: **how the `s` servers split among the mix's
+//! services**. For every `k`, the sweep walks all integer *compositions*
+//! `(c_1, …, c_S)` with `c_j ≥ 1` per demanded service and
+//! `Σ c_j = s ≤ n − k`, dealing servers to services in candidate order,
+//! strongest first (service 1 takes the `c_1` strongest remaining
+//! nodes, service 2 the next `c_2`, …). Each walk step is **one**
+//! [`add_server_for`](IncrementalEval::add_server_for) /
+//! [`undo`](IncrementalEval::undo) delta on the batched incremental
+//! evaluator — `O(log n)` with bit-exact rewind — so a composition step
+//! never pays more than a single-service sweep step did.
+//!
+//! # Why the walk stays tractable: the Eq. 15 pruning bound
+//!
+//! Unpruned, the composition space is `C(s−1, S−1)` per `(k, s)` —
+//! hopeless past toy sizes. Two sound prunes make it tractable up to
+//! n ≈ 400:
+//!
+//! * **per-service Eq. 15 cap** — adding servers to service `j` only
+//!   ever *raises* its Eq. 15 rate, while every added child *lowers*
+//!   the shared scheduling rate. Once `ρ_service_j` (share-normalized
+//!   under the weighted-min objective) reaches the *current* scheduling
+//!   rate — itself an upper bound on any extension's scheduling rate —
+//!   larger `c_j` at this prefix is dominated: the objective can no
+//!   longer be improved by feeding `j`, and every later service only
+//!   inherits weaker nodes. The count at which the cap fires is exactly
+//!   the paper's Eq. 15 saturation point, read in O(1) from the
+//!   engine's running sums.
+//! * **branch-and-bound** — a prefix's best possible completion is
+//!   bounded by the already-fixed components (earlier services' rates
+//!   are final; the scheduling rate only falls), for the weighted-sum
+//!   objective with each unassigned service optimistically handed
+//!   *every* remaining server in one O(1)
+//!   [`service_rate_with_added`](IncrementalEval::service_rate_with_added)
+//!   read. Subtrees strictly below the best configuration found so far
+//!   are skipped (strictly — equal-valued configurations survive, so
+//!   the sequential and parallel sweeps keep selecting the same
+//!   earliest configuration).
+//!
+//! The outer `k` loop reuses the single-service sweep's scoped-thread
+//! worker pool (atomic `k` queue, per-`k` winners merged in ascending
+//! `k` with the same strict-improvement rule), so the parallel mix
+//! sweep is deterministic.
+//!
+//! # Objectives, dealing and the hindsight redeal
+//!
+//! Both [`MixObjective`]s are supported and scored identically to
+//! [`MixPlanner`](super::MixPlanner) (the shared crate-private
+//! `objective_score`). Block dealing in candidate order is one fixed
+//! matching of concrete nodes to counts; after the sweep picks its
+//! winner, the hindsight waterfill
+//! ([`partition_servers`]) redeals
+//! the winning server set and the better of the two assignments is
+//! kept — the same refinement `MixPlanner` ends with.
+//!
+//! # Multi-site platforms
+//!
+//! On a heterogeneous network the reference follows the single-service
+//! multi-site sweep's two phases: per-site mix sweeps at each site's
+//! intra bandwidth (re-scored under the per-link model), then the
+//! shared cross-site growth phase
+//! ([`extend_across_sites_engine`](super::sweep)) — which now opens
+//! **multiple mid-agents per site** with per-site sub-sweeps, for the
+//! mix with a (mid, service) choice per step.
+//!
+//! # Single-service parity
+//!
+//! A mix with one demanded service is *delegated* to
+//! [`SweepPlanner::best_plan`] — same plan, same ρ, bit for bit (the
+//! randomized parity test pins this), so the mix reference strictly
+//! extends the Table 4 one.
+
+use super::mix::{objective_score, MixObjective, MixPlan};
+use super::realize::{realize_from_eval, HeapEntry};
+use super::sweep::{extend_across_sites_engine, SweepPlanner, PARALLEL_THRESHOLD, TIE_EPS};
+use super::{resolve_params, PlannerError};
+use crate::model::mix::{partition_servers, ServerAssignment};
+use crate::model::throughput::sch_pow;
+use crate::model::{IncrementalEval, ModelParams};
+use adept_hierarchy::{DeploymentPlan, Role, Slot};
+use adept_platform::{MflopRate, NodeId, Platform};
+use adept_workload::ServiceMix;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Calls `visit` with every composition of `total` into exactly `parts`
+/// positive integers (each part ≥ 1, parts summing to `total`), in
+/// lexicographic order of the count vector. This is the specification
+/// enumerator behind the mix sweep's pruned walk, exposed for property
+/// tests and exhaustive cross-checks; `visit` is never called when
+/// `parts == 0` or `total < parts` (no composition exists).
+pub fn for_each_composition(total: usize, parts: usize, mut visit: impl FnMut(&[usize])) {
+    fn rec<F: FnMut(&[usize])>(
+        counts: &mut Vec<usize>,
+        depth: usize,
+        parts: usize,
+        left: usize,
+        visit: &mut F,
+    ) {
+        if depth + 1 == parts {
+            counts.push(left);
+            visit(counts);
+            counts.pop();
+            return;
+        }
+        let reserve = parts - depth - 1;
+        for c in 1..=left.saturating_sub(reserve) {
+            counts.push(c);
+            rec(counts, depth + 1, parts, left - c, visit);
+            counts.pop();
+        }
+    }
+    if parts == 0 || total < parts {
+        return;
+    }
+    let mut counts = Vec::with_capacity(parts);
+    rec(&mut counts, 0, parts, total, &mut visit);
+}
+
+/// Winner of one `k` scan of the mix sweep: the best per-service server
+/// counts for that agent count.
+#[derive(Debug, Clone)]
+struct KMixBest {
+    agents: usize,
+    /// Per-candidate server counts, in candidate order.
+    counts: Vec<usize>,
+    objective: f64,
+}
+
+/// Everything a `k` scan needs, shared (immutably) across workers.
+struct MixCtx<'a> {
+    params: &'a ModelParams,
+    platform: &'a Platform,
+    mix: &'a ServiceMix,
+    objective: MixObjective,
+    /// Indices of the demanded (positive-share) services.
+    candidates: &'a [usize],
+    /// Power-descending node list the family is swept over.
+    nodes: &'a [NodeId],
+    /// Powers of `nodes`, same order.
+    powers: Vec<f64>,
+    /// `suffix_power[i] = Σ powers[i..]` — the optimistic "every
+    /// remaining server" bound's power sum, O(1) per read.
+    suffix_power: Vec<f64>,
+}
+
+/// The waterfill schedule for a fixed agent count: which agent receives
+/// each child slot, and how many agents still sit at degree zero after
+/// each server. Depends only on `(k, total children)` — never on the
+/// services — so it is simulated once per `k` and shared by every
+/// composition.
+struct Waterfill {
+    /// Agent receiving each of the `k − 1` non-root agents' child slots.
+    agent_parents: Vec<usize>,
+    /// Agent receiving the `t`-th server (0-based).
+    server_parents: Vec<usize>,
+    /// Zero-degree agents after `t` servers (`zero_after[t]`, `t ≤ s`);
+    /// a configuration with any is dominated by a smaller `k`.
+    zero_after: Vec<usize>,
+}
+
+fn waterfill(params: &ModelParams, agent_powers: &[f64], s_max: usize) -> Waterfill {
+    let k = agent_powers.len();
+    let mut degrees = vec![0usize; k];
+    let mut zero = k;
+    let mut heap: BinaryHeap<HeapEntry> = (0..k)
+        .map(|i| HeapEntry {
+            sp_after: sch_pow(params, MflopRate(agent_powers[i]), 1),
+            agent: i,
+        })
+        .collect();
+    let mut pop_next = |degrees: &mut [usize], zero: &mut usize| -> usize {
+        let top = heap.pop().expect("k >= 1 agents in the heap");
+        let i = top.agent;
+        if degrees[i] == 0 {
+            *zero -= 1;
+        }
+        degrees[i] += 1;
+        heap.push(HeapEntry {
+            sp_after: sch_pow(params, MflopRate(agent_powers[i]), degrees[i] + 1),
+            agent: i,
+        });
+        i
+    };
+    let agent_parents: Vec<usize> = (0..k - 1)
+        .map(|_| pop_next(&mut degrees, &mut zero))
+        .collect();
+    let mut zero_after = Vec::with_capacity(s_max + 1);
+    zero_after.push(zero);
+    let server_parents: Vec<usize> = (0..s_max)
+        .map(|_| {
+            let p = pop_next(&mut degrees, &mut zero);
+            zero_after.push(zero);
+            p
+        })
+        .collect();
+    Waterfill {
+        agent_parents,
+        server_parents,
+        zero_after,
+    }
+}
+
+/// The pruned depth-first composition walk for one agent count (see the
+/// module docs for the bounds). `incumbent` is an objective value the
+/// final merge will already have seen — subtrees *strictly* below it
+/// are skipped; equal-valued configurations are kept so the per-`k`
+/// winner stays independent of the caller's scan order.
+struct MixWalk<'a, 'b> {
+    ctx: &'a MixCtx<'a>,
+    eval: &'b mut IncrementalEval,
+    k: usize,
+    s_max: usize,
+    server_parents: &'b [usize],
+    zero_after: &'b [usize],
+    incumbent: f64,
+    /// Servers placed so far along the current prefix.
+    t: usize,
+    counts: Vec<usize>,
+    best: Option<KMixBest>,
+}
+
+impl MixWalk<'_, '_> {
+    fn prune_ref(&self) -> f64 {
+        self.best
+            .as_ref()
+            .map_or(self.incumbent, |b| self.incumbent.max(b.objective))
+    }
+
+    /// Share-normalized component of candidate `d` (weighted-min view).
+    fn component(&self, d: usize) -> f64 {
+        let svc = self.ctx.candidates[d];
+        self.eval.rho_service_of(svc) / self.eval.share(svc)
+    }
+
+    /// Whether completions of the current prefix can still beat the
+    /// pruning reference (branch-and-bound; strict).
+    fn should_descend(&self, depth: usize) -> bool {
+        let prune_ref = self.prune_ref();
+        if prune_ref == f64::NEG_INFINITY {
+            return true;
+        }
+        let sched = self.eval.rho_sched();
+        let ub = match self.ctx.objective {
+            MixObjective::WeightedMin => {
+                // Earlier components are final, scheduling only falls,
+                // unassigned services are optimistically unbounded.
+                (0..=depth).fold(sched, |ub, d| ub.min(self.component(d)))
+            }
+            MixObjective::WeightedSum => {
+                let remaining = self.s_max - self.t;
+                let pow_left = self.ctx.suffix_power[self.k + self.t];
+                self.ctx
+                    .candidates
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &svc)| {
+                        let rate = if d <= depth {
+                            self.eval.rho_service_of(svc)
+                        } else {
+                            // Eq. 15 with every remaining server, O(1).
+                            self.eval.service_rate_with_added(svc, remaining, pow_left)
+                        };
+                        self.eval.share(svc) * sched.min(rate)
+                    })
+                    .sum()
+            }
+        };
+        ub >= prune_ref
+    }
+
+    /// Whether a larger count for `depth`'s service can still matter at
+    /// this prefix (the Eq. 15 cap, plus the weighted-min bound when the
+    /// pinch is not this service's own component).
+    fn should_grow(&self, depth: usize) -> bool {
+        let svc = self.ctx.candidates[depth];
+        let sched = self.eval.rho_sched();
+        let rate = self.eval.rho_service_of(svc);
+        match self.ctx.objective {
+            MixObjective::WeightedMin => {
+                let comp = rate / self.eval.share(svc);
+                if comp >= sched {
+                    return false; // Eq. 15 cap: j saturated its share
+                }
+                let prefix_min = (0..=depth).fold(sched, |m, d| m.min(self.component(d)));
+                // Below the reference with the pinch elsewhere: growing
+                // j cannot lift a bound it does not set.
+                !(prefix_min < self.prune_ref() && comp > prefix_min)
+            }
+            MixObjective::WeightedSum => rate < sched,
+        }
+    }
+
+    fn descend(&mut self, depth: usize, budget: usize) {
+        let parts = self.ctx.candidates.len();
+        let reserve = parts - depth - 1;
+        let cmax = budget - reserve;
+        let svc = self.ctx.candidates[depth];
+        let mut local_peak = f64::NEG_INFINITY;
+        let mut added = 0usize;
+        for _c in 1..=cmax {
+            let idx = self.k + self.t;
+            self.eval
+                .add_server_for(
+                    Slot(self.server_parents[self.t]),
+                    self.ctx.nodes[idx],
+                    MflopRate(self.ctx.powers[idx]),
+                    svc,
+                )
+                .expect("sweep nodes are unused");
+            self.t += 1;
+            self.counts[depth] += 1;
+            added += 1;
+            if depth + 1 == parts {
+                // A complete composition: score it, unless some agent
+                // never attracted a child (dominated by a smaller k).
+                if self.zero_after[self.t] == 0 {
+                    let obj = objective_score(self.ctx.objective, self.eval);
+                    if self
+                        .best
+                        .as_ref()
+                        .is_none_or(|b| obj > b.objective + TIE_EPS)
+                    {
+                        self.best = Some(KMixBest {
+                            agents: self.k,
+                            counts: self.counts.clone(),
+                            objective: obj,
+                        });
+                    }
+                    if obj + TIE_EPS < local_peak {
+                        break; // unimodal in the last count: past the crossing
+                    }
+                    local_peak = local_peak.max(obj);
+                }
+            } else if self.should_descend(depth) {
+                self.descend(depth + 1, budget - self.counts[depth]);
+            }
+            if !self.should_grow(depth) {
+                break;
+            }
+        }
+        for _ in 0..added {
+            self.eval.undo();
+            self.t -= 1;
+        }
+        self.counts[depth] = 0;
+    }
+}
+
+/// Scans every composition for a fixed agent count `k`, returning the
+/// locally best `(counts, objective)`. Independent of every other `k`
+/// up to the (sound, strictly-below) `incumbent` pruning.
+fn scan_k_mix(ctx: &MixCtx<'_>, k: usize, incumbent: f64) -> Option<KMixBest> {
+    let n = ctx.nodes.len();
+    let parts = ctx.candidates.len();
+    let s_max = n - k;
+    if s_max < parts {
+        return None;
+    }
+    let wf = waterfill(ctx.params, &ctx.powers[..k], s_max);
+    let mut eval =
+        IncrementalEval::from_agents_mix(ctx.params, ctx.platform, &ctx.nodes[..k], ctx.mix);
+    for &a in &wf.agent_parents {
+        eval.assign_child_slot(Slot(a)).expect("agents exist");
+    }
+    eval.commit();
+    let mut walk = MixWalk {
+        ctx,
+        eval: &mut eval,
+        k,
+        s_max,
+        server_parents: &wf.server_parents,
+        zero_after: &wf.zero_after,
+        incumbent,
+        t: 0,
+        counts: vec![0; parts],
+        best: None,
+    };
+    walk.descend(0, s_max);
+    walk.best
+}
+
+/// Server → service map read off an engine's final state.
+fn assignment_from_eval(eval: &IncrementalEval) -> ServerAssignment {
+    let mut assignment = ServerAssignment::default();
+    for s in eval.servers() {
+        assignment
+            .service_of
+            .insert(eval.node(s), eval.service_of(s));
+    }
+    assignment
+}
+
+/// Hindsight redeal: the sweep's dealing fixed one matching of concrete
+/// servers to per-service counts; let the waterfill
+/// ([`partition_servers`]) re-deal the same server set and keep
+/// whichever assignment scores higher under `params` (an unredealable
+/// plan keeps the original — the redeal is a refinement, never a
+/// requirement).
+#[allow(clippy::too_many_arguments)] // the redeal needs the whole scoring context
+fn redeal_if_better(
+    params: &ModelParams,
+    platform: &Platform,
+    plan: &DeploymentPlan,
+    mix: &ServiceMix,
+    objective: MixObjective,
+    assignment: ServerAssignment,
+    obj: f64,
+) -> (ServerAssignment, f64) {
+    if let Ok(redealt) = partition_servers(params, platform, plan, mix) {
+        if redealt != assignment {
+            if let Ok(alt) = IncrementalEval::from_plan_mix(params, platform, plan, mix, &redealt) {
+                let sc = objective_score(objective, &alt);
+                if sc > obj + TIE_EPS {
+                    return (redealt, sc);
+                }
+            }
+        }
+    }
+    (assignment, obj)
+}
+
+/// Wraps a swept `(plan, assignment, objective)` into a [`MixPlan`] with
+/// its model report under `params`.
+fn finish_mix_plan(
+    params: &ModelParams,
+    platform: &Platform,
+    plan: DeploymentPlan,
+    mix: &ServiceMix,
+    assignment: ServerAssignment,
+    objective_value: f64,
+) -> Result<MixPlan, PlannerError> {
+    let report =
+        IncrementalEval::from_plan_mix(params, platform, &plan, mix, &assignment)?.mix_report();
+    Ok(MixPlan {
+        plan,
+        assignment,
+        report,
+        objective_value,
+    })
+}
+
+impl SweepPlanner {
+    /// The mix-aware sweep reference: the best deployment + server →
+    /// service partition in the swept family (see the module docs),
+    /// under the given [`MixObjective`]. The multi-service counterpart
+    /// of [`best_plan`](SweepPlanner::best_plan) and the quality bar
+    /// [`MixPlanner`](super::MixPlanner) is judged by (the CI-gated
+    /// `mix_vs_sweep` group asserts the heuristic stays within 10% of
+    /// it).
+    ///
+    /// A mix with a single demanded service delegates to the
+    /// single-service sweep — same plan and ρ, bit for bit. Zero-share
+    /// services are carried in the report but receive no servers.
+    ///
+    /// # Errors
+    /// [`PlannerError::NotEnoughNodes`] when the platform cannot seat
+    /// the root plus one server per demanded service, and the
+    /// [`max_agents`](SweepPlanner::max_agents) errors of
+    /// [`best_plan`](SweepPlanner::best_plan).
+    pub fn best_mix_plan(
+        &self,
+        platform: &Platform,
+        mix: &ServiceMix,
+        objective: MixObjective,
+    ) -> Result<MixPlan, PlannerError> {
+        let candidates: Vec<usize> = (0..mix.len()).filter(|&j| mix.share(j) > 0.0).collect();
+        let n = platform.node_count();
+        let needed = 1 + candidates.len();
+        if n < needed {
+            return Err(PlannerError::NotEnoughNodes {
+                needed,
+                available: n,
+            });
+        }
+        self.validate_max_agents(n)?;
+        let params = resolve_params(self.params, platform);
+        if let [only] = candidates[..] {
+            return self.single_candidate_mix_plan(platform, mix, &params, only);
+        }
+        if params.uses_link_bandwidths(platform) {
+            return self.best_mix_plan_multi_site(platform, mix, objective, &params, &candidates);
+        }
+        let nodes = platform.ids_by_power_desc();
+        let (plan, assignment, objective_value) =
+            self.best_mix_over_nodes(&params, platform, mix, objective, &candidates, &nodes)?;
+        finish_mix_plan(&params, platform, plan, mix, assignment, objective_value)
+    }
+
+    /// One demanded service: the composition axis is trivial (every
+    /// server hosts it), so the single-service sweep *is* the family —
+    /// delegate and keep the results bit-identical.
+    fn single_candidate_mix_plan(
+        &self,
+        platform: &Platform,
+        mix: &ServiceMix,
+        params: &ModelParams,
+        service: usize,
+    ) -> Result<MixPlan, PlannerError> {
+        let (plan, rho) = self.best_plan(platform, mix.service(service))?;
+        let mut assignment = ServerAssignment::default();
+        for slot in plan.slots() {
+            if plan.role(slot) == Role::Server {
+                assignment.service_of.insert(plan.node(slot), service);
+            }
+        }
+        finish_mix_plan(params, platform, plan, mix, assignment, rho)
+    }
+
+    /// The uniform-network mix sweep core over an explicit
+    /// power-descending node list, under `params.bandwidth` as the
+    /// single `B` (`params` must not price individual links here — the
+    /// multi-site family handles those). Returns the winning plan, its
+    /// partition, and the objective value.
+    fn best_mix_over_nodes(
+        &self,
+        params: &ModelParams,
+        platform: &Platform,
+        mix: &ServiceMix,
+        objective: MixObjective,
+        candidates: &[usize],
+        nodes: &[NodeId],
+    ) -> Result<(DeploymentPlan, ServerAssignment, f64), PlannerError> {
+        let n = nodes.len();
+        let parts = candidates.len();
+        if n < parts + 1 {
+            return Err(PlannerError::NotEnoughNodes {
+                needed: parts + 1,
+                available: n,
+            });
+        }
+        let powers: Vec<f64> = nodes.iter().map(|&id| platform.power(id).value()).collect();
+        let mut suffix_power = vec![0.0; n + 1];
+        for i in (0..n).rev() {
+            suffix_power[i] = suffix_power[i + 1] + powers[i];
+        }
+        let ctx = MixCtx {
+            params,
+            platform,
+            mix,
+            objective,
+            candidates,
+            nodes,
+            powers,
+            suffix_power,
+        };
+        let k_cap = self.k_cap(n).min(n - parts);
+
+        let workers = if self.parallel && n >= PARALLEL_THRESHOLD {
+            self.threads
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|c| c.get())
+                        .unwrap_or(1)
+                })
+                .min(n - 1)
+                .max(1)
+        } else {
+            1
+        };
+
+        let best = if workers <= 1 {
+            let mut best: Option<KMixBest> = None;
+            for k in 1..=k_cap {
+                let incumbent = best.as_ref().map_or(f64::NEG_INFINITY, |b| b.objective);
+                if let Some(cand) = scan_k_mix(&ctx, k, incumbent) {
+                    if best
+                        .as_ref()
+                        .is_none_or(|b| cand.objective > b.objective + TIE_EPS)
+                    {
+                        best = Some(cand);
+                    }
+                }
+            }
+            best
+        } else {
+            // Same worker pool as the single-service sweep: dynamic k
+            // queue, worker-local incumbents (sound — pruning is
+            // strictly-below), ascending-k merge.
+            let next_k = AtomicUsize::new(1);
+            let mut cands = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let ctx = &ctx;
+                        let next_k = &next_k;
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            let mut incumbent = f64::NEG_INFINITY;
+                            loop {
+                                let k = next_k.fetch_add(1, Ordering::Relaxed);
+                                if k > k_cap {
+                                    break;
+                                }
+                                if let Some(b) = scan_k_mix(ctx, k, incumbent) {
+                                    incumbent = incumbent.max(b.objective);
+                                    local.push(b);
+                                }
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("mix sweep workers do not panic"))
+                    .collect::<Vec<_>>()
+            });
+            cands.sort_by_key(|c| c.agents);
+            let mut best: Option<KMixBest> = None;
+            for cand in cands {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| cand.objective > b.objective + TIE_EPS)
+                {
+                    best = Some(cand);
+                }
+            }
+            best
+        };
+
+        let cfg = best.ok_or_else(|| {
+            PlannerError::InvalidConfig("no feasible mix deployment found".into())
+        })?;
+
+        // Replay the winner (bit-exact: the walk's undos rewind exactly).
+        let wf = waterfill(params, &ctx.powers[..cfg.agents], n - cfg.agents);
+        let mut eval =
+            IncrementalEval::from_agents_mix(params, platform, &nodes[..cfg.agents], mix);
+        for &a in &wf.agent_parents {
+            eval.assign_child_slot(Slot(a)).expect("agents exist");
+        }
+        let mut t = 0usize;
+        for (d, &count) in cfg.counts.iter().enumerate() {
+            for _ in 0..count {
+                let idx = cfg.agents + t;
+                eval.add_server_for(
+                    Slot(wf.server_parents[t]),
+                    nodes[idx],
+                    MflopRate(ctx.powers[idx]),
+                    candidates[d],
+                )
+                .expect("sweep nodes are unused");
+                t += 1;
+            }
+        }
+        eval.commit();
+        debug_assert_eq!(
+            objective_score(objective, &eval).to_bits(),
+            cfg.objective.to_bits(),
+            "the replay must reproduce the scanned objective"
+        );
+        let plan = realize_from_eval(&eval);
+        let assignment = assignment_from_eval(&eval);
+        let (assignment, obj) = redeal_if_better(
+            params,
+            platform,
+            &plan,
+            mix,
+            objective,
+            assignment,
+            cfg.objective,
+        );
+        Ok((plan, assignment, obj))
+    }
+
+    /// The multi-site mix family: per-site mix sweeps at intra
+    /// bandwidth (phase 1, per-link re-scored), then the shared
+    /// multi-mid-agent cross-site growth (phase 2) and a final per-link
+    /// hindsight redeal. Falls back to the min-B scalarized family
+    /// re-scored per-link when no single site seats root + one server
+    /// per demanded service.
+    fn best_mix_plan_multi_site(
+        &self,
+        platform: &Platform,
+        mix: &ServiceMix,
+        objective: MixObjective,
+        params: &ModelParams,
+        candidates: &[usize],
+    ) -> Result<MixPlan, PlannerError> {
+        let net = platform.network();
+        let mut best: Option<(DeploymentPlan, ServerAssignment, f64)> = None;
+        for site in platform.sites() {
+            let mut nodes = platform.nodes_on_site(site.id);
+            if nodes.len() < candidates.len() + 1 {
+                continue;
+            }
+            super::improve::by_power_desc(platform, &mut nodes);
+            let site_params = ModelParams {
+                bandwidth: net.bandwidth_between(site.id, site.id),
+                site_aware: false,
+                ..*params
+            };
+            let Ok((plan, asg, _)) = self.best_mix_over_nodes(
+                &site_params,
+                platform,
+                mix,
+                objective,
+                candidates,
+                &nodes,
+            ) else {
+                continue;
+            };
+            // Re-score under the per-link model.
+            let Ok(eval) = IncrementalEval::from_plan_mix(params, platform, &plan, mix, &asg)
+            else {
+                continue;
+            };
+            let obj = objective_score(objective, &eval);
+            if best
+                .as_ref()
+                .is_none_or(|(_, _, cur)| obj > cur * (1.0 + TIE_EPS))
+            {
+                best = Some((plan, asg, obj));
+            }
+        }
+        let Some((seed_plan, seed_asg, _)) = best else {
+            // No site seats the whole mix: sweep the scalarized family
+            // and re-score per-link.
+            let nodes = platform.ids_by_power_desc();
+            let scalar = ModelParams {
+                site_aware: false,
+                ..*params
+            };
+            let (plan, asg, _) =
+                self.best_mix_over_nodes(&scalar, platform, mix, objective, candidates, &nodes)?;
+            let eval = IncrementalEval::from_plan_mix(params, platform, &plan, mix, &asg)?;
+            let obj = objective_score(objective, &eval);
+            return finish_mix_plan(params, platform, plan, mix, asg, obj);
+        };
+
+        // Phase 2: per-site sub-sweeps opening (multiple) mid-agents,
+        // each step choosing (mid, service) jointly.
+        let mut eval =
+            IncrementalEval::from_plan_mix(params, platform, &seed_plan, mix, &seed_asg)?;
+        debug_assert!(eval.is_site_aware());
+        extend_across_sites_engine(
+            params,
+            platform,
+            &mut eval,
+            seed_plan.root(),
+            candidates,
+            self.max_agents,
+            |e| objective_score(objective, e),
+        );
+        let plan = realize_from_eval(&eval);
+        let assignment = assignment_from_eval(&eval);
+        let obj = objective_score(objective, &eval);
+        let (assignment, obj) =
+            redeal_if_better(params, platform, &plan, mix, objective, assignment, obj);
+        finish_mix_plan(params, platform, plan, mix, assignment, obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::mix::evaluate_mix;
+    use crate::planner::MixPlanner;
+    use adept_hierarchy::validate::{validate_assignment, validate_relaxed};
+    use adept_platform::generator::{heterogenized_cluster, lyon_cluster, multi_site_grid};
+    use adept_platform::{BackgroundLoad, CapacityProbe, MbitRate, SiteId};
+    use adept_workload::Dgemm;
+
+    fn mix2() -> ServiceMix {
+        ServiceMix::new(vec![
+            (Dgemm::new(310).service(), 2.0),
+            (Dgemm::new(450).service(), 1.0),
+        ])
+    }
+
+    fn mix3() -> ServiceMix {
+        ServiceMix::new(vec![
+            (Dgemm::new(220).service(), 2.0),
+            (Dgemm::new(310).service(), 1.0),
+            (Dgemm::new(450).service(), 1.0),
+        ])
+    }
+
+    /// Brute-force composition list: every vector in `{1..=total}^parts`
+    /// summing to `total` — the O(total^parts) specification the
+    /// enumerator is checked against.
+    fn brute_compositions(total: usize, parts: usize) -> Vec<Vec<usize>> {
+        let mut all = Vec::new();
+        let count = (total + 1).pow(parts as u32);
+        for mut code in 0..count {
+            let mut v = Vec::with_capacity(parts);
+            for _ in 0..parts {
+                v.push(code % (total + 1));
+                code /= total + 1;
+            }
+            if v.iter().all(|&c| c >= 1) && v.iter().sum::<usize>() == total {
+                all.push(v);
+            }
+        }
+        all.sort();
+        all
+    }
+
+    #[test]
+    fn compositions_sum_never_repeat_and_cover_the_space() {
+        // Exhaustive cross-check at n <= 8, S <= 3 (the satellite's
+        // property triple: sums, uniqueness, full coverage).
+        for parts in 1..=3usize {
+            for total in 0..=8usize {
+                let mut got: Vec<Vec<usize>> = Vec::new();
+                for_each_composition(total, parts, |c| got.push(c.to_vec()));
+                for c in &got {
+                    assert_eq!(c.len(), parts);
+                    assert_eq!(c.iter().sum::<usize>(), total, "{c:?} must sum to {total}");
+                    assert!(c.iter().all(|&x| x >= 1), "{c:?} has an empty part");
+                }
+                let mut sorted = got.clone();
+                sorted.sort();
+                let mut dedup = sorted.clone();
+                dedup.dedup();
+                assert_eq!(sorted.len(), dedup.len(), "repeated composition");
+                assert_eq!(sorted, brute_compositions(total, parts), "coverage gap");
+            }
+        }
+        // Degenerate inputs produce nothing, silently.
+        for_each_composition(5, 0, |_| panic!("no zero-part compositions"));
+        for_each_composition(1, 2, |_| panic!("total below parts"));
+    }
+
+    #[test]
+    fn compositions_arrive_in_lexicographic_order() {
+        let mut prev: Option<Vec<usize>> = None;
+        for_each_composition(7, 3, |c| {
+            if let Some(p) = &prev {
+                assert!(p[..] < *c, "{p:?} !< {c:?}");
+            }
+            prev = Some(c.to_vec());
+        });
+        assert!(prev.is_some());
+    }
+
+    /// The pruning-soundness check: on a platform small enough to walk
+    /// the whole (k, composition) family unpruned, the sweep must not
+    /// return anything below the exhaustive optimum.
+    #[test]
+    fn tiny_platform_matches_exhaustive_reference() {
+        let platform = heterogenized_cluster(
+            "orsay",
+            7,
+            adept_platform::MflopRate(400.0),
+            BackgroundLoad::default(),
+            CapacityProbe::exact(),
+            3,
+        );
+        let mix = mix2();
+        let params = crate::model::ModelParams::from_platform(&platform);
+        let nodes = platform.ids_by_power_desc();
+        let powers: Vec<f64> = nodes.iter().map(|&id| platform.power(id).value()).collect();
+        for objective in [MixObjective::WeightedMin, MixObjective::WeightedSum] {
+            let got = SweepPlanner::default()
+                .best_mix_plan(&platform, &mix, objective)
+                .unwrap();
+            let mut brute = f64::NEG_INFINITY;
+            for k in 1..=nodes.len() - 2 {
+                let wf = waterfill(&params, &powers[..k], nodes.len() - k);
+                for s in 2..=nodes.len() - k {
+                    if wf.zero_after[s] > 0 {
+                        continue; // dominated by a smaller k
+                    }
+                    for_each_composition(s, 2, |counts| {
+                        let mut eval =
+                            IncrementalEval::from_agents_mix(&params, &platform, &nodes[..k], &mix);
+                        for &a in &wf.agent_parents {
+                            eval.assign_child_slot(Slot(a)).unwrap();
+                        }
+                        let mut t = 0usize;
+                        for (d, &c) in counts.iter().enumerate() {
+                            for _ in 0..c {
+                                eval.add_server_for(
+                                    Slot(wf.server_parents[t]),
+                                    nodes[k + t],
+                                    MflopRate(powers[k + t]),
+                                    d,
+                                )
+                                .unwrap();
+                                t += 1;
+                            }
+                        }
+                        brute = brute.max(objective_score(objective, &eval));
+                    });
+                }
+            }
+            assert!(
+                got.objective_value >= brute - 1e-12,
+                "{objective:?}: sweep {} misses the exhaustive optimum {brute}",
+                got.objective_value
+            );
+        }
+    }
+
+    #[test]
+    fn single_service_mix_is_bit_identical_to_the_sweep() {
+        // Randomized platforms; the acceptance criterion's parity test.
+        let platforms = vec![
+            lyon_cluster(30),
+            heterogenized_cluster(
+                "orsay",
+                45,
+                adept_platform::MflopRate(400.0),
+                BackgroundLoad::default(),
+                CapacityProbe::exact(),
+                11,
+            ),
+            multi_site_grid(
+                2,
+                12,
+                adept_platform::MflopRate(400.0),
+                MbitRate(100.0),
+                MbitRate(5.0),
+                9,
+            ),
+        ];
+        for platform in &platforms {
+            for size in [10u32, 310, 1000] {
+                let svc = Dgemm::new(size).service();
+                let (plan, rho) = SweepPlanner::default().best_plan(platform, &svc).unwrap();
+                for objective in [MixObjective::WeightedMin, MixObjective::WeightedSum] {
+                    let got = SweepPlanner::default()
+                        .best_mix_plan(platform, &ServiceMix::single(svc.clone()), objective)
+                        .unwrap();
+                    assert!(
+                        got.plan.structurally_eq(&plan),
+                        "dgemm-{size} {objective:?}: plans differ"
+                    );
+                    assert_eq!(
+                        got.objective_value.to_bits(),
+                        rho.to_bits(),
+                        "dgemm-{size} {objective:?}: {} != sweep rho {rho}",
+                        got.objective_value
+                    );
+                    assert_eq!(got.assignment.count_for(0), plan.server_count());
+                }
+                // A zero-share passenger service must not change the
+                // family: still the single-service sweep, bit for bit.
+                let with_idle =
+                    ServiceMix::new(vec![(svc.clone(), 1.0), (Dgemm::new(100).service(), 0.0)]);
+                let got = SweepPlanner::default()
+                    .best_mix_plan(platform, &with_idle, MixObjective::WeightedMin)
+                    .unwrap();
+                assert!(got.plan.structurally_eq(&plan));
+                assert_eq!(got.objective_value.to_bits(), rho.to_bits());
+                assert_eq!(got.assignment.count_for(1), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn mix_sweep_plan_is_valid_and_report_consistent() {
+        let platform = lyon_cluster(40);
+        let mix = mix3();
+        let params = crate::model::ModelParams::from_platform(&platform);
+        for objective in [MixObjective::WeightedMin, MixObjective::WeightedSum] {
+            let got = SweepPlanner::default()
+                .best_mix_plan(&platform, &mix, objective)
+                .unwrap();
+            assert!(validate_relaxed(&got.plan).is_empty());
+            assert!(
+                validate_assignment(&got.plan, &got.assignment.service_of, mix.len()).is_empty()
+            );
+            let reference =
+                evaluate_mix(&params, &platform, &got.plan, &mix, &got.assignment).unwrap();
+            assert!(
+                (got.report.rho - reference.rho).abs() <= 1e-9 * reference.rho.max(1.0),
+                "{objective:?}: reported {} vs re-evaluated {}",
+                got.report.rho,
+                reference.rho
+            );
+            if objective == MixObjective::WeightedMin {
+                assert!(
+                    (got.objective_value - got.report.rho).abs() <= 1e-9 * got.report.rho.max(1.0),
+                    "weighted-min objective is the mix rate"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mix_sweep_is_the_quality_bar_for_the_mix_planner() {
+        // The gate's property at test scale: the heuristic reaches at
+        // least 90% of the sweep reference — and the reference itself
+        // never falls below the heuristic by more than the same margin
+        // (each explores configurations the other cannot).
+        let scenarios: Vec<(Platform, ServiceMix)> = vec![
+            (lyon_cluster(40), mix3()),
+            (
+                heterogenized_cluster(
+                    "orsay",
+                    48,
+                    adept_platform::MflopRate(400.0),
+                    BackgroundLoad::default(),
+                    CapacityProbe::exact(),
+                    7,
+                ),
+                mix2(),
+            ),
+        ];
+        for (platform, mix) in &scenarios {
+            let sweep = SweepPlanner::default()
+                .best_mix_plan(platform, mix, MixObjective::WeightedMin)
+                .unwrap();
+            let heur = MixPlanner::default()
+                .plan_mix_unbounded(platform, mix)
+                .unwrap();
+            assert!(
+                heur.objective_value >= 0.9 * sweep.objective_value,
+                "MixPlanner {} below 90% of the sweep reference {}",
+                heur.objective_value,
+                sweep.objective_value
+            );
+            assert!(
+                sweep.objective_value >= 0.9 * heur.objective_value,
+                "sweep reference {} embarrassingly below the heuristic {}",
+                sweep.objective_value,
+                heur.objective_value
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_mix_sweeps_agree_exactly() {
+        // Big enough to cross PARALLEL_THRESHOLD; worker count forced so
+        // the threaded path runs even on single-CPU machines.
+        let platform = heterogenized_cluster(
+            "orsay",
+            90,
+            adept_platform::MflopRate(400.0),
+            BackgroundLoad::default(),
+            CapacityProbe::exact(),
+            5,
+        );
+        let mix = mix2();
+        for objective in [MixObjective::WeightedMin, MixObjective::WeightedSum] {
+            let seq = SweepPlanner::sequential()
+                .best_mix_plan(&platform, &mix, objective)
+                .unwrap();
+            for workers in [2usize, 5] {
+                let par = SweepPlanner::with_threads(workers)
+                    .best_mix_plan(&platform, &mix, objective)
+                    .unwrap();
+                assert_eq!(
+                    par.objective_value.to_bits(),
+                    seq.objective_value.to_bits(),
+                    "{objective:?} workers={workers}: {} != {}",
+                    par.objective_value,
+                    seq.objective_value
+                );
+                assert!(par.plan.structurally_eq(&seq.plan));
+                assert_eq!(par.assignment, seq.assignment);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_site_mix_sweep_keeps_the_quality_bar() {
+        let platform = multi_site_grid(
+            2,
+            12,
+            adept_platform::MflopRate(400.0),
+            MbitRate(100.0),
+            MbitRate(5.0),
+            9,
+        );
+        let mix = mix2();
+        let params = crate::model::ModelParams::from_platform(&platform);
+        let got = SweepPlanner::default()
+            .best_mix_plan(&platform, &mix, MixObjective::WeightedMin)
+            .unwrap();
+        // Reported objective is the per-link model's view of the plan.
+        let reference = evaluate_mix(&params, &platform, &got.plan, &mix, &got.assignment).unwrap();
+        assert!(
+            (got.objective_value - reference.rho).abs() <= 1e-9 * reference.rho.max(1.0),
+            "reported {} vs per-link {}",
+            got.objective_value,
+            reference.rho
+        );
+        // Dominates the min-B scalarized family under per-link scoring.
+        let scalar = SweepPlanner {
+            params: Some(params.scalarized()),
+            ..SweepPlanner::default()
+        }
+        .best_mix_plan(&platform, &mix, MixObjective::WeightedMin)
+        .unwrap();
+        let scalar_rho = evaluate_mix(&params, &platform, &scalar.plan, &mix, &scalar.assignment)
+            .unwrap()
+            .rho;
+        assert!(
+            got.objective_value >= scalar_rho * (1.0 - 1e-9),
+            "multi-site mix sweep {} below scalarized {scalar_rho}",
+            got.objective_value
+        );
+        // Dominates every single-site mix sweep: the per-site family is
+        // phase 1's candidate set.
+        for site in [SiteId(0), SiteId(1)] {
+            let mut b = Platform::builder(platform.network().clone());
+            for s in platform.sites() {
+                b.add_site(s.name.clone());
+            }
+            for &id in &platform.nodes_on_site(site) {
+                let node = platform.node(id).unwrap();
+                b.add_node(node.name.clone(), node.power, node.site)
+                    .unwrap();
+            }
+            let single = b.build().unwrap();
+            let sp = SweepPlanner::default()
+                .best_mix_plan(&single, &mix, MixObjective::WeightedMin)
+                .unwrap();
+            let srho = evaluate_mix(
+                &crate::model::ModelParams::from_platform(&single),
+                &single,
+                &sp.plan,
+                &mix,
+                &sp.assignment,
+            )
+            .unwrap()
+            .rho;
+            assert!(
+                got.objective_value >= srho * (1.0 - 1e-9),
+                "{site}: multi-site {} below single-site {srho}",
+                got.objective_value
+            );
+        }
+    }
+
+    #[test]
+    fn zero_share_service_gets_no_servers_in_the_general_path() {
+        let platform = lyon_cluster(30);
+        let mix = ServiceMix::new(vec![
+            (Dgemm::new(310).service(), 2.0),
+            (Dgemm::new(450).service(), 1.0),
+            (Dgemm::new(1000).service(), 0.0),
+        ]);
+        let got = SweepPlanner::default()
+            .best_mix_plan(&platform, &mix, MixObjective::WeightedMin)
+            .unwrap();
+        assert_eq!(got.assignment.count_for(2), 0);
+        assert_ne!(got.report.binding_service, Some(2));
+        assert!(got.assignment.count_for(0) >= 1);
+        assert!(got.assignment.count_for(1) >= 1);
+    }
+
+    #[test]
+    fn too_small_platform_is_an_error() {
+        let platform = lyon_cluster(3);
+        assert!(matches!(
+            SweepPlanner::default().best_mix_plan(&platform, &mix3(), MixObjective::WeightedMin),
+            Err(PlannerError::NotEnoughNodes { needed: 4, .. })
+        ));
+    }
+}

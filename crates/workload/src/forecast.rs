@@ -35,6 +35,7 @@ pub struct WappEstimator {
     /// the current deployment was planned with.
     marked: Option<f64>,
     samples: u64,
+    rejected: u64,
 }
 
 impl WappEstimator {
@@ -50,18 +51,34 @@ impl WappEstimator {
             estimate: None,
             marked: None,
             samples: 0,
+            rejected: 0,
         }
     }
 
     /// Records one observed execution: `duration` on a node of `power`.
-    pub fn observe(&mut self, duration: Seconds, power: MflopRate) {
-        assert!(duration.value() >= 0.0, "durations are non-negative");
+    ///
+    /// A corrupt sample — NaN or infinite duration/power, or a negative
+    /// duration — is **rejected** (counted in
+    /// [`rejected`](WappEstimator::rejected), returns `false`) instead
+    /// of entering the moving average: the EMA never forgets, so a
+    /// single NaN would otherwise poison the estimate, and through it
+    /// every subsequent replan's `Wapp`, forever. Sensor glitches are
+    /// operational reality for a control loop, not programmer errors.
+    pub fn observe(&mut self, duration: Seconds, power: MflopRate) -> bool {
         let mflop = duration.value() * power.value();
+        // The `>= 0.0` comparisons also reject NaN inputs; the product
+        // check catches two huge finite inputs overflowing to infinity.
+        let healthy = duration.value() >= 0.0 && power.value() >= 0.0 && mflop.is_finite();
+        if !healthy {
+            self.rejected += 1;
+            return false;
+        }
         self.estimate = Some(match self.estimate {
             None => mflop,
             Some(prev) => prev + self.alpha * (mflop - prev),
         });
         self.samples += 1;
+        true
     }
 
     /// Current estimate (`None` before the first observation).
@@ -72,6 +89,12 @@ impl WappEstimator {
     /// Observations consumed.
     pub fn samples(&self) -> u64 {
         self.samples
+    }
+
+    /// Corrupt observations rejected (see
+    /// [`observe`](WappEstimator::observe)).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// Records the current estimate as the value the running deployment
@@ -436,6 +459,30 @@ mod tests {
     #[should_panic(expected = "cannot mark")]
     fn wapp_mark_needs_an_observation() {
         WappEstimator::new(0.5).mark();
+    }
+
+    #[test]
+    fn wapp_estimator_rejects_corrupt_samples() {
+        // Regression: one NaN execution sample used to enter the EMA and
+        // poison every later estimate (the mark/drift pipeline included).
+        let mut est = WappEstimator::new(0.5);
+        assert!(!est.observe(Seconds(f64::NAN), MflopRate(100.0)));
+        assert!(!est.observe(Seconds(f64::INFINITY), MflopRate(100.0)));
+        assert!(!est.observe(Seconds(1.0), MflopRate(f64::NAN)));
+        assert!(!est.observe(Seconds(-1.0), MflopRate(100.0)));
+        assert!(!est.observe(Seconds(1.0), MflopRate(-400.0)));
+        assert!(!est.observe(Seconds(0.0), MflopRate(-400.0)));
+        assert_eq!(est.estimate(), None, "corrupt samples must not land");
+        assert_eq!(est.samples(), 0);
+        assert_eq!(est.rejected(), 6);
+        // A clean sample after the garbage works as if nothing happened.
+        assert!(est.observe(Seconds(2.0), MflopRate(100.0)));
+        assert_eq!(est.estimate().unwrap().value(), 200.0);
+        est.mark();
+        assert!(!est.observe(Seconds(f64::NAN), MflopRate(100.0)));
+        assert_eq!(est.drift(), 0.0, "rejected samples must not move drift");
+        assert_eq!(est.samples(), 1);
+        assert_eq!(est.rejected(), 7);
     }
 
     #[test]

@@ -32,6 +32,6 @@ pub mod service;
 
 pub use demand::ClientDemand;
 pub use forecast::{PowerLawFit, RateForecaster, ScalingForecaster, ScalingSample, WappEstimator};
-pub use mix::{MixDemand, ServiceMix};
+pub use mix::{DemandError, MixDemand, ServiceMix};
 pub use ramp::{ArrivalProcess, ClientRamp};
 pub use service::{Dgemm, ServiceSpec};

@@ -10,6 +10,49 @@
 //! partition.
 
 use crate::service::ServiceSpec;
+use std::fmt;
+
+/// Why a [`MixDemand`] vector was rejected at construction.
+///
+/// Validating here — instead of letting the poison flow — matters
+/// because every planner comparison downstream is a plain float
+/// comparison: a NaN rate makes *every* "is this move better" test
+/// silently answer no, so a corrupted demand vector would not crash, it
+/// would quietly plan nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DemandError {
+    /// The vector covers no service.
+    Empty,
+    /// An entry is NaN (index reported).
+    NotANumber {
+        /// Offending index.
+        index: usize,
+    },
+    /// An entry is negative.
+    Negative {
+        /// Offending index.
+        index: usize,
+        /// The rejected rate.
+        rate: f64,
+    },
+}
+
+impl fmt::Display for DemandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DemandError::Empty => write!(f, "a demand vector needs at least one service"),
+            DemandError::NotANumber { index } => {
+                write!(f, "demand rates must not be NaN (service {index})")
+            }
+            DemandError::Negative { index, rate } => write!(
+                f,
+                "demand rates must be non-negative, got {rate} for service {index}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DemandError {}
 
 /// A workload mixing several services with fixed request shares.
 #[derive(Debug, Clone, PartialEq)]
@@ -132,20 +175,37 @@ impl MixDemand {
     }
 
     /// Per-service target rates (req/s). Zero entries are allowed
-    /// (service installed, nothing demanded).
+    /// (service installed, nothing demanded) and `f64::INFINITY` means
+    /// "as much as possible" for that service (see the type docs).
     ///
     /// # Panics
-    /// Panics on an empty vector or negative/NaN rates.
+    /// Panics on an empty vector or negative/NaN rates — the panicking
+    /// wrapper around [`try_targets`](MixDemand::try_targets) for
+    /// literal, known-good vectors.
     pub fn targets(rates: Vec<f64>) -> Self {
-        assert!(
-            !rates.is_empty(),
-            "a demand vector needs at least one service"
-        );
-        assert!(
-            rates.iter().all(|r| !r.is_nan() && *r >= 0.0),
-            "demand rates must be non-negative"
-        );
-        Self { rates }
+        Self::try_targets(rates).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating constructor: [`targets`](MixDemand::targets) returning
+    /// the rejection instead of panicking, for demand vectors assembled
+    /// from measurements or forecasts (a single NaN observation must
+    /// surface as an error, not poison every later plan comparison).
+    ///
+    /// # Errors
+    /// [`DemandError`] on an empty vector, NaN, or negative entries.
+    pub fn try_targets(rates: Vec<f64>) -> Result<Self, DemandError> {
+        if rates.is_empty() {
+            return Err(DemandError::Empty);
+        }
+        for (index, &rate) in rates.iter().enumerate() {
+            if rate.is_nan() {
+                return Err(DemandError::NotANumber { index });
+            }
+            if rate < 0.0 {
+                return Err(DemandError::Negative { index, rate });
+            }
+        }
+        Ok(Self { rates })
     }
 
     /// Number of services covered.
@@ -300,5 +360,33 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_mix_demand_rejected() {
         let _ = MixDemand::targets(vec![1.0, -0.5]);
+    }
+
+    #[test]
+    fn try_targets_validates_at_construction() {
+        assert_eq!(MixDemand::try_targets(vec![]), Err(DemandError::Empty));
+        assert_eq!(
+            MixDemand::try_targets(vec![1.0, f64::NAN]),
+            Err(DemandError::NotANumber { index: 1 })
+        );
+        assert!(matches!(
+            MixDemand::try_targets(vec![-0.5]),
+            Err(DemandError::Negative { index: 0, .. })
+        ));
+        // Infinity stays legal: the documented per-service "unbounded".
+        let d = MixDemand::try_targets(vec![f64::INFINITY, 0.0]).unwrap();
+        assert!(d.any_unbounded());
+        assert!(DemandError::Empty
+            .to_string()
+            .contains("at least one service"));
+        assert!(DemandError::NotANumber { index: 3 }
+            .to_string()
+            .contains("NaN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_mix_demand_panics_in_the_literal_constructor() {
+        let _ = MixDemand::targets(vec![f64::NAN]);
     }
 }

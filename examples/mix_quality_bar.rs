@@ -1,0 +1,88 @@
+//! The mix planner against its **quality bar** — the mix-aware sweep
+//! reference ([`SweepPlanner::best_mix_plan`]):
+//!
+//! 1. on a heterogeneous single-site cluster, sweep agent count ×
+//!    per-service server-count compositions (the Table-4 "optimal"
+//!    extended to service mixes) and compare [`MixPlanner`]'s one-loop
+//!    heuristic against it under both objectives;
+//! 2. repeat on a 2-site grid, where the reference adds per-site
+//!    sub-sweeps with (multiple) mid-agents per site;
+//! 3. print the ratio CI gates at ≥ 90% (`mix_vs_sweep` in
+//!    `bench_gate`).
+//!
+//! ```text
+//! cargo run --release --example mix_quality_bar
+//! ```
+
+use adept::prelude::*;
+
+fn bar(name: &str, platform: &Platform, mix: &ServiceMix) {
+    println!(
+        "\n== {name}: {} nodes, {} services ==",
+        platform.node_count(),
+        mix.len()
+    );
+    for objective in [MixObjective::WeightedMin, MixObjective::WeightedSum] {
+        let sweep = SweepPlanner::default()
+            .best_mix_plan(platform, mix, objective)
+            .expect("platform fits the mix");
+        let heur = MixPlanner::with_objective(objective)
+            .plan_mix_unbounded(platform, mix)
+            .expect("platform fits the mix");
+        let ratio = heur.objective_value / sweep.objective_value;
+        println!(
+            "{:>13}: heuristic {:8.2} req/s on {:3} nodes | sweep reference {:8.2} req/s on {:3} \
+             nodes | heuristic at {:5.1}% of the bar",
+            objective.label(),
+            heur.objective_value,
+            heur.plan.len(),
+            sweep.objective_value,
+            sweep.plan.len(),
+            ratio * 100.0,
+        );
+        for j in 0..mix.len() {
+            println!(
+                "               {:>10}  heuristic {:>3} servers / sweep {:>3}",
+                mix.service(j).name,
+                heur.assignment.count_for(j),
+                sweep.assignment.count_for(j),
+            );
+        }
+    }
+}
+
+fn main() {
+    // Scenario 1: 4-service mix, one heterogeneous site (the gated
+    // `mix_vs_sweep/4svc-1site` shape).
+    let cluster = generator::heterogenized_cluster(
+        "orsay",
+        48,
+        MflopRate(400.0),
+        BackgroundLoad::default(),
+        CapacityProbe::exact(),
+        7,
+    );
+    let mix4 = ServiceMix::new(vec![
+        (Dgemm::new(100).service(), 4.0),
+        (Dgemm::new(220).service(), 2.0),
+        (Dgemm::new(310).service(), 1.0),
+        (Dgemm::new(450).service(), 1.0),
+    ]);
+    bar("heterogeneous cluster, 4-service mix", &cluster, &mix4);
+
+    // Scenario 2: 2-service mix across a 2-site grid (the gated
+    // `mix_vs_sweep/2svc-2site` shape): the reference's cross-site
+    // phase opens steal-rebalanced mid-agents per site.
+    let grid =
+        generator::multi_site_grid(2, 18, MflopRate(400.0), MbitRate(100.0), MbitRate(10.0), 7);
+    let mix2 = ServiceMix::new(vec![
+        (Dgemm::new(310).service(), 2.0),
+        (Dgemm::new(450).service(), 1.0),
+    ]);
+    bar("2-site grid, 2-service mix", &grid, &mix2);
+
+    println!(
+        "\nCI holds the weighted-min ratio >= 90% on both scenarios \
+         (bench_gate's mix_vs_sweep quality floor)."
+    );
+}

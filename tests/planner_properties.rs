@@ -165,6 +165,52 @@ proptest! {
     }
 
     #[test]
+    fn mix_sweep_restricted_to_one_service_is_the_sweep(
+        platform in arb_platform(),
+        service in arb_service(),
+    ) {
+        // The mix-aware sweep reference on a single-service mix must be
+        // the single-service sweep, bit for bit (plan and objective).
+        let (plan, rho) = SweepPlanner::default()
+            .best_plan(&platform, &service)
+            .expect("fits");
+        for objective in [MixObjective::WeightedMin, MixObjective::WeightedSum] {
+            let got = SweepPlanner::default()
+                .best_mix_plan(&platform, &ServiceMix::single(service.clone()), objective)
+                .expect("fits");
+            prop_assert!(got.plan.structurally_eq(&plan));
+            prop_assert_eq!(got.objective_value.to_bits(), rho.to_bits());
+        }
+    }
+
+    #[test]
+    fn compositions_partition_their_space(total in 1usize..12, parts in 1usize..5) {
+        // C(total-1, parts-1) distinct vectors, each summing to total.
+        use adept::core::planner::sweep_mix::for_each_composition;
+        let mut all: Vec<Vec<usize>> = Vec::new();
+        for_each_composition(total, parts, |c| all.push(c.to_vec()));
+        for c in &all {
+            prop_assert!(c.iter().all(|&x| x >= 1), "{:?} has an empty part", c);
+            prop_assert_eq!(c.iter().sum::<usize>(), total);
+        }
+        let seen: std::collections::BTreeSet<_> = all.iter().cloned().collect();
+        prop_assert!(seen.len() == all.len(), "repeated composition");
+        let count = all.len();
+        let expected = if total < parts {
+            0
+        } else {
+            // C(total - 1, parts - 1), small enough to compute exactly.
+            let (mut num, mut den) = (1usize, 1usize);
+            for i in 0..parts - 1 {
+                num *= total - 1 - i;
+                den *= i + 1;
+            }
+            num / den
+        };
+        prop_assert_eq!(count, expected);
+    }
+
+    #[test]
     fn demand_never_overshoots_resources(
         platform in arb_platform(),
         size in 50u32..1200,

@@ -203,6 +203,23 @@ impl Criterion {
         &self.records
     }
 
+    /// Records a non-timing scalar (a quality ratio, a model score…)
+    /// under `id`, carried through the same `BENCH_JSON` export as the
+    /// wall-clock records (in the `mean_ns` field, `samples = 1`). This
+    /// is how benches publish *quality* numbers to the perf gate — e.g.
+    /// the `mix_vs_sweep` group's heuristic/reference objective ratio,
+    /// which `bench_gate` holds above a floor. Not part of the upstream
+    /// criterion API.
+    pub fn report_metric<S: Into<String>>(&mut self, id: S, value: f64) {
+        let id = id.into();
+        println!("{id:<48} {value:>14.4} (metric)");
+        self.records.push(Record {
+            id,
+            mean_ns: value,
+            samples: 1,
+        });
+    }
+
     /// Writes collected results to `$BENCH_JSON` (if set) as a JSON array
     /// of `{id, mean_ns, samples}` objects. Called by [`criterion_main!`].
     pub fn finalize(&self) {
@@ -212,8 +229,11 @@ impl Criterion {
         let mut out = String::from("[\n");
         for (i, r) in self.records.iter().enumerate() {
             let comma = if i + 1 == self.records.len() { "" } else { "," };
+            // Four decimals: nanosecond means don't need more, and
+            // sub-unit metric records (quality ratios) must not round
+            // to their floor's far side.
             out.push_str(&format!(
-                "  {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"samples\": {}}}{comma}\n",
+                "  {{\"id\": \"{}\", \"mean_ns\": {:.4}, \"samples\": {}}}{comma}\n",
                 r.id.replace('"', "'"),
                 r.mean_ns,
                 r.samples
