@@ -68,6 +68,61 @@ fn bench_planners(c: &mut Criterion) {
     }
 }
 
+/// The large-scale acceptance curve (ROADMAP "scale to 10⁵–10⁶ slots"):
+/// the heuristic and the coarsen-then-refine multi-site sweep on the
+/// 4-site grid the `large_scale` example uses, at n = 10⁴–10⁶. The
+/// heuristic ids carry `bench_gate` ceilings at the acceptance bars
+/// (≤ 50 ms at 10⁵, ≤ 2 s at 10⁶ — measured ~16 ms and ~450 ms
+/// locally), and the sweep id shares the 2 s envelope at 10⁵ so the
+/// coarsening cannot silently stop engaging (the flat sweep it replaces
+/// took ~158 s there). Coarsening is forced on so the 10⁴ point
+/// measures the same code path as the larger sizes. The 10⁶ points run
+/// 1–2 samples under the smoke budget; the gate's low-sample guard
+/// widens their ratio bar accordingly.
+fn bench_large_scale(c: &mut Criterion) {
+    let service = Dgemm::new(310).service();
+    let grid = |n: usize| {
+        multi_site_grid(
+            4,
+            n / 4,
+            MflopRate(400.0),
+            MbitRate(100.0),
+            MbitRate(10.0),
+            7,
+        )
+    };
+    let mut group = c.benchmark_group("planner_scaling");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let platform = grid(n);
+        group.bench_with_input(BenchmarkId::new("heuristic", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    HeuristicPlanner::paper()
+                        .plan(&platform, &service, ClientDemand::Unbounded)
+                        .expect("fits"),
+                )
+                .len()
+            })
+        });
+    }
+    for &n in &[10_000usize, 100_000] {
+        let platform = grid(n);
+        let planner = SweepPlanner {
+            coarsen: Some(true),
+            ..SweepPlanner::default()
+        };
+        group.bench_with_input(BenchmarkId::new("sweep-multisite", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(planner.best_plan(&platform, &service).expect("fits"))
+                    .0
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
 /// The ablation the incremental engine is judged by: the same heuristic,
 /// same platform, same service — only the probe evaluation differs. The
 /// full-clone baseline is capped at n = 400 (it is the O(n²)–O(n³) path
@@ -400,6 +455,7 @@ fn bench_control_loop(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_planners,
+    bench_large_scale,
     bench_eval_strategy,
     bench_mix_scaling,
     bench_mix_vs_sweep,

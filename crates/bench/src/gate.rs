@@ -10,7 +10,9 @@
 //!   CI runners differ from the machine that recorded the baseline, and
 //!   the smoke run is a trend tracker, not a rigorous estimator — the
 //!   gate exists to catch order-of-magnitude hot-loop regressions, not
-//!   5% drift;
+//!   5% drift. Records on either side with fewer than [`MIN_SAMPLES`]
+//!   samples (the budget-truncated slow benchmarks) get the widened
+//!   [`LOW_SAMPLE_RATIO`] bar instead;
 //! * **missing benchmarks** — a baseline id absent from the current run
 //!   (deleting a regressing bench must come with a baseline update);
 //! * **absolute ceilings** — [`CEILINGS`] pins coarse upper bounds on
@@ -37,6 +39,20 @@ use std::fmt;
 /// counts as regressed.
 pub const NOISE_RATIO: f64 = 2.5;
 
+/// Minimum sample count below which a record's mean is treated as
+/// low-confidence. The smoke run's per-benchmark wall-clock budget
+/// truncates slow benchmarks (the n = 1600 sweeps, the 10⁵–10⁶
+/// `planner_scaling` points) to a handful of samples, so their means
+/// carry more noise than the 10-sample records.
+pub const MIN_SAMPLES: usize = 5;
+
+/// The widened ratio applied when either side of a comparison has fewer
+/// than [`MIN_SAMPLES`] samples: a 2–3 sample mean can swing 2× on a
+/// shared CI runner without any code change, so the regression bar
+/// doubles rather than paging on scheduler noise. Complexity regressions
+/// on these ids are still caught by [`CEILINGS`].
+pub const LOW_SAMPLE_RATIO: f64 = 5.0;
+
 /// Coarse absolute ceilings (id, max mean ns). Each budget leaves ~20×
 /// headroom over its locally recorded mean so slow CI hardware passes
 /// while a complexity regression (e.g. an O(n) probe sneaking back into
@@ -48,6 +64,15 @@ pub const CEILINGS: &[(&str, f64)] = &[
     ("control_loop/100000", 1_800_000_000.0),
     ("mix_vs_sweep/sweep-ref-2svc-2site/36", 15_000_000.0),
     ("mix_vs_sweep/sweep-ref-4svc-1site/48", 700_000_000.0),
+    // The large-scale acceptance bars (ROADMAP "scale to 10⁵–10⁶"):
+    // the heuristic must plan 10⁵ slots in ≤ 50 ms and 10⁶ in ≤ 2 s,
+    // and the coarsen-then-refine multi-site sweep must stay within the
+    // same 2 s envelope at 10⁵ (it runs ~150 ms locally; the flat sweep
+    // it replaces took ~158 s, so the ceiling fails CI long before the
+    // coarsening could silently stop engaging).
+    ("planner_scaling/heuristic/100000", 50_000_000.0),
+    ("planner_scaling/heuristic/1000000", 2_000_000_000.0),
+    ("planner_scaling/sweep-multisite/100000", 2_000_000_000.0),
 ];
 
 /// Same-run ordering rules: the first id's mean must stay strictly below
@@ -61,11 +86,13 @@ pub const FASTER_THAN: &[(&str, &str)] = &[(
 /// by the benches through `report_metric`, carried in the `mean_ns`
 /// field) that must stay **at or above** a floor, hardware-independent.
 /// This encodes the mix planner's Table-4-style acceptance bar:
-/// `MixPlanner` must reach ≥ 90% of the mix-aware sweep reference's
-/// objective on the gated scenarios.
+/// `MixPlanner` must reach ≥ 95% of the mix-aware sweep reference's
+/// objective on the gated scenarios (measured 99.2% and 103.3%; the
+/// floor started at 0.90 and was tightened once both scenarios held
+/// comfortably above it).
 pub const QUALITY_FLOORS: &[(&str, f64)] = &[
-    ("mix_vs_sweep/quality/2svc-2site", 0.9),
-    ("mix_vs_sweep/quality/4svc-1site", 0.9),
+    ("mix_vs_sweep/quality/2svc-2site", 0.95),
+    ("mix_vs_sweep/quality/4svc-1site", 0.95),
 ];
 
 /// One parsed benchmark record.
@@ -75,12 +102,18 @@ pub struct BenchRecord {
     pub id: String,
     /// Mean wall-clock time per iteration, nanoseconds.
     pub mean_ns: f64,
+    /// Samples behind the mean. Records under [`MIN_SAMPLES`] get the
+    /// widened [`LOW_SAMPLE_RATIO`] regression bar. Quality metrics
+    /// always carry `1` (they are exact, not sampled) but are exempt
+    /// from the ratio rule entirely.
+    pub samples: usize,
 }
 
 /// A reason the gate fails.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Violation {
-    /// Mean exceeded baseline by more than [`NOISE_RATIO`]×.
+    /// Mean exceeded baseline by more than the applicable ratio
+    /// ([`NOISE_RATIO`], or [`LOW_SAMPLE_RATIO`] for low-sample records).
     Regression {
         /// Benchmark id.
         id: String,
@@ -88,6 +121,8 @@ pub enum Violation {
         baseline_ns: f64,
         /// Current mean (ns).
         current_ns: f64,
+        /// The ratio bar that was applied (and exceeded).
+        tolerance: f64,
     },
     /// A baseline id is absent from the current run.
     Missing {
@@ -130,9 +165,10 @@ impl fmt::Display for Violation {
                 id,
                 baseline_ns,
                 current_ns,
+                tolerance,
             } => write!(
                 f,
-                "REGRESSION {id}: {current_ns:.0} ns vs baseline {baseline_ns:.0} ns ({:.2}x > {NOISE_RATIO}x)",
+                "REGRESSION {id}: {current_ns:.0} ns vs baseline {baseline_ns:.0} ns ({:.2}x > {tolerance}x)",
                 current_ns / baseline_ns
             ),
             Violation::Missing { id } => write!(
@@ -209,7 +245,24 @@ pub fn parse_records(text: &str) -> Result<Vec<BenchRecord>, String> {
         let mean_ns: f64 = mean_rest[..mean_end]
             .parse()
             .map_err(|e| format!("line {}: bad mean_ns: {e}", lineno + 1))?;
-        records.push(BenchRecord { id, mean_ns });
+        // Older exports (pre-sample-guard baselines) may lack the field;
+        // default to a confident count so they keep the strict ratio.
+        let samples = match field("samples") {
+            Err(_) => 10,
+            Ok(rest) => {
+                let end = rest
+                    .find(|c: char| !c.is_ascii_digit())
+                    .unwrap_or(rest.len());
+                rest[..end]
+                    .parse()
+                    .map_err(|e| format!("line {}: bad samples: {e}", lineno + 1))?
+            }
+        };
+        records.push(BenchRecord {
+            id,
+            mean_ns,
+            samples,
+        });
     }
     if records.is_empty() {
         return Err("no benchmark records found".into());
@@ -221,6 +274,10 @@ fn mean_of(records: &[BenchRecord], id: &str) -> Option<f64> {
     records.iter().find(|r| r.id == id).map(|r| r.mean_ns)
 }
 
+fn record_of<'a>(records: &'a [BenchRecord], id: &str) -> Option<&'a BenchRecord> {
+    records.iter().find(|r| r.id == id)
+}
+
 /// Applies every rule; returns all violations (empty = gate passes).
 pub fn check(current: &[BenchRecord], baseline: &[BenchRecord]) -> Vec<Violation> {
     let mut violations = Vec::new();
@@ -229,18 +286,27 @@ pub fn check(current: &[BenchRecord], baseline: &[BenchRecord]) -> Vec<Violation
     // would diagnose a quality shift as a nonsensical slowdown.
     let is_quality = |id: &str| QUALITY_FLOORS.iter().any(|&(q, _)| q == id);
     for base in baseline.iter().filter(|b| !is_quality(&b.id)) {
-        match mean_of(current, &base.id) {
+        match record_of(current, &base.id) {
             None => violations.push(Violation::Missing {
                 id: base.id.clone(),
             }),
-            Some(cur) if cur > base.mean_ns * NOISE_RATIO => {
-                violations.push(Violation::Regression {
-                    id: base.id.clone(),
-                    baseline_ns: base.mean_ns,
-                    current_ns: cur,
-                });
+            Some(cur) => {
+                // Either side being under-sampled makes the *ratio*
+                // noisy, so the wider bar applies when either is.
+                let tolerance = if base.samples < MIN_SAMPLES || cur.samples < MIN_SAMPLES {
+                    LOW_SAMPLE_RATIO
+                } else {
+                    NOISE_RATIO
+                };
+                if cur.mean_ns > base.mean_ns * tolerance {
+                    violations.push(Violation::Regression {
+                        id: base.id.clone(),
+                        baseline_ns: base.mean_ns,
+                        current_ns: cur.mean_ns,
+                        tolerance,
+                    });
+                }
             }
-            Some(_) => {}
         }
     }
     for &(id, ceiling_ns) in CEILINGS {
@@ -318,6 +384,7 @@ mod tests {
         BenchRecord {
             id: id.into(),
             mean_ns: mean,
+            samples: 10,
         }
     }
 
@@ -327,6 +394,9 @@ mod tests {
             rec("online_replan/10000", 1_200_000.0),
             rec("online_replan/100000", 15_000_000.0),
             rec("control_loop/100000", 90_000_000.0),
+            rec("planner_scaling/heuristic/100000", 16_000_000.0),
+            rec("planner_scaling/heuristic/1000000", 450_000_000.0),
+            rec("planner_scaling/sweep-multisite/100000", 160_000_000.0),
             rec("mix_scaling/mix-planner-4svc/400", 450_000.0),
             rec("mix_scaling/independent-2svc/400", 1_000_000.0),
             rec("mix_vs_sweep/sweep-ref-2svc-2site/36", 500_000.0),
@@ -346,6 +416,14 @@ mod tests {
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].id, "planner_heuristic/25");
         assert!((records[1].mean_ns - 1_239_321.75).abs() < 1e-6);
+        assert_eq!(records[0].samples, 10);
+    }
+
+    #[test]
+    fn missing_samples_field_defaults_to_confident() {
+        let text = r#"[{"id": "planner_heuristic/25", "mean_ns": 13259.8}]"#;
+        let records = parse_records(text).unwrap();
+        assert_eq!(records[0].samples, 10);
     }
 
     #[test]
@@ -372,9 +450,33 @@ mod tests {
         assert_eq!(violations.len(), 1);
         assert!(matches!(
             &violations[0],
-            Violation::Regression { id, .. } if id == "planner_heuristic/400"
+            Violation::Regression { id, tolerance, .. }
+                if id == "planner_heuristic/400" && *tolerance == NOISE_RATIO
         ));
         assert!(violations[0].to_string().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn low_sample_records_get_the_widened_bar() {
+        let mut current = passing_current();
+        let mut baseline = current.clone();
+        // A 3x swing on a 3-sample record is noise, not a regression...
+        baseline[0].samples = 3;
+        current[0].mean_ns = baseline[0].mean_ns * 3.0;
+        assert!(check(&current, &baseline).is_empty());
+        // ...the widened bar still fires eventually...
+        current[0].mean_ns = baseline[0].mean_ns * (LOW_SAMPLE_RATIO + 0.5);
+        let violations = check(&current, &baseline);
+        assert!(matches!(
+            &violations[0],
+            Violation::Regression { tolerance, .. } if *tolerance == LOW_SAMPLE_RATIO
+        ));
+        // ...and an under-sampled *current* side widens the bar too.
+        let mut current = passing_current();
+        let baseline = passing_current();
+        current[0].samples = 2;
+        current[0].mean_ns = baseline[0].mean_ns * 3.0;
+        assert!(check(&current, &baseline).is_empty());
     }
 
     #[test]

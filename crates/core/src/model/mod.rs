@@ -18,6 +18,7 @@
 //! [`evaluate`](ModelParams::evaluate) method produces a full
 //! `ThroughputReport` for a plan.
 
+pub mod batch;
 pub mod comm;
 pub mod compute;
 pub mod hetero;

@@ -65,7 +65,66 @@ where
 /// Eq. 14 — scheduling throughput of a deployment: the minimum over all
 /// agents' cycles and all servers' prediction cycles. Returns the rate and
 /// the arg-min element.
+///
+/// Implemented on the batched kernels ([`super::batch`]): the plan's
+/// slots are split by role into flat power/degree lanes, both cycle
+/// kernels run vectorized, and the arg-max scan is the chunked
+/// first-max reduction — bit-identical to
+/// [`sched_throughput_scalar`], the checked sequential reference.
 pub fn sched_throughput(
+    params: &ModelParams,
+    platform: &Platform,
+    plan: &DeploymentPlan,
+) -> (f64, Bottleneck) {
+    let slots: Vec<_> = plan.slots().collect();
+    // Split by role so each kernel runs branch-free over its own lanes,
+    // then scatter cycles back into slot order to keep the sequential
+    // scan's first-max tie rule.
+    let mut agent_powers = Vec::new();
+    let mut agent_degrees = Vec::new();
+    let mut agent_pos = Vec::new();
+    let mut server_powers = Vec::new();
+    let mut server_pos = Vec::new();
+    for (pos, &slot) in slots.iter().enumerate() {
+        let power = platform.power(plan.node(slot)).value();
+        match plan.role(slot) {
+            Role::Agent => {
+                agent_powers.push(power);
+                agent_degrees.push(plan.degree(slot));
+                agent_pos.push(pos);
+            }
+            Role::Server => {
+                server_powers.push(power);
+                server_pos.push(pos);
+            }
+        }
+    }
+    let mut cycles = vec![0.0; slots.len()];
+    let mut lane = Vec::new();
+    super::batch::agent_cycles_into(params, &agent_powers, &agent_degrees, &mut lane);
+    for (&pos, &c) in agent_pos.iter().zip(&lane) {
+        cycles[pos] = c;
+    }
+    super::batch::server_prediction_cycles_into(params, &server_powers, &mut lane);
+    for (&pos, &c) in server_pos.iter().zip(&lane) {
+        cycles[pos] = c;
+    }
+    let Some((worst, pos)) = super::batch::max_with_index(&cycles) else {
+        return (Seconds::ZERO.throughput(), Bottleneck::ServiceCapacity);
+    };
+    let slot = slots[pos];
+    let node = plan.node(slot);
+    let who = match plan.role(slot) {
+        Role::Agent => Bottleneck::AgentSched { slot, node },
+        Role::Server => Bottleneck::ServerPrediction { slot, node },
+    };
+    (Seconds(worst).throughput(), who)
+}
+
+/// The sequential reference for [`sched_throughput`]: one scalar kernel
+/// call per slot, first strict maximum wins. Kept as the checked
+/// fallback the SIMD parity suite compares against.
+pub fn sched_throughput_scalar(
     params: &ModelParams,
     platform: &Platform,
     plan: &DeploymentPlan,

@@ -71,6 +71,7 @@
 
 use super::realize::{best_attach_agent_site_aware, realize_from_eval, AttachHeap};
 use super::{improve, resolve_params, EvalStrategy, Planner, PlannerError};
+use crate::model::batch;
 use crate::model::throughput::{hier_ser_pow, sch_pow};
 use crate::model::{IncrementalEval, ModelParams};
 use adept_hierarchy::{DeploymentPlan, Slot};
@@ -139,19 +140,21 @@ impl HeuristicPlanner {
 
     /// Steps 1–2: nodes sorted by `calc_sch_pow` with `n_nodes − 1`
     /// children, descending. Ties break toward lower node id (stable).
-    /// The score is computed once per node, not once per comparison.
+    /// The scores are computed once, batched over the flat power lane
+    /// ([`batch::sch_pow_shared_degree_into`]) — the shared degree makes
+    /// the per-node work one vectorized division — and the sort runs on
+    /// integer keys ([`batch::sort_rate_desc_id_asc`]).
     pub fn sorted_nodes(params: &ModelParams, platform: &Platform) -> Vec<NodeId> {
         let d = platform.node_count().saturating_sub(1).max(1);
-        let mut keyed: Vec<(f64, NodeId)> = platform
-            .nodes()
-            .iter()
-            .map(|r| (sch_pow(params, r.power, d), r.id))
+        let powers: Vec<f64> = platform.nodes().iter().map(|r| r.power.value()).collect();
+        let mut rates = Vec::new();
+        batch::sch_pow_shared_degree_into(params, &powers, d, &mut rates);
+        let mut keyed: Vec<(f64, NodeId)> = rates
+            .into_iter()
+            .zip(platform.nodes())
+            .map(|(rate, r)| (rate, r.id))
             .collect();
-        keyed.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .expect("rates are finite")
-                .then(a.1.cmp(&b.1))
-        });
+        batch::sort_rate_desc_id_asc(&mut keyed);
         keyed.into_iter().map(|(_, id)| id).collect()
     }
 }

@@ -37,16 +37,19 @@ use std::collections::{BinaryHeap, HashSet};
 const EPS: f64 = 1e-9;
 
 /// Sorts node ids by descending power, ties to the lower id — the one
-/// ordering every strongest-first scan in the planners uses.
+/// ordering every strongest-first scan in the planners uses. Runs on
+/// precomputed integer keys (positive finite powers order like their
+/// IEEE-754 bit patterns) so site-sized lists sort without a `power()`
+/// call per comparison.
 pub(crate) fn by_power_desc(platform: &Platform, ids: &mut [NodeId]) {
-    ids.sort_by(|&a, &b| {
-        platform
-            .power(b)
-            .value()
-            .partial_cmp(&platform.power(a).value())
-            .expect("powers are finite")
-            .then(a.cmp(&b))
-    });
+    let mut keyed: Vec<(u64, NodeId)> = ids
+        .iter()
+        .map(|&id| (platform.power(id).value().to_bits(), id))
+        .collect();
+    keyed.sort_unstable_by_key(|&(bits, id)| (std::cmp::Reverse(bits), id));
+    for (slot, (_, id)) in ids.iter_mut().zip(keyed) {
+        *slot = id;
+    }
 }
 
 /// Best plan for a fixed agent set, scanning the server count over `pool`

@@ -364,8 +364,13 @@ pub(crate) struct AttachChoice {
     pub service: usize,
     /// Objective value after the attach.
     pub score: f64,
-    /// Share-normalized rate of `service` *before* the attach (`∞` for a
-    /// zero-share service) — how starved the chosen service was.
+    /// The probe's tie-break field, minimized on score ties. Under the
+    /// min objective: the share-normalized rate of `service` *before*
+    /// the attach (how starved it was; `∞` for a zero-share service) —
+    /// this is also what [`accept_growth`]'s plateau rule reads. Under
+    /// the sum objective: the *negated* share-weighted marginal gain of
+    /// the attach, so ties resolve to the candidate whose server buys
+    /// the most objective.
     pub starved: f64,
     /// Scheduling throughput after the attach.
     pub sched_after: f64,
@@ -493,8 +498,17 @@ pub(crate) fn best_attach_service(
             let sched_after = sched_after_attach(eval, agent, power, site);
             select_best(candidates, sched_after, |cand, starved_of| {
                 let extra = eval.service_rate_with_extra_at(cand, power, site);
+                // Sum-aware tie-break: near a plateau every candidate's
+                // score agrees to within EPS, so rank ties by the
+                // share-weighted marginal gain of the attach itself —
+                // the objective's own derivative — rather than the
+                // min-objective's starvation notion (which would steer
+                // a *sum* objective toward fairness, handing servers to
+                // low-share services that contribute the least).
+                // `select_best` minimizes the tie field, hence negated.
                 *starved_of = if eval.share(cand) > 0.0 {
-                    eval.rho_service_of(cand) / eval.share(cand)
+                    -(eval.share(cand)
+                        * (sched_after.min(extra) - sched_after.min(eval.rho_service_of(cand))))
                 } else {
                     f64::INFINITY
                 };
@@ -731,6 +745,61 @@ mod tests {
         assert!(capped.report.rho_service[0] >= 0.5);
         assert!(capped.report.rho_service[1] >= 0.5);
         assert!(capped.report.rho_sched >= 1.0);
+    }
+
+    #[test]
+    fn weighted_sum_tie_break_ranks_by_marginal_gain_not_starvation() {
+        // A scheduling-capped plateau: the root agent is so weak that
+        // sched sits far below every service rate, so attaching the
+        // spare server to either service moves the weighted sum by
+        // exactly zero — an exact score tie. The min-objective's
+        // starvation tie-break would hand the server to the high-share
+        // service (lower share-normalized rate); the sum-aware rule
+        // sees both marginals at zero and keeps the first candidate.
+        use adept_platform::Network;
+        let mut b = Platform::builder(Network::Homogeneous {
+            bandwidth: adept_platform::MbitRate(100.0),
+            latency: adept_platform::Seconds::ZERO,
+        });
+        let site = b.add_site("s");
+        let weak_agent = b.add_node("agent", MflopRate(1.0), site).unwrap();
+        let s0 = b.add_node("srv0", MflopRate(1000.0), site).unwrap();
+        let s1 = b.add_node("srv1", MflopRate(1000.0), site).unwrap();
+        let _spare = b.add_node("spare", MflopRate(1000.0), site).unwrap();
+        let platform = b.build().unwrap();
+
+        let mix = ServiceMix::new(vec![
+            (Dgemm::new(310).service(), 1.0),
+            (Dgemm::new(310).service(), 4.0),
+        ]);
+        let mut plan = DeploymentPlan::with_root(weak_agent);
+        let root = Slot(0);
+        plan.add_server(root, s0).unwrap();
+        plan.add_server(root, s1).unwrap();
+        let assignment = ServerAssignment {
+            service_of: [(s0, 0), (s1, 1)].into_iter().collect(),
+        };
+        let params = ModelParams::from_platform(&platform);
+        let mut eval =
+            IncrementalEval::from_plan_mix(&params, &platform, &plan, &mix, &assignment).unwrap();
+        assert!(
+            eval.rho_sched() < eval.rho_service_of(0).min(eval.rho_service_of(1)),
+            "the plateau premise: scheduling must be the binding stage"
+        );
+        let choice = best_attach_service(
+            &mut eval,
+            root,
+            MflopRate(1000.0),
+            site,
+            MixObjective::WeightedSum,
+            &[0, 1],
+        );
+        assert_eq!(
+            choice.service, 0,
+            "zero marginal on both sides resolves to the first candidate, \
+             not the more starved high-share service"
+        );
+        assert_eq!(choice.starved, 0.0, "the negated marginal gain is zero");
     }
 
     #[test]

@@ -312,13 +312,15 @@ pub(crate) fn realize_from_eval(eval: &IncrementalEval) -> DeploymentPlan {
     if eval.is_site_aware() {
         return realize_topology(eval);
     }
+    // Positive finite powers order like their IEEE bit patterns, so the
+    // nested float comparator collapses to an integer key sort; the node
+    // id tiebreak makes the order total, so unstable sorting is safe.
     let by_power_desc = |eval: &IncrementalEval, slots: &mut Vec<Slot>| {
-        slots.sort_by(|&a, &b| {
-            let pa = eval.power(a).value();
-            let pb = eval.power(b).value();
-            pb.partial_cmp(&pa)
-                .expect("powers are finite")
-                .then_with(|| eval.node(a).cmp(&eval.node(b)))
+        slots.sort_unstable_by_key(|&s| {
+            (
+                std::cmp::Reverse(crate::model::batch::descending_key(eval.power(s).value())),
+                eval.node(s),
+            )
         });
     };
     let mut agents: Vec<Slot> = eval.agents().collect();
@@ -361,26 +363,30 @@ fn realize_topology(eval: &IncrementalEval) -> DeploymentPlan {
             children[p.index()].push(s);
         }
     }
-    let mut plan = DeploymentPlan::with_root(eval.node(root));
+    // BFS assigns final slots: the children of a popped slot take
+    // consecutive indices, so `from_parts`'s ascending-slot child order
+    // equals the BFS insertion order an add-based build would produce —
+    // one bulk allocation instead of per-entry child vectors.
+    let mut nodes = Vec::with_capacity(active.len());
+    let mut roles = Vec::with_capacity(active.len());
+    let mut parents = Vec::with_capacity(active.len());
     let mut map = vec![Slot(usize::MAX); eval.raw_len()];
-    map[root.index()] = plan.root();
+    map[root.index()] = Slot(0);
+    nodes.push(eval.node(root));
+    roles.push(Role::Agent);
+    parents.push(None);
     let mut queue = std::collections::VecDeque::from([root]);
     while let Some(s) = queue.pop_front() {
         for &c in &children[s.index()] {
-            let parent = map[s.index()];
-            let slot = match eval.role(c) {
-                Role::Agent => plan
-                    .add_agent(parent, eval.node(c))
-                    .expect("engine nodes are unique"),
-                Role::Server => plan
-                    .add_server(parent, eval.node(c))
-                    .expect("engine nodes are unique"),
-            };
-            map[c.index()] = slot;
+            map[c.index()] = Slot(nodes.len());
+            nodes.push(eval.node(c));
+            roles.push(eval.role(c));
+            parents.push(Some(map[s.index()]));
             queue.push_back(c);
         }
     }
-    plan
+    DeploymentPlan::from_parts(nodes, roles, parents)
+        .expect("the engine's topology is a rooted tree over unique nodes")
 }
 
 /// Heap entry for [`waterfill_degrees`]: same key as [`HeapEntry`] but
@@ -476,32 +482,31 @@ pub(crate) fn realize(agents: &[NodeId], servers: &[NodeId], degrees: &[usize]) 
         "every agent must have at least one child"
     );
 
-    let mut plan = DeploymentPlan::with_root(agents[0]);
-    let mut slots: Vec<Slot> = vec![plan.root()];
-    let mut capacity: Vec<usize> = vec![degrees[0]];
-    // `cursor` is the earliest agent that may still have spare capacity.
+    // Agents take slots 0..A in list order, servers A..n — the same
+    // numbering an add-based build would produce — so the whole tree can
+    // go through `from_parts` in one allocation pass. `cursor` is the
+    // earliest agent that may still have spare capacity; feasibility
+    // (every degree ≥ 1) guarantees it never runs past the slots already
+    // placed, so the parent choice matches the incremental build exactly.
+    let n = agents.len() + servers.len();
+    let mut nodes = Vec::with_capacity(n);
+    nodes.extend_from_slice(agents);
+    nodes.extend_from_slice(servers);
+    let mut roles = vec![Role::Agent; agents.len()];
+    roles.resize(n, Role::Server);
+    let mut parents = Vec::with_capacity(n);
+    parents.push(None);
+    let mut capacity: Vec<usize> = degrees.to_vec();
     let mut cursor = 0usize;
-    fn next_parent(slots: &[Slot], capacity: &mut [usize], cursor: &mut usize) -> Slot {
-        while capacity[*cursor] == 0 {
-            *cursor += 1;
+    for _ in 1..n {
+        while capacity[cursor] == 0 {
+            cursor += 1;
         }
-        capacity[*cursor] -= 1;
-        slots[*cursor]
+        capacity[cursor] -= 1;
+        parents.push(Some(Slot(cursor)));
     }
-    for (i, &a) in agents.iter().enumerate().skip(1) {
-        let parent = next_parent(&slots, &mut capacity, &mut cursor);
-        let slot = plan
-            .add_agent(parent, a)
-            .expect("fresh node under an agent always inserts");
-        slots.push(slot);
-        capacity.push(degrees[i]);
-    }
-    for &s in servers {
-        let parent = next_parent(&slots, &mut capacity, &mut cursor);
-        plan.add_server(parent, s)
-            .expect("fresh node under an agent always inserts");
-    }
-    plan
+    DeploymentPlan::from_parts(nodes, roles, parents)
+        .expect("a validated split realizes into a well-formed plan")
 }
 
 /// Convenience: waterfill + realize for an agent/server split, using all

@@ -33,6 +33,23 @@
 //! clusters the swept family contains every complete spanning d-ary tree's
 //! throughput, so it can only match or beat the CSD optimum of \[10\].
 //!
+//! **Coarsen-then-refine (large platforms).** The quadratic sweep is
+//! exact but hopeless at 10⁵–10⁶ slots. Above `COARSEN_THRESHOLD`
+//! nodes per swept list the planner first *coarsens*: every list is cut
+//! to its `saturation_budget` — no deployment beats
+//! `sch_pow(strongest, 1)`, so once the strongest-first Eq. 15 service
+//! rate reaches that cap, deeper nodes cannot matter (a 4× + 64 margin
+//! keeps the argument safely conservative). The *refine* step then runs
+//! the ordinary exact machinery on the truncated lists: per-site sweeps
+//! (distributed over worker threads, one site per task, merged in site
+//! order so the winner is deterministic) and the cross-site growth
+//! phase with its spare pools bounded by the same budget. Because the
+//! swept family only ever deploys prefixes of the sorted lists, the
+//! truncation reproduces the flat sweep's choice whenever the winner
+//! fits the budget — which the ρ cap guarantees at saturation scale —
+//! and a budget at or above the list size is bit-for-bit a no-op. Force
+//! the behaviour either way with [`SweepPlanner::coarsen`].
+//!
 //! **Service mixes.** [`SweepPlanner::best_mix_plan`] (module
 //! [`sweep_mix`](super::sweep_mix)) extends the family with a third
 //! axis: integer *compositions* of the server count across the mix's
@@ -46,8 +63,8 @@
 
 use super::realize::HeapEntry;
 use super::{resolve_params, Planner, PlannerError};
-use crate::model::throughput::{sch_pow, server_prediction_cycle, service_rate_from_sums};
-use crate::model::{comm, IncrementalEval, ModelParams};
+use crate::model::throughput::{sch_pow, service_rate_from_sums};
+use crate::model::{batch, comm, IncrementalEval, ModelParams};
 use adept_hierarchy::{DeploymentPlan, PlanError, Slot};
 use adept_platform::{NodeId, Platform};
 use adept_workload::{ClientDemand, ServiceSpec};
@@ -59,8 +76,104 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub(crate) const TIE_EPS: f64 = 1e-12;
 
 /// Below this node count the sweep stays sequential — thread spawn
-/// overhead would dominate the O(n² log n) scan.
+/// overhead would dominate the O(n² log n) scan. Measured on the bench
+/// host via [`SweepPlanner::with_threads`]: under ~64 nodes a scan_k
+/// finishes faster than a worker spawn+join round trip.
 pub(crate) const PARALLEL_THRESHOLD: usize = 64;
+
+/// Above this many nodes in one swept list, [`SweepPlanner::coarsen`]'s
+/// `None` default turns the saturation truncation on. Below it the full
+/// quadratic sweep is cheap enough to stay exact.
+pub(crate) const COARSEN_THRESHOLD: usize = 4096;
+
+/// Saturation budget for a power-descending node list: how deep a sweep
+/// can possibly need to reach into it (**coarsening**, phase "coarsen"
+/// of coarsen-then-refine).
+///
+/// No deployment's throughput exceeds `rho_cap` — Eq. 16's ρ is capped
+/// by every agent's scheduling power, the root's included, and
+/// `sch_pow(strongest, 1)` bounds that (degree ≥ 1, power ≤ strongest).
+/// Walking servers strongest-first, `s_sat` is the count at which the
+/// Eq. 15 service rate alone reaches `rho_cap`: past it extra servers
+/// cannot raise ρ, they only shift which constraint binds. The budget
+/// retains `4·s_sat + 64` (at least 256) entries — the margin covers
+/// the agents the winning split takes out of the same prefix and the
+/// real servers being weaker than the strongest-first bound assumes.
+///
+/// The swept family only ever deploys a **prefix** of the sorted list
+/// (`k` agents then `s` servers, both strongest-first), so truncating
+/// to the budget reproduces the flat sweep bit-for-bit whenever the
+/// flat winner (and every per-`k` winner that could shadow it) fits in
+/// the prefix — and `rho_cap` is exactly why they do. A budget at or
+/// above the list length is a no-op by construction.
+pub(crate) fn saturation_budget(
+    params: &ModelParams,
+    rho_cap: f64,
+    powers_desc: &[f64],
+    wapp: f64,
+) -> usize {
+    let wpre = params.calibration.server.wpre.value();
+    let transfer = comm::service_transfer_time(params).value();
+    let mut numerator = 1.0;
+    let mut denominator = 0.0;
+    let mut s_sat = powers_desc.len();
+    for (s, &w) in powers_desc.iter().enumerate() {
+        numerator += wpre / wapp;
+        denominator += w / wapp;
+        if service_rate_from_sums(transfer, numerator, denominator) >= rho_cap {
+            s_sat = s + 1;
+            break;
+        }
+    }
+    (4 * s_sat).saturating_add(64).max(256)
+}
+
+/// The ρ upper bound behind [`saturation_budget`]: the scheduling power
+/// of the strongest node at degree one.
+pub(crate) fn rho_cap_of(params: &ModelParams, strongest: f64) -> f64 {
+    sch_pow(params, adept_platform::MflopRate(strongest), 1)
+}
+
+/// Runs `job(site_index)` for every site, distributing indices over
+/// `workers` scoped threads (dynamic pull, like the k-loop), and returns
+/// the results **indexed by site** — so callers fold them in ascending
+/// site order and the outcome is identical to the sequential loop
+/// whatever the scheduling was.
+pub(crate) fn for_each_site<R: Send>(
+    workers: usize,
+    n_sites: usize,
+    job: impl Fn(usize) -> R + Sync,
+) -> Vec<R> {
+    if workers <= 1 || n_sites <= 1 {
+        return (0..n_sites).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(n_sites))
+            .map(|_| {
+                let job = &job;
+                let next = &next;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_sites {
+                            break;
+                        }
+                        local.push((i, job(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("site workers do not panic"))
+            .collect::<Vec<_>>()
+    });
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
 
 /// The sweep planner.
 #[derive(Debug, Clone, Copy)]
@@ -82,6 +195,14 @@ pub struct SweepPlanner {
     /// [`PlanError::NotEnoughServers`] — honoring it would leave no
     /// node to serve, so the sweep range would silently be empty.
     pub max_agents: Option<usize>,
+    /// Coarsen-then-refine: truncate every swept node list to its
+    /// `saturation_budget` before scanning (and bound phase 2's
+    /// per-site spare pools the same way). `None` (default) turns the
+    /// truncation on automatically once a list exceeds
+    /// `COARSEN_THRESHOLD` nodes; `Some(true)` forces it at any size
+    /// (testing hook), `Some(false)` forces the exact flat sweep —
+    /// which is O(n²) and impractical past ~10⁴ nodes.
+    pub coarsen: Option<bool>,
 }
 
 impl Default for SweepPlanner {
@@ -91,6 +212,7 @@ impl Default for SweepPlanner {
             parallel: true,
             threads: None,
             max_agents: None,
+            coarsen: None,
         }
     }
 }
@@ -136,6 +258,50 @@ impl SweepPlanner {
             .unwrap_or(n_local - 1)
             .min(n_local.saturating_sub(1))
     }
+
+    /// Whether a swept list of `n_local` nodes gets the saturation
+    /// truncation (see [`SweepPlanner::coarsen`]).
+    pub(crate) fn coarsen_active(&self, n_local: usize) -> bool {
+        self.coarsen.unwrap_or(n_local > COARSEN_THRESHOLD)
+    }
+
+    /// Truncates a power-descending node list to its saturation budget
+    /// when coarsening is active for its size; no-op otherwise. The cap
+    /// on achievable ρ comes from the list's own strongest node — for
+    /// the families swept here the deployment draws only from the list.
+    pub(crate) fn coarsen_nodes(
+        &self,
+        params: &ModelParams,
+        platform: &Platform,
+        nodes: &mut Vec<NodeId>,
+        wapp_cap: f64,
+    ) {
+        if !self.coarsen_active(nodes.len()) || nodes.len() < 2 {
+            return;
+        }
+        let powers: Vec<f64> = nodes.iter().map(|&id| platform.power(id).value()).collect();
+        let budget = saturation_budget(params, rho_cap_of(params, powers[0]), &powers, wapp_cap);
+        nodes.truncate(budget);
+    }
+
+    /// Worker-thread count for a loop over `n_local` items, honoring
+    /// [`parallel`](Self::parallel)/[`threads`](Self::threads) and the
+    /// spawn-overhead threshold; `cap` bounds useful parallelism (e.g.
+    /// `k_cap` for the k-loop, the site count for per-site refinement).
+    pub(crate) fn worker_count(&self, n_local: usize, cap: usize) -> usize {
+        if self.parallel && n_local >= PARALLEL_THRESHOLD {
+            self.threads
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|c| c.get())
+                        .unwrap_or(1)
+                })
+                .min(cap)
+                .max(1)
+        } else {
+            1
+        }
+    }
 }
 
 /// Winner of one `k` scan: the best server count for that agent count.
@@ -146,11 +312,18 @@ struct KBest {
     rho: f64,
 }
 
-/// Model scalars the scan needs, precomputed once.
+/// Model scalars the scan needs, precomputed once per node list and
+/// shared by every per-`k` scan (and every worker thread).
 #[derive(Debug, Clone, Copy)]
 struct ScanCtx<'a> {
     params: &'a ModelParams,
     powers: &'a [f64],
+    /// `1 / server_prediction_cycle(powers[i])`, batched once
+    /// ([`batch::prediction_rates_into`]). Powers descend, so the Eq. 14
+    /// server bound of a server prefix is the **last** (weakest) entry —
+    /// the per-step running min becomes one array lookup, and the O(n²)
+    /// scalar kernel calls across the k-sweep collapse to O(n).
+    pred_rates: &'a [f64],
     wpre: f64,
     wapp: f64,
     transfer: f64,
@@ -204,12 +377,11 @@ fn scan_k(ctx: &ScanCtx<'_>, n: usize, k: usize) -> Option<KBest> {
     for _ in 0..k - 1 {
         assign_one(ctx, &mut degrees, &mut heap, &mut min_sp, &mut zero_agents);
     }
-    // Service-power running sums (Eq. 10/15) and the prediction bound of
-    // Eq. 14 (weakest server binds; servers are added in descending power
-    // order so the latest is the weakest).
+    // Service-power running sums (Eq. 10/15); the prediction bound of
+    // Eq. 14 is the weakest server's precomputed rate — servers are
+    // added in descending power order, so that is the latest one.
     let mut numerator = 1.0;
     let mut denominator = 0.0;
-    let mut min_pred = f64::INFINITY;
     let mut best: Option<KBest> = None;
     let mut best_for_k = f64::NEG_INFINITY;
     for s in 1..=(n - k) {
@@ -217,8 +389,7 @@ fn scan_k(ctx: &ScanCtx<'_>, n: usize, k: usize) -> Option<KBest> {
         let w = ctx.powers[k + s - 1];
         numerator += ctx.wpre / ctx.wapp;
         denominator += w / ctx.wapp;
-        min_pred = min_pred
-            .min(1.0 / server_prediction_cycle(ctx.params, adept_platform::MflopRate(w)).value());
+        let min_pred = ctx.pred_rates[k + s - 1];
         let service_pow = service_rate_from_sums(ctx.transfer, numerator, denominator);
         if zero_agents > 0 {
             continue; // dominated by a smaller k; keep growing s
@@ -311,7 +482,8 @@ impl SweepPlanner {
             // model's.
             return self.best_plan_multi_site(platform, service, &params);
         }
-        let nodes = platform.ids_by_power_desc();
+        let mut nodes = platform.ids_by_power_desc();
+        self.coarsen_nodes(&params, platform, &mut nodes, service.wapp.value());
         self.best_over_nodes(&params, platform, service, &nodes)
     }
 
@@ -333,27 +505,19 @@ impl SweepPlanner {
             });
         }
         let powers: Vec<f64> = nodes.iter().map(|&id| platform.power(id).value()).collect();
+        let mut pred_rates = Vec::new();
+        batch::prediction_rates_into(params, &powers, &mut pred_rates);
         let ctx = ScanCtx {
             params,
             powers: &powers,
+            pred_rates: &pred_rates,
             wpre: params.calibration.server.wpre.value(),
             wapp: service.wapp.value(),
             transfer: comm::service_transfer_time(params).value(),
         };
 
         let k_cap = self.k_cap(n);
-        let workers = if self.parallel && n >= PARALLEL_THRESHOLD {
-            self.threads
-                .unwrap_or_else(|| {
-                    std::thread::available_parallelism()
-                        .map(|c| c.get())
-                        .unwrap_or(1)
-                })
-                .min(n - 1)
-                .max(1)
-        } else {
-            1
-        };
+        let workers = self.worker_count(n, n - 1);
 
         let best = if workers <= 1 {
             merge_in_k_order((1..=k_cap).filter_map(|k| scan_k(&ctx, n, k)))
@@ -433,24 +597,45 @@ impl SweepPlanner {
         params: &ModelParams,
     ) -> Result<(DeploymentPlan, f64), PlannerError> {
         let net = platform.network();
-        let mut best: Option<(DeploymentPlan, f64)> = None;
-        for site in platform.sites() {
+        let sites = platform.sites();
+        // Refine sites in parallel (each per-site sweep is independent);
+        // the k-loop inside each sweep then stays sequential so the two
+        // levels do not multiply thread counts. Results fold in ascending
+        // site order — identical to the sequential loop.
+        let workers = self.worker_count(platform.node_count(), sites.len());
+        let inner = if workers > 1 {
+            SweepPlanner {
+                parallel: false,
+                ..*self
+            }
+        } else {
+            *self
+        };
+        let per_site = for_each_site(workers, sites.len(), |i| {
+            let site = &sites[i];
             let mut nodes = platform.nodes_on_site(site.id);
             if nodes.len() < 2 {
-                continue;
+                return None;
             }
             super::improve::by_power_desc(platform, &mut nodes);
             let site_params = ModelParams {
                 bandwidth: net.bandwidth_between(site.id, site.id),
                 ..*params
             };
-            let Ok((plan, _)) = self.best_over_nodes(&site_params, platform, service, &nodes)
-            else {
-                continue;
-            };
+            // Budget under the site's own bandwidth — the model this
+            // site's sweep runs in. The scalarized min-B would deflate
+            // the ρ cap and cut the list below the flat winner.
+            self.coarsen_nodes(&site_params, platform, &mut nodes, service.wapp.value());
+            let (plan, _) = inner
+                .best_over_nodes(&site_params, platform, service, &nodes)
+                .ok()?;
             // Re-score under the per-link model (exact for a single-site
             // plan unless a client site is declared elsewhere).
             let rho = params.evaluate(platform, &plan, service).rho;
+            Some((plan, rho))
+        });
+        let mut best: Option<(DeploymentPlan, f64)> = None;
+        for (plan, rho) in per_site.into_iter().flatten() {
             if best
                 .as_ref()
                 .is_none_or(|(_, cur)| rho > cur * (1.0 + TIE_EPS))
@@ -461,7 +646,8 @@ impl SweepPlanner {
         let Some((seed, _)) = best else {
             // No site seats two nodes: sweep the scalarized family and
             // re-score per-link.
-            let nodes = platform.ids_by_power_desc();
+            let mut nodes = platform.ids_by_power_desc();
+            self.coarsen_nodes(params, platform, &mut nodes, service.wapp.value());
             let (plan, _) = self.best_over_nodes(params, platform, service, &nodes)?;
             let rho = params.evaluate(platform, &plan, service).rho;
             return Ok((plan, rho));
@@ -483,6 +669,15 @@ impl SweepPlanner {
     ) -> (DeploymentPlan, f64) {
         let mut eval = IncrementalEval::from_plan(params, platform, &seed, service);
         debug_assert!(eval.is_site_aware());
+        let largest_site = platform
+            .sites()
+            .iter()
+            .map(|s| platform.nodes_on_site(s.id).len())
+            .max()
+            .unwrap_or(0);
+        let coarsen_wapp = self
+            .coarsen_active(largest_site)
+            .then(|| service.wapp.value());
         extend_across_sites_engine(
             params,
             platform,
@@ -490,6 +685,7 @@ impl SweepPlanner {
             seed.root(),
             &[0],
             self.max_agents,
+            coarsen_wapp,
             |e| e.rho(),
         );
         let rho = eval.rho();
@@ -534,6 +730,17 @@ enum CrossSiteMove {
 /// agent cap, honored across the Open/steal moves (phase 1 already
 /// respects it per site). Probes are engine deltas undone before the
 /// next probe, so the evaluator is bit-exactly unchanged on rejection.
+///
+/// `coarsen_wapp` — `Some(wapp)` bounds every site's spare pool at its
+/// [`saturation_budget`] (against the **platform-wide** ρ cap: spares
+/// feed the global tree, whose throughput the strongest node anywhere
+/// bounds). Spares are consumed strongest-first under strict
+/// improvement, so a budget past the saturation point changes nothing;
+/// it only stops a million-node site from materializing a million-entry
+/// pool. `None` keeps every spare (the exact flat behaviour). `wapp`
+/// should be the **largest** demanded service's, which maximizes the
+/// budget.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn extend_across_sites_engine(
     params: &ModelParams,
     platform: &Platform,
@@ -541,11 +748,19 @@ pub(crate) fn extend_across_sites_engine(
     root: Slot,
     candidates: &[usize],
     max_agents: Option<usize>,
+    coarsen_wapp: Option<f64>,
     score: impl Fn(&IncrementalEval) -> f64,
 ) {
     debug_assert_eq!(eval.pending_deltas(), 0, "grow from a committed state");
     let agent_budget = max_agents.unwrap_or(usize::MAX);
     let mut agent_count = eval.agents().count();
+    let strongest = coarsen_wapp.map(|_| {
+        platform
+            .nodes()
+            .iter()
+            .map(|n| n.power.value())
+            .fold(0.0f64, f64::max)
+    });
     // Strongest-first spare nodes per site.
     let mut spare: Vec<Vec<NodeId>> = platform
         .sites()
@@ -557,6 +772,20 @@ pub(crate) fn extend_across_sites_engine(
                 .filter(|&id| !eval.uses_node(id))
                 .collect();
             super::improve::by_power_desc(platform, &mut v);
+            if let (Some(wapp), Some(strongest)) = (coarsen_wapp, strongest) {
+                // Budget under the site's intra bandwidth (a spare
+                // attaches to a site-local mid), against the ρ cap the
+                // platform's strongest node sets for the whole tree.
+                let site_params = ModelParams {
+                    bandwidth: platform.network().bandwidth_between(s.id, s.id),
+                    ..*params
+                };
+                let powers: Vec<f64> = v.iter().map(|&id| platform.power(id).value()).collect();
+                if !powers.is_empty() {
+                    let cap = rho_cap_of(&site_params, strongest);
+                    v.truncate(saturation_budget(&site_params, cap, &powers, wapp));
+                }
+            }
             v.reverse(); // pop() takes the strongest
             v
         })
@@ -901,6 +1130,92 @@ mod tests {
         .unwrap();
         let scalar_rho = params.evaluate(&platform, &scalar_plan, &svc).rho;
         assert!(rho >= scalar_rho * (1.0 - 1e-9));
+    }
+
+    #[test]
+    fn forced_coarsening_is_bit_identical_when_budget_covers_the_site() {
+        // 15-node sites sit far under the minimum 256-entry budget, so
+        // the truncation is a no-op and the coarse planner must walk the
+        // exact same family — plan and rho bit for bit.
+        use adept_platform::generator::multi_site_grid;
+        use adept_platform::MbitRate;
+        let platform = multi_site_grid(2, 15, MflopRate(400.0), MbitRate(100.0), MbitRate(5.0), 9);
+        for size in [10u32, 310, 1000] {
+            let svc = Dgemm::new(size).service();
+            let (flat_plan, flat_rho) = SweepPlanner {
+                coarsen: Some(false),
+                ..SweepPlanner::default()
+            }
+            .best_plan(&platform, &svc)
+            .unwrap();
+            let (coarse_plan, coarse_rho) = SweepPlanner {
+                coarsen: Some(true),
+                ..SweepPlanner::default()
+            }
+            .best_plan(&platform, &svc)
+            .unwrap();
+            assert_eq!(
+                coarse_rho.to_bits(),
+                flat_rho.to_bits(),
+                "dgemm-{size}: coarse rho {coarse_rho} != flat {flat_rho}"
+            );
+            assert!(
+                coarse_plan.structurally_eq(&flat_plan),
+                "dgemm-{size}: coarse plan differs"
+            );
+        }
+    }
+
+    #[test]
+    fn coarsening_keeps_quality_when_the_budget_bites() {
+        // 600 nodes per site with a light service: the saturation budget
+        // (min 256) truncates the per-site lists, yet the winner uses a
+        // small prefix, so the coarse sweep must match the flat one to
+        // the sweep's own 1e-9 quality bar.
+        use adept_platform::generator::multi_site_grid;
+        use adept_platform::MbitRate;
+        let platform =
+            multi_site_grid(2, 600, MflopRate(400.0), MbitRate(100.0), MbitRate(10.0), 7);
+        let svc = Dgemm::new(100).service();
+        let (_, flat_rho) = SweepPlanner {
+            coarsen: Some(false),
+            ..SweepPlanner::default()
+        }
+        .best_plan(&platform, &svc)
+        .unwrap();
+        let (coarse_plan, coarse_rho) = SweepPlanner {
+            coarsen: Some(true),
+            ..SweepPlanner::default()
+        }
+        .best_plan(&platform, &svc)
+        .unwrap();
+        // The budget must actually bite somewhere for this test to mean
+        // anything: the plan cannot seat more nodes than two budgets.
+        assert!(coarse_plan.len() < 1200, "budget never engaged");
+        assert!(
+            (coarse_rho - flat_rho).abs() <= 1e-9 * flat_rho.max(1.0),
+            "coarse {coarse_rho} vs flat {flat_rho}"
+        );
+    }
+
+    #[test]
+    fn saturation_budget_never_shrinks_below_floor_and_caps_at_need() {
+        let platform = lyon_cluster(100);
+        let params = crate::model::ModelParams::from_platform(&platform);
+        let powers: Vec<f64> = platform
+            .ids_by_power_desc()
+            .iter()
+            .map(|&id| platform.power(id).value())
+            .collect();
+        let cap = rho_cap_of(&params, powers[0]);
+        // A trivially light service saturates immediately: floor of 256.
+        let b_light = saturation_budget(&params, cap, &powers, 1e-9);
+        assert_eq!(b_light, 256);
+        // A heavy service never saturates on 100 nodes: 4n + 64 keeps
+        // the whole list (budget >= need, so truncation is a no-op).
+        let b_heavy = saturation_budget(&params, cap, &powers, 1e12);
+        assert_eq!(b_heavy, 4 * powers.len() + 64);
+        assert!(b_heavy >= powers.len(), "budget must cover the need");
     }
 
     #[test]

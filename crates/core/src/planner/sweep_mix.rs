@@ -83,7 +83,7 @@
 
 use super::mix::{objective_score, MixObjective, MixPlan};
 use super::realize::{realize_from_eval, HeapEntry};
-use super::sweep::{extend_across_sites_engine, SweepPlanner, PARALLEL_THRESHOLD, TIE_EPS};
+use super::sweep::{extend_across_sites_engine, SweepPlanner, TIE_EPS};
 use super::{resolve_params, PlannerError};
 use crate::model::mix::{partition_servers, ServerAssignment};
 use crate::model::throughput::sch_pow;
@@ -93,6 +93,17 @@ use adept_platform::{MflopRate, NodeId, Platform};
 use adept_workload::ServiceMix;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The heaviest demanded service's per-request work — the conservative
+/// `wapp` for [`saturation_budget`](super::sweep::saturation_budget):
+/// the heavier the service, the less each server contributes to Eq. 15,
+/// the deeper the sweep may need to reach, the larger the budget.
+fn wapp_cap(mix: &ServiceMix, candidates: &[usize]) -> f64 {
+    candidates
+        .iter()
+        .map(|&j| mix.service(j).wapp.value())
+        .fold(0.0f64, f64::max)
+}
 
 /// Calls `visit` with every composition of `total` into exactly `parts`
 /// positive integers (each part ≥ 1, parts summing to `total`), in
@@ -492,7 +503,8 @@ impl SweepPlanner {
         if params.uses_link_bandwidths(platform) {
             return self.best_mix_plan_multi_site(platform, mix, objective, &params, &candidates);
         }
-        let nodes = platform.ids_by_power_desc();
+        let mut nodes = platform.ids_by_power_desc();
+        self.coarsen_nodes(&params, platform, &mut nodes, wapp_cap(mix, &candidates));
         let (plan, assignment, objective_value) =
             self.best_mix_over_nodes(&params, platform, mix, objective, &candidates, &nodes)?;
         finish_mix_plan(&params, platform, plan, mix, assignment, objective_value)
@@ -556,19 +568,7 @@ impl SweepPlanner {
             suffix_power,
         };
         let k_cap = self.k_cap(n).min(n - parts);
-
-        let workers = if self.parallel && n >= PARALLEL_THRESHOLD {
-            self.threads
-                .unwrap_or_else(|| {
-                    std::thread::available_parallelism()
-                        .map(|c| c.get())
-                        .unwrap_or(1)
-                })
-                .min(n - 1)
-                .max(1)
-        } else {
-            1
-        };
+        let workers = self.worker_count(n, n - 1);
 
         let best = if workers <= 1 {
             let mut best: Option<KMixBest> = None;
@@ -689,11 +689,24 @@ impl SweepPlanner {
         candidates: &[usize],
     ) -> Result<MixPlan, PlannerError> {
         let net = platform.network();
-        let mut best: Option<(DeploymentPlan, ServerAssignment, f64)> = None;
-        for site in platform.sites() {
+        let sites = platform.sites();
+        // Per-site sweeps refine in parallel (see the single-service
+        // planner): site-level workers with a sequential inner k-loop,
+        // folded in ascending site order for a deterministic winner.
+        let workers = self.worker_count(platform.node_count(), sites.len());
+        let inner = if workers > 1 {
+            SweepPlanner {
+                parallel: false,
+                ..*self
+            }
+        } else {
+            *self
+        };
+        let per_site = super::sweep::for_each_site(workers, sites.len(), |i| {
+            let site = &sites[i];
             let mut nodes = platform.nodes_on_site(site.id);
             if nodes.len() < candidates.len() + 1 {
-                continue;
+                return None;
             }
             super::improve::by_power_desc(platform, &mut nodes);
             let site_params = ModelParams {
@@ -701,22 +714,24 @@ impl SweepPlanner {
                 site_aware: false,
                 ..*params
             };
-            let Ok((plan, asg, _)) = self.best_mix_over_nodes(
+            // Budget under the site's own bandwidth — the model this
+            // site's sweep runs in (see the single-service planner).
+            self.coarsen_nodes(
                 &site_params,
                 platform,
-                mix,
-                objective,
-                candidates,
-                &nodes,
-            ) else {
-                continue;
-            };
+                &mut nodes,
+                wapp_cap(mix, candidates),
+            );
+            let (plan, asg, _) = inner
+                .best_mix_over_nodes(&site_params, platform, mix, objective, candidates, &nodes)
+                .ok()?;
             // Re-score under the per-link model.
-            let Ok(eval) = IncrementalEval::from_plan_mix(params, platform, &plan, mix, &asg)
-            else {
-                continue;
-            };
+            let eval = IncrementalEval::from_plan_mix(params, platform, &plan, mix, &asg).ok()?;
             let obj = objective_score(objective, &eval);
+            Some((plan, asg, obj))
+        });
+        let mut best: Option<(DeploymentPlan, ServerAssignment, f64)> = None;
+        for (plan, asg, obj) in per_site.into_iter().flatten() {
             if best
                 .as_ref()
                 .is_none_or(|(_, _, cur)| obj > cur * (1.0 + TIE_EPS))
@@ -727,7 +742,8 @@ impl SweepPlanner {
         let Some((seed_plan, seed_asg, _)) = best else {
             // No site seats the whole mix: sweep the scalarized family
             // and re-score per-link.
-            let nodes = platform.ids_by_power_desc();
+            let mut nodes = platform.ids_by_power_desc();
+            self.coarsen_nodes(params, platform, &mut nodes, wapp_cap(mix, candidates));
             let scalar = ModelParams {
                 site_aware: false,
                 ..*params
@@ -744,6 +760,14 @@ impl SweepPlanner {
         let mut eval =
             IncrementalEval::from_plan_mix(params, platform, &seed_plan, mix, &seed_asg)?;
         debug_assert!(eval.is_site_aware());
+        let largest_site = sites
+            .iter()
+            .map(|s| platform.nodes_on_site(s.id).len())
+            .max()
+            .unwrap_or(0);
+        let coarsen_wapp = self
+            .coarsen_active(largest_site)
+            .then(|| wapp_cap(mix, candidates));
         extend_across_sites_engine(
             params,
             platform,
@@ -751,6 +775,7 @@ impl SweepPlanner {
             seed_plan.root(),
             candidates,
             self.max_agents,
+            coarsen_wapp,
             |e| objective_score(objective, e),
         );
         let plan = realize_from_eval(&eval);

@@ -12,7 +12,7 @@
 //! transition itself — compile it into an ordered script, execute the
 //! stages — rather than as a human-readable report.
 
-use crate::plan::{DeploymentPlan, Role};
+use crate::plan::{DeploymentPlan, Role, Slot};
 use adept_platform::NodeId;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -128,29 +128,38 @@ fn rebuild(desc: &BTreeMap<NodeId, (Role, Option<NodeId>)>) -> Result<Deployment
             children.entry(p).or_default().push(node);
         }
     }
-    let mut plan = DeploymentPlan::with_root(root);
-    let mut queue = std::collections::VecDeque::from([(root, plan.root())]);
-    let mut placed = 1usize;
-    while let Some((node, slot)) = queue.pop_front() {
+    // BFS from the root assigns slots, then the whole tree goes through
+    // `DeploymentPlan::from_parts` in one allocation pass. Children of a
+    // popped node take consecutive slots, so the bulk constructor's
+    // ascending-slot child order equals the BFS insertion order.
+    let mut nodes = Vec::with_capacity(desc.len());
+    let mut roles = Vec::with_capacity(desc.len());
+    let mut parents = Vec::with_capacity(desc.len());
+    let mut slot_of: BTreeMap<NodeId, Slot> = BTreeMap::new();
+    slot_of.insert(root, Slot(0));
+    nodes.push(root);
+    roles.push(Role::Agent);
+    parents.push(None);
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(node) = queue.pop_front() {
+        let parent_slot = slot_of[&node];
         for &child in children.get(&node).into_iter().flatten() {
-            let role = desc[&child].0;
-            let child_slot = match role {
-                Role::Agent => plan.add_agent(slot, child),
-                Role::Server => plan.add_server(slot, child),
-            }
-            .map_err(|e| DiffError::BrokenTree(e.to_string()))?;
-            placed += 1;
-            queue.push_back((child, child_slot));
+            slot_of.insert(child, Slot(nodes.len()));
+            nodes.push(child);
+            roles.push(desc[&child].0);
+            parents.push(Some(parent_slot));
+            queue.push_back(child);
         }
     }
-    if placed != desc.len() {
+    if nodes.len() != desc.len() {
         return Err(DiffError::BrokenTree(format!(
             "{} of {} nodes unreachable from the root (parent cycle)",
-            desc.len() - placed,
+            desc.len() - nodes.len(),
             desc.len()
         )));
     }
-    Ok(plan)
+    DeploymentPlan::from_parts(nodes, roles, parents)
+        .map_err(|e| DiffError::BrokenTree(e.to_string()))
 }
 
 impl PlanDiff {

@@ -1,9 +1,20 @@
 //! The deployment plan: a rooted tree of agents and servers over platform
 //! nodes.
 //!
-//! The representation is index-based: plan entries live in a `Vec` and refer
-//! to each other through [`Slot`] indices, so clones are cheap and traversals
-//! allocation-free. Every entry maps to a distinct platform
+//! The representation is **structure-of-arrays**: per-slot node, role and
+//! parent live in parallel `Vec`s indexed by [`Slot`], and all child lists
+//! share one contiguous arena (`children` + per-slot `(start, len, cap)`
+//! ranges) instead of one heap `Vec` per entry. Traversals are
+//! allocation-free, clones are flat `memcpy`s, and building a plan of n
+//! entries costs O(1) allocations instead of O(n) — the layout that keeps
+//! `realize`/`PlanDiff::apply` linear at n = 10⁵–10⁶ slots. When a slot's
+//! child block fills up it relocates to the arena's end with doubled
+//! capacity (amortized O(1) per attach; the abandoned block is bounded
+//! garbage, at most half the arena). The bulk constructor
+//! [`DeploymentPlan::from_parts`] sizes every block exactly from a parent
+//! array in one counting pass.
+//!
+//! Every entry maps to a distinct platform
 //! [`adept_platform::NodeId`] (the paper never shares a machine
 //! between two middleware elements).
 
@@ -118,14 +129,6 @@ impl fmt::Display for PlanError {
 
 impl std::error::Error for PlanError {}
 
-#[derive(Debug, Clone, PartialEq)]
-struct Entry {
-    node: NodeId,
-    role: Role,
-    parent: Option<Slot>,
-    children: Vec<Slot>,
-}
-
 /// A rooted hierarchy of agents and servers.
 ///
 /// Invariants maintained by construction:
@@ -138,10 +141,34 @@ struct Entry {
 /// ≥ 1) is checked by [`validate`](crate::validate::validate) rather than by
 /// construction, because the heuristic legitimately passes through
 /// intermediate states that violate it.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// See the module docs for the structure-of-arrays layout.
+#[derive(Debug, Clone)]
 pub struct DeploymentPlan {
-    entries: Vec<Entry>,
+    nodes: Vec<NodeId>,
+    roles: Vec<Role>,
+    parents: Vec<Option<Slot>>,
+    /// Arena offset of each slot's child block.
+    child_start: Vec<usize>,
+    /// Live children within the block.
+    child_len: Vec<usize>,
+    /// Allocated block size (`len ≤ cap`).
+    child_cap: Vec<usize>,
+    /// Shared child arena; `Slot(usize::MAX)` marks unused capacity.
+    arena: Vec<Slot>,
     used: HashSet<NodeId>,
+}
+
+impl PartialEq for DeploymentPlan {
+    /// Logical equality: same entries (node, role, parent) and the same
+    /// child order per slot — arena layout (block placement, spare
+    /// capacity, relocation garbage) is representation, not state.
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes
+            && self.roles == other.roles
+            && self.parents == other.parents
+            && self.slots().all(|s| self.children(s) == other.children(s))
+    }
 }
 
 impl DeploymentPlan {
@@ -150,13 +177,146 @@ impl DeploymentPlan {
         let mut used = HashSet::new();
         used.insert(root);
         Self {
-            entries: vec![Entry {
-                node: root,
-                role: Role::Agent,
-                parent: None,
-                children: Vec::new(),
-            }],
+            nodes: vec![root],
+            roles: vec![Role::Agent],
+            parents: vec![None],
+            child_start: vec![0],
+            child_len: vec![0],
+            child_cap: vec![0],
+            arena: Vec::new(),
             used,
+        }
+    }
+
+    /// Builds a plan in one pass from parallel per-slot arrays — the bulk
+    /// constructor behind `realize` and `PlanDiff::apply`. Child blocks
+    /// are sized exactly by a counting pass over `parents` (no relocation
+    /// garbage); each slot's children end up in ascending slot order,
+    /// which equals insertion order for any plan grown by appends.
+    ///
+    /// # Errors
+    /// [`PlanError::NotAnAgent`] when slot 0 is a server or a parent is,
+    /// wrapped as [`PlanError::ParentIsServer`];
+    /// [`PlanError::InvalidSlot`] when slot 0 has a parent, a non-root
+    /// slot has none, or a parent index is out of range;
+    /// [`PlanError::NodeAlreadyUsed`] on a duplicate platform node;
+    /// [`PlanError::WouldCreateCycle`] when some entry is unreachable
+    /// from the root (a parent cycle).
+    ///
+    /// # Panics
+    /// Panics when the arrays are empty or differ in length.
+    pub fn from_parts(
+        nodes: Vec<NodeId>,
+        roles: Vec<Role>,
+        parents: Vec<Option<Slot>>,
+    ) -> Result<Self, PlanError> {
+        let n = nodes.len();
+        assert!(n > 0, "a plan always holds at least the root");
+        assert!(
+            roles.len() == n && parents.len() == n,
+            "one role and one parent per slot"
+        );
+        if roles[0] != Role::Agent {
+            return Err(PlanError::NotAnAgent(Slot(0)));
+        }
+        if parents[0].is_some() {
+            return Err(PlanError::InvalidSlot(Slot(0)));
+        }
+        let mut used = HashSet::with_capacity(n);
+        for &node in &nodes {
+            if !used.insert(node) {
+                return Err(PlanError::NodeAlreadyUsed(node));
+            }
+        }
+        // Counting pass: exact child block per slot.
+        let mut child_len = vec![0usize; n];
+        for (i, &parent) in parents.iter().enumerate().skip(1) {
+            let Some(p) = parent else {
+                return Err(PlanError::InvalidSlot(Slot(i)));
+            };
+            if p.0 >= n {
+                return Err(PlanError::InvalidSlot(p));
+            }
+            if roles[p.0] != Role::Agent {
+                return Err(PlanError::ParentIsServer(p));
+            }
+            child_len[p.0] += 1;
+        }
+        let mut child_start = vec![0usize; n];
+        let mut offset = 0usize;
+        for i in 0..n {
+            child_start[i] = offset;
+            offset += child_len[i];
+        }
+        let mut arena = vec![Slot(usize::MAX); offset];
+        let mut fill = vec![0usize; n];
+        for (i, &parent) in parents.iter().enumerate().skip(1) {
+            let p = parent.expect("validated above").0;
+            arena[child_start[p] + fill[p]] = Slot(i);
+            fill[p] += 1;
+        }
+        let plan = Self {
+            nodes,
+            roles,
+            parents,
+            child_cap: child_len.clone(),
+            child_start,
+            child_len,
+            arena,
+            used,
+        };
+        // Reachability: a parent array can encode a cycle detached from
+        // the root; BFS must visit every slot.
+        let mut seen = 1usize;
+        let mut queue = std::collections::VecDeque::from([plan.root()]);
+        let mut visited = vec![false; n];
+        visited[0] = true;
+        while let Some(s) = queue.pop_front() {
+            for &c in plan.children(s) {
+                if !visited[c.0] {
+                    visited[c.0] = true;
+                    seen += 1;
+                    queue.push_back(c);
+                }
+            }
+        }
+        if seen != n {
+            let orphan = visited.iter().position(|&v| !v).expect("seen < n");
+            return Err(PlanError::WouldCreateCycle(Slot(orphan)));
+        }
+        Ok(plan)
+    }
+
+    /// Appends `child` to `parent`'s child block, relocating the block to
+    /// the arena's end with doubled capacity when full (amortized O(1)).
+    fn push_child(&mut self, parent: usize, child: Slot) {
+        let len = self.child_len[parent];
+        if len == self.child_cap[parent] {
+            let new_cap = (self.child_cap[parent] * 2).max(4);
+            let old_start = self.child_start[parent];
+            let new_start = self.arena.len();
+            self.arena.reserve(new_cap);
+            for i in 0..len {
+                let v = self.arena[old_start + i];
+                self.arena.push(v);
+            }
+            self.arena.resize(new_start + new_cap, Slot(usize::MAX));
+            self.child_start[parent] = new_start;
+            self.child_cap[parent] = new_cap;
+        }
+        self.arena[self.child_start[parent] + len] = child;
+        self.child_len[parent] = len + 1;
+    }
+
+    /// Removes `child` from `parent`'s child block, preserving the order
+    /// of the remaining children.
+    fn remove_child(&mut self, parent: usize, child: Slot) {
+        let start = self.child_start[parent];
+        let len = self.child_len[parent];
+        let block = &mut self.arena[start..start + len];
+        if let Some(pos) = block.iter().position(|&c| c == child) {
+            block.copy_within(pos + 1.., pos);
+            self.child_len[parent] = len - 1;
         }
     }
 
@@ -178,17 +338,21 @@ impl DeploymentPlan {
     /// Number of entries (agents + servers).
     #[inline]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.nodes.len()
     }
 
     /// True if the plan holds only the root.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.len() <= 1
+        self.nodes.len() <= 1
     }
 
-    fn entry(&self, slot: Slot) -> Result<&Entry, PlanError> {
-        self.entries.get(slot.0).ok_or(PlanError::InvalidSlot(slot))
+    fn check(&self, slot: Slot) -> Result<(), PlanError> {
+        if slot.0 < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(PlanError::InvalidSlot(slot))
+        }
     }
 
     /// Adds a server under `parent`.
@@ -209,21 +373,21 @@ impl DeploymentPlan {
     }
 
     fn add(&mut self, parent: Slot, node: NodeId, role: Role) -> Result<Slot, PlanError> {
-        let p = self.entry(parent)?;
-        if p.role != Role::Agent {
+        self.check(parent)?;
+        if self.roles[parent.0] != Role::Agent {
             return Err(PlanError::ParentIsServer(parent));
         }
         if self.used.contains(&node) {
             return Err(PlanError::NodeAlreadyUsed(node));
         }
-        let slot = Slot(self.entries.len());
-        self.entries.push(Entry {
-            node,
-            role,
-            parent: Some(parent),
-            children: Vec::new(),
-        });
-        self.entries[parent.0].children.push(slot);
+        let slot = Slot(self.nodes.len());
+        self.nodes.push(node);
+        self.roles.push(role);
+        self.parents.push(Some(parent));
+        self.child_start.push(self.arena.len());
+        self.child_len.push(0);
+        self.child_cap.push(0);
+        self.push_child(parent.0, slot);
         self.used.insert(node);
         Ok(slot)
     }
@@ -235,14 +399,11 @@ impl DeploymentPlan {
     /// # Errors
     /// [`PlanError::InvalidSlot`] or [`PlanError::NotAServer`].
     pub fn convert_to_agent(&mut self, slot: Slot) -> Result<(), PlanError> {
-        let e = self
-            .entries
-            .get_mut(slot.0)
-            .ok_or(PlanError::InvalidSlot(slot))?;
-        if e.role != Role::Server {
+        self.check(slot)?;
+        if self.roles[slot.0] != Role::Server {
             return Err(PlanError::NotAServer(slot));
         }
-        e.role = Role::Agent;
+        self.roles[slot.0] = Role::Agent;
         Ok(())
     }
 
@@ -258,17 +419,14 @@ impl DeploymentPlan {
         if slot.0 == 0 {
             return Err(PlanError::CannotRemoveRoot);
         }
-        let e = self
-            .entries
-            .get_mut(slot.0)
-            .ok_or(PlanError::InvalidSlot(slot))?;
-        if e.role != Role::Agent {
+        self.check(slot)?;
+        if self.roles[slot.0] != Role::Agent {
             return Err(PlanError::NotAnAgent(slot));
         }
-        if !e.children.is_empty() {
+        if self.child_len[slot.0] != 0 {
             return Err(PlanError::AgentHasChildren(slot));
         }
-        e.role = Role::Server;
+        self.roles[slot.0] = Role::Server;
         Ok(())
     }
 
@@ -285,9 +443,9 @@ impl DeploymentPlan {
         if child.0 == 0 {
             return Err(PlanError::CannotRemoveRoot);
         }
-        self.entry(child)?;
-        let target = self.entry(new_parent)?;
-        if target.role != Role::Agent {
+        self.check(child)?;
+        self.check(new_parent)?;
+        if self.roles[new_parent.0] != Role::Agent {
             return Err(PlanError::ParentIsServer(new_parent));
         }
         // Walk up from the target: hitting `child` means the target lives
@@ -297,17 +455,15 @@ impl DeploymentPlan {
             if s == child {
                 return Err(PlanError::WouldCreateCycle(child));
             }
-            cursor = self.entries[s.0].parent;
+            cursor = self.parents[s.0];
         }
-        let old_parent = self.entries[child.0]
-            .parent
-            .expect("non-root entries always have a parent");
+        let old_parent = self.parents[child.0].expect("non-root entries always have a parent");
         if old_parent == new_parent {
             return Ok(());
         }
-        self.entries[old_parent.0].children.retain(|&c| c != child);
-        self.entries[new_parent.0].children.push(child);
-        self.entries[child.0].parent = Some(new_parent);
+        self.remove_child(old_parent.0, child);
+        self.push_child(new_parent.0, child);
+        self.parents[child.0] = Some(new_parent);
         Ok(())
     }
 
@@ -328,19 +484,24 @@ impl DeploymentPlan {
         if slot.0 == 0 {
             return Err(PlanError::CannotRemoveRoot);
         }
-        if slot.0 != self.entries.len() - 1 {
+        if slot.0 != self.nodes.len() - 1 {
             return Err(PlanError::InvalidSlot(slot));
         }
         debug_assert!(
-            self.entries[slot.0].children.is_empty(),
+            self.child_len[slot.0] == 0,
             "children always have larger indices than their parent"
         );
-        let e = self.entries.pop().expect("len >= 2 checked above");
-        if let Some(p) = e.parent {
-            self.entries[p.0].children.retain(|&c| c != slot);
+        let node = self.nodes.pop().expect("len >= 2 checked above");
+        self.roles.pop();
+        let parent = self.parents.pop().expect("popped with nodes");
+        self.child_start.pop();
+        self.child_len.pop();
+        self.child_cap.pop();
+        if let Some(p) = parent {
+            self.remove_child(p.0, slot);
         }
-        self.used.remove(&e.node);
-        Ok(e.node)
+        self.used.remove(&node);
+        Ok(node)
     }
 
     /// Platform node of an entry.
@@ -349,7 +510,7 @@ impl DeploymentPlan {
     /// Panics on an invalid slot.
     #[inline]
     pub fn node(&self, slot: Slot) -> NodeId {
-        self.entries[slot.0].node
+        self.nodes[slot.0]
     }
 
     /// Role of an entry.
@@ -358,7 +519,7 @@ impl DeploymentPlan {
     /// Panics on an invalid slot.
     #[inline]
     pub fn role(&self, slot: Slot) -> Role {
-        self.entries[slot.0].role
+        self.roles[slot.0]
     }
 
     /// Parent of an entry (`None` for the root).
@@ -367,7 +528,7 @@ impl DeploymentPlan {
     /// Panics on an invalid slot.
     #[inline]
     pub fn parent(&self, slot: Slot) -> Option<Slot> {
-        self.entries[slot.0].parent
+        self.parents[slot.0]
     }
 
     /// Children of an entry, in insertion order.
@@ -376,7 +537,8 @@ impl DeploymentPlan {
     /// Panics on an invalid slot.
     #[inline]
     pub fn children(&self, slot: Slot) -> &[Slot] {
-        &self.entries[slot.0].children
+        let start = self.child_start[slot.0];
+        &self.arena[start..start + self.child_len[slot.0]]
     }
 
     /// Number of children (the paper's `d_i`).
@@ -385,54 +547,49 @@ impl DeploymentPlan {
     /// Panics on an invalid slot.
     #[inline]
     pub fn degree(&self, slot: Slot) -> usize {
-        self.entries[slot.0].children.len()
+        self.child_len[slot.0]
     }
 
     /// All slots, in insertion order.
     pub fn slots(&self) -> impl Iterator<Item = Slot> + '_ {
-        (0..self.entries.len()).map(Slot)
+        (0..self.nodes.len()).map(Slot)
     }
 
     /// Slots of all agents.
     pub fn agents(&self) -> impl Iterator<Item = Slot> + '_ {
-        self.entries
+        self.roles
             .iter()
             .enumerate()
-            .filter(|(_, e)| e.role == Role::Agent)
+            .filter(|(_, &r)| r == Role::Agent)
             .map(|(i, _)| Slot(i))
     }
 
     /// Slots of all servers.
     pub fn servers(&self) -> impl Iterator<Item = Slot> + '_ {
-        self.entries
+        self.roles
             .iter()
             .enumerate()
-            .filter(|(_, e)| e.role == Role::Server)
+            .filter(|(_, &r)| r == Role::Server)
             .map(|(i, _)| Slot(i))
     }
 
     /// Number of agents.
     pub fn agent_count(&self) -> usize {
-        self.entries
-            .iter()
-            .filter(|e| e.role == Role::Agent)
-            .count()
+        self.roles.iter().filter(|&&r| r == Role::Agent).count()
     }
 
     /// Number of servers.
     pub fn server_count(&self) -> usize {
-        self.entries
-            .iter()
-            .filter(|e| e.role == Role::Server)
-            .count()
+        self.roles.iter().filter(|&&r| r == Role::Server).count()
     }
 
     /// Platform nodes of all servers, in insertion order.
     pub fn server_nodes(&self) -> Vec<NodeId> {
-        self.entries
+        self.roles
             .iter()
-            .filter(|e| e.role == Role::Server)
-            .map(|e| e.node)
+            .zip(&self.nodes)
+            .filter(|(&r, _)| r == Role::Server)
+            .map(|(_, &n)| n)
             .collect()
     }
 
@@ -468,7 +625,7 @@ impl DeploymentPlan {
 
     /// Slots in breadth-first order from the root.
     pub fn bfs_order(&self) -> Vec<Slot> {
-        let mut out = Vec::with_capacity(self.entries.len());
+        let mut out = Vec::with_capacity(self.nodes.len());
         let mut queue = std::collections::VecDeque::new();
         queue.push_back(self.root());
         while let Some(s) = queue.pop_front() {
@@ -567,6 +724,99 @@ mod tests {
         assert_eq!(p.depth(), 2);
         assert_eq!(p.degree(p.root()), 1);
         assert_eq!(p.server_nodes(), vec![n(1)]);
+    }
+
+    #[test]
+    fn from_parts_matches_incremental_build() {
+        let mut by_add = DeploymentPlan::with_root(n(0));
+        let a = by_add.add_agent(Slot(0), n(1)).unwrap();
+        by_add.add_server(Slot(0), n(2)).unwrap();
+        by_add.add_server(a, n(3)).unwrap();
+        by_add.add_server(a, n(4)).unwrap();
+
+        let bulk = DeploymentPlan::from_parts(
+            vec![n(0), n(1), n(2), n(3), n(4)],
+            vec![
+                Role::Agent,
+                Role::Agent,
+                Role::Server,
+                Role::Server,
+                Role::Server,
+            ],
+            vec![
+                None,
+                Some(Slot(0)),
+                Some(Slot(0)),
+                Some(Slot(1)),
+                Some(Slot(1)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(bulk, by_add);
+        assert_eq!(bulk.children(Slot(0)), &[Slot(1), Slot(2)]);
+        assert_eq!(bulk.children(Slot(1)), &[Slot(3), Slot(4)]);
+        assert_eq!(bulk.bfs_order(), by_add.bfs_order());
+    }
+
+    #[test]
+    fn from_parts_rejects_server_root() {
+        let err = DeploymentPlan::from_parts(
+            vec![n(0), n(1)],
+            vec![Role::Server, Role::Agent],
+            vec![None, Some(Slot(0))],
+        )
+        .unwrap_err();
+        assert_eq!(err, PlanError::NotAnAgent(Slot(0)));
+    }
+
+    #[test]
+    fn from_parts_rejects_server_parent() {
+        let err = DeploymentPlan::from_parts(
+            vec![n(0), n(1), n(2)],
+            vec![Role::Agent, Role::Server, Role::Server],
+            vec![None, Some(Slot(0)), Some(Slot(1))],
+        )
+        .unwrap_err();
+        assert_eq!(err, PlanError::ParentIsServer(Slot(1)));
+    }
+
+    #[test]
+    fn from_parts_rejects_duplicate_node() {
+        let err = DeploymentPlan::from_parts(
+            vec![n(0), n(0)],
+            vec![Role::Agent, Role::Server],
+            vec![None, Some(Slot(0))],
+        )
+        .unwrap_err();
+        assert_eq!(err, PlanError::NodeAlreadyUsed(n(0)));
+    }
+
+    #[test]
+    fn from_parts_rejects_detached_cycle() {
+        // Slots 1 and 2 parent each other: valid in-range agent parents,
+        // but unreachable from the root.
+        let err = DeploymentPlan::from_parts(
+            vec![n(0), n(1), n(2)],
+            vec![Role::Agent, Role::Agent, Role::Agent],
+            vec![None, Some(Slot(2)), Some(Slot(1))],
+        )
+        .unwrap_err();
+        assert_eq!(err, PlanError::WouldCreateCycle(Slot(1)));
+    }
+
+    #[test]
+    fn from_parts_plan_stays_mutable() {
+        let mut p = DeploymentPlan::from_parts(
+            vec![n(0), n(1)],
+            vec![Role::Agent, Role::Server],
+            vec![None, Some(Slot(0))],
+        )
+        .unwrap();
+        // Exact-capacity child blocks must still grow via relocation.
+        let s = p.add_server(Slot(0), n(2)).unwrap();
+        assert_eq!(p.children(Slot(0)), &[Slot(1), s]);
+        assert_eq!(p.remove_last(s), Ok(n(2)));
+        assert_eq!(p.children(Slot(0)), &[Slot(1)]);
     }
 
     #[test]

@@ -153,16 +153,20 @@ impl Platform {
 
     /// Node ids sorted by **descending computing power**, ties broken by id
     /// for determinism. Useful to heuristics and reporting.
+    ///
+    /// Powers are positive and finite, so their IEEE-754 bit patterns
+    /// order like the values; sorting `(bits, id)` integer pairs instead
+    /// of calling `power()` per comparison keeps this O(n log n) with
+    /// branch-light comparisons — it is the first step of every planner
+    /// at n = 10⁵–10⁶.
     pub fn ids_by_power_desc(&self) -> Vec<NodeId> {
-        let mut ids: Vec<NodeId> = self.nodes.iter().map(|n| n.id).collect();
-        ids.sort_by(|a, b| {
-            let pa = self.power(*a).value();
-            let pb = self.power(*b).value();
-            pb.partial_cmp(&pa)
-                .expect("powers are finite")
-                .then(a.cmp(b))
-        });
-        ids
+        let mut keyed: Vec<(u64, NodeId)> = self
+            .nodes
+            .iter()
+            .map(|n| (n.power.value().to_bits(), n.id))
+            .collect();
+        keyed.sort_unstable_by_key(|&(bits, id)| (std::cmp::Reverse(bits), id));
+        keyed.into_iter().map(|(_, id)| id).collect()
     }
 
     /// Total computing power of the platform (Σ w_i).

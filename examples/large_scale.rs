@@ -1,0 +1,96 @@
+//! Large-scale planning end-to-end: a 4-site n=100 000 platform planned
+//! by every scalable stage of the stack, with per-phase wall-clock
+//! timings.
+//!
+//! Run with `--release` (debug builds are ~30× slower at this size):
+//!
+//! ```sh
+//! cargo run --release --example large_scale
+//! ```
+//!
+//! Pass a node count to override the default (the CI smoke step runs
+//! `large_scale 20000` to keep the example under a second):
+//!
+//! ```sh
+//! cargo run --release --example large_scale -- 1000000
+//! ```
+
+use adept::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100_000);
+
+    let t0 = Instant::now();
+    let platform = generator::multi_site_grid(
+        4,
+        n / 4,
+        MflopRate(400.0),
+        MbitRate(100.0),
+        MbitRate(10.0),
+        7,
+    );
+    let t_platform = t0.elapsed();
+    println!(
+        "platform   4 sites x {} nodes        {:>9.1?}",
+        n / 4,
+        t_platform
+    );
+
+    let service = Dgemm::new(310).service();
+
+    // Phase 1: the paper's Algorithm 1 on the incremental engine.
+    let t = Instant::now();
+    let plan = HeuristicPlanner::paper()
+        .plan(&platform, &service, ClientDemand::Unbounded)
+        .expect("platform is large enough");
+    let t_plan = t.elapsed();
+    println!(
+        "heuristic  {} agents / {} servers   {:>9.1?}",
+        plan.agent_count(),
+        plan.server_count(),
+        t_plan
+    );
+
+    // Phase 2: model evaluation of the result (Eq. 13–16).
+    let t = Instant::now();
+    let report = ModelParams::from_platform(&platform).evaluate(&platform, &plan, &service);
+    let t_eval = t.elapsed();
+    println!(
+        "evaluate   rho = {:.3} req/s          {:>9.1?}",
+        report.rho, t_eval
+    );
+
+    // Phase 3: engine build — the incremental evaluator over the full
+    // plan (what every online replan starts from).
+    let t = Instant::now();
+    let params = ModelParams::from_platform(&platform);
+    let eval = IncrementalEval::from_plan(&params, &platform, &plan, &service);
+    let t_engine = t.elapsed();
+    println!(
+        "engine     rho = {:.3} req/s          {:>9.1?}",
+        eval.rho(),
+        t_engine
+    );
+
+    // Phase 4: coarsen-then-refine multi-site sweep (site-granular
+    // coarse plan, per-site refinement on the thread pool).
+    let t = Instant::now();
+    let sweep = SweepPlanner::default()
+        .plan(&platform, &service, ClientDemand::Unbounded)
+        .expect("platform is large enough");
+    let t_sweep = t.elapsed();
+    let sweep_report = params.evaluate(&platform, &sweep, &service);
+    println!(
+        "sweep      rho = {:.3} req/s          {:>9.1?}",
+        sweep_report.rho, t_sweep
+    );
+
+    println!(
+        "total      n = {n}                     {:>9.1?}",
+        t0.elapsed()
+    );
+}

@@ -1,0 +1,137 @@
+//! Randomized SIMD-vs-scalar parity: the batched Eq. 14 evaluator
+//! ([`sched_throughput`]) against the sequential reference
+//! ([`sched_throughput_scalar`]) over randomized deployment trees on
+//! uniform and multi-site platforms.
+//!
+//! The batched kernels promise **bit-exactness** — each lane performs
+//! the scalar kernel's floating-point operations in the same order, and
+//! the chunked max reduction keeps the sequential scan's first-max tie
+//! rule — so the assertions here compare `to_bits`, not tolerances. The
+//! per-kernel lane parity (cycles, rates, sort keys) is pinned by
+//! `model::batch::tests`; this suite covers the composed path: role
+//! split, lane scatter, reduction, and bottleneck attribution on trees
+//! with random shapes, duplicate powers (tie territory), and every
+//! degree from leaf-heavy stars to agent chains.
+//!
+//! [`sched_throughput`]: adept::core::model::throughput::sched_throughput
+//! [`sched_throughput_scalar`]: adept::core::model::throughput::sched_throughput_scalar
+
+use adept::core::model::throughput::{sched_throughput, sched_throughput_scalar};
+use adept::core::model::ModelParams;
+use adept::prelude::*;
+use generator::{multi_site_grid, uniform_random_cluster};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Grows a random rooted tree over every node of `platform`: each node
+/// attaches under a uniformly chosen existing agent, becoming an agent
+/// itself with probability `agent_bias`.
+fn random_plan(platform: &Platform, rng: &mut StdRng, agent_bias: f64) -> DeploymentPlan {
+    let ids = platform.ids_by_power_desc();
+    let mut plan = DeploymentPlan::with_root(ids[0]);
+    let mut agents = vec![plan.root()];
+    for &id in &ids[1..] {
+        let parent = agents[rng.gen_range(0..agents.len())];
+        if rng.gen_range(0.0..1.0) < agent_bias {
+            let slot = plan.add_agent(parent, id).expect("fresh node");
+            agents.push(slot);
+        } else {
+            plan.add_server(parent, id).expect("fresh node");
+        }
+    }
+    plan
+}
+
+fn assert_parity(params: &ModelParams, platform: &Platform, plan: &DeploymentPlan, ctx: &str) {
+    let (batched, b_who) = sched_throughput(params, platform, plan);
+    let (scalar, s_who) = sched_throughput_scalar(params, platform, plan);
+    assert_eq!(
+        batched.to_bits(),
+        scalar.to_bits(),
+        "{ctx}: batched {batched} vs scalar {scalar}"
+    );
+    assert_eq!(b_who, s_who, "{ctx}: bottleneck attribution must agree");
+}
+
+#[test]
+fn batched_sched_throughput_matches_scalar_on_uniform_platforms() {
+    for (n, seed) in [(2usize, 1u64), (17, 2), (64, 3), (201, 4), (1000, 5)] {
+        let platform = uniform_random_cluster("p", n, MflopRate(50.0), MflopRate(500.0), seed);
+        let params = ModelParams::from_platform(&platform);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+        for round in 0..8 {
+            // Sweep the shape space: server-only stars through
+            // agent-heavy chains (high bias → deep, low-degree trees).
+            let bias = [0.0, 0.05, 0.2, 0.5, 0.8][round % 5];
+            let plan = random_plan(&platform, &mut rng, bias);
+            assert_parity(
+                &params,
+                &platform,
+                &plan,
+                &format!("uniform n={n} seed={seed} round={round}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_sched_throughput_matches_scalar_on_multi_site_platforms() {
+    for (sites, per_site, seed) in [(2usize, 30usize, 11u64), (4, 50, 12), (3, 333, 13)] {
+        let platform = multi_site_grid(
+            sites,
+            per_site,
+            MflopRate(400.0),
+            MbitRate(100.0),
+            MbitRate(10.0),
+            seed,
+        );
+        // Both the site-aware default and the min-B scalarization feed
+        // Eq. 14 through the same batched kernels.
+        for params in [
+            ModelParams::from_platform(&platform),
+            ModelParams::from_platform(&platform).scalarized(),
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(997));
+            for round in 0..6 {
+                let bias = [0.0, 0.1, 0.4][round % 3];
+                let plan = random_plan(&platform, &mut rng, bias);
+                assert_parity(
+                    &params,
+                    &platform,
+                    &plan,
+                    &format!("{sites}x{per_site} seed={seed} round={round}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parity_holds_on_degenerate_shapes() {
+    // A uniform-power platform makes every agent cycle of equal degree
+    // collide exactly — the first-max tie rule is all that decides the
+    // bottleneck slot. The grid generator with a power spread of zero
+    // gives identical powers.
+    let platform = multi_site_grid(1, 40, MflopRate(250.0), MbitRate(100.0), MbitRate(100.0), 3);
+    let params = ModelParams::from_platform(&platform);
+    let ids = platform.ids_by_power_desc();
+
+    // A pure star: one agent, 39 servers (ties among all servers).
+    let mut star = DeploymentPlan::with_root(ids[0]);
+    for &id in &ids[1..] {
+        star.add_server(star.root(), id).expect("fresh node");
+    }
+    assert_parity(&params, &platform, &star, "uniform star");
+
+    // A pure agent chain: every slot an agent of degree ≤ 1.
+    let mut chain = DeploymentPlan::with_root(ids[0]);
+    let mut tail = chain.root();
+    for &id in &ids[1..] {
+        tail = chain.add_agent(tail, id).expect("fresh node");
+    }
+    assert_parity(&params, &platform, &chain, "uniform chain");
+
+    // The minimal deployment.
+    let pair = DeploymentPlan::agent_server(ids[0], ids[1]);
+    assert_parity(&params, &platform, &pair, "agent-server pair");
+}
