@@ -5,7 +5,9 @@
 //! the `mix_scaling` group (batched multi-service planning vs independent
 //! single-service runs), the gated `mix_vs_sweep` quality group (the mix
 //! planner against the mix-aware sweep reference), and the
-//! `online_replan` latency probe at n = 10⁴ (the ROADMAP replan budget).
+//! `online_replan` latency probe at n = 10⁴ (the ROADMAP replan budget),
+//! and the `serve_tick` group measuring the `adept-serve` daemon's
+//! per-tick wire + journal overhead against a direct `Controller::tick`.
 //!
 //! Set `BENCH_JSON=BENCH_planner.json` to export `(id, mean ns, samples)`
 //! records for perf-trajectory tracking across PRs; CI's `bench_gate`
@@ -412,14 +414,14 @@ fn bench_control_loop(c: &mut Criterion) {
     let mut group = c.benchmark_group("control_loop");
     group.sample_size(10);
     for &n in &[10_000usize, 100_000] {
-        let platform = platform(n);
+        let platform = std::sync::Arc::new(platform(n));
         let initial = MixPlanner::default()
             .plan_mix(&platform, &mix, &base)
             .expect("fits");
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let mut controller = Controller::new(
-                    &platform,
+                    platform.clone(),
                     mix.clone(),
                     initial.plan.clone(),
                     initial.assignment.clone(),
@@ -452,6 +454,96 @@ fn bench_control_loop(c: &mut Criterion) {
     group.finish();
 }
 
+/// The serving tax: one steady-state control tick through the
+/// `adept-serve` daemon (wire round-trip + write-ahead journal append)
+/// vs the same tick called directly on [`Controller`], at n = 10⁴.
+/// Steady demand means no round ever migrates — this isolates the
+/// per-tick overhead an operator pays for durability and multi-tenancy.
+fn bench_serve_tick(c: &mut Criterion) {
+    use adept_control::{Controller, ControllerConfig, Observations, TriggerPolicy};
+    use adept_godiet::GoDiet;
+    use adept_serve::{Daemon, ServeClient, ServeConfig, ServiceDef, SessionConfig};
+    use adept_workload::MixDemand;
+
+    let mix = ServiceMix::new(vec![
+        (Dgemm::new(310).service(), 2.0),
+        (Dgemm::new(700).service(), 1.0),
+        (Dgemm::new(1000).service(), 1.0),
+    ]);
+    let services: Vec<ServiceDef> = [(310u32, 2.0f64), (700, 1.0), (1000, 1.0)]
+        .into_iter()
+        .map(|(n, weight)| ServiceDef {
+            name: format!("dgemm-{n}"),
+            wapp_mflop: Dgemm::new(n).wapp().value(),
+            weight,
+        })
+        .collect();
+    let rates = [2.0, 1.0, 0.8];
+    let n = 10_000usize;
+
+    let mut group = c.benchmark_group("serve_tick");
+    group.sample_size(10);
+
+    // Direct: the library call the daemon wraps.
+    let shared = std::sync::Arc::new(platform(n));
+    let base = MixDemand::targets(rates.to_vec());
+    let initial = MixPlanner::default()
+        .plan_mix(&shared, &mix, &base)
+        .expect("fits");
+    let mut controller = Controller::new(
+        shared.clone(),
+        mix.clone(),
+        initial.plan.clone(),
+        initial.assignment.clone(),
+        &base,
+        Box::new(OnlinePlanner {
+            max_changes: 20,
+            ..Default::default()
+        }),
+        GoDiet::default(),
+        ControllerConfig {
+            triggers: vec![TriggerPolicy::ForecastDrift { threshold: 0.2 }],
+            ..Default::default()
+        },
+    );
+    group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
+        b.iter(|| {
+            black_box(
+                controller
+                    .tick(&Observations::rates(rates.to_vec()))
+                    .expect("steady ticks never fail"),
+            )
+        })
+    });
+
+    // Served: same tick through the daemon — TCP framing, dispatch,
+    // the tenant mutex, and the write-ahead journal append.
+    let dir = std::env::temp_dir().join(format!("adept-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let daemon = Daemon::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        journal_dir: dir.clone(),
+        platforms: vec![("p".into(), platform(n))],
+    })
+    .expect("daemon boots");
+    let mut client = ServeClient::connect(daemon.addr()).expect("connect");
+    client
+        .register("bench", "p", &services, &rates, &SessionConfig::default())
+        .expect("registration plans cleanly");
+    group.bench_with_input(BenchmarkId::new("daemon", n), &n, |b, _| {
+        b.iter(|| {
+            black_box(
+                client
+                    .observe("bench", &rates, &[])
+                    .expect("steady ticks never fail"),
+            )
+        })
+    });
+    group.finish();
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(
     benches,
     bench_planners,
@@ -461,6 +553,7 @@ criterion_group!(
     bench_mix_vs_sweep,
     bench_hetero_scaling,
     bench_online_replan,
-    bench_control_loop
+    bench_control_loop,
+    bench_serve_tick
 );
 criterion_main!(benches);

@@ -62,6 +62,10 @@ pub const CEILINGS: &[(&str, f64)] = &[
     ("online_replan/10000", 25_000_000.0),
     ("online_replan/100000", 300_000_000.0),
     ("control_loop/100000", 1_800_000_000.0),
+    // A served steady-state tick is one wire round trip + a journal
+    // append over the ~56ns direct call; 1ms of budget catches a Nagle
+    // regression (the delayed-ACK failure mode is ~40ms) outright.
+    ("serve_tick/daemon/10000", 1_000_000.0),
     ("mix_vs_sweep/sweep-ref-2svc-2site/36", 15_000_000.0),
     ("mix_vs_sweep/sweep-ref-4svc-1site/48", 700_000_000.0),
     // The large-scale acceptance bars (ROADMAP "scale to 10⁵–10⁶"):
@@ -403,6 +407,8 @@ mod tests {
             rec("mix_vs_sweep/sweep-ref-4svc-1site/48", 30_000_000.0),
             rec("mix_vs_sweep/quality/2svc-2site", 0.99),
             rec("mix_vs_sweep/quality/4svc-1site", 1.03),
+            rec("serve_tick/direct/10000", 60.0),
+            rec("serve_tick/daemon/10000", 15_000.0),
         ]
     }
 

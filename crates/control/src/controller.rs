@@ -10,6 +10,7 @@ use adept_hierarchy::DeploymentPlan;
 use adept_platform::{MflopRate, Platform, Seconds};
 use adept_workload::{MixDemand, RateForecaster, ServiceMix, ServiceSpec, WappEstimator};
 use std::fmt;
+use std::sync::Arc;
 
 /// One observed execution: which service ran, how long, on what power.
 /// Feeds the controller's per-service [`WappEstimator`]s so the model
@@ -127,11 +128,17 @@ pub struct Migration {
 ///
 /// One instance manages one deployment on one platform. Each
 /// [`tick`](Controller::tick) is cheap unless it migrates.
-pub struct Controller<'a> {
-    platform: &'a Platform,
+///
+/// The platform is shared behind an [`Arc`] and the reviser must be
+/// [`Send`], so a controller is a self-contained, thread-movable value:
+/// a multi-tenant host (the `adept-serve` daemon) runs one controller
+/// per tenant deployment across threads over shared read-only platform
+/// catalogs.
+pub struct Controller {
+    platform: Arc<Platform>,
     params: ModelParams,
     mix: ServiceMix,
-    reviser: Box<dyn Revise + 'a>,
+    reviser: Box<dyn Revise + Send>,
     tool: GoDiet,
     config: ControllerConfig,
     running: DeploymentPlan,
@@ -146,7 +153,7 @@ pub struct Controller<'a> {
     rejected_samples: u64,
 }
 
-impl<'a> Controller<'a> {
+impl Controller {
     /// A controller adopting a running deployment.
     ///
     /// `planned` is the per-service demand the running deployment was
@@ -157,12 +164,12 @@ impl<'a> Controller<'a> {
     /// factor is out of range.
     #[allow(clippy::too_many_arguments)] // the eight pieces ARE the loop's wiring
     pub fn new(
-        platform: &'a Platform,
+        platform: Arc<Platform>,
         mix: ServiceMix,
         running: DeploymentPlan,
         assignment: ServerAssignment,
         planned: &MixDemand,
-        reviser: Box<dyn Revise + 'a>,
+        reviser: Box<dyn Revise + Send>,
         tool: GoDiet,
         config: ControllerConfig,
     ) -> Self {
@@ -185,7 +192,7 @@ impl<'a> Controller<'a> {
             .map(|_| WappEstimator::new(config.wapp_alpha))
             .collect();
         Self {
-            params: ModelParams::from_platform(platform),
+            params: ModelParams::from_platform(&platform),
             platform,
             mix,
             reviser,
@@ -207,6 +214,16 @@ impl<'a> Controller<'a> {
     /// The plan currently running.
     pub fn running(&self) -> &DeploymentPlan {
         &self.running
+    }
+
+    /// The platform this controller deploys on.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Control intervals seen so far (monotone tick counter).
+    pub fn ticks(&self) -> u64 {
+        self.tick
     }
 
     /// The server→service partition currently running.
@@ -244,7 +261,7 @@ impl<'a> Controller<'a> {
     pub fn predicted(&self) -> MixReport {
         evaluate_mix(
             &self.params,
-            self.platform,
+            &self.platform,
             &self.running,
             &self.mix,
             &self.assignment,
@@ -337,8 +354,71 @@ impl<'a> Controller<'a> {
                 .map(|&r| (r * self.config.headroom).max(0.0))
                 .collect(),
         );
+        // Re-anchor every drift statistic at what we are planning for.
+        for (f, &rate) in self.demand.iter_mut().zip(&forecast) {
+            f.mark_planned(rate);
+        }
+        self.execute_round(reason, planned_demand)
+    }
+
+    /// A revision of the running deployment toward `demand`, computed
+    /// with the controller's reviser but **not executed**: the running
+    /// plan, assignment, and statistics are untouched. This is the
+    /// dry-run half of an operator-driven round — inspect the returned
+    /// diff, then call [`replan_for`](Controller::replan_for) to apply.
+    ///
+    /// # Errors
+    /// [`ControlError::Revise`] when the reviser fails.
+    pub fn preview(&self, demand: &MixDemand) -> Result<MixReplan, ControlError> {
+        Ok(self.reviser.revise_mix(
+            &self.platform,
+            &self.running,
+            &self.mix,
+            &self.assignment,
+            demand,
+        )?)
+    }
+
+    /// An operator-initiated revision round: bypasses triggers and
+    /// hysteresis, replans for the given demand, and migrates if the
+    /// revision changes anything. The round still counts as a replan,
+    /// re-anchors the drift statistics at `demand`, and starts the
+    /// cooldown — an explicit round should quiet the triggers exactly
+    /// like an autonomic one.
+    ///
+    /// # Errors
+    /// [`ControlError`] when the reviser fails on inconsistent state or
+    /// the migration exhausts the platform's spare nodes.
+    ///
+    /// # Panics
+    /// Panics when `demand` does not cover the mix.
+    pub fn replan_for(&mut self, demand: &MixDemand) -> Result<Option<Migration>, ControlError> {
+        assert_eq!(
+            demand.len(),
+            self.mix.len(),
+            "one demand entry per mix service"
+        );
+        self.refresh_mix();
+        for (j, f) in self.demand.iter_mut().enumerate() {
+            let rate = demand.rate(j);
+            if rate.is_finite() {
+                f.mark_planned(rate);
+            }
+        }
+        self.execute_round("operator replan".to_string(), demand.clone())
+    }
+
+    /// The shared tail of an autonomic tick round and an operator
+    /// round: revise toward `planned_demand`, and when the revision
+    /// changes anything, compile + execute the migration and adopt the
+    /// post-migration state.
+    fn execute_round(
+        &mut self,
+        reason: String,
+        planned_demand: MixDemand,
+    ) -> Result<Option<Migration>, ControlError> {
         let replan = self.reviser.revise_mix(
-            self.platform,
+            &self.platform,
             &self.running,
             &self.mix,
             &self.assignment,
@@ -347,10 +427,6 @@ impl<'a> Controller<'a> {
         self.replans += 1;
         self.fired_streak = 0;
         self.cooldown_until = self.tick + self.config.hysteresis.cooldown_ticks;
-        // Re-anchor every drift statistic at what we just planned for.
-        for (f, &rate) in self.demand.iter_mut().zip(&forecast) {
-            f.mark_planned(rate);
-        }
 
         if replan.diff.is_empty() && replan.reassigned.is_empty() {
             return Ok(None); // the running deployment already fits
@@ -359,7 +435,7 @@ impl<'a> Controller<'a> {
         // Compile the diff into a stage-ordered script and execute it
         // against the running deployment.
         let script = MigrationScript::compile(&self.running, &replan.plan)?;
-        let migration_report = self.tool.migrate(self.platform, &self.running, &script)?;
+        let migration_report = self.tool.migrate(&self.platform, &self.running, &script)?;
         self.migrations += 1;
 
         // Adopt the post-migration state: reinstalls from the replan,
@@ -420,7 +496,7 @@ impl<'a> Controller<'a> {
     }
 }
 
-impl fmt::Debug for Controller<'_> {
+impl fmt::Debug for Controller {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Controller")
             .field("tick", &self.tick)
@@ -446,17 +522,17 @@ mod tests {
         ])
     }
 
-    fn controller_on<'a>(
-        platform: &'a Platform,
+    fn controller_on(
+        platform: &Arc<Platform>,
         planned: &MixDemand,
         config: ControllerConfig,
-    ) -> Controller<'a> {
+    ) -> Controller {
         let mix = mix2();
         let got = MixPlanner::default()
             .plan_mix(platform, &mix, planned)
             .expect("platform fits the planned demand");
         Controller::new(
-            platform,
+            Arc::clone(platform),
             mix,
             got.plan,
             got.assignment,
@@ -471,8 +547,17 @@ mod tests {
     }
 
     #[test]
+    fn controller_is_send() {
+        // The serve daemon moves controllers across threads (one tenant
+        // session per connection-serving thread); this must never
+        // silently regress into a !Send field.
+        fn assert_send<T: Send>() {}
+        assert_send::<Controller>();
+    }
+
+    #[test]
     fn steady_demand_never_replans() {
-        let platform = lyon_cluster(30);
+        let platform = Arc::new(lyon_cluster(30));
         let planned = MixDemand::targets(vec![2.0, 0.3]);
         let mut c = controller_on(&platform, &planned, ControllerConfig::default());
         for _ in 0..50 {
@@ -487,7 +572,7 @@ mod tests {
 
     #[test]
     fn demand_jump_triggers_one_migration_then_settles() {
-        let platform = lyon_cluster(40);
+        let platform = Arc::new(lyon_cluster(40));
         // Service 1 is the heavy dgemm-1000 (~0.2 req/s per server):
         // its demand level dictates real server counts.
         let planned = MixDemand::targets(vec![2.0, 1.0]);
@@ -516,7 +601,7 @@ mod tests {
 
     #[test]
     fn noisy_demand_under_hysteresis_does_not_flap() {
-        let platform = lyon_cluster(30);
+        let platform = Arc::new(lyon_cluster(30));
         let planned = MixDemand::targets(vec![2.0, 0.3]);
         let mut c = controller_on(&platform, &planned, ControllerConfig::default());
         // ±12% noise around the planned level, alternating each tick:
@@ -531,7 +616,7 @@ mod tests {
 
     #[test]
     fn demand_drop_shrinks_the_deployment() {
-        let platform = lyon_cluster(40);
+        let platform = Arc::new(lyon_cluster(40));
         let planned = MixDemand::targets(vec![2.0, 0.4]);
         let mut c = controller_on(&platform, &planned, ControllerConfig::default());
         let before = c.running().server_count();
@@ -554,7 +639,7 @@ mod tests {
 
     #[test]
     fn execution_drift_refreshes_the_mix_and_replans() {
-        let platform = lyon_cluster(40);
+        let platform = Arc::new(lyon_cluster(40));
         let planned = MixDemand::targets(vec![1.5, 1.0]);
         let mut c = controller_on(&platform, &planned, ControllerConfig::default());
         let before_servers = c.running().server_count();
@@ -588,7 +673,7 @@ mod tests {
 
     #[test]
     fn unreachable_forecast_fires_once_then_holds() {
-        let platform = lyon_cluster(10);
+        let platform = Arc::new(lyon_cluster(10));
         let planned = MixDemand::targets(vec![0.5, 0.1]);
         let mut c = controller_on(&platform, &planned, ControllerConfig::default());
         // An absurd demand nothing can serve: the round fires, does its
@@ -611,7 +696,7 @@ mod tests {
         // through, would have poisoned the EMA for every later replan.
         // The loop must instead drop the sample, count it, and keep
         // controlling on the last healthy statistics.
-        let platform = lyon_cluster(30);
+        let platform = Arc::new(lyon_cluster(30));
         let planned = MixDemand::targets(vec![2.0, 0.3]);
         let mut c = controller_on(&platform, &planned, ControllerConfig::default());
         let corrupt = Observations {
@@ -652,7 +737,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "one observed rate per mix service")]
     fn wrong_observation_arity_panics() {
-        let platform = lyon_cluster(20);
+        let platform = Arc::new(lyon_cluster(20));
         let planned = MixDemand::targets(vec![1.0, 0.2]);
         let mut c = controller_on(&platform, &planned, ControllerConfig::default());
         let _ = c.tick(&Observations::rates(vec![1.0]));

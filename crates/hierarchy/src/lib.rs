@@ -34,7 +34,7 @@ pub mod validate;
 pub mod xml;
 
 pub use adjacency::AdjacencyMatrix;
-pub use diff::{NodeChange, PlanDiff};
+pub use diff::{DiffError, NodeChange, PlanDiff};
 pub use dot::to_dot;
 pub use plan::{DeploymentPlan, PlanError, Role, Slot};
 pub use stats::{HierarchyStats, PartitionStats};

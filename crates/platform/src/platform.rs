@@ -183,6 +183,66 @@ impl Platform {
             .collect()
     }
 
+    /// A stable structural fingerprint: every node (name, power, site),
+    /// every site name, and the network model folded through 64-bit
+    /// FNV-1a. Two platforms planning identically have equal
+    /// fingerprints; a journaled tenant session uses this to refuse
+    /// resuming onto a platform that changed shape under it (see the
+    /// `adept-serve` journal).
+    pub fn fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        struct Fnv(u64);
+        impl Fnv {
+            fn bytes(&mut self, bytes: &[u8]) {
+                for &b in bytes {
+                    self.0 = (self.0 ^ u64::from(b)).wrapping_mul(PRIME);
+                }
+            }
+            fn u64(&mut self, v: u64) {
+                self.bytes(&v.to_le_bytes());
+            }
+            fn f64(&mut self, v: f64) {
+                self.u64(v.to_bits());
+            }
+            fn str(&mut self, s: &str) {
+                self.u64(s.len() as u64);
+                self.bytes(s.as_bytes());
+            }
+        }
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        h.u64(self.nodes.len() as u64);
+        for n in &self.nodes {
+            h.str(&n.name);
+            h.f64(n.power.value());
+            h.u64(u64::from(n.site.0));
+        }
+        h.u64(self.sites.len() as u64);
+        for s in &self.sites {
+            h.str(&s.name);
+        }
+        match &self.network {
+            Network::Homogeneous { bandwidth, latency } => {
+                h.u64(1);
+                h.f64(bandwidth.value());
+                h.f64(latency.value());
+            }
+            Network::PerSitePair {
+                intra,
+                inter,
+                latency,
+            } => {
+                h.u64(2);
+                h.u64(intra.len() as u64);
+                for b in intra {
+                    h.f64(b.value());
+                }
+                h.f64(inter.value());
+                h.f64(latency.value());
+            }
+        }
+        h.0
+    }
+
     /// True if all nodes have the same power (homogeneous cluster), with a
     /// relative tolerance of 1e-9.
     pub fn is_homogeneous_compute(&self) -> bool {

@@ -1,0 +1,303 @@
+//! A typed client handle for the wire protocol.
+//!
+//! [`ServeClient`] owns one TCP connection and turns every protocol
+//! frame into a typed call: requests are encoded, sent, and matched to
+//! their response by id; error frames come back as a [`RemoteError`]
+//! carrying the machine-readable [`ErrorCode`]. One client drives one
+//! connection; a tenant's requests are serialized by the daemon anyway,
+//! so the simplest client is also the truthful one.
+
+use crate::error::{ErrorCode, ServeError};
+use crate::json::Json;
+use crate::wire::{
+    self, decode_response, demand_json, executions_json, num_array_json, services_json,
+    DaemonStatus, MigrationSummary, PlanSummary, ReplanPreview, Request, ServiceDef, SessionConfig,
+    TenantStatus, TickOutcome,
+};
+use adept_control::controller::ExecutionSample;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A request that failed — locally (socket, framing) or remotely (the
+/// daemon answered an error frame).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteError {
+    /// The wire error code (`io` / `bad-frame` for local failures).
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+impl From<ServeError> for RemoteError {
+    fn from(e: ServeError) -> Self {
+        RemoteError {
+            code: e.code(),
+            message: e.to_string(),
+        }
+    }
+}
+
+/// A connected wire-protocol client.
+///
+/// # Examples
+///
+/// Boot an in-process daemon, plan a mix over the wire, and read the
+/// typed response:
+///
+/// ```
+/// use adept_platform::generator;
+/// use adept_serve::{Daemon, ServeClient, ServeConfig, ServiceDef};
+///
+/// let dir = std::env::temp_dir().join(format!("adept-serve-doc-{}", std::process::id()));
+/// let _ = std::fs::remove_dir_all(&dir);
+/// let daemon = Daemon::start(ServeConfig {
+///     addr: "127.0.0.1:0".into(),
+///     journal_dir: dir.clone(),
+///     platforms: vec![("lyon8".into(), generator::lyon_cluster(8))],
+/// })
+/// .expect("daemon boots");
+///
+/// let mut client = ServeClient::connect(daemon.addr()).expect("daemon is listening");
+/// let services = [ServiceDef {
+///     name: "dgemm-310".into(),
+///     wapp_mflop: 59.6,
+///     weight: 1.0,
+/// }];
+/// let (plan, _objective) = client
+///     .plan("lyon8", &services, None)
+///     .expect("the catalog platform fits the mix");
+/// assert!(plan.servers > 0, "a non-empty deployment was planned");
+///
+/// daemon.stop();
+/// std::fs::remove_dir_all(&dir).ok();
+/// ```
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+impl ServeClient {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    /// [`RemoteError`] with code `io` when the connection fails.
+    pub fn connect(addr: SocketAddr) -> Result<ServeClient, RemoteError> {
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        // One small frame per direction per call: disable Nagle so the
+        // round trip is not held hostage to the peer's delayed ACK.
+        stream.set_nodelay(true).map_err(io_err)?;
+        let reader = BufReader::new(stream.try_clone().map_err(io_err)?);
+        Ok(ServeClient {
+            stream,
+            reader,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request frame and blocks for its response, returning
+    /// the raw `result` object. The typed methods below are wrappers
+    /// over this; it is public for driving protocol extensions.
+    ///
+    /// # Errors
+    /// [`RemoteError`]: remote error frames keep their wire code,
+    /// local socket/framing failures map to `io` / `bad-frame`.
+    pub fn call(&mut self, method: &str, params: Json) -> Result<Json, RemoteError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut line = Request {
+            id,
+            method: method.to_string(),
+            params,
+        }
+        .encode();
+        line.push('\n');
+        self.stream.write_all(line.as_bytes()).map_err(io_err)?;
+        self.stream.flush().map_err(io_err)?;
+
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response).map_err(io_err)?;
+        if n == 0 {
+            return Err(RemoteError {
+                code: ErrorCode::Io,
+                message: "daemon closed the connection".into(),
+            });
+        }
+        let (answer_id, result) =
+            decode_response(response.trim_end_matches('\n')).map_err(RemoteError::from)?;
+        if answer_id != id {
+            return Err(RemoteError {
+                code: ErrorCode::BadFrame,
+                message: format!("response id {answer_id} does not match request id {id}"),
+            });
+        }
+        result.map_err(|(code, message)| RemoteError { code, message })
+    }
+
+    /// The daemon's `status`: catalogs, live tenants, resume errors.
+    ///
+    /// # Errors
+    /// [`RemoteError`] as for [`call`](ServeClient::call).
+    pub fn status(&mut self) -> Result<DaemonStatus, RemoteError> {
+        let result = self.call("status", Json::obj(vec![]))?;
+        DaemonStatus::from_json(&result).map_err(RemoteError::from)
+    }
+
+    /// Stateless `plan`: size a deployment for a mix on a catalog
+    /// platform without registering a tenant. `demand: None` plans the
+    /// highest-throughput deployment the platform allows. Returns the
+    /// plan summary and the planner's objective value.
+    ///
+    /// # Errors
+    /// [`RemoteError`] as for [`call`](ServeClient::call) — notably
+    /// `unknown-platform`, `bad-demand`, and `planner`.
+    pub fn plan(
+        &mut self,
+        platform: &str,
+        services: &[ServiceDef],
+        demand: Option<&[f64]>,
+    ) -> Result<(PlanSummary, f64), RemoteError> {
+        let mut params = vec![
+            ("platform", Json::str(platform)),
+            ("services", services_json(services)),
+        ];
+        if let Some(d) = demand {
+            params.push(("demand", demand_json(d)));
+        }
+        let result = self.call("plan", Json::obj(params))?;
+        let summary =
+            PlanSummary::from_json(wire::field(&result, "plan").map_err(RemoteError::from)?)
+                .map_err(RemoteError::from)?;
+        let objective = wire::f64_field(&result, "objective_value").map_err(RemoteError::from)?;
+        Ok((summary, objective))
+    }
+
+    /// Registers a tenant: plans the initial deployment, claims the
+    /// journal, starts the hosted control loop. Returns the newborn
+    /// session's status.
+    ///
+    /// # Errors
+    /// [`RemoteError`] — notably `tenant-exists`, `journal-mismatch`
+    /// (journaled claim), `bad-demand`, and `planner`.
+    pub fn register(
+        &mut self,
+        tenant: &str,
+        platform: &str,
+        services: &[ServiceDef],
+        demand: &[f64],
+        config: &SessionConfig,
+    ) -> Result<TenantStatus, RemoteError> {
+        let result = self.call(
+            "register",
+            Json::obj(vec![
+                ("tenant", Json::str(tenant)),
+                ("platform", Json::str(platform)),
+                ("services", services_json(services)),
+                ("demand", demand_json(demand)),
+                ("config", config.to_json()),
+            ]),
+        )?;
+        TenantStatus::from_json(&result).map_err(RemoteError::from)
+    }
+
+    /// Feeds one observed control interval to a tenant's loop.
+    ///
+    /// # Errors
+    /// [`RemoteError`] — notably `unknown-tenant`, `bad-request`
+    /// (arity), `revise`, and `deploy`.
+    pub fn observe(
+        &mut self,
+        tenant: &str,
+        rates: &[f64],
+        executions: &[ExecutionSample],
+    ) -> Result<TickOutcome, RemoteError> {
+        let result = self.call(
+            "observe",
+            Json::obj(vec![
+                ("tenant", Json::str(tenant)),
+                ("rates", num_array_json(rates)),
+                ("executions", executions_json(executions)),
+            ]),
+        )?;
+        TickOutcome::from_json(&result).map_err(RemoteError::from)
+    }
+
+    /// Dry-run `replan`: what a migration toward `demand` would change,
+    /// without executing anything.
+    ///
+    /// # Errors
+    /// [`RemoteError`] — notably `unknown-tenant`, `bad-demand`,
+    /// `revise`, and `diff`.
+    pub fn replan(&mut self, tenant: &str, demand: &[f64]) -> Result<ReplanPreview, RemoteError> {
+        let result = self.call(
+            "replan",
+            Json::obj(vec![
+                ("tenant", Json::str(tenant)),
+                ("demand", demand_json(demand)),
+            ]),
+        )?;
+        ReplanPreview::from_json(&result).map_err(RemoteError::from)
+    }
+
+    /// Operator-forced `migrate` toward `demand`. Returns the executed
+    /// migration, or `None` when the running deployment already fits.
+    ///
+    /// # Errors
+    /// [`RemoteError`] — notably `unknown-tenant`, `bad-demand`,
+    /// `revise`, and `deploy`.
+    pub fn migrate(
+        &mut self,
+        tenant: &str,
+        demand: &[f64],
+    ) -> Result<Option<MigrationSummary>, RemoteError> {
+        let result = self.call(
+            "migrate",
+            Json::obj(vec![
+                ("tenant", Json::str(tenant)),
+                ("demand", demand_json(demand)),
+            ]),
+        )?;
+        match wire::field(&result, "migration").map_err(RemoteError::from)? {
+            Json::Null => Ok(None),
+            m => MigrationSummary::from_json(m)
+                .map(Some)
+                .map_err(RemoteError::from),
+        }
+    }
+
+    /// Drains a tenant: journals the clean end, archives the journal,
+    /// frees the id. Returns the archived journal path.
+    ///
+    /// # Errors
+    /// [`RemoteError`] — notably `unknown-tenant`.
+    pub fn drain(&mut self, tenant: &str) -> Result<String, RemoteError> {
+        let result = self.call("drain", Json::obj(vec![("tenant", Json::str(tenant))]))?;
+        wire::str_field(&result, "journal").map_err(RemoteError::from)
+    }
+
+    /// Asks the daemon to shut down (connections drop within its poll
+    /// interval; journals stay for the next start to resume).
+    ///
+    /// # Errors
+    /// [`RemoteError`] on socket failure.
+    pub fn shutdown(&mut self) -> Result<(), RemoteError> {
+        self.call("shutdown", Json::obj(vec![])).map(|_| ())
+    }
+}
+
+fn io_err(e: std::io::Error) -> RemoteError {
+    RemoteError {
+        code: ErrorCode::Io,
+        message: e.to_string(),
+    }
+}

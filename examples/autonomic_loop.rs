@@ -12,8 +12,14 @@ use adept::prelude::*;
 
 fn main() {
     // Two 30-node sites joined by a 10 Mb/s WAN.
-    let platform =
-        generator::multi_site_grid(2, 30, MflopRate(400.0), MbitRate(100.0), MbitRate(10.0), 7);
+    let platform = std::sync::Arc::new(generator::multi_site_grid(
+        2,
+        30,
+        MflopRate(400.0),
+        MbitRate(100.0),
+        MbitRate(10.0),
+        7,
+    ));
     let mix = ServiceMix::new(vec![
         (Dgemm::new(310).service(), 2.0),  // light: ~6.7 req/s per server
         (Dgemm::new(700).service(), 1.0),  // mid:  ~0.58 req/s per server
@@ -36,7 +42,7 @@ fn main() {
     // damped, online-revised under a disruption budget, migrated by a
     // launcher that injects failures (and heals them with spares).
     let mut controller = Controller::new(
-        &platform,
+        platform.clone(),
         mix,
         initial.plan,
         initial.assignment,

@@ -19,6 +19,7 @@
 //! | [`nes_sim`] | DIET-like middleware simulator on `M(r,s,w)` resources |
 //! | [`godiet`] | deployment tool: XML in, staged launch + migration, failure injection |
 //! | [`control`] | autonomic replanning control loop over all of the above |
+//! | [`serve`] | planner-as-a-service: multi-tenant daemon, JSON wire protocol, durable journals |
 //!
 //! ## Architecture: the autonomic control loop
 //!
@@ -94,6 +95,25 @@
 //!   a second (`examples/large_scale.rs`, gate-guarded by the
 //!   `planner_scaling` bench group).
 //!
+//! ## Serving: the daemon layer
+//!
+//! [`serve`] lifts the control loop into a resident **multi-tenant
+//! daemon** (`adept-serve`): one
+//! [`Controller`](adept_control::Controller) per tenant deployment,
+//! hosted concurrently over shared read-only platform catalogs, driven
+//! over a line-delimited JSON wire protocol (`plan` / `register` /
+//! `observe` / `replan` / `migrate` / `drain` / `status` — the full
+//! frame-by-frame contract lives in-tree at `docs/WIRE_API.md`, the
+//! operator guide at `docs/OPERATIONS.md`). Every tenant session
+//! appends its inputs to a
+//! write-ahead JSONL journal and a restarted daemon resumes every
+//! control loop by **deterministic replay** — no planner state is ever
+//! serialized, and replay cross-checks the journaled migration
+//! checkpoints before trusting itself
+//! ([`TenantSession::resume`](adept_serve::TenantSession::resume)).
+//! This is what made the controller a `Send`, `Arc`-owning value: a
+//! session must be movable across the daemon's connection threads.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -131,6 +151,7 @@ pub use adept_godiet as godiet;
 pub use adept_hierarchy as hierarchy;
 pub use adept_nes_sim as nes_sim;
 pub use adept_platform as platform;
+pub use adept_serve as serve;
 pub use adept_workload as workload;
 
 /// Commonly used items, re-exported flat.
@@ -161,6 +182,11 @@ pub mod prelude {
     pub use adept_platform::{
         generator, BackgroundLoad, CapacityProbe, Mbit, MbitRate, Mflop, MflopRate,
         MiddlewareCalibration, Network, NodeId, Platform, Resource, Seconds, Site, SiteId,
+    };
+    pub use adept_serve::{
+        Daemon, DaemonHandle, DaemonStatus, ErrorCode, MigrationSummary, PlanSummary, RemoteError,
+        ReplanPreview, ServeClient, ServeConfig, ServeError, ServiceDef, SessionConfig,
+        TenantSession, TenantStatus, TickOutcome,
     };
     pub use adept_workload::{
         ArrivalProcess, ClientDemand, ClientRamp, Dgemm, MixDemand, RateForecaster,

@@ -32,17 +32,17 @@ fn two_site_platform() -> Platform {
     generator::multi_site_grid(2, 30, MflopRate(400.0), MbitRate(100.0), MbitRate(10.0), 7)
 }
 
-fn controller_with<'a>(
-    platform: &'a Platform,
+fn controller_with(
+    platform: &std::sync::Arc<Platform>,
     mix: &ServiceMix,
     planned: &MixDemand,
     tool: GoDiet,
-) -> Controller<'a> {
+) -> Controller {
     let got = MixPlanner::default()
         .plan_mix(platform, mix, planned)
         .expect("60 nodes fit the initial demand");
     Controller::new(
-        platform,
+        platform.clone(),
         mix.clone(),
         got.plan,
         got.assignment,
@@ -156,7 +156,7 @@ fn assert_sim_tracks_model(
 
 #[test]
 fn scripted_ramp_plateau_spike_runs_hands_off() {
-    let platform = two_site_platform();
+    let platform = std::sync::Arc::new(two_site_platform());
     let mix = mix3();
     let planned = MixDemand::targets(vec![1.0, 0.5, 0.4]);
     // Failure injection on: migration launches can fail and must be
@@ -236,7 +236,7 @@ fn scripted_ramp_plateau_spike_runs_hands_off() {
 
 #[test]
 fn hysteresis_limits_replans_to_one_per_sustained_level() {
-    let platform = two_site_platform();
+    let platform = std::sync::Arc::new(two_site_platform());
     let mix = mix3();
     let planned = MixDemand::targets(vec![1.0, 0.5, 0.4]);
     let mut c = controller_with(&platform, &mix, &planned, GoDiet::default());

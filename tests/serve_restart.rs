@@ -1,0 +1,440 @@
+//! End-to-end acceptance of the `adept-serve` daemon.
+//!
+//! Three tenants drive the scripted ramp+plateau+spike day of
+//! `tests/control_loop.rs` **concurrently over the wire**, with GoDiet
+//! failure injection on. Mid-day the daemon is killed and restarted:
+//! every tenant must resume from its journal — same tick counter, same
+//! migration history, same deployment — and finish the day as if
+//! nothing happened. A direct library run of the same scenario is the
+//! referee: the served loop must reproduce it exactly (determinism is
+//! the daemon's durability mechanism, so it is load-bearing).
+//!
+//! The companion tests pin the typed-error contract of the wire and the
+//! journal recovery edge cases (truncated tail, corrupt/empty journals,
+//! catalog fingerprint drift, contested tenant ids).
+
+use adept::prelude::*;
+use adept::serve::{journal::Journal, Json, Record};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Light / mid / heavy DGEMM mix, declared over the wire.
+fn services3() -> Vec<ServiceDef> {
+    [(310u32, 2.0f64), (700, 1.0), (1000, 1.0)]
+        .into_iter()
+        .map(|(n, weight)| ServiceDef {
+            name: format!("dgemm-{n}"),
+            wapp_mflop: Dgemm::new(n).wapp().value(),
+            weight,
+        })
+        .collect()
+}
+
+/// Two 30-node sites, fast LAN, 10 Mb/s WAN (as in control_loop.rs).
+fn two_site_platform() -> Platform {
+    generator::multi_site_grid(2, 30, MflopRate(400.0), MbitRate(100.0), MbitRate(10.0), 7)
+}
+
+/// The session policy mirroring the library-level scripted-day run:
+/// drift trigger at 20%, instant demand convergence, failure injection
+/// p=0.55 healed by spares.
+fn session_config() -> SessionConfig {
+    SessionConfig {
+        demand_alpha: 1.0,
+        max_changes: 20,
+        failure_probability: 0.55,
+        failure_seed: 23,
+        ..SessionConfig::default()
+    }
+}
+
+fn serve_config(dir: &Path) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        journal_dir: dir.to_path_buf(),
+        platforms: vec![("grid2x30".into(), two_site_platform())],
+    }
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("adept-serve-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const PLANNED: [f64; 3] = [1.0, 0.5, 0.4];
+
+/// The scripted day: (ticks, per-tick observed rates) per phase.
+const PHASES: [(usize, [f64; 3]); 5] = [
+    (6, [1.0, 0.5, 0.4]), // steady at the planned level
+    (6, [1.0, 0.5, 0.8]), // ramp step 1: heavy service doubles
+    (6, [1.0, 0.5, 1.2]), // ramp step 2
+    (8, [1.0, 0.5, 1.2]), // plateau
+    (8, [1.0, 2.5, 1.2]), // spike: mid service quintuples
+];
+
+/// Drives `phases` for one tenant over its own connection, returning
+/// the migrations the daemon reported.
+fn drive(
+    addr: std::net::SocketAddr,
+    tenant: &str,
+    phases: &[(usize, [f64; 3])],
+) -> Vec<MigrationSummary> {
+    let mut client = ServeClient::connect(addr).expect("daemon is listening");
+    let mut migrations = Vec::new();
+    for (ticks, rates) in phases {
+        for _ in 0..*ticks {
+            let outcome = client
+                .observe(tenant, rates, &[])
+                .expect("observed ticks are routine");
+            migrations.extend(outcome.migration);
+        }
+    }
+    migrations
+}
+
+/// The referee: the same scripted day run directly against the library
+/// [`Controller`], with the exact wiring `register` uses.
+fn reference_run(phases: &[(usize, [f64; 3])]) -> Controller {
+    let platform = Arc::new(two_site_platform());
+    let mix = ServiceMix::new(
+        services3()
+            .into_iter()
+            .map(|s| (ServiceSpec::new(s.name, Mflop(s.wapp_mflop)), s.weight))
+            .collect(),
+    );
+    let planned = MixDemand::targets(PLANNED.to_vec());
+    let got = MixPlanner::default()
+        .plan_mix(&platform, &mix, &planned)
+        .expect("60 nodes fit the initial demand");
+    let mut c = Controller::new(
+        platform,
+        mix,
+        got.plan,
+        got.assignment,
+        &planned,
+        Box::new(OnlinePlanner {
+            max_changes: 20,
+            ..Default::default()
+        }),
+        GoDiet::with_failures(0.55, 23),
+        ControllerConfig {
+            triggers: vec![TriggerPolicy::ForecastDrift { threshold: 0.2 }],
+            demand_alpha: 1.0,
+            ..Default::default()
+        },
+    );
+    for (ticks, rates) in phases {
+        for _ in 0..*ticks {
+            c.tick(&Observations::rates(rates.to_vec()))
+                .expect("the loop heals failures itself");
+        }
+    }
+    c
+}
+
+#[test]
+fn three_tenants_survive_a_mid_day_daemon_restart() {
+    let dir = tmp_dir("restart");
+    let tenants = ["acme", "globex", "initech"];
+
+    // ---- First half of the day: boot, register, drive concurrently.
+    let daemon = Daemon::start(serve_config(&dir)).expect("daemon boots");
+    assert!(daemon.resume_errors().is_empty(), "fresh dir, no journals");
+    let addr = daemon.addr();
+    let first_half: Vec<Vec<MigrationSummary>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = tenants
+            .iter()
+            .map(|tenant| {
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect(addr).expect("daemon is listening");
+                    let status = client
+                        .register(
+                            tenant,
+                            "grid2x30",
+                            &services3(),
+                            &PLANNED,
+                            &session_config(),
+                        )
+                        .expect("registration plans and claims cleanly");
+                    assert_eq!(status.ticks, 0);
+                    assert!(status.plan.servers > 0);
+                    drive(addr, tenant, &PHASES[..3])
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // ---- Kill the daemon mid-day.
+    let mut status_client = ServeClient::connect(addr).unwrap();
+    let before_kill = status_client.status().expect("status before the kill");
+    assert_eq!(before_kill.tenants.len(), 3);
+    drop(status_client);
+    daemon.stop();
+
+    // ---- Restart: every tenant resumes from its journal by replay.
+    let daemon = Daemon::start(serve_config(&dir)).expect("daemon reboots on the same journals");
+    assert_eq!(
+        daemon.resume_errors(),
+        Vec::<(String, String, String)>::new(),
+        "every journal must resume"
+    );
+    let addr = daemon.addr();
+    let mut client = ServeClient::connect(addr).unwrap();
+    let resumed = client.status().expect("status after restart");
+    assert_eq!(resumed.platforms, vec!["grid2x30".to_string()]);
+    let mut resumed_tenants = resumed.tenants.clone();
+    resumed_tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    let mut expected = before_kill.tenants.clone();
+    expected.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    assert_eq!(
+        resumed_tenants, expected,
+        "replay must rebuild every tenant exactly as it was at the kill"
+    );
+
+    // ---- Second half of the day, again concurrently.
+    let second_half: Vec<Vec<MigrationSummary>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = tenants
+            .iter()
+            .map(|tenant| scope.spawn(move || drive(addr, tenant, &PHASES[3..])))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // ---- The referee: the identical scenario run directly in-library.
+    let reference = reference_run(&PHASES);
+    let expected_migrations = reference.migrations();
+    assert!(
+        expected_migrations >= 3,
+        "ramp steps and the spike each migrate, got {expected_migrations}"
+    );
+
+    let final_status = client.status().unwrap();
+    for (i, tenant) in tenants.iter().enumerate() {
+        let status = final_status
+            .tenants
+            .iter()
+            .find(|t| t.tenant == *tenant)
+            .expect("tenant still live");
+        let reported = first_half[i].len() + second_half[i].len();
+        assert_eq!(
+            status.ticks,
+            PHASES.iter().map(|(t, _)| *t as u64).sum::<u64>(),
+            "{tenant}: every tick of the day landed"
+        );
+        assert_eq!(
+            status.migrations, expected_migrations,
+            "{tenant}: served loop migrates exactly like the library loop"
+        );
+        assert_eq!(
+            reported as u64, expected_migrations,
+            "{tenant}: every migration was reported to the client — none lost at the kill"
+        );
+        assert_eq!(
+            status.plan.servers,
+            reference.running().server_count() as u64,
+            "{tenant}: same final deployment size as the reference"
+        );
+        assert_eq!(
+            status.plan.rho,
+            reference.predicted().rho,
+            "{tenant}: bit-identical model state after replay"
+        );
+
+        // The journal itself is whole: strict read passes and records
+        // exactly the migrations the clients saw.
+        let records = Journal::read_strict(&dir.join(format!("{tenant}.jsonl")))
+            .expect("a cleanly stopped daemon leaves no truncated tail");
+        let checkpoints = records
+            .iter()
+            .filter(|r| matches!(r, Record::Migration { .. }))
+            .count();
+        assert_eq!(checkpoints as u64, expected_migrations);
+    }
+
+    // ---- Drain one tenant; its id frees, the others keep running.
+    let archived = client.drain("acme").expect("drain is routine");
+    assert!(archived.ends_with("acme.jsonl.drained"));
+    let err = client.observe("acme", &PHASES[4].1, &[]).unwrap_err();
+    assert_eq!(err.code, ErrorCode::UnknownTenant);
+    client
+        .observe("globex", &PHASES[4].1, &[])
+        .expect("unaffected");
+
+    daemon.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wire_errors_are_typed_not_dropped_connections() {
+    let dir = tmp_dir("errors");
+    let daemon = Daemon::start(serve_config(&dir)).expect("daemon boots");
+    let mut client = ServeClient::connect(daemon.addr()).unwrap();
+    let services = services3();
+
+    // Unknown platform.
+    let err = client
+        .register(
+            "acme",
+            "jupiter",
+            &services,
+            &PLANNED,
+            &SessionConfig::default(),
+        )
+        .unwrap_err();
+    assert_eq!(err.code, ErrorCode::UnknownPlatform);
+
+    // Invalid demand (negative rate) → the library's DemandError.
+    let err = client
+        .register(
+            "acme",
+            "grid2x30",
+            &services,
+            &[1.0, -2.0, 0.4],
+            &SessionConfig::default(),
+        )
+        .unwrap_err();
+    assert_eq!(err.code, ErrorCode::BadDemand);
+
+    // A real registration, then a duplicate claim.
+    client
+        .register(
+            "acme",
+            "grid2x30",
+            &services,
+            &PLANNED,
+            &SessionConfig::default(),
+        )
+        .expect("first claim wins");
+    let err = client
+        .register(
+            "acme",
+            "grid2x30",
+            &services,
+            &PLANNED,
+            &SessionConfig::default(),
+        )
+        .unwrap_err();
+    assert_eq!(err.code, ErrorCode::TenantExists);
+
+    // Unknown tenant, wrong arity, unknown method.
+    let err = client.observe("nobody", &PHASES[0].1, &[]).unwrap_err();
+    assert_eq!(err.code, ErrorCode::UnknownTenant);
+    let err = client.observe("acme", &[1.0], &[]).unwrap_err();
+    assert_eq!(err.code, ErrorCode::BadRequest);
+    let err = client.call("levitate", Json::obj(vec![])).unwrap_err();
+    assert_eq!(err.code, ErrorCode::UnknownMethod);
+
+    // A line that is not a frame at all answers a typed bad-frame
+    // error (id 0) instead of killing the connection.
+    let mut raw = std::net::TcpStream::connect(daemon.addr()).unwrap();
+    raw.write_all(b"this is not json\n").unwrap();
+    let mut line = String::new();
+    BufReader::new(raw.try_clone().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    assert!(line.contains("\"bad-frame\""), "got: {line}");
+
+    // The session survived all of that.
+    client
+        .observe("acme", &PHASES[0].1, &[])
+        .expect("still live");
+
+    daemon.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn journal_recovery_edge_cases_are_typed_and_isolated() {
+    let dir = tmp_dir("recovery");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A corrupt journal and an empty one, planted before boot.
+    std::fs::write(dir.join("ghost.jsonl"), "not a journal record\n").unwrap();
+    std::fs::write(dir.join("hollow.jsonl"), "").unwrap();
+
+    // A healthy tenant registered by a first daemon...
+    {
+        let daemon = Daemon::start(serve_config(&dir)).expect("daemon boots");
+        let mut client = ServeClient::connect(daemon.addr()).unwrap();
+        client
+            .register(
+                "acme",
+                "grid2x30",
+                &services3(),
+                &PLANNED,
+                &session_config(),
+            )
+            .expect("registration plans cleanly");
+        client.observe("acme", &PHASES[0].1, &[]).unwrap();
+        client.observe("acme", &PHASES[0].1, &[]).unwrap();
+        daemon.stop();
+    }
+    // ...whose journal then loses the tail of its last append.
+    {
+        let path = dir.join("acme.jsonl");
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        file.write_all(b"{\"record\":\"tick\",\"ra").unwrap();
+    }
+
+    // Reboot: the broken journals fail in isolation with typed codes,
+    // the truncated one resumes minus its one unacknowledged tick.
+    let daemon = Daemon::start(serve_config(&dir)).expect("daemon boots despite bad journals");
+    let mut errors = daemon.resume_errors();
+    errors.sort();
+    assert_eq!(
+        errors.len(),
+        2,
+        "ghost and hollow fail, acme resumes: {errors:?}"
+    );
+    assert_eq!(errors[0].0, "ghost");
+    assert_eq!(errors[0].1, "journal-corrupt");
+    assert_eq!(errors[1].0, "hollow");
+    assert_eq!(errors[1].1, "journal-corrupt");
+
+    let mut client = ServeClient::connect(daemon.addr()).unwrap();
+    let status = client.status().unwrap();
+    assert_eq!(status.tenants.len(), 1);
+    assert_eq!(status.tenants[0].tenant, "acme");
+    assert_eq!(
+        status.tenants[0].ticks, 2,
+        "the truncated third tick was never acknowledged and is dropped"
+    );
+    assert_eq!(status.resume_errors.len(), 2, "surfaced over the wire too");
+
+    // A journal on disk blocks a live re-claim even when its session
+    // failed to resume.
+    let err = client
+        .register(
+            "ghost",
+            "grid2x30",
+            &services3(),
+            &PLANNED,
+            &session_config(),
+        )
+        .unwrap_err();
+    assert_eq!(err.code, ErrorCode::JournalMismatch);
+    daemon.stop();
+
+    // Catalog drift: the same platform name with a different shape must
+    // refuse acme's journal with a fingerprint mismatch, not replan on
+    // hardware the journal never saw.
+    let mut drifted = serve_config(&dir);
+    drifted.platforms = vec![(
+        "grid2x30".into(),
+        generator::multi_site_grid(2, 29, MflopRate(400.0), MbitRate(100.0), MbitRate(10.0), 7),
+    )];
+    let daemon = Daemon::start(drifted).expect("daemon boots");
+    let errors = daemon.resume_errors();
+    let acme = errors.iter().find(|e| e.0 == "acme").expect("acme refused");
+    assert_eq!(acme.1, "journal-mismatch");
+    assert!(acme.2.contains("changed shape"), "got: {}", acme.2);
+
+    daemon.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
