@@ -6,8 +6,10 @@
 //! single-service runs), the gated `mix_vs_sweep` quality group (the mix
 //! planner against the mix-aware sweep reference), and the
 //! `online_replan` latency probe at n = 10⁴ (the ROADMAP replan budget),
-//! and the `serve_tick` group measuring the `adept-serve` daemon's
-//! per-tick wire + journal overhead against a direct `Controller::tick`.
+//! the `serve_tick` group measuring the `adept-serve` daemon's
+//! per-tick wire + journal overhead against a direct `Controller::tick`,
+//! and the `warm_replan` ablation (cold vs warm-started steady-state
+//! replan rounds, plus the cross-tenant plan-cache hit-rate metric).
 //!
 //! Set `BENCH_JSON=BENCH_planner.json` to export `(id, mean ns, samples)`
 //! records for perf-trajectory tracking across PRs; CI's `bench_gate`
@@ -520,11 +522,11 @@ fn bench_serve_tick(c: &mut Criterion) {
     // the tenant mutex, and the write-ahead journal append.
     let dir = std::env::temp_dir().join(format!("adept-serve-bench-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let daemon = Daemon::start(ServeConfig {
-        addr: "127.0.0.1:0".into(),
-        journal_dir: dir.clone(),
-        platforms: vec![("p".into(), platform(n))],
-    })
+    let daemon = Daemon::start(ServeConfig::new(
+        "127.0.0.1:0",
+        dir.clone(),
+        vec![("p".into(), platform(n))],
+    ))
     .expect("daemon boots");
     let mut client = ServeClient::connect(daemon.addr()).expect("connect");
     client
@@ -544,6 +546,132 @@ fn bench_serve_tick(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The warm-start ablation the persistent-engine work is judged by: a
+/// steady-state replan-*every*-tick loop through [`Controller::tick`]
+/// (`Periodic { every: 1 }`, no hysteresis, bit-stable demand) with
+/// warm engine state on vs off, at n = 10⁴ and 10⁵. The cold side pays
+/// a full evaluator rebuild per round; the warm side re-seeds from the
+/// quiescent incumbent state and short-circuits the unchanged-inputs
+/// round in O(services). Warm rounds return bit-identical answers
+/// (`tests/incremental_parity.rs`), so this pair is a pure latency
+/// ablation — `bench_gate` holds warm ≥ 5× under cold at 10⁵ via the
+/// margined `FASTER_THAN` pairs plus an absolute ceiling on the warm
+/// id.
+///
+/// The function also exports the cross-tenant plan-cache hit-rate
+/// metric: four tenants registering the same (platform, mix, demand)
+/// against one `adept-serve` daemon must be answered from the shared
+/// plan cache after the first cold miss — `bench_gate` floors the
+/// exact-hit rate at 0.5 (the scenario yields 0.75).
+fn bench_warm_replan(c: &mut Criterion) {
+    use adept_control::{Controller, ControllerConfig, Hysteresis, Observations, TriggerPolicy};
+    use adept_godiet::GoDiet;
+    use adept_serve::{Daemon, ServeClient, ServeConfig, ServiceDef, SessionConfig};
+    use adept_workload::MixDemand;
+
+    let mix = ServiceMix::new(vec![
+        (Dgemm::new(310).service(), 2.0),
+        (Dgemm::new(700).service(), 1.0),
+        (Dgemm::new(1000).service(), 1.0),
+    ]);
+    let rates = [2.0, 1.0, 0.8];
+    let base = MixDemand::targets(rates.to_vec());
+
+    let mut group = c.benchmark_group("warm_replan");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let platform = std::sync::Arc::new(platform(n));
+        let initial = MixPlanner::default()
+            .plan_mix(&platform, &mix, &base)
+            .expect("fits");
+        for (label, warm_start) in [("cold", false), ("warm", true)] {
+            let mut controller = Controller::new(
+                platform.clone(),
+                mix.clone(),
+                initial.plan.clone(),
+                initial.assignment.clone(),
+                &base,
+                Box::new(OnlinePlanner {
+                    max_changes: 20,
+                    ..Default::default()
+                }),
+                GoDiet::default(),
+                ControllerConfig {
+                    triggers: vec![TriggerPolicy::Periodic { every: 1 }],
+                    hysteresis: Hysteresis {
+                        min_sustained: 1,
+                        cooldown_ticks: 0,
+                    },
+                    demand_alpha: 1.0,
+                    warm_start,
+                    ..Default::default()
+                },
+            );
+            // Prime outside the measurement: the first round always runs
+            // cold, and (in warm mode) its zero-commit finish stores the
+            // quiescent engine state every measured round reuses.
+            for _ in 0..2 {
+                controller
+                    .tick(&Observations::rates(rates.to_vec()))
+                    .expect("steady ticks never fail");
+            }
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        controller
+                            .tick(&Observations::rates(rates.to_vec()))
+                            .expect("steady ticks never fail"),
+                    )
+                })
+            });
+            if warm_start {
+                assert!(
+                    controller.warm_replans() > 0,
+                    "warm rounds must engage on the steady-state loop"
+                );
+            } else {
+                assert_eq!(controller.warm_replans(), 0, "cold ablation stays cold");
+            }
+        }
+    }
+    group.finish();
+
+    // Cross-tenant cache hit rate: four identical registrations against
+    // one daemon — one canonical cold plan, three exact cache hits.
+    let services: Vec<ServiceDef> = [(310u32, 2.0f64), (700, 1.0), (1000, 1.0)]
+        .into_iter()
+        .map(|(n, weight)| ServiceDef {
+            name: format!("dgemm-{n}"),
+            wapp_mflop: Dgemm::new(n).wapp().value(),
+            weight,
+        })
+        .collect();
+    let dir = std::env::temp_dir().join(format!("adept-warm-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let daemon = Daemon::start(ServeConfig::new(
+        "127.0.0.1:0",
+        dir.clone(),
+        vec![("p".into(), platform(400))],
+    ))
+    .expect("daemon boots");
+    let mut client = ServeClient::connect(daemon.addr()).expect("connect");
+    for tenant in ["t0", "t1", "t2", "t3"] {
+        client
+            .register(tenant, "p", &services, &rates, &SessionConfig::default())
+            .expect("registration plans cleanly");
+    }
+    let cache = client.status().expect("status").cache;
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+    let lookups = cache.exact_hits + cache.near_hits + cache.misses;
+    let hit_rate = cache.exact_hits as f64 / (lookups.max(1)) as f64;
+    eprintln!(
+        "warm_replan cross-tenant cache: {} exact hit(s) / {lookups} lookup(s) (rate {hit_rate:.2})",
+        cache.exact_hits
+    );
+    c.report_metric("warm_replan/cache-hit-rate/cross-tenant", hit_rate);
+}
+
 criterion_group!(
     benches,
     bench_planners,
@@ -554,6 +682,7 @@ criterion_group!(
     bench_hetero_scaling,
     bench_online_replan,
     bench_control_loop,
-    bench_serve_tick
+    bench_serve_tick,
+    bench_warm_replan
 );
 criterion_main!(benches);

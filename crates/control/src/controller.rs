@@ -4,7 +4,7 @@ use crate::trigger::{Hysteresis, TriggerPolicy};
 use adept_core::model::mix::{evaluate_mix, MixReport, ServerAssignment};
 use adept_core::model::ModelParams;
 use adept_core::planner::online::MixReplan;
-use adept_core::planner::{Revise, ReviseError};
+use adept_core::planner::{Revise, ReviseError, WarmCache};
 use adept_godiet::{DeployError, GoDiet, MigrationReport, MigrationScript};
 use adept_hierarchy::DeploymentPlan;
 use adept_platform::{MflopRate, Platform, Seconds};
@@ -93,6 +93,13 @@ pub struct ControllerConfig {
     /// Demand multiplier when sizing the revised deployment (1.1 plans
     /// 10% above the forecast so the next wobble stays in-capacity).
     pub headroom: f64,
+    /// Thread a [`WarmCache`] through revision rounds so the reviser
+    /// can seed its search from the previous round's engine state
+    /// instead of rebuilding it from the plan (default `true`). Warm
+    /// rounds return bit-identical answers — this is a pure latency
+    /// knob, kept as an ablation flag so the cold path stays
+    /// benchmarkable.
+    pub warm_start: bool,
 }
 
 impl Default for ControllerConfig {
@@ -103,6 +110,7 @@ impl Default for ControllerConfig {
             demand_alpha: 0.5,
             wapp_alpha: 0.3,
             headroom: 1.0,
+            warm_start: true,
         }
     }
 }
@@ -151,6 +159,9 @@ pub struct Controller {
     replans: u64,
     migrations: u64,
     rejected_samples: u64,
+    /// Engine state threaded across revision rounds (see
+    /// [`ControllerConfig::warm_start`]).
+    warm: WarmCache,
 }
 
 impl Controller {
@@ -208,6 +219,7 @@ impl Controller {
             replans: 0,
             migrations: 0,
             rejected_samples: 0,
+            warm: WarmCache::new(),
         }
     }
 
@@ -254,6 +266,14 @@ impl Controller {
     /// the control loop keeps flying on the last healthy statistics.
     pub fn rejected_samples(&self) -> u64 {
         self.rejected_samples
+    }
+
+    /// Replan rounds that seeded from warm engine state instead of a
+    /// cold rebuild (see [`ControllerConfig::warm_start`]). A healthy
+    /// steady-state loop converges to `warm_replans ≈ replans − 1`:
+    /// only the round after a migration (or the first ever) runs cold.
+    pub fn warm_replans(&self) -> u64 {
+        self.warm.hits()
     }
 
     /// Model evaluation of the running deployment under the current
@@ -417,13 +437,24 @@ impl Controller {
         reason: String,
         planned_demand: MixDemand,
     ) -> Result<Option<Migration>, ControlError> {
-        let replan = self.reviser.revise_mix(
-            &self.platform,
-            &self.running,
-            &self.mix,
-            &self.assignment,
-            &planned_demand,
-        )?;
+        let replan = if self.config.warm_start {
+            self.reviser.revise_mix_warm(
+                &self.platform,
+                &self.running,
+                &self.mix,
+                &self.assignment,
+                &planned_demand,
+                &mut self.warm,
+            )?
+        } else {
+            self.reviser.revise_mix(
+                &self.platform,
+                &self.running,
+                &self.mix,
+                &self.assignment,
+                &planned_demand,
+            )?
+        };
         self.replans += 1;
         self.fired_streak = 0;
         self.cooldown_until = self.tick + self.config.hysteresis.cooldown_ticks;
@@ -439,7 +470,11 @@ impl Controller {
         self.migrations += 1;
 
         // Adopt the post-migration state: reinstalls from the replan,
-        // then node substitutions the launcher performed.
+        // then node substitutions the launcher performed. The running
+        // plan changes outside the reviser here, so any warm engine
+        // state is stale — the reviser only re-caches after no-change
+        // rounds, but the invalidation contract is honored explicitly.
+        self.warm.invalidate();
         self.running = migration_report.plan.clone();
         self.assignment = replan.assignment.clone();
         for &(planned, actual) in &migration_report.substitutions {

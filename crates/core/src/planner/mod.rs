@@ -44,7 +44,7 @@ pub use baselines::{BalancedPlanner, StarPlanner};
 pub use heuristic::HeuristicPlanner;
 pub use homogeneous::HomogeneousCsdPlanner;
 pub use mix::{MixObjective, MixPlan, MixPlanner};
-pub use online::{MixReplan, OnlinePlanner, Replan};
+pub use online::{MixReplan, OnlinePlanner, Replan, WarmCache};
 pub use revise::{Rebalancer, Revise, ReviseError};
 pub use roundrobin::RoundRobinPlanner;
 pub use sweep::SweepPlanner;

@@ -67,6 +67,131 @@ fn grow_candidates(platform: &Platform, unused: &[NodeId], site_aware: bool) -> 
 /// Relative tolerance for strict-improvement acceptance.
 const EPS: f64 = 1e-9;
 
+/// Engine state preserved across revision rounds: the incremental
+/// evaluator (tournament tree + running sums) and the power-ordered
+/// spare-node list, both exactly as a cold rebuild of the same inputs
+/// would produce them.
+///
+/// A state is captured only after a round that committed **zero**
+/// moves — every probe was undone, and undo is bit-exact — so seeding
+/// the next round from it is answer-identical to rebuilding cold.
+#[derive(Debug, Clone)]
+struct WarmState {
+    eval: IncrementalEval,
+    unused: Vec<NodeId>,
+    /// Cheap O(S) fingerprint of the inputs the state was built from.
+    fingerprint: u64,
+    /// Demand bit patterns of the zero-commit round that produced this
+    /// state — the memo key for the steady-state short circuit.
+    demand_bits: Vec<u64>,
+    /// The disruption budget that round ran under.
+    budget: usize,
+}
+
+/// Reusable engine state threaded across [`OnlinePlanner`] revision
+/// rounds, with hit/miss counters.
+///
+/// Owned by the caller (the autonomic controller keeps one per loop)
+/// and passed to [`OnlinePlanner::replan_warm`] /
+/// [`OnlinePlanner::replan_mix_warm`], which seed their search from the
+/// incumbent [`IncrementalEval`] instead of rebuilding it from the plan
+/// — skipping the O(n) engine construction and O(n log n) spare-node
+/// scan on steady-state ticks. Warm state is a pure search accelerator:
+/// warm rounds return bit-identical answers to their cold counterparts.
+///
+/// **Invalidation contract:** the fingerprint guarding reuse is a cheap
+/// O(S) sanity check (plan size, root, mix shares/Wapps), not a full
+/// structural hash. A caller that mutates the running plan or
+/// assignment outside the replan calls (e.g. adopting migration spare
+/// substitutions) must call [`invalidate`](WarmCache::invalidate).
+#[derive(Debug, Clone, Default)]
+pub struct WarmCache {
+    state: Option<WarmState>,
+    hits: u64,
+    misses: u64,
+}
+
+impl WarmCache {
+    /// An empty (cold) cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops any cached engine state; the next replan rebuilds cold.
+    pub fn invalidate(&mut self) {
+        self.state = None;
+    }
+
+    /// True when a reusable engine state is cached.
+    pub fn is_warm(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Rounds that seeded from cached state.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Rounds that had to rebuild cold.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// FNV-1a accumulation step.
+fn fnv(hash: u64, word: u64) -> u64 {
+    let mut h = hash;
+    for byte in word.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// O(S) fingerprint of a mix-revision input (deliberately *not* O(n):
+/// hashing the whole plan would cost what the warm start saves).
+fn mix_fingerprint(plan: &DeploymentPlan, mix: &ServiceMix, assignment: &ServerAssignment) -> u64 {
+    let mut h = fnv(FNV_OFFSET, 1); // domain tag: mix revision
+    h = fnv(h, plan.len() as u64);
+    h = fnv(h, plan.server_count() as u64);
+    h = fnv(h, u64::from(plan.node(plan.root()).0));
+    h = fnv(h, assignment.service_of.len() as u64);
+    h = fnv(h, mix.len() as u64);
+    for j in 0..mix.len() {
+        h = fnv(h, mix.share(j).to_bits());
+        h = fnv(h, mix.service(j).wapp.value().to_bits());
+    }
+    h
+}
+
+/// O(1) fingerprint of a single-service revision input.
+fn single_fingerprint(plan: &DeploymentPlan, service: &ServiceSpec) -> u64 {
+    let mut h = fnv(FNV_OFFSET, 2); // domain tag: single-service revision
+    h = fnv(h, plan.len() as u64);
+    h = fnv(h, plan.server_count() as u64);
+    h = fnv(h, u64::from(plan.node(plan.root()).0));
+    h = fnv(h, service.wapp.value().to_bits());
+    h
+}
+
+/// Bit-pattern encoding of a demand vector (the memo key).
+fn mix_demand_bits(demand: &MixDemand) -> Vec<u64> {
+    (0..demand.len())
+        .map(|j| demand.rate(j).to_bits())
+        .collect()
+}
+
+/// Bit-pattern encoding of a single-service demand (the memo key). The
+/// variant tag keeps `Unbounded` distinct from any finite target.
+fn single_demand_bits(demand: ClientDemand) -> Vec<u64> {
+    match demand {
+        ClientDemand::Unbounded => vec![0],
+        ClientDemand::Target(r) => vec![1, r.to_bits()],
+    }
+}
+
 /// Result of a re-planning round.
 #[derive(Debug, Clone)]
 pub struct Replan {
@@ -187,6 +312,9 @@ struct SingleIncOps<'a> {
     eval: IncrementalEval,
     rho: f64,
     unused: Vec<NodeId>,
+    /// Moves committed this round. Zero means every probe was undone —
+    /// the engine still bit-equals its (cold-built) starting state.
+    commits: usize,
 }
 
 impl ReviseOps for SingleIncOps<'_> {
@@ -222,6 +350,7 @@ impl ReviseOps for SingleIncOps<'_> {
         self.eval.commit();
         self.rho = r;
         self.unused.retain(|&n| n != fresh);
+        self.commits += 1;
         Some(1)
     }
 
@@ -270,6 +399,7 @@ impl ReviseOps for SingleIncOps<'_> {
         self.eval.commit();
         self.rho = r;
         self.unused.retain(|&n| n != fresh);
+        self.commits += 1;
         Some(2)
     }
 
@@ -301,6 +431,7 @@ impl ReviseOps for SingleIncOps<'_> {
         self.eval =
             IncrementalEval::from_plan(&self.params, self.platform, &self.plan, self.service);
         self.rho = self.eval.rho();
+        self.commits += 1;
         Some(1)
     }
 }
@@ -326,6 +457,9 @@ struct MixOps<'a> {
     services: Vec<usize>,
     /// Current margin value.
     current: f64,
+    /// Moves committed this round. Zero means every probe was undone —
+    /// the engine still bit-equals its (cold-built) starting state.
+    commits: usize,
 }
 
 impl MixOps<'_> {
@@ -386,6 +520,7 @@ impl ReviseOps for MixOps<'_> {
         self.eval.commit();
         self.current = choice.score;
         self.unused.retain(|&n| n != fresh);
+        self.commits += 1;
         Some(1)
     }
 
@@ -421,6 +556,7 @@ impl ReviseOps for MixOps<'_> {
                     self.reassigned.push((node, from, j));
                     self.eval.commit();
                     self.current = m;
+                    self.commits += 1;
                     return Some(1);
                 }
                 self.eval.undo();
@@ -479,6 +615,7 @@ impl ReviseOps for MixOps<'_> {
         self.eval.commit();
         self.current = choice.score;
         self.unused.retain(|&n| n != fresh);
+        self.commits += 1;
         Some(2)
     }
 
@@ -513,6 +650,7 @@ impl ReviseOps for MixOps<'_> {
                 )
                 .expect("the maintained assignment covers the compacted plan");
                 self.current = self.margin();
+                self.commits += 1;
                 return Some(1);
             }
             self.eval.undo();
@@ -650,27 +788,122 @@ impl OnlinePlanner {
         demand: ClientDemand,
     ) -> Replan {
         let params = super::resolve_params(self.params, platform);
-        let plan = running.clone();
-        let eval = IncrementalEval::from_plan(&params, platform, &plan, service);
+        let eval = IncrementalEval::from_plan(&params, platform, running, service);
+        let unused = unused_by_power(platform, running);
+        self.single_round(platform, running, service, demand, params, eval, unused)
+            .0
+    }
+
+    /// One single-service revision round from a given engine + spare
+    /// list (cold-built or warm); returns the result together with the
+    /// post-round engine state and whether the round committed nothing.
+    #[allow(clippy::too_many_arguments)] // the round takes the whole warm/cold seed
+    fn single_round(
+        &self,
+        platform: &Platform,
+        running: &DeploymentPlan,
+        service: &ServiceSpec,
+        demand: ClientDemand,
+        params: ModelParams,
+        eval: IncrementalEval,
+        unused: Vec<NodeId>,
+    ) -> (Replan, IncrementalEval, Vec<NodeId>, bool) {
         let rho = eval.rho();
-        let unused = unused_by_power(platform, &plan);
         let mut ops = SingleIncOps {
             params,
             platform,
             service,
             demand,
+            plan: running.clone(),
+            eval,
+            rho,
+            unused,
+            commits: 0,
+        };
+        drive(&mut ops, self.max_changes);
+        let SingleIncOps {
             plan,
             eval,
             rho,
             unused,
+            commits,
+            ..
+        } = ops;
+        let diff = if commits == 0 {
+            PlanDiff::default()
+        } else {
+            PlanDiff::between(running, &plan)
         };
-        drive(&mut ops, self.max_changes);
-        let diff = PlanDiff::between(running, &ops.plan);
-        Replan {
-            plan: ops.plan,
-            diff,
-            rho: ops.rho,
+        (Replan { plan, diff, rho }, eval, unused, commits == 0)
+    }
+
+    /// [`replan`](OnlinePlanner::replan) with engine-state reuse across
+    /// rounds: when `warm` holds the state of a previous zero-commit
+    /// round over the same plan and service, the search seeds from that
+    /// [`IncrementalEval`] instead of rebuilding it — and a round whose
+    /// demand bit-equals that round's replays its no-change outcome in
+    /// O(1). The answer is bit-identical to a cold
+    /// [`replan`](OnlinePlanner::replan) either way; see [`WarmCache`]
+    /// for the invalidation contract. Only the incremental strategy can
+    /// run warm — the full-clone ablation invalidates and delegates.
+    pub fn replan_warm(
+        &self,
+        platform: &Platform,
+        running: &DeploymentPlan,
+        service: &ServiceSpec,
+        demand: ClientDemand,
+        warm: &mut WarmCache,
+    ) -> Replan {
+        if self.eval_strategy != EvalStrategy::Incremental {
+            warm.invalidate();
+            return self.replan(platform, running, service, demand);
         }
+        let params = super::resolve_params(self.params, platform);
+        let fingerprint = single_fingerprint(running, service);
+        let demand_bits = single_demand_bits(demand);
+        let seed = match warm.state.take() {
+            Some(s) if s.fingerprint == fingerprint => {
+                warm.hits += 1;
+                Some(s)
+            }
+            _ => {
+                warm.misses += 1;
+                None
+            }
+        };
+        let (eval, unused) = match seed {
+            Some(s) => {
+                if s.demand_bits == demand_bits && s.budget == self.max_changes {
+                    // Steady state: identical inputs replay the stored
+                    // round's no-change outcome — answer without
+                    // re-driving the search.
+                    let rho = s.eval.rho();
+                    warm.state = Some(s);
+                    return Replan {
+                        plan: running.clone(),
+                        diff: PlanDiff::default(),
+                        rho,
+                    };
+                }
+                (s.eval, s.unused)
+            }
+            None => (
+                IncrementalEval::from_plan(&params, platform, running, service),
+                unused_by_power(platform, running),
+            ),
+        };
+        let (replan, eval, unused, quiescent) =
+            self.single_round(platform, running, service, demand, params, eval, unused);
+        if quiescent {
+            warm.state = Some(WarmState {
+                eval,
+                unused,
+                fingerprint,
+                demand_bits,
+                budget: self.max_changes,
+            });
+        }
+        replan
     }
 
     /// Revises a running **multi-service** deployment for a per-service
@@ -708,10 +941,30 @@ impl OnlinePlanner {
     ) -> Result<MixReplan, PlanError> {
         assert_eq!(demand.len(), mix.len(), "one demand entry per mix service");
         let params = super::resolve_params(self.params, platform);
-        let plan = running.clone();
-        let assignment = assignment.clone();
-        let eval = IncrementalEval::from_plan_mix(&params, platform, &plan, mix, &assignment)?;
-        let unused = unused_by_power(platform, &plan);
+        let eval = IncrementalEval::from_plan_mix(&params, platform, running, mix, assignment)?;
+        let unused = unused_by_power(platform, running);
+        Ok(self
+            .mix_round(
+                platform, running, mix, assignment, demand, params, eval, unused,
+            )
+            .0)
+    }
+
+    /// One mix revision round from a given engine + spare list
+    /// (cold-built or warm); returns the result together with the
+    /// post-round engine state and whether the round committed nothing.
+    #[allow(clippy::too_many_arguments)]
+    fn mix_round(
+        &self,
+        platform: &Platform,
+        running: &DeploymentPlan,
+        mix: &ServiceMix,
+        assignment: &ServerAssignment,
+        demand: &MixDemand,
+        params: ModelParams,
+        eval: IncrementalEval,
+        unused: Vec<NodeId>,
+    ) -> (MixReplan, IncrementalEval, Vec<NodeId>, bool) {
         // Normalize the demand semantics once into per-service divisors
         // (zero = that component never binds) plus a scheduling divisor.
         // Any unbounded entry falls back to the mix shares with a unit
@@ -738,8 +991,8 @@ impl OnlinePlanner {
             platform,
             mix,
             demand,
-            plan,
-            assignment,
+            plan: running.clone(),
+            assignment: assignment.clone(),
             eval,
             reassigned: Vec::new(),
             unused,
@@ -747,16 +1000,120 @@ impl OnlinePlanner {
             sched_divisor,
             services,
             current,
+            commits: 0,
         };
         drive(&mut ops, self.max_changes);
-        let diff = PlanDiff::between(running, &ops.plan);
-        Ok(MixReplan {
-            report: ops.eval.mix_report(),
-            plan: ops.plan,
-            assignment: ops.assignment,
-            diff,
-            reassigned: ops.reassigned,
-        })
+        let MixOps {
+            plan,
+            assignment,
+            eval,
+            reassigned,
+            unused,
+            commits,
+            ..
+        } = ops;
+        let diff = if commits == 0 {
+            PlanDiff::default()
+        } else {
+            PlanDiff::between(running, &plan)
+        };
+        let report = eval.mix_report();
+        (
+            MixReplan {
+                report,
+                plan,
+                assignment,
+                diff,
+                reassigned,
+            },
+            eval,
+            unused,
+            commits == 0,
+        )
+    }
+
+    /// [`replan_mix`](OnlinePlanner::replan_mix) with engine-state
+    /// reuse across rounds: when `warm` holds the state of a previous
+    /// zero-commit round over the same plan, mix, and assignment, the
+    /// search seeds from that [`IncrementalEval`] (tournament tree and
+    /// per-service running sums intact) instead of paying the O(n)
+    /// rebuild plus the O(n log n) spare-node scan — and a round whose
+    /// demand vector bit-equals that round's replays its no-change
+    /// outcome in O(S). The answer is bit-identical to a cold
+    /// [`replan_mix`](OnlinePlanner::replan_mix) either way; see
+    /// [`WarmCache`] for the invalidation contract. Only the
+    /// incremental strategy can run warm — the full-clone ablation
+    /// invalidates and delegates.
+    ///
+    /// # Errors
+    /// [`PlanError`] when `assignment` does not cover the running
+    /// plan's servers or points outside the mix.
+    ///
+    /// # Panics
+    /// Panics when `demand` does not cover the mix's services.
+    pub fn replan_mix_warm(
+        &self,
+        platform: &Platform,
+        running: &DeploymentPlan,
+        mix: &ServiceMix,
+        assignment: &ServerAssignment,
+        demand: &MixDemand,
+        warm: &mut WarmCache,
+    ) -> Result<MixReplan, PlanError> {
+        if self.eval_strategy != EvalStrategy::Incremental {
+            warm.invalidate();
+            return self.replan_mix(platform, running, mix, assignment, demand);
+        }
+        assert_eq!(demand.len(), mix.len(), "one demand entry per mix service");
+        let params = super::resolve_params(self.params, platform);
+        let fingerprint = mix_fingerprint(running, mix, assignment);
+        let demand_bits = mix_demand_bits(demand);
+        let seed = match warm.state.take() {
+            Some(s) if s.fingerprint == fingerprint => {
+                warm.hits += 1;
+                Some(s)
+            }
+            _ => {
+                warm.misses += 1;
+                None
+            }
+        };
+        let (eval, unused) = match seed {
+            Some(s) => {
+                if s.demand_bits == demand_bits && s.budget == self.max_changes {
+                    // Steady state: identical inputs replay the stored
+                    // round's no-change outcome — answer without
+                    // re-driving the search.
+                    let report = s.eval.mix_report();
+                    warm.state = Some(s);
+                    return Ok(MixReplan {
+                        report,
+                        plan: running.clone(),
+                        assignment: assignment.clone(),
+                        diff: PlanDiff::default(),
+                        reassigned: Vec::new(),
+                    });
+                }
+                (s.eval, s.unused)
+            }
+            None => (
+                IncrementalEval::from_plan_mix(&params, platform, running, mix, assignment)?,
+                unused_by_power(platform, running),
+            ),
+        };
+        let (replan, eval, unused, quiescent) = self.mix_round(
+            platform, running, mix, assignment, demand, params, eval, unused,
+        );
+        if quiescent {
+            warm.state = Some(WarmState {
+                eval,
+                unused,
+                fingerprint,
+                demand_bits,
+                budget: self.max_changes,
+            });
+        }
+        Ok(replan)
     }
 
     /// The pre-incremental clone+full-eval probing (ablation baseline).

@@ -15,7 +15,7 @@
 //!   quality, no disruption bound (maintenance windows, cold restarts).
 
 use super::improve;
-use super::online::{MixReplan, Replan};
+use super::online::{MixReplan, Replan, WarmCache};
 use super::{MixPlanner, PlannerError};
 use crate::model::mix::ServerAssignment;
 use crate::model::ModelParams;
@@ -142,6 +142,37 @@ pub trait Revise {
         assignment: &ServerAssignment,
         demand: &MixDemand,
     ) -> Result<MixReplan, ReviseError>;
+
+    /// [`revise_mix`](Revise::revise_mix) with engine-state reuse: a
+    /// backend that can seed its search from state cached in `warm`
+    /// (see [`WarmCache`]) overrides this to skip rebuilding its
+    /// evaluation from scratch on steady-state rounds. The contract is
+    /// strict: the answer must be **bit-identical** to
+    /// [`revise_mix`](Revise::revise_mix) on the same inputs — warm
+    /// state accelerates the search, never changes it. The default
+    /// implementation invalidates `warm` and delegates cold, so
+    /// backends without reusable state (e.g. [`Rebalancer`]) stay
+    /// correct for free.
+    ///
+    /// The *caller* owns invalidation: any mutation of the running
+    /// plan, mix, or assignment outside this method must be followed by
+    /// [`WarmCache::invalidate`].
+    ///
+    /// # Errors
+    /// [`ReviseError`] when the running state is inconsistent or the
+    /// backend cannot produce a plan.
+    fn revise_mix_warm(
+        &self,
+        platform: &Platform,
+        running: &DeploymentPlan,
+        mix: &ServiceMix,
+        assignment: &ServerAssignment,
+        demand: &MixDemand,
+        warm: &mut WarmCache,
+    ) -> Result<MixReplan, ReviseError> {
+        warm.invalidate();
+        self.revise_mix(platform, running, mix, assignment, demand)
+    }
 }
 
 impl Revise for super::OnlinePlanner {
@@ -168,6 +199,18 @@ impl Revise for super::OnlinePlanner {
         demand: &MixDemand,
     ) -> Result<MixReplan, ReviseError> {
         Ok(self.replan_mix(platform, running, mix, assignment, demand)?)
+    }
+
+    fn revise_mix_warm(
+        &self,
+        platform: &Platform,
+        running: &DeploymentPlan,
+        mix: &ServiceMix,
+        assignment: &ServerAssignment,
+        demand: &MixDemand,
+        warm: &mut WarmCache,
+    ) -> Result<MixReplan, ReviseError> {
+        Ok(self.replan_mix_warm(platform, running, mix, assignment, demand, warm)?)
     }
 }
 

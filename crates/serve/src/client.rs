@@ -59,11 +59,11 @@ impl From<ServeError> for RemoteError {
 ///
 /// let dir = std::env::temp_dir().join(format!("adept-serve-doc-{}", std::process::id()));
 /// let _ = std::fs::remove_dir_all(&dir);
-/// let daemon = Daemon::start(ServeConfig {
-///     addr: "127.0.0.1:0".into(),
-///     journal_dir: dir.clone(),
-///     platforms: vec![("lyon8".into(), generator::lyon_cluster(8))],
-/// })
+/// let daemon = Daemon::start(ServeConfig::new(
+///     "127.0.0.1:0",
+///     dir.clone(),
+///     vec![("lyon8".into(), generator::lyon_cluster(8))],
+/// ))
 /// .expect("daemon boots");
 ///
 /// let mut client = ServeClient::connect(daemon.addr()).expect("daemon is listening");

@@ -17,6 +17,7 @@
 //! reported per-tenant in the `status` frame instead of aborting the
 //! whole daemon — one corrupt tenant must not take down the others.
 
+use crate::cache::{CacheLookup, PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
 use crate::error::ServeError;
 use crate::json::Json;
 use crate::session::{validate_tenant_id, TenantSession};
@@ -24,9 +25,10 @@ use crate::wire::{
     demand_field, err_response, executions_field, f64_array, objective_field, ok_response,
     services_field, str_field, DaemonStatus, PlanSummary, Request, SessionConfig,
 };
-use adept_core::planner::MixPlanner;
+use adept_core::model::mix::MixReport;
+use adept_core::planner::{MixObjective, MixPlan, MixPlanner, OnlinePlanner};
 use adept_platform::Platform;
-use adept_workload::MixDemand;
+use adept_workload::{MixDemand, ServiceMix};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -49,6 +51,32 @@ pub struct ServeConfig {
     pub journal_dir: PathBuf,
     /// Named platform catalogs served to every tenant.
     pub platforms: Vec<(String, Platform)>,
+    /// Thread warm incremental-engine state across each tenant's replan
+    /// rounds (default `true`). An ablation flag: answers are
+    /// bit-identical either way, only replan latency differs.
+    pub warm_start: bool,
+    /// Entry capacity of the shared cross-tenant plan cache
+    /// ([`DEFAULT_PLAN_CACHE_CAPACITY`] by default); `0` disables
+    /// caching. Memory grows as `capacity × O(plan size)`.
+    pub plan_cache_capacity: usize,
+}
+
+impl ServeConfig {
+    /// A config with the performance defaults: warm-started replanning
+    /// on, a [`DEFAULT_PLAN_CACHE_CAPACITY`]-entry plan cache.
+    pub fn new(
+        addr: impl Into<String>,
+        journal_dir: impl Into<PathBuf>,
+        platforms: Vec<(String, Platform)>,
+    ) -> ServeConfig {
+        ServeConfig {
+            addr: addr.into(),
+            journal_dir: journal_dir.into(),
+            platforms,
+            warm_start: true,
+            plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+        }
+    }
 }
 
 /// One tenant slot: `None` while a drain is underway, so concurrent
@@ -63,6 +91,10 @@ struct SharedState {
     /// `(tenant, error code, message)` for journals that failed to
     /// resume at startup.
     resume_errors: Mutex<Vec<(String, String, String)>>,
+    /// The shared cross-tenant plan cache (its own internal lock).
+    cache: PlanCache,
+    /// Warm-replanning ablation flag, threaded into every session.
+    warm_start: bool,
     shutdown: AtomicBool,
 }
 
@@ -105,6 +137,8 @@ impl Daemon {
             journal_dir: config.journal_dir,
             tenants: Mutex::new(BTreeMap::new()),
             resume_errors: Mutex::new(Vec::new()),
+            cache: PlanCache::new(config.plan_cache_capacity),
+            warm_start: config.warm_start,
             shutdown: AtomicBool::new(false),
         });
         resume_all(&state);
@@ -188,7 +222,8 @@ fn resume_all(state: &Arc<SharedState>) {
             .and_then(|s| s.to_str())
             .unwrap_or_default()
             .to_string();
-        match TenantSession::resume(&path, &lookup) {
+        // Replay depends only on the journal — never on the plan cache.
+        match TenantSession::resume(&path, &lookup, state.warm_start) {
             Ok(Some(session)) => {
                 state
                     .tenants
@@ -376,8 +411,8 @@ fn plan(params: &Json, state: &Arc<SharedState>) -> Result<Json, ServeError> {
             d
         }
     };
-    let planner = MixPlanner::with_objective(objective_field(params)?);
-    let got = planner.plan_mix(platform, &mix, &demand)?;
+    let objective = objective_field(params)?;
+    let got = plan_with_cache(state, platform, &mix, objective, &demand)?;
     let mut per_service = vec![0u64; mix.len()];
     for &service in got.assignment.service_of.values() {
         if let Some(n) = per_service.get_mut(service) {
@@ -395,6 +430,65 @@ fn plan(params: &Json, state: &Arc<SharedState>) -> Result<Json, ServeError> {
         ("plan", summary.to_json()),
         ("objective_value", Json::num(got.objective_value)),
     ]))
+}
+
+/// Answers a stateless planning question through the shared cache.
+///
+/// Three outcomes, in preference order:
+///
+/// 1. **Exact hit** — the cache holds the canonical cold answer for
+///    bit-identical inputs; return it (deterministic planner ⇒ equal to
+///    recomputing).
+/// 2. **Near hit** — a neighboring entry seeds an unbounded-budget
+///    revision toward the queried demand: the search is accelerated,
+///    and the revised answer is *not* inserted (only canonical cold
+///    results populate the cache). A revision failure falls back cold.
+/// 3. **Miss** — plan cold and insert the result for the next caller.
+fn plan_with_cache(
+    state: &Arc<SharedState>,
+    platform: &Arc<Platform>,
+    mix: &ServiceMix,
+    objective: MixObjective,
+    demand: &MixDemand,
+) -> Result<MixPlan, ServeError> {
+    let rates: Vec<f64> = (0..demand.len()).map(|j| demand.rate(j)).collect();
+    let cold = |state: &Arc<SharedState>| -> Result<MixPlan, ServeError> {
+        let got = MixPlanner::with_objective(objective).plan_mix(platform, mix, demand)?;
+        state.cache.insert(platform, mix, objective, &rates, &got);
+        Ok(got)
+    };
+    match state.cache.lookup(platform, mix, objective, &rates, true) {
+        CacheLookup::Exact(hit) => Ok(*hit),
+        CacheLookup::Near(seed) => {
+            let reviser = OnlinePlanner {
+                max_changes: usize::MAX,
+                ..OnlinePlanner::default()
+            };
+            match reviser.replan_mix(platform, &seed.plan, mix, &seed.assignment, demand) {
+                Ok(replan) => Ok(MixPlan {
+                    objective_value: objective_value(objective, mix, &replan.report),
+                    plan: replan.plan,
+                    assignment: replan.assignment,
+                    report: replan.report,
+                }),
+                Err(_) => cold(state),
+            }
+        }
+        CacheLookup::Miss => cold(state),
+    }
+}
+
+/// The serve-side mirror of the planner's objective scoring, computed
+/// from a [`MixReport`] (for near-tier revisions, whose reports come
+/// from the reviser rather than [`MixPlanner`]).
+fn objective_value(objective: MixObjective, mix: &ServiceMix, report: &MixReport) -> f64 {
+    match objective {
+        MixObjective::WeightedMin => report.rho,
+        MixObjective::WeightedSum => (0..mix.len())
+            .filter(|&j| mix.share(j) > 0.0)
+            .map(|j| mix.share(j) * report.rho_sched.min(report.rho_service[j]))
+            .sum(),
+    }
 }
 
 fn register(params: &Json, state: &Arc<SharedState>) -> Result<Json, ServeError> {
@@ -433,6 +527,8 @@ fn register(params: &Json, state: &Arc<SharedState>) -> Result<Json, ServeError>
         &services,
         demand,
         &config,
+        Some(&state.cache),
+        state.warm_start,
     ) {
         Ok(session) => {
             let status = session.status();
@@ -490,5 +586,6 @@ fn daemon_status(state: &Arc<SharedState>) -> DaemonStatus {
         platforms: state.platforms.keys().cloned().collect(),
         tenants,
         resume_errors: state.resume_errors.lock().expect("not poisoned").clone(),
+        cache: state.cache.stats(),
     }
 }

@@ -53,9 +53,23 @@
 //! `Arc` platform, `Box<dyn Revise + Send>` reviser), which the
 //! assertions below pin down.
 //!
+//! # Warm replanning + the shared plan cache
+//!
+//! Two layers accelerate the *search* without ever changing an answer:
+//! sessions thread warm incremental-engine state across replan rounds
+//! ([`ControllerConfig::warm_start`](adept_control::ControllerConfig),
+//! the daemon's [`ServeConfig::warm_start`] flag), and one [`PlanCache`]
+//! — shared by every tenant — answers repeated `plan`/`register`
+//! questions from canonical cached results (exact tier, bit-identical)
+//! or seeds a revision from a near neighbor (near tier, `plan` only).
+//! Replay bypasses both concerns: resume depends only on the journal,
+//! and warm answers are bit-equal to cold ones, so restart determinism
+//! is preserved — the restart tests assert it.
+//!
 //! [`JournalError::ReplayDivergence`]: crate::JournalError::ReplayDivergence
 //! [`JournalError::FingerprintMismatch`]: crate::JournalError::FingerprintMismatch
 
+pub mod cache;
 pub mod client;
 pub mod daemon;
 pub mod error;
@@ -64,6 +78,7 @@ pub mod json;
 pub mod session;
 pub mod wire;
 
+pub use cache::{CacheStats, PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use client::{RemoteError, ServeClient};
 pub use daemon::{Daemon, DaemonHandle, ServeConfig};
 pub use error::{ErrorCode, JournalError, ServeError};

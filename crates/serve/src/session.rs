@@ -8,6 +8,7 @@
 //! daemon's unit of concurrency — it is `Send` and lives behind one
 //! mutex per tenant, so tenants never serialize against each other.
 
+use crate::cache::{CacheLookup, PlanCache};
 use crate::error::{JournalError, ServeError};
 use crate::journal::{Journal, Record};
 use crate::wire::{
@@ -16,7 +17,7 @@ use crate::wire::{
 };
 use adept_control::controller::{ExecutionSample, Migration, Observations};
 use adept_control::{Controller, ControllerConfig, Hysteresis, TriggerPolicy};
-use adept_core::planner::{MixPlanner, OnlinePlanner};
+use adept_core::planner::{MixObjective, MixPlanner, OnlinePlanner};
 use adept_godiet::GoDiet;
 use adept_hierarchy::NodeChange;
 use adept_platform::{Mflop, Platform};
@@ -76,7 +77,7 @@ fn godiet_for(config: &SessionConfig) -> GoDiet {
     }
 }
 
-fn controller_config(config: &SessionConfig) -> ControllerConfig {
+fn controller_config(config: &SessionConfig, warm_start: bool) -> ControllerConfig {
     ControllerConfig {
         triggers: vec![TriggerPolicy::ForecastDrift {
             threshold: config.drift_threshold,
@@ -88,6 +89,7 @@ fn controller_config(config: &SessionConfig) -> ControllerConfig {
         demand_alpha: config.demand_alpha,
         wapp_alpha: config.wapp_alpha,
         headroom: config.headroom,
+        warm_start,
     }
 }
 
@@ -114,6 +116,12 @@ impl TenantSession {
     /// [`ServeError::Planner`] when no deployment fits;
     /// [`ServeError::Journal`] when the tenant id is already claimed by
     /// a journal on disk.
+    ///
+    /// `cache` is the daemon's shared plan cache (exact tier only: a hit
+    /// is bit-identical to planning cold, so the journaled answer — and
+    /// its cold-planning replay — are unaffected). `warm_start` threads
+    /// the daemon's warm-replanning ablation flag into the controller.
+    #[allow(clippy::too_many_arguments)]
     pub fn register(
         journal_dir: &Path,
         tenant: &str,
@@ -122,6 +130,8 @@ impl TenantSession {
         services: &[ServiceDef],
         demand: Vec<f64>,
         config: &SessionConfig,
+        cache: Option<&PlanCache>,
+        warm_start: bool,
     ) -> Result<TenantSession, ServeError> {
         validate_tenant_id(tenant)?;
         let mix = build_mix(services)?;
@@ -134,8 +144,28 @@ impl TenantSession {
             )));
         }
         // Plan before claiming the journal: a tenant that cannot be
-        // planned leaves no file behind.
-        let initial = MixPlanner::default().plan_mix(&platform, &mix, &mix_demand)?;
+        // planned leaves no file behind. The shared cache may already
+        // hold the canonical answer for these exact inputs (another
+        // tenant asked the same question); `MixPlanner` is
+        // deterministic, so an exact hit equals planning cold bit for
+        // bit and replay — which always plans cold — still reproduces
+        // the session.
+        let cached = cache.and_then(|c| {
+            match c.lookup(&platform, &mix, MixObjective::WeightedMin, &demand, false) {
+                CacheLookup::Exact(hit) => Some(*hit),
+                _ => None,
+            }
+        });
+        let initial = match cached {
+            Some(hit) => hit,
+            None => {
+                let cold = MixPlanner::default().plan_mix(&platform, &mix, &mix_demand)?;
+                if let Some(c) = cache {
+                    c.insert(&platform, &mix, MixObjective::WeightedMin, &demand, &cold);
+                }
+                cold
+            }
+        };
         let register = Record::Register {
             tenant: tenant.to_string(),
             platform: platform_name.to_string(),
@@ -156,7 +186,7 @@ impl TenantSession {
                 ..OnlinePlanner::default()
             }),
             godiet_for(config),
-            controller_config(config),
+            controller_config(config, warm_start),
         );
         Ok(TenantSession {
             tenant: tenant.to_string(),
@@ -183,6 +213,13 @@ impl TenantSession {
     /// A journal ending in a `drain` record belongs to a finished
     /// session and resumes as `Ok(None)`.
     ///
+    /// Replay never consults the shared plan cache — resuming must
+    /// depend only on the journal, not on what other tenants planned
+    /// since it was written. `warm_start` may differ from the crashed
+    /// process's setting without affecting the replayed answers: warm
+    /// replanning is bit-identical to cold (only its latency differs),
+    /// which the restart tests assert.
+    ///
     /// # Errors
     /// [`ServeError::Journal`] for every journal defect;
     /// [`ServeError::UnknownPlatform`] when the journaled platform name
@@ -190,6 +227,7 @@ impl TenantSession {
     pub fn resume(
         path: &Path,
         lookup: &dyn Fn(&str) -> Option<Arc<Platform>>,
+        warm_start: bool,
     ) -> Result<Option<TenantSession>, ServeError> {
         let file_tenant = path
             .file_stem()
@@ -251,7 +289,7 @@ impl TenantSession {
                 ..OnlinePlanner::default()
             }),
             godiet_for(config),
-            controller_config(config),
+            controller_config(config, warm_start),
         );
         let mut session = TenantSession {
             tenant: tenant.clone(),
@@ -422,6 +460,7 @@ impl TenantSession {
             platform: self.platform_name.clone(),
             ticks: self.controller.ticks(),
             replans: self.controller.replans(),
+            warm_replans: self.controller.warm_replans(),
             migrations: self.controller.migrations(),
             rejected_samples: self.controller.rejected_samples(),
             plan: self.plan_summary(),
@@ -591,6 +630,10 @@ mod tests {
     }
 
     fn register(dir: &Path, tenant: &str) -> TenantSession {
+        register_cached(dir, tenant, None)
+    }
+
+    fn register_cached(dir: &Path, tenant: &str, cache: Option<&PlanCache>) -> TenantSession {
         TenantSession::register(
             dir,
             tenant,
@@ -602,6 +645,8 @@ mod tests {
                 demand_alpha: 1.0,
                 ..SessionConfig::default()
             },
+            cache,
+            true,
         )
         .expect("registration plans and claims cleanly")
     }
@@ -643,7 +688,7 @@ mod tests {
         drop(session);
 
         let lookup = |name: &str| (name == "lyon30").then(platform);
-        let resumed = TenantSession::resume(&journal_path(&dir, "acme"), &lookup)
+        let resumed = TenantSession::resume(&journal_path(&dir, "acme"), &lookup, true)
             .unwrap()
             .expect("journal is live, not drained");
         assert_eq!(resumed.status(), live_status);
@@ -658,12 +703,12 @@ mod tests {
         drop(session);
         let path = journal_path(&dir, "acme");
 
-        let err = TenantSession::resume(&path, &|_| None).unwrap_err();
+        let err = TenantSession::resume(&path, &|_| None, true).unwrap_err();
         assert!(matches!(err, ServeError::UnknownPlatform(_)));
 
         // Same name, different shape: the catalog changed underneath.
         let other = Arc::new(generator::lyon_cluster(31));
-        let err = TenantSession::resume(&path, &|_| Some(other.clone())).unwrap_err();
+        let err = TenantSession::resume(&path, &|_| Some(other.clone()), true).unwrap_err();
         assert!(matches!(
             err,
             ServeError::Journal(JournalError::FingerprintMismatch { .. })
@@ -681,7 +726,7 @@ mod tests {
         session.journal.append(&Record::Drain).unwrap();
         drop(session);
         let lookup = |name: &str| (name == "lyon30").then(platform);
-        let resumed = TenantSession::resume(&journal_path(&dir, "acme"), &lookup).unwrap();
+        let resumed = TenantSession::resume(&journal_path(&dir, "acme"), &lookup, true).unwrap();
         assert!(resumed.is_none());
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -743,11 +788,66 @@ mod tests {
             .replace("\"servers_after\":", "\"servers_after\":9");
         std::fs::write(&path, tampered).unwrap();
         let lookup = |name: &str| (name == "lyon30").then(platform);
-        let err = TenantSession::resume(&path, &lookup).unwrap_err();
+        let err = TenantSession::resume(&path, &lookup, true).unwrap_err();
         assert!(matches!(
             err,
             ServeError::Journal(JournalError::ReplayDivergence { .. })
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_tenant_registers_from_an_exact_cache_hit() {
+        let dir = tmp_dir("cache-register");
+        let cache = PlanCache::new(8);
+        let first = register_cached(&dir, "acme", Some(&cache));
+        assert_eq!(cache.stats().insertions, 1, "cold register fills the cache");
+        let second = register_cached(&dir, "globex", Some(&cache));
+        let stats = cache.stats();
+        assert_eq!(stats.exact_hits, 1, "identical question hits exactly");
+        assert_eq!(stats.insertions, 1, "a hit inserts nothing new");
+        // The cached answer is the cold answer, bit for bit.
+        let (a, b) = (first.status().plan, second.status().plan);
+        assert_eq!(a.rho.to_bits(), b.rho.to_bits());
+        assert_eq!(a.servers, b.servers);
+        assert_eq!(a.per_service_servers, b.per_service_servers);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn warm_sessions_count_warm_replans_and_cold_sessions_do_not() {
+        let dir = tmp_dir("warm-count");
+        let mut warm = register(&dir, "acme");
+        let mut cold = TenantSession::register(
+            &dir,
+            "globex",
+            "lyon30",
+            platform(),
+            &services2(),
+            vec![2.0, 0.3],
+            &SessionConfig {
+                demand_alpha: 1.0,
+                ..SessionConfig::default()
+            },
+            None,
+            false,
+        )
+        .expect("registration plans and claims cleanly");
+        // Force replan rounds; steady demand keeps the engine warm.
+        for _ in 0..3 {
+            warm.migrate(vec![2.0, 0.3]).unwrap();
+            cold.migrate(vec![2.0, 0.3]).unwrap();
+        }
+        assert!(
+            warm.status().warm_replans > 0,
+            "warm mode reuses the engine"
+        );
+        assert_eq!(cold.status().warm_replans, 0, "ablation mode stays cold");
+        assert_eq!(
+            warm.status().plan.rho.to_bits(),
+            cold.status().plan.rho.to_bits(),
+            "warm replanning must not change the answer"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -14,6 +14,7 @@
 //! plan/validate call, `register`/`observe`/`replan`/`migrate`/`drain`
 //! are the tenant lifecycle, `status` is the operator's read side.
 
+use crate::cache::CacheStats;
 use crate::error::{ErrorCode, ServeError};
 use crate::json::Json;
 use adept_control::controller::ExecutionSample;
@@ -550,6 +551,9 @@ pub struct TenantStatus {
     pub ticks: u64,
     /// Replan rounds run (including no-op rounds).
     pub replans: u64,
+    /// Replan rounds that started from warm incremental-engine state
+    /// instead of a cold rebuild (0 when `warm_start` is off).
+    pub warm_replans: u64,
     /// Migrations executed.
     pub migrations: u64,
     /// Corrupt samples dropped.
@@ -567,6 +571,7 @@ impl TenantStatus {
             ("platform", Json::str(&self.platform)),
             ("ticks", Json::num(self.ticks as f64)),
             ("replans", Json::num(self.replans as f64)),
+            ("warm_replans", Json::num(self.warm_replans as f64)),
             ("migrations", Json::num(self.migrations as f64)),
             ("rejected_samples", Json::num(self.rejected_samples as f64)),
             ("plan", self.plan.to_json()),
@@ -580,6 +585,7 @@ impl TenantStatus {
             platform: str_field(v, "platform")?,
             ticks: u64_field(v, "ticks")?,
             replans: u64_field(v, "replans")?,
+            warm_replans: u64_field(v, "warm_replans")?,
             migrations: u64_field(v, "migrations")?,
             rejected_samples: u64_field(v, "rejected_samples")?,
             plan: PlanSummary::from_json(field(v, "plan")?)?,
@@ -598,6 +604,32 @@ pub struct DaemonStatus {
     /// Journals that failed to resume at daemon start:
     /// `(tenant, code, message)`.
     pub resume_errors: Vec<(String, String, String)>,
+    /// Counters of the shared cross-tenant plan cache.
+    pub cache: CacheStats,
+}
+
+impl CacheStats {
+    pub(crate) fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("capacity", Json::num(self.capacity as f64)),
+            ("entries", Json::num(self.entries as f64)),
+            ("exact_hits", Json::num(self.exact_hits as f64)),
+            ("near_hits", Json::num(self.near_hits as f64)),
+            ("misses", Json::num(self.misses as f64)),
+            ("insertions", Json::num(self.insertions as f64)),
+        ])
+    }
+
+    pub(crate) fn from_json(v: &Json) -> Result<CacheStats, ServeError> {
+        Ok(CacheStats {
+            capacity: u64_field(v, "capacity")?,
+            entries: u64_field(v, "entries")?,
+            exact_hits: u64_field(v, "exact_hits")?,
+            near_hits: u64_field(v, "near_hits")?,
+            misses: u64_field(v, "misses")?,
+            insertions: u64_field(v, "insertions")?,
+        })
+    }
 }
 
 impl DaemonStatus {
@@ -626,6 +658,7 @@ impl DaemonStatus {
                         .collect(),
                 ),
             ),
+            ("cache", self.cache.to_json()),
         ])
     }
 
@@ -662,6 +695,7 @@ impl DaemonStatus {
             platforms,
             tenants,
             resume_errors,
+            cache: CacheStats::from_json(field(v, "cache")?)?,
         })
     }
 }
@@ -846,6 +880,43 @@ mod tests {
             rho_service: vec![6.0, 5.0],
         };
         assert_eq!(ReplanPreview::from_json(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn status_frames_roundtrip_counters() {
+        let tenant = TenantStatus {
+            tenant: "acme".into(),
+            platform: "lyon30".into(),
+            ticks: 34,
+            replans: 9,
+            warm_replans: 7,
+            migrations: 2,
+            rejected_samples: 1,
+            plan: PlanSummary {
+                rho: 10.0,
+                rho_service: vec![6.0, 4.0],
+                servers: 12,
+                agents: 2,
+                per_service_servers: vec![7, 5],
+            },
+            forecast: vec![1.0, 0.5],
+        };
+        assert_eq!(TenantStatus::from_json(&tenant.to_json()).unwrap(), tenant);
+
+        let daemon = DaemonStatus {
+            platforms: vec!["lyon30".into()],
+            tenants: vec![tenant],
+            resume_errors: vec![("stale".into(), "replay_divergence".into(), "rho".into())],
+            cache: CacheStats {
+                capacity: 64,
+                entries: 3,
+                exact_hits: 5,
+                near_hits: 2,
+                misses: 4,
+                insertions: 4,
+            },
+        };
+        assert_eq!(DaemonStatus::from_json(&daemon.to_json()).unwrap(), daemon);
     }
 
     #[test]

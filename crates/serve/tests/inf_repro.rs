@@ -6,33 +6,43 @@ use std::io::{BufRead, BufReader, Write};
 fn inf_rate_poisons_journal() {
     let dir = std::env::temp_dir().join(format!("adept-inf-repro-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let daemon = Daemon::start(ServeConfig {
-        addr: "127.0.0.1:0".into(),
-        journal_dir: dir.clone(),
-        platforms: vec![("lyon8".into(), generator::lyon_cluster(8))],
-    })
+    let daemon = Daemon::start(ServeConfig::new(
+        "127.0.0.1:0",
+        dir.clone(),
+        vec![("lyon8".into(), generator::lyon_cluster(8))],
+    ))
     .unwrap();
     let mut client = ServeClient::connect(daemon.addr()).unwrap();
-    let services = [ServiceDef { name: "s".into(), wapp_mflop: 59.6, weight: 1.0 }];
-    client.register("t1", "lyon8", &services, &[1.0], &SessionConfig::default()).unwrap();
+    let services = [ServiceDef {
+        name: "s".into(),
+        wapp_mflop: 59.6,
+        weight: 1.0,
+    }];
+    client
+        .register("t1", "lyon8", &services, &[1.0], &SessionConfig::default())
+        .unwrap();
 
     // Raw socket: send 1e999 (parses to f64::INFINITY server-side).
     let mut raw = std::net::TcpStream::connect(daemon.addr()).unwrap();
-    raw.write_all(b"{\"id\":1,\"method\":\"observe\",\"params\":{\"tenant\":\"t1\",\"rates\":[1e999]}}\n").unwrap();
+    raw.write_all(
+        b"{\"id\":1,\"method\":\"observe\",\"params\":{\"tenant\":\"t1\",\"rates\":[1e999]}}\n",
+    )
+    .unwrap();
     let mut reader = BufReader::new(raw.try_clone().unwrap());
     let mut resp = String::new();
     reader.read_line(&mut resp).unwrap();
     eprintln!("raw observe response: {resp}");
-    drop(reader); drop(raw);
+    drop(reader);
+    drop(raw);
 
     daemon.stop();
     let journal = std::fs::read_to_string(dir.join("t1.jsonl")).unwrap();
     eprintln!("journal:\n{journal}");
-    let daemon2 = Daemon::start(ServeConfig {
-        addr: "127.0.0.1:0".into(),
-        journal_dir: dir.clone(),
-        platforms: vec![("lyon8".into(), generator::lyon_cluster(8))],
-    })
+    let daemon2 = Daemon::start(ServeConfig::new(
+        "127.0.0.1:0",
+        dir.clone(),
+        vec![("lyon8".into(), generator::lyon_cluster(8))],
+    ))
     .unwrap();
     eprintln!("resume_errors after restart: {:?}", daemon2.resume_errors());
     daemon2.stop();

@@ -32,10 +32,12 @@ fn services() -> Vec<ServiceDef> {
 fn main() {
     let journal_dir = std::env::temp_dir().join(format!("adept-serve-demo-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&journal_dir);
-    let config = || ServeConfig {
-        addr: "127.0.0.1:0".into(),
-        journal_dir: journal_dir.clone(),
-        platforms: vec![("lyon40".into(), generator::lyon_cluster(40))],
+    let config = || {
+        ServeConfig::new(
+            "127.0.0.1:0",
+            journal_dir.clone(),
+            vec![("lyon40".into(), generator::lyon_cluster(40))],
+        )
     };
 
     // ---- Boot, and size a deployment statelessly first.
@@ -48,6 +50,19 @@ fn main() {
     println!(
         "stateless plan: {} servers / {} agents, rho {:.2} req/s (objective {:.3})",
         plan.servers, plan.agents, plan.rho, objective
+    );
+    // The same question again hits the shared plan cache exactly; a
+    // nearby demand is answered by revising the cached neighbor.
+    client
+        .plan("lyon40", &services(), Some(&[2.0, 0.3]))
+        .expect("cached");
+    client
+        .plan("lyon40", &services(), Some(&[2.1, 0.32]))
+        .expect("revised from the cached neighbor");
+    let cache = client.status().expect("status").cache;
+    println!(
+        "plan cache: {} exact hit(s), {} near hit(s), {} miss(es), {} entries",
+        cache.exact_hits, cache.near_hits, cache.misses, cache.entries
     );
 
     // ---- Two tenants share the catalog, each with its own loop.
@@ -100,8 +115,8 @@ fn main() {
     let status = client.status().expect("status");
     for t in &status.tenants {
         println!(
-            "resumed {:>6}: tick {}, {} migrations, {} servers, rho {:.2}",
-            t.tenant, t.ticks, t.migrations, t.plan.servers, t.plan.rho
+            "resumed {:>6}: tick {}, {} migrations ({}/{} replans warm), {} servers, rho {:.2}",
+            t.tenant, t.ticks, t.migrations, t.warm_replans, t.replans, t.plan.servers, t.plan.rho
         );
     }
     assert_eq!(status.tenants.len(), 2, "both tenants resumed");

@@ -166,8 +166,8 @@ pub mod prelude {
     pub use adept_core::model::{IncrementalEval, ModelParams};
     pub use adept_core::planner::{
         BalancedPlanner, EvalStrategy, HeuristicPlanner, HomogeneousCsdPlanner, MixObjective,
-        MixPlan, MixPlanner, MixReplan, OnlinePlanner, Planner, PlannerError, Rebalancer, Revise,
-        ReviseError, RoundRobinPlanner, StarPlanner, SweepPlanner,
+        MixPlan, MixPlanner, MixReplan, OnlinePlanner, Planner, PlannerError, Rebalancer, Replan,
+        Revise, ReviseError, RoundRobinPlanner, StarPlanner, SweepPlanner, WarmCache,
     };
     pub use adept_godiet::{
         DeployError, DeploymentReport, GoDiet, MigrationAction, MigrationReport, MigrationScript,
@@ -184,9 +184,9 @@ pub mod prelude {
         MiddlewareCalibration, Network, NodeId, Platform, Resource, Seconds, Site, SiteId,
     };
     pub use adept_serve::{
-        Daemon, DaemonHandle, DaemonStatus, ErrorCode, MigrationSummary, PlanSummary, RemoteError,
-        ReplanPreview, ServeClient, ServeConfig, ServeError, ServiceDef, SessionConfig,
-        TenantSession, TenantStatus, TickOutcome,
+        CacheStats, Daemon, DaemonHandle, DaemonStatus, ErrorCode, MigrationSummary, PlanCache,
+        PlanSummary, RemoteError, ReplanPreview, ServeClient, ServeConfig, ServeError, ServiceDef,
+        SessionConfig, TenantSession, TenantStatus, TickOutcome,
     };
     pub use adept_workload::{
         ArrivalProcess, ClientDemand, ClientRamp, Dgemm, MixDemand, RateForecaster,

@@ -664,6 +664,160 @@ fn site_aware_flag_is_bit_inert_on_uniform_networks() {
     }
 }
 
+/// Builds a randomized demand walk with plateaus: each drawn rate is
+/// held for 2–4 steps, so the warm engine sees both demand changes
+/// (delta-apply) and steady-state repeats (memo short-circuit).
+fn demand_walk(rng: &mut StdRng, steps: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let mut walk = Vec::with_capacity(steps);
+    while walk.len() < steps {
+        let rate = rng.gen_range(lo..hi);
+        for _ in 0..rng.gen_range(2usize..5) {
+            walk.push(rate);
+        }
+    }
+    walk.truncate(steps);
+    walk
+}
+
+#[test]
+fn warm_replan_matches_cold_replan_on_randomized_demand_walks() {
+    // The warm-started reviser must be a pure acceleration: at every
+    // step of a randomized demand walk, `replan_warm` (persistent
+    // engine state threaded across calls) and a cold `replan` of the
+    // same incumbent must produce the same plan and bit-equal ρ. The
+    // walk adopts the warm result, so any divergence would compound —
+    // and the warm path must actually engage (hits > 0), or the test
+    // would only be comparing cold to cold.
+    for (size, seed) in [(30usize, 7u64), (48, 21)] {
+        let platform = generator::heterogenized_cluster(
+            "orsay",
+            size,
+            MflopRate(400.0),
+            BackgroundLoad::default(),
+            CapacityProbe::exact(),
+            seed,
+        );
+        let service = Dgemm::new(310).service();
+        let planner = OnlinePlanner {
+            max_changes: 6,
+            ..Default::default()
+        };
+        let mut running = HeuristicPlanner::paper()
+            .plan(&platform, &service, ClientDemand::Target(2.0))
+            .expect("platform fits the seed demand");
+        let mut warm = WarmCache::new();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x3A17);
+        for (step, rate) in demand_walk(&mut rng, 60, 0.5, 8.0).into_iter().enumerate() {
+            // Occasionally simulate an external plan mutation: the
+            // caller-owned invalidation must also preserve parity.
+            if step % 17 == 16 {
+                warm.invalidate();
+            }
+            let demand = ClientDemand::Target(rate);
+            let warm_r = planner.replan_warm(&platform, &running, &service, demand, &mut warm);
+            let cold_r = planner.replan(&platform, &running, &service, demand);
+            assert!(
+                warm_r.plan.structurally_eq(&cold_r.plan),
+                "step {step} (rate {rate}): warm and cold plans diverge"
+            );
+            assert_eq!(
+                warm_r.rho.to_bits(),
+                cold_r.rho.to_bits(),
+                "step {step} (rate {rate}): warm rho must be bit-equal to cold"
+            );
+            assert_eq!(
+                warm_r.diff.len(),
+                cold_r.diff.len(),
+                "step {step} (rate {rate}): diffs diverge"
+            );
+            running = warm_r.plan;
+        }
+        assert!(
+            warm.hits() > 0,
+            "size {size}: the plateaus must engage the warm path ({} misses)",
+            warm.misses()
+        );
+    }
+}
+
+#[test]
+fn warm_mix_replan_matches_cold_on_randomized_demand_walks() {
+    // Mix counterpart: plan + assignment walk through randomized
+    // per-service demand vectors, warm vs cold in lock step. Plans,
+    // assignments, reassignments, and every reported rate must agree
+    // bit for bit at each step.
+    for (size, seed) in [(28usize, 5u64), (44, 31)] {
+        let platform = generator::heterogenized_cluster(
+            "orsay",
+            size,
+            MflopRate(400.0),
+            BackgroundLoad::default(),
+            CapacityProbe::exact(),
+            seed,
+        );
+        let mix = ServiceMix::new(vec![
+            (Dgemm::new(310).service(), 2.0),
+            (Dgemm::new(700).service(), 1.0),
+            (Dgemm::new(1000).service(), 1.0),
+        ]);
+        let planner = OnlinePlanner {
+            max_changes: 8,
+            ..Default::default()
+        };
+        let seed_demand = MixDemand::targets(vec![1.0, 0.5, 0.4]);
+        let got = MixPlanner::default()
+            .plan_mix(&platform, &mix, &seed_demand)
+            .expect("platform fits the seed demand");
+        let (mut running, mut assignment) = (got.plan, got.assignment);
+        let mut warm = WarmCache::new();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9B2E);
+        let walks: Vec<Vec<f64>> = (0..mix.len())
+            .map(|j| demand_walk(&mut rng, 40, 0.2, 2.5 - 0.5 * j as f64))
+            .collect();
+        for step in 0..40 {
+            let rates: Vec<f64> = walks.iter().map(|w| w[step]).collect();
+            let demand = MixDemand::targets(rates.clone());
+            let warm_r = planner
+                .replan_mix_warm(&platform, &running, &mix, &assignment, &demand, &mut warm)
+                .expect("revision is routine");
+            let cold_r = planner
+                .replan_mix(&platform, &running, &mix, &assignment, &demand)
+                .expect("revision is routine");
+            assert!(
+                warm_r.plan.structurally_eq(&cold_r.plan),
+                "step {step} ({rates:?}): warm and cold plans diverge"
+            );
+            assert_eq!(
+                warm_r.assignment, cold_r.assignment,
+                "step {step} ({rates:?}): assignments diverge"
+            );
+            assert_eq!(
+                warm_r.reassigned, cold_r.reassigned,
+                "step {step} ({rates:?}): reassignments diverge"
+            );
+            assert_eq!(
+                warm_r.report.rho.to_bits(),
+                cold_r.report.rho.to_bits(),
+                "step {step} ({rates:?}): mix rho must be bit-equal"
+            );
+            for j in 0..mix.len() {
+                assert_eq!(
+                    warm_r.report.rho_service[j].to_bits(),
+                    cold_r.report.rho_service[j].to_bits(),
+                    "step {step} ({rates:?}): service {j} rate must be bit-equal"
+                );
+            }
+            running = warm_r.plan;
+            assignment = warm_r.assignment;
+        }
+        assert!(
+            warm.hits() > 0,
+            "size {size}: the plateaus must engage the warm path ({} misses)",
+            warm.misses()
+        );
+    }
+}
+
 #[test]
 fn undo_is_bit_exact_after_deep_probe_chains() {
     let platform = generator::heterogenized_cluster(

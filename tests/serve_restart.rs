@@ -49,12 +49,15 @@ fn session_config() -> SessionConfig {
     }
 }
 
+/// The default daemon config: warm-started replanning **on** and the
+/// shared plan cache **enabled** — the restart test must prove replay
+/// determinism under the accelerated configuration, not a sanitized one.
 fn serve_config(dir: &Path) -> ServeConfig {
-    ServeConfig {
-        addr: "127.0.0.1:0".into(),
-        journal_dir: dir.to_path_buf(),
-        platforms: vec![("grid2x30".into(), two_site_platform())],
-    }
+    ServeConfig::new(
+        "127.0.0.1:0",
+        dir.to_path_buf(),
+        vec![("grid2x30".into(), two_site_platform())],
+    )
 }
 
 fn tmp_dir(name: &str) -> PathBuf {
@@ -95,7 +98,10 @@ fn drive(
 }
 
 /// The referee: the same scripted day run directly against the library
-/// [`Controller`], with the exact wiring `register` uses.
+/// [`Controller`], with the exact wiring `register` uses — except
+/// **cold** (`warm_start: false`, the pre-warm-start code path), so the
+/// equality assertions below prove the served warm loop is bit-identical
+/// to cold replanning, not merely self-consistent.
 fn reference_run(phases: &[(usize, [f64; 3])]) -> Controller {
     let platform = Arc::new(two_site_platform());
     let mix = ServiceMix::new(
@@ -122,6 +128,7 @@ fn reference_run(phases: &[(usize, [f64; 3])]) -> Controller {
         ControllerConfig {
             triggers: vec![TriggerPolicy::ForecastDrift { threshold: 0.2 }],
             demand_alpha: 1.0,
+            warm_start: false,
             ..Default::default()
         },
     );
@@ -192,6 +199,16 @@ fn three_tenants_survive_a_mid_day_daemon_restart() {
     assert_eq!(
         resumed_tenants, expected,
         "replay must rebuild every tenant exactly as it was at the kill"
+    );
+    // `TenantStatus` equality above includes `warm_replans`: replay
+    // reproduces even the warm-start counter. And replay itself never
+    // consults the shared plan cache — the rebooted daemon's cache is
+    // untouched until a live request arrives.
+    let c = &resumed.cache;
+    assert_eq!(
+        (c.exact_hits, c.near_hits, c.misses, c.insertions),
+        (0, 0, 0, 0),
+        "resume must bypass the plan cache entirely"
     );
 
     // ---- Second half of the day, again concurrently.
@@ -265,6 +282,103 @@ fn three_tenants_survive_a_mid_day_daemon_restart() {
 
     daemon.stop();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Warm-started replanning and the shared plan cache accelerate the
+/// *search* only: a daemon with both on and a daemon with both off must
+/// produce identical answers frame for frame — registration plans,
+/// every tick outcome, every operator migration, and the final model
+/// state (ρ compared by `==`, i.e. bit-equal for these values). Only
+/// the `warm_replans` counter may differ, by design.
+#[test]
+fn warm_and_cache_ablation_is_answer_invariant() {
+    let accel_dir = tmp_dir("ablation-accel");
+    let cold_dir = tmp_dir("ablation-cold");
+    let accel = Daemon::start(serve_config(&accel_dir)).expect("accelerated daemon boots");
+    let mut cold_config = serve_config(&cold_dir);
+    cold_config.warm_start = false;
+    cold_config.plan_cache_capacity = 0;
+    let cold = Daemon::start(cold_config).expect("ablated daemon boots");
+
+    let mut fast = ServeClient::connect(accel.addr()).unwrap();
+    let mut slow = ServeClient::connect(cold.addr()).unwrap();
+    let tenants = ["acme", "globex"];
+    for tenant in tenants {
+        let a = fast
+            .register(
+                tenant,
+                "grid2x30",
+                &services3(),
+                &PLANNED,
+                &session_config(),
+            )
+            .expect("accelerated register");
+        let b = slow
+            .register(
+                tenant,
+                "grid2x30",
+                &services3(),
+                &PLANNED,
+                &session_config(),
+            )
+            .expect("cold register");
+        assert_eq!(a, b, "{tenant}: registration answers must match");
+    }
+    // The second tenant asked the exact question the first did: on the
+    // accelerated daemon that is a cross-tenant exact cache hit; the
+    // ablated daemon has no cache at all.
+    assert!(
+        fast.status().unwrap().cache.exact_hits >= 1,
+        "globex's registration must hit acme's cached plan"
+    );
+    assert_eq!(slow.status().unwrap().cache.capacity, 0);
+
+    // The scripted day, lock-step on both daemons.
+    for (ticks, rates) in &PHASES {
+        for _ in 0..*ticks {
+            for tenant in tenants {
+                let a = fast.observe(tenant, rates, &[]).expect("accelerated tick");
+                let b = slow.observe(tenant, rates, &[]).expect("cold tick");
+                assert_eq!(a, b, "{tenant}: tick outcomes must match");
+            }
+        }
+    }
+    // Steady-state operator replans: the first quiesces (and warms the
+    // engine on the accelerated daemon), the ones after start warm there
+    // — and must still answer exactly like the cold daemon.
+    for _ in 0..3 {
+        for tenant in tenants {
+            let a = fast
+                .migrate(tenant, &PHASES[4].1)
+                .expect("accelerated replan");
+            let b = slow.migrate(tenant, &PHASES[4].1).expect("cold replan");
+            assert_eq!(a, b, "{tenant}: operator replans must match");
+        }
+    }
+
+    let mut fast_tenants = fast.status().unwrap().tenants;
+    let mut slow_tenants = slow.status().unwrap().tenants;
+    fast_tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    slow_tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    for (warm, cold) in fast_tenants.iter().zip(&slow_tenants) {
+        assert!(
+            warm.warm_replans > 0,
+            "{}: steady-state replans must reuse the warm engine",
+            warm.tenant
+        );
+        assert_eq!(cold.warm_replans, 0, "ablated sessions never start warm");
+        let mut masked = warm.clone();
+        masked.warm_replans = 0;
+        assert_eq!(
+            &masked, cold,
+            "everything but the warm counter must be identical"
+        );
+    }
+
+    accel.stop();
+    cold.stop();
+    std::fs::remove_dir_all(&accel_dir).ok();
+    std::fs::remove_dir_all(&cold_dir).ok();
 }
 
 #[test]
