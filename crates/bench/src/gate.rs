@@ -80,6 +80,12 @@ pub const CEILINGS: &[(&str, f64)] = &[
     ("planner_scaling/heuristic/100000", 50_000_000.0),
     ("planner_scaling/heuristic/1000000", 2_000_000_000.0),
     ("planner_scaling/sweep-multisite/100000", 2_000_000_000.0),
+    // The accelerated mix composition walk (composition + agent-count
+    // grid, warm incumbents, dominance pruning) must keep the 4-service
+    // reference computable at production scale: ≤ 2 s at n = 10⁴
+    // (measured ~230 ms locally, so the ceiling fails CI long before
+    // the grid or the warm seeding could silently stop engaging).
+    ("mix_sweep_scaling/accel-4svc/10000", 2_000_000_000.0),
     // A warm steady-state replan round is a memoized no-change answer:
     // O(services) plus the tick's forecaster/trigger bookkeeping,
     // measured ~600 ns at n = 10⁵. 100 µs of budget is ~160× headroom
@@ -103,6 +109,14 @@ pub const FASTER_THAN: &[(&str, &str, f64)] = &[
     ),
     ("warm_replan/warm/10000", "warm_replan/cold/10000", 5.0),
     ("warm_replan/warm/100000", "warm_replan/cold/100000", 5.0),
+    // The mix-sweep accelerators' bar: the accelerated walk ≥ 5× under
+    // the exact layer-1-only walk at the old feasibility cap (measured
+    // well above 10× locally).
+    (
+        "mix_sweep_scaling/accel-2svc/400",
+        "mix_sweep_scaling/exact-2svc/400",
+        5.0,
+    ),
 ];
 
 /// Quality floors (id, min value): non-timing metric records (exported
@@ -110,9 +124,15 @@ pub const FASTER_THAN: &[(&str, &str, f64)] = &[
 /// field) that must stay **at or above** a floor, hardware-independent.
 /// This encodes the mix planner's Table-4-style acceptance bar:
 /// `MixPlanner` must reach ≥ 95% of the mix-aware sweep reference's
-/// objective on the gated scenarios (measured 99.2% and 103.3%; the
+/// objective on the gated scenarios (measured 99.2% and 100.0%; the
 /// floor started at 0.90 and was tightened once both scenarios held
 /// comfortably above it).
+///
+/// The 2-site *weighted-sum* scenario remeasured by `mix_sweep_scaling`
+/// is deliberately **not** gated: at n = 400 the heuristic reaches only
+/// ~53% of the accelerated sweep reference (the sweep now explores
+/// asymmetric splits the greedy heuristic cannot), well under the 0.90
+/// bar for gating. The honest number lives in ROADMAP.md.
 pub const QUALITY_FLOORS: &[(&str, f64)] = &[
     ("mix_vs_sweep/quality/2svc-2site", 0.95),
     ("mix_vs_sweep/quality/4svc-1site", 0.95),
@@ -450,7 +470,10 @@ mod tests {
             rec("mix_vs_sweep/sweep-ref-2svc-2site/36", 500_000.0),
             rec("mix_vs_sweep/sweep-ref-4svc-1site/48", 30_000_000.0),
             rec("mix_vs_sweep/quality/2svc-2site", 0.99),
-            rec("mix_vs_sweep/quality/4svc-1site", 1.03),
+            rec("mix_vs_sweep/quality/4svc-1site", 1.0),
+            rec("mix_sweep_scaling/accel-2svc/400", 33_000_000.0),
+            rec("mix_sweep_scaling/accel-4svc/10000", 230_000_000.0),
+            rec("mix_sweep_scaling/exact-2svc/400", 455_000_000.0),
             rec("serve_tick/direct/10000", 60.0),
             rec("serve_tick/daemon/10000", 15_000.0),
             rec("warm_replan/cold/10000", 360_000.0),

@@ -41,6 +41,17 @@ pub fn mix4() -> ServiceMix {
     ])
 }
 
+/// The two-service heavy pair (2:1 request shares) shared by the
+/// `mix_vs_sweep` quality scenarios and the `mix_sweep_scaling` group:
+/// both services are compute-heavy, so the sweep's per-service
+/// composition space stays meaningful at every platform size.
+pub fn mix2() -> ServiceMix {
+    ServiceMix::new(vec![
+        (Dgemm::new(310).service(), 2.0),
+        (Dgemm::new(450).service(), 1.0),
+    ])
+}
+
 /// Star with one agent and `servers` SeDs on a Lyon cluster (the
 /// Figure 2–5 deployments).
 pub fn lyon_star(servers: u32) -> (Platform, DeploymentPlan) {
@@ -125,6 +136,14 @@ mod tests {
         let c = contenders(&platform, &svc);
         assert_eq!(c.len(), 3);
         assert_eq!(c[1].0, "star");
+    }
+
+    #[test]
+    fn mix_scenarios_keep_their_documented_shapes() {
+        let two = mix2();
+        assert_eq!(two.len(), 2);
+        assert_eq!(two.share(0), 2.0 * two.share(1), "2:1 request shares");
+        assert_eq!(mix4().len(), 4);
     }
 
     #[test]

@@ -95,6 +95,14 @@ pub struct MixPlan {
 
 /// Single-loop multi-service planner over the batched incremental
 /// evaluator. See the module docs for the algorithm.
+///
+/// Besides serving plans directly, this heuristic is the **warm
+/// incumbent** of the mix sweep reference: [`SweepPlanner::best_mix_plan`]
+/// seeds its branch-and-bound with this planner's (re-scored) answer
+/// and falls back to it when the whole walk prunes below the seed — so
+/// the reference is, by construction, never worse than the heuristic.
+///
+/// [`SweepPlanner::best_mix_plan`]: super::SweepPlanner::best_mix_plan
 #[derive(Debug, Clone, Copy)]
 pub struct MixPlanner {
     /// Optional model-parameter override.

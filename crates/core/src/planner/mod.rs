@@ -48,6 +48,7 @@ pub use online::{MixReplan, OnlinePlanner, Replan, WarmCache};
 pub use revise::{Rebalancer, Revise, ReviseError};
 pub use roundrobin::RoundRobinPlanner;
 pub use sweep::SweepPlanner;
+pub use sweep_mix::{for_each_composition, SweepStats};
 
 use crate::model::ModelParams;
 use adept_hierarchy::DeploymentPlan;

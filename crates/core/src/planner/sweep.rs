@@ -67,9 +67,10 @@ use crate::model::throughput::{sch_pow, service_rate_from_sums};
 use crate::model::{batch, comm, IncrementalEval, ModelParams};
 use adept_hierarchy::{DeploymentPlan, PlanError, Slot};
 use adept_platform::{NodeId, Platform};
-use adept_workload::{ClientDemand, ServiceSpec};
+use adept_workload::{ClientDemand, ServiceMix, ServiceSpec};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// Strict-improvement resolution of the sweep: ties within this margin
 /// keep the earlier (fewer-agents, fewer-nodes) configuration.
@@ -132,6 +133,45 @@ pub(crate) fn saturation_budget(
 /// of the strongest node at degree one.
 pub(crate) fn rho_cap_of(params: &ModelParams, strongest: f64) -> f64 {
     sch_pow(params, adept_platform::MflopRate(strongest), 1)
+}
+
+/// **The** saturation truncation, shared by every coarsening site (the
+/// single place the budget is computed and applied — `coarsen_nodes`,
+/// the mix sweep's node lists, and phase 2's per-site spare pools all
+/// call through here). Cuts a power-descending node list to its
+/// [`saturation_budget`] under `params`, with the ρ cap taken from
+/// `cap_power` (`None` = the list's own strongest node — right when the
+/// deployment draws only from this list; phase 2 passes the
+/// platform-wide strongest because spares feed the global tree). `wapp`
+/// should be the heaviest demanded service's ([`mix_wapp_cap`] for a
+/// mix): the heavier the service, the less each server contributes to
+/// Eq. 15 and the deeper the sweep may need to reach, so the heaviest
+/// maximizes the budget and keeps the truncation conservative. Lists of
+/// fewer than two nodes are left alone.
+pub(crate) fn truncate_to_saturation_budget(
+    params: &ModelParams,
+    platform: &Platform,
+    nodes: &mut Vec<NodeId>,
+    cap_power: Option<f64>,
+    wapp: f64,
+) {
+    if nodes.len() < 2 {
+        return;
+    }
+    let powers: Vec<f64> = nodes.iter().map(|&id| platform.power(id).value()).collect();
+    let cap = rho_cap_of(params, cap_power.unwrap_or(powers[0]));
+    let budget = saturation_budget(params, cap, &powers, wapp);
+    nodes.truncate(budget);
+}
+
+/// The conservative `wapp` a mix hands to
+/// [`truncate_to_saturation_budget`] (and to the composition-grid block
+/// sizing): the heaviest demanded service's per-request work.
+pub(crate) fn mix_wapp_cap(mix: &ServiceMix, candidates: &[usize]) -> f64 {
+    candidates
+        .iter()
+        .map(|&j| mix.service(j).wapp.value())
+        .fold(0.0f64, f64::max)
 }
 
 /// Runs `job(site_index)` for every site, distributing indices over
@@ -202,7 +242,28 @@ pub struct SweepPlanner {
     /// `COARSEN_THRESHOLD` nodes; `Some(true)` forces it at any size
     /// (testing hook), `Some(false)` forces the exact flat sweep —
     /// which is O(n²) and impractical past ~10⁴ nodes.
+    ///
+    /// For [`best_mix_plan`](SweepPlanner::best_mix_plan) the same knob
+    /// governs the **composition grid** and the walk accelerators
+    /// (warm incumbents, dominance pruning): `Some(false)` is the exact
+    /// pre-acceleration reference walk — the parity oracle and the
+    /// bench ablation — while `None`/`Some(true)` keep them on (the
+    /// grid auto-activates by swept-list size under `None`). See the
+    /// [`sweep_mix`](super::sweep_mix) module docs.
     pub coarsen: Option<bool>,
+    /// Anytime knob for the mix reference
+    /// ([`best_mix_plan`](SweepPlanner::best_mix_plan) and
+    /// [`best_mix_plan_stats`](SweepPlanner::best_mix_plan_stats)):
+    /// `Some(budget)` stops the composition walk when the wall-clock
+    /// budget expires and returns the best configuration found so far,
+    /// with [`SweepStats::truncated`](super::sweep_mix::SweepStats::truncated)
+    /// raised. `None` (default) runs to completion. A truncated sweep
+    /// is still a valid plan — at worst the warm-start seed — but it is
+    /// **not** deterministic across machines (wall clocks differ), so
+    /// leave it off wherever bit-reproducibility matters. Ignored by
+    /// the single-service [`best_plan`](SweepPlanner::best_plan), whose
+    /// scan is quadratic, not exponential, and needs no bail-out.
+    pub time_budget: Option<Duration>,
 }
 
 impl Default for SweepPlanner {
@@ -213,6 +274,7 @@ impl Default for SweepPlanner {
             threads: None,
             max_agents: None,
             coarsen: None,
+            time_budget: None,
         }
     }
 }
@@ -276,12 +338,9 @@ impl SweepPlanner {
         nodes: &mut Vec<NodeId>,
         wapp_cap: f64,
     ) {
-        if !self.coarsen_active(nodes.len()) || nodes.len() < 2 {
-            return;
+        if self.coarsen_active(nodes.len()) {
+            truncate_to_saturation_budget(params, platform, nodes, None, wapp_cap);
         }
-        let powers: Vec<f64> = nodes.iter().map(|&id| platform.power(id).value()).collect();
-        let budget = saturation_budget(params, rho_cap_of(params, powers[0]), &powers, wapp_cap);
-        nodes.truncate(budget);
     }
 
     /// Worker-thread count for a loop over `n_local` items, honoring
@@ -780,11 +839,13 @@ pub(crate) fn extend_across_sites_engine(
                     bandwidth: platform.network().bandwidth_between(s.id, s.id),
                     ..*params
                 };
-                let powers: Vec<f64> = v.iter().map(|&id| platform.power(id).value()).collect();
-                if !powers.is_empty() {
-                    let cap = rho_cap_of(&site_params, strongest);
-                    v.truncate(saturation_budget(&site_params, cap, &powers, wapp));
-                }
+                truncate_to_saturation_budget(
+                    &site_params,
+                    platform,
+                    &mut v,
+                    Some(strongest),
+                    wapp,
+                );
             }
             v.reverse(); // pop() takes the strongest
             v

@@ -1,5 +1,5 @@
 //! Mix-aware sweep reference — the multi-service counterpart of
-//! [`SweepPlanner::best_plan`], giving [`MixPlanner`](super::MixPlanner)
+//! [`SweepPlanner::best_plan`], giving [`MixPlanner`]
 //! the quality bar Table 4 gives the single-service heuristic.
 //!
 //! # The swept family
@@ -14,29 +14,26 @@
 //! services**. For every `k`, the sweep walks all integer *compositions*
 //! `(c_1, …, c_S)` with `c_j ≥ 1` per demanded service and
 //! `Σ c_j = s ≤ n − k`, dealing servers to services in candidate order,
-//! strongest first (service 1 takes the `c_1` strongest remaining
-//! nodes, service 2 the next `c_2`, …). Each walk step is **one**
+//! strongest first. Each walk step is **one**
 //! [`add_server_for`](IncrementalEval::add_server_for) /
 //! [`undo`](IncrementalEval::undo) delta on the batched incremental
 //! evaluator — `O(log n)` with bit-exact rewind — so a composition step
 //! never pays more than a single-service sweep step did.
 //!
-//! # Why the walk stays tractable: the Eq. 15 pruning bound
-//!
 //! Unpruned, the composition space is `C(s−1, S−1)` per `(k, s)` —
-//! hopeless past toy sizes. Two sound prunes make it tractable up to
-//! n ≈ 400:
+//! hopeless past toy sizes. Three stacked layers make the walk complete
+//! at n = 10⁴–10⁵ where it used to stall near n ≈ 400:
+//!
+//! # Layer 1 — sound pruning (the exact reference walk)
 //!
 //! * **per-service Eq. 15 cap** — adding servers to service `j` only
 //!   ever *raises* its Eq. 15 rate, while every added child *lowers*
 //!   the shared scheduling rate. Once `ρ_service_j` (share-normalized
 //!   under the weighted-min objective) reaches the *current* scheduling
 //!   rate — itself an upper bound on any extension's scheduling rate —
-//!   larger `c_j` at this prefix is dominated: the objective can no
-//!   longer be improved by feeding `j`, and every later service only
-//!   inherits weaker nodes. The count at which the cap fires is exactly
-//!   the paper's Eq. 15 saturation point, read in O(1) from the
-//!   engine's running sums.
+//!   larger `c_j` at this prefix is dominated. The count at which the
+//!   cap fires is exactly the paper's Eq. 15 saturation point, read in
+//!   O(1) from the engine's running sums.
 //! * **branch-and-bound** — a prefix's best possible completion is
 //!   bounded by the already-fixed components (earlier services' rates
 //!   are final; the scheduling rate only falls), for the weighted-sum
@@ -48,21 +45,65 @@
 //!   the sequential and parallel sweeps keep selecting the same
 //!   earliest configuration).
 //!
-//! The outer `k` loop reuses the single-service sweep's scoped-thread
-//! worker pool (atomic `k` queue, per-`k` winners merged in ascending
-//! `k` with the same strict-improvement rule), so the parallel mix
-//! sweep is deterministic.
+//! `SweepPlanner { coarsen: Some(false), .. }` runs layer 1 alone —
+//! the exact pre-acceleration walk, kept as the parity oracle and the
+//! bench ablation. The n ≤ 48 parity suite pins the accelerated walk
+//! bit-identical to it.
+//!
+//! # Layer 2 — coarsen-then-refine over the composition space
+//!
+//! Above `MIX_GRID_THRESHOLD` swept nodes (or under
+//! `coarsen: Some(true)`), the walk's *internal* digits step
+//! block-at-a-time on a geometric grid: service `j`'s block is its
+//! Eq. 15 `saturation_budget` (the helper shared with the
+//! single-service sweep's node coarsening)
+//! divided down to about `MIX_GRID_RESOLUTION` grid points (mirroring
+//! PR 6's per-site node coarsening, but over counts rather than
+//! candidates). The *last* digit always steps server-at-a-time — each
+//! step is one O(log n) delta the walk pays anyway, so full resolution
+//! there is free. The **agent count** gets the same stride
+//! (`k_block ≈ n / MIX_GRID_RESOLUTION`): the k loop multiplies every
+//! walk cost, so only the grid lines `1, 1 + k_block, …` are swept.
+//! The gridded winner is then **refined**: a local hill climb over ±1
+//! agents (at the same composition), ±1 digits, and single-server
+//! digit-to-digit moves (each candidate scored by a fresh bit-exact
+//! replay) until a fixed point, bounded by `MAX_REFINE_STEPS`.
+//!
+//! # Layer 3 — warm incumbents and dominance pruning
+//!
+//! * **warm incumbents** — the branch-and-bound starts from
+//!   [`MixPlanner`]'s answer for the same inputs
+//!   (re-scored on a fresh engine build so the value is bit-stable)
+//!   instead of −∞, and the incumbent is carried **across k values**:
+//!   sequentially by folding, in the parallel path through a shared
+//!   max-atomic (ordered-bits encoding) every worker reads before each
+//!   scan and raises after it. Pruning stays strictly-below, so only
+//!   truly achieved objectives ever enter the bound. If the whole walk
+//!   prunes below the seed, the seed *is* the answer — the sweep never
+//!   returns less than the heuristic.
+//! * **dominance pruning** — two expanded prefixes with the same
+//!   `(depth, servers placed)` see identical scheduling rates,
+//!   identical remaining nodes, and identical completion budgets, so a
+//!   prefix whose fixed per-service rates are element-wise ≤ an
+//!   already-expanded one cannot complete better and is skipped. A
+//!   small per-key front (≤ `DOM_FRONT_CAP` entries) keeps the check
+//!   O(front).
+//!
+//! Every visited grid point lands in exactly one [`SweepStats`] bucket
+//! (`visited == expanded + pruned()` is a tested invariant), so the
+//! speedup is observable rather than asserted; the
+//! [`time_budget`](SweepPlanner::time_budget) anytime knob bounds the
+//! walk by wall clock and raises [`SweepStats::truncated`].
 //!
 //! # Objectives, dealing and the hindsight redeal
 //!
 //! Both [`MixObjective`]s are supported and scored identically to
-//! [`MixPlanner`](super::MixPlanner) (the shared crate-private
+//! [`MixPlanner`] (the shared crate-private
 //! `objective_score`). Block dealing in candidate order is one fixed
 //! matching of concrete nodes to counts; after the sweep picks its
-//! winner, the hindsight waterfill
-//! ([`partition_servers`]) redeals
-//! the winning server set and the better of the two assignments is
-//! kept — the same refinement `MixPlanner` ends with.
+//! winner, the hindsight waterfill ([`partition_servers`]) redeals the
+//! winning server set and the better of the two assignments is kept —
+//! the same refinement `MixPlanner` ends with.
 //!
 //! # Multi-site platforms
 //!
@@ -70,9 +111,10 @@
 //! multi-site sweep's two phases: per-site mix sweeps at each site's
 //! intra bandwidth (re-scored under the per-link model), then the
 //! shared cross-site growth phase
-//! ([`extend_across_sites_engine`](super::sweep)) — which now opens
-//! **multiple mid-agents per site** with per-site sub-sweeps, for the
-//! mix with a (mid, service) choice per step.
+//! ([`extend_across_sites_engine`](super::sweep)). Per-site stats are
+//! summed in site order; the warm seed (scored under the per-link
+//! model, hence not a sound incumbent for any single site's model)
+//! competes only in the final comparison.
 //!
 //! # Single-service parity
 //!
@@ -81,9 +123,11 @@
 //! randomized parity test pins this), so the mix reference strictly
 //! extends the Table 4 one.
 
-use super::mix::{objective_score, MixObjective, MixPlan};
+use super::mix::{objective_score, MixObjective, MixPlan, MixPlanner};
 use super::realize::{realize_from_eval, HeapEntry};
-use super::sweep::{extend_across_sites_engine, SweepPlanner, TIE_EPS};
+use super::sweep::{
+    extend_across_sites_engine, mix_wapp_cap, rho_cap_of, saturation_budget, SweepPlanner, TIE_EPS,
+};
 use super::{resolve_params, PlannerError};
 use crate::model::mix::{partition_servers, ServerAssignment};
 use crate::model::throughput::sch_pow;
@@ -91,18 +135,100 @@ use crate::model::{IncrementalEval, ModelParams};
 use adept_hierarchy::{DeploymentPlan, Role, Slot};
 use adept_platform::{MflopRate, NodeId, Platform};
 use adept_workload::ServiceMix;
-use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
-/// The heaviest demanded service's per-request work — the conservative
-/// `wapp` for [`saturation_budget`](super::sweep::saturation_budget):
-/// the heavier the service, the less each server contributes to Eq. 15,
-/// the deeper the sweep may need to reach, the larger the budget.
-fn wapp_cap(mix: &ServiceMix, candidates: &[usize]) -> f64 {
-    candidates
-        .iter()
-        .map(|&j| mix.service(j).wapp.value())
-        .fold(0.0f64, f64::max)
+/// Swept-list size above which the composition grid auto-activates
+/// under `coarsen: None` (`Some(true)`/`Some(false)` force it on/off).
+/// Below it the exact walk is already fast, and keeping it exact
+/// preserves the n ≤ 48 bit-parity guarantee by construction.
+pub(crate) const MIX_GRID_THRESHOLD: usize = 96;
+
+/// Target grid points per internal composition digit: service `j`'s
+/// block is `max(1, min(saturation_budget_j, n) / MIX_GRID_RESOLUTION)`.
+const MIX_GRID_RESOLUTION: usize = 48;
+
+/// Cap on stored prefixes per dominance-front key — dominance is an
+/// accelerator, not a guarantee, so the front stays O(1).
+const DOM_FRONT_CAP: usize = 24;
+
+/// Hill-climb step cap for the post-grid refinement (each step is the
+/// best of O(parts²) replays; a fixed point lands long before this).
+const MAX_REFINE_STEPS: usize = 128;
+
+/// Visited-node interval between wall-clock reads inside a walk.
+const DEADLINE_CHECK_INTERVAL: u64 = 32;
+
+/// Search telemetry for one [`best_mix_plan_stats`] call: where the
+/// composition walk spent (and saved) its nodes. Every visited grid
+/// point is counted in **exactly one** of the four outcome buckets, so
+/// `visited == expanded + pruned()` always holds; parallel sweeps sum
+/// worker-local stats (order-independent), so the counters are
+/// deterministic for a fixed configuration.
+///
+/// [`best_mix_plan_stats`]: SweepPlanner::best_mix_plan_stats
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Grid points visited by the walk (servers placed and scored or
+    /// classified), including one synthetic visit per truncated count
+    /// loop so the bucket identity stays exact.
+    pub visited: u64,
+    /// Prefixes expanded into (or complete compositions scored).
+    pub expanded: u64,
+    /// Skipped by the branch-and-bound upper bound (strictly below the
+    /// incumbent — warm-seeded and carried across k).
+    pub pruned_by_bound: u64,
+    /// Skipped by the Eq. 15 saturation cap (including unimodal
+    /// last-digit breaks and their truncated tails).
+    pub pruned_by_cap: u64,
+    /// Skipped as dominated: rate-front dominance at equal
+    /// `(depth, servers placed)`, plus complete compositions leaving an
+    /// agent childless (dominated by a smaller k).
+    pub pruned_by_dominance: u64,
+    /// Accepted hill-climb moves while refining the gridded winner.
+    pub refine_steps: u64,
+    /// The [`time_budget`](SweepPlanner::time_budget) expired and the
+    /// result is best-so-far, not the family optimum.
+    pub truncated: bool,
+}
+
+impl SweepStats {
+    /// Total pruned nodes across all three prune reasons.
+    pub fn pruned(&self) -> u64 {
+        self.pruned_by_bound + self.pruned_by_cap + self.pruned_by_dominance
+    }
+
+    /// Accumulates another stats block (counter sums, `truncated` OR).
+    pub(crate) fn absorb(&mut self, other: &SweepStats) {
+        self.visited += other.visited;
+        self.expanded += other.expanded;
+        self.pruned_by_bound += other.pruned_by_bound;
+        self.pruned_by_cap += other.pruned_by_cap;
+        self.pruned_by_dominance += other.pruned_by_dominance;
+        self.refine_steps += other.refine_steps;
+        self.truncated |= other.truncated;
+    }
+}
+
+/// Order-preserving `f64 → u64` map (sign-magnitude to two's-
+/// complement-style), so a `fetch_max` on the bits is a `fetch_max` on
+/// the floats — the lock-free shared incumbent.
+fn ordered_bits(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+fn from_ordered_bits(b: u64) -> f64 {
+    f64::from_bits(if b >> 63 == 1 { b & !(1 << 63) } else { !b })
+}
+
+fn past_deadline(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
 }
 
 /// Calls `visit` with every composition of `total` into exactly `parts`
@@ -164,6 +290,20 @@ struct MixCtx<'a> {
     /// `suffix_power[i] = Σ powers[i..]` — the optimistic "every
     /// remaining server" bound's power sum, O(1) per read.
     suffix_power: Vec<f64>,
+    /// Composition-grid block per candidate digit (all 1 = exact walk).
+    /// Only internal digits consult it; the last digit always steps by
+    /// one server.
+    blocks: Vec<usize>,
+    /// Agent-count grid stride (1 = every k, the exact walk). Gridded
+    /// `k` values are `1, 1 + k_block, 1 + 2·k_block, …`; the refiner
+    /// recovers the local optimum between grid lines with ±1 agent
+    /// moves.
+    k_block: usize,
+    /// Rate-front dominance pruning on (Some(false) switches the
+    /// accelerators off: the exact reference walk).
+    dominance: bool,
+    /// Anytime wall-clock bound, if any.
+    deadline: Option<Instant>,
 }
 
 /// The waterfill schedule for a fixed agent count: which agent receives
@@ -240,6 +380,12 @@ struct MixWalk<'a, 'b> {
     t: usize,
     counts: Vec<usize>,
     best: Option<KMixBest>,
+    stats: SweepStats,
+    /// Expanded-prefix rate vectors for dominance pruning, keyed by
+    /// `(depth, servers placed)`.
+    fronts: HashMap<(usize, usize), Vec<Vec<f64>>>,
+    /// Visits since the last wall-clock read.
+    ticks: u64,
 }
 
 impl MixWalk<'_, '_> {
@@ -313,30 +459,121 @@ impl MixWalk<'_, '_> {
         }
     }
 
+    /// Whether the anytime deadline has expired (wall clock read every
+    /// [`DEADLINE_CHECK_INTERVAL`] visits; sticky once raised).
+    fn expired(&mut self) -> bool {
+        let Some(deadline) = self.ctx.deadline else {
+            return false;
+        };
+        if self.stats.truncated {
+            return true;
+        }
+        self.ticks += 1;
+        if self.ticks >= DEADLINE_CHECK_INTERVAL {
+            self.ticks = 0;
+            if Instant::now() >= deadline {
+                self.stats.truncated = true;
+            }
+        }
+        self.stats.truncated
+    }
+
+    /// The fixed per-service Eq. 15 rates of the current prefix
+    /// (`0..=depth`, raw). Two prefixes at the same
+    /// `(depth, servers placed)` share the scheduling rate, the
+    /// remaining nodes, and the completion budget, so element-wise ≥
+    /// here implies every completion scores at least as well.
+    fn prefix_rates(&self, depth: usize) -> Vec<f64> {
+        (0..=depth)
+            .map(|d| self.eval.rho_service_of(self.ctx.candidates[d]))
+            .collect()
+    }
+
+    /// Whether an already-expanded prefix dominates the current one.
+    /// Depth 0 never qualifies (one prefix per `(depth, t)` key there).
+    fn dominated(&self, depth: usize) -> bool {
+        if !self.ctx.dominance || depth == 0 {
+            return false;
+        }
+        let rates = self.prefix_rates(depth);
+        self.fronts.get(&(depth, self.t)).is_some_and(|front| {
+            front
+                .iter()
+                .any(|f| f.iter().zip(&rates).all(|(a, b)| a >= b))
+        })
+    }
+
+    /// Records the current prefix on its dominance front (dropping
+    /// entries it dominates; the front is capped at [`DOM_FRONT_CAP`]).
+    fn record_front(&mut self, depth: usize) {
+        if !self.ctx.dominance || depth == 0 {
+            return;
+        }
+        let rates = self.prefix_rates(depth);
+        let front = self.fronts.entry((depth, self.t)).or_default();
+        front.retain(|f| !f.iter().zip(&rates).all(|(a, b)| b >= a));
+        if front.len() < DOM_FRONT_CAP {
+            front.push(rates);
+        }
+    }
+
+    /// Books the untried tail of a count loop as one synthetic
+    /// cap-pruned visit, keeping `visited == expanded + pruned` exact.
+    fn truncate_tail(&mut self, c: usize, cmax: usize) {
+        if c < cmax {
+            self.stats.visited += 1;
+            self.stats.pruned_by_cap += 1;
+        }
+    }
+
     fn descend(&mut self, depth: usize, budget: usize) {
         let parts = self.ctx.candidates.len();
+        let last = depth + 1 == parts;
         let reserve = parts - depth - 1;
         let cmax = budget - reserve;
+        // Internal digits move block-at-a-time (the composition grid);
+        // the last digit server-at-a-time — each of its steps is one
+        // O(log n) delta the walk pays anyway, so full resolution there
+        // is free.
+        let step = if last {
+            1
+        } else {
+            self.ctx.blocks[depth].max(1)
+        };
         let svc = self.ctx.candidates[depth];
         let mut local_peak = f64::NEG_INFINITY;
         let mut added = 0usize;
-        for _c in 1..=cmax {
-            let idx = self.k + self.t;
-            self.eval
-                .add_server_for(
-                    Slot(self.server_parents[self.t]),
-                    self.ctx.nodes[idx],
-                    MflopRate(self.ctx.powers[idx]),
-                    svc,
-                )
-                .expect("sweep nodes are unused");
-            self.t += 1;
-            self.counts[depth] += 1;
-            added += 1;
-            if depth + 1 == parts {
-                // A complete composition: score it, unless some agent
-                // never attracted a child (dominated by a smaller k).
-                if self.zero_after[self.t] == 0 {
+        let mut c = 0usize;
+        while c < cmax {
+            if self.expired() {
+                break;
+            }
+            // The first count is always 1 (every demanded service gets
+            // a server); the final block clamps to the budget.
+            let take = if c == 0 { 1 } else { step.min(cmax - c) };
+            for _ in 0..take {
+                let idx = self.k + self.t;
+                self.eval
+                    .add_server_for(
+                        Slot(self.server_parents[self.t]),
+                        self.ctx.nodes[idx],
+                        MflopRate(self.ctx.powers[idx]),
+                        svc,
+                    )
+                    .expect("sweep nodes are unused");
+                self.t += 1;
+                added += 1;
+            }
+            c += take;
+            self.counts[depth] = c;
+            self.stats.visited += 1;
+            if last {
+                if self.zero_after[self.t] > 0 {
+                    // Some agent never attracted a child: dominated by
+                    // a smaller k.
+                    self.stats.pruned_by_dominance += 1;
+                } else {
+                    self.stats.expanded += 1;
                     let obj = objective_score(self.ctx.objective, self.eval);
                     if self
                         .best
@@ -350,14 +587,23 @@ impl MixWalk<'_, '_> {
                         });
                     }
                     if obj + TIE_EPS < local_peak {
-                        break; // unimodal in the last count: past the crossing
+                        // Unimodal in the last count: past the crossing.
+                        self.truncate_tail(c, cmax);
+                        break;
                     }
                     local_peak = local_peak.max(obj);
                 }
-            } else if self.should_descend(depth) {
-                self.descend(depth + 1, budget - self.counts[depth]);
+            } else if !self.should_descend(depth) {
+                self.stats.pruned_by_bound += 1;
+            } else if self.dominated(depth) {
+                self.stats.pruned_by_dominance += 1;
+            } else {
+                self.stats.expanded += 1;
+                self.record_front(depth);
+                self.descend(depth + 1, budget - c);
             }
             if !self.should_grow(depth) {
+                self.truncate_tail(c, cmax);
                 break;
             }
         }
@@ -371,8 +617,14 @@ impl MixWalk<'_, '_> {
 
 /// Scans every composition for a fixed agent count `k`, returning the
 /// locally best `(counts, objective)`. Independent of every other `k`
-/// up to the (sound, strictly-below) `incumbent` pruning.
-fn scan_k_mix(ctx: &MixCtx<'_>, k: usize, incumbent: f64) -> Option<KMixBest> {
+/// up to the (sound, strictly-below) `incumbent` pruning; the walk's
+/// telemetry is absorbed into `stats`.
+fn scan_k_mix(
+    ctx: &MixCtx<'_>,
+    k: usize,
+    incumbent: f64,
+    stats: &mut SweepStats,
+) -> Option<KMixBest> {
     let n = ctx.nodes.len();
     let parts = ctx.candidates.len();
     let s_max = n - k;
@@ -397,9 +649,154 @@ fn scan_k_mix(ctx: &MixCtx<'_>, k: usize, incumbent: f64) -> Option<KMixBest> {
         t: 0,
         counts: vec![0; parts],
         best: None,
+        stats: SweepStats::default(),
+        fronts: HashMap::new(),
+        ticks: 0,
     };
     walk.descend(0, s_max);
+    stats.absorb(&walk.stats);
     walk.best
+}
+
+/// Exact-k neighborhood pass around the gridded winner: the k grid
+/// lines locate the optimum only to within ±`k_block`, so every k
+/// inside the winning line's window is scanned too (compositions still
+/// gridded), folded with the walk's strict-improvement rule — ties
+/// keep the grid winner. Runs on the caller's thread, so the parallel
+/// and sequential sweeps fold the same candidates in the same order.
+fn refine_k_window(
+    ctx: &MixCtx<'_>,
+    k_cap: usize,
+    mut best: Option<KMixBest>,
+    warm_obj: f64,
+    stats: &mut SweepStats,
+) -> Option<KMixBest> {
+    if ctx.k_block <= 1 {
+        return best;
+    }
+    let Some(center) = best.as_ref().map(|b| b.agents) else {
+        return best;
+    };
+    let lo = center.saturating_sub(ctx.k_block - 1).max(1);
+    let hi = (center + ctx.k_block - 1).min(k_cap);
+    for k in lo..=hi {
+        if (k - 1) % ctx.k_block == 0 {
+            continue; // a grid line the family walk already swept
+        }
+        if past_deadline(ctx.deadline) {
+            stats.truncated = true;
+            break;
+        }
+        let incumbent = best
+            .as_ref()
+            .map_or(warm_obj, |b| warm_obj.max(b.objective));
+        if let Some(cand) = scan_k_mix(ctx, k, incumbent, stats) {
+            if best
+                .as_ref()
+                .is_none_or(|b| cand.objective > b.objective + TIE_EPS)
+            {
+                best = Some(cand);
+            }
+        }
+    }
+    best
+}
+
+/// Local hill climb on the gridded walk's winning configuration: the
+/// best strict improvement among ±1 agent (at the same composition),
+/// ±1 per digit, and single-server moves between digit pairs is taken
+/// (first wins ties) until a fixed point, [`MAX_REFINE_STEPS`], or the
+/// deadline. The agent moves are what make the `k_block` stride safe —
+/// they walk the winner off its grid line to the local k optimum.
+/// Every candidate is scored by a fresh replay — the exact computation
+/// the final winner replay performs — so the refined objective stays
+/// bit-consistent with the returned plan.
+fn refine_cfg(ctx: &MixCtx<'_>, cfg: &mut KMixBest, stats: &mut SweepStats) {
+    let parts = ctx.candidates.len();
+    let n = ctx.nodes.len();
+    let score = |k: usize, counts: &[usize]| -> Option<f64> {
+        if k == 0 || n < k + parts || counts.contains(&0) {
+            return None;
+        }
+        let s_max = n - k;
+        let total: usize = counts.iter().sum();
+        if total > s_max {
+            return None;
+        }
+        let wf = waterfill(ctx.params, &ctx.powers[..k], s_max);
+        if wf.zero_after[total] > 0 {
+            return None;
+        }
+        let mut eval =
+            IncrementalEval::from_agents_mix(ctx.params, ctx.platform, &ctx.nodes[..k], ctx.mix);
+        for &a in &wf.agent_parents {
+            eval.assign_child_slot(Slot(a)).expect("agents exist");
+        }
+        let mut t = 0usize;
+        for (d, &cnt) in counts.iter().enumerate() {
+            for _ in 0..cnt {
+                let idx = k + t;
+                eval.add_server_for(
+                    Slot(wf.server_parents[t]),
+                    ctx.nodes[idx],
+                    MflopRate(ctx.powers[idx]),
+                    ctx.candidates[d],
+                )
+                .expect("sweep nodes are unused");
+                t += 1;
+            }
+        }
+        Some(objective_score(ctx.objective, &eval))
+    };
+    for _ in 0..MAX_REFINE_STEPS {
+        if past_deadline(ctx.deadline) {
+            stats.truncated = true;
+            return;
+        }
+        let mut best_move: Option<(usize, Vec<usize>, f64)> = None;
+        {
+            let mut consider = |k: usize, counts: Vec<usize>| {
+                let floor = best_move.as_ref().map_or(cfg.objective, |&(_, _, s)| s);
+                if let Some(sc) = score(k, &counts) {
+                    if sc > floor + TIE_EPS {
+                        best_move = Some((k, counts, sc));
+                    }
+                }
+            };
+            consider(cfg.agents + 1, cfg.counts.clone());
+            if cfg.agents > 1 {
+                consider(cfg.agents - 1, cfg.counts.clone());
+            }
+            for d in 0..parts {
+                let mut up = cfg.counts.clone();
+                up[d] += 1;
+                consider(cfg.agents, up);
+                if cfg.counts[d] > 1 {
+                    let mut down = cfg.counts.clone();
+                    down[d] -= 1;
+                    consider(cfg.agents, down);
+                }
+            }
+            for from in 0..parts {
+                for to in 0..parts {
+                    if from == to || cfg.counts[from] <= 1 {
+                        continue;
+                    }
+                    let mut mv = cfg.counts.clone();
+                    mv[from] -= 1;
+                    mv[to] += 1;
+                    consider(cfg.agents, mv);
+                }
+            }
+        }
+        let Some((k, counts, sc)) = best_move else {
+            return; // fixed point
+        };
+        cfg.agents = k;
+        cfg.counts = counts;
+        cfg.objective = sc;
+        stats.refine_steps += 1;
+    }
 }
 
 /// Server → service map read off an engine's final state.
@@ -442,6 +839,21 @@ fn redeal_if_better(
     (assignment, obj)
 }
 
+/// Keeps whichever of the swept result and the warm seed scores higher
+/// (strict improvement — ties keep the sweep, so the accelerators stay
+/// bit-transparent wherever the family already wins).
+fn better_of_warm(
+    warm: Option<(DeploymentPlan, ServerAssignment, f64)>,
+    plan: DeploymentPlan,
+    assignment: ServerAssignment,
+    obj: f64,
+) -> (DeploymentPlan, ServerAssignment, f64) {
+    match warm {
+        Some((wp, wa, wo)) if wo > obj + TIE_EPS => (wp, wa, wo),
+        _ => (plan, assignment, obj),
+    }
+}
+
 /// Wraps a swept `(plan, assignment, objective)` into a [`MixPlan`] with
 /// its model report under `params`.
 fn finish_mix_plan(
@@ -467,9 +879,11 @@ impl SweepPlanner {
     /// service partition in the swept family (see the module docs),
     /// under the given [`MixObjective`]. The multi-service counterpart
     /// of [`best_plan`](SweepPlanner::best_plan) and the quality bar
-    /// [`MixPlanner`](super::MixPlanner) is judged by (the CI-gated
+    /// [`MixPlanner`] is judged by (the CI-gated
     /// `mix_vs_sweep` group asserts the heuristic stays within 10% of
-    /// it).
+    /// it). Identical to
+    /// [`best_mix_plan_stats`](SweepPlanner::best_mix_plan_stats) with
+    /// the telemetry dropped.
     ///
     /// A mix with a single demanded service delegates to the
     /// single-service sweep — same plan and ρ, bit for bit. Zero-share
@@ -486,6 +900,26 @@ impl SweepPlanner {
         mix: &ServiceMix,
         objective: MixObjective,
     ) -> Result<MixPlan, PlannerError> {
+        self.best_mix_plan_stats(platform, mix, objective)
+            .map(|(plan, _)| plan)
+    }
+
+    /// [`best_mix_plan`](SweepPlanner::best_mix_plan) plus the
+    /// [`SweepStats`] search telemetry: how many composition-walk nodes
+    /// were expanded vs pruned (and why), how many refinement steps the
+    /// gridded winner took, and whether the
+    /// [`time_budget`](SweepPlanner::time_budget) truncated the search.
+    /// The single-demanded-service delegation runs no composition walk
+    /// and reports default (all-zero) stats.
+    ///
+    /// # Errors
+    /// As [`best_mix_plan`](SweepPlanner::best_mix_plan).
+    pub fn best_mix_plan_stats(
+        &self,
+        platform: &Platform,
+        mix: &ServiceMix,
+        objective: MixObjective,
+    ) -> Result<(MixPlan, SweepStats), PlannerError> {
         let candidates: Vec<usize> = (0..mix.len()).filter(|&j| mix.share(j) > 0.0).collect();
         let n = platform.node_count();
         let needed = 1 + candidates.len();
@@ -498,16 +932,43 @@ impl SweepPlanner {
         self.validate_max_agents(n)?;
         let params = resolve_params(self.params, platform);
         if let [only] = candidates[..] {
-            return self.single_candidate_mix_plan(platform, mix, &params, only);
+            let plan = self.single_candidate_mix_plan(platform, mix, &params, only)?;
+            return Ok((plan, SweepStats::default()));
         }
         if params.uses_link_bandwidths(platform) {
             return self.best_mix_plan_multi_site(platform, mix, objective, &params, &candidates);
         }
         let mut nodes = platform.ids_by_power_desc();
-        self.coarsen_nodes(&params, platform, &mut nodes, wapp_cap(mix, &candidates));
-        let (plan, assignment, objective_value) =
-            self.best_mix_over_nodes(&params, platform, mix, objective, &candidates, &nodes)?;
-        finish_mix_plan(&params, platform, plan, mix, assignment, objective_value)
+        self.coarsen_nodes(
+            &params,
+            platform,
+            &mut nodes,
+            mix_wapp_cap(mix, &candidates),
+        );
+        let warm = self.mix_warm_seed(&params, platform, mix, objective);
+        let warm_obj = warm.as_ref().map_or(f64::NEG_INFINITY, |&(_, _, o)| o);
+        let mut stats = SweepStats::default();
+        let family = self.best_mix_over_nodes(
+            &params,
+            platform,
+            mix,
+            objective,
+            &candidates,
+            &nodes,
+            warm_obj,
+            &mut stats,
+        );
+        let (plan, assignment, objective_value) = match (family, warm) {
+            (Ok((p, a, o)), warm) => better_of_warm(warm, p, a, o),
+            // A fully pruned walk found nothing strictly above the warm
+            // seed, so the seed is the family answer (this is what makes
+            // warm incumbents a pure accelerator: the sweep never
+            // returns less than the heuristic).
+            (Err(PlannerError::InvalidConfig(_)), Some(w)) => w,
+            (Err(e), _) => return Err(e),
+        };
+        let mix_plan = finish_mix_plan(&params, platform, plan, mix, assignment, objective_value)?;
+        Ok((mix_plan, stats))
     }
 
     /// One demanded service: the composition axis is trivial (every
@@ -530,11 +991,211 @@ impl SweepPlanner {
         finish_mix_plan(params, platform, plan, mix, assignment, rho)
     }
 
+    /// The warm incumbent: [`MixPlanner`]'s answer for the same inputs,
+    /// re-scored on a fresh engine build so the value is bit-stable
+    /// against everything the sweep compares it to. `None` when the
+    /// heuristic cannot run or must not: the exact reference walk
+    /// (`coarsen == Some(false)`) keeps the pre-acceleration semantics,
+    /// and [`max_agents`](SweepPlanner::max_agents) is a cap
+    /// `MixPlanner` does not honor — seeding from it could both prune
+    /// unsoundly and fall back to a cap-violating plan.
+    fn mix_warm_seed(
+        &self,
+        params: &ModelParams,
+        platform: &Platform,
+        mix: &ServiceMix,
+        objective: MixObjective,
+    ) -> Option<(DeploymentPlan, ServerAssignment, f64)> {
+        if self.coarsen == Some(false) || self.max_agents.is_some() {
+            return None;
+        }
+        let heur = MixPlanner {
+            params: Some(*params),
+            objective,
+            allow_conversion: true,
+        }
+        .plan_mix_unbounded(platform, mix)
+        .ok()?;
+        let eval =
+            IncrementalEval::from_plan_mix(params, platform, &heur.plan, mix, &heur.assignment)
+                .ok()?;
+        Some((
+            heur.plan,
+            heur.assignment,
+            objective_score(objective, &eval),
+        ))
+    }
+
+    /// Builds the shared scan context: powers, suffix sums, the
+    /// composition-grid blocks, and the accelerator switches.
+    fn make_mix_ctx<'a>(
+        &self,
+        params: &'a ModelParams,
+        platform: &'a Platform,
+        mix: &'a ServiceMix,
+        objective: MixObjective,
+        candidates: &'a [usize],
+        nodes: &'a [NodeId],
+    ) -> MixCtx<'a> {
+        let n = nodes.len();
+        let powers: Vec<f64> = nodes.iter().map(|&id| platform.power(id).value()).collect();
+        let mut suffix_power = vec![0.0; n + 1];
+        for i in (0..n).rev() {
+            suffix_power[i] = suffix_power[i + 1] + powers[i];
+        }
+        let grid_on = match self.coarsen {
+            Some(forced) => forced,
+            None => n > MIX_GRID_THRESHOLD,
+        };
+        let blocks: Vec<usize> = if grid_on && !powers.is_empty() {
+            // Per-service block: the digit's useful range is its Eq. 15
+            // saturation budget (beyond it growth is cap-pruned anyway),
+            // mapped to about MIX_GRID_RESOLUTION grid points.
+            let cap = rho_cap_of(params, powers[0]);
+            candidates
+                .iter()
+                .map(|&j| {
+                    let budget =
+                        saturation_budget(params, cap, &powers, mix.service(j).wapp.value());
+                    (budget.min(n) / MIX_GRID_RESOLUTION).max(1)
+                })
+                .collect()
+        } else {
+            vec![1; candidates.len()]
+        };
+        // The agent count gets the same geometric treatment as the
+        // composition digits: the k loop is the outer multiplier on
+        // every walk cost, and the objective-vs-k curve is smooth
+        // enough for a stride + ±1 refinement to recover the optimum.
+        let k_block = if grid_on {
+            (n / MIX_GRID_RESOLUTION).max(1)
+        } else {
+            1
+        };
+        MixCtx {
+            params,
+            platform,
+            mix,
+            objective,
+            candidates,
+            nodes,
+            powers,
+            suffix_power,
+            blocks,
+            k_block,
+            dominance: self.coarsen != Some(false),
+            deadline: self.time_budget.map(|b| Instant::now() + b),
+        }
+    }
+
+    /// The family search: per-`k` pruned walks folded into the single
+    /// best configuration, seeded with `warm_obj` and carrying the
+    /// incumbent across `k` values — sequentially by folding, in
+    /// parallel through a shared max-atomic every worker reads before
+    /// each scan and raises after it (sound: pruning is strictly-below
+    /// and only achieved objectives enter).
+    fn best_family_cfg(
+        &self,
+        ctx: &MixCtx<'_>,
+        k_cap: usize,
+        workers: usize,
+        warm_obj: f64,
+        stats: &mut SweepStats,
+    ) -> Option<KMixBest> {
+        // The swept k values: every k when exact, the `k_block` grid
+        // lines when coarsened (the refiner's ±1 agent moves recover
+        // the in-between optimum). Both paths walk the same set, so
+        // sequential and parallel results stay identical.
+        let k_block = ctx.k_block;
+        let k_at = move |i: usize| 1 + i * k_block;
+        if workers <= 1 {
+            let mut best: Option<KMixBest> = None;
+            for i in 0.. {
+                let k = k_at(i);
+                if k > k_cap {
+                    break;
+                }
+                if past_deadline(ctx.deadline) {
+                    stats.truncated = true;
+                    break;
+                }
+                let incumbent = best
+                    .as_ref()
+                    .map_or(warm_obj, |b| warm_obj.max(b.objective));
+                if let Some(cand) = scan_k_mix(ctx, k, incumbent, stats) {
+                    if best
+                        .as_ref()
+                        .is_none_or(|b| cand.objective > b.objective + TIE_EPS)
+                    {
+                        best = Some(cand);
+                    }
+                }
+            }
+            return refine_k_window(ctx, k_cap, best, warm_obj, stats);
+        }
+        // Same worker pool as the single-service sweep: dynamic k
+        // queue (over grid indices), ascending-k merge; the incumbent
+        // is shared across workers (and hence across k) as ordered f64
+        // bits.
+        let next_i = AtomicUsize::new(0);
+        let shared = AtomicU64::new(ordered_bits(warm_obj));
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next_i = &next_i;
+                    let shared = &shared;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        let mut local_stats = SweepStats::default();
+                        loop {
+                            let k = k_at(next_i.fetch_add(1, Ordering::Relaxed));
+                            if k > k_cap {
+                                break;
+                            }
+                            if past_deadline(ctx.deadline) {
+                                local_stats.truncated = true;
+                                break;
+                            }
+                            let incumbent = from_ordered_bits(shared.load(Ordering::Relaxed));
+                            if let Some(b) = scan_k_mix(ctx, k, incumbent, &mut local_stats) {
+                                shared.fetch_max(ordered_bits(b.objective), Ordering::Relaxed);
+                                local.push(b);
+                            }
+                        }
+                        (local, local_stats)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("mix sweep workers do not panic"))
+                .collect::<Vec<_>>()
+        });
+        let mut cands = Vec::new();
+        for (local, local_stats) in results {
+            stats.absorb(&local_stats);
+            cands.extend(local);
+        }
+        cands.sort_by_key(|c| c.agents);
+        let mut best: Option<KMixBest> = None;
+        for cand in cands {
+            if best
+                .as_ref()
+                .is_none_or(|b| cand.objective > b.objective + TIE_EPS)
+            {
+                best = Some(cand);
+            }
+        }
+        refine_k_window(ctx, k_cap, best, warm_obj, stats)
+    }
+
     /// The uniform-network mix sweep core over an explicit
     /// power-descending node list, under `params.bandwidth` as the
     /// single `B` (`params` must not price individual links here — the
     /// multi-site family handles those). Returns the winning plan, its
-    /// partition, and the objective value.
+    /// partition, and the objective value; walk telemetry lands in
+    /// `stats`.
+    #[allow(clippy::too_many_arguments)] // the family core needs the whole scoring context
     fn best_mix_over_nodes(
         &self,
         params: &ModelParams,
@@ -543,6 +1204,8 @@ impl SweepPlanner {
         objective: MixObjective,
         candidates: &[usize],
         nodes: &[NodeId],
+        warm_obj: f64,
+        stats: &mut SweepStats,
     ) -> Result<(DeploymentPlan, ServerAssignment, f64), PlannerError> {
         let n = nodes.len();
         let parts = candidates.len();
@@ -552,88 +1215,19 @@ impl SweepPlanner {
                 available: n,
             });
         }
-        let powers: Vec<f64> = nodes.iter().map(|&id| platform.power(id).value()).collect();
-        let mut suffix_power = vec![0.0; n + 1];
-        for i in (0..n).rev() {
-            suffix_power[i] = suffix_power[i + 1] + powers[i];
-        }
-        let ctx = MixCtx {
-            params,
-            platform,
-            mix,
-            objective,
-            candidates,
-            nodes,
-            powers,
-            suffix_power,
-        };
+        let ctx = self.make_mix_ctx(params, platform, mix, objective, candidates, nodes);
         let k_cap = self.k_cap(n).min(n - parts);
         let workers = self.worker_count(n, n - 1);
-
-        let best = if workers <= 1 {
-            let mut best: Option<KMixBest> = None;
-            for k in 1..=k_cap {
-                let incumbent = best.as_ref().map_or(f64::NEG_INFINITY, |b| b.objective);
-                if let Some(cand) = scan_k_mix(&ctx, k, incumbent) {
-                    if best
-                        .as_ref()
-                        .is_none_or(|b| cand.objective > b.objective + TIE_EPS)
-                    {
-                        best = Some(cand);
-                    }
-                }
-            }
-            best
-        } else {
-            // Same worker pool as the single-service sweep: dynamic k
-            // queue, worker-local incumbents (sound — pruning is
-            // strictly-below), ascending-k merge.
-            let next_k = AtomicUsize::new(1);
-            let mut cands = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        let ctx = &ctx;
-                        let next_k = &next_k;
-                        scope.spawn(move || {
-                            let mut local = Vec::new();
-                            let mut incumbent = f64::NEG_INFINITY;
-                            loop {
-                                let k = next_k.fetch_add(1, Ordering::Relaxed);
-                                if k > k_cap {
-                                    break;
-                                }
-                                if let Some(b) = scan_k_mix(ctx, k, incumbent) {
-                                    incumbent = incumbent.max(b.objective);
-                                    local.push(b);
-                                }
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("mix sweep workers do not panic"))
-                    .collect::<Vec<_>>()
-            });
-            cands.sort_by_key(|c| c.agents);
-            let mut best: Option<KMixBest> = None;
-            for cand in cands {
-                if best
-                    .as_ref()
-                    .is_none_or(|b| cand.objective > b.objective + TIE_EPS)
-                {
-                    best = Some(cand);
-                }
-            }
-            best
-        };
-
-        let cfg = best.ok_or_else(|| {
+        let best = self.best_family_cfg(&ctx, k_cap, workers, warm_obj, stats);
+        let mut cfg = best.ok_or_else(|| {
             PlannerError::InvalidConfig("no feasible mix deployment found".into())
         })?;
+        if ctx.blocks.iter().any(|&b| b > 1) || ctx.k_block > 1 {
+            refine_cfg(&ctx, &mut cfg, stats);
+        }
 
-        // Replay the winner (bit-exact: the walk's undos rewind exactly).
+        // Replay the winner (bit-exact: the walk's undos rewind exactly,
+        // and the refiner scores by this same replay).
         let wf = waterfill(params, &ctx.powers[..cfg.agents], n - cfg.agents);
         let mut eval =
             IncrementalEval::from_agents_mix(params, platform, &nodes[..cfg.agents], mix);
@@ -679,7 +1273,10 @@ impl SweepPlanner {
     /// multi-mid-agent cross-site growth (phase 2) and a final per-link
     /// hindsight redeal. Falls back to the min-B scalarized family
     /// re-scored per-link when no single site seats root + one server
-    /// per demanded service.
+    /// per demanded service. Per-site walk stats are summed in site
+    /// order (a site whose sweep errors contributes none); the warm
+    /// seed competes only in the final per-link comparison — per-site
+    /// objectives live in different models and cannot bound each other.
     fn best_mix_plan_multi_site(
         &self,
         platform: &Platform,
@@ -687,9 +1284,10 @@ impl SweepPlanner {
         objective: MixObjective,
         params: &ModelParams,
         candidates: &[usize],
-    ) -> Result<MixPlan, PlannerError> {
+    ) -> Result<(MixPlan, SweepStats), PlannerError> {
         let net = platform.network();
         let sites = platform.sites();
+        let warm = self.mix_warm_seed(params, platform, mix, objective);
         // Per-site sweeps refine in parallel (see the single-service
         // planner): site-level workers with a sequential inner k-loop,
         // folded in ascending site order for a deterministic winner.
@@ -720,18 +1318,30 @@ impl SweepPlanner {
                 &site_params,
                 platform,
                 &mut nodes,
-                wapp_cap(mix, candidates),
+                mix_wapp_cap(mix, candidates),
             );
+            let mut site_stats = SweepStats::default();
             let (plan, asg, _) = inner
-                .best_mix_over_nodes(&site_params, platform, mix, objective, candidates, &nodes)
+                .best_mix_over_nodes(
+                    &site_params,
+                    platform,
+                    mix,
+                    objective,
+                    candidates,
+                    &nodes,
+                    f64::NEG_INFINITY,
+                    &mut site_stats,
+                )
                 .ok()?;
             // Re-score under the per-link model.
             let eval = IncrementalEval::from_plan_mix(params, platform, &plan, mix, &asg).ok()?;
             let obj = objective_score(objective, &eval);
-            Some((plan, asg, obj))
+            Some((plan, asg, obj, site_stats))
         });
+        let mut stats = SweepStats::default();
         let mut best: Option<(DeploymentPlan, ServerAssignment, f64)> = None;
-        for (plan, asg, obj) in per_site.into_iter().flatten() {
+        for (plan, asg, obj, site_stats) in per_site.into_iter().flatten() {
+            stats.absorb(&site_stats);
             if best
                 .as_ref()
                 .is_none_or(|(_, _, cur)| obj > cur * (1.0 + TIE_EPS))
@@ -743,16 +1353,35 @@ impl SweepPlanner {
             // No site seats the whole mix: sweep the scalarized family
             // and re-score per-link.
             let mut nodes = platform.ids_by_power_desc();
-            self.coarsen_nodes(params, platform, &mut nodes, wapp_cap(mix, candidates));
+            self.coarsen_nodes(params, platform, &mut nodes, mix_wapp_cap(mix, candidates));
             let scalar = ModelParams {
                 site_aware: false,
                 ..*params
             };
-            let (plan, asg, _) =
-                self.best_mix_over_nodes(&scalar, platform, mix, objective, candidates, &nodes)?;
-            let eval = IncrementalEval::from_plan_mix(params, platform, &plan, mix, &asg)?;
-            let obj = objective_score(objective, &eval);
-            return finish_mix_plan(params, platform, plan, mix, asg, obj);
+            let family = self.best_mix_over_nodes(
+                &scalar,
+                platform,
+                mix,
+                objective,
+                candidates,
+                &nodes,
+                f64::NEG_INFINITY,
+                &mut stats,
+            );
+            let (plan, asg, obj) = match family {
+                Ok((plan, asg, _)) => {
+                    let eval = IncrementalEval::from_plan_mix(params, platform, &plan, mix, &asg)?;
+                    let obj = objective_score(objective, &eval);
+                    (plan, asg, obj)
+                }
+                Err(PlannerError::InvalidConfig(_)) if warm.is_some() => {
+                    warm.clone().expect("checked is_some")
+                }
+                Err(e) => return Err(e),
+            };
+            let (plan, asg, obj) = better_of_warm(warm, plan, asg, obj);
+            let mix_plan = finish_mix_plan(params, platform, plan, mix, asg, obj)?;
+            return Ok((mix_plan, stats));
         };
 
         // Phase 2: per-site sub-sweeps opening (multiple) mid-agents,
@@ -767,7 +1396,7 @@ impl SweepPlanner {
             .unwrap_or(0);
         let coarsen_wapp = self
             .coarsen_active(largest_site)
-            .then(|| wapp_cap(mix, candidates));
+            .then(|| mix_wapp_cap(mix, candidates));
         extend_across_sites_engine(
             params,
             platform,
@@ -783,7 +1412,38 @@ impl SweepPlanner {
         let obj = objective_score(objective, &eval);
         let (assignment, obj) =
             redeal_if_better(params, platform, &plan, mix, objective, assignment, obj);
-        finish_mix_plan(params, platform, plan, mix, assignment, obj)
+        let (plan, assignment, obj) = better_of_warm(warm, plan, assignment, obj);
+        let mix_plan = finish_mix_plan(params, platform, plan, mix, assignment, obj)?;
+        Ok((mix_plan, stats))
+    }
+
+    /// The raw family winner's objective for the uniform path — no warm
+    /// final comparison, no hindsight redeal, no refinement — so the
+    /// parity suite can pin the accelerated walk bit-identical to the
+    /// unpruned enumeration of the same family.
+    #[cfg(test)]
+    pub(crate) fn family_objective(
+        &self,
+        platform: &Platform,
+        mix: &ServiceMix,
+        objective: MixObjective,
+    ) -> Option<f64> {
+        let candidates: Vec<usize> = (0..mix.len()).filter(|&j| mix.share(j) > 0.0).collect();
+        let params = resolve_params(self.params, platform);
+        let mut nodes = platform.ids_by_power_desc();
+        self.coarsen_nodes(
+            &params,
+            platform,
+            &mut nodes,
+            mix_wapp_cap(mix, &candidates),
+        );
+        let ctx = self.make_mix_ctx(&params, platform, mix, objective, &candidates, &nodes);
+        let n = nodes.len();
+        let k_cap = self.k_cap(n).min(n - candidates.len());
+        let workers = self.worker_count(n, n - 1);
+        let mut stats = SweepStats::default();
+        self.best_family_cfg(&ctx, k_cap, workers, f64::NEG_INFINITY, &mut stats)
+            .map(|b| b.objective)
     }
 }
 
@@ -796,6 +1456,7 @@ mod tests {
     use adept_platform::generator::{heterogenized_cluster, lyon_cluster, multi_site_grid};
     use adept_platform::{BackgroundLoad, CapacityProbe, MbitRate, SiteId};
     use adept_workload::Dgemm;
+    use std::time::Duration;
 
     fn mix2() -> ServiceMix {
         ServiceMix::new(vec![
@@ -1186,5 +1847,325 @@ mod tests {
             SweepPlanner::default().best_mix_plan(&platform, &mix3(), MixObjective::WeightedMin),
             Err(PlannerError::NotEnoughNodes { needed: 4, .. })
         ));
+    }
+
+    /// Replays the family selection with no pruning at all: every
+    /// `(k, composition)` scored on a fresh engine, folded with the
+    /// walk's exact acceptance rule (strict + `TIE_EPS`) in the walk's
+    /// exact order (ascending `k`; lexicographic count vectors within a
+    /// `k`, totals interleaved) — the specification the pruned walk
+    /// must match bit for bit.
+    fn oracle_family_objective(
+        platform: &Platform,
+        mix: &ServiceMix,
+        objective: MixObjective,
+    ) -> Option<f64> {
+        let params = crate::model::ModelParams::from_platform(platform);
+        let nodes = platform.ids_by_power_desc();
+        let powers: Vec<f64> = nodes.iter().map(|&id| platform.power(id).value()).collect();
+        let n = nodes.len();
+        let candidates: Vec<usize> = (0..mix.len()).filter(|&j| mix.share(j) > 0.0).collect();
+        let parts = candidates.len();
+        let k_cap = (n - 1).min(n - parts);
+        let mut best: Option<f64> = None;
+        for k in 1..=k_cap {
+            let s_max = n - k;
+            if s_max < parts {
+                continue;
+            }
+            let wf = waterfill(&params, &powers[..k], s_max);
+            // The walk's order is lexicographic over the full count
+            // vector with the total varying — collect and sort.
+            let mut comps: Vec<Vec<usize>> = Vec::new();
+            for s in parts..=s_max {
+                for_each_composition(s, parts, |c| comps.push(c.to_vec()));
+            }
+            comps.sort();
+            let mut k_best: Option<f64> = None;
+            for counts in &comps {
+                let total: usize = counts.iter().sum();
+                if wf.zero_after[total] > 0 {
+                    continue; // dominated by a smaller k
+                }
+                let mut eval =
+                    IncrementalEval::from_agents_mix(&params, platform, &nodes[..k], mix);
+                for &a in &wf.agent_parents {
+                    eval.assign_child_slot(Slot(a)).unwrap();
+                }
+                let mut t = 0usize;
+                for (d, &c) in counts.iter().enumerate() {
+                    for _ in 0..c {
+                        eval.add_server_for(
+                            Slot(wf.server_parents[t]),
+                            nodes[k + t],
+                            MflopRate(powers[k + t]),
+                            candidates[d],
+                        )
+                        .unwrap();
+                        t += 1;
+                    }
+                }
+                let obj = objective_score(objective, &eval);
+                if k_best.is_none_or(|b| obj > b + TIE_EPS) {
+                    k_best = Some(obj);
+                }
+            }
+            if let Some(kb) = k_best {
+                if best.is_none_or(|b| kb > b + TIE_EPS) {
+                    best = Some(kb);
+                }
+            }
+        }
+        best
+    }
+
+    /// The acceptance criterion's parity suite: at n ≤ 48 the
+    /// accelerated walk (dominance pruning on, the default) and the
+    /// exact reference walk (`coarsen: Some(false)`) both return the
+    /// unpruned enumeration's objective, bit for bit, under both
+    /// objectives.
+    #[test]
+    fn accelerated_walk_is_bit_identical_to_the_unpruned_family() {
+        let scenarios: Vec<(Platform, ServiceMix)> = vec![
+            (lyon_cluster(24), mix3()),
+            (
+                heterogenized_cluster(
+                    "orsay",
+                    48,
+                    adept_platform::MflopRate(400.0),
+                    BackgroundLoad::default(),
+                    CapacityProbe::exact(),
+                    7,
+                ),
+                mix2(),
+            ),
+        ];
+        for (platform, mix) in &scenarios {
+            for objective in [MixObjective::WeightedMin, MixObjective::WeightedSum] {
+                let oracle = oracle_family_objective(platform, mix, objective).unwrap();
+                let accelerated = SweepPlanner::sequential()
+                    .family_objective(platform, mix, objective)
+                    .unwrap();
+                let exact = SweepPlanner {
+                    coarsen: Some(false),
+                    parallel: false,
+                    ..SweepPlanner::default()
+                }
+                .family_objective(platform, mix, objective)
+                .unwrap();
+                assert_eq!(
+                    accelerated.to_bits(),
+                    oracle.to_bits(),
+                    "{objective:?}: accelerated {accelerated} != oracle {oracle}"
+                );
+                assert_eq!(
+                    exact.to_bits(),
+                    oracle.to_bits(),
+                    "{objective:?}: exact walk {exact} != oracle {oracle}"
+                );
+            }
+        }
+    }
+
+    /// The coarse-vs-exact quality floor (satellite): the gridded,
+    /// warm-seeded, dominance-pruned sweep stays within 1% of the exact
+    /// reference walk on randomized 1- and 2-site platforms at n ≤ 400,
+    /// under both objectives.
+    #[test]
+    fn coarse_walk_stays_within_a_percent_of_exact() {
+        let single_site: Vec<(Platform, ServiceMix)> = vec![
+            (
+                heterogenized_cluster(
+                    "orsay",
+                    120,
+                    adept_platform::MflopRate(400.0),
+                    BackgroundLoad::default(),
+                    CapacityProbe::exact(),
+                    3,
+                ),
+                mix2(),
+            ),
+            (
+                heterogenized_cluster(
+                    "orsay",
+                    100,
+                    adept_platform::MflopRate(400.0),
+                    BackgroundLoad::default(),
+                    CapacityProbe::exact(),
+                    19,
+                ),
+                mix3(),
+            ),
+        ];
+        let two_site: Vec<(Platform, ServiceMix)> = vec![(
+            multi_site_grid(
+                2,
+                60,
+                adept_platform::MflopRate(400.0),
+                MbitRate(100.0),
+                MbitRate(5.0),
+                13,
+            ),
+            mix2(),
+        )];
+        for (platform, mix) in single_site.iter().chain(&two_site) {
+            for objective in [MixObjective::WeightedMin, MixObjective::WeightedSum] {
+                let coarse = SweepPlanner {
+                    coarsen: Some(true),
+                    ..SweepPlanner::default()
+                }
+                .best_mix_plan(platform, mix, objective)
+                .unwrap();
+                let exact = SweepPlanner {
+                    coarsen: Some(false),
+                    ..SweepPlanner::default()
+                }
+                .best_mix_plan(platform, mix, objective)
+                .unwrap();
+                assert!(
+                    coarse.objective_value >= 0.99 * exact.objective_value,
+                    "{objective:?} n={}: coarse {} below 99% of exact {}",
+                    platform.node_count(),
+                    coarse.objective_value,
+                    exact.objective_value
+                );
+            }
+        }
+    }
+
+    /// SweepStats sanity (satellite): every visited node lands in
+    /// exactly one bucket, with and without the composition grid.
+    #[test]
+    fn sweep_stats_account_for_every_visited_node() {
+        let platform = lyon_cluster(60);
+        let mix = mix3();
+        for planner in [
+            SweepPlanner::sequential(),
+            SweepPlanner {
+                coarsen: Some(true),
+                parallel: false,
+                ..SweepPlanner::default()
+            },
+            SweepPlanner {
+                coarsen: Some(false),
+                parallel: false,
+                ..SweepPlanner::default()
+            },
+        ] {
+            for objective in [MixObjective::WeightedMin, MixObjective::WeightedSum] {
+                let (_, stats) = planner
+                    .best_mix_plan_stats(&platform, &mix, objective)
+                    .unwrap();
+                assert!(stats.visited > 0, "the walk visited nothing");
+                assert!(stats.expanded > 0, "the walk expanded nothing");
+                assert_eq!(
+                    stats.visited,
+                    stats.expanded + stats.pruned(),
+                    "coarsen={:?} {objective:?}: {stats:?} loses nodes",
+                    planner.coarsen
+                );
+                assert!(!stats.truncated, "no budget was set");
+            }
+        }
+        // The parallel path sums worker-local stats to the same
+        // invariant (counts are scan-order-independent u64 sums).
+        let platform = heterogenized_cluster(
+            "orsay",
+            90,
+            adept_platform::MflopRate(400.0),
+            BackgroundLoad::default(),
+            CapacityProbe::exact(),
+            5,
+        );
+        let (_, stats) = SweepPlanner::with_threads(3)
+            .best_mix_plan_stats(&platform, &mix2(), MixObjective::WeightedMin)
+            .unwrap();
+        assert_eq!(stats.visited, stats.expanded + stats.pruned());
+        assert!(stats.expanded > 0);
+    }
+
+    /// The anytime knob (satellite): a zero budget truncates
+    /// immediately and falls back to the warm seed — still a valid
+    /// plan — while no budget never reports truncation.
+    #[test]
+    fn time_budget_truncates_to_a_valid_best_so_far() {
+        let platform = lyon_cluster(40);
+        let mix = mix3();
+        let (plan, stats) = SweepPlanner {
+            time_budget: Some(Duration::ZERO),
+            parallel: false,
+            ..SweepPlanner::default()
+        }
+        .best_mix_plan_stats(&platform, &mix, MixObjective::WeightedMin)
+        .unwrap();
+        assert!(stats.truncated, "a zero budget must truncate");
+        assert!(plan.objective_value > 0.0);
+        assert!(validate_relaxed(&plan.plan).is_empty());
+        assert!(validate_assignment(&plan.plan, &plan.assignment.service_of, mix.len()).is_empty());
+        // The fallback is exactly the warm seed's quality or better.
+        let heur = MixPlanner::default()
+            .plan_mix_unbounded(&platform, &mix)
+            .unwrap();
+        assert!(
+            plan.objective_value >= heur.objective_value * (1.0 - 1e-9),
+            "truncated sweep {} below the warm seed {}",
+            plan.objective_value,
+            heur.objective_value
+        );
+        let (_, stats) = SweepPlanner::sequential()
+            .best_mix_plan_stats(&platform, &mix, MixObjective::WeightedMin)
+            .unwrap();
+        assert!(!stats.truncated, "no budget, no truncation");
+    }
+
+    /// Warm incumbents make the sweep a true upper envelope: it never
+    /// returns less than the heuristic it seeds from, on any path
+    /// (uniform and multi-site), under both objectives.
+    #[test]
+    fn sweep_never_returns_less_than_the_heuristic() {
+        let scenarios: Vec<(Platform, ServiceMix)> = vec![
+            (lyon_cluster(40), mix3()),
+            (
+                heterogenized_cluster(
+                    "orsay",
+                    48,
+                    adept_platform::MflopRate(400.0),
+                    BackgroundLoad::default(),
+                    CapacityProbe::exact(),
+                    7,
+                ),
+                mix2(),
+            ),
+            (
+                multi_site_grid(
+                    2,
+                    12,
+                    adept_platform::MflopRate(400.0),
+                    MbitRate(100.0),
+                    MbitRate(5.0),
+                    9,
+                ),
+                mix2(),
+            ),
+        ];
+        for (platform, mix) in &scenarios {
+            for objective in [MixObjective::WeightedMin, MixObjective::WeightedSum] {
+                let sweep = SweepPlanner::default()
+                    .best_mix_plan(platform, mix, objective)
+                    .unwrap();
+                let heur = MixPlanner {
+                    objective,
+                    ..MixPlanner::default()
+                }
+                .plan_mix_unbounded(platform, mix)
+                .unwrap();
+                assert!(
+                    sweep.objective_value >= heur.objective_value * (1.0 - 1e-9),
+                    "{objective:?}: sweep {} below its warm seed {}",
+                    sweep.objective_value,
+                    heur.objective_value
+                );
+            }
+        }
     }
 }

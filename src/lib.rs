@@ -167,7 +167,7 @@ pub mod prelude {
     pub use adept_core::planner::{
         BalancedPlanner, EvalStrategy, HeuristicPlanner, HomogeneousCsdPlanner, MixObjective,
         MixPlan, MixPlanner, MixReplan, OnlinePlanner, Planner, PlannerError, Rebalancer, Replan,
-        Revise, ReviseError, RoundRobinPlanner, StarPlanner, SweepPlanner, WarmCache,
+        Revise, ReviseError, RoundRobinPlanner, StarPlanner, SweepPlanner, SweepStats, WarmCache,
     };
     pub use adept_godiet::{
         DeployError, DeploymentReport, GoDiet, MigrationAction, MigrationReport, MigrationScript,
