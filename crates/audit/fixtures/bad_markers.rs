@@ -1,0 +1,23 @@
+//! Fixture: every way a marker itself can be wrong. Each one is a
+//! `[marker]` violation at a line the integration test pins.
+
+pub fn clean_code(v: Option<u32>) -> Option<u32> {
+    v
+}
+
+// audit: allow(unwrap, "stale: nothing on the next code line") line 8
+pub fn stale_marker(v: Option<u32>) -> Option<u32> {
+    v
+}
+
+// audit: allow(made-up-rule, "no such rule") line 13
+pub fn unknown_rule() {}
+
+// audit: allow(panic, "") line 16: empty reason
+pub fn empty_reason() {}
+
+// audit: allow(unwrap "missing comma") line 19
+pub fn malformed_syntax() {}
+
+// audit: deny(unwrap, "unknown directive") line 22
+pub fn unknown_directive() {}

@@ -1,0 +1,38 @@
+//! Fixture: one naked occurrence of every audited construct. Each
+//! violation sits at a line the integration test pins exactly.
+//! (This directory is exempt from the workspace walk; the test feeds
+//! the file to `scan_source` under a non-exempt display path.)
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn unwrap_site(v: Option<u32>) -> u32 {
+    v.unwrap() // line 9: unwrap
+}
+
+pub fn expect_site(v: Option<u32>) -> u32 {
+    v.expect("fixture") // line 13: unwrap (expect form)
+}
+
+pub fn panic_site() {
+    panic!("fixture"); // line 17: panic
+}
+
+pub fn todo_site() {
+    todo!() // line 21: panic (todo form)
+}
+
+pub fn unimplemented_site() {
+    unimplemented!() // line 25: panic (unimplemented form)
+}
+
+pub fn dbg_site(x: u32) -> u32 {
+    dbg!(x) // line 29: dbg
+}
+
+pub fn unsafe_site(p: *const u32) -> u32 {
+    unsafe { *p } // line 33: unsafe
+}
+
+pub fn relaxed_site(c: &AtomicUsize) -> usize {
+    c.load(Ordering::Relaxed) // line 37: relaxed
+}

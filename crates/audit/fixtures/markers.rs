@@ -1,0 +1,33 @@
+//! Fixture: correctly annotated escapes. Every violation below carries
+//! a verified marker, so the scan is clean and the allow inventory has
+//! exactly four entries (three per-line, one file-level).
+
+// audit: allow-file(relaxed, "fixture: counters carry no cross-thread
+// data, RMW atomicity is enough")
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn counted(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn also_counted(c: &AtomicUsize) -> usize {
+    c.load(Ordering::Relaxed)
+}
+
+pub fn same_line(v: Option<u32>) -> u32 {
+    v.unwrap() // audit: allow(unwrap, "fixture: caller checked is_some")
+}
+
+pub fn whole_line_marker(v: Option<u32>) -> u32 {
+    // audit: allow(unwrap, "fixture: marker on its own line covers the
+    // next code line, and wraps across continuation comments")
+    v.expect("covered by the marker above")
+}
+
+pub fn annotated_panic(ok: bool) {
+    if !ok {
+        // audit: allow(panic, "fixture: contract violation is unrecoverable")
+        panic!("fixture contract violated")
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: violations that sit only inside in-file test code, which
+//! the scan exempts by `#[cfg(test)]` attribute / `mod tests` brace
+//! tracking. Must scan clean.
+
+pub fn library_code(v: Option<u32>) -> Option<u32> {
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::library_code;
+
+    #[test]
+    fn exercised_with_unwraps() {
+        assert_eq!(library_code(Some(3)).unwrap(), 3);
+        let _ = library_code(None).is_none() || panic!("fixture");
+    }
+}
+
+#[cfg(test)]
+fn test_helper(v: Option<u32>) -> u32 {
+    v.expect("helpers under cfg(test) are exempt too")
+}

@@ -1,0 +1,40 @@
+//! Fixture: every audited token appears here only inside strings,
+//! comments, doc text, or as a lifetime — the scan must report zero
+//! violations. Each arm targets one lexer hazard.
+
+// .unwrap() and panic! in a line comment must not fire.
+/* block comment: .expect("x") dbg!(y) unsafe { } /* nested:
+Ordering::Relaxed */ still inside */
+
+/// Doc text mentioning `.unwrap()`, `panic!`, and `unsafe` blocks.
+pub fn strings() -> Vec<String> {
+    vec![
+        "call .unwrap() here".to_string(),
+        "then panic!(\"nope\") with an escaped quote".to_string(),
+        r#"raw string: dbg!(x) and "quoted" unsafe"#.to_string(),
+        r##"more hashes: .expect("deep") todo!()"##.to_string(),
+        String::from_utf8_lossy(b"byte string: unimplemented!()").into_owned(),
+    ]
+}
+
+/// A lifetime is not a char literal: masking `'a` as a string would
+/// swallow the rest of the file and hide the marker grammar.
+pub fn lifetimes<'a>(s: &'a str) -> &'a str {
+    let _delim: char = '"';
+    let _escaped: char = '\'';
+    s
+}
+
+/// `Relaxed` without the `Ordering::` path prefix is someone else's
+/// identifier, not an atomics ordering.
+pub struct Relaxed;
+pub fn not_an_ordering() -> Relaxed {
+    Relaxed
+}
+
+/// An identifier ending in `r` followed by a string is not a raw
+/// string (`let for_r = ...` must not misfire the raw-string arm).
+pub fn ident_r_then_string() -> &'static str {
+    let var_r = "not raw: .unwrap()";
+    var_r
+}

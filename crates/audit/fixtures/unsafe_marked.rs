@@ -1,0 +1,7 @@
+//! Fixture: `unsafe` outside [`UNSAFE_ALLOWLIST`] stays a violation
+//! even with a marker — the allowlist is the only escape hatch.
+
+// audit: allow(unsafe, "a marker must NOT be able to excuse this")
+pub fn marked_unsafe(p: *const u32) -> u32 {
+    unsafe { *p }
+}

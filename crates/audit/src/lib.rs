@@ -1,0 +1,888 @@
+//! `adept-audit` — the workspace's own static-analysis pass.
+//!
+//! A hand-rolled lexer (no `syn`, no external parser) walks every
+//! workspace member and enforces the repo's reliability contract on
+//! *library* code (test modules, `tests/`, `benches/`, and `examples/`
+//! are exempt):
+//!
+//! | rule      | forbids                                            |
+//! |-----------|----------------------------------------------------|
+//! | `unwrap`  | `.unwrap()` / `.expect(..)`                        |
+//! | `panic`   | `panic!` / `todo!` / `unimplemented!`              |
+//! | `dbg`     | `dbg!`                                             |
+//! | `unsafe`  | the `unsafe` keyword outside [`UNSAFE_ALLOWLIST`]  |
+//! | `relaxed` | un-annotated `Ordering::Relaxed`                   |
+//!
+//! Intentional escapes are annotated in source with an audit marker
+//! the tool verifies and inventories:
+//!
+//! ```text
+//! // audit: allow(unwrap, "mutex poisoning is unreachable here")
+//! // audit: allow-file(unwrap, "parity suite covers every path")
+//! ```
+//!
+//! A per-line `allow` covers the violation on its own line, or — when
+//! it is a whole-line comment — the next line that contains code. An
+//! `allow-file` covers the entire file for one rule. Every marker must
+//! justify itself (non-empty reason) and must actually cover at least
+//! one occurrence: stale markers are themselves violations, so the
+//! inventory (`adept-audit allows`) never drifts from the tree.
+//!
+//! The lexer understands strings (incl. raw/byte strings), char
+//! literals vs lifetimes, nested block comments, and line comments, so
+//! `"panic!"` inside a string or a doc comment never trips a rule; it
+//! tracks `#[cfg(test)]` attributes and `mod tests` blocks by brace
+//! depth to exempt in-file test code.
+
+#![forbid(unsafe_code)]
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Files allowed to contain `unsafe` (still only with a justified
+/// `audit: allow(unsafe, ..)` marker on each occurrence). Everything
+/// else in the tree is `unsafe`-free by construction.
+pub const UNSAFE_ALLOWLIST: &[&str] = &["vendor/interleave/src/sync.rs"];
+
+/// Directory names whose contents are exempt from every rule.
+const EXEMPT_DIRS: &[&str] = &["tests", "benches", "examples", "fixtures"];
+
+/// The rules the auditor enforces.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, PartialOrd, Ord)]
+pub enum Rule {
+    Unwrap,
+    Panic,
+    Dbg,
+    Unsafe,
+    Relaxed,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 5] = [
+        Rule::Unwrap,
+        Rule::Panic,
+        Rule::Dbg,
+        Rule::Unsafe,
+        Rule::Relaxed,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Unwrap => "unwrap",
+            Rule::Panic => "panic",
+            Rule::Dbg => "dbg",
+            Rule::Unsafe => "unsafe",
+            Rule::Relaxed => "relaxed",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One diagnostic: a rule violation, a stale marker, or a malformed
+/// marker. `line`/`col` are 1-based.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub file: PathBuf,
+    pub line: usize,
+    pub col: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.col,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// One verified `audit: allow` marker, for the inventory.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub file: PathBuf,
+    pub line: usize,
+    pub rule: Rule,
+    pub why: String,
+    pub file_level: bool,
+    /// Occurrences this marker excused.
+    pub uses: usize,
+}
+
+/// Everything the auditor found in one tree walk.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    pub violations: Vec<Violation>,
+    pub allows: Vec<Allow>,
+    pub files_scanned: usize,
+}
+
+impl AuditReport {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lexer: mask out non-code, collect comments.
+// ---------------------------------------------------------------------
+
+/// Source text with every string/char literal and comment replaced by
+/// spaces (byte-for-byte, so columns survive), plus the comments
+/// themselves keyed by the line they start on.
+struct Masked {
+    /// Masked code, split into lines (no terminators).
+    lines: Vec<String>,
+    /// `(line_idx_0based, comment_text)` for every comment.
+    comments: Vec<(usize, String)>,
+}
+
+fn mask_source(src: &str) -> Masked {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut comments = Vec::new();
+    let mut line = 0usize;
+    let mut i = 0usize;
+
+    // Pushes `b[i]` masked to space (newlines kept so line structure
+    // survives inside block comments and multi-line strings).
+    fn push_masked(out: &mut Vec<u8>, c: u8, line: &mut usize) {
+        if c == b'\n' {
+            out.push(b'\n');
+            *line += 1;
+        } else {
+            out.push(b' ');
+        }
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Line comment (`//`, `///`, `//!`).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let start_line = line;
+            let mut text = String::new();
+            while i < b.len() && b[i] != b'\n' {
+                text.push(b[i] as char);
+                out.push(b' ');
+                i += 1;
+            }
+            comments.push((start_line, text));
+            continue;
+        }
+        // Block comment, nested.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let start_line = line;
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    text.push_str("/*");
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    text.push_str("*/");
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(b[i] as char);
+                    push_masked(&mut out, b[i], &mut line);
+                    i += 1;
+                }
+            }
+            comments.push((start_line, text));
+            continue;
+        }
+        // Raw / byte / C strings: [b|c]? r#*" ... "#* — only when not
+        // inside an identifier (`let foo_r = ..` must not misfire).
+        if (c == b'r' || c == b'b' || c == b'c') && (i == 0 || !is_ident_byte(b[i - 1])) {
+            let mut j = i;
+            if (b[j] == b'b' || b[j] == b'c') && j + 1 < b.len() && b[j + 1] == b'r' {
+                j += 1;
+            }
+            if b[j] == b'r' {
+                let mut hashes = 0usize;
+                let mut k = j + 1;
+                while k < b.len() && b[k] == b'#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < b.len() && b[k] == b'"' {
+                    // Mask prefix + opening quote.
+                    out.extend(std::iter::repeat_n(b' ', k - i + 1));
+                    i = k + 1;
+                    // Scan to `"` followed by `hashes` hashes.
+                    'raw: while i < b.len() {
+                        if b[i] == b'"' {
+                            let mut h = 0usize;
+                            while h < hashes && i + 1 + h < b.len() && b[i + 1 + h] == b'#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                out.extend(std::iter::repeat_n(b' ', hashes + 1));
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        push_masked(&mut out, b[i], &mut line);
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+            // `b"..."` (byte string, non-raw) falls through to the
+            // plain-string arm via the quote itself.
+        }
+        // Plain string.
+        if c == b'"' {
+            out.push(b' ');
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    out.push(b' ');
+                    push_masked(&mut out, b[i + 1], &mut line);
+                    i += 2;
+                    continue;
+                }
+                if b[i] == b'"' {
+                    out.push(b' ');
+                    i += 1;
+                    break;
+                }
+                push_masked(&mut out, b[i], &mut line);
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            let next = b.get(i + 1).copied();
+            let is_char = match next {
+                Some(b'\\') => true,
+                Some(n) if is_ident_byte(n) => b.get(i + 2) == Some(&b'\''),
+                Some(b'\'') => false, // `''` — malformed, treat as not-a-char
+                Some(_) => true,      // `'('`, `' '` etc.
+                None => false,
+            };
+            if is_char {
+                out.push(b' ');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == b'\'' {
+                        out.push(b' ');
+                        i += 1;
+                        break;
+                    }
+                    push_masked(&mut out, b[i], &mut line);
+                    i += 1;
+                }
+            } else {
+                // Lifetime: keep the tick masked, identifier flows on.
+                out.push(b' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Ordinary code byte.
+        if c == b'\n' {
+            line += 1;
+        }
+        out.push(c);
+        i += 1;
+    }
+
+    let text = String::from_utf8_lossy(&out).into_owned();
+    Masked {
+        lines: text.lines().map(str::to_owned).collect(),
+        comments,
+    }
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+// ---------------------------------------------------------------------
+// Test-region detection.
+// ---------------------------------------------------------------------
+
+/// Marks every line (0-based) inside a `#[cfg(test)]` item or a
+/// `mod tests { .. }` block as exempt.
+fn test_exempt_lines(masked: &[String]) -> Vec<bool> {
+    let joined = masked.join("\n");
+    let mut exempt = vec![false; masked.len()];
+    let bytes = joined.as_bytes();
+
+    let mut mark = |start: usize| {
+        // `start` is a byte offset just past the trigger token. Walk
+        // forward: the item ends at a top-level `;` (no block) or at
+        // the close of its first brace block.
+        let mut depth = 0usize;
+        let mut saw_brace = false;
+        let mut j = start;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    depth += 1;
+                    saw_brace = true;
+                }
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if saw_brace && depth == 0 {
+                        break;
+                    }
+                }
+                b';' if !saw_brace && depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let start_line = joined[..start].matches('\n').count();
+        let end_line = joined[..j.min(joined.len())].matches('\n').count();
+        for e in exempt.iter_mut().take(end_line + 1).skip(start_line) {
+            *e = true;
+        }
+    };
+
+    for pat in ["#[cfg(test)]", "mod tests"] {
+        let mut from = 0usize;
+        while let Some(pos) = joined[from..].find(pat) {
+            let at = from + pos;
+            // `mod tests` must be a whole word (`mod tests_util` no).
+            let after = at + pat.len();
+            let ok = pat != "mod tests"
+                || !joined
+                    .as_bytes()
+                    .get(after)
+                    .copied()
+                    .is_some_and(is_ident_byte);
+            if ok {
+                mark(after);
+            }
+            from = after;
+        }
+    }
+    exempt
+}
+
+// ---------------------------------------------------------------------
+// Rule matching on masked code.
+// ---------------------------------------------------------------------
+
+/// `(line_0based, col_0based, rule)` occurrences in masked code.
+fn find_occurrences(masked: &[String]) -> Vec<(usize, usize, Rule)> {
+    let mut hits = Vec::new();
+    for (li, code) in masked.iter().enumerate() {
+        let cb = code.as_bytes();
+        let mut i = 0usize;
+        while i < cb.len() {
+            if !is_ident_byte(cb[i]) || (i > 0 && is_ident_byte(cb[i - 1])) {
+                i += 1;
+                continue;
+            }
+            let mut j = i;
+            while j < cb.len() && is_ident_byte(cb[j]) {
+                j += 1;
+            }
+            let word = &code[i..j];
+            let rule = match word {
+                "unwrap" | "expect" => (prev_nonspace(cb, i) == Some(b'.')
+                    && next_nonspace(cb, j) == Some(b'('))
+                .then_some(Rule::Unwrap),
+                "panic" | "todo" | "unimplemented" => {
+                    (next_nonspace(cb, j) == Some(b'!')).then_some(Rule::Panic)
+                }
+                "dbg" => (next_nonspace(cb, j) == Some(b'!')).then_some(Rule::Dbg),
+                "unsafe" => Some(Rule::Unsafe),
+                "Relaxed" => code[..i].ends_with("Ordering::").then_some(Rule::Relaxed),
+                _ => None,
+            };
+            if let Some(rule) = rule {
+                hits.push((li, i, rule));
+            }
+            i = j;
+        }
+    }
+    hits
+}
+
+fn prev_nonspace(b: &[u8], i: usize) -> Option<u8> {
+    b[..i]
+        .iter()
+        .rev()
+        .copied()
+        .find(|c| !c.is_ascii_whitespace())
+}
+
+fn next_nonspace(b: &[u8], j: usize) -> Option<u8> {
+    b[j..].iter().copied().find(|c| !c.is_ascii_whitespace())
+}
+
+// ---------------------------------------------------------------------
+// Marker parsing.
+// ---------------------------------------------------------------------
+
+struct RawMarker {
+    line: usize, // 0-based
+    rule: Rule,
+    why: String,
+    file_level: bool,
+}
+
+enum MarkerParse {
+    Ok(RawMarker),
+    Malformed { line: usize, message: String },
+}
+
+/// Extracts an `audit: allow(..)` / `audit: allow-file(..)` marker
+/// from one comment. Only plain line comments whose first token is
+/// `audit:` count — doc comments (`///`, `//!`) and prose that merely
+/// *mentions* the syntax never parse as markers, so documentation can
+/// show examples freely. A comment anchored on `audit:` that then
+/// fails to parse is reported malformed rather than silently ignored.
+fn parse_markers(line: usize, text: &str, out: &mut Vec<MarkerParse>) {
+    // `text` carries the comment's own leading slashes.
+    let Some(body) = text.strip_prefix("//") else {
+        return; // block comments are not marker carriers
+    };
+    if body.starts_with('/') || body.starts_with('!') {
+        return; // doc comment
+    }
+    let Some(rest) = body.trim_start().strip_prefix("audit:") else {
+        return;
+    };
+    let rest = rest.trim_start();
+    let (file_level, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+        (true, r)
+    } else if let Some(r) = rest.strip_prefix("allow") {
+        (false, r)
+    } else {
+        out.push(MarkerParse::Malformed {
+            line,
+            message: "audit marker must be `allow(..)` or `allow-file(..)`".into(),
+        });
+        return;
+    };
+    let parsed = (|| -> Result<RawMarker, String> {
+        let rest = rest
+            .trim_start()
+            .strip_prefix('(')
+            .ok_or("expected `(` after allow")?;
+        let comma = rest.find(',').ok_or("expected `,` after rule name")?;
+        let rule_name = rest[..comma].trim();
+        let rule =
+            Rule::from_name(rule_name).ok_or_else(|| format!("unknown rule `{rule_name}`"))?;
+        let rest = rest[comma + 1..].trim_start();
+        let rest = rest
+            .strip_prefix('"')
+            .ok_or("expected a double-quoted reason")?;
+        let close = rest.find('"').ok_or("unterminated reason string")?;
+        let why = rest[..close].trim().to_owned();
+        if why.is_empty() {
+            return Err("reason must not be empty".into());
+        }
+        let rest = rest[close + 1..].trim_start();
+        if !rest.starts_with(')') {
+            return Err("expected `)` after reason".into());
+        }
+        Ok(RawMarker {
+            line,
+            rule,
+            why,
+            file_level,
+        })
+    })();
+    match parsed {
+        Ok(m) => out.push(MarkerParse::Ok(m)),
+        Err(message) => out.push(MarkerParse::Malformed { line, message }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-file scan.
+// ---------------------------------------------------------------------
+
+/// Audits one file's source. `display_path` is used in diagnostics and
+/// for the unsafe allowlist (match by `/`-normalized suffix).
+pub fn scan_source(display_path: &Path, src: &str) -> (Vec<Violation>, Vec<Allow>) {
+    let masked = mask_source(src);
+    let exempt = test_exempt_lines(&masked.lines);
+    let occurrences = find_occurrences(&masked.lines);
+
+    // A marker may wrap across consecutive whole-line `//` comments
+    // (rustfmt-friendly): join each anchor comment with its
+    // continuation lines before parsing. Continuations stop at code,
+    // doc comments, blank lines, or the next marker anchor.
+    fn is_plain(text: &str) -> Option<&str> {
+        let body = text.strip_prefix("//")?;
+        (!body.starts_with('/') && !body.starts_with('!')).then_some(body)
+    }
+    fn is_anchor(text: &str) -> bool {
+        is_plain(text).is_some_and(|b| b.trim_start().starts_with("audit:"))
+    }
+    let mut parses = Vec::new();
+    for (ci, (line, text)) in masked.comments.iter().enumerate() {
+        if !is_anchor(text) {
+            continue;
+        }
+        let mut joined = text.clone();
+        for (next_line, (l2, t2)) in (line + 1..).zip(&masked.comments[ci + 1..]) {
+            if *l2 != next_line
+                || masked.lines.get(*l2).is_some_and(|l| !l.trim().is_empty())
+                || is_anchor(t2)
+            {
+                break;
+            }
+            let Some(body) = is_plain(t2) else { break };
+            joined.push(' ');
+            joined.push_str(body.trim());
+        }
+        parse_markers(*line, &joined, &mut parses);
+    }
+
+    let mut violations = Vec::new();
+    let mut markers: Vec<RawMarker> = Vec::new();
+    for p in parses {
+        match p {
+            MarkerParse::Ok(m) => {
+                // Markers inside test-exempt regions are inert (the
+                // rules don't apply there), so don't count them at all
+                // — a stale one would otherwise be unfixable.
+                if !exempt.get(m.line).copied().unwrap_or(false) {
+                    markers.push(m);
+                }
+            }
+            MarkerParse::Malformed { line, message } => violations.push(Violation {
+                file: display_path.to_owned(),
+                line: line + 1,
+                col: 1,
+                rule: "marker",
+                message,
+            }),
+        }
+    }
+
+    // Which source line does each per-line marker cover? Its own line
+    // if that line has code; otherwise the next line with code.
+    let covered_line = |marker_line: usize| -> usize {
+        if masked
+            .lines
+            .get(marker_line)
+            .is_some_and(|l| !l.trim().is_empty())
+        {
+            return marker_line;
+        }
+        let mut l = marker_line + 1;
+        while l < masked.lines.len() && masked.lines[l].trim().is_empty() {
+            l += 1;
+        }
+        l
+    };
+
+    let mut uses = vec![0usize; markers.len()];
+    let unsafe_allowed = {
+        let norm = display_path.to_string_lossy().replace('\\', "/");
+        UNSAFE_ALLOWLIST.iter().any(|suffix| norm.ends_with(suffix))
+    };
+
+    for (line, col, rule) in occurrences {
+        if exempt.get(line).copied().unwrap_or(false) {
+            continue;
+        }
+        if rule == Rule::Unsafe && !unsafe_allowed {
+            violations.push(Violation {
+                file: display_path.to_owned(),
+                line: line + 1,
+                col: col + 1,
+                rule: rule.name(),
+                message: format!(
+                    "`unsafe` outside the allowlist ({}); a marker cannot excuse it",
+                    UNSAFE_ALLOWLIST.join(", ")
+                ),
+            });
+            continue;
+        }
+        let excused = markers
+            .iter()
+            .enumerate()
+            .find(|(_, m)| m.rule == rule && (m.file_level || covered_line(m.line) == line));
+        if let Some((mi, _)) = excused {
+            uses[mi] += 1;
+            continue;
+        }
+        let what = match rule {
+            Rule::Unwrap => "`.unwrap()`/`.expect(..)` in library code",
+            Rule::Panic => "`panic!`/`todo!`/`unimplemented!` in library code",
+            Rule::Dbg => "`dbg!` left in library code",
+            Rule::Unsafe => "un-annotated `unsafe`",
+            Rule::Relaxed => "un-annotated `Ordering::Relaxed`",
+        };
+        violations.push(Violation {
+            file: display_path.to_owned(),
+            line: line + 1,
+            col: col + 1,
+            rule: rule.name(),
+            message: format!(
+                "{what}; fix it or annotate `// audit: allow({}, \"<why>\")`",
+                rule.name()
+            ),
+        });
+    }
+
+    let mut allows = Vec::new();
+    for (m, &n) in markers.iter().zip(&uses) {
+        if n == 0 {
+            violations.push(Violation {
+                file: display_path.to_owned(),
+                line: m.line + 1,
+                col: 1,
+                rule: "marker",
+                message: format!(
+                    "stale `audit: allow{}({}, ..)` marker excuses nothing — remove it",
+                    if m.file_level { "-file" } else { "" },
+                    m.rule.name()
+                ),
+            });
+            continue; // a stale marker is a violation, not an allow
+        }
+        allows.push(Allow {
+            file: display_path.to_owned(),
+            line: m.line + 1,
+            rule: m.rule,
+            why: m.why.clone(),
+            file_level: m.file_level,
+            uses: n,
+        });
+    }
+    violations.sort_by_key(|v| (v.line, v.col));
+
+    (violations, allows)
+}
+
+// ---------------------------------------------------------------------
+// Workspace walk.
+// ---------------------------------------------------------------------
+
+/// Reads the member list out of the root `Cargo.toml` (plain quoted
+/// paths; the workspace does not use globs).
+fn workspace_members(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let manifest = std::fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut members = vec![root.to_owned()]; // the root package's own src/
+    let Some(start) = manifest.find("members") else {
+        return Ok(members);
+    };
+    let Some(open) = manifest[start..].find('[') else {
+        return Ok(members);
+    };
+    let Some(close) = manifest[start + open..].find(']') else {
+        return Ok(members);
+    };
+    let list = &manifest[start + open + 1..start + open + close];
+    for part in list.split(',') {
+        let part = part.trim().trim_matches('"');
+        if !part.is_empty() {
+            members.push(root.join(part));
+        }
+    }
+    Ok(members)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if EXEMPT_DIRS.contains(&name.as_ref()) || name == "target" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Audits the whole workspace rooted at `root`: every member's `src/`
+/// tree (plus root-level `build.rs` if any), library code only.
+pub fn audit_workspace(root: &Path) -> std::io::Result<AuditReport> {
+    let mut report = AuditReport::default();
+    let mut files = Vec::new();
+    for member in workspace_members(root)? {
+        let src = member.join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+        let build = member.join("build.rs");
+        if build.is_file() {
+            files.push(build);
+        }
+    }
+    files.sort();
+    files.dedup();
+    for file in files {
+        let src = std::fs::read_to_string(&file)?;
+        let display = file.strip_prefix(root).unwrap_or(&file).to_owned();
+        let (violations, allows) = scan_source(&display, &src);
+        report.violations.extend(violations);
+        report.allows.extend(allows);
+        report.files_scanned += 1;
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    report
+        .allows
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}
+
+/// Walks upward from `start` to the workspace root (the first
+/// directory whose `Cargo.toml` contains `[workspace]`).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d.to_owned());
+                }
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> (Vec<Violation>, Vec<Allow>) {
+        scan_source(Path::new("lib.rs"), src)
+    }
+
+    #[test]
+    fn masking_hides_strings_and_comments() {
+        let m = mask_source("let s = \"panic!\"; // panic!\nlet c = '\\n'; /* dbg! */");
+        assert!(!m.lines[0].contains("panic"));
+        assert!(!m.lines[1].contains("dbg"));
+        assert_eq!(m.comments.len(), 2);
+        assert!(m.comments[0].1.contains("panic!"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let m = mask_source("fn f<'a>(x: &'a str) { let r = r#\"unsafe \"quoted\" panic!\"#; }");
+        assert!(m.lines[0].contains("fn f"));
+        assert!(!m.lines[0].contains("unsafe"));
+        assert!(!m.lines[0].contains("panic"));
+    }
+
+    #[test]
+    fn basic_violations_found() {
+        let (v, _) = scan("fn f(x: Option<u32>) -> u32 { x.unwrap() }");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unwrap");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_or_does_not_match() {
+        let (v, _) = scan("fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u32>.unwrap(); }\n}\n";
+        let (v, _) = scan(src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn same_line_marker_excuses_and_is_inventoried() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // audit: allow(unwrap, \"caller guarantees Some\")\n";
+        let (v, a) = scan(src);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].uses, 1);
+        assert!(!a[0].file_level);
+    }
+
+    #[test]
+    fn whole_line_marker_covers_next_code_line() {
+        let src = "// audit: allow(panic, \"invariant documented on new()\")\npanic!(\"bad\");\n";
+        let (v, a) = scan(src);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(a[0].uses, 1);
+    }
+
+    #[test]
+    fn wrapped_marker_joins_continuation_lines() {
+        let src = "// audit: allow(panic, \"a reason long enough that it\n// wraps onto a second comment line\")\npanic!(\"bad\");\n";
+        let (v, a) = scan(src);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(a.len(), 1);
+        assert!(a[0].why.ends_with("second comment line"), "{:?}", a[0].why);
+    }
+
+    #[test]
+    fn stale_marker_is_a_violation() {
+        let (v, _) = scan("// audit: allow(unwrap, \"nothing here\")\nfn f() {}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "marker");
+        assert!(v[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn malformed_marker_is_a_violation() {
+        let (v, _) = scan("// audit: allow(unwrap)\nfn f() {}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "marker");
+    }
+
+    #[test]
+    fn unsafe_rejected_even_with_marker_outside_allowlist() {
+        let src =
+            "// audit: allow(unsafe, \"trust me\")\nunsafe { std::hint::unreachable_unchecked() }\n";
+        let (v, _) = scan(src);
+        assert!(v.iter().any(|v| v.rule == "unsafe"), "{v:?}");
+    }
+
+    #[test]
+    fn relaxed_needs_annotation() {
+        let (v, _) = scan("fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "relaxed");
+    }
+}

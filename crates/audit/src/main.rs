@@ -1,0 +1,113 @@
+//! `adept-audit` CLI.
+//!
+//! ```text
+//! cargo run -p adept-audit -- check [--root <dir>]
+//! cargo run -p adept-audit -- allows [--root <dir>]
+//! ```
+//!
+//! `check` exits 0 when the tree is clean and 1 with one
+//! `file:line:col: [rule] message` diagnostic per violation otherwise.
+//! `allows` prints the verified inventory of every `audit: allow`
+//! marker (file, rule, use count, justification) and per-rule totals.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("usage: adept-audit <check|allows> [--root <dir>]");
+        return ExitCode::from(2);
+    };
+    let mut root: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(r) => root = Some(PathBuf::from(r)),
+                None => {
+                    eprintln!("adept-audit: --root needs a value");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("adept-audit: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("adept-audit: cannot read cwd: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match adept_audit::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("adept-audit: no workspace root above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match adept_audit::audit_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("adept-audit: walking {} failed: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    match cmd.as_str() {
+        "check" => {
+            for v in &report.violations {
+                println!("{v}");
+            }
+            if report.is_clean() {
+                println!(
+                    "audit: clean — {} files, {} allow markers",
+                    report.files_scanned,
+                    report.allows.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "audit: {} violation(s) in {} files scanned",
+                    report.violations.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        "allows" => {
+            let mut by_rule = std::collections::BTreeMap::new();
+            for a in &report.allows {
+                *by_rule.entry(a.rule.name()).or_insert(0usize) += 1;
+                println!(
+                    "{}:{}: allow{}({}) uses={} — {}",
+                    a.file.display(),
+                    a.line,
+                    if a.file_level { "-file" } else { "" },
+                    a.rule,
+                    a.uses,
+                    a.why
+                );
+            }
+            println!("---");
+            for (rule, n) in by_rule {
+                println!("{rule}: {n} marker(s)");
+            }
+            println!("total: {} marker(s)", report.allows.len());
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("adept-audit: unknown command `{other}` (use check|allows)");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -14,6 +14,8 @@
 //! cargo run --release -p bench --bin ablation_selection
 //! ```
 
+// audit: allow-file(unwrap, "CLI entry point: failing fast with a message on bad
+// input or environment is the intended behavior")
 use adept_core::planner::{HeuristicPlanner, Planner};
 use adept_hierarchy::builder::star;
 use adept_nes_sim::{measure_throughput, SelectionPolicy, SimConfig};

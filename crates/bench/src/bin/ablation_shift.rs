@@ -14,6 +14,8 @@
 //! cargo run --release -p bench --bin ablation_shift
 //! ```
 
+// audit: allow-file(unwrap, "CLI entry point: failing fast with a message on bad
+// input or environment is the intended behavior")
 use adept_core::model::ModelParams;
 use adept_core::planner::{HeuristicPlanner, Planner, SweepPlanner};
 use adept_workload::{ClientDemand, Dgemm};

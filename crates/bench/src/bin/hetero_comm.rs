@@ -19,6 +19,8 @@
 //! cargo run --release -p adept-bench --bin hetero_comm
 //! ```
 
+// audit: allow-file(unwrap, "CLI entry point: failing fast with a message on bad
+// input or environment is the intended behavior")
 use adept_core::model::{hetero, ModelParams};
 use adept_core::planner::{HeuristicPlanner, Planner, SweepPlanner};
 use adept_hierarchy::DeploymentPlan;

@@ -6,6 +6,8 @@
 //! cargo run --release -p bench --bin inspect_selection [clients]
 //! ```
 
+// audit: allow-file(unwrap, "CLI entry point: failing fast with a message on bad
+// input or environment is the intended behavior")
 use adept_core::planner::{HeuristicPlanner, Planner};
 use adept_hierarchy::Role;
 use adept_nes_sim::{SimConfig, Simulation};

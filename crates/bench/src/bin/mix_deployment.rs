@@ -16,6 +16,8 @@
 //! cargo run --release -p bench --bin mix_deployment
 //! ```
 
+// audit: allow-file(unwrap, "CLI entry point: failing fast with a message on bad
+// input or environment is the intended behavior")
 use adept_core::model::mix::{evaluate_mix, partition_servers, ServerAssignment};
 use adept_core::model::ModelParams;
 use adept_core::planner::{HeuristicPlanner, MixPlanner, Planner};

@@ -18,6 +18,8 @@
 //! cargo run --release -p bench --bin table4
 //! ```
 
+// audit: allow-file(unwrap, "CLI entry point: failing fast with a message on bad
+// input or environment is the intended behavior")
 use adept_core::model::ModelParams;
 use adept_core::planner::{HeuristicPlanner, HomogeneousCsdPlanner, Planner, SweepPlanner};
 use adept_hierarchy::{DeploymentPlan, HierarchyStats};

@@ -4,6 +4,8 @@
 //! Client counts are independent simulation runs, so they are distributed
 //! over worker threads with crossbeam's scoped threads.
 
+// audit: allow-file(unwrap, "bench harness: fail fast on impossible states; output
+// feeds tables, not servers")
 use adept_hierarchy::DeploymentPlan;
 use adept_nes_sim::{measure_throughput, SimConfig};
 use adept_platform::Platform;
@@ -39,6 +41,9 @@ pub fn load_curve(
     crossbeam::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| loop {
+                // audit: allow(relaxed, "pure claim counter handing out
+                // load-level indices; fetch_add RMW atomicity alone
+                // guarantees exactly-once claiming")
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(&clients) = client_counts.get(i) else {
                     break;

@@ -36,6 +36,8 @@
 //! build environment has no serde); the format is the vendored
 //! criterion's one-object-per-line array.
 
+// audit: allow-file(unwrap, "bench harness: fail fast on impossible states; output
+// feeds tables, not servers")
 use std::fmt;
 
 /// Maximum tolerated current/baseline mean ratio before a benchmark

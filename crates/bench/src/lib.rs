@@ -17,8 +17,11 @@
 //! sweeps and measurement windows (CI-friendly), and `RESULTS_DIR`
 //! overrides the CSV output directory.
 
+#![forbid(unsafe_code)]
 #![warn(clippy::all)]
 
+// audit: allow-file(unwrap, "bench harness: fail fast on impossible states; output
+// feeds tables, not servers")
 pub mod curves;
 pub mod fit;
 pub mod gate;

@@ -1,5 +1,7 @@
 //! Console tables and CSV output.
 
+// audit: allow-file(unwrap, "bench harness: fail fast on impossible states; output
+// feeds tables, not servers")
 use std::fmt::Write as _;
 use std::path::Path;
 

@@ -286,6 +286,8 @@ impl Controller {
             &self.mix,
             &self.assignment,
         )
+        // audit: allow(unwrap, "controller state is updated in lockstep with
+        // observations; the invariant is documented in the expect message")
         .expect("controller state is maintained consistent")
     }
 

@@ -33,6 +33,7 @@
 //! No stage is manual: the operator states *policies* (drift
 //! thresholds, budgets, cooldowns), not replan times.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

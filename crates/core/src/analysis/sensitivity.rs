@@ -142,6 +142,8 @@ pub fn sensitivities(
         b.elasticity
             .abs()
             .partial_cmp(&a.elasticity.abs())
+            // audit: allow(unwrap, "elasticities are ratios of finite model
+            // rates; input validation keeps them finite")
             .expect("finite elasticities")
     });
     SensitivityReport { entries }

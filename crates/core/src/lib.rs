@@ -42,6 +42,7 @@
 //! assert!(report.rho > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

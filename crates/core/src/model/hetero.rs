@@ -47,6 +47,8 @@ use adept_workload::ServiceSpec;
 fn site_of(platform: &Platform, plan: &DeploymentPlan, slot: Slot) -> SiteId {
     platform
         .node(plan.node(slot))
+        // audit: allow(unwrap, "documented invariant: the caller validated
+        // this plan against the platform")
         .expect("plan validated against the platform")
         .site
 }

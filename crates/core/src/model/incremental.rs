@@ -126,6 +126,9 @@
 //! [`from_agents_mix`]: IncrementalEval::from_agents_mix
 //! [`add_server_for`]: IncrementalEval::add_server_for
 
+// audit: allow-file(unwrap, "the bit-exact parity suite (incremental vs from-
+// scratch evaluation) exercises every delta path; each expect documents an
+// engine invariant")
 use super::mix::{MixReport, ServerAssignment};
 use super::{batch, comm, compute, throughput, ModelParams};
 use crate::analysis::{Bottleneck, ThroughputReport};

@@ -122,6 +122,8 @@ pub fn partition_servers(
             .power(b)
             .value()
             .partial_cmp(&platform.power(a).value())
+            // audit: allow(unwrap, "model invariant: validated platforms and
+            // mixes keep rates, powers, and shares finite and positive")
             .expect("powers are finite")
             .then(a.cmp(&b))
     });
@@ -150,8 +152,12 @@ pub fn partition_servers(
                 };
                 (j, rho / mix.share(j))
             })
+            // audit: allow(unwrap, "model invariant: validated platforms and
+            // mixes keep rates, powers, and shares finite and positive")
             .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("rates are finite"))
             .map(|(j, _)| j)
+            // audit: allow(unwrap, "model invariant: validated platforms and
+            // mixes keep rates, powers, and shares finite and positive")
             .expect("a mix always has a positive-share service");
         numerator[starved] += wpre / wapps[starved];
         denominator[starved] += platform.power(node).value() / wapps[starved];

@@ -40,6 +40,8 @@
 //! neither attachment nor a `shift_nodes`-style conversion improves the
 //! objective.
 
+// audit: allow-file(unwrap, "mix planner invariants documented in each expect; the
+// mix parity tests exercise the build")
 use super::heuristic::HeuristicPlanner;
 use super::realize::{promote_and_steal, realize_from_eval, AttachHeap};
 use super::{resolve_params, PlannerError};

@@ -28,6 +28,9 @@
 //! improver-backed [`Rebalancer`](super::Rebalancer)) behind one entry
 //! point for the autonomic control loop.
 
+// audit: allow-file(unwrap, "online engine: every escape is a documented-invariant
+// .expect on state this module itself maintains; the churn/replay parity tests
+// in this file exercise each path")
 use super::heuristic::best_attach_agent_in_eval_for;
 use super::mix::{
     accept_growth, best_attach_normalized, demand_met, normalized_min, normalized_service_min,

@@ -321,14 +321,22 @@ fn swap_nodes(plan: &DeploymentPlan, a: NodeId, b: NodeId) -> DeploymentPlan {
     let mut map = std::collections::HashMap::new();
     map.insert(plan.root(), rebuilt.root());
     for s in plan.bfs_order().into_iter().skip(1) {
+        // audit: allow(unwrap, "plan-surgery invariant documented in the
+        // expect message; the revision parity tests exercise this path")
         let parent = map[&plan.parent(s).expect("non-root has a parent")];
         let node = swap(plan.node(s));
         let slot = match plan.role(s) {
             adept_hierarchy::Role::Agent => rebuilt
                 .add_agent(parent, node)
+                // audit: allow(unwrap, "plan-surgery invariant documented in
+                // the expect message; the revision parity tests exercise this
+                // path")
                 .expect("swapping two ids preserves uniqueness"),
             adept_hierarchy::Role::Server => rebuilt
                 .add_server(parent, node)
+                // audit: allow(unwrap, "plan-surgery invariant documented in
+                // the expect message; the revision parity tests exercise this
+                // path")
                 .expect("swapping two ids preserves uniqueness"),
         };
         map.insert(s, slot);

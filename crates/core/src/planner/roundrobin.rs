@@ -64,6 +64,8 @@ impl Planner for RoundRobinPlanner {
         // First pass: agents attach round-robin under earlier agents.
         for (i, &node) in nodes.iter().enumerate().skip(1).take(agent_count - 1) {
             let parent = agents[(i - 1) % agents.len()];
+            // audit: allow(unwrap, "builder invariant: each node is handed out
+            // once, so the insert cannot collide")
             let slot = plan.add_agent(parent, node).expect("distinct nodes insert");
             agents.push(slot);
         }
@@ -71,6 +73,8 @@ impl Planner for RoundRobinPlanner {
         for (i, &node) in nodes.iter().enumerate().skip(agent_count) {
             let parent = agents[i % agents.len()];
             plan.add_server(parent, node)
+                // audit: allow(unwrap, "builder invariant: each node is handed
+                // out once, so the insert cannot collide")
                 .expect("distinct nodes insert");
         }
         Ok(plan)

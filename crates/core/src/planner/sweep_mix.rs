@@ -122,7 +122,30 @@
 //! [`SweepPlanner::best_plan`] — same plan, same ρ, bit for bit (the
 //! randomized parity test pins this), so the mix reference strictly
 //! extends the Table 4 one.
+//!
+//! # Concurrency: the shared incumbent
+//!
+//! Workers share the best objective seen so far as order-preserving
+//! `f64` bits in one `AtomicU64` (`ordered_bits`): publish with
+//! `fetch_max(.., AcqRel)`, read with `load(Acquire)`. The
+//! acquire/release pair is a 2026-08 audit upgrade — both sides were
+//! `Relaxed`, which is *value*-correct (fetch_max is an RMW, so no
+//! update can be lost; `interleave_kernels.rs` model-checks exactly
+//! that) but let a worker read an incumbent without synchronizing
+//! with the computation that produced it. The incumbent is a pruning
+//! bound carried between threads, so it follows the repo rule:
+//! cross-thread *data* synchronizes, pure claim counters may stay
+//! `Relaxed` with an `audit: allow` marker. Regression guard: the
+//! model tests in `crates/core/tests/interleave_kernels.rs` pin both
+//! the no-lost-update property and that every read observes a truly
+//! published objective; weakening the orderings back to `Relaxed`
+//! keeps those green (the value protocol is ordering-independent),
+//! so the audit marker inventory — `relaxed` sites must be annotated
+//! — is what keeps an accidental downgrade from slipping through
+//! review.
 
+// audit: allow-file(unwrap, "mix-sweep invariants documented in each expect; the
+// single-service parity and exhaustive composition tests cover the walk")
 use super::mix::{objective_score, MixObjective, MixPlan, MixPlanner};
 use super::realize::{realize_from_eval, HeapEntry};
 use super::sweep::{
@@ -1148,6 +1171,10 @@ impl SweepPlanner {
                         let mut local = Vec::new();
                         let mut local_stats = SweepStats::default();
                         loop {
+                            // audit: allow(relaxed, "pure claim counter over
+                            // grid indices: fetch_add RMW atomicity alone
+                            // guarantees exactly-once claiming; model-checked
+                            // in interleave_kernels.rs")
                             let k = k_at(next_i.fetch_add(1, Ordering::Relaxed));
                             if k > k_cap {
                                 break;
@@ -1156,9 +1183,13 @@ impl SweepPlanner {
                                 local_stats.truncated = true;
                                 break;
                             }
-                            let incumbent = from_ordered_bits(shared.load(Ordering::Relaxed));
+                            // Acquire/AcqRel pair: the incumbent bound is
+                            // data another worker computed, so the reader
+                            // must synchronize with the publishing fetch_max
+                            // (see the module-level concurrency note).
+                            let incumbent = from_ordered_bits(shared.load(Ordering::Acquire));
                             if let Some(b) = scan_k_mix(ctx, k, incumbent, &mut local_stats) {
-                                shared.fetch_max(ordered_bits(b.objective), Ordering::Relaxed);
+                                shared.fetch_max(ordered_bits(b.objective), Ordering::AcqRel);
                                 local.push(b);
                             }
                         }

@@ -17,6 +17,7 @@
 //!   summary statistics the paper's measurement protocol needs (warmup
 //!   exclusion, windowed rates).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

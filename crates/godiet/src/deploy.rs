@@ -306,14 +306,20 @@ pub(crate) fn substitute(plan: &DeploymentPlan, slot: Slot, spare: NodeId) -> De
     let mut map = std::collections::HashMap::new();
     map.insert(plan.root(), rebuilt.root());
     for &s in order.iter().skip(1) {
+        // audit: allow(unwrap, "rebuild maps preserve node-id uniqueness; the
+        // diff tests pin this")
         let parent_new = map[&plan.parent(s).expect("non-root has a parent")];
         let node = if s == slot { spare } else { plan.node(s) };
         let new_slot = match plan.role(s) {
             adept_hierarchy::Role::Agent => rebuilt
                 .add_agent(parent_new, node)
+                // audit: allow(unwrap, "rebuild maps preserve node-id
+                // uniqueness; the diff tests pin this")
                 .expect("rebuild preserves uniqueness"),
             adept_hierarchy::Role::Server => rebuilt
                 .add_server(parent_new, node)
+                // audit: allow(unwrap, "rebuild maps preserve node-id
+                // uniqueness; the diff tests pin this")
                 .expect("rebuild preserves uniqueness"),
         };
         map.insert(s, new_slot);

@@ -28,6 +28,7 @@
 //!   launch. This is what an autonomic replanning loop hands to the
 //!   deployment tool instead of a fresh tree.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -24,6 +24,8 @@
 //!    all of its former children are gone, and a chain of nested
 //!    demoting agents unwinds child-before-parent.
 
+// audit: allow-file(unwrap, "the migration verifier checks every action against the
+// target plan before apply; each expect documents a verified invariant")
 use crate::deploy::{DeployError, GoDiet};
 use adept_hierarchy::{DeploymentPlan, NodeChange, PlanDiff, Role, Slot};
 use adept_platform::{NodeId, Platform, Seconds};

@@ -81,6 +81,8 @@ impl AdjacencyMatrix {
             .slots()
             .map(|s| plan.node(s).index())
             .max()
+            // audit: allow(unwrap, "invariant documented in the expect
+            // message; plan validation guarantees it")
             .expect("plans always have a root")
             + 1;
         let mut m = Self::new(n);
@@ -136,6 +138,8 @@ impl AdjacencyMatrix {
             for child in self.children_of(NodeId(node as u32)) {
                 if plan.role(slot) == Role::Server {
                     plan.convert_to_agent(slot)
+                        // audit: allow(unwrap, "invariant documented in the
+                        // expect message; plan validation guarantees it")
                         .expect("slot exists and is a server");
                 }
                 let child_slot = match plan.add_server(slot, child) {

@@ -13,6 +13,8 @@
 //! All builders consume an explicit node list; callers decide the order
 //! (e.g. most-powerful-first so the strongest nodes become agents).
 
+// audit: allow-file(unwrap, "the builder hands each node out exactly once, so plan
+// inserts cannot collide; each expect documents that invariant")
 use crate::plan::DeploymentPlan;
 #[cfg(test)]
 use crate::plan::Slot;

@@ -21,6 +21,7 @@
 //! * [`validate`](mod@validate) — structural validation against the rules above;
 //! * [`stats`] — shape statistics (depth, degrees, counts) used in reports.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

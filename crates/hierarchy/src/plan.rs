@@ -18,6 +18,9 @@
 //! [`adept_platform::NodeId`] (the paper never shares a machine
 //! between two middleware elements).
 
+// audit: allow-file(unwrap, "plan surgery keeps nodes/parents consistent by
+// construction; each expect documents the invariant and the proptest suite
+// exercises the mutation paths")
 use adept_platform::NodeId;
 use std::collections::HashSet;
 use std::fmt;

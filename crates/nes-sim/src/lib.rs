@@ -37,6 +37,7 @@
 //! sustained rate below the steady-state bound of Eq. 16 — while the
 //! *shape* (who wins, where saturation sets in) is preserved.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -16,6 +16,8 @@
 //! `Wrep(d)`, `Wpre`, `Wapp`) are reserved the same way, with optional
 //! jitter.
 
+// audit: allow-file(unwrap, "documented # Panics contract: an invalid config, plan,
+// or assignment is caller error in this simulator front-end")
 use crate::config::SimConfig;
 use crate::resources::Timelines;
 use adept_desim::{DetRng, OnlineStats, Scheduler, SimDuration, SimTime, ThroughputMeter, World};
@@ -305,6 +307,9 @@ impl Middleware {
                 Role::Server => {
                     let svc = *lookup
                         .get(&node)
+                        // audit: allow(panic, "documented # Panics contract of
+                        // new_mix: a server missing from the assignment is
+                        // caller error")
                         .unwrap_or_else(|| panic!("server n{node} missing from the assignment"));
                     hosted[svc] += 1;
                     svc as u8

@@ -122,6 +122,8 @@ fn add_site_nodes(
             spec.node_power,
             site_id,
         )
+        // audit: allow(unwrap, "catalog construction rejects duplicate host
+        // names before this point")
         .expect("catalog host names are unique");
     }
 }

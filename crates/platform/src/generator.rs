@@ -21,6 +21,9 @@
 //! * [`grid5000`] — a two-site platform (orsay for middleware, lyon for
 //!   clients) mirroring Section 5.3's setup.
 
+// audit: allow-file(unwrap, "the generator builds platforms from non-empty node
+// sets with names it mints itself, so build() and uniqueness expects cannot
+// fail")
 use crate::calibration::{CapacityProbe, MiddlewareCalibration};
 use crate::network::Network;
 use crate::platform::Platform;

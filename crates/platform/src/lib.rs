@@ -25,6 +25,7 @@
 //! Nothing in this crate depends on the planner or the simulator; it is the
 //! bottom layer of the workspace.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

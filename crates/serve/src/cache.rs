@@ -34,7 +34,7 @@
 use adept_core::planner::{MixObjective, MixPlan};
 use adept_platform::Platform;
 use adept_workload::ServiceMix;
-use std::sync::Mutex;
+use parking_lot::Mutex;
 
 /// Default entry capacity of a daemon's plan cache.
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
@@ -155,15 +155,18 @@ impl PlanCache {
     /// (every lookup misses silently, every insert is dropped).
     pub fn new(capacity: usize) -> PlanCache {
         PlanCache {
-            inner: Mutex::new(Inner {
-                capacity,
-                clock: 0,
-                entries: Vec::new(),
-                exact_hits: 0,
-                near_hits: 0,
-                misses: 0,
-                insertions: 0,
-            }),
+            inner: Mutex::named(
+                "serve.plan-cache",
+                Inner {
+                    capacity,
+                    clock: 0,
+                    entries: Vec::new(),
+                    exact_hits: 0,
+                    near_hits: 0,
+                    misses: 0,
+                    insertions: 0,
+                },
+            ),
         }
     }
 
@@ -178,7 +181,7 @@ impl PlanCache {
         demand: &[f64],
         allow_near: bool,
     ) -> CacheLookup {
-        let mut inner = self.inner.lock().expect("not poisoned");
+        let mut inner = self.inner.lock();
         if inner.capacity == 0 {
             return CacheLookup::Miss;
         }
@@ -235,7 +238,7 @@ impl PlanCache {
         demand: &[f64],
         result: &MixPlan,
     ) {
-        let mut inner = self.inner.lock().expect("not poisoned");
+        let mut inner = self.inner.lock();
         if inner.capacity == 0 {
             return;
         }
@@ -267,15 +270,16 @@ impl PlanCache {
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.stamp)
-                .map(|(i, _)| i)
-                .expect("entries is non-empty");
-            inner.entries.swap_remove(lru);
+                .map(|(i, _)| i);
+            if let Some(lru) = lru {
+                inner.entries.swap_remove(lru);
+            }
         }
     }
 
     /// A snapshot of the counters and occupancy.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("not poisoned");
+        let inner = self.inner.lock();
         CacheStats {
             capacity: inner.capacity as u64,
             entries: inner.entries.len() as u64,

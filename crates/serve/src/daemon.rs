@@ -29,12 +29,13 @@ use adept_core::model::mix::MixReport;
 use adept_core::planner::{MixObjective, MixPlan, MixPlanner, OnlinePlanner};
 use adept_platform::Platform;
 use adept_workload::{MixDemand, ServiceMix};
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -87,7 +88,7 @@ type Slot = Arc<Mutex<Option<TenantSession>>>;
 struct SharedState {
     platforms: BTreeMap<String, Arc<Platform>>,
     journal_dir: PathBuf,
-    tenants: Mutex<BTreeMap<String, Slot>>,
+    tenants: RwLock<BTreeMap<String, Slot>>,
     /// `(tenant, error code, message)` for journals that failed to
     /// resume at startup.
     resume_errors: Mutex<Vec<(String, String, String)>>,
@@ -135,8 +136,8 @@ impl Daemon {
         let state = Arc::new(SharedState {
             platforms,
             journal_dir: config.journal_dir,
-            tenants: Mutex::new(BTreeMap::new()),
-            resume_errors: Mutex::new(Vec::new()),
+            tenants: RwLock::named("serve.tenants", BTreeMap::new()),
+            resume_errors: Mutex::named("serve.resume-errors", Vec::new()),
             cache: PlanCache::new(config.plan_cache_capacity),
             warm_start: config.warm_start,
             shutdown: AtomicBool::new(false),
@@ -147,7 +148,8 @@ impl Daemon {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
-        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> =
+            Arc::new(Mutex::named("serve.workers", Vec::new()));
         let accept = {
             let state = Arc::clone(&state);
             let workers = Arc::clone(&workers);
@@ -171,11 +173,7 @@ impl DaemonHandle {
     /// Journals that failed to resume at startup, as
     /// `(tenant, error code, message)`.
     pub fn resume_errors(&self) -> Vec<(String, String, String)> {
-        self.state
-            .resume_errors
-            .lock()
-            .expect("not poisoned")
-            .clone()
+        self.state.resume_errors.lock().clone()
     }
 
     /// Stops the daemon: open connections are dropped (within one poll
@@ -192,7 +190,7 @@ impl DaemonHandle {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        let workers = std::mem::take(&mut *self.workers.lock().expect("not poisoned"));
+        let workers = std::mem::take(&mut *self.workers.lock());
         for w in workers {
             let _ = w.join();
         }
@@ -225,11 +223,10 @@ fn resume_all(state: &Arc<SharedState>) {
         // Replay depends only on the journal — never on the plan cache.
         match TenantSession::resume(&path, &lookup, state.warm_start) {
             Ok(Some(session)) => {
-                state
-                    .tenants
-                    .lock()
-                    .expect("not poisoned")
-                    .insert(tenant, Arc::new(Mutex::new(Some(session))));
+                state.tenants.write().insert(
+                    tenant,
+                    Arc::new(Mutex::named("serve.tenant-slot", Some(session))),
+                );
             }
             Ok(None) => {
                 // The journal ends in a drain record: the previous
@@ -240,7 +237,7 @@ fn resume_all(state: &Arc<SharedState>) {
                 let _ = std::fs::rename(&path, archived);
             }
             Err(e) => {
-                state.resume_errors.lock().expect("not poisoned").push((
+                state.resume_errors.lock().push((
                     tenant,
                     e.code().as_str().to_string(),
                     e.to_string(),
@@ -260,7 +257,7 @@ fn accept_loop(
             Ok((stream, _)) => {
                 let state = Arc::clone(state);
                 let handle = std::thread::spawn(move || serve_connection(stream, &state));
-                workers.lock().expect("not poisoned").push(handle);
+                workers.lock().push(handle);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL);
@@ -376,12 +373,11 @@ fn with_session<T>(
     let tenant = str_field(params, "tenant")?;
     let slot = state
         .tenants
-        .lock()
-        .expect("not poisoned")
+        .read()
         .get(&tenant)
         .cloned()
         .ok_or_else(|| ServeError::UnknownTenant(tenant.clone()))?;
-    let mut guard = slot.lock().expect("not poisoned");
+    let mut guard = slot.lock();
     let session = guard.as_mut().ok_or(ServeError::UnknownTenant(tenant))?;
     f(session)
 }
@@ -510,15 +506,15 @@ fn register(params: &Json, state: &Arc<SharedState>) -> Result<Json, ServeError>
     // Claim the tenant id in the live map first (an atomic reservation:
     // two concurrent registers race on this lock, not on the journal
     // file), then build the session.
-    let slot: Slot = Arc::new(Mutex::new(None));
+    let slot: Slot = Arc::new(Mutex::named("serve.tenant-slot", None));
     {
-        let mut tenants = state.tenants.lock().expect("not poisoned");
+        let mut tenants = state.tenants.write();
         if tenants.contains_key(&tenant) {
             return Err(ServeError::TenantExists(tenant));
         }
         tenants.insert(tenant.clone(), Arc::clone(&slot));
     }
-    let mut guard = slot.lock().expect("not poisoned");
+    let mut guard = slot.lock();
     match TenantSession::register(
         &state.journal_dir,
         &tenant,
@@ -538,7 +534,7 @@ fn register(params: &Json, state: &Arc<SharedState>) -> Result<Json, ServeError>
         Err(e) => {
             // Roll the reservation back so the id is claimable again.
             drop(guard);
-            state.tenants.lock().expect("not poisoned").remove(&tenant);
+            state.tenants.write().remove(&tenant);
             Err(e)
         }
     }
@@ -548,20 +544,18 @@ fn drain(params: &Json, state: &Arc<SharedState>) -> Result<Json, ServeError> {
     let tenant = str_field(params, "tenant")?;
     let slot = state
         .tenants
-        .lock()
-        .expect("not poisoned")
+        .read()
         .get(&tenant)
         .cloned()
         .ok_or_else(|| ServeError::UnknownTenant(tenant.clone()))?;
     let session = slot
         .lock()
-        .expect("not poisoned")
         .take()
         .ok_or_else(|| ServeError::UnknownTenant(tenant.clone()))?;
     // Concurrent requests now see `None` (unknown tenant); safe to
     // archive and unlist.
     let archived = session.drain()?;
-    state.tenants.lock().expect("not poisoned").remove(&tenant);
+    state.tenants.write().remove(&tenant);
     Ok(Json::obj(vec![
         ("tenant", Json::str(tenant)),
         ("journal", Json::str(archived.display().to_string())),
@@ -569,23 +563,22 @@ fn drain(params: &Json, state: &Arc<SharedState>) -> Result<Json, ServeError> {
 }
 
 fn daemon_status(state: &Arc<SharedState>) -> DaemonStatus {
-    let slots: Vec<Slot> = state
-        .tenants
-        .lock()
-        .expect("not poisoned")
-        .values()
-        .cloned()
-        .collect();
+    let slots: Vec<Slot> = state.tenants.read().values().cloned().collect();
     let mut tenants = Vec::new();
     for slot in slots {
-        if let Some(session) = slot.lock().expect("not poisoned").as_ref() {
+        if let Some(session) = slot.lock().as_ref() {
             tenants.push(session.status());
         }
     }
+    // Hoisted out of the struct literal: a temporary guard inside the
+    // literal would live to the end of the whole expression, holding
+    // `serve.resume-errors` across the cache-lock acquisition in
+    // `stats()` for no reason.
+    let resume_errors = state.resume_errors.lock().clone();
     DaemonStatus {
         platforms: state.platforms.keys().cloned().collect(),
         tenants,
-        resume_errors: state.resume_errors.lock().expect("not poisoned").clone(),
+        resume_errors,
         cache: state.cache.stats(),
     }
 }

@@ -69,6 +69,7 @@
 //! [`JournalError::ReplayDivergence`]: crate::JournalError::ReplayDivergence
 //! [`JournalError::FingerprintMismatch`]: crate::JournalError::FingerprintMismatch
 
+#![forbid(unsafe_code)]
 pub mod cache;
 pub mod client;
 pub mod daemon;

@@ -22,6 +22,7 @@ use adept_godiet::GoDiet;
 use adept_hierarchy::NodeChange;
 use adept_platform::{Mflop, Platform};
 use adept_workload::{MixDemand, ServiceMix, ServiceSpec};
+use parking_lot::Mutex;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -99,7 +100,12 @@ pub struct TenantSession {
     tenant: String,
     platform_name: String,
     controller: Controller,
-    journal: Journal,
+    /// The append-only journal, serialized under its own lock class so
+    /// the write-ahead append stream stays ordered even if session
+    /// access patterns change; acquired strictly *inside* the tenant
+    /// slot lock (`serve.tenant-slot` → `serve.journal` in the
+    /// lock-order graph).
+    journal: Mutex<Journal>,
     /// Migrations executed this *process lifetime or replay* — the
     /// authoritative per-session history.
     migrations: Vec<MigrationSummary>,
@@ -192,7 +198,7 @@ impl TenantSession {
             tenant: tenant.to_string(),
             platform_name: platform_name.to_string(),
             controller,
-            journal,
+            journal: Mutex::named("serve.journal", journal),
             migrations: Vec::new(),
         })
     }
@@ -295,7 +301,7 @@ impl TenantSession {
             tenant: tenant.clone(),
             platform_name: platform_name.clone(),
             controller,
-            journal: Journal::open_append(path)?,
+            journal: Mutex::named("serve.journal", Journal::open_append(path)?),
             migrations: Vec::new(),
         };
 
@@ -361,7 +367,7 @@ impl TenantSession {
         // between a tick record and its migration record): journal the
         // missing checkpoints now so the history is whole again.
         for summary in &session.migrations[checked..] {
-            session.journal.append(&Record::Migration {
+            session.journal.lock().append(&Record::Migration {
                 seq: summary.seq,
                 tick: summary.tick,
                 changes: summary.changes,
@@ -390,7 +396,7 @@ impl TenantSession {
         executions: Vec<ExecutionSample>,
     ) -> Result<TickOutcome, ServeError> {
         self.validate_observation(&rates, &executions)?;
-        self.journal.append(&Record::Tick {
+        self.journal.lock().append(&Record::Tick {
             rates: rates.clone(),
             executions: executions.clone(),
         })?;
@@ -445,7 +451,7 @@ impl TenantSession {
     /// [`ServeError::Demand`] on an invalid vector.
     pub fn migrate(&mut self, demand: Vec<f64>) -> Result<Option<MigrationSummary>, ServeError> {
         let _ = self.demand_for_mix(demand.clone())?; // validate before journaling
-        self.journal.append(&Record::Replan {
+        self.journal.lock().append(&Record::Replan {
             demand: demand.clone(),
         })?;
         let summary = self.consume_replan(demand)?;
@@ -480,9 +486,10 @@ impl TenantSession {
     /// # Errors
     /// [`ServeError::Journal`] when the drain record or the archive
     /// rename fails.
-    pub fn drain(mut self) -> Result<std::path::PathBuf, ServeError> {
-        self.journal.append(&Record::Drain)?;
-        Ok(self.journal.archive_drained()?)
+    pub fn drain(self) -> Result<std::path::PathBuf, ServeError> {
+        let mut journal = self.journal.into_inner();
+        journal.append(&Record::Drain)?;
+        Ok(journal.archive_drained()?)
     }
 
     /// Current deployment summary (model evaluation + composition).
@@ -586,7 +593,7 @@ impl TenantSession {
         summary: Option<&MigrationSummary>,
     ) -> Result<(), ServeError> {
         if let Some(s) = summary {
-            self.journal.append(&Record::Migration {
+            self.journal.lock().append(&Record::Migration {
                 seq: s.seq,
                 tick: s.tick,
                 changes: s.changes,
@@ -723,7 +730,7 @@ mod tests {
         session.observe(vec![2.0, 0.3], vec![]).unwrap();
         // Journal the drain but keep the live file: simulates a crash
         // after the drain record and before the archive rename.
-        session.journal.append(&Record::Drain).unwrap();
+        session.journal.lock().append(&Record::Drain).unwrap();
         drop(session);
         let lookup = |name: &str| (name == "lyon30").then(platform);
         let resumed = TenantSession::resume(&journal_path(&dir, "acme"), &lookup, true).unwrap();
@@ -735,7 +742,7 @@ mod tests {
     fn bad_observation_is_rejected_before_journaling() {
         let dir = tmp_dir("bad-obs");
         let mut session = register(&dir, "acme");
-        let before = std::fs::read_to_string(session.journal.path()).unwrap();
+        let before = std::fs::read_to_string(session.journal.lock().path()).unwrap();
         assert!(matches!(
             session.observe(vec![2.0], vec![]),
             Err(ServeError::BadRequest(_))
@@ -749,7 +756,7 @@ mod tests {
             session.observe(vec![2.0, 0.3], vec![sample]),
             Err(ServeError::BadRequest(_))
         ));
-        let after = std::fs::read_to_string(session.journal.path()).unwrap();
+        let after = std::fs::read_to_string(session.journal.lock().path()).unwrap();
         assert_eq!(before, after, "rejected input must never be journaled");
         std::fs::remove_dir_all(&dir).unwrap();
     }

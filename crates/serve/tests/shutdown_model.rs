@@ -1,0 +1,135 @@
+//! Exhaustive model check (vendored `interleave` checker) of the
+//! daemon's drain handshake: a hosted control loop keeps ticking a
+//! tenant session while `drain`/shutdown concurrently sets a stop
+//! flag and `take()`s the session out of its slot (a
+//! `Mutex<Option<TenantSession>>` in `daemon.rs`).
+//!
+//! The invariant the wire protocol depends on: **no tick lands after
+//! the drain** — every tick the ticker ever performs is recorded in
+//! the session the drainer took, so the archived journal is complete.
+//! The kernel guarantees it by doing both the tick and the `take()`
+//! under the slot lock: a tick either happens before the take (and is
+//! in the taken session) or finds the slot empty and does nothing.
+//!
+//! A companion negative test models the tempting shortcut — snapshot
+//! the tick count *before* taking, outside the lock — and asserts the
+//! checker refutes it, certifying the harness can see this bug class.
+
+use interleave::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use interleave::sync::Mutex;
+use interleave::{model, thread};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Minimal session: just the tick counter the journal records.
+struct Session {
+    ticks: u64,
+}
+
+#[test]
+fn no_tick_lands_after_drain_takes_the_session() {
+    let report = model(|| {
+        let stop = Arc::new(AtomicBool::new(false));
+        let slot = Arc::new(Mutex::new(Some(Session { ticks: 0 })));
+        // Ground truth: every tick the ticker actually performed.
+        let total = Arc::new(AtomicU64::new(0));
+
+        let ticker = {
+            let (stop, slot, total) = (Arc::clone(&stop), Arc::clone(&slot), Arc::clone(&total));
+            thread::spawn(move || {
+                for _ in 0..2 {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    // Tick under the slot lock, exactly like the
+                    // hosted loop: observe() locks the slot, then
+                    // ticks the session and appends to its journal.
+                    let mut guard = slot.lock();
+                    if let Some(sess) = guard.as_mut() {
+                        sess.ticks += 1;
+                        total.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        };
+
+        // The drainer: flag first (so the ticker winds down), then
+        // take() under the same lock — the take is the linearization
+        // point of the drain.
+        stop.store(true, Ordering::Release);
+        let drained = slot.lock().take().expect("only the drainer takes");
+        ticker.join();
+
+        assert_eq!(
+            drained.ticks,
+            total.load(Ordering::Relaxed),
+            "a tick landed after the drain took the session"
+        );
+        // And the slot stays empty: a late ticker pass must be a no-op.
+        assert!(slot.lock().is_none());
+    });
+    assert!(report.schedules > 1, "expected multiple interleavings");
+}
+
+/// The broken handshake: the drainer snapshots the tick count before
+/// the `take()`, outside the lock. A tick can land between snapshot
+/// and take, so the recorded count under-reports — the checker must
+/// find that schedule.
+#[test]
+fn pre_take_snapshot_under_reports_and_is_refuted() {
+    let msg = expect_caught(|| {
+        let stop = Arc::new(AtomicBool::new(false));
+        let slot = Arc::new(Mutex::new(Some(Session { ticks: 0 })));
+        let ticks_mirror = Arc::new(AtomicU64::new(0));
+        let total = Arc::new(AtomicU64::new(0));
+
+        let ticker = {
+            let (stop, slot) = (Arc::clone(&stop), Arc::clone(&slot));
+            let (mirror, total) = (Arc::clone(&ticks_mirror), Arc::clone(&total));
+            thread::spawn(move || {
+                if !stop.load(Ordering::Acquire) {
+                    let mut guard = slot.lock();
+                    if let Some(sess) = guard.as_mut() {
+                        sess.ticks += 1;
+                        mirror.fetch_add(1, Ordering::Relaxed);
+                        total.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        };
+
+        // Bug: record the count from the lock-free mirror BEFORE the
+        // flag+take, instead of from the taken session.
+        let recorded = ticks_mirror.load(Ordering::Relaxed);
+        stop.store(true, Ordering::Release);
+        let _drained = slot.lock().take();
+        ticker.join();
+
+        assert_eq!(
+            recorded,
+            total.load(Ordering::Relaxed),
+            "snapshot missed ticks that landed before the take"
+        );
+    });
+    assert!(msg.contains("snapshot missed"), "unexpected: {msg}");
+}
+
+/// Runs `f` under the checker expecting it to FAIL; returns the panic
+/// message of the refuting schedule.
+fn expect_caught(f: impl Fn() + Send + Sync + 'static) -> String {
+    match catch_unwind(AssertUnwindSafe(|| model(f))) {
+        Ok(report) => panic!(
+            "expected the model check to catch a bug, but {} schedules all passed",
+            report.schedules
+        ),
+        Err(payload) => {
+            if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else {
+                String::from("(non-string panic)")
+            }
+        }
+    }
+}

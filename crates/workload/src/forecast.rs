@@ -106,6 +106,8 @@ impl WappEstimator {
     pub fn mark(&mut self) {
         self.marked = Some(
             self.estimate
+                // audit: allow(unwrap, "documented panicking precondition of
+                // the estimator API (see the method's doc comment)")
                 .expect("cannot mark before the first observation"),
         );
     }
@@ -127,6 +129,8 @@ impl WappEstimator {
     pub fn to_service(&self, name: impl Into<String>) -> ServiceSpec {
         ServiceSpec::new(
             name,
+            // audit: allow(unwrap, "documented panicking precondition of the
+            // estimator API (see the method's doc comment)")
             self.estimate().expect("need at least one observation"),
         )
     }

@@ -21,6 +21,7 @@
 //! * [`mix`] — multi-service workloads (the paper's "several
 //!   applications" future-work item).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

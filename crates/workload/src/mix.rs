@@ -183,6 +183,9 @@ impl MixDemand {
     /// wrapper around [`try_targets`](MixDemand::try_targets) for
     /// literal, known-good vectors.
     pub fn targets(rates: Vec<f64>) -> Self {
+        // audit: allow(panic, "targets() is the documented panicking
+        // convenience over the typed try_targets(); callers wanting errors use
+        // the typed API")
         Self::try_targets(rates).unwrap_or_else(|e| panic!("{e}"))
     }
 

@@ -141,6 +141,7 @@
 //! assert!(xml.contains("<deployment>"));
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

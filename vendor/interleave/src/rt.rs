@@ -1,0 +1,526 @@
+//! The exploration runtime: one scheduler token, a DFS over a choice
+//! tree, vector clocks for release/acquire visibility.
+//!
+//! Execution model: every model thread is a real OS thread, but only
+//! one — the *active* thread — runs user code at a time. Each shared
+//! event (atomic op, lock op, spawn, join) first calls
+//! [`switch_point`], which picks the next thread to run from the
+//! current runnable set. Which thread is picked, and which store a
+//! relaxed load returns, are *choices*; the driver in `lib.rs` replays
+//! a recorded prefix of choices and takes the first untried
+//! alternative at the frontier, depth-first, until the whole tree is
+//! exhausted.
+//!
+//! Memory model (a deliberately small slice of C11, over-approximating
+//! where it simplifies — extra behaviors can cause false alarms only
+//! for SC-dependent algorithms, never missed bugs for the
+//! release/acquire kernels this repo checks):
+//!
+//! - Every atomic location keeps its full store history in
+//!   modification order. A load may read any store not yet overwritten
+//!   by a store that happens-before the load (per-thread coherence is
+//!   also enforced: reads never go backward in modification order).
+//! - `Release`-or-stronger stores carry the writer's vector clock;
+//!   `Acquire`-or-stronger loads that read them join it. `Relaxed`
+//!   never synchronizes.
+//! - RMW operations read the *latest* store in modification order
+//!   (C11 atomicity: no RMW ever acts on a stale value).
+//! - `SeqCst` is approximated as `AcqRel` (no global SC order), which
+//!   only ever *adds* behaviors.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex as StdMutex};
+
+pub(crate) type Tid = usize;
+
+/// A vector clock; index = thread id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    pub(crate) fn tick(&mut self, tid: Tid) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, &b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// Pointwise `self <= other`: does every event below `self` also
+    /// sit below `other`?
+    pub(crate) fn leq(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, &a)| a <= other.0.get(i).copied().unwrap_or(0))
+    }
+}
+
+/// One store in a location's modification order.
+pub(crate) struct StoreRec {
+    pub(crate) val: u64,
+    /// The writer's clock when it stored — the set of events that
+    /// happen-before this store.
+    pub(crate) clock: VClock,
+    /// `Some(clock)` when the store was `Release` or stronger: the
+    /// clock an acquiring reader joins.
+    pub(crate) sync: Option<VClock>,
+}
+
+pub(crate) struct AtomicState {
+    pub(crate) stores: Vec<StoreRec>,
+}
+
+pub(crate) struct LockState {
+    pub(crate) holder: Option<Tid>,
+    /// Clock released by the last unlock (lock/unlock always
+    /// synchronize, like `Acquire`/`Release`).
+    pub(crate) clock: VClock,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    Ready,
+    BlockedLock(usize),
+    BlockedJoin(Tid),
+    Finished,
+}
+
+pub(crate) struct ThreadMeta {
+    pub(crate) status: Status,
+    pub(crate) clock: VClock,
+    /// Per-location floor in modification order: coherence forbids
+    /// this thread from reading any store before `last_seen[loc]`.
+    pub(crate) last_seen: Vec<usize>,
+}
+
+impl ThreadMeta {
+    fn new(clock: VClock) -> Self {
+        ThreadMeta {
+            status: Status::Ready,
+            clock,
+            last_seen: Vec::new(),
+        }
+    }
+
+    fn seen_floor(&self, loc: usize) -> usize {
+        self.last_seen.get(loc).copied().unwrap_or(0)
+    }
+
+    fn note_seen(&mut self, loc: usize, idx: usize) {
+        if self.last_seen.len() <= loc {
+            self.last_seen.resize(loc + 1, 0);
+        }
+        self.last_seen[loc] = self.last_seen[loc].max(idx);
+    }
+}
+
+/// One node of the DFS choice tree: `n` alternatives existed, `idx`
+/// was taken. `sched` distinguishes scheduling choices (subject to the
+/// preemption bound) from load-value choices (not).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ChoicePoint {
+    pub(crate) n: usize,
+    pub(crate) idx: usize,
+    pub(crate) sched: bool,
+}
+
+pub(crate) struct Exec {
+    pub(crate) threads: Vec<ThreadMeta>,
+    pub(crate) active: Option<Tid>,
+    pub(crate) live: usize,
+    pub(crate) atomics: Vec<AtomicState>,
+    pub(crate) locks: Vec<LockState>,
+    pub(crate) stack: Vec<ChoicePoint>,
+    pub(crate) cursor: usize,
+    pub(crate) preemptions: usize,
+    pub(crate) preemption_bound: Option<usize>,
+    pub(crate) failure: Option<String>,
+    pub(crate) abort: bool,
+}
+
+impl Exec {
+    pub(crate) fn new(stack: Vec<ChoicePoint>, preemption_bound: Option<usize>) -> Self {
+        let mut root = VClock::default();
+        root.tick(0);
+        Exec {
+            threads: vec![ThreadMeta::new(root)],
+            active: Some(0),
+            live: 1,
+            atomics: Vec::new(),
+            locks: Vec::new(),
+            stack,
+            cursor: 0,
+            preemptions: 0,
+            preemption_bound,
+            failure: None,
+            abort: false,
+        }
+    }
+
+    /// Takes the next branch index for a choice with `n` alternatives:
+    /// replayed from the prefix when inside it, else recorded as a new
+    /// frontier node taking alternative 0.
+    fn choose(&mut self, n: usize, sched: bool) -> usize {
+        debug_assert!(n > 0);
+        let idx = if self.cursor < self.stack.len() {
+            let cp = self.stack[self.cursor];
+            assert_eq!(
+                cp.n, n,
+                "interleave: nondeterministic model (replay diverged); \
+                 model closures must be deterministic apart from interleaving"
+            );
+            cp.idx
+        } else {
+            self.stack.push(ChoicePoint { n, idx: 0, sched });
+            0
+        };
+        self.cursor += 1;
+        idx
+    }
+
+    fn runnable(&self) -> Vec<Tid> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Ready)
+            .map(|(tid, _)| tid)
+            .collect()
+    }
+
+    /// Picks and activates the next thread. `from` is the caller (its
+    /// status already reflects whether it can keep running).
+    fn schedule_next(&mut self, from: Tid) {
+        if self.abort {
+            self.active = None;
+            return;
+        }
+        let mut cands = self.runnable();
+        if cands.is_empty() {
+            if self.live > 0 {
+                self.fail(format!(
+                    "deadlock: {} thread(s) blocked with no runnable thread",
+                    self.live
+                ));
+            }
+            self.active = None;
+            return;
+        }
+        let from_ready = self.threads[from].status == Status::Ready;
+        let bound_hit = self.preemption_bound.is_some_and(|b| self.preemptions >= b);
+        if from_ready && bound_hit {
+            // Out of preemption budget: keep running the current
+            // thread (it only yields when it blocks or finishes).
+            cands = vec![from];
+        }
+        let chosen = if cands.len() == 1 {
+            cands[0]
+        } else {
+            let idx = self.choose(cands.len(), true);
+            cands[idx]
+        };
+        if chosen != from && from_ready {
+            self.preemptions += 1;
+        }
+        self.active = Some(chosen);
+    }
+
+    pub(crate) fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(msg);
+        }
+        self.abort = true;
+        self.active = None;
+    }
+}
+
+/// Payload used to unwind parked threads when an iteration aborts; the
+/// thread wrapper recognizes and swallows it.
+pub(crate) struct Abort;
+
+pub(crate) struct Runtime {
+    pub(crate) exec: StdMutex<Exec>,
+    pub(crate) cv: Condvar,
+    /// OS handles of every model thread in the current iteration, so
+    /// the driver can join them all before the next iteration.
+    pub(crate) os_handles: StdMutex<VecDeque<std::thread::JoinHandle<()>>>,
+}
+
+impl Runtime {
+    pub(crate) fn new(stack: Vec<ChoicePoint>, preemption_bound: Option<usize>) -> Self {
+        Runtime {
+            exec: StdMutex::new(Exec::new(stack, preemption_bound)),
+            cv: Condvar::new(),
+            os_handles: StdMutex::new(VecDeque::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Exec> {
+        self.exec
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Blocks `me` until it is the active thread. Panics with [`Abort`]
+    /// when the iteration is being torn down.
+    fn wait_for_turn<'a>(
+        &'a self,
+        mut ex: std::sync::MutexGuard<'a, Exec>,
+        me: Tid,
+    ) -> std::sync::MutexGuard<'a, Exec> {
+        loop {
+            if ex.abort {
+                drop(ex);
+                std::panic::panic_any(Abort);
+            }
+            if ex.active == Some(me) {
+                return ex;
+            }
+            ex = self
+                .cv
+                .wait(ex)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// The pre-event scheduling point: every shared operation calls
+    /// this first, so any runnable thread may slot in before the
+    /// operation takes effect.
+    pub(crate) fn switch_point(&self, me: Tid) {
+        let mut ex = self.lock();
+        debug_assert_eq!(ex.active, Some(me));
+        ex.schedule_next(me);
+        self.cv.notify_all();
+        let ex = self.wait_for_turn(ex, me);
+        drop(ex);
+    }
+
+    /// Called by a thread wrapper when user code is done (or panicked).
+    pub(crate) fn finish(&self, me: Tid, panic_msg: Option<String>) {
+        let mut ex = self.lock();
+        ex.threads[me].status = Status::Finished;
+        ex.live -= 1;
+        if let Some(msg) = panic_msg {
+            ex.fail(msg);
+        } else {
+            // Wake joiners.
+            for t in ex.threads.iter_mut() {
+                if t.status == Status::BlockedJoin(me) {
+                    t.status = Status::Ready;
+                }
+            }
+            ex.schedule_next(me);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Registers a spawned model thread; the OS thread is created by
+    /// the caller. Spawning is a synchronizing event (the child starts
+    /// with the parent's clock).
+    pub(crate) fn register_thread(&self, parent: Tid) -> Tid {
+        let mut ex = self.lock();
+        let tid = ex.threads.len();
+        let mut clock = ex.threads[parent].clock.clone();
+        clock.tick(tid);
+        ex.threads.push(ThreadMeta::new(clock));
+        ex.threads[parent].clock.tick(parent);
+        ex.live += 1;
+        tid
+    }
+
+    /// First call made by a freshly spawned model thread: park until
+    /// scheduled for the first time.
+    pub(crate) fn first_turn(&self, me: Tid) {
+        let ex = self.lock();
+        let ex = self.wait_for_turn(ex, me);
+        drop(ex);
+    }
+
+    pub(crate) fn join_thread(&self, me: Tid, target: Tid) {
+        self.switch_point(me);
+        let mut ex = self.lock();
+        loop {
+            if ex.threads[target].status == Status::Finished {
+                let tclock = ex.threads[target].clock.clone();
+                ex.threads[me].clock.join(&tclock);
+                return;
+            }
+            ex.threads[me].status = Status::BlockedJoin(target);
+            ex.schedule_next(me);
+            self.cv.notify_all();
+            ex = self.wait_for_turn(ex, me);
+        }
+    }
+
+    // ---- atomics ----------------------------------------------------
+
+    pub(crate) fn new_atomic(&self, me: Tid, val: u64) -> usize {
+        let mut ex = self.lock();
+        let loc = ex.atomics.len();
+        ex.threads[me].clock.tick(me);
+        let clock = ex.threads[me].clock.clone();
+        ex.atomics.push(AtomicState {
+            stores: vec![StoreRec {
+                val,
+                clock: clock.clone(),
+                sync: Some(clock),
+            }],
+        });
+        ex.threads[me].note_seen(loc, 0);
+        loc
+    }
+
+    pub(crate) fn atomic_load(&self, me: Tid, loc: usize, acquire: bool) -> u64 {
+        self.switch_point(me);
+        let mut ex = self.lock();
+        let my_clock = ex.threads[me].clock.clone();
+        let floor = ex.threads[me].seen_floor(loc);
+        // Coherence + happens-before: the earliest readable store is
+        // the latest one that happens-before this load (everything
+        // before it is hb-overwritten), or this thread's own floor,
+        // whichever is later.
+        let (lo, hi) = {
+            let stores = &ex.atomics[loc].stores;
+            let mut latest_hb = 0;
+            for (i, s) in stores.iter().enumerate() {
+                if s.clock.leq(&my_clock) {
+                    latest_hb = i;
+                }
+            }
+            (floor.max(latest_hb), stores.len() - 1)
+        };
+        // Candidates newest-first, so branch 0 of the DFS is the
+        // sequentially-consistent-looking run.
+        let idx = if lo == hi {
+            hi
+        } else {
+            hi - ex.choose(hi - lo + 1, false)
+        };
+        let val = ex.atomics[loc].stores[idx].val;
+        if acquire {
+            if let Some(sync) = ex.atomics[loc].stores[idx].sync.clone() {
+                ex.threads[me].clock.join(&sync);
+            }
+        }
+        ex.threads[me].note_seen(loc, idx);
+        val
+    }
+
+    pub(crate) fn atomic_store(&self, me: Tid, loc: usize, val: u64, release: bool) {
+        self.switch_point(me);
+        let mut ex = self.lock();
+        ex.threads[me].clock.tick(me);
+        let clock = ex.threads[me].clock.clone();
+        let sync = release.then(|| clock.clone());
+        ex.atomics[loc].stores.push(StoreRec { val, clock, sync });
+        let idx = ex.atomics[loc].stores.len() - 1;
+        ex.threads[me].note_seen(loc, idx);
+    }
+
+    /// Atomic read-modify-write: reads the *latest* store (C11 RMW
+    /// atomicity), writes `f(old)` right after it in modification
+    /// order. Returns the old value.
+    pub(crate) fn atomic_rmw(
+        &self,
+        me: Tid,
+        loc: usize,
+        acquire: bool,
+        release: bool,
+        f: impl FnOnce(u64) -> Option<u64>,
+    ) -> u64 {
+        self.switch_point(me);
+        let mut ex = self.lock();
+        let last = ex.atomics[loc].stores.len() - 1;
+        let old = ex.atomics[loc].stores[last].val;
+        if acquire {
+            if let Some(sync) = ex.atomics[loc].stores[last].sync.clone() {
+                ex.threads[me].clock.join(&sync);
+            }
+        }
+        ex.threads[me].note_seen(loc, last);
+        if let Some(new) = f(old) {
+            ex.threads[me].clock.tick(me);
+            let clock = ex.threads[me].clock.clone();
+            let sync = release.then(|| clock.clone());
+            ex.atomics[loc].stores.push(StoreRec {
+                val: new,
+                clock,
+                sync,
+            });
+            let idx = ex.atomics[loc].stores.len() - 1;
+            ex.threads[me].note_seen(loc, idx);
+        }
+        old
+    }
+
+    // ---- locks ------------------------------------------------------
+
+    pub(crate) fn new_lock(&self, me: Tid) -> usize {
+        let mut ex = self.lock();
+        let id = ex.locks.len();
+        ex.threads[me].clock.tick(me);
+        let clock = ex.threads[me].clock.clone();
+        ex.locks.push(LockState {
+            holder: None,
+            clock,
+        });
+        id
+    }
+
+    pub(crate) fn lock_acquire(&self, me: Tid, lock: usize) {
+        self.switch_point(me);
+        let mut ex = self.lock();
+        loop {
+            if ex.locks[lock].holder.is_none() {
+                ex.locks[lock].holder = Some(me);
+                let lclock = ex.locks[lock].clock.clone();
+                ex.threads[me].clock.join(&lclock);
+                return;
+            }
+            ex.threads[me].status = Status::BlockedLock(lock);
+            ex.schedule_next(me);
+            self.cv.notify_all();
+            ex = self.wait_for_turn(ex, me);
+        }
+    }
+
+    pub(crate) fn lock_release(&self, me: Tid, lock: usize) {
+        let mut ex = self.lock();
+        debug_assert_eq!(ex.locks[lock].holder, Some(me));
+        ex.threads[me].clock.tick(me);
+        let clock = ex.threads[me].clock.clone();
+        ex.locks[lock].holder = None;
+        ex.locks[lock].clock.join(&clock);
+        for t in ex.threads.iter_mut() {
+            if t.status == Status::BlockedLock(lock) {
+                t.status = Status::Ready;
+            }
+        }
+        drop(ex);
+        self.cv.notify_all();
+    }
+
+    /// Raw (no scheduling) unlock used while unwinding a panic, where
+    /// taking another scheduling turn would double-panic.
+    pub(crate) fn lock_release_raw(&self, me: Tid, lock: usize) {
+        let mut ex = self.lock();
+        if ex.locks[lock].holder == Some(me) {
+            ex.locks[lock].holder = None;
+            for t in ex.threads.iter_mut() {
+                if t.status == Status::BlockedLock(lock) {
+                    t.status = Status::Ready;
+                }
+            }
+        }
+        drop(ex);
+        self.cv.notify_all();
+    }
+}

@@ -1,0 +1,217 @@
+//! Model-aware shared-state primitives: atomics with full store
+//! histories and a schedulable [`Mutex`].
+//!
+//! This module holds the crate's only `unsafe` code: [`Mutex`] keeps
+//! its data in an `UnsafeCell` and is shared across model threads,
+//! which is sound because the exploration scheduler in `rt.rs` runs
+//! exactly one model thread at a time and the lock discipline is
+//! enforced by the model itself (a second `lock()` blocks in model
+//! time before any aliasing access can happen).
+
+use crate::thread::current;
+use std::cell::UnsafeCell;
+
+pub mod atomic {
+    //! Model atomics. `Ordering` is re-exported from `std` so model
+    //! code reads exactly like the kernel it mirrors.
+
+    use super::*;
+    pub use std::sync::atomic::Ordering;
+
+    fn acq(o: Ordering) -> bool {
+        matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    fn rel(o: Ordering) -> bool {
+        matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    /// Registers and drives one model atomic location (u64 backing).
+    #[derive(Debug)]
+    struct Loc(usize);
+
+    impl Loc {
+        fn new(v: u64) -> Loc {
+            let (rt, me) = current();
+            Loc(rt.new_atomic(me, v))
+        }
+
+        fn load(&self, o: Ordering) -> u64 {
+            let (rt, me) = current();
+            rt.atomic_load(me, self.0, acq(o))
+        }
+
+        fn store(&self, v: u64, o: Ordering) {
+            let (rt, me) = current();
+            rt.atomic_store(me, self.0, v, rel(o));
+        }
+
+        fn rmw(&self, o: Ordering, f: impl FnOnce(u64) -> Option<u64>) -> u64 {
+            let (rt, me) = current();
+            rt.atomic_rmw(me, self.0, acq(o), rel(o), f)
+        }
+    }
+
+    /// Model `std::sync::atomic::AtomicU64`.
+    #[derive(Debug)]
+    pub struct AtomicU64(Loc);
+
+    impl AtomicU64 {
+        pub fn new(v: u64) -> Self {
+            AtomicU64(Loc::new(v))
+        }
+
+        pub fn load(&self, o: Ordering) -> u64 {
+            self.0.load(o)
+        }
+
+        pub fn store(&self, v: u64, o: Ordering) {
+            self.0.store(v, o)
+        }
+
+        pub fn fetch_add(&self, v: u64, o: Ordering) -> u64 {
+            self.0.rmw(o, |old| Some(old.wrapping_add(v)))
+        }
+
+        pub fn fetch_max(&self, v: u64, o: Ordering) -> u64 {
+            self.0.rmw(o, |old| Some(old.max(v)))
+        }
+
+        pub fn swap(&self, v: u64, o: Ordering) -> u64 {
+            self.0.rmw(o, |_| Some(v))
+        }
+
+        /// C11 strong compare-exchange. On failure the failure
+        /// ordering is approximated by the success ordering's acquire
+        /// half (over-approximation: never hides a bug).
+        pub fn compare_exchange(
+            &self,
+            cur: u64,
+            new: u64,
+            o: Ordering,
+            _fail: Ordering,
+        ) -> Result<u64, u64> {
+            let old = self.0.rmw(o, |old| (old == cur).then_some(new));
+            if old == cur {
+                Ok(old)
+            } else {
+                Err(old)
+            }
+        }
+    }
+
+    /// Model `std::sync::atomic::AtomicUsize`.
+    #[derive(Debug)]
+    pub struct AtomicUsize(Loc);
+
+    impl AtomicUsize {
+        pub fn new(v: usize) -> Self {
+            AtomicUsize(Loc::new(v as u64))
+        }
+
+        pub fn load(&self, o: Ordering) -> usize {
+            self.0.load(o) as usize
+        }
+
+        pub fn store(&self, v: usize, o: Ordering) {
+            self.0.store(v as u64, o)
+        }
+
+        pub fn fetch_add(&self, v: usize, o: Ordering) -> usize {
+            self.0.rmw(o, |old| Some(old.wrapping_add(v as u64))) as usize
+        }
+    }
+
+    /// Model `std::sync::atomic::AtomicBool`.
+    #[derive(Debug)]
+    pub struct AtomicBool(Loc);
+
+    impl AtomicBool {
+        pub fn new(v: bool) -> Self {
+            AtomicBool(Loc::new(v as u64))
+        }
+
+        pub fn load(&self, o: Ordering) -> bool {
+            self.0.load(o) != 0
+        }
+
+        pub fn store(&self, v: bool, o: Ordering) {
+            self.0.store(v as u64, o)
+        }
+
+        pub fn swap(&self, v: bool, o: Ordering) -> bool {
+            self.0.rmw(o, |_| Some(v as u64)) != 0
+        }
+    }
+}
+
+/// Model mutex: blocking in model time, release/acquire
+/// synchronization on unlock→lock edges, deadlock-detected.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    id: usize,
+    data: UnsafeCell<T>,
+}
+
+// audit: allow(unsafe, "the exploration scheduler serializes model threads:
+// at most one runs between switch points, and lock() blocks in model time
+// before any aliasing deref can occur")
+unsafe impl<T: Send> Send for Mutex<T> {}
+// audit: allow(unsafe, "see Send impl above: model-time mutual exclusion
+// guarantees no concurrent &mut aliasing through the UnsafeCell")
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        let (rt, me) = current();
+        Mutex {
+            id: rt.new_lock(me),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking (in model time) until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let (rt, me) = current();
+        rt.lock_acquire(me, self.id);
+        MutexGuard { mutex: self }
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; unlocks (a release event) on
+/// drop.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // audit: allow(unsafe, "guard existence proves this model thread
+        // holds the model lock; the scheduler runs no other thread")
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // audit: allow(unsafe, "guard existence proves exclusive model-time
+        // access; see Deref")
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let (rt, me) = current();
+        if std::thread::panicking() {
+            // Unwinding (user assertion failure or iteration abort):
+            // taking a scheduling turn here would panic inside a
+            // panic. Release raw so other model threads can drain.
+            rt.lock_release_raw(me, self.mutex.id);
+        } else {
+            rt.lock_release(me, self.mutex.id);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Model threads: [`spawn`] mirrors `std::thread::spawn`, but the
+//! spawned closure runs under the exploration scheduler — it only
+//! executes while the scheduler token is on it.
+
+use crate::rt::{Runtime, Tid};
+use crate::{is_abort, payload_message};
+use std::cell::RefCell;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Mutex as StdMutex};
+
+thread_local! {
+    /// The runtime + model-thread id of the OS thread we're on, set
+    /// for the duration of the model closure.
+    static CURRENT: RefCell<Option<(Arc<Runtime>, Tid)>> = const { RefCell::new(None) };
+}
+
+/// The current model-thread context; panics when called outside a
+/// [`model`](crate::model) run.
+pub(crate) fn current() -> (Arc<Runtime>, Tid) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            // audit: allow(unwrap, "using a model primitive outside
+            // interleave::model is a harness misuse bug; panicking with
+            // this message is the designed diagnostic")
+            .expect("interleave primitives may only be used inside interleave::model")
+    })
+}
+
+/// Runs `f` as model thread `tid`: waits for its first scheduling
+/// turn, runs, records panics, and hands the token onward.
+pub(crate) fn run_model_thread(rt: Arc<Runtime>, tid: Tid, f: impl FnOnce()) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&rt), tid)));
+    rt.first_turn(tid);
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(f));
+    let panic_msg = match outcome {
+        Ok(()) => None,
+        Err(payload) if is_abort(payload.as_ref()) => None,
+        Err(payload) => Some(payload_message(payload.as_ref())),
+    };
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    rt.finish(tid, panic_msg);
+}
+
+/// Handle to a spawned model thread; [`JoinHandle::join`] blocks (in
+/// model time) until it finishes and returns its result.
+pub struct JoinHandle<T> {
+    target: Tid,
+    result: Arc<StdMutex<Option<T>>>,
+}
+
+/// Spawns a model thread. Unlike `std`, the closure's panic does not
+/// surface through [`JoinHandle::join`]: any model-thread panic fails
+/// the whole model check with the offending schedule.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (rt, me) = current();
+    let tid = rt.register_thread(me);
+    let result: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+    let os = {
+        let rt_child = Arc::clone(&rt);
+        let result = Arc::clone(&result);
+        std::thread::spawn(move || {
+            run_model_thread(Arc::clone(&rt_child), tid, move || {
+                let out = f();
+                *result
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
+            });
+        })
+    };
+    rt.os_handles
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push_back(os);
+    // Let the scheduler consider running the child right away.
+    rt.switch_point(me);
+    JoinHandle {
+        target: tid,
+        result,
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks until the target model thread finishes; returns its
+    /// closure's value.
+    pub fn join(self) -> T {
+        let (rt, me) = current();
+        rt.join_thread(me, self.target);
+        self.result
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+            // audit: allow(unwrap, "join_thread returns only after the model
+            // thread finished, which always stores a result; absence is an
+            // internal checker invariant violation")
+            .expect("joined model thread stored its result")
+    }
+}
+
+/// A scheduling point with no memory effect (`std::thread::yield_now`
+/// analog) — lets the DFS consider running another thread here.
+pub fn yield_now() {
+    let (rt, me) = current();
+    rt.switch_point(me);
+}

@@ -1,0 +1,252 @@
+//! The debug-only lock-order registry behind the deadlock detector.
+//!
+//! One process-wide held-before graph over lock *classes*: node =
+//! class, edge `A → B` = "some thread acquired a class-B lock while
+//! holding a class-A lock". Each edge stores the backtrace of the
+//! acquisition that first created it. On every acquisition with locks
+//! held, the candidate edges are checked: if a path `B ⇝ A` already
+//! exists, adding `A → B` closes a cycle — the program has used the
+//! two orders `A before B` and `B before A`, which can deadlock under
+//! the right interleaving — and the acquisition panics with both
+//! stacks instead of blocking.
+//!
+//! The check runs *before* the std lock is touched, so the panic fires
+//! even in an interleaving that would have genuinely deadlocked (the
+//! second thread detects the inversion and unwinds, releasing its
+//! guards and unblocking the first).
+//!
+//! The graph only ever accumulates edges that kept it acyclic
+//! (offending edges panic instead of being inserted), so the recorded
+//! graph is a DAG by construction; [`edges`] exposes it for tests
+//! that want to assert a subsystem's real lock graph looks as
+//! designed.
+//!
+//! This whole module only exists under `debug_assertions`; release
+//! builds compile the detector out.
+
+use std::backtrace::Backtrace;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex as StdMutex, OnceLock, PoisonError};
+
+/// A lock-order class: all locks in one class are interchangeable for
+/// ordering purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ClassId(u64);
+
+impl ClassId {
+    /// A fresh class of its own — used by anonymous locks, so two
+    /// distinct unnamed locks never alias in the graph.
+    pub(crate) fn anonymous() -> ClassId {
+        // Anonymous ids count down from the top of the id space;
+        // named ids count up from 0. The two ranges cannot collide
+        // before the heat death of the universe.
+        static NEXT: AtomicU64 = AtomicU64::new(u64::MAX);
+        // audit: allow(relaxed, "id allocator: fetch_sub RMW atomicity
+        // alone guarantees uniqueness; the id carries no other data")
+        ClassId(NEXT.fetch_sub(1, Ordering::Relaxed))
+    }
+
+    /// The class registered for `name`, created on first use.
+    pub(crate) fn named(name: &'static str) -> ClassId {
+        let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(&id) = reg.by_name.get(name) {
+            return id;
+        }
+        let id = ClassId(reg.by_name.len() as u64);
+        reg.by_name.insert(name, id);
+        reg.names.insert(id, name);
+        id
+    }
+}
+
+/// One directed edge of the held-before graph.
+struct EdgeInfo {
+    /// Backtrace of the acquisition that first created this edge
+    /// (acquiring `to` while holding `from`).
+    stack: String,
+}
+
+#[derive(Default)]
+struct Registry {
+    by_name: BTreeMap<&'static str, ClassId>,
+    names: BTreeMap<ClassId, &'static str>,
+    /// Adjacency: `edges[from][to]` exists iff `to` was acquired while
+    /// `from` was held.
+    edges: BTreeMap<ClassId, BTreeMap<ClassId, EdgeInfo>>,
+}
+
+impl Registry {
+    fn name_of(&self, id: ClassId) -> String {
+        match self.names.get(&id) {
+            Some(n) => (*n).to_string(),
+            None => format!("<anonymous lock #{}>", u64::MAX - id.0),
+        }
+    }
+
+    /// Is `to` reachable from `from` along recorded edges?
+    fn reachable(&self, from: ClassId, to: ClassId) -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(c) = stack.pop() {
+            if c == to {
+                return true;
+            }
+            if !seen.insert(c) {
+                continue;
+            }
+            if let Some(next) = self.edges.get(&c) {
+                stack.extend(next.keys().copied());
+            }
+        }
+        false
+    }
+
+    /// The stack stored on the first edge of some path `from ⇝ to`
+    /// (the conflicting acquisition shown in cycle panics).
+    fn path_first_stack(&self, from: ClassId, to: ClassId) -> Option<&str> {
+        let next = self.edges.get(&from)?;
+        for (&mid, info) in next {
+            if mid == to || self.reachable(mid, to) {
+                return Some(&info.stack);
+            }
+        }
+        None
+    }
+}
+
+fn registry() -> &'static StdMutex<Registry> {
+    static REGISTRY: OnceLock<StdMutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| StdMutex::new(Registry::default()))
+}
+
+thread_local! {
+    /// Classes of the locks this thread currently holds, in
+    /// acquisition order (released entries are removed wherever they
+    /// sit — guards can drop out of order).
+    static HELD: RefCell<Vec<ClassId>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII token for one acquisition: registered on creation, removed
+/// from the thread's held list on drop.
+#[derive(Debug)]
+pub struct Held {
+    class: ClassId,
+}
+
+impl Held {
+    /// Records the acquisition of `class`, checking every implied
+    /// held-before edge for a cycle first.
+    ///
+    /// # Panics
+    /// When an implied edge closes a cycle (lock-order inversion).
+    pub(crate) fn acquire(class: ClassId) -> Held {
+        let held: Vec<ClassId> = HELD.with(|h| h.borrow().clone());
+        if !held.is_empty() {
+            let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+            for &h in &held {
+                if h == class || reg.reachable(class, h) {
+                    let here = Backtrace::force_capture();
+                    let prior = reg
+                        .path_first_stack(class, h)
+                        .unwrap_or("<same-class nesting: no prior edge>")
+                        .to_string();
+                    let (held_name, acq_name) = (reg.name_of(h), reg.name_of(class));
+                    drop(reg);
+                    // audit: allow(panic, "panicking before blocking IS the
+                    // deadlock detection: the would-be deadlock becomes a
+                    // diagnosable test failure with both stacks")
+                    panic!(
+                        "lock-order cycle: acquiring {acq} while holding {held}, but \
+                         {held} is (transitively) acquired while holding {acq} elsewhere.\n\
+                         \n--- this acquisition ({acq}) ---\n{here}\n\
+                         \n--- conflicting earlier acquisition (first edge of the \
+                         {acq} ⇝ {held} path) ---\n{prior}",
+                        acq = acq_name,
+                        held = held_name,
+                        here = here,
+                        prior = prior,
+                    );
+                }
+                reg.edges
+                    .entry(h)
+                    .or_default()
+                    .entry(class)
+                    .or_insert_with(|| EdgeInfo {
+                        stack: Backtrace::force_capture().to_string(),
+                    });
+            }
+        }
+        HELD.with(|h| h.borrow_mut().push(class));
+        Held { class }
+    }
+}
+
+impl Drop for Held {
+    fn drop(&mut self) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&c| c == self.class) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+/// A snapshot of every recorded held-before edge, as
+/// `(held class, acquired class)` display names. Anonymous classes
+/// render as `<anonymous lock #n>`.
+pub fn edges() -> Vec<(String, String)> {
+    let reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    let mut out = Vec::new();
+    for (&from, tos) in &reg.edges {
+        for &to in tos.keys() {
+            out.push((reg.name_of(from), reg.name_of(to)));
+        }
+    }
+    out
+}
+
+/// Asserts the recorded subgraph over classes whose names start with
+/// `prefix` is a DAG. The registry refuses cycle-closing edges at
+/// acquisition time, so this can only fail if the registry itself is
+/// broken — it exists so subsystem tests can pin the invariant
+/// explicitly.
+pub fn assert_acyclic_within(prefix: &str) {
+    let reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    let in_scope: Vec<ClassId> = reg
+        .names
+        .iter()
+        .filter(|(_, n)| n.starts_with(prefix))
+        .map(|(&id, _)| id)
+        .collect();
+    // Kahn-style: repeatedly strip nodes with no in-scope incoming
+    // edge; leftovers mean a cycle.
+    let mut remaining: BTreeSet<ClassId> = in_scope.iter().copied().collect();
+    loop {
+        let removable: Vec<ClassId> = remaining
+            .iter()
+            .copied()
+            .filter(|&n| {
+                !remaining
+                    .iter()
+                    .any(|&m| m != n && reg.edges.get(&m).is_some_and(|tos| tos.contains_key(&n)))
+            })
+            .collect();
+        if removable.is_empty() {
+            break;
+        }
+        for n in removable {
+            remaining.remove(&n);
+        }
+    }
+    assert!(
+        remaining.is_empty(),
+        "lock-order cycle among classes: {:?}",
+        remaining
+            .iter()
+            .map(|&id| reg.name_of(id))
+            .collect::<Vec<_>>()
+    );
+}

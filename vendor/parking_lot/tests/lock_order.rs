@@ -1,0 +1,185 @@
+//! Lock-order detector tests: a seeded AB/BA inversion is caught (with
+//! both stacks in the panic), consistent orders are not, and the named
+//! class machinery groups instances as designed.
+//!
+//! The registry is process-wide, so every test uses its own class
+//! names.
+
+#![cfg(debug_assertions)]
+
+use parking_lot::{lock_order, Mutex, RwLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn panic_message(f: impl FnOnce()) -> String {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(()) => panic!("expected a lock-order panic"),
+        Err(payload) => {
+            if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else {
+                String::from("(non-string panic)")
+            }
+        }
+    }
+}
+
+#[test]
+fn ab_ba_inversion_is_caught_with_both_stacks() {
+    let a = Mutex::named("t1.A", ());
+    let b = Mutex::named("t1.B", ());
+    {
+        let _ga = a.lock();
+        let _gb = b.lock(); // records A → B
+    }
+    let msg = panic_message(|| {
+        let _gb = b.lock();
+        let _ga = a.lock(); // would record B → A: cycle
+    });
+    assert!(msg.contains("lock-order cycle"), "got: {msg}");
+    assert!(msg.contains("t1.A") && msg.contains("t1.B"), "got: {msg}");
+    // Both acquisition stacks are included.
+    assert!(msg.contains("this acquisition"), "got: {msg}");
+    assert!(
+        msg.contains("conflicting earlier acquisition"),
+        "got: {msg}"
+    );
+}
+
+#[test]
+fn inversion_is_caught_across_threads_before_deadlocking() {
+    // The textbook near-deadlock: t1 takes A then B, t2 takes B then
+    // A. Whichever thread's second acquisition closes the cycle
+    // panics instead of blocking, so the test always terminates.
+    let a = std::sync::Arc::new(Mutex::named("t2.A", ()));
+    let b = std::sync::Arc::new(Mutex::named("t2.B", ()));
+    let (a2, b2) = (std::sync::Arc::clone(&a), std::sync::Arc::clone(&b));
+    let t1 = std::thread::spawn(move || {
+        catch_unwind(AssertUnwindSafe(|| {
+            let _ga = a2.lock();
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            let _gb = b2.lock();
+        }))
+        .is_err()
+    });
+    let t2 = std::thread::spawn(move || {
+        catch_unwind(AssertUnwindSafe(|| {
+            let _gb = b.lock();
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            let _ga = a.lock();
+        }))
+        .is_err()
+    });
+    let caught_1 = t1.join().expect("t1 joins");
+    let caught_2 = t2.join().expect("t2 joins");
+    assert!(
+        caught_1 || caught_2,
+        "one of the two threads must observe the inversion"
+    );
+}
+
+#[test]
+fn transitive_cycles_are_caught() {
+    let a = Mutex::named("t3.A", ());
+    let b = Mutex::named("t3.B", ());
+    let c = Mutex::named("t3.C", ());
+    {
+        let _ga = a.lock();
+        let _gb = b.lock(); // A → B
+    }
+    {
+        let _gb = b.lock();
+        let _gc = c.lock(); // B → C
+    }
+    let msg = panic_message(|| {
+        let _gc = c.lock();
+        let _ga = a.lock(); // C → A closes A → B → C → A
+    });
+    assert!(msg.contains("lock-order cycle"), "got: {msg}");
+}
+
+#[test]
+fn consistent_order_never_panics() {
+    let a = Mutex::named("t4.A", 0u32);
+    let b = Mutex::named("t4.B", 0u32);
+    for _ in 0..100 {
+        let mut ga = a.lock();
+        let mut gb = b.lock();
+        *ga += 1;
+        *gb += 1;
+    }
+    assert_eq!(*a.lock(), 100);
+}
+
+#[test]
+fn named_instances_share_a_class() {
+    // Two *instances* of the same class, nested: flagged, because any
+    // same-class nesting is an inversion waiting for the right pair.
+    let slot_1 = Mutex::named("t5.slot", ());
+    let slot_2 = Mutex::named("t5.slot", ());
+    let msg = panic_message(|| {
+        let _g1 = slot_1.lock();
+        let _g2 = slot_2.lock();
+    });
+    assert!(msg.contains("t5.slot"), "got: {msg}");
+}
+
+#[test]
+fn anonymous_instances_do_not_alias() {
+    // Anonymous locks get one class each: nesting two different ones
+    // both ways sequentially IS an inversion and must still be caught
+    // on the specific pair...
+    let a = Mutex::new(());
+    let b = Mutex::new(());
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    let msg = panic_message(|| {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    });
+    assert!(msg.contains("lock-order cycle"), "got: {msg}");
+
+    // ...but two unrelated anonymous locks nested once never alias
+    // with anything else.
+    let c = Mutex::new(());
+    let d = Mutex::new(());
+    let _gc = c.lock();
+    let _gd = d.lock();
+}
+
+#[test]
+fn rwlock_read_and_write_share_the_class() {
+    let m = Mutex::named("t6.M", ());
+    let l = RwLock::named("t6.L", 0u32);
+    {
+        let _gm = m.lock();
+        let _gl = l.read(); // M → L via the read side
+    }
+    let msg = panic_message(|| {
+        let _gl = l.write(); // write side, same class
+        let _gm = m.lock(); // L → M: cycle
+    });
+    assert!(msg.contains("lock-order cycle"), "got: {msg}");
+    assert!(msg.contains("t6.L") && msg.contains("t6.M"), "got: {msg}");
+}
+
+#[test]
+fn edges_snapshot_exposes_the_graph() {
+    let a = Mutex::named("t7.A", ());
+    let b = Mutex::named("t7.B", ());
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    let edges = lock_order::edges();
+    assert!(
+        edges
+            .iter()
+            .any(|(from, to)| from == "t7.A" && to == "t7.B"),
+        "edge t7.A → t7.B missing from {edges:?}"
+    );
+    lock_order::assert_acyclic_within("t7.");
+}

@@ -179,6 +179,9 @@ pub mod test_runner {
                 let value = strategy.generate(&mut self.rng);
                 let rendered = format!("{value:?}");
                 if let Err(TestCaseError(msg)) = test(value) {
+                    // audit: allow(panic, "a property-test harness reports a
+                    // failing case to cargo test by panicking; that is its
+                    // output contract")
                     panic!(
                         "proptest case {case} failed: {msg}\n  input: {}",
                         truncated(&rendered)
